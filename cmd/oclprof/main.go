@@ -1,0 +1,364 @@
+// Command oclprof compiles and simulates a built-in workload with the
+// requested profiling/debugging instrumentation and prints what a developer
+// would see: the compiler log, the synthesis fit, and the collected traces.
+//
+//	go run ./cmd/oclprof -workload matvec-st -device s5
+//	go run ./cmd/oclprof -workload matmul -stallmon -trace
+//	go run ./cmd/oclprof -workload chase -timestamps hdl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"oclfpga/internal/device"
+	"oclfpga/internal/hls"
+	"oclfpga/internal/host"
+	"oclfpga/internal/kir"
+	"oclfpga/internal/sim"
+	"oclfpga/internal/trace"
+	"oclfpga/internal/workload"
+)
+
+var (
+	flagWorkload = flag.String("workload", "matvec-st", "matvec-st | matvec-nd | matmul | chase | vecadd | fir")
+	flagDevice   = flag.String("device", "s5", "s5 | a10 | a10i")
+	flagStallMon = flag.Bool("stallmon", false, "attach a stall monitor (matmul)")
+	flagWatch    = flag.Bool("watch", false, "attach a smart watchpoint (matmul)")
+	flagTS       = flag.String("timestamps", "none", "none | cl | hdl (chase)")
+	flagTrace    = flag.Bool("trace", false, "drain and print ibuffer traces after the run")
+	flagInstr    = flag.Bool("order", false, "instrument matvec with seq+timestamp capture")
+	flagDepthOpt = flag.Bool("chandepthopt", false, "enable the channel-depth optimization pass (§3.1 hazard)")
+	flagLog      = flag.Bool("log", true, "print the compiler log")
+	flagProfile  = flag.Bool("profile", false, "print board-level channel/memory counters after the run")
+	flagVCD      = flag.String("vcd", "", "write a SignalTap-style channel waveform (VCD) to this file")
+	flagSched    = flag.Bool("schedule", false, "print the scheduled-datapath report (the vendor report analogue)")
+)
+
+func pickDevice() *device.Device {
+	switch *flagDevice {
+	case "s5":
+		return device.StratixV()
+	case "a10":
+		return device.Arria10()
+	case "a10i":
+		return device.Arria10Integrated()
+	}
+	log.Fatalf("unknown device %q", *flagDevice)
+	return nil
+}
+
+func main() {
+	flag.Parse()
+	dev := pickDevice()
+	opts := hls.Options{OptimizeChannelDepths: *flagDepthOpt}
+
+	switch *flagWorkload {
+	case "matvec-st", "matvec-nd":
+		runMatVec(dev, opts)
+	case "matmul":
+		runMatMul(dev, opts)
+	case "chase":
+		runChase(dev, opts)
+	case "vecadd":
+		runVecAdd(dev, opts)
+	case "fir":
+		runFIR(dev, opts)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *flagWorkload)
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func compileAndReport(p *kir.Program, dev *device.Device, opts hls.Options) *hls.Design {
+	d, err := hls.Compile(p, dev, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *flagLog {
+		fmt.Println("== compiler log ==")
+		for _, l := range d.Log {
+			fmt.Println("  " + l)
+		}
+	}
+	fmt.Printf("== fit: %.1fK ALUTs, %d RAM blocks, %s memory bits, Fmax %.1f MHz ==\n\n",
+		d.Area.LogicK(), d.Area.M20Ks, fmtBits(d.Area.MemBits), d.Area.FmaxMHz)
+	if *flagSched {
+		fmt.Println(d.DumpSchedule())
+	}
+	return d
+}
+
+func fmtBits(b int64) string { return fmt.Sprintf("%.2fM", float64(b)/1e6) }
+
+func runMatVec(dev *device.Device, opts hls.Options) {
+	mode := kir.SingleTask
+	if *flagWorkload == "matvec-nd" {
+		mode = kir.NDRange
+	}
+	p := kir.NewProgram(*flagWorkload)
+	mv := workload.BuildMatVec(p, workload.MatVecConfig{Mode: mode, Instrument: *flagInstr})
+	d := compileAndReport(p, dev, opts)
+	m := sim.New(d, sim.Options{})
+	var vcd *sim.VCDRecorder
+	if *flagVCD != "" {
+		vcd = m.NewVCD()
+	}
+	cfg := mv.Config
+	x := m.NewBuffer("x", kir.I32, cfg.N*cfg.Num)
+	y := m.NewBuffer("y", kir.I32, cfg.Num)
+	z := m.NewBuffer("z", kir.I32, cfg.N)
+	args := sim.Args{"x": x, "y": y, "z": z}
+	if *flagInstr {
+		args["info1"] = m.NewBuffer("info1", kir.I64, mv.InfoSize)
+		args["info2"] = m.NewBuffer("info2", kir.I32, mv.InfoSize)
+		args["info3"] = m.NewBuffer("info3", kir.I32, mv.InfoSize)
+	}
+	for i := range x.Data {
+		x.Data[i] = int64(i % 7)
+	}
+	for i := range y.Data {
+		y.Data[i] = int64(i % 5)
+	}
+	var u *sim.Unit
+	var err error
+	if mode == kir.NDRange {
+		u, err = m.LaunchND(mv.KernelName, int64(cfg.N), args)
+	} else {
+		u, err = m.Launch(mv.KernelName, args)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := m.Run(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s finished in %d cycles (%.2f us at Fmax)\n",
+		mv.KernelName, u.FinishedAt(), float64(u.FinishedAt())/d.Area.FmaxMHz)
+	if *flagProfile {
+		fmt.Println(m.Profile(u))
+	}
+	if vcd != nil {
+		f, err := os.Create(*flagVCD)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := vcd.Flush(f); err != nil {
+			log.Fatal(err)
+		}
+		f.Close()
+		fmt.Printf("waveform: %s (%d value changes)\n", *flagVCD, vcd.Changes())
+	}
+	if *flagInstr {
+		i1 := m.Buffer("info1")
+		i2 := m.Buffer("info2")
+		i3 := m.Buffer("info3")
+		fmt.Println("\nexecution order capture (first 20 sequence numbers):")
+		fmt.Println("  seq  timestamp     k    i")
+		for s := 1; s <= 20 && s < mv.InfoSize; s++ {
+			if i1.Data[s] == 0 {
+				break
+			}
+			fmt.Printf("  %3d  %9d  %4d %4d\n", s, i1.Data[s], i2.Data[s], i3.Data[s])
+		}
+	}
+}
+
+func runMatMul(dev *device.Device, opts hls.Options) {
+	p := kir.NewProgram("matmul")
+	const n = 16
+	mm, err := workload.BuildMatMul(p, workload.MatMulConfig{
+		Size: n, StallMonitor: *flagStallMon, Watchpoint: *flagWatch, Depth: 256,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var smIfc, wpIfc *host.Interface
+	if mm.SM != nil {
+		smIfc = host.BuildInterface(p, mm.SM)
+	}
+	if mm.WP != nil {
+		wpIfc = host.BuildInterface(p, mm.WP)
+	}
+	d := compileAndReport(p, dev, opts)
+	m := sim.New(d, sim.Options{})
+	da := m.NewBuffer("data_a", kir.I32, n*n)
+	db := m.NewBuffer("data_b", kir.I32, n*n)
+	dc := m.NewBuffer("data_c", kir.I32, n*n)
+	for i := range da.Data {
+		da.Data[i] = int64(i % 13)
+		db.Data[i] = int64(i % 9)
+	}
+	var smCtl, wpCtl *host.Controller
+	if smIfc != nil {
+		smCtl = host.NewController(m, smIfc)
+		for id := 0; id < 2; id++ {
+			if err := smCtl.StartLinear(id); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	if wpIfc != nil {
+		wpCtl = host.NewController(m, wpIfc)
+		if err := wpCtl.StartLinear(0); err != nil {
+			log.Fatal(err)
+		}
+	}
+	u, err := m.Launch(mm.KernelName, sim.Args{"data_a": da, "data_b": db, "data_c": dc})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := m.Run(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("matmul %dx%d finished in %d cycles\n", n, n, u.FinishedAt())
+	if *flagProfile {
+		fmt.Println(m.Profile(u))
+	}
+	if smCtl != nil && *flagTrace {
+		for id := 0; id < 2; id++ {
+			if err := smCtl.Stop(id); err != nil {
+				log.Fatal(err)
+			}
+		}
+		before, _ := smCtl.ReadTrace(0)
+		after, _ := smCtl.ReadTrace(1)
+		lats := trace.Latencies(trace.Valid(before), trace.Valid(after))
+		st := trace.Summarize(lats)
+		fmt.Printf("\nstall monitor: %d samples, load latency min %d / median %d / max %d cycles\n",
+			st.N, st.Min, st.P50, st.Max)
+		fmt.Println(trace.NewHistogram(lats, 8, 10))
+	}
+	if wpCtl != nil && *flagTrace {
+		if err := wpCtl.Stop(0); err != nil {
+			log.Fatal(err)
+		}
+		recs, _ := wpCtl.ReadTrace(0)
+		evs := trace.DecodeWatch(trace.Valid(recs), 16)
+		fmt.Printf("\nwatchpoint events at address 0: %d\n", len(evs))
+		for i, e := range evs {
+			if i >= 10 {
+				fmt.Println("  ...")
+				break
+			}
+			fmt.Printf("  cycle %d: addr %d value %d\n", e.T, e.Addr, e.Tag)
+		}
+	}
+}
+
+func runChase(dev *device.Device, opts hls.Options) {
+	kind := workload.NoTimestamp
+	switch *flagTS {
+	case "cl":
+		kind = workload.CLCounter
+	case "hdl":
+		kind = workload.HDLCounter
+	}
+	p := kir.NewProgram("chase")
+	ch, err := workload.BuildChase(p, workload.ChaseConfig{Steps: 2000, Kind: kind})
+	if err != nil {
+		log.Fatal(err)
+	}
+	d := compileAndReport(p, dev, opts)
+	m := sim.New(d, sim.Options{})
+	table := m.NewBuffer("next", kir.I32, 1<<14)
+	out := m.NewBuffer("out", kir.I64, 2)
+	for i := range table.Data {
+		table.Data[i] = int64((i*1103 + 331) % len(table.Data))
+	}
+	u, err := m.Launch(ch.KernelName, sim.Args{"next": table, "out": out})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := m.Run(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("chase finished in %d cycles; final value %d\n", u.FinishedAt(), out.Data[0])
+	if *flagProfile {
+		fmt.Println(m.Profile(u))
+	}
+	if kind != workload.NoTimestamp {
+		fmt.Printf("on-chip measured duration: %d cycles (%s timestamps)\n", out.Data[1], kind)
+	}
+}
+
+func runVecAdd(dev *device.Device, opts hls.Options) {
+	p := kir.NewProgram("vecadd")
+	name := workload.BuildVecAdd(p)
+	d := compileAndReport(p, dev, opts)
+	m := sim.New(d, sim.Options{})
+	const n = 1024
+	x := m.NewBuffer("x", kir.I32, n)
+	y := m.NewBuffer("y", kir.I32, n)
+	z := m.NewBuffer("z", kir.I32, n)
+	for i := 0; i < n; i++ {
+		x.Data[i], y.Data[i] = int64(i), int64(2*i)
+	}
+	u, err := m.LaunchND(name, n, sim.Args{"x": x, "y": y, "z": z})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := m.Run(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("vecadd over %d work-items in %d cycles; z[10]=%d\n", n, u.FinishedAt(), z.Data[10])
+}
+
+func runFIR(dev *device.Device, opts hls.Options) {
+	p := kir.NewProgram("fir")
+	f, err := workload.BuildFIR(p, workload.FIRConfig{Taps: 8, N: 512, StallMonitor: *flagStallMon})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var smIfc *host.Interface
+	if f.SM != nil {
+		smIfc = host.BuildInterface(p, f.SM)
+	}
+	d := compileAndReport(p, dev, opts)
+	m := sim.New(d, sim.Options{})
+	bx := m.NewBuffer("x", kir.I32, 512)
+	bc := m.NewBuffer("coeff", kir.I32, 8)
+	by := m.NewBuffer("y", kir.I32, 512)
+	for i := range bx.Data {
+		bx.Data[i] = int64(i%33 - 16)
+	}
+	for i := range bc.Data {
+		bc.Data[i] = int64(8 - i)
+	}
+	var ctl *host.Controller
+	if smIfc != nil {
+		ctl = host.NewController(m, smIfc)
+		for id := 0; id < 2; id++ {
+			if err := ctl.StartLinear(id); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	u, err := m.Launch(f.KernelName, sim.Args{"x": bx, "coeff": bc, "y": by})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := m.Run(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fir over %d samples in %d cycles; y[8]=%d\n", 512, u.FinishedAt(), by.Data[8])
+	if *flagProfile {
+		fmt.Println(m.Profile(u))
+	}
+	if ctl != nil && *flagTrace {
+		for id := 0; id < 2; id++ {
+			if err := ctl.Stop(id); err != nil {
+				log.Fatal(err)
+			}
+		}
+		before, _ := ctl.ReadTrace(0)
+		after, _ := ctl.ReadTrace(1)
+		lats := trace.Latencies(trace.Valid(before), trace.Valid(after))
+		st := trace.Summarize(lats)
+		fmt.Printf("sample-load latency: min %d / median %d / max %d over %d samples\n",
+			st.Min, st.P50, st.Max, st.N)
+	}
+}

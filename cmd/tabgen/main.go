@@ -1,0 +1,85 @@
+// Command tabgen regenerates every table and figure of the paper's
+// evaluation section (see DESIGN.md §4 for the experiment index and
+// EXPERIMENTS.md for paper-vs-measured).
+//
+//	go run ./cmd/tabgen          # everything
+//	go run ./cmd/tabgen -only e3 # one artifact
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"oclfpga/internal/device"
+	"oclfpga/internal/experiments"
+	"oclfpga/internal/kir"
+)
+
+func main() {
+	only := flag.String("only", "", "run a single experiment: e1..e9")
+	size := flag.Int("size", 32, "matrix size for Table 1 / stall monitor")
+	flag.Parse()
+
+	want := func(id string) bool {
+		return *only == "" || strings.EqualFold(*only, id)
+	}
+	fail := func(id string, err error) {
+		if err != nil {
+			log.Fatalf("%s: %v", id, err)
+		}
+	}
+
+	if want("e1") {
+		r, err := experiments.E1TimestampOverhead(device.StratixV(), 2000)
+		fail("e1", err)
+		fmt.Println(r.Table())
+	}
+	if want("e2") {
+		for _, mode := range []kir.Mode{kir.SingleTask, kir.NDRange} {
+			r, err := experiments.E2ExecutionOrder(mode)
+			fail("e2", err)
+			fmt.Println(r.Table())
+		}
+	}
+	if want("e3") {
+		r, err := experiments.E3Table1(device.StratixV(), *size)
+		fail("e3", err)
+		fmt.Println(r.Table())
+		ok, err := experiments.E3Verify(8)
+		fail("e3", err)
+		fmt.Printf("functional check (SM+WP instrumented product correct): %v\n\n", ok)
+	}
+	if want("e4") {
+		r, err := experiments.E4StallMonitor(*size, 512)
+		fail("e4", err)
+		fmt.Println(r.Table())
+	}
+	if want("e5") {
+		r, err := experiments.E5Watchpoints(64)
+		fail("e5", err)
+		fmt.Println(r.Table())
+	}
+	if want("e6") {
+		r, err := experiments.E6TimestampPitfalls()
+		fail("e6", err)
+		fmt.Println(r.Table())
+	}
+	if want("e7") {
+		r, err := experiments.E7StallFree(512)
+		fail("e7", err)
+		fmt.Println(r.Table())
+	}
+	if want("e9") {
+		r, err := experiments.E9ChannelStall(256)
+		fail("e9", err)
+		fmt.Println(r.Table())
+	}
+	if want("e8") {
+		r, err := experiments.E8CrossDevice()
+		fail("e8", err)
+		fmt.Println(r.Table())
+		fmt.Printf("all platforms show the paper's qualitative trends: %v\n", r.Trends())
+	}
+}

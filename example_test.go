@@ -1,0 +1,153 @@
+package oclfpga_test
+
+import (
+	"fmt"
+	"log"
+
+	"oclfpga"
+)
+
+// Example shows the minimal compile-and-run flow: a dot product measured
+// with the paper's HDL timestamp pattern.
+func Example() {
+	p := oclfpga.NewProgram("example")
+	timer := oclfpga.AddHDLTimer(p)
+
+	k := p.AddKernel("dot", oclfpga.SingleTask)
+	x := k.AddGlobal("x", oclfpga.I32)
+	y := k.AddGlobal("y", oclfpga.I32)
+	z := k.AddGlobal("z", oclfpga.I64)
+	b := k.NewBuilder()
+	start := oclfpga.GetTime(b, timer, b.Ci32(0))
+	sum := b.ForN("i", 8, []oclfpga.Val{b.Ci32(0)}, func(lb *oclfpga.Builder, i oclfpga.Val, c []oclfpga.Val) []oclfpga.Val {
+		return []oclfpga.Val{lb.Add(c[0], lb.Mul(lb.Load(x, i), lb.Load(y, i)))}
+	})
+	end := oclfpga.GetTime(b, timer, sum[0]) // pinned by the data dependence
+	b.Store(z, b.Ci32(0), sum[0])
+	b.Store(z, b.Ci32(1), b.Sub(end, start))
+
+	d, err := oclfpga.Compile(p, oclfpga.StratixV(), oclfpga.CompileOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := oclfpga.NewMachine(d, oclfpga.SimOptions{})
+	bx := m.NewBuffer("x", oclfpga.I32, 8)
+	by := m.NewBuffer("y", oclfpga.I32, 8)
+	bz := m.NewBuffer("z", oclfpga.I64, 2)
+	for i := 0; i < 8; i++ {
+		bx.Data[i], by.Data[i] = int64(i), int64(i)
+	}
+	if _, err := m.Launch("dot", oclfpga.Args{"x": bx, "y": by, "z": bz}); err != nil {
+		log.Fatal(err)
+	}
+	if err := m.Run(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dot = %d, measured on-chip = %v\n", bz.Data[0], bz.Data[1] > 0)
+	// Output: dot = 140, measured on-chip = true
+}
+
+// ExampleController drives an ibuffer bank gdb-style: arm, run, freeze,
+// read back.
+func ExampleController() {
+	p := oclfpga.NewProgram("session")
+	ib, err := oclfpga.BuildIBuffer(p, oclfpga.IBufferConfig{Depth: 16})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ifc := oclfpga.BuildHostInterface(p, ib)
+
+	k := p.AddKernel("dut", oclfpga.SingleTask)
+	z := k.AddGlobal("z", oclfpga.I64)
+	b := k.NewBuilder()
+	b.ForN("i", 4, nil, func(lb *oclfpga.Builder, i oclfpga.Val, _ []oclfpga.Val) []oclfpga.Val {
+		oclfpga.TakeSnapshot(lb, ib, 0, lb.Mul(i, i))
+		return nil
+	})
+	b.Store(z, b.Ci32(0), b.Ci64(1))
+
+	d, err := oclfpga.Compile(p, oclfpga.StratixV(), oclfpga.CompileOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := oclfpga.NewMachine(d, oclfpga.SimOptions{})
+	ctl := oclfpga.NewController(m, ifc)
+	bz := m.NewBuffer("z", oclfpga.I64, 1)
+
+	if err := ctl.StartLinear(0); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := m.Launch("dut", oclfpga.Args{"z": bz}); err != nil {
+		log.Fatal(err)
+	}
+	if err := m.Run(); err != nil {
+		log.Fatal(err)
+	}
+	if err := ctl.Stop(0); err != nil {
+		log.Fatal(err)
+	}
+	recs, err := ctl.ReadTrace(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range oclfpga.ValidRecords(recs) {
+		fmt.Print(r.Data, " ")
+	}
+	fmt.Println()
+	// Output: 0 1 4 9
+}
+
+// ExampleMonitorAddress watches a memory location for silent corruption
+// (the §5.2 smart-watchpoint use case).
+func ExampleMonitorAddress() {
+	p := oclfpga.NewProgram("watch")
+	wp, err := oclfpga.BuildIBuffer(p, oclfpga.IBufferConfig{Depth: 16, Func: oclfpga.Watchpoint})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ifc := oclfpga.BuildHostInterface(p, wp)
+
+	k := p.AddKernel("dut", oclfpga.SingleTask)
+	data := k.AddGlobal("data", oclfpga.I32)
+	b := k.NewBuilder()
+	oclfpga.AddWatch(b, wp, 0, b.Ci64(3)) // watch data[3]
+	b.ForN("i", 6, nil, func(lb *oclfpga.Builder, i oclfpga.Val, _ []oclfpga.Val) []oclfpga.Val {
+		addr := lb.Mod(lb.Mul(i, lb.Ci32(3)), lb.Ci32(6)) // 0,3,0,3,0,3 pattern
+		val := lb.Add(i, lb.Ci32(100))
+		oclfpga.MonitorAddress(lb, wp, 0, addr, val)
+		lb.Store(data, addr, val)
+		return nil
+	})
+
+	d, err := oclfpga.Compile(p, oclfpga.StratixV(), oclfpga.CompileOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := oclfpga.NewMachine(d, oclfpga.SimOptions{})
+	ctl := oclfpga.NewController(m, ifc)
+	bd := m.NewBuffer("data", oclfpga.I32, 8)
+
+	if err := ctl.StartLinear(0); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := m.Launch("dut", oclfpga.Args{"data": bd}); err != nil {
+		log.Fatal(err)
+	}
+	if err := m.Run(); err != nil {
+		log.Fatal(err)
+	}
+	if err := ctl.Stop(0); err != nil {
+		log.Fatal(err)
+	}
+	recs, err := ctl.ReadTrace(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, e := range oclfpga.DecodeWatch(oclfpga.ValidRecords(recs)) {
+		fmt.Printf("write of %d to data[%d]\n", e.Tag, e.Addr)
+	}
+	// Output:
+	// write of 101 to data[3]
+	// write of 103 to data[3]
+	// write of 105 to data[3]
+}

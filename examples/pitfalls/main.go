@@ -1,0 +1,89 @@
+// Timestamp pitfalls (paper §3.1): why the paper prefers the HDL get_time
+// pattern over persistent-kernel counters. This example reproduces the
+// stale-timestamp hazard (the compiler deepening a declared depth-0 channel)
+// and the counter-skew hazard (separate persistent kernels released on
+// different cycles).
+//
+//	go run ./examples/pitfalls
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"oclfpga"
+)
+
+// build constructs a kernel that measures a 100-load loop with persistent
+// counter timestamps; shared selects one counter kernel driving both
+// channels vs one kernel per channel.
+func build(shared bool) *oclfpga.Program {
+	p := oclfpga.NewProgram("pitfalls")
+	var tc1, tc2 *oclfpga.Chan
+	if shared {
+		tm := oclfpga.AddPersistentTimer(p, "tch", 2)
+		tc1, tc2 = tm.Chans[0], tm.Chans[1]
+	} else {
+		tms := oclfpga.AddPersistentTimerPerChannel(p, "tch", 2)
+		tc1, tc2 = tms[0].Chans[0], tms[1].Chans[0]
+	}
+	k := p.AddKernel("dut", oclfpga.SingleTask)
+	x := k.AddGlobal("x", oclfpga.I32)
+	z := k.AddGlobal("z", oclfpga.I64)
+	b := k.NewBuilder()
+	start := oclfpga.ReadTimestamp(b, tc1)
+	b.ForN("i", 100, []oclfpga.Val{b.Ci32(0)}, func(lb *oclfpga.Builder, i oclfpga.Val, c []oclfpga.Val) []oclfpga.Val {
+		return []oclfpga.Val{lb.Add(c[0], lb.Load(x, i))}
+	})
+	end := oclfpga.ReadTimestamp(b, tc2)
+	b.Store(z, b.Ci32(0), b.Sub(end, start))
+	return p
+}
+
+func measure(p *oclfpga.Program, opts oclfpga.CompileOptions, skew func(string, int) int64) int64 {
+	d, err := oclfpga.Compile(p, oclfpga.StratixV(), opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, l := range d.Log {
+		fmt.Println("  [aoc] " + l)
+	}
+	m := oclfpga.NewMachine(d, oclfpga.SimOptions{AutorunSkew: skew})
+	x := m.NewBuffer("x", oclfpga.I32, 100)
+	z := m.NewBuffer("z", oclfpga.I64, 1)
+	for i := range x.Data {
+		x.Data[i] = 1
+	}
+	m.Step(64)
+	if _, err := m.Launch("dut", oclfpga.Args{"x": x, "z": z}); err != nil {
+		log.Fatal(err)
+	}
+	if err := m.Run(); err != nil {
+		log.Fatal(err)
+	}
+	return z.Data[0]
+}
+
+func main() {
+	fmt.Println("== hazard 1: channel-depth optimization makes depth-0 timestamps stale ==")
+	fmt.Println("depth(0) respected:")
+	good := measure(build(true), oclfpga.CompileOptions{}, nil)
+	fmt.Printf("  measured loop latency: %d cycles (plausible)\n\n", good)
+
+	fmt.Println("compiler deepens the channel:")
+	bad := measure(build(true), oclfpga.CompileOptions{OptimizeChannelDepths: true}, nil)
+	fmt.Printf("  measured loop latency: %d cycles (STALE — FIFO served old counter values)\n\n", bad)
+
+	fmt.Println("== hazard 2: separate counter kernels released on different cycles ==")
+	skewed := measure(build(false), oclfpga.CompileOptions{}, func(kernel string, cu int) int64 {
+		if kernel == "tch1_srv" {
+			return 37
+		}
+		return 0
+	})
+	fmt.Printf("  measured with 37-cycle counter skew: %d cycles (distorted by the skew)\n", skewed)
+	fmt.Printf("  clean measurement was:               %d cycles\n\n", good)
+
+	fmt.Println("The HDL get_time pattern (see examples/quickstart) has neither hazard:")
+	fmt.Println("one Verilog counter, no channels, and the command argument pins the read site.")
+}

@@ -1,0 +1,111 @@
+// Smart watchpoints (paper §5.2, Figure 5, Listing 11): watch a memory
+// location, check address bounds, and check value invariance — all on the
+// fly, in hardware, gdb-style but without stopping the kernel.
+//
+// The kernel under test is an update loop with injected bugs: a couple of
+// writes land on the watched address and a few indexes run off the end of
+// the buffer (which the hardware would silently corrupt).
+//
+//	go run ./examples/watchpoints
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"oclfpga"
+)
+
+const (
+	loopLen   = 64
+	watchAddr = 5
+	boundLo   = 0
+	boundHi   = 32
+)
+
+func main() {
+	p := oclfpga.NewProgram("watchpoints")
+
+	wp, err := oclfpga.BuildIBuffer(p, oclfpga.IBufferConfig{
+		Name: "wp", Depth: 64, Func: oclfpga.Watchpoint})
+	if err != nil {
+		log.Fatal(err)
+	}
+	bc, err := oclfpga.BuildIBuffer(p, oclfpga.IBufferConfig{
+		Name: "bc", Depth: 64, Func: oclfpga.BoundCheck, BoundLo: boundLo, BoundHi: boundHi})
+	if err != nil {
+		log.Fatal(err)
+	}
+	wpIfc := oclfpga.BuildHostInterface(p, wp)
+	bcIfc := oclfpga.BuildHostInterface(p, bc)
+
+	// the design under test: data[addr_a[k]] = 3k+1 (Listing 11 shape)
+	k := p.AddKernel("updater", oclfpga.SingleTask)
+	addrA := k.AddGlobal("addr_a", oclfpga.I32)
+	data := k.AddGlobal("data", oclfpga.I32)
+	b := k.NewBuilder()
+	oclfpga.AddWatch(b, wp, 0, b.Ci64(watchAddr)) // add_watch(0, &data[5])
+	b.ForN("k", loopLen, nil, func(lb *oclfpga.Builder, kv oclfpga.Val, _ []oclfpga.Val) []oclfpga.Val {
+		bv := lb.Add(lb.Mul(kv, lb.Ci32(3)), lb.Ci32(1))
+		a := lb.Load(addrA, kv)
+		oclfpga.MonitorAddress(lb, bc, 0, a, bv) // bound-check the index
+		oclfpga.MonitorAddress(lb, wp, 0, a, bv) // watch the written address
+		lb.Store(data, a, bv)
+		return nil
+	})
+
+	d, err := oclfpga.Compile(p, oclfpga.StratixV(), oclfpga.CompileOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := oclfpga.NewMachine(d, oclfpga.SimOptions{})
+	wpCtl := oclfpga.NewController(m, wpIfc)
+	bcCtl := oclfpga.NewController(m, bcIfc)
+
+	ba := m.NewBuffer("addr_a", oclfpga.I32, loopLen)
+	bd := m.NewBuffer("data", oclfpga.I32, boundHi)
+	for i := range ba.Data {
+		ba.Data[i] = int64(i % 16)
+	}
+	ba.Data[7] = watchAddr  // bug: aliased write to the watched location
+	ba.Data[21] = watchAddr // and another one
+	ba.Data[13] = 55        // bug: out-of-bounds index
+	ba.Data[40] = -2        // bug: negative index
+
+	if err := wpCtl.StartLinear(0); err != nil {
+		log.Fatal(err)
+	}
+	if err := bcCtl.StartLinear(0); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := m.Launch("updater", oclfpga.Args{"addr_a": ba, "data": bd}); err != nil {
+		log.Fatal(err)
+	}
+	if err := m.Run(); err != nil {
+		log.Fatal(err)
+	}
+
+	if err := wpCtl.Stop(0); err != nil {
+		log.Fatal(err)
+	}
+	recs, err := wpCtl.ReadTrace(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("watchpoint hits at data[%d]:\n", watchAddr)
+	for _, e := range oclfpga.DecodeWatch(oclfpga.ValidRecords(recs)) {
+		fmt.Printf("  cycle %6d: write of value %d\n", e.T, e.Tag)
+	}
+
+	if err := bcCtl.Stop(0); err != nil {
+		log.Fatal(err)
+	}
+	recs, err = bcCtl.ReadTrace(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nbound-check violations outside [%d,%d):\n", boundLo, boundHi)
+	for _, e := range oclfpga.DecodeWatch(oclfpga.ValidRecords(recs)) {
+		fmt.Printf("  cycle %6d: index %d (value %d) — silent corruption caught\n", e.T, e.Addr, e.Tag)
+	}
+}

@@ -1,0 +1,3 @@
+module oclfpga
+
+go 1.22

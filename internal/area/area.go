@@ -1,0 +1,356 @@
+// Package area estimates the post-fit resource usage and clock frequency of
+// a compiled design, standing in for the Quartus synthesis reports the paper
+// quotes (§3.1 overheads, Table 1).
+//
+// The estimator works from structural inventories produced by internal/hls:
+// per-kernel op counts, LSU kinds, channel endpoints, local-memory bits, and
+// pipeline register pressure. Absolute costs are coarse but the calibration
+// in internal/device anchors the *base* designs to the paper's reported
+// baselines so that instrumentation overheads are measured quantities.
+package area
+
+import (
+	"math"
+
+	"oclfpga/internal/device"
+	"oclfpga/internal/kir"
+)
+
+// IBufFunc identifies the logic function compiled into an ibuffer instance;
+// it selects both the logic cost and the critical-path floor of the
+// structure.
+type IBufFunc string
+
+// Known ibuffer logic functions.
+const (
+	IBufNone      IBufFunc = ""          // kernel is not an ibuffer
+	IBufRecord    IBufFunc = "record"    // flight recorder (§4)
+	IBufStallMon  IBufFunc = "stall-mon" // timestamping stall monitor (§5.1)
+	IBufWatch     IBufFunc = "watch"     // smart watchpoint (§5.2)
+	IBufBoundChk  IBufFunc = "bound"     // address bound checking (§5.2)
+	IBufInvarChk  IBufFunc = "invariant" // value invariance checking (§5.2)
+	IBufLatency   IBufFunc = "latency"   // paired-snapshot latency processing
+	IBufHistogram IBufFunc = "histogram" // on-the-fly latency histogram
+)
+
+// OpCount is one (kind, width) bucket of a kernel's static op inventory.
+type OpCount struct {
+	Kind kir.OpKind
+	Bits int
+	N    int
+}
+
+// KernelFeatures is the structural summary internal/hls produces per kernel.
+type KernelFeatures struct {
+	Name         string
+	Role         kir.Role
+	ComputeUnits int
+
+	Ops         []OpCount
+	BurstLSUs   int
+	PipeLSUs    int
+	ChanEnds    int   // channel endpoints
+	LocalBits   int64 // local-memory bits (trace buffers etc.)
+	Loops       int
+	PipeRegBits int64 // pipeline register bits (live value-stages)
+	PipeDepth   int
+
+	// HasLoopCarriedMemDep marks pointer-chase-style kernels: a load feeding
+	// next iteration's address. Dominates the kernel's critical path.
+	HasLoopCarriedMemDep bool
+
+	// Instrumentation taps on this kernel.
+	CLTimestampTaps  int // reads of a persistent-counter channel (§3.1 first scheme)
+	HDLTimestampTaps int // get_time call sites (§3.1 second scheme)
+	IBufTaps         int // data-channel writes into ibuffers
+
+	IBuf IBufFunc // logic function if Role == RoleIBuffer
+}
+
+// KernelArea is the per-kernel slice of a report.
+type KernelArea struct {
+	Name    string
+	Role    kir.Role
+	ALUTs   int
+	Regs    int
+	DSPs    int
+	MemBits int64
+	M20Ks   int
+	NS      float64 // estimated critical path through this kernel, ns
+}
+
+// Report is the synthesis report for a whole design.
+type Report struct {
+	Device      string
+	ALUTs       int
+	Regs        int
+	DSPs        int
+	MemBits     int64
+	M20Ks       int
+	FmaxMHz     float64
+	Utilization float64 // ALUT fraction of device capacity
+	CriticalNS  float64
+	Kernels     []KernelArea
+}
+
+// LogicK returns logic utilization in the paper's "177K" style units.
+func (r Report) LogicK() float64 { return float64(r.ALUTs) / 1000 }
+
+// opCost returns per-instance ALUT/FF/DSP costs for an op at a bit width.
+func opCost(kind kir.OpKind, bits int) (aluts, ffs, dsps int) {
+	w := float64(bits)
+	scale := func(base float64) int { return int(math.Ceil(base * w / 32)) }
+	switch kind {
+	case kir.OpConst:
+		return 0, 0, 0
+	case kir.OpAdd, kir.OpSub:
+		return scale(32), scale(32), 0
+	case kir.OpMul:
+		return scale(24), scale(48), int(math.Ceil(w / 27)) // 27x27 DSP slices
+	case kir.OpDiv, kir.OpMod:
+		return scale(350), scale(400), 0
+	case kir.OpAnd, kir.OpOr, kir.OpXor:
+		return scale(16), scale(16), 0
+	case kir.OpShl, kir.OpShr:
+		return scale(40), scale(32), 0
+	case kir.OpCmpLT, kir.OpCmpLE, kir.OpCmpEQ, kir.OpCmpNE, kir.OpCmpGT, kir.OpCmpGE:
+		return scale(16), 2, 0
+	case kir.OpSelect:
+		return scale(16), scale(32), 0
+	case kir.OpLocalLoad, kir.OpLocalStore:
+		return scale(48), scale(64), 0 // port + address logic; bits counted via LocalBits
+	case kir.OpChanRead, kir.OpChanWrite:
+		return 55, 70, 0 // blocking handshake
+	case kir.OpChanReadNB, kir.OpChanWriteNB:
+		return 38, 50, 0 // non-blocking: no stall network
+	case kir.OpGlobalID, kir.OpComputeID:
+		return 12, 32, 0
+	case kir.OpCall:
+		return 30, 40, 0 // interface registers; module body costed separately
+	case kir.OpFence:
+		return 8, 4, 0
+	case kir.OpIBufLogic:
+		return 0, 0, 0 // costed via ibufCost
+	}
+	return scale(24), scale(24), 0
+}
+
+// LSU area constants: AOCL burst-coalesced LSUs are large (bursting,
+// reordering, coalescing FIFOs); pipelined LSUs are an order smaller.
+const (
+	burstLSUALUTs  = 5200
+	burstLSURegs   = 9800
+	burstLSUM20Ks  = 4
+	burstLSUBits   = 4 * 20480 / 2 // half-used line/burst buffers
+	pipeLSUALUTs   = 900
+	pipeLSURegs    = 1500
+	pipeLSUM20Ks   = 1
+	pipeLSUBits    = 20480 / 4
+	loopCtlALUTs   = 110
+	loopCtlRegs    = 160
+	kernelBaseALUT = 300 // dispatch/handshake per kernel
+	kernelBaseRegs = 500
+)
+
+// ibufCost returns the logic-function block cost per ibuffer instance.
+func ibufCost(f IBufFunc) (aluts, regs int) {
+	switch f {
+	case IBufRecord:
+		return 210, 300
+	case IBufStallMon:
+		return 340, 460
+	case IBufLatency:
+		return 420, 520
+	case IBufWatch:
+		return 470, 560
+	case IBufBoundChk:
+		return 520, 600
+	case IBufInvarChk:
+		return 500, 580
+	case IBufHistogram:
+		return 610, 700
+	}
+	return 0, 0
+}
+
+// ChanInfo summarizes one channel for FIFO memory accounting.
+type ChanInfo struct {
+	Name     string
+	EffDepth int
+	Bits     int
+}
+
+// Options tweak the estimate.
+type Options struct {
+	// FreqOptimize applies the synthesis frequency optimization the paper
+	// infers for the un-instrumented matrix multiply (Table 1 discussion):
+	// register duplication that trades logic for frequency. internal/hls
+	// enables it only for designs without profiling structures.
+	FreqOptimize bool
+}
+
+// Estimate produces the synthesis report for a design on a device.
+func Estimate(dev *device.Device, feats []KernelFeatures, chans []ChanInfo, opts Options) Report {
+	r := Report{Device: dev.Name}
+	r.ALUTs = dev.ShellALUTs
+	r.Regs = dev.ShellRegs
+	r.M20Ks = dev.ShellM20Ks
+	r.MemBits = dev.ShellMemBits
+
+	for _, f := range feats {
+		ka := estimateKernel(&f)
+		if freqOptimized(opts, &f) {
+			// register duplication and retiming: ~25% more kernel logic,
+			// 30% more FFs, in exchange for a slightly shorter critical
+			// path. Applied only to simple high-Fmax kernels — a
+			// memory-recurrence-bound kernel gains nothing from retiming.
+			ka.ALUTs += ka.ALUTs * 25 / 100
+			ka.Regs += ka.Regs * 30 / 100
+		}
+		r.ALUTs += ka.ALUTs
+		r.Regs += ka.Regs
+		r.DSPs += ka.DSPs
+		r.MemBits += ka.MemBits
+		r.M20Ks += ka.M20Ks
+		r.Kernels = append(r.Kernels, ka)
+	}
+
+	for _, c := range chans {
+		bits := c.EffDepth * c.Bits
+		if c.EffDepth == 0 {
+			// register channel: a single register stage
+			r.Regs += c.Bits + 8
+			continue
+		}
+		if bits > 640 {
+			// FIFO spills into block RAM
+			r.MemBits += int64(bits)
+			r.M20Ks += int(math.Ceil(float64(bits) / float64(dev.M20KBits)))
+			r.ALUTs += 60
+			r.Regs += 90
+		} else {
+			// shallow FIFO in registers/MLABs
+			r.Regs += bits + 40
+			r.ALUTs += 45
+		}
+	}
+
+	r.Utilization = float64(r.ALUTs) / float64(dev.ALMs)
+
+	// Timing: per-kernel paths plus instrumentation structure floors.
+	var ns float64
+	for i := range r.Kernels {
+		f := &feats[i]
+		kns := kernelNS(dev, f, r.Kernels[i].ALUTs, r.Utilization)
+		if freqOptimized(opts, f) {
+			kns *= 0.985 // the point of the duplication: slightly faster
+		}
+		r.Kernels[i].NS = kns
+		if f.Role == kir.RoleUser && kns > ns {
+			ns = kns
+		}
+	}
+	structFloor := 0.0
+	extra := 0
+	for _, f := range feats {
+		if f.Role != kir.RoleIBuffer {
+			continue
+		}
+		var fns float64
+		switch f.IBuf {
+		case IBufStallMon, IBufLatency, IBufHistogram:
+			fns = dev.StallMonNS
+		case IBufWatch, IBufBoundChk, IBufInvarChk:
+			fns = dev.WatchNS
+		default:
+			fns = dev.TraceBufNS
+		}
+		if fns > structFloor {
+			structFloor = fns
+		}
+		extra++
+	}
+	if structFloor > 0 {
+		structFloor += 0.012 * float64(extra-1) // each extra instance adds pressure
+		if structFloor > ns {
+			ns = structFloor
+		}
+	}
+	// A bare timer/sequencer structure (no ibuffer) still adds a small floor.
+	if structFloor == 0 {
+		for _, f := range feats {
+			if (f.Role == kir.RoleTimerServer || f.Role == kir.RoleSeqServer) && dev.TraceBufNS*0.82 > ns {
+				ns = dev.TraceBufNS * 0.82
+			}
+		}
+	}
+	r.CriticalNS = ns
+	if ns <= 0 {
+		ns = dev.BaseNS
+		r.CriticalNS = ns
+	}
+	r.FmaxMHz = 1000 / ns
+	if r.FmaxMHz > dev.FmaxCapMHz {
+		r.FmaxMHz = dev.FmaxCapMHz
+		r.CriticalNS = 1000 / r.FmaxMHz
+	}
+	return r
+}
+
+// estimateKernel sums one kernel's resources across its compute units.
+func estimateKernel(f *KernelFeatures) KernelArea {
+	ka := KernelArea{Name: f.Name, Role: f.Role}
+	a, g, d := kernelBaseALUT, kernelBaseRegs, 0
+	for _, oc := range f.Ops {
+		oa, of, od := opCost(oc.Kind, oc.Bits)
+		a += oa * oc.N
+		g += of * oc.N
+		d += od * oc.N
+	}
+	a += f.BurstLSUs*burstLSUALUTs + f.PipeLSUs*pipeLSUALUTs
+	g += f.BurstLSUs*burstLSURegs + f.PipeLSUs*pipeLSURegs
+	m20 := f.BurstLSUs*burstLSUM20Ks + f.PipeLSUs*pipeLSUM20Ks
+	bits := int64(f.BurstLSUs*burstLSUBits + f.PipeLSUs*pipeLSUBits)
+	a += f.Loops * loopCtlALUTs
+	g += f.Loops * loopCtlRegs
+	ia, ig := ibufCost(f.IBuf)
+	a += ia
+	g += ig
+
+	g += int(f.PipeRegBits)
+	bits += f.LocalBits
+	if f.LocalBits > 0 {
+		m20 += int(math.Ceil(float64(f.LocalBits) / 20480))
+	}
+
+	cu := f.ComputeUnits
+	if cu < 1 {
+		cu = 1
+	}
+	ka.ALUTs = a * cu
+	ka.Regs = g * cu
+	ka.DSPs = d * cu
+	ka.M20Ks = m20 * cu
+	ka.MemBits = bits * int64(cu)
+	return ka
+}
+
+// freqOptimized reports whether the synthesis frequency optimization
+// applies to this kernel.
+func freqOptimized(opts Options, f *KernelFeatures) bool {
+	return opts.FreqOptimize && f.Role == kir.RoleUser && !f.HasLoopCarriedMemDep
+}
+
+// kernelNS estimates the critical path through one kernel.
+func kernelNS(dev *device.Device, f *KernelFeatures, aluts int, util float64) float64 {
+	ns := dev.BaseNS
+	ns += dev.ALUTScale * math.Log2(float64(aluts)/1000+1)
+	if f.HasLoopCarriedMemDep {
+		ns += dev.MemDepNS
+	}
+	ns += dev.UtilNS * util * util
+	ns += float64(f.CLTimestampTaps) * dev.CouplingCL
+	ns += float64(f.HDLTimestampTaps) * dev.CouplingHDL
+	ns += float64(f.IBufTaps) * dev.CouplingIB
+	return ns
+}

@@ -1,0 +1,263 @@
+package area
+
+import (
+	"testing"
+
+	"oclfpga/internal/device"
+	"oclfpga/internal/kir"
+)
+
+func userKernel(name string, burstLSUs int) KernelFeatures {
+	return KernelFeatures{
+		Name:         name,
+		Role:         kir.RoleUser,
+		ComputeUnits: 1,
+		Ops: []OpCount{
+			{Kind: kir.OpAdd, Bits: 32, N: 4},
+			{Kind: kir.OpMul, Bits: 32, N: 2},
+			{Kind: kir.OpCmpLT, Bits: 32, N: 2},
+		},
+		BurstLSUs:   burstLSUs,
+		Loops:       2,
+		PipeRegBits: 2048,
+		PipeDepth:   40,
+	}
+}
+
+func ibufKernel(f IBufFunc, cu int, depthBits int64) KernelFeatures {
+	return KernelFeatures{
+		Name:         "ibuffer",
+		Role:         kir.RoleIBuffer,
+		ComputeUnits: cu,
+		Ops: []OpCount{
+			{Kind: kir.OpChanReadNB, Bits: 32, N: 2},
+			{Kind: kir.OpAdd, Bits: 32, N: 3},
+		},
+		LocalBits:   depthBits,
+		Loops:       1,
+		PipeRegBits: 512,
+		IBuf:        f,
+	}
+}
+
+func TestBaseIncludesShell(t *testing.T) {
+	dev := device.StratixV()
+	r := Estimate(dev, []KernelFeatures{userKernel("mm", 3)}, nil, Options{})
+	if r.ALUTs <= dev.ShellALUTs {
+		t.Fatalf("ALUTs %d not above shell %d", r.ALUTs, dev.ShellALUTs)
+	}
+	if r.MemBits <= dev.ShellMemBits {
+		t.Fatal("MemBits missing shell")
+	}
+	if r.FmaxMHz <= 0 || r.FmaxMHz > dev.FmaxCapMHz {
+		t.Fatalf("Fmax %f out of range", r.FmaxMHz)
+	}
+	if r.LogicK() != float64(r.ALUTs)/1000 {
+		t.Fatal("LogicK mismatch")
+	}
+}
+
+func TestInstrumentationAddsMemoryBits(t *testing.T) {
+	dev := device.StratixV()
+	base := Estimate(dev, []KernelFeatures{userKernel("mm", 3)}, nil, Options{})
+	// Stall monitor: 10 ibuffer instances with 1024-deep 64-bit buffers,
+	// like the paper's DEPTH=1024, N=10 configuration.
+	sm := Estimate(dev, []KernelFeatures{
+		userKernel("mm", 3),
+		ibufKernel(IBufStallMon, 10, 1024*64),
+	}, []ChanInfo{{Name: "data_in", EffDepth: 2, Bits: 32}}, Options{})
+
+	if sm.MemBits <= base.MemBits {
+		t.Fatal("stall monitor added no memory bits")
+	}
+	if sm.M20Ks <= base.M20Ks {
+		t.Fatal("stall monitor added no RAM blocks")
+	}
+	added := sm.MemBits - base.MemBits
+	if added < 10*1024*64 {
+		t.Fatalf("added bits %d below trace storage alone", added)
+	}
+}
+
+func TestFreqOptimizeTradesLogicForFrequency(t *testing.T) {
+	dev := device.StratixV()
+	feats := []KernelFeatures{userKernel("mm", 3)}
+	plain := Estimate(dev, feats, nil, Options{})
+	opt := Estimate(dev, feats, nil, Options{FreqOptimize: true})
+	if opt.ALUTs <= plain.ALUTs {
+		t.Fatal("freq optimization did not add logic")
+	}
+	if opt.FmaxMHz <= plain.FmaxMHz {
+		t.Fatal("freq optimization did not raise Fmax")
+	}
+}
+
+func TestStructureFloorDragsFastKernel(t *testing.T) {
+	// A fast kernel (no mem dep) attached to a stall monitor must be pulled
+	// down toward the monitor's floor — the paper's −20.5% effect.
+	dev := device.StratixV()
+	fast := userKernel("mm", 3)
+	base := Estimate(dev, []KernelFeatures{fast}, nil, Options{FreqOptimize: true})
+
+	tapped := fast
+	tapped.IBufTaps = 2
+	sm := Estimate(dev, []KernelFeatures{tapped, ibufKernel(IBufStallMon, 1, 1024*64)}, nil, Options{})
+
+	drop := 1 - sm.FmaxMHz/base.FmaxMHz
+	if drop < 0.10 || drop > 0.30 {
+		t.Fatalf("stall monitor Fmax drop = %.1f%%, want 10–30%% (paper: 20.5%%)", drop*100)
+	}
+}
+
+func TestSlowKernelBarelyAffected(t *testing.T) {
+	// A pointer-chase-style kernel is already slower than the trace-buffer
+	// floor; adding an HDL timestamp costs <3% (paper §3.1).
+	dev := device.StratixV()
+	slow := userKernel("chase", 0)
+	slow.PipeLSUs = 1
+	slow.HasLoopCarriedMemDep = true
+	base := Estimate(dev, []KernelFeatures{slow}, nil, Options{})
+
+	tapped := slow
+	tapped.HDLTimestampTaps = 2
+	prof := Estimate(dev, []KernelFeatures{tapped, ibufKernel(IBufRecord, 1, 1024*64)}, nil, Options{})
+
+	drop := 1 - prof.FmaxMHz/base.FmaxMHz
+	if drop < 0 || drop > 0.03 {
+		t.Fatalf("HDL timestamp drop on slow kernel = %.2f%%, want <3%%", drop*100)
+	}
+}
+
+func TestCLTimestampCostsMoreThanHDL(t *testing.T) {
+	dev := device.StratixV()
+	slow := userKernel("chase", 0)
+	slow.PipeLSUs = 1
+	slow.HasLoopCarriedMemDep = true
+
+	cl := slow
+	cl.CLTimestampTaps = 2
+	clr := Estimate(dev, []KernelFeatures{cl, ibufKernel(IBufRecord, 1, 1024*64)}, nil, Options{})
+
+	hdl := slow
+	hdl.HDLTimestampTaps = 2
+	hr := Estimate(dev, []KernelFeatures{hdl, ibufKernel(IBufRecord, 1, 1024*64)}, nil, Options{})
+
+	if clr.FmaxMHz >= hr.FmaxMHz {
+		t.Fatalf("OpenCL counter (%.1f MHz) should be slower than HDL counter (%.1f MHz)",
+			clr.FmaxMHz, hr.FmaxMHz)
+	}
+}
+
+func TestComputeUnitsScaleArea(t *testing.T) {
+	dev := device.StratixV()
+	one := Estimate(dev, []KernelFeatures{ibufKernel(IBufRecord, 1, 1024*64)}, nil, Options{})
+	ten := Estimate(dev, []KernelFeatures{ibufKernel(IBufRecord, 10, 1024*64)}, nil, Options{})
+	dAlut := ten.ALUTs - dev.ShellALUTs
+	sAlut := one.ALUTs - dev.ShellALUTs
+	if dAlut != 10*sAlut {
+		t.Fatalf("replication: %d vs 10×%d ALUTs", dAlut, sAlut)
+	}
+	if ten.MemBits-dev.ShellMemBits != 10*(one.MemBits-dev.ShellMemBits) {
+		t.Fatal("replication: mem bits not scaled")
+	}
+}
+
+func TestChannelFIFOAccounting(t *testing.T) {
+	dev := device.StratixV()
+	feats := []KernelFeatures{userKernel("k", 0)}
+	none := Estimate(dev, feats, nil, Options{})
+	shallow := Estimate(dev, feats, []ChanInfo{{Name: "c", EffDepth: 4, Bits: 32}}, Options{})
+	deep := Estimate(dev, feats, []ChanInfo{{Name: "c", EffDepth: 1024, Bits: 64}}, Options{})
+	reg := Estimate(dev, feats, []ChanInfo{{Name: "c", EffDepth: 0, Bits: 32}}, Options{})
+
+	if shallow.MemBits != none.MemBits {
+		t.Fatal("shallow FIFO should not use block RAM")
+	}
+	if shallow.Regs <= none.Regs {
+		t.Fatal("shallow FIFO added no registers")
+	}
+	if deep.MemBits-none.MemBits != 1024*64 {
+		t.Fatalf("deep FIFO bits = %d", deep.MemBits-none.MemBits)
+	}
+	if deep.M20Ks <= none.M20Ks {
+		t.Fatal("deep FIFO allocated no RAM blocks")
+	}
+	if reg.Regs <= none.Regs || reg.MemBits != none.MemBits {
+		t.Fatal("register channel accounting wrong")
+	}
+}
+
+func TestOpCostsSane(t *testing.T) {
+	// div >> mul >> add >> cmp in ALUTs; mul uses DSPs; const free.
+	a1, _, _ := opCost(kir.OpAdd, 32)
+	c1, _, _ := opCost(kir.OpCmpEQ, 32)
+	d1, _, dd := opCost(kir.OpDiv, 32)
+	_, _, md := opCost(kir.OpMul, 32)
+	z, zf, zd := opCost(kir.OpConst, 32)
+	if !(d1 > a1 && a1 > c1) {
+		t.Fatalf("cost ordering wrong: div=%d add=%d cmp=%d", d1, a1, c1)
+	}
+	if md == 0 {
+		t.Fatal("mul uses no DSPs")
+	}
+	if dd != 0 {
+		t.Fatal("div should not use DSPs in this model")
+	}
+	if z != 0 || zf != 0 || zd != 0 {
+		t.Fatal("const not free")
+	}
+	// width scaling
+	a64, _, _ := opCost(kir.OpAdd, 64)
+	if a64 != 2*a1 {
+		t.Fatalf("64-bit add = %d, want %d", a64, 2*a1)
+	}
+}
+
+func TestIBufFuncCostsOrdered(t *testing.T) {
+	ra, _ := ibufCost(IBufRecord)
+	wa, _ := ibufCost(IBufWatch)
+	ba, _ := ibufCost(IBufBoundChk)
+	na, nf := ibufCost(IBufNone)
+	if !(ba > wa && wa > ra && ra > 0) {
+		t.Fatalf("ibuf cost ordering: record=%d watch=%d bound=%d", ra, wa, ba)
+	}
+	if na != 0 || nf != 0 {
+		t.Fatal("IBufNone not free")
+	}
+}
+
+func TestEmptyDesign(t *testing.T) {
+	dev := device.StratixV()
+	r := Estimate(dev, nil, nil, Options{})
+	if r.ALUTs != dev.ShellALUTs {
+		t.Fatal("empty design should be shell only")
+	}
+	if r.FmaxMHz <= 0 {
+		t.Fatal("empty design Fmax invalid")
+	}
+}
+
+func TestFreqOptimizeSkipsMemDepKernels(t *testing.T) {
+	dev := device.StratixV()
+	chase := userKernel("chase", 0)
+	chase.PipeLSUs = 1
+	chase.HasLoopCarriedMemDep = true
+	plain := Estimate(dev, []KernelFeatures{chase}, nil, Options{})
+	opt := Estimate(dev, []KernelFeatures{chase}, nil, Options{FreqOptimize: true})
+	if opt.ALUTs != plain.ALUTs {
+		t.Fatalf("memory-recurrence kernel got duplicated logic: %d vs %d", opt.ALUTs, plain.ALUTs)
+	}
+	if opt.FmaxMHz != plain.FmaxMHz {
+		t.Fatalf("memory-recurrence kernel Fmax changed: %.1f vs %.1f", opt.FmaxMHz, plain.FmaxMHz)
+	}
+}
+
+func TestInstrumentationRolesNeverOptimized(t *testing.T) {
+	dev := device.StratixV()
+	ib := ibufKernel(IBufRecord, 1, 1024*64)
+	plain := Estimate(dev, []KernelFeatures{ib}, nil, Options{})
+	opt := Estimate(dev, []KernelFeatures{ib}, nil, Options{FreqOptimize: true})
+	if opt.ALUTs != plain.ALUTs {
+		t.Fatal("ibuffer kernel must not receive the user-kernel synthesis optimization")
+	}
+}

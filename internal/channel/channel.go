@@ -1,0 +1,199 @@
+// Package channel implements the runtime semantics of Altera OpenCL channels
+// as used by the paper: depth-N FIFOs with blocking and non-blocking
+// endpoints, and the special depth-0 "register" channel that always holds the
+// most up-to-date value (paper §3.1, Listing 1).
+//
+// Channels are simulated with two-phase cycles: during a cycle, reads observe
+// the state the channel had at the start of the cycle and writes are pended;
+// Commit applies the pends. This mirrors registered ready/valid handshakes in
+// the synthesized fabric and keeps simulation deterministic regardless of the
+// order kernels tick in.
+package channel
+
+import "fmt"
+
+// Channel is one simulated channel instance.
+type Channel struct {
+	name  string
+	depth int // effective (synthesized) depth; 0 = register channel
+
+	// FIFO state (depth >= 1)
+	q        []int64
+	startLen int // occupancy at the start of the current cycle
+	reads0   int // pops performed this cycle
+
+	// register-channel state (depth == 0)
+	reg        int64
+	regValid   bool
+	reg0       int64 // snapshot at cycle start
+	regValid0  bool
+	regWrote0  bool // a blocking write landed this cycle (write gate only)
+	regPend    int64
+	regPendSet bool
+
+	pendingPush []int64
+
+	stats Stats
+}
+
+// Stats aggregates channel activity for the profiling reports.
+type Stats struct {
+	Writes       int64 // successful writes
+	Reads        int64 // successful reads
+	WriteStalls  int64 // blocked/failed write attempts
+	ReadStalls   int64 // blocked/failed read attempts
+	MaxOccupancy int   // high-water mark of FIFO occupancy
+}
+
+// New creates a channel with the given synthesized depth (0 for a register
+// channel).
+func New(name string, depth int) *Channel {
+	if depth < 0 {
+		panic(fmt.Sprintf("channel: negative depth for %q", name))
+	}
+	return &Channel{name: name, depth: depth}
+}
+
+// Name returns the channel's link name.
+func (c *Channel) Name() string { return c.name }
+
+// Depth returns the synthesized depth.
+func (c *Channel) Depth() int { return c.depth }
+
+// Stats returns a copy of the accumulated statistics.
+func (c *Channel) Stats() Stats { return c.stats }
+
+// Len returns the committed occupancy (FIFO channels) or 1/0 for a
+// valid/empty register channel.
+func (c *Channel) Len() int {
+	if c.depth == 0 {
+		if c.regValid {
+			return 1
+		}
+		return 0
+	}
+	return len(c.q)
+}
+
+// BeginCycle snapshots the state reads will observe this cycle.
+func (c *Channel) BeginCycle() {
+	c.startLen = len(c.q)
+	c.reads0 = 0
+	c.reg0, c.regValid0 = c.reg, c.regValid
+	c.regWrote0 = false
+}
+
+// CanRead reports whether a read issued this cycle would succeed.
+func (c *Channel) CanRead() bool {
+	if c.depth == 0 {
+		return c.regValid0
+	}
+	return c.reads0 < c.startLen
+}
+
+// TryRead pops a value. ok is false when no data was visible at the start of
+// the cycle (the caller stalls or, for non-blocking reads, proceeds).
+func (c *Channel) TryRead() (v int64, ok bool) {
+	if c.depth == 0 {
+		if !c.regValid0 {
+			c.stats.ReadStalls++
+			return 0, false
+		}
+		c.regValid0 = false // consumed this cycle
+		c.regValid = false
+		c.stats.Reads++
+		return c.reg0, true
+	}
+	if c.reads0 >= c.startLen {
+		c.stats.ReadStalls++
+		return 0, false
+	}
+	v = c.q[0]
+	c.q = c.q[1:]
+	c.reads0++
+	c.stats.Reads++
+	return v, true
+}
+
+// CanWrite reports whether a blocking write issued this cycle would succeed.
+func (c *Channel) CanWrite() bool {
+	if c.depth == 0 {
+		return !c.regValid0 && !c.regWrote0
+	}
+	return c.startLen+len(c.pendingPush) < c.depth
+}
+
+// TryWrite pushes a value with blocking-write semantics. ok is false when
+// the channel was full at the start of the cycle (the caller stalls).
+func (c *Channel) TryWrite(v int64) bool {
+	if c.depth == 0 {
+		if c.regValid0 || c.regWrote0 {
+			c.stats.WriteStalls++
+			return false
+		}
+		c.regPend, c.regPendSet = v, true
+		c.regWrote0 = true // a second same-cycle write would collide
+		c.stats.Writes++
+		return true
+	}
+	if c.startLen+len(c.pendingPush) >= c.depth {
+		c.stats.WriteStalls++
+		return false
+	}
+	c.pendingPush = append(c.pendingPush, v)
+	c.stats.Writes++
+	return true
+}
+
+// WriteNB pushes with non-blocking semantics and reports whether the value
+// landed. On a register channel it always lands, overwriting the previous
+// value — this is what keeps the paper's free-running-counter channel fresh.
+func (c *Channel) WriteNB(v int64) bool {
+	if c.depth == 0 {
+		c.regPend, c.regPendSet = v, true
+		c.stats.Writes++
+		return true
+	}
+	if c.startLen+len(c.pendingPush) >= c.depth {
+		c.stats.WriteStalls++
+		return false
+	}
+	c.pendingPush = append(c.pendingPush, v)
+	c.stats.Writes++
+	return true
+}
+
+// Commit applies this cycle's writes, making them visible to the next cycle.
+func (c *Channel) Commit() {
+	if c.depth == 0 {
+		if c.regPendSet {
+			c.reg = c.regPend
+			c.regValid = true
+			c.regPendSet = false
+		}
+		return
+	}
+	if len(c.pendingPush) > 0 {
+		c.q = append(c.q, c.pendingPush...)
+		c.pendingPush = c.pendingPush[:0]
+	}
+	if n := len(c.q); n > c.stats.MaxOccupancy {
+		c.stats.MaxOccupancy = n
+	}
+}
+
+// Drain empties the channel and returns everything that was committed, in
+// FIFO order. Host-side readback between kernel runs uses this.
+func (c *Channel) Drain() []int64 {
+	if c.depth == 0 {
+		if !c.regValid {
+			return nil
+		}
+		c.regValid = false
+		return []int64{c.reg}
+	}
+	out := c.q
+	c.q = nil
+	c.startLen = 0
+	return out
+}

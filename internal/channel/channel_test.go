@@ -1,0 +1,322 @@
+package channel
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// step runs one full cycle boundary.
+func step(cs ...*Channel) {
+	for _, c := range cs {
+		c.Commit()
+		c.BeginCycle()
+	}
+}
+
+func TestFIFOBasicOrder(t *testing.T) {
+	c := New("c", 4)
+	c.BeginCycle()
+	for i := int64(0); i < 3; i++ {
+		if !c.TryWrite(i) {
+			t.Fatalf("write %d failed", i)
+		}
+	}
+	step(c)
+	for i := int64(0); i < 3; i++ {
+		v, ok := c.TryRead()
+		if !ok || v != i {
+			t.Fatalf("read %d: got %d, %v", i, v, ok)
+		}
+	}
+	if _, ok := c.TryRead(); ok {
+		t.Fatal("read from empty FIFO succeeded")
+	}
+}
+
+func TestFIFOSameCycleWriteInvisible(t *testing.T) {
+	c := New("c", 4)
+	c.BeginCycle()
+	c.TryWrite(7)
+	if _, ok := c.TryRead(); ok {
+		t.Fatal("same-cycle write must not be readable")
+	}
+	step(c)
+	if v, ok := c.TryRead(); !ok || v != 7 {
+		t.Fatalf("next-cycle read: got %d, %v", v, ok)
+	}
+}
+
+func TestFIFOCapacityBlocks(t *testing.T) {
+	c := New("c", 2)
+	c.BeginCycle()
+	if !c.TryWrite(1) || !c.TryWrite(2) {
+		t.Fatal("writes into empty depth-2 FIFO failed")
+	}
+	if c.TryWrite(3) {
+		t.Fatal("third same-cycle write into depth-2 FIFO succeeded")
+	}
+	step(c)
+	if c.CanWrite() {
+		t.Fatal("CanWrite true on full FIFO")
+	}
+	if c.TryWrite(3) {
+		t.Fatal("write into full FIFO succeeded")
+	}
+	st := c.Stats()
+	if st.WriteStalls != 2 {
+		t.Fatalf("WriteStalls = %d, want 2", st.WriteStalls)
+	}
+}
+
+func TestFIFOPopNotVisibleToWriterSameCycle(t *testing.T) {
+	// A registered full flag: popping this cycle does not free space for a
+	// write in the same cycle.
+	c := New("c", 1)
+	c.BeginCycle()
+	c.TryWrite(1)
+	step(c)
+	if v, ok := c.TryRead(); !ok || v != 1 {
+		t.Fatalf("read: %d, %v", v, ok)
+	}
+	if c.TryWrite(2) {
+		t.Fatal("write into just-popped FIFO must wait a cycle")
+	}
+	step(c)
+	if !c.TryWrite(2) {
+		t.Fatal("write after pop committed failed")
+	}
+}
+
+func TestRegisterChannelFreshness(t *testing.T) {
+	// The paper's depth-0 timestamp channel: the producer non-blockingly
+	// writes the counter each cycle; the consumer always sees the latest.
+	c := New("time_ch", 0)
+	c.BeginCycle()
+	for cycle := int64(1); cycle <= 10; cycle++ {
+		if !c.WriteNB(cycle) {
+			t.Fatalf("nb write at %d failed", cycle)
+		}
+		step(c)
+		if cycle >= 2 {
+			// read sees last committed value (previous cycle's write)
+			v, ok := c.TryRead()
+			if !ok {
+				t.Fatalf("cycle %d: register read failed", cycle)
+			}
+			if v != cycle {
+				t.Fatalf("cycle %d: stale value %d", cycle, v)
+			}
+		}
+	}
+}
+
+func TestRegisterChannelOverwrite(t *testing.T) {
+	c := New("r", 0)
+	c.BeginCycle()
+	c.WriteNB(1)
+	step(c)
+	c.WriteNB(2)
+	step(c)
+	if v, ok := c.TryRead(); !ok || v != 2 {
+		t.Fatalf("got %d, %v; want most recent value 2", v, ok)
+	}
+}
+
+func TestRegisterChannelBlockingHandshake(t *testing.T) {
+	// The paper's sequence channel (Listing 5): blocking write to a depth-0
+	// channel only completes after the consumer pops, so the counter
+	// advances one value per consumption.
+	c := New("seq_ch", 0)
+	c.BeginCycle()
+	if !c.TryWrite(100) {
+		t.Fatal("first blocking write failed")
+	}
+	if c.TryWrite(101) {
+		t.Fatal("second same-cycle blocking write succeeded")
+	}
+	step(c)
+	if c.CanWrite() {
+		t.Fatal("CanWrite true while register holds unconsumed value")
+	}
+	if c.TryWrite(101) {
+		t.Fatal("blocking write while full succeeded")
+	}
+	if v, ok := c.TryRead(); !ok || v != 100 {
+		t.Fatalf("read got %d, %v", v, ok)
+	}
+	step(c)
+	if !c.TryWrite(101) {
+		t.Fatal("write after consumption failed")
+	}
+	step(c)
+	if v, ok := c.TryRead(); !ok || v != 101 {
+		t.Fatalf("read got %d, %v", v, ok)
+	}
+}
+
+func TestRegisterReadEmpty(t *testing.T) {
+	c := New("r", 0)
+	c.BeginCycle()
+	if c.CanRead() {
+		t.Fatal("CanRead on never-written register")
+	}
+	if _, ok := c.TryRead(); ok {
+		t.Fatal("read from never-written register succeeded")
+	}
+	if c.Stats().ReadStalls != 1 {
+		t.Fatalf("ReadStalls = %d", c.Stats().ReadStalls)
+	}
+}
+
+func TestRegisterConsumeThenEmpty(t *testing.T) {
+	c := New("r", 0)
+	c.BeginCycle()
+	c.WriteNB(5)
+	step(c)
+	if _, ok := c.TryRead(); !ok {
+		t.Fatal("first read failed")
+	}
+	if _, ok := c.TryRead(); ok {
+		t.Fatal("second same-cycle read should find register consumed")
+	}
+	step(c)
+	if _, ok := c.TryRead(); ok {
+		t.Fatal("read after consume with no rewrite succeeded")
+	}
+}
+
+func TestDrainFIFO(t *testing.T) {
+	c := New("c", 8)
+	c.BeginCycle()
+	for i := int64(0); i < 5; i++ {
+		c.TryWrite(i * 10)
+	}
+	step(c)
+	got := c.Drain()
+	if len(got) != 5 {
+		t.Fatalf("Drain returned %d values", len(got))
+	}
+	for i, v := range got {
+		if v != int64(i*10) {
+			t.Fatalf("Drain[%d] = %d", i, v)
+		}
+	}
+	if c.Len() != 0 {
+		t.Fatal("channel not empty after drain")
+	}
+	if got := c.Drain(); got != nil {
+		t.Fatalf("second drain returned %v", got)
+	}
+}
+
+func TestDrainRegister(t *testing.T) {
+	c := New("r", 0)
+	c.BeginCycle()
+	c.WriteNB(9)
+	step(c)
+	if got := c.Drain(); len(got) != 1 || got[0] != 9 {
+		t.Fatalf("Drain = %v", got)
+	}
+	if got := c.Drain(); got != nil {
+		t.Fatalf("second Drain = %v", got)
+	}
+}
+
+func TestStatsAndAccessors(t *testing.T) {
+	c := New("c", 3)
+	if c.Name() != "c" || c.Depth() != 3 {
+		t.Fatal("accessors wrong")
+	}
+	c.BeginCycle()
+	c.TryWrite(1)
+	c.TryWrite(2)
+	step(c)
+	c.TryRead()
+	st := c.Stats()
+	if st.Writes != 2 || st.Reads != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.MaxOccupancy != 2 {
+		t.Fatalf("MaxOccupancy = %d, want 2", st.MaxOccupancy)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+}
+
+func TestNegativeDepthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New("bad", -1)
+}
+
+// Property: for any interleaving of writes and cycle steps on a FIFO, reads
+// return exactly the successfully written values, in order.
+func TestFIFOPreservesOrderProperty(t *testing.T) {
+	f := func(vals []int64, depthRaw uint8) bool {
+		depth := int(depthRaw%16) + 1
+		c := New("p", depth)
+		c.BeginCycle()
+		var written []int64
+		for i, v := range vals {
+			if c.TryWrite(v) {
+				written = append(written, v)
+			}
+			if i%3 == 2 {
+				step(c)
+			}
+		}
+		step(c)
+		// drain via reads across cycles
+		var read []int64
+		for guard := 0; guard < len(vals)+8; guard++ {
+			v, ok := c.TryRead()
+			if !ok {
+				step(c)
+				if !c.CanRead() {
+					break
+				}
+				continue
+			}
+			read = append(read, v)
+		}
+		if len(read) != len(written) {
+			return false
+		}
+		for i := range read {
+			if read[i] != written[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a register channel never blocks a non-blocking writer and reads
+// always return the most recently committed value.
+func TestRegisterAlwaysFreshProperty(t *testing.T) {
+	f := func(vals []int64) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		c := New("p", 0)
+		c.BeginCycle()
+		for _, v := range vals {
+			if !c.WriteNB(v) {
+				return false
+			}
+			step(c)
+		}
+		got, ok := c.TryRead()
+		return ok && got == vals[len(vals)-1]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,381 @@
+// Package core implements the paper's primary contribution: the ibuffer, an
+// intelligent trace buffer for dynamic profiling and debugging of
+// OpenCL-for-FPGA designs (§4, Figures 1 and 3).
+//
+// An ibuffer is a replicable autorun kernel with:
+//
+//   - a command channel that drives its state machine
+//     (reset / sample / stop / read),
+//   - one data input channel fed non-blockingly by instrumentation sites in
+//     the design under test,
+//   - a logic-function block that processes arriving data on the fly
+//     (plain recording, latency pairing, smart watchpoints with address
+//     match, bound checking, value-invariance checking, or histogramming),
+//   - a trace buffer held in *local* memory, written linearly (stop when
+//     full) or cyclically (flight recorder), so profiling never perturbs
+//     the global-memory behaviour of the design under test,
+//   - a data output channel that drains the trace to the host interface.
+//
+// The ibuffer here is generated as ordinary kernel IR — the same way the
+// paper writes it in OpenCL — and compiled by internal/hls like any other
+// kernel. Its stall-free property (one loop iteration launched per cycle) is
+// therefore a *verified compiler result* (the II=1 log line), not an
+// assumption.
+package core
+
+import (
+	"fmt"
+
+	"oclfpga/internal/kir"
+	"oclfpga/internal/primitives"
+)
+
+// Command values written into an ibuffer's command channel.
+const (
+	CmdReset        int64 = 0 // clear pointers, restart sampling
+	CmdSampleLinear int64 = 1 // sample until the trace buffer fills
+	CmdSampleCyclic int64 = 2 // sample as a flight recorder
+	CmdStop         int64 = 3 // freeze
+	CmdRead         int64 = 4 // stream the trace buffer to the output channel
+)
+
+// State machine values (Figure 3).
+const (
+	StReset  int64 = 0
+	StSample int64 = 1
+	StStop   int64 = 2
+	StRead   int64 = 3
+)
+
+// Function selects the ibuffer's logic-function block.
+type Function int
+
+// Logic functions.
+const (
+	// Record stores (timestamp, data) for every arriving word — the plain
+	// flight recorder.
+	Record Function = iota
+	// StallMonitor stores (timestamp, data) with the timestamp taken inside
+	// the ibuffer when the data channel has data (§5.1): latencies between
+	// paired snapshot sites are recovered host-side.
+	StallMonitor
+	// LatencyPair stores (timestamp, timestamp-delta since the previous
+	// arrival): in-buffer processing so the trace directly contains
+	// latencies.
+	LatencyPair
+	// Watchpoint stores (timestamp, word) only when the packed address
+	// matches the watched address configured via the address channel (§5.2).
+	Watchpoint
+	// BoundCheck stores (timestamp, word) when the packed address falls
+	// outside [BoundLo, BoundHi) — on-the-fly address bound checking.
+	BoundCheck
+	// InvarianceCheck stores (timestamp, word) when the value (tag) at the
+	// watched address changes — value-invariance checking.
+	InvarianceCheck
+	// Histogram bins timestamp deltas between consecutive arrivals into a
+	// local histogram read out in place of the trace.
+	Histogram
+)
+
+func (f Function) String() string {
+	switch f {
+	case Record:
+		return "record"
+	case StallMonitor:
+		return "stall-monitor"
+	case LatencyPair:
+		return "latency-pair"
+	case Watchpoint:
+		return "watchpoint"
+	case BoundCheck:
+		return "bound-check"
+	case InvarianceCheck:
+		return "invariance-check"
+	case Histogram:
+		return "histogram"
+	}
+	return fmt.Sprintf("function(%d)", int(f))
+}
+
+// NeedsAddrChannel reports whether the function consumes watch addresses.
+func (f Function) NeedsAddrChannel() bool {
+	return f == Watchpoint || f == InvarianceCheck
+}
+
+// TagBits is the width of the tag field in packed watchpoint words: the
+// paper's monitor_address carries a ushort tag next to the address.
+const TagBits = 16
+
+// PackAddrTag packs an address (element index) and a 16-bit tag into one
+// data word for the watchpoint-family functions.
+func PackAddrTag(addr, tag int64) int64 {
+	return addr<<TagBits | (tag & (1<<TagBits - 1))
+}
+
+// UnpackAddrTag splits a packed watchpoint word.
+func UnpackAddrTag(w int64) (addr, tag int64) {
+	return w >> TagBits, w & (1<<TagBits - 1)
+}
+
+// Config describes one ibuffer bank.
+type Config struct {
+	// Name is the kernel name (default "ibuffer").
+	Name string
+	// N is the number of instances (num_compute_units); each instance gets
+	// its own command/data/output channels (default 1).
+	N int
+	// Depth is the trace-buffer depth in entries (the paper's DEPTH define,
+	// 1024 in Table 1). Default 1024.
+	Depth int
+	// Func selects the logic-function block.
+	Func Function
+	// BoundLo/BoundHi configure BoundCheck (addresses outside [lo,hi) are
+	// violations).
+	BoundLo, BoundHi int64
+	// DataDepth is the data_in channel depth (default 4): enough to absorb
+	// write bursts while the ibuffer drains one word per cycle.
+	DataDepth int
+	// Timer is the get_time library function to use; if nil, one is
+	// registered (or reused if the program already has "get_time").
+	Timer *kir.LibFunc
+}
+
+func (c *Config) fill() {
+	if c.Name == "" {
+		c.Name = "ibuffer"
+	}
+	if c.N == 0 {
+		c.N = 1
+	}
+	if c.Depth == 0 {
+		c.Depth = 1024
+	}
+	if c.DataDepth == 0 {
+		c.DataDepth = 4
+	}
+}
+
+// IBuffer is a built ibuffer bank: the replicated kernel plus its channels.
+type IBuffer struct {
+	Config Config
+	Kernel *kir.Kernel
+	Cmd    []*kir.Chan // command channels, one per instance
+	Data   []*kir.Chan // data input channels
+	OutT   []*kir.Chan // trace read-out channels: timestamps
+	OutD   []*kir.Chan // trace read-out channels: data words
+	Addr   []*kir.Chan // watch-address channels (watchpoint family only)
+	Timer  *kir.LibFunc
+}
+
+// WordsPerEntry is how many words the read state emits per trace entry
+// (timestamp, then data).
+const WordsPerEntry = 2
+
+// ReadoutWords is the total number of words one CmdRead drains.
+func (ib *IBuffer) ReadoutWords() int { return ib.Config.Depth * WordsPerEntry }
+
+// Build generates the ibuffer kernel and channels into p.
+func Build(p *kir.Program, cfg Config) (*IBuffer, error) {
+	cfg.fill()
+	if cfg.N < 1 || cfg.Depth < 1 {
+		return nil, fmt.Errorf("core: bad config %+v", cfg)
+	}
+	if cfg.Func == BoundCheck && cfg.BoundHi <= cfg.BoundLo {
+		return nil, fmt.Errorf("core: bound check needs BoundLo < BoundHi")
+	}
+	timer := cfg.Timer
+	if timer == nil {
+		if timer = p.LibByName("get_time"); timer == nil {
+			timer = primitives.AddHDLTimer(p)
+		}
+	}
+
+	ib := &IBuffer{
+		Config: cfg,
+		Cmd:    p.AddChanArray(cfg.Name+"_cmd_c", cfg.N, 2, kir.I32),
+		Data:   p.AddChanArray(cfg.Name+"_data_in", cfg.N, cfg.DataDepth, kir.I64),
+		OutT:   p.AddChanArray(cfg.Name+"_out_t_c", cfg.N, 2, kir.I64),
+		OutD:   p.AddChanArray(cfg.Name+"_out_d_c", cfg.N, 2, kir.I64),
+		Timer:  timer,
+	}
+	if cfg.Func.NeedsAddrChannel() {
+		ib.Addr = p.AddChanArray(cfg.Name+"_addr_in_c", cfg.N, 2, kir.I64)
+	}
+
+	k := p.AddKernel(cfg.Name, kir.Autorun)
+	k.Role = kir.RoleIBuffer
+	k.Tag = string(funcAreaTag(cfg.Func))
+	k.NumComputeUnits = cfg.N
+	ib.Kernel = k
+
+	traceT := k.AddLocal("trace_t", kir.I64, cfg.Depth)
+	traceD := k.AddLocal("trace_d", kir.I64, cfg.Depth)
+
+	b := k.NewBuilder()
+	depth := b.Ci32(int64(cfg.Depth))
+
+	// carried state: state, cyclic-mode flag, write pointer, read pointer,
+	// watched address, last value/timestamp, wrapped flag
+	init := []kir.Val{
+		b.Ci32(StStop), // state
+		b.Cbool(false), // cyclic mode
+		b.Ci32(0),      // wptr
+		b.Ci32(0),      // rptr
+		b.Ci64(-1),     // watch address (none)
+		b.Ci64(0),      // last value / last timestamp
+		b.Cbool(false), // trace buffer has wrapped at least once
+	}
+	b.Forever(init, func(lb *kir.Builder, _ kir.Val, c []kir.Val) []kir.Val {
+		state, cyc, wptr, rptr, watch, last, wrappedEver := c[0], c[1], c[2], c[3], c[4], c[5], c[6]
+
+		cmd, cvalid := lb.ChanReadNBCU(ib.Cmd)
+		din, dvalid := lb.ChanReadNBCU(ib.Data)
+		// the timestamp is taken inside the ibuffer when data arrives; the
+		// din argument manufactures the dependence (§5.1, Figure 4)
+		t := lb.Call(timer, din)
+
+		// watch-address updates
+		watchNext := watch
+		if cfg.Func.NeedsAddrChannel() {
+			wa, wvalid := lb.ChanReadNBCU(ib.Addr)
+			watchNext = lb.Select(wvalid, wa, watch)
+		}
+
+		// command decode: state override when a command arrives
+		cmdState := lb.Select(lb.CmpEQ(cmd, lb.Ci32(CmdReset)), lb.Ci32(StReset),
+			lb.Select(lb.CmpLE(cmd, lb.Ci32(CmdSampleCyclic)), lb.Ci32(StSample),
+				lb.Select(lb.CmpEQ(cmd, lb.Ci32(CmdStop)), lb.Ci32(StStop), lb.Ci32(StRead))))
+		st := lb.Select(cvalid, cmdState, state)
+		isSampleCmd := lb.And(cvalid, lb.Or(lb.CmpEQ(cmd, lb.Ci32(CmdSampleLinear)),
+			lb.CmpEQ(cmd, lb.Ci32(CmdSampleCyclic))))
+		cycNext := lb.Select(isSampleCmd, lb.CmpEQ(cmd, lb.Ci32(CmdSampleCyclic)), cyc)
+
+		// logic-function block: which arrivals are accepted, and the payload
+		accept, payload, lastNext := buildLogic(lb, cfg, din, dvalid, t, watchNext, last)
+
+		// trace-buffer write (sample state, space permitting)
+		sampling := lb.CmpEQ(st, lb.Ci32(StSample))
+		full := lb.CmpGE(wptr, depth)
+		linearFull := lb.And(lb.Xor(cyc, lb.Cbool(true)), full)
+		wr := lb.And(sampling, lb.And(accept, lb.Xor(linearFull, lb.Cbool(true))))
+		slot := lb.Select(lb.CmpGE(wptr, depth), lb.Ci32(0), wptr) // cyclic wrap
+		if cfg.Func == Histogram {
+			// in-place histogram: bucket by payload (the latency delta)
+			bucket := lb.Select(lb.CmpGE(payload, depth), lb.Sub(depth, lb.Ci32(1)), payload)
+			lb.If(wr, func(tb *kir.Builder) {
+				cur := tb.LocalLoad(traceD, bucket)
+				tb.LocalStore(traceD, bucket, tb.Add(cur, tb.Ci64(1)))
+				tb.LocalStore(traceT, bucket, t)
+			})
+		} else {
+			lb.If(wr, func(tb *kir.Builder) {
+				tb.LocalStore(traceT, slot, t)
+				tb.LocalStore(traceD, slot, payload)
+			})
+		}
+		wrapped := lb.CmpGE(lb.Add(slot, lb.Ci32(1)), depth)
+		bumped := lb.Select(wrapped, lb.Select(cyc, lb.Ci32(0), depth), lb.Add(slot, lb.Ci32(1)))
+		wptrNext := lb.Select(wr, bumped, wptr)
+		wrappedNext := lb.Or(wrappedEver, lb.And(wr, wrapped))
+		if cfg.Func == Histogram {
+			// the histogram bins in place: the write pointer never advances
+			// (so the buffer never "fills") and the whole table is valid
+			wptrNext = wptr
+			wrappedNext = lb.Or(wrappedEver, wr)
+		}
+
+		// read state: stream one entry per iteration on the output channel.
+		// Entries beyond the valid extent (never written since the last
+		// reset) are masked to zero so host-side decoding is unambiguous —
+		// the RAM itself cannot be bulk-cleared in one cycle.
+		reading := lb.CmpEQ(st, lb.Ci32(StRead))
+		lb.If(reading, func(tb *kir.Builder) {
+			tt := tb.LocalLoad(traceT, rptr)
+			dd := tb.LocalLoad(traceD, rptr)
+			valid := tb.Or(tb.And(cyc, wrappedEver), tb.CmpLT(rptr, wptr))
+			if cfg.Func == Histogram {
+				valid = wrappedEver // the whole table is live once anything was binned
+			}
+			tb.ChanWriteCU(ib.OutT, tb.Select(valid, tt, tb.Ci64(0)))
+			tb.ChanWriteCU(ib.OutD, tb.Select(valid, dd, tb.Ci64(0)))
+		})
+		rptrNext := lb.Select(reading, lb.Add(rptr, lb.Ci32(1)), rptr)
+		drained := lb.And(reading, lb.CmpGE(lb.Add(rptr, lb.Ci32(1)), depth))
+
+		// reset clears the pointers and restarts sampling
+		isReset := lb.CmpEQ(st, lb.Ci32(StReset))
+		wptrNext = lb.Select(isReset, lb.Ci32(0), wptrNext)
+		rptrNext = lb.Select(isReset, lb.Ci32(0), rptrNext)
+		lastNext = lb.Select(isReset, lb.Ci64(0), lastNext)
+		wrappedNext = lb.Select(isReset, lb.Cbool(false), wrappedNext)
+
+		// automatic transitions: reset->sample, drained->stop, linear full->stop
+		stNext := lb.Select(isReset, lb.Ci32(StSample),
+			lb.Select(drained, lb.Ci32(StStop),
+				lb.Select(lb.And(sampling, linearFull), lb.Ci32(StStop), st)))
+
+		return []kir.Val{stNext, cycNext, wptrNext, rptrNext, watchNext, lastNext, wrappedNext}
+	})
+	if cfg.Func != Histogram {
+		// #pragma ivdep: the trace buffer's writes (sample state) and reads
+		// (read state) never overlap, so the conservative local-memory
+		// ordering constraint would only destroy the stall-free II=1
+		// property the whole design exists to provide. The histogram
+		// variant genuinely carries a read-modify-write dependence and must
+		// pay the II.
+		b.IVDep()
+	}
+	return ib, nil
+}
+
+// buildLogic emits the per-function acceptance logic. It returns the accept
+// predicate, the payload to record, and the updated "last" carried value.
+func buildLogic(lb *kir.Builder, cfg Config, din, dvalid, t, watch, last kir.Val) (accept, payload, lastNext kir.Val) {
+	switch cfg.Func {
+	case Record, StallMonitor:
+		return dvalid, din, last
+	case LatencyPair, Histogram:
+		// in-buffer processing: payload is the delta since the previous
+		// arrival's timestamp
+		delta := lb.Sub(t, last)
+		lastNext = lb.Select(dvalid, t, last)
+		return dvalid, delta, lastNext
+	case Watchpoint:
+		addr := lb.Shr(din, lb.Ci32(TagBits))
+		match := lb.And(dvalid, lb.CmpEQ(addr, watch))
+		return match, din, last
+	case BoundCheck:
+		addr := lb.Shr(din, lb.Ci32(TagBits))
+		viol := lb.Or(lb.CmpLT(addr, lb.Ci64(cfg.BoundLo)), lb.CmpGE(addr, lb.Ci64(cfg.BoundHi)))
+		return lb.And(dvalid, viol), din, last
+	case InvarianceCheck:
+		addr := lb.Shr(din, lb.Ci32(TagBits))
+		tag := lb.And(din, lb.Ci64(1<<TagBits-1))
+		match := lb.And(dvalid, lb.CmpEQ(addr, watch))
+		changed := lb.And(match, lb.CmpNE(tag, last))
+		lastNext = lb.Select(match, tag, last)
+		return changed, din, lastNext
+	}
+	return dvalid, din, last
+}
+
+// funcAreaTag maps the logic function to the area model's IBufFunc tag.
+func funcAreaTag(f Function) string {
+	switch f {
+	case Record:
+		return "record"
+	case StallMonitor:
+		return "stall-mon"
+	case LatencyPair:
+		return "latency"
+	case Watchpoint:
+		return "watch"
+	case BoundCheck:
+		return "bound"
+	case InvarianceCheck:
+		return "invariant"
+	case Histogram:
+		return "histogram"
+	}
+	return "record"
+}

@@ -1,0 +1,602 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"oclfpga/internal/core"
+	"oclfpga/internal/device"
+	"oclfpga/internal/hls"
+	"oclfpga/internal/host"
+	"oclfpga/internal/kir"
+	"oclfpga/internal/monitor"
+	"oclfpga/internal/sim"
+	"oclfpga/internal/trace"
+)
+
+// rig is a full build: an ibuffer bank, its host interface, and a DUT that
+// feeds instance 0 with values n, n+1, … via take_snapshot.
+type rig struct {
+	p   *kir.Program
+	ib  *core.IBuffer
+	ifc *host.Interface
+	d   *hls.Design
+	m   *sim.Machine
+	ctl *host.Controller
+}
+
+func buildRig(t *testing.T, cfg core.Config, dut func(p *kir.Program, ib *core.IBuffer)) *rig {
+	t.Helper()
+	p := kir.NewProgram("rig")
+	ib, err := core.Build(p, cfg)
+	if err != nil {
+		t.Fatalf("core.Build: %v", err)
+	}
+	ifc := host.BuildInterface(p, ib)
+	if dut != nil {
+		dut(p, ib)
+	}
+	d, err := hls.Compile(p, device.StratixV(), hls.Options{})
+	if err != nil {
+		t.Fatalf("Compile: %v\n%s", err, p.Dump())
+	}
+	m := sim.New(d, sim.Options{})
+	return &rig{p: p, ib: ib, ifc: ifc, d: d, m: m, ctl: host.NewController(m, ifc)}
+}
+
+// snapshotDUT builds a single-task kernel feeding `count` consecutive values
+// starting at `base` into ibuffer instance 0.
+func snapshotDUT(count int64) func(p *kir.Program, ib *core.IBuffer) {
+	return func(p *kir.Program, ib *core.IBuffer) {
+		k := p.AddKernel("dut", kir.SingleTask)
+		base := k.AddScalar("base", kir.I64)
+		z := k.AddGlobal("z", kir.I64)
+		b := k.NewBuilder()
+		b.ForN("i", count, nil, func(lb *kir.Builder, i kir.Val, _ []kir.Val) []kir.Val {
+			monitor.TakeSnapshot(lb, ib, 0, lb.Add(base.Val, i))
+			return nil
+		})
+		b.Store(z, b.Ci32(0), base.Val)
+	}
+}
+
+func (r *rig) launchDUT(t *testing.T, base int64) {
+	t.Helper()
+	name := "z"
+	if r.m.Buffer(name) == nil {
+		r.m.NewBuffer(name, kir.I64, 1)
+	}
+	if _, err := r.m.Launch("dut", sim.Args{"base": base, "z": r.m.Buffer(name)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.m.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIBufferCompilesStallFree(t *testing.T) {
+	r := buildRig(t, core.Config{Depth: 16}, snapshotDUT(8))
+	// §4: the compiler log must confirm single-cycle launch of the ibuffer
+	found := false
+	for _, l := range r.d.Log {
+		if strings.Contains(l, "kernel ibuffer") && strings.Contains(l, "II=1") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("ibuffer not stall-free; log:\n%s", strings.Join(r.d.Log, "\n"))
+	}
+}
+
+func TestRecordLinearSampling(t *testing.T) {
+	r := buildRig(t, core.Config{Depth: 16}, snapshotDUT(8))
+	if err := r.ctl.StartLinear(0); err != nil {
+		t.Fatal(err)
+	}
+	r.launchDUT(t, 100)
+	if err := r.ctl.Stop(0); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := r.ctl.ReadTrace(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs = trace.Valid(recs)
+	if len(recs) != 8 {
+		t.Fatalf("recorded %d entries, want 8: %+v", len(recs), recs)
+	}
+	for i, rec := range recs {
+		if rec.Data != int64(100+i) {
+			t.Fatalf("entry %d data = %d, want %d", i, rec.Data, 100+i)
+		}
+	}
+	if !trace.OrderedByT(recs) {
+		t.Fatalf("timestamps not monotonic: %+v", recs)
+	}
+}
+
+func TestLinearStopsWhenFull(t *testing.T) {
+	r := buildRig(t, core.Config{Depth: 8}, snapshotDUT(40))
+	if err := r.ctl.StartLinear(0); err != nil {
+		t.Fatal(err)
+	}
+	r.launchDUT(t, 0)
+	recs, err := r.ctl.ReadTrace(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs = trace.Valid(recs)
+	if len(recs) != 8 {
+		t.Fatalf("linear buffer recorded %d entries, want exactly DEPTH=8", len(recs))
+	}
+	// the first 8 samples, not the last
+	for i, rec := range recs {
+		if rec.Data != int64(i) {
+			t.Fatalf("entry %d = %d, want %d (linear keeps the head)", i, rec.Data, i)
+		}
+	}
+}
+
+func TestCyclicKeepsLatest(t *testing.T) {
+	r := buildRig(t, core.Config{Depth: 8}, snapshotDUT(40))
+	if err := r.ctl.StartCyclic(0); err != nil {
+		t.Fatal(err)
+	}
+	r.launchDUT(t, 0)
+	if err := r.ctl.Stop(0); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := r.ctl.ReadTrace(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs = trace.Valid(recs)
+	if len(recs) != 8 {
+		t.Fatalf("cyclic buffer has %d entries, want 8", len(recs))
+	}
+	// flight recorder: the 8 most recent samples (32..39) in some rotation
+	seen := map[int64]bool{}
+	for _, rec := range recs {
+		seen[rec.Data] = true
+	}
+	for v := int64(32); v < 40; v++ {
+		if !seen[v] {
+			t.Fatalf("cyclic buffer lost recent sample %d; have %+v", v, recs)
+		}
+	}
+}
+
+func TestResetRestartsSampling(t *testing.T) {
+	r := buildRig(t, core.Config{Depth: 8}, snapshotDUT(4))
+	if err := r.ctl.StartLinear(0); err != nil {
+		t.Fatal(err)
+	}
+	r.launchDUT(t, 10)
+	// reset discards pointers and goes straight back to sampling
+	if err := r.ctl.Reset(0); err != nil {
+		t.Fatal(err)
+	}
+	r.launchDUT(t, 50)
+	if err := r.ctl.Stop(0); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := r.ctl.ReadTrace(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs = trace.Valid(recs)
+	if len(recs) != 4 {
+		t.Fatalf("%d entries after reset, want 4", len(recs))
+	}
+	for i, rec := range recs {
+		if rec.Data != int64(50+i) {
+			t.Fatalf("entry %d = %d, want %d (pre-reset data must be overwritten)", i, rec.Data, 50+i)
+		}
+	}
+}
+
+func TestNoSamplingWhileStopped(t *testing.T) {
+	r := buildRig(t, core.Config{Depth: 8}, snapshotDUT(4))
+	// never started: arrivals must be ignored
+	r.launchDUT(t, 7)
+	recs, err := r.ctl.ReadTrace(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(trace.Valid(recs)); n != 0 {
+		t.Fatalf("stopped ibuffer recorded %d entries", n)
+	}
+}
+
+func TestLatencyPairProcessing(t *testing.T) {
+	r := buildRig(t, core.Config{Depth: 16, Func: core.LatencyPair}, snapshotDUT(6))
+	if err := r.ctl.StartLinear(0); err != nil {
+		t.Fatal(err)
+	}
+	r.launchDUT(t, 0)
+	if err := r.ctl.Stop(0); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := r.ctl.ReadTrace(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs = trace.Valid(recs)
+	if len(recs) != 6 {
+		t.Fatalf("%d entries, want 6", len(recs))
+	}
+	// in-buffer processing: payload is the inter-arrival delta; after the
+	// first sample, an II=1 snapshot loop produces small constant deltas
+	for i := 1; i < len(recs); i++ {
+		if recs[i].Data <= 0 || recs[i].Data > 16 {
+			t.Fatalf("delta[%d] = %d, want small positive inter-arrival gap", i, recs[i].Data)
+		}
+	}
+}
+
+// watchDUT monitors a sequence of (addr, tag) pairs through instance 0: the
+// pairs live in global buffers and one monitor_address site inside a loop
+// streams them — a single static call site per instance, as the paper's
+// channel rules require (each site gets its own ibuffer id).
+func watchDUT(t *testing.T, r *rig, pairs [][2]int64, watchAddr int64) {
+	t.Helper()
+	k := r.p.AddKernel("watchdut", kir.SingleTask)
+	addrs := k.AddGlobal("addrs", kir.I64)
+	tags := k.AddGlobal("tags", kir.I64)
+	z := k.AddGlobal("z2", kir.I64)
+	b := k.NewBuilder()
+	if watchAddr >= 0 {
+		monitor.AddWatch(b, r.ib, 0, b.Ci64(watchAddr))
+	}
+	b.ForN("i", int64(len(pairs)), nil, func(lb *kir.Builder, i kir.Val, _ []kir.Val) []kir.Val {
+		a := lb.Load(addrs, i)
+		tg := lb.Load(tags, i)
+		monitor.MonitorAddress(lb, r.ib, 0, a, tg)
+		return nil
+	})
+	b.Store(z, b.Ci32(0), b.Ci64(1))
+}
+
+// buildWatchRig compiles a rig whose DUT streams pairs through instance 0.
+func buildWatchRig(t *testing.T, cfg core.Config, pairs [][2]int64, watchAddr int64) *rig {
+	t.Helper()
+	p := kir.NewProgram("rig")
+	ib, err := core.Build(p, cfg)
+	if err != nil {
+		t.Fatalf("core.Build: %v", err)
+	}
+	ifc := host.BuildInterface(p, ib)
+	r := &rig{p: p, ib: ib, ifc: ifc}
+	watchDUT(t, r, pairs, watchAddr)
+	d, err := hls.Compile(p, device.StratixV(), hls.Options{})
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	r.d = d
+	r.m = sim.New(d, sim.Options{})
+	r.ctl = host.NewController(r.m, ifc)
+	ba := r.m.NewBuffer("addrs", kir.I64, len(pairs))
+	bt := r.m.NewBuffer("tags", kir.I64, len(pairs))
+	for i, pr := range pairs {
+		ba.Data[i] = pr[0]
+		bt.Data[i] = pr[1]
+	}
+	r.m.NewBuffer("z2", kir.I64, 1)
+	return r
+}
+
+func (r *rig) launchWatchDUT(t *testing.T) {
+	t.Helper()
+	if _, err := r.m.Launch("watchdut", sim.Args{
+		"addrs": r.m.Buffer("addrs"), "tags": r.m.Buffer("tags"), "z2": r.m.Buffer("z2"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.m.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWatchpointMatchesAddress(t *testing.T) {
+	pairs := [][2]int64{{5, 10}, {6, 20}, {5, 30}, {7, 40}, {5, 50}}
+	r := buildWatchRig(t, core.Config{Depth: 16, Func: core.Watchpoint}, pairs, 5)
+	if err := r.ctl.StartLinear(0); err != nil {
+		t.Fatal(err)
+	}
+	r.launchWatchDUT(t)
+	if err := r.ctl.Stop(0); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := r.ctl.ReadTrace(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := trace.DecodeWatch(trace.Valid(recs), core.TagBits)
+	if len(evs) != 3 {
+		t.Fatalf("watchpoint recorded %d events, want 3: %+v", len(evs), evs)
+	}
+	wantTags := []int64{10, 30, 50}
+	for i, ev := range evs {
+		if ev.Addr != 5 || ev.Tag != wantTags[i] {
+			t.Fatalf("event %d = %+v, want addr 5 tag %d", i, ev, wantTags[i])
+		}
+	}
+}
+
+func TestBoundCheckFlagsViolations(t *testing.T) {
+	pairs := [][2]int64{{10, 1}, {99, 2}, {15, 3}, {7, 4}, {20, 5}}
+	r := buildWatchRig(t, core.Config{Depth: 16, Func: core.BoundCheck, BoundLo: 10, BoundHi: 20},
+		pairs, -1)
+	if err := r.ctl.StartLinear(0); err != nil {
+		t.Fatal(err)
+	}
+	r.launchWatchDUT(t)
+	if err := r.ctl.Stop(0); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := r.ctl.ReadTrace(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := trace.DecodeWatch(trace.Valid(recs), core.TagBits)
+	if len(evs) != 3 {
+		t.Fatalf("bound check flagged %d, want 3 (addresses 99, 7, 20): %+v", len(evs), evs)
+	}
+	wantAddrs := []int64{99, 7, 20}
+	for i, ev := range evs {
+		if ev.Addr != wantAddrs[i] {
+			t.Fatalf("violation %d addr = %d, want %d", i, ev.Addr, wantAddrs[i])
+		}
+	}
+}
+
+func TestInvarianceCheckDetectsChanges(t *testing.T) {
+	pairs := [][2]int64{{3, 7}, {3, 7}, {3, 9}, {4, 1}, {3, 9}, {3, 2}}
+	r := buildWatchRig(t, core.Config{Depth: 16, Func: core.InvarianceCheck}, pairs, 3)
+	if err := r.ctl.StartLinear(0); err != nil {
+		t.Fatal(err)
+	}
+	r.launchWatchDUT(t)
+	if err := r.ctl.Stop(0); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := r.ctl.ReadTrace(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := trace.DecodeWatch(trace.Valid(recs), core.TagBits)
+	// changes at addr 3: 0->7, 7->9, 9->2 (the second 9 is no change)
+	if len(evs) != 3 {
+		t.Fatalf("invariance check recorded %d events, want 3: %+v", len(evs), evs)
+	}
+	wantTags := []int64{7, 9, 2}
+	for i, ev := range evs {
+		if ev.Tag != wantTags[i] {
+			t.Fatalf("change %d tag = %d, want %d", i, ev.Tag, wantTags[i])
+		}
+	}
+}
+
+func TestReplicatedInstancesIsolated(t *testing.T) {
+	r := buildRig(t, core.Config{Depth: 8, N: 3}, func(p *kir.Program, ib *core.IBuffer) {
+		k := p.AddKernel("dut", kir.SingleTask)
+		z := k.AddGlobal("z", kir.I64)
+		b := k.NewBuilder()
+		monitor.TakeSnapshot(b, ib, 0, b.Ci64(111))
+		monitor.TakeSnapshot(b, ib, 1, b.Ci64(222))
+		monitor.TakeSnapshot(b, ib, 2, b.Ci64(333))
+		b.Store(z, b.Ci32(0), b.Ci64(1))
+	})
+	for id := 0; id < 3; id++ {
+		if err := r.ctl.StartLinear(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.launchDUT(t, 0)
+	want := [][]int64{{111}, {222}, {333}}
+	for id := 0; id < 3; id++ {
+		if err := r.ctl.Stop(id); err != nil {
+			t.Fatal(err)
+		}
+		recs, err := r.ctl.ReadTrace(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs = trace.Valid(recs)
+		if len(recs) != len(want[id]) {
+			t.Fatalf("instance %d has %d entries, want %d", id, len(recs), len(want[id]))
+		}
+		for i, rec := range recs {
+			if rec.Data != want[id][i] {
+				t.Fatalf("instance %d entry %d = %d, want %d", id, i, rec.Data, want[id][i])
+			}
+		}
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	p := kir.NewProgram("bad")
+	if _, err := core.Build(p, core.Config{Func: core.BoundCheck}); err == nil {
+		t.Fatal("bound check without bounds accepted")
+	}
+	if _, err := core.Build(p, core.Config{Depth: -1}); err == nil {
+		t.Fatal("negative depth accepted")
+	}
+}
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	for _, c := range [][2]int64{{0, 0}, {5, 65535}, {1 << 30, 1234}} {
+		w := core.PackAddrTag(c[0], c[1])
+		a, tg := core.UnpackAddrTag(w)
+		if a != c[0] || tg != c[1] {
+			t.Fatalf("round trip (%d,%d) -> (%d,%d)", c[0], c[1], a, tg)
+		}
+	}
+}
+
+func TestFunctionStrings(t *testing.T) {
+	if core.Record.String() != "record" || core.Watchpoint.String() != "watchpoint" {
+		t.Fatal("function names wrong")
+	}
+	if !core.Watchpoint.NeedsAddrChannel() || core.Record.NeedsAddrChannel() {
+		t.Fatal("NeedsAddrChannel wrong")
+	}
+}
+
+func TestHistogramFunction(t *testing.T) {
+	// The histogram's in-place read-modify-write genuinely carries a
+	// local-memory dependence, so its loop pays II > 1 (unlike the ivdep'd
+	// recording functions); a deep data channel absorbs the producer burst
+	// so nothing is dropped. Steady-state deltas then reflect the ibuffer's
+	// own drain rate (its II), piling into one bucket.
+	r := buildRig(t, core.Config{Depth: 32, Func: core.Histogram, DataDepth: 64}, snapshotDUT(40))
+	if err := r.ctl.StartLinear(0); err != nil {
+		t.Fatal(err)
+	}
+	r.launchDUT(t, 0)
+	// the histogram drains slower than line rate (its II > 1): let the data
+	// channel empty before freezing the state machine
+	r.m.Step(600)
+	if err := r.ctl.Stop(0); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := r.ctl.ReadTrace(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// bucket b's count is in recs[b].Data
+	var total, peak int64
+	peakBucket := -1
+	for b, rec := range recs {
+		total += rec.Data
+		if rec.Data > peak {
+			peak = rec.Data
+			peakBucket = b
+		}
+	}
+	if total != 40 {
+		t.Fatalf("histogram total = %d, want 40 samples binned", total)
+	}
+	// steady-state deltas equal the drain cadence: one fixed small bucket
+	// holds nearly everything (the first sample's delta is its raw
+	// timestamp, clamped into the last bucket)
+	if peakBucket <= 0 || peakBucket > 8 {
+		t.Fatalf("peak bucket = %d, want a small constant delta: %+v", peakBucket, recs[:8])
+	}
+	if peak < 35 {
+		t.Fatalf("peak count = %d, want ~39", peak)
+	}
+}
+
+func TestStallMonitorPairAcrossInstances(t *testing.T) {
+	// Two instances fed by two snapshot sites with a fixed pipeline gap:
+	// paired latencies must be a constant.
+	p := kir.NewProgram("pair")
+	ib, err := core.Build(p, core.Config{Depth: 32, N: 2, Func: core.StallMonitor})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ifc := host.BuildInterface(p, ib)
+	k := p.AddKernel("dut", kir.SingleTask)
+	z := k.AddGlobal("z", kir.I64)
+	b := k.NewBuilder()
+	b.ForN("i", 16, nil, func(lb *kir.Builder, i kir.Val, _ []kir.Val) []kir.Val {
+		monitor.TakeSnapshot(lb, ib, 0, i)
+		// a fixed 6-cycle event: two chained multiplies
+		v := lb.Mul(i, lb.Ci32(3))
+		v = lb.Mul(v, lb.Ci32(5))
+		monitor.TakeSnapshot(lb, ib, 1, v)
+		return nil
+	})
+	b.Store(z, b.Ci32(0), b.Ci64(1))
+	d, err := hls.Compile(p, device.StratixV(), hls.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := sim.New(d, sim.Options{})
+	ctl := host.NewController(m, ifc)
+	m.NewBuffer("z", kir.I64, 1)
+	for id := 0; id < 2; id++ {
+		if err := ctl.StartLinear(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := m.Launch("dut", sim.Args{"z": m.Buffer("z")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for id := 0; id < 2; id++ {
+		if err := ctl.Stop(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r0, err := ctl.ReadTrace(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := ctl.ReadTrace(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lats := trace.Latencies(trace.Valid(r0), trace.Valid(r1))
+	if len(lats) != 16 {
+		t.Fatalf("%d paired samples, want 16", len(lats))
+	}
+	for i, l := range lats {
+		if l != lats[0] {
+			t.Fatalf("latency[%d] = %d != %d: stall-free pipeline must give a constant gap", i, l, lats[0])
+		}
+	}
+	if lats[0] < 6 {
+		t.Fatalf("gap %d below the 6-cycle event", lats[0])
+	}
+}
+
+func TestInCircuitAssertions(t *testing.T) {
+	// assertions fire only on violation; the trace carries the codes
+	r := buildRig(t, core.Config{Depth: 16}, func(p *kir.Program, ib *core.IBuffer) {
+		k := p.AddKernel("dut", kir.SingleTask)
+		x := k.AddGlobal("x", kir.I64)
+		z := k.AddGlobal("z", kir.I64)
+		b := k.NewBuilder()
+		b.ForN("i", 8, nil, func(lb *kir.Builder, i kir.Val, _ []kir.Val) []kir.Val {
+			v := lb.Load(x, i)
+			// assert v < 100 with code 7
+			monitor.Assert(lb, ib, 0, lb.CmpLT(v, lb.Ci64(100)), 7)
+			return nil
+		})
+		b.Store(z, b.Ci32(0), b.Ci64(1))
+	})
+	bx := r.m.NewBuffer("x", kir.I64, 8)
+	bz := r.m.NewBuffer("z", kir.I64, 1)
+	for i := range bx.Data {
+		bx.Data[i] = int64(i * 30) // 0,30,60,90,120,150,180,210: 4 violations
+	}
+	if err := r.ctl.StartLinear(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.m.Launch("dut", sim.Args{"x": bx, "z": bz}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.ctl.Stop(0); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := r.ctl.ReadTrace(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	valid := trace.Valid(recs)
+	if len(valid) != 4 {
+		t.Fatalf("assertion failures = %d, want 4: %+v", len(valid), valid)
+	}
+	for _, rec := range valid {
+		if rec.Data != 7 {
+			t.Fatalf("assertion code = %d, want 7", rec.Data)
+		}
+	}
+}

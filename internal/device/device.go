@@ -1,0 +1,137 @@
+// Package device catalogs the FPGA platforms used in the paper's
+// experimental methodology (§2): a discrete Stratix V, a discrete Arria 10,
+// and an Arria 10 integrated with a Broadwell-EP Xeon. Each profile carries
+// the capacities and the timing-model calibration constants used by
+// internal/area.
+//
+// Calibration: the timing constants are fitted so that the *base* designs
+// reproduce the paper's reported baseline clock frequencies (pointer chase
+// at 233.3 MHz, matrix multiply at ~310 MHz on Stratix V); the profiling
+// overheads — the paper's actual result — are then measured, not asserted.
+package device
+
+// Device is one FPGA platform profile.
+type Device struct {
+	Name string
+
+	// Capacities.
+	ALMs     int   // adaptive logic modules
+	Regs     int   // flip-flops
+	M20Ks    int   // 20Kb RAM blocks
+	DSPs     int   // DSP blocks
+	MemBits  int64 // total block-RAM bits
+	M20KBits int64 // bits per RAM block
+
+	// Static region (board support package / shell). Quartus reports in the
+	// paper's Table 1 include the shell, which is why "Base" is already 177K.
+	ShellALUTs   int
+	ShellRegs    int
+	ShellM20Ks   int
+	ShellMemBits int64
+
+	// Timing-model calibration (see package comment).
+	BaseNS    float64 // intrinsic pipeline stage delay, ns
+	ALUTScale float64 // ns added per log2(kernel kALUTs + 1)
+	MemDepNS  float64 // ns added by a loop-carried global-memory dependence
+	UtilNS    float64 // ns added per unit of device utilization squared
+
+	// Critical-path floors of attached profiling structures, ns. These model
+	// the paper's observation that instrumentation drags high-Fmax kernels
+	// down to the instrumentation's own achievable frequency (−20.5% on
+	// matrix multiply) while barely affecting slow kernels (<3% on pointer
+	// chase).
+	TraceBufNS  float64 // plain trace buffer + counters (§3.1 experiment)
+	StallMonNS  float64 // stall monitor ibuffer (§5.1)
+	WatchNS     float64 // smart watchpoint ibuffer (§5.2)
+	CouplingCL  float64 // extra ns on kernel paths per OpenCL-counter tap
+	CouplingHDL float64 // extra ns on kernel paths per HDL-counter tap
+	CouplingIB  float64 // extra ns on kernel paths per ibuffer data tap
+
+	// FmaxCapMHz bounds any design on this device.
+	FmaxCapMHz float64
+}
+
+// StratixV is the discrete Stratix V GX A7 platform the paper mainly
+// reports on.
+func StratixV() *Device {
+	return &Device{
+		Name:     "Stratix V GX A7",
+		ALMs:     234720,
+		Regs:     938880,
+		M20Ks:    2560,
+		DSPs:     256,
+		MemBits:  52428800,
+		M20KBits: 20480,
+
+		ShellALUTs:   158000,
+		ShellRegs:    290000,
+		ShellM20Ks:   384,
+		ShellMemBits: 2850000,
+
+		BaseNS:    2.80,
+		ALUTScale: 0.065,
+		MemDepNS:  1.06,
+		UtilNS:    0.35,
+
+		TraceBufNS:  3.90,
+		StallMonNS:  4.058,
+		WatchNS:     4.00,
+		CouplingCL:  0.035,
+		CouplingHDL: 0.008,
+		CouplingIB:  0.010,
+
+		FmaxCapMHz: 350,
+	}
+}
+
+// Arria10 is the discrete Arria 10 GX 1150 platform.
+func Arria10() *Device {
+	return &Device{
+		Name:     "Arria 10 GX 1150",
+		ALMs:     427200,
+		Regs:     1708800,
+		M20Ks:    2713,
+		DSPs:     1518,
+		MemBits:  55562240,
+		M20KBits: 20480,
+
+		ShellALUTs:   172000,
+		ShellRegs:    335000,
+		ShellM20Ks:   400,
+		ShellMemBits: 3100000,
+
+		BaseNS:    2.20,
+		ALUTScale: 0.055,
+		MemDepNS:  0.85,
+		UtilNS:    0.30,
+
+		TraceBufNS:  3.10,
+		StallMonNS:  3.25,
+		WatchNS:     3.20,
+		CouplingCL:  0.028,
+		CouplingHDL: 0.0064,
+		CouplingIB:  0.008,
+
+		FmaxCapMHz: 450,
+	}
+}
+
+// Arria10Integrated is the Arria 10 integrated in an Intel Broadwell-EP
+// package (the paper's third platform). Same fabric as the discrete part
+// with a larger shell (coherent QPI/UPI bridge) and slightly worse routing.
+func Arria10Integrated() *Device {
+	d := Arria10()
+	d.Name = "Arria 10 (Broadwell-EP integrated)"
+	d.ShellALUTs = 196000
+	d.ShellRegs = 372000
+	d.ShellM20Ks = 450
+	d.ShellMemBits = 3600000
+	d.BaseNS = 2.34
+	d.UtilNS = 0.34
+	return d
+}
+
+// All returns the three platforms from the paper's methodology section.
+func All() []*Device {
+	return []*Device{StratixV(), Arria10(), Arria10Integrated()}
+}

@@ -1,0 +1,61 @@
+package device
+
+import "testing"
+
+func TestCatalogComplete(t *testing.T) {
+	devs := All()
+	if len(devs) != 3 {
+		t.Fatalf("All() returned %d devices, want 3 (paper §2)", len(devs))
+	}
+	seen := map[string]bool{}
+	for _, d := range devs {
+		if seen[d.Name] {
+			t.Fatalf("duplicate device %q", d.Name)
+		}
+		seen[d.Name] = true
+		if d.ALMs <= 0 || d.M20Ks <= 0 || d.MemBits <= 0 {
+			t.Errorf("%s: non-positive capacities", d.Name)
+		}
+		if d.ShellALUTs <= 0 || d.ShellALUTs >= d.ALMs {
+			t.Errorf("%s: shell %d out of range of %d ALMs", d.Name, d.ShellALUTs, d.ALMs)
+		}
+		if d.BaseNS <= 0 || d.FmaxCapMHz <= 0 {
+			t.Errorf("%s: bad timing constants", d.Name)
+		}
+		if d.TraceBufNS <= d.BaseNS {
+			t.Errorf("%s: trace buffer floor below base delay", d.Name)
+		}
+		if d.CouplingCL <= d.CouplingHDL {
+			t.Errorf("%s: OpenCL-counter coupling must exceed HDL coupling (paper §3.1)", d.Name)
+		}
+	}
+}
+
+func TestArria10FasterFabricThanStratixV(t *testing.T) {
+	s5, a10 := StratixV(), Arria10()
+	if a10.BaseNS >= s5.BaseNS {
+		t.Fatal("Arria 10 fabric should be faster (lower BaseNS) than Stratix V")
+	}
+	if a10.ALMs <= s5.ALMs {
+		t.Fatal("Arria 10 GX 1150 is larger than Stratix V GX A7")
+	}
+}
+
+func TestIntegratedHasLargerShell(t *testing.T) {
+	d, i := Arria10(), Arria10Integrated()
+	if i.ShellALUTs <= d.ShellALUTs {
+		t.Fatal("integrated Arria 10 shell (coherent bridge) should be larger")
+	}
+	if i.ALMs != d.ALMs {
+		t.Fatal("integrated part uses the same fabric capacity")
+	}
+}
+
+func TestProfilesAreFreshCopies(t *testing.T) {
+	a := StratixV()
+	a.ShellALUTs = 1
+	b := StratixV()
+	if b.ShellALUTs == 1 {
+		t.Fatal("StratixV() returned a shared instance")
+	}
+}

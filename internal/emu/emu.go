@@ -1,0 +1,316 @@
+// Package emu is the functional emulator, playing the role of AOCL's
+// x86 emulation flow: kernels execute sequentially with plain software
+// semantics, no pipelining, no timing. HDL library functions use their
+// OpenCL emulation bodies — get_time returns command+1, exactly as the
+// paper's Listing 3 defines — so emulated timestamps are meaningless, which
+// is precisely why the paper validates profiling on hardware.
+//
+// The emulator is useful for functional bring-up of kernels and as a
+// cross-check oracle for the cycle simulator: both must compute identical
+// buffer contents for the same launches.
+package emu
+
+import (
+	"fmt"
+
+	"oclfpga/internal/kir"
+)
+
+// Launch describes one kernel invocation.
+type Launch struct {
+	Kernel     string
+	GlobalSize int64          // NDRange work-items; 0 for single-task
+	Args       map[string]any // scalars (int64/int) and buffer names (string)
+}
+
+// Emulator executes kernels functionally against named buffers.
+type Emulator struct {
+	p     *kir.Program
+	bufs  map[string][]int64
+	chans map[int][]int64 // channel id -> queued values
+}
+
+// New creates an emulator for a program.
+func New(p *kir.Program) *Emulator {
+	return &Emulator{p: p, bufs: map[string][]int64{}, chans: map[int][]int64{}}
+}
+
+// Bind registers a named buffer.
+func (e *Emulator) Bind(name string, data []int64) { e.bufs[name] = data }
+
+// Buffer returns a bound buffer.
+func (e *Emulator) Buffer(name string) []int64 { return e.bufs[name] }
+
+// Run executes one launch to completion. Autorun kernels are not emulated
+// (they never terminate); blocking reads from channels no producer has
+// filled fail with an emulation-deadlock error.
+func (e *Emulator) Run(l Launch) error {
+	k := e.p.KernelByName(l.Kernel)
+	if k == nil {
+		return fmt.Errorf("emu: kernel %q not found", l.Kernel)
+	}
+	if k.Mode == kir.Autorun {
+		return fmt.Errorf("emu: kernel %q is autorun; the emulator does not run persistent kernels", l.Kernel)
+	}
+	if k.Mode == kir.NDRange {
+		if l.GlobalSize <= 0 {
+			return fmt.Errorf("emu: NDRange kernel %q needs GlobalSize", l.Kernel)
+		}
+		for wi := int64(0); wi < l.GlobalSize; wi++ {
+			if err := e.runOne(k, l, wi); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return e.runOne(k, l, 0)
+}
+
+type frame struct {
+	e      *Emulator
+	k      *kir.Kernel
+	vals   map[int]int64
+	locals [][]int64
+	wi     int64
+	steps  int64
+}
+
+const maxSteps = 200_000_000 // runaway-loop backstop
+
+func (e *Emulator) runOne(k *kir.Kernel, l Launch, wi int64) error {
+	f := &frame{e: e, k: k, vals: map[int]int64{}, wi: wi}
+	for _, la := range k.Locals {
+		f.locals = append(f.locals, make([]int64, la.Size))
+	}
+	for _, prm := range k.Params {
+		a, ok := l.Args[prm.Name]
+		if !ok {
+			return fmt.Errorf("emu: kernel %q: missing argument %q", k.Name, prm.Name)
+		}
+		switch prm.Kind {
+		case kir.ScalarParam:
+			switch v := a.(type) {
+			case int64:
+				f.vals[prm.Val.ID()] = v
+			case int:
+				f.vals[prm.Val.ID()] = int64(v)
+			default:
+				return fmt.Errorf("emu: kernel %q: argument %q must be an integer", k.Name, prm.Name)
+			}
+		case kir.GlobalArray:
+			name, ok := a.(string)
+			if !ok {
+				return fmt.Errorf("emu: kernel %q: argument %q must name a bound buffer", k.Name, prm.Name)
+			}
+			if e.bufs[name] == nil {
+				return fmt.Errorf("emu: buffer %q not bound", name)
+			}
+		}
+	}
+	return f.region(k.Body, l)
+}
+
+func (f *frame) buffer(l Launch, prm *kir.Param) []int64 {
+	return f.e.bufs[l.Args[prm.Name].(string)]
+}
+
+func (f *frame) region(r *kir.Region, l Launch) error {
+	for _, n := range r.Nodes {
+		switch n := n.(type) {
+		case *kir.Op:
+			if err := f.op(n, l); err != nil {
+				return err
+			}
+		case *kir.If:
+			if f.vals[n.Cond.ID()] != 0 {
+				if err := f.region(n.Then, l); err != nil {
+					return err
+				}
+			}
+		case *kir.Loop:
+			start, end, step := f.vals[n.Start.ID()], f.vals[n.End.ID()], f.vals[n.Step.ID()]
+			if kir.IsInfinite(f.k, n) {
+				return fmt.Errorf("emu: kernel %q: infinite loop cannot be emulated to completion", f.k.Name)
+			}
+			if step <= 0 {
+				step = 1
+			}
+			carr := make([]int64, len(n.Carried))
+			for i, c := range n.Carried {
+				carr[i] = f.vals[c.Init.ID()]
+			}
+			for iv := start; iv < end; iv += step {
+				f.vals[n.IndVar.ID()] = iv
+				for i, c := range n.Carried {
+					f.vals[c.Phi.ID()] = carr[i]
+				}
+				if err := f.region(n.Body, l); err != nil {
+					return err
+				}
+				for i, c := range n.Carried {
+					carr[i] = f.vals[c.Next.ID()]
+				}
+			}
+			for i, c := range n.Carried {
+				f.vals[c.Out.ID()] = carr[i]
+			}
+		}
+	}
+	return nil
+}
+
+func (f *frame) op(op *kir.Op, l Launch) error {
+	f.steps++
+	if f.steps > maxSteps {
+		return fmt.Errorf("emu: kernel %q exceeded %d steps", f.k.Name, int64(maxSteps))
+	}
+	arg := func(i int) int64 { return f.vals[op.Args[i].ID()] }
+	set := func(v int64) {
+		if op.Dst.Valid() {
+			f.vals[op.Dst.ID()] = f.k.ValType(op.Dst).Truncate(v)
+		}
+	}
+	setOk := func(ok bool) {
+		if op.OkDst.Valid() {
+			if ok {
+				f.vals[op.OkDst.ID()] = 1
+			} else {
+				f.vals[op.OkDst.ID()] = 0
+			}
+		}
+	}
+	ch := func() int {
+		if op.ChArr != nil {
+			return op.ChArr[0].ID // emulation runs one logical instance
+		}
+		return op.Ch.ID
+	}
+
+	switch op.Kind {
+	case kir.OpConst:
+		set(op.Const)
+	case kir.OpAdd:
+		set(arg(0) + arg(1))
+	case kir.OpSub:
+		set(arg(0) - arg(1))
+	case kir.OpMul:
+		set(arg(0) * arg(1))
+	case kir.OpDiv:
+		if arg(1) == 0 {
+			set(0)
+		} else {
+			set(arg(0) / arg(1))
+		}
+	case kir.OpMod:
+		if arg(1) == 0 {
+			set(0)
+		} else {
+			set(arg(0) % arg(1))
+		}
+	case kir.OpAnd:
+		set(arg(0) & arg(1))
+	case kir.OpOr:
+		set(arg(0) | arg(1))
+	case kir.OpXor:
+		set(arg(0) ^ arg(1))
+	case kir.OpShl:
+		set(arg(0) << uint64(arg(1)&63))
+	case kir.OpShr:
+		set(arg(0) >> uint64(arg(1)&63))
+	case kir.OpCmpLT:
+		set(b2i(arg(0) < arg(1)))
+	case kir.OpCmpLE:
+		set(b2i(arg(0) <= arg(1)))
+	case kir.OpCmpEQ:
+		set(b2i(arg(0) == arg(1)))
+	case kir.OpCmpNE:
+		set(b2i(arg(0) != arg(1)))
+	case kir.OpCmpGT:
+		set(b2i(arg(0) > arg(1)))
+	case kir.OpCmpGE:
+		set(b2i(arg(0) >= arg(1)))
+	case kir.OpSelect:
+		if arg(0) != 0 {
+			set(arg(1))
+		} else {
+			set(arg(2))
+		}
+	case kir.OpLoad:
+		buf := f.buffer(l, op.Arr)
+		idx := arg(0)
+		if idx >= 0 && idx < int64(len(buf)) {
+			set(buf[idx])
+		} else {
+			set(0)
+		}
+	case kir.OpStore:
+		buf := f.buffer(l, op.Arr)
+		idx := arg(0)
+		if idx >= 0 && idx < int64(len(buf)) {
+			buf[idx] = f.k.ValType(op.Args[1]).Truncate(arg(1))
+		}
+	case kir.OpLocalLoad:
+		la := f.locals[op.Local.Index]
+		idx := arg(0)
+		if idx >= 0 && idx < int64(len(la)) {
+			set(la[idx])
+		} else {
+			set(0)
+		}
+	case kir.OpLocalStore:
+		la := f.locals[op.Local.Index]
+		idx := arg(0)
+		if idx >= 0 && idx < int64(len(la)) {
+			la[idx] = arg(1)
+		}
+	case kir.OpChanRead:
+		q := f.e.chans[ch()]
+		if len(q) == 0 {
+			return fmt.Errorf("emu: kernel %q: blocking read from empty channel %d (emulation deadlock)",
+				f.k.Name, ch())
+		}
+		set(q[0])
+		f.e.chans[ch()] = q[1:]
+	case kir.OpChanWrite:
+		f.e.chans[ch()] = append(f.e.chans[ch()], arg(0))
+	case kir.OpChanReadNB:
+		q := f.e.chans[ch()]
+		if len(q) == 0 {
+			set(0)
+			setOk(false)
+		} else {
+			set(q[0])
+			f.e.chans[ch()] = q[1:]
+			setOk(true)
+		}
+	case kir.OpChanWriteNB:
+		f.e.chans[ch()] = append(f.e.chans[ch()], arg(0))
+		setOk(true)
+	case kir.OpGlobalID:
+		set(f.wi)
+	case kir.OpCall:
+		args := make([]int64, len(op.Args))
+		for i := range op.Args {
+			args[i] = arg(i)
+		}
+		if op.Lib.Emu != nil {
+			set(op.Lib.Emu(args))
+		} else {
+			set(0)
+		}
+	case kir.OpComputeID:
+		set(0)
+	case kir.OpFence, kir.OpIBufLogic:
+		// no-ops functionally
+	default:
+		return fmt.Errorf("emu: unimplemented op %s", op.Kind)
+	}
+	return nil
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,244 @@
+package emu_test
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"oclfpga/internal/device"
+	"oclfpga/internal/emu"
+	"oclfpga/internal/hls"
+	"oclfpga/internal/kir"
+	"oclfpga/internal/primitives"
+	"oclfpga/internal/sim"
+	"oclfpga/internal/workload"
+)
+
+func TestEmulateDotProduct(t *testing.T) {
+	p := kir.NewProgram("dot")
+	k := p.AddKernel("dot", kir.SingleTask)
+	x := k.AddGlobal("x", kir.I32)
+	y := k.AddGlobal("y", kir.I32)
+	z := k.AddGlobal("z", kir.I32)
+	b := k.NewBuilder()
+	sum := b.ForN("i", 64, []kir.Val{b.Ci32(0)}, func(lb *kir.Builder, i kir.Val, c []kir.Val) []kir.Val {
+		return []kir.Val{lb.Add(c[0], lb.Mul(lb.Load(x, i), lb.Load(y, i)))}
+	})
+	b.Store(z, b.Ci32(0), sum[0])
+
+	e := emu.New(p)
+	xs := make([]int64, 64)
+	ys := make([]int64, 64)
+	want := int64(0)
+	for i := range xs {
+		xs[i], ys[i] = int64(i), int64(64-i)
+		want += xs[i] * ys[i]
+	}
+	e.Bind("x", xs)
+	e.Bind("y", ys)
+	e.Bind("z", make([]int64, 1))
+	if err := e.Run(emu.Launch{Kernel: "dot", Args: map[string]any{"x": "x", "y": "y", "z": "z"}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Buffer("z")[0]; got != want {
+		t.Fatalf("dot = %d, want %d", got, want)
+	}
+}
+
+func TestEmulateNDRange(t *testing.T) {
+	p := kir.NewProgram("va")
+	name := workload.BuildVecAdd(p)
+	e := emu.New(p)
+	xs := []int64{1, 2, 3, 4}
+	ys := []int64{10, 20, 30, 40}
+	e.Bind("x", xs)
+	e.Bind("y", ys)
+	e.Bind("z", make([]int64, 4))
+	if err := e.Run(emu.Launch{Kernel: name, GlobalSize: 4,
+		Args: map[string]any{"x": "x", "y": "y", "z": "z"}}); err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []int64{11, 22, 33, 44} {
+		if e.Buffer("z")[i] != want {
+			t.Fatalf("z[%d] = %d, want %d", i, e.Buffer("z")[i], want)
+		}
+	}
+}
+
+func TestGetTimeEmulationSemantics(t *testing.T) {
+	// The paper's Listing 3: in emulation get_time(command) returns
+	// command+1, not a real timestamp.
+	p := kir.NewProgram("gt")
+	timer := primitives.AddHDLTimer(p)
+	k := p.AddKernel("k", kir.SingleTask)
+	z := k.AddGlobal("z", kir.I64)
+	b := k.NewBuilder()
+	ts := primitives.GetTime(b, timer, b.Ci64(41))
+	b.Store(z, b.Ci32(0), ts)
+
+	e := emu.New(p)
+	e.Bind("z", make([]int64, 1))
+	if err := e.Run(emu.Launch{Kernel: "k", Args: map[string]any{"z": "z"}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Buffer("z")[0]; got != 42 {
+		t.Fatalf("emulated get_time(41) = %d, want 42 (command+1)", got)
+	}
+}
+
+func TestEmulatorRejectsAutorun(t *testing.T) {
+	p := kir.NewProgram("a")
+	primitives.AddSequencer(p, "seq_ch")
+	e := emu.New(p)
+	err := e.Run(emu.Launch{Kernel: "seq_ch_srv"})
+	if err == nil || !strings.Contains(err.Error(), "autorun") {
+		t.Fatalf("want autorun rejection, got %v", err)
+	}
+}
+
+func TestEmulatorChannelDeadlock(t *testing.T) {
+	p := kir.NewProgram("d")
+	ch := p.AddChan("c", 4, kir.I32)
+	k := p.AddKernel("k", kir.SingleTask)
+	z := k.AddGlobal("z", kir.I32)
+	b := k.NewBuilder()
+	b.Store(z, b.Ci32(0), b.ChanRead(ch))
+	e := emu.New(p)
+	e.Bind("z", make([]int64, 1))
+	err := e.Run(emu.Launch{Kernel: "k", Args: map[string]any{"z": "z"}})
+	if err == nil || !strings.Contains(err.Error(), "deadlock") {
+		t.Fatalf("want deadlock error, got %v", err)
+	}
+}
+
+func TestEmulatorChannelPipelineBetweenKernels(t *testing.T) {
+	p := kir.NewProgram("pipe")
+	ch := p.AddChan("c", 64, kir.I32)
+	prod := p.AddKernel("prod", kir.SingleTask)
+	src := prod.AddGlobal("src", kir.I32)
+	pb := prod.NewBuilder()
+	pb.ForN("i", 8, nil, func(lb *kir.Builder, i kir.Val, _ []kir.Val) []kir.Val {
+		lb.ChanWrite(ch, lb.Load(src, i))
+		return nil
+	})
+	cons := p.AddKernel("cons", kir.SingleTask)
+	dst := cons.AddGlobal("dst", kir.I32)
+	cb := cons.NewBuilder()
+	cb.ForN("i", 8, nil, func(lb *kir.Builder, i kir.Val, _ []kir.Val) []kir.Val {
+		lb.Store(dst, i, lb.Add(lb.ChanRead(ch), lb.Ci32(100)))
+		return nil
+	})
+	e := emu.New(p)
+	e.Bind("src", []int64{1, 2, 3, 4, 5, 6, 7, 8})
+	e.Bind("dst", make([]int64, 8))
+	if err := e.Run(emu.Launch{Kernel: "prod", Args: map[string]any{"src": "src"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(emu.Launch{Kernel: "cons", Args: map[string]any{"dst": "dst"}}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if e.Buffer("dst")[i] != int64(i+101) {
+			t.Fatalf("dst[%d] = %d", i, e.Buffer("dst")[i])
+		}
+	}
+}
+
+func TestEmulatorArgErrors(t *testing.T) {
+	p := kir.NewProgram("err")
+	k := p.AddKernel("k", kir.SingleTask)
+	k.AddGlobal("g", kir.I32)
+	n := k.AddScalar("n", kir.I32)
+	_ = n
+	e := emu.New(p)
+	if err := e.Run(emu.Launch{Kernel: "nope"}); err == nil {
+		t.Fatal("unknown kernel accepted")
+	}
+	if err := e.Run(emu.Launch{Kernel: "k", Args: map[string]any{}}); err == nil {
+		t.Fatal("missing args accepted")
+	}
+	if err := e.Run(emu.Launch{Kernel: "k", Args: map[string]any{"g": "unbound", "n": 1}}); err == nil {
+		t.Fatal("unbound buffer accepted")
+	}
+	if err := e.Run(emu.Launch{Kernel: "k", Args: map[string]any{"g": 5, "n": 1}}); err == nil {
+		t.Fatal("scalar for buffer accepted")
+	}
+}
+
+// Property: the emulator and the cycle simulator compute identical results
+// for the matrix-vector workload over random inputs — functional equivalence
+// of the two execution paths.
+func TestEmuMatchesSimProperty(t *testing.T) {
+	f := func(seed uint32, nd bool) bool {
+		mode := kir.SingleTask
+		if nd {
+			mode = kir.NDRange
+		}
+		pE := kir.NewProgram("mv")
+		mv := workload.BuildMatVec(pE, workload.MatVecConfig{Mode: mode, N: 6, Num: 10})
+
+		n, num := 6, 10
+		xs := make([]int64, n*num)
+		ys := make([]int64, num)
+		s := int64(seed)
+		rnd := func() int64 { s = (s*1103515245 + 12345) % (1 << 31); return s % 97 }
+		for i := range xs {
+			xs[i] = rnd()
+		}
+		for i := range ys {
+			ys[i] = rnd()
+		}
+
+		// emulator
+		e := emu.New(pE)
+		e.Bind("x", append([]int64(nil), xs...))
+		e.Bind("y", append([]int64(nil), ys...))
+		e.Bind("z", make([]int64, n))
+		l := emu.Launch{Kernel: mv.KernelName, Args: map[string]any{"x": "x", "y": "y", "z": "z"}}
+		if nd {
+			l.GlobalSize = int64(n)
+		}
+		if err := e.Run(l); err != nil {
+			t.Log(err)
+			return false
+		}
+
+		// simulator (fresh program to avoid shared state)
+		pS := kir.NewProgram("mv")
+		mv2 := workload.BuildMatVec(pS, workload.MatVecConfig{Mode: mode, N: 6, Num: 10})
+		d, err := hls.Compile(pS, device.StratixV(), hls.Options{})
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		m := sim.New(d, sim.Options{})
+		bx := m.NewBuffer("x", kir.I32, n*num)
+		by := m.NewBuffer("y", kir.I32, num)
+		bz := m.NewBuffer("z", kir.I32, n)
+		copy(bx.Data, xs)
+		copy(by.Data, ys)
+		args := sim.Args{"x": bx, "y": by, "z": bz}
+		if nd {
+			_, err = m.LaunchND(mv2.KernelName, int64(n), args)
+		} else {
+			_, err = m.Launch(mv2.KernelName, args)
+		}
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		if err := m.Run(); err != nil {
+			t.Log(err)
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if e.Buffer("z")[i] != bz.Data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}

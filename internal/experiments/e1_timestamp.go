@@ -1,0 +1,102 @@
+// Package experiments regenerates every table and figure in the paper's
+// evaluation: each Ex function builds the workload, compiles it, runs the
+// simulator where dynamic behaviour is reported, and returns both structured
+// results and a formatted table in the paper's layout. DESIGN.md §4 maps
+// experiment ids to paper artifacts.
+package experiments
+
+import (
+	"fmt"
+
+	"oclfpga/internal/device"
+	"oclfpga/internal/hls"
+	"oclfpga/internal/kir"
+	"oclfpga/internal/report"
+	"oclfpga/internal/sim"
+	"oclfpga/internal/workload"
+)
+
+// E1Row is one variant of the §3.1 timestamp-overhead experiment.
+type E1Row struct {
+	Variant     workload.TimestampKind
+	FmaxMHz     float64
+	KernelALUTs int     // logic of the instrumentation structures
+	LogicOvhPct float64 // logic overhead vs base, percent of base kernel+shell
+	Cycles      int64   // measured chase duration (simulated), 0 for base timing source
+	SelfCycles  int64   // the design's own timestamp measurement (out[1])
+}
+
+// E1Result is the §3.1 timestamp comparison: base vs OpenCL free-running
+// counter vs HDL counter on the pointer-chasing kernel, Stratix V.
+type E1Result struct {
+	Device string
+	Rows   []E1Row
+}
+
+// E1TimestampOverhead runs the experiment on the given device (the paper
+// reports Stratix V: 233.3 / 227.8 / ~231 MHz; 1.3% vs 1.1% logic overhead).
+func E1TimestampOverhead(dev *device.Device, steps int) (*E1Result, error) {
+	if steps == 0 {
+		steps = 2000
+	}
+	res := &E1Result{Device: dev.Name}
+	var baseALUTs int
+	for _, kind := range []workload.TimestampKind{workload.NoTimestamp, workload.CLCounter, workload.HDLCounter} {
+		p := kir.NewProgram("chase_" + kind.String())
+		ch, err := workload.BuildChase(p, workload.ChaseConfig{Steps: steps, Kind: kind})
+		if err != nil {
+			return nil, err
+		}
+		d, err := hls.Compile(p, dev, hls.Options{})
+		if err != nil {
+			return nil, err
+		}
+
+		m := sim.New(d, sim.Options{})
+		table := m.NewBuffer("next", kir.I32, 1<<14)
+		out := m.NewBuffer("out", kir.I64, 2)
+		for i := range table.Data {
+			table.Data[i] = int64((i*1103 + 331) % len(table.Data))
+		}
+		u, err := m.Launch(ch.KernelName, sim.Args{"next": table, "out": out})
+		if err != nil {
+			return nil, err
+		}
+		if err := m.Run(); err != nil {
+			return nil, err
+		}
+
+		row := E1Row{
+			Variant:    kind,
+			FmaxMHz:    d.Area.FmaxMHz,
+			Cycles:     u.FinishedAt(),
+			SelfCycles: out.Data[1],
+		}
+		if kind == workload.NoTimestamp {
+			baseALUTs = d.Area.ALUTs
+		} else {
+			row.KernelALUTs = d.Area.ALUTs - baseALUTs
+			row.LogicOvhPct = float64(d.Area.ALUTs-baseALUTs) / float64(baseALUTs) * 100
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Table renders the result in the paper's §3.1 shape.
+func (r *E1Result) Table() string {
+	t := report.New(
+		fmt.Sprintf("E1 (§3.1): timestamp overhead on pointer chase, %s", r.Device),
+		"variant", "Fmax (MHz)", "added ALUTs", "logic ovh", "self-measured cycles")
+	base := r.Rows[0].FmaxMHz
+	for _, row := range r.Rows {
+		ovh := "-"
+		if row.Variant != workload.NoTimestamp {
+			ovh = fmt.Sprintf("%.2f%%", row.LogicOvhPct)
+		}
+		t.Add(row.Variant.String(),
+			fmt.Sprintf("%.1f (%s)", row.FmaxMHz, report.Pct(base, row.FmaxMHz)),
+			row.KernelALUTs, ovh, row.SelfCycles)
+	}
+	return t.String()
+}

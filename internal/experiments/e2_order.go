@@ -1,0 +1,151 @@
+package experiments
+
+import (
+	"fmt"
+
+	"oclfpga/internal/device"
+	"oclfpga/internal/hls"
+	"oclfpga/internal/kir"
+	"oclfpga/internal/report"
+	"oclfpga/internal/sim"
+	"oclfpga/internal/workload"
+)
+
+// E2Entry is one captured (seq -> timestamp, k, i) row of Figure 2.
+type E2Entry struct {
+	Seq int
+	T   int64
+	K   int64
+	I   int64
+}
+
+// E2Result is one kernel flavour's execution-order capture (Figure 2a/2b).
+type E2Result struct {
+	Mode       kir.Mode
+	Kernel     string
+	Entries    []E2Entry // valid entries in sequence order
+	TotalCycle int64     // kernel duration — the performance difference
+	Correct    bool      // z matched the reference product
+}
+
+// E2ExecutionOrder reproduces Figure 2 for one kernel flavour: the
+// instrumented matvec (N=50, num=100, capture i<10) on Stratix V.
+func E2ExecutionOrder(mode kir.Mode) (*E2Result, error) {
+	p := kir.NewProgram("matvec_order")
+	mv := workload.BuildMatVec(p, workload.MatVecConfig{Mode: mode, Instrument: true})
+	d, err := hls.Compile(p, device.StratixV(), hls.Options{})
+	if err != nil {
+		return nil, err
+	}
+	m := sim.New(d, sim.Options{})
+
+	cfg := mv.Config
+	x := m.NewBuffer("x", kir.I32, cfg.N*cfg.Num)
+	y := m.NewBuffer("y", kir.I32, cfg.Num)
+	z := m.NewBuffer("z", kir.I32, cfg.N)
+	info1 := m.NewBuffer("info1", kir.I64, mv.InfoSize)
+	info2 := m.NewBuffer("info2", kir.I32, mv.InfoSize)
+	info3 := m.NewBuffer("info3", kir.I32, mv.InfoSize)
+	for i := range x.Data {
+		x.Data[i] = int64(i % 7)
+	}
+	for i := range y.Data {
+		y.Data[i] = int64(i % 5)
+	}
+
+	var u *sim.Unit
+	if mode == kir.NDRange {
+		u, err = m.LaunchND(mv.KernelName, int64(cfg.N), sim.Args{
+			"x": x, "y": y, "z": z, "info1": info1, "info2": info2, "info3": info3})
+	} else {
+		u, err = m.Launch(mv.KernelName, sim.Args{
+			"x": x, "y": y, "z": z, "info1": info1, "info2": info2, "info3": info3})
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := m.Run(); err != nil {
+		return nil, err
+	}
+
+	res := &E2Result{Mode: mode, Kernel: mv.KernelName, TotalCycle: u.FinishedAt(), Correct: true}
+	for k := 0; k < cfg.N; k++ {
+		want := int64(0)
+		for i := 0; i < cfg.Num; i++ {
+			want += x.Data[k*cfg.Num+i] * y.Data[i]
+		}
+		if z.Data[k] != int64(int32(want)) {
+			res.Correct = false
+		}
+	}
+	for s := 1; s < mv.InfoSize; s++ {
+		if info1.Data[s] == 0 {
+			break
+		}
+		res.Entries = append(res.Entries, E2Entry{
+			Seq: s, T: info1.Data[s], K: info2.Data[s], I: info3.Data[s]})
+	}
+	return res, nil
+}
+
+// Window returns entries for seq in [lo, hi], the slice Figure 2 prints.
+func (r *E2Result) Window(lo, hi int) []E2Entry {
+	var out []E2Entry
+	for _, e := range r.Entries {
+		if e.Seq >= lo && e.Seq <= hi {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// SingleTaskOrder checks the Figure 2(a) property: within the capture, i
+// advances before k (all inner-loop iterations of one outer iteration
+// complete before the next outer iteration starts).
+func (r *E2Result) SingleTaskOrder() bool {
+	for n := 1; n < len(r.Entries); n++ {
+		prev, cur := r.Entries[n-1], r.Entries[n]
+		if cur.K == prev.K && cur.I != prev.I+1 {
+			return false
+		}
+		if cur.K != prev.K && (cur.K != prev.K+1 || cur.I != 0) {
+			return false
+		}
+	}
+	return len(r.Entries) > 0
+}
+
+// NDRangeOrder checks the Figure 2(b) property: consecutive captures come
+// from different work-items at the same inner iteration (k advances while i
+// holds) — thread-level parallelism in the pipeline.
+func (r *E2Result) NDRangeOrder() bool {
+	if len(r.Entries) < 2 {
+		return false
+	}
+	kAdvances := 0
+	for n := 1; n < len(r.Entries); n++ {
+		prev, cur := r.Entries[n-1], r.Entries[n]
+		if cur.K != prev.K && cur.I == prev.I {
+			kAdvances++
+		}
+	}
+	// the dominant transition must be "next work-item, same i"
+	return kAdvances > len(r.Entries)*3/4
+}
+
+// Table renders the Figure-2 window (seq 51..54, like the paper) plus the
+// run summary.
+func (r *E2Result) Table() string {
+	label := "Figure 2(a) single-task (Listing 6)"
+	if r.Mode == kir.NDRange {
+		label = "Figure 2(b) NDRange (Listing 7)"
+	}
+	t := report.New(fmt.Sprintf("E2: execution/scheduling order — %s", label),
+		"info_seq[n]", "Timestamp", "k", "i")
+	for _, e := range r.Window(51, 54) {
+		t.Add(fmt.Sprintf("info_seq[%d]", e.Seq), e.T, e.K, e.I)
+	}
+	s := t.String()
+	s += fmt.Sprintf("total cycles: %d, results correct: %v\n", r.TotalCycle, r.Correct)
+	return s
+}

@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"fmt"
+
+	"oclfpga/internal/device"
+	"oclfpga/internal/hls"
+	"oclfpga/internal/kir"
+	"oclfpga/internal/report"
+	"oclfpga/internal/sim"
+	"oclfpga/internal/workload"
+)
+
+// E3Row is one Table-1 design point.
+type E3Row struct {
+	Type     string // Base, SM, WP, SM + WP
+	FmaxMHz  float64
+	LogicK   float64 // logic utilization, thousands of ALUTs
+	MemBits  int64
+	MemBlock int
+}
+
+// E3Result reproduces Table 1: matrix multiplication with and without the
+// stall monitor (SM) and smart watchpoint (WP), DEPTH=1024 ibuffers.
+type E3Result struct {
+	Device string
+	Size   int
+	Rows   []E3Row
+}
+
+// E3Table1 compiles the four Table-1 variants on the given device.
+func E3Table1(dev *device.Device, size int) (*E3Result, error) {
+	if size == 0 {
+		size = 32
+	}
+	res := &E3Result{Device: dev.Name, Size: size}
+	variants := []struct {
+		name   string
+		sm, wp bool
+	}{
+		{"Base", false, false},
+		{"SM", true, false},
+		{"WP", false, true},
+		{"SM + WP", true, true},
+	}
+	for _, v := range variants {
+		p := kir.NewProgram("matmul_" + v.name)
+		_, err := workload.BuildMatMul(p, workload.MatMulConfig{
+			Size: size, StallMonitor: v.sm, Watchpoint: v.wp, Depth: 1024,
+		})
+		if err != nil {
+			return nil, err
+		}
+		d, err := hls.Compile(p, dev, hls.Options{})
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, E3Row{
+			Type:     v.name,
+			FmaxMHz:  d.Area.FmaxMHz,
+			LogicK:   d.Area.LogicK(),
+			MemBits:  d.Area.MemBits,
+			MemBlock: d.Area.M20Ks,
+		})
+	}
+	return res, nil
+}
+
+// Table renders Table 1's layout.
+func (r *E3Result) Table() string {
+	t := report.New(
+		fmt.Sprintf("E3 (Table 1): logic and memory usage and frequency, matmul %dx%d, %s",
+			r.Size, r.Size, r.Device),
+		"Type", "Clock Freq. (MHz)", "Logic Utilization", "Memory Bit", "Memory Blocks")
+	base := r.Rows[0].FmaxMHz
+	for _, row := range r.Rows {
+		t.Add(row.Type,
+			fmt.Sprintf("%.1f (%s)", row.FmaxMHz, report.Pct(base, row.FmaxMHz)),
+			fmt.Sprintf("%.0fK", row.LogicK),
+			report.KiloBits(row.MemBits),
+			row.MemBlock)
+	}
+	return t.String()
+}
+
+// E3Verify additionally runs the SM+WP variant to confirm the instrumented
+// design still computes the right product (debug support must not change
+// functional behaviour).
+func E3Verify(size int) (bool, error) {
+	if size == 0 {
+		size = 8
+	}
+	p := kir.NewProgram("matmul_verify")
+	mm, err := workload.BuildMatMul(p, workload.MatMulConfig{
+		Size: size, StallMonitor: true, Watchpoint: true, Depth: 64,
+	})
+	if err != nil {
+		return false, err
+	}
+	d, err := hls.Compile(p, device.StratixV(), hls.Options{})
+	if err != nil {
+		return false, err
+	}
+	m := sim.New(d, sim.Options{})
+	n := size
+	da := m.NewBuffer("data_a", kir.I32, n*n)
+	db := m.NewBuffer("data_b", kir.I32, n*n)
+	dc := m.NewBuffer("data_c", kir.I32, n*n)
+	for i := range da.Data {
+		da.Data[i] = int64(i%11 - 5)
+		db.Data[i] = int64(i%7 - 3)
+	}
+	if _, err := m.Launch(mm.KernelName, sim.Args{"data_a": da, "data_b": db, "data_c": dc}); err != nil {
+		return false, err
+	}
+	if err := m.Run(); err != nil {
+		return false, err
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			want := int64(0)
+			for k := 0; k < n; k++ {
+				want += da.Data[i*n+k] * db.Data[k*n+j]
+			}
+			if dc.Data[i*n+j] != int64(int32(want)) {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}

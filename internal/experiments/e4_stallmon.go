@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"fmt"
+
+	"oclfpga/internal/device"
+	"oclfpga/internal/hls"
+	"oclfpga/internal/host"
+	"oclfpga/internal/kir"
+	"oclfpga/internal/report"
+	"oclfpga/internal/sim"
+	"oclfpga/internal/trace"
+	"oclfpga/internal/workload"
+)
+
+// E4Result is the §5.1 use case: measuring the data_a load latency in matrix
+// multiplication with a two-site stall monitor.
+type E4Result struct {
+	Size      int
+	Samples   int
+	Stats     trace.Stats
+	Histogram trace.Histogram
+	// AvgLSULat is the memory system's own ground truth for comparison.
+	AvgLSULat float64
+	// Correct reports the product was still computed correctly.
+	Correct bool
+}
+
+// E4StallMonitor runs the Listing-9 experiment: snapshots bracketing the
+// data_a load feed stall-monitor ibuffers; the paired trace yields the load
+// latency over the trace window.
+func E4StallMonitor(size, depth int) (*E4Result, error) {
+	if size == 0 {
+		size = 16
+	}
+	if depth == 0 {
+		depth = 256
+	}
+	p := kir.NewProgram("matmul_sm")
+	mm, err := workload.BuildMatMul(p, workload.MatMulConfig{
+		Size: size, StallMonitor: true, Depth: depth,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ifc := host.BuildInterface(p, mm.SM)
+	d, err := hls.Compile(p, device.StratixV(), hls.Options{})
+	if err != nil {
+		return nil, err
+	}
+	m := sim.New(d, sim.Options{})
+	ctl := host.NewController(m, ifc)
+
+	n := size
+	da := m.NewBuffer("data_a", kir.I32, n*n)
+	db := m.NewBuffer("data_b", kir.I32, n*n)
+	dc := m.NewBuffer("data_c", kir.I32, n*n)
+	for i := range da.Data {
+		da.Data[i] = int64(i % 13)
+		db.Data[i] = int64(i % 9)
+	}
+
+	for id := 0; id < 2; id++ {
+		if err := ctl.StartLinear(id); err != nil {
+			return nil, err
+		}
+	}
+	u, err := m.Launch(mm.KernelName, sim.Args{"data_a": da, "data_b": db, "data_c": dc})
+	if err != nil {
+		return nil, err
+	}
+	if err := m.Run(); err != nil {
+		return nil, err
+	}
+	for id := 0; id < 2; id++ {
+		if err := ctl.Stop(id); err != nil {
+			return nil, err
+		}
+	}
+	before, err := ctl.ReadTrace(0)
+	if err != nil {
+		return nil, err
+	}
+	after, err := ctl.ReadTrace(1)
+	if err != nil {
+		return nil, err
+	}
+	lats := trace.Latencies(trace.Valid(before), trace.Valid(after))
+
+	res := &E4Result{
+		Size:      size,
+		Samples:   len(lats),
+		Stats:     trace.Summarize(lats),
+		Histogram: trace.NewHistogram(lats, 8, 12),
+		Correct:   true,
+	}
+	// ground truth from the load LSU (site order: snapshot writes are
+	// channel ops; LSU 0 is the data_a load)
+	for i := 0; i < len(u.Kernel().LSUs); i++ {
+		site := u.Kernel().LSUs[i]
+		if site.Arr.Name == "data_a" && !site.IsStore {
+			res.AvgLSULat = u.LSU(i).Stats().AvgLoadLatency()
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			want := int64(0)
+			for k := 0; k < n; k++ {
+				want += da.Data[i*n+k] * db.Data[k*n+j]
+			}
+			if dc.Data[i*n+j] != int64(int32(want)) {
+				res.Correct = false
+			}
+		}
+	}
+	return res, nil
+}
+
+// Table renders the latency profile.
+func (r *E4Result) Table() string {
+	t := report.New(
+		fmt.Sprintf("E4 (§5.1): data_a load latency via stall monitor, matmul %dx%d", r.Size, r.Size),
+		"metric", "value")
+	t.Add("samples (trace window)", r.Samples)
+	t.Add("min latency (cycles)", r.Stats.Min)
+	t.Add("median latency", r.Stats.P50)
+	t.Add("p90 latency", r.Stats.P90)
+	t.Add("max latency", r.Stats.Max)
+	t.Add("mean latency", fmt.Sprintf("%.1f", r.Stats.Mean))
+	t.Add("stall events (>2x median)", r.Stats.StallEvents)
+	t.Add("LSU ground-truth mean", fmt.Sprintf("%.1f", r.AvgLSULat))
+	t.Add("product correct", r.Correct)
+	return t.String() + "latency histogram (cycles):\n" + r.Histogram.String()
+}

@@ -1,0 +1,189 @@
+package experiments
+
+import (
+	"fmt"
+
+	"oclfpga/internal/device"
+	"oclfpga/internal/hls"
+	"oclfpga/internal/kir"
+	"oclfpga/internal/primitives"
+	"oclfpga/internal/report"
+	"oclfpga/internal/sim"
+)
+
+// E6Result demonstrates the three §3.1 hazards of persistent-kernel
+// timestamps, and that the HDL get_time pattern avoids them.
+type E6Result struct {
+	// Stale-timestamp hazard: measured loop latency with the declared
+	// depth-0 channel vs after the compiler's channel-depth optimization.
+	TrueLatency  int64 // ground truth from kernel duration
+	FreshLatency int64 // depth-0 respected
+	StaleLatency int64 // channel deepened to a FIFO: stale values
+
+	// Counter-skew hazard: the same measurement taken across two separate
+	// persistent counter kernels released on different cycles.
+	SkewCycles   int64 // injected launch skew
+	SkewLatency  int64 // measurement distorted by exactly the skew
+	AlignLatency int64 // one kernel driving both channels: no skew
+
+	// Read-site motion hazard: a dependence-free channel read drifts to the
+	// start of the schedule; get_time(dep) is pinned after the event.
+	ChainCycles   int64 // actual straight-line event latency
+	DriftMeasured int64 // channel-read measurement (drifted, ~0)
+	PinnedLatency int64 // get_time(dep) measurement
+}
+
+// latencyProgram builds a kernel measuring a 100-iteration load loop with
+// timestamps from timer channels tc1/tc2 (either from one shared persistent
+// kernel or two separate ones).
+func latencyProgram(shared bool) (*kir.Program, *kir.Chan, *kir.Chan) {
+	p := kir.NewProgram("lat")
+	var tc1, tc2 *kir.Chan
+	if shared {
+		tm := primitives.AddPersistentTimer(p, "tch", 2)
+		tc1, tc2 = tm.Chans[0], tm.Chans[1]
+	} else {
+		tms := primitives.AddPersistentTimerPerChannel(p, "tch", 2)
+		tc1, tc2 = tms[0].Chans[0], tms[1].Chans[0]
+	}
+	k := p.AddKernel("dut", kir.SingleTask)
+	x := k.AddGlobal("x", kir.I32)
+	z := k.AddGlobal("z", kir.I64)
+	b := k.NewBuilder()
+	start := primitives.ReadTimestamp(b, tc1)
+	sum := b.ForN("i", 100, []kir.Val{b.Ci32(0)}, func(lb *kir.Builder, i kir.Val, c []kir.Val) []kir.Val {
+		return []kir.Val{lb.Add(c[0], lb.Load(x, i))}
+	})
+	end := primitives.ReadTimestamp(b, tc2)
+	b.Store(z, b.Ci32(0), b.Sub(end, start))
+	b.Store(z, b.Ci32(1), sum[0])
+	return p, tc1, tc2
+}
+
+func runLatency(p *kir.Program, opts hls.Options, skew func(string, int) int64) (measured, actual int64, err error) {
+	d, err := hls.Compile(p, device.StratixV(), opts)
+	if err != nil {
+		return 0, 0, err
+	}
+	m := sim.New(d, sim.Options{AutorunSkew: skew})
+	x := m.NewBuffer("x", kir.I32, 100)
+	z := m.NewBuffer("z", kir.I64, 2)
+	for i := range x.Data {
+		x.Data[i] = 1
+	}
+	m.Step(64) // let the persistent counters run, as on real hardware
+	u, err := m.Launch("dut", sim.Args{"x": x, "z": z})
+	if err != nil {
+		return 0, 0, err
+	}
+	if err := m.Run(); err != nil {
+		return 0, 0, err
+	}
+	return z.Data[0], u.FinishedAt() - 64, nil
+}
+
+// E6TimestampPitfalls runs the three hazard demonstrations.
+func E6TimestampPitfalls() (*E6Result, error) {
+	res := &E6Result{SkewCycles: 37}
+
+	// (a) stale timestamps from channel-depth optimization
+	p, _, _ := latencyProgram(true)
+	fresh, actual, err := runLatency(p, hls.Options{}, nil)
+	if err != nil {
+		return nil, err
+	}
+	res.FreshLatency, res.TrueLatency = fresh, actual
+	p, _, _ = latencyProgram(true)
+	stale, _, err := runLatency(p, hls.Options{OptimizeChannelDepths: true}, nil)
+	if err != nil {
+		return nil, err
+	}
+	res.StaleLatency = stale
+
+	// (b) counter skew across separate persistent kernels
+	p, _, _ = latencyProgram(false)
+	skewed, _, err := runLatency(p, hls.Options{}, func(kernel string, cu int) int64 {
+		if kernel == "tch1_srv" {
+			return res.SkewCycles // second counter released late
+		}
+		return 0
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.SkewLatency = skewed
+	p, _, _ = latencyProgram(true)
+	aligned, _, err := runLatency(p, hls.Options{}, func(kernel string, cu int) int64 {
+		return 11 // a shared kernel may start late, but both channels agree
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.AlignLatency = aligned
+
+	// (c) read-site motion on a straight-line event
+	if err := res.driftDemo(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// driftDemo measures a 20-multiply chain (60 cycles) with a dependence-free
+// channel read vs a dependence-carrying get_time call.
+func (r *E6Result) driftDemo() error {
+	p := kir.NewProgram("drift")
+	tm := primitives.AddPersistentTimer(p, "tch", 2)
+	gt := primitives.AddHDLTimer(p)
+	k := p.AddKernel("dut", kir.SingleTask)
+	z := k.AddGlobal("z", kir.I64)
+	b := k.NewBuilder()
+	start := primitives.ReadTimestamp(b, tm.Chans[0])
+	v := b.Ci32(3)
+	for i := 0; i < 20; i++ {
+		v = b.Mul(v, b.Ci32(1))
+	}
+	endDrift := primitives.ReadTimestamp(b, tm.Chans[1]) // no dependence on v
+	startHDL := primitives.GetTime(b, gt, v)             // pinned after chain 1
+	v2 := v
+	for i := 0; i < 20; i++ {
+		v2 = b.Mul(v2, b.Ci32(1))
+	}
+	endHDL := primitives.GetTime(b, gt, v2) // pinned by the dependence
+	b.Store(z, b.Ci32(0), b.Sub(endDrift, start))
+	b.Store(z, b.Ci32(1), b.Sub(endHDL, startHDL))
+	b.Store(z, b.Ci32(2), v2)
+
+	d, err := hls.Compile(p, device.StratixV(), hls.Options{})
+	if err != nil {
+		return err
+	}
+	m := sim.New(d, sim.Options{})
+	bz := m.NewBuffer("z", kir.I64, 3)
+	m.Step(16)
+	if _, err := m.Launch("dut", sim.Args{"z": bz}); err != nil {
+		return err
+	}
+	if err := m.Run(); err != nil {
+		return err
+	}
+	r.ChainCycles = 60 // 20 multiplies x 3-cycle latency
+	r.DriftMeasured = bz.Data[0]
+	r.PinnedLatency = bz.Data[1]
+	return nil
+}
+
+// Table renders the three hazards.
+func (r *E6Result) Table() string {
+	t := report.New("E6 (§3.1): persistent-kernel timestamp hazards vs the HDL pattern",
+		"hazard", "configuration", "measured (cycles)", "reference")
+	t.Add("stale values", "depth-0 respected", r.FreshLatency, fmt.Sprintf("loop ~%d", r.TrueLatency))
+	t.Add("stale values", "compiler deepened channel", r.StaleLatency, "nonsense if != loop time")
+	t.Add("counter skew", "two counter kernels, +37cy skew", r.SkewLatency,
+		fmt.Sprintf("distorted by ~%d vs aligned", r.SkewCycles))
+	t.Add("counter skew", "one kernel drives both channels", r.AlignLatency, "skew-free")
+	t.Add("read-site motion", "channel read, no dependence", r.DriftMeasured,
+		fmt.Sprintf("event takes %d", r.ChainCycles))
+	t.Add("read-site motion", "get_time(value) pinned", r.PinnedLatency,
+		fmt.Sprintf("~%d expected", r.ChainCycles))
+	return t.String()
+}

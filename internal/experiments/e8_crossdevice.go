@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"oclfpga/internal/device"
+	"oclfpga/internal/report"
+)
+
+// E8Row is one device's headline overheads.
+type E8Row struct {
+	Device        string
+	BaseChaseMHz  float64
+	CLDropPct     float64
+	HDLDropPct    float64
+	BaseMatMulMHz float64
+	SMDropPct     float64
+}
+
+// E8Result replays the E1 and E3 headline measurements on all three
+// platforms of the paper's methodology (§2): the paper reports "other
+// platforms show similar trends".
+type E8Result struct {
+	Rows []E8Row
+}
+
+// E8CrossDevice runs the sweep.
+func E8CrossDevice() (*E8Result, error) {
+	res := &E8Result{}
+	for _, dev := range device.All() {
+		e1, err := E1TimestampOverhead(dev, 400)
+		if err != nil {
+			return nil, err
+		}
+		e3, err := E3Table1(dev, 16)
+		if err != nil {
+			return nil, err
+		}
+		base1 := e1.Rows[0].FmaxMHz
+		base3 := e3.Rows[0].FmaxMHz
+		res.Rows = append(res.Rows, E8Row{
+			Device:        dev.Name,
+			BaseChaseMHz:  base1,
+			CLDropPct:     (1 - e1.Rows[1].FmaxMHz/base1) * 100,
+			HDLDropPct:    (1 - e1.Rows[2].FmaxMHz/base1) * 100,
+			BaseMatMulMHz: base3,
+			SMDropPct:     (1 - e3.Rows[1].FmaxMHz/base3) * 100,
+		})
+	}
+	return res, nil
+}
+
+// Trends reports whether every platform shows the paper's qualitative
+// ordering: HDL cheaper than OpenCL counter, both small on the slow kernel,
+// and a much larger drop when instrumenting the fast kernel.
+func (r *E8Result) Trends() bool {
+	for _, row := range r.Rows {
+		if !(row.HDLDropPct < row.CLDropPct && row.CLDropPct < 5 && row.SMDropPct > 10) {
+			return false
+		}
+	}
+	return len(r.Rows) == 3
+}
+
+// Table renders the sweep.
+func (r *E8Result) Table() string {
+	t := report.New("E8 (§2): cross-platform trends",
+		"device", "chase base MHz", "OpenCL-ctr drop", "HDL-ctr drop", "matmul base MHz", "SM drop")
+	for _, row := range r.Rows {
+		t.Add(row.Device,
+			row.BaseChaseMHz,
+			report.Pct(100, 100-row.CLDropPct),
+			report.Pct(100, 100-row.HDLDropPct),
+			row.BaseMatMulMHz,
+			report.Pct(100, 100-row.SMDropPct))
+	}
+	return t.String()
+}

@@ -1,0 +1,63 @@
+package hls
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DumpSchedule renders the scheduled datapaths — the analogue of the vendor
+// compiler's optimization report, which the paper consults to confirm
+// single-cycle launch of the ibuffer loop (§4).
+func (d *Design) DumpSchedule() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "schedule report for %q on %s\n", d.Program.Name, d.Device.Name)
+	for _, xk := range d.Kernels {
+		fmt.Fprintf(&sb, "\nkernel %s (%s, %s):\n", xk.UnitName(), xk.Mode, xk.Role)
+		dumpScheduleRegion(&sb, xk, xk.Root, 1)
+		for i, site := range xk.LSUs {
+			fmt.Fprintf(&sb, "  LSU %d: %s %s on %q, stride %d\n",
+				i, site.Kind, lsuDir(&site), site.Arr.Name, site.StrideEl)
+		}
+	}
+	return sb.String()
+}
+
+func dumpScheduleRegion(sb *strings.Builder, xk *XKernel, r *XRegion, depth int) {
+	ind := strings.Repeat("  ", depth)
+	if r.IsLoop {
+		kind := "pipelined"
+		if !r.Leaf() {
+			kind = "sequential (inner loops)"
+		}
+		extra := ""
+		if r.Infinite {
+			extra = ", infinite"
+		}
+		if r.IVDep {
+			extra += ", ivdep"
+		}
+		fmt.Fprintf(sb, "%sloop %q: %s, II=%d%s\n", ind, r.Label, kind, r.II, extra)
+	}
+	for i, it := range r.Items {
+		switch it := it.(type) {
+		case *Segment:
+			fmt.Fprintf(sb, "%s segment %d: %d ops over %d stages\n", ind, i, len(it.Ops), it.Depth)
+			byStage := map[int]int{}
+			for _, op := range it.Ops {
+				byStage[op.Start]++
+			}
+			// a compact stage histogram line
+			var stages []string
+			for s := 0; s < it.Depth; s++ {
+				if n := byStage[s]; n > 0 {
+					stages = append(stages, fmt.Sprintf("%d:%d", s, n))
+				}
+			}
+			if len(stages) > 0 {
+				fmt.Fprintf(sb, "%s   ops/stage: %s\n", ind, strings.Join(stages, " "))
+			}
+		case *XRegion:
+			dumpScheduleRegion(sb, xk, it, depth+1)
+		}
+	}
+}

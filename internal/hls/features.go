@@ -1,0 +1,125 @@
+package hls
+
+import (
+	"oclfpga/internal/area"
+	"oclfpga/internal/kir"
+	"oclfpga/internal/mem"
+)
+
+// extractFeatures builds the per-kernel structural summaries the area model
+// consumes. One summary per source kernel (compute-unit replication is
+// carried by ComputeUnits and expanded inside the estimator).
+func (d *Design) extractFeatures() []area.KernelFeatures {
+	// channel id -> producer/consumer kernel role, for tap classification
+	prodRole := map[int]kir.Role{}
+	consRole := map[int]kir.Role{}
+	for _, x := range d.Kernels {
+		x.Root.WalkOps(func(op *XOp) {
+			if op.ChID >= 0 {
+				if op.Kind.IsChannelRead() {
+					consRole[op.ChID] = x.Role
+				} else {
+					prodRole[op.ChID] = x.Role
+				}
+			}
+		})
+	}
+
+	var feats []area.KernelFeatures
+	seen := map[string]bool{}
+	for _, x := range d.Kernels {
+		if seen[x.Name] {
+			continue // one summary per kernel; CU 0 is representative
+		}
+		seen[x.Name] = true
+
+		f := area.KernelFeatures{
+			Name:         x.Name,
+			Role:         x.Role,
+			ComputeUnits: x.Src.NumComputeUnits,
+		}
+		for _, a := range x.Src.Locals {
+			f.LocalBits += int64(a.Bits())
+		}
+		for _, site := range x.LSUs {
+			if site.Kind == mem.BurstCoalesced {
+				f.BurstLSUs++
+			} else {
+				f.PipeLSUs++
+			}
+		}
+
+		opCounts := map[[2]int]int{} // (kind, bits) -> n
+		x.Root.WalkRegions(func(r *XRegion) {
+			if r.IsLoop {
+				f.Loops++
+				if r.HasLoopCarriedMemDep {
+					f.HasLoopCarriedMemDep = true
+				}
+			}
+			for _, it := range r.Items {
+				seg, ok := it.(*Segment)
+				if !ok {
+					continue
+				}
+				if seg.Depth > f.PipeDepth {
+					f.PipeDepth = seg.Depth
+				}
+				// pipeline register pressure: each produced value is
+				// registered from definition to its last use
+				lastUse := map[int]int{}
+				defEnd := map[int]int{}
+				bits := map[int]int{}
+				for _, op := range seg.Ops {
+					for _, a := range op.Args {
+						if a >= 0 && op.Start > lastUse[a] {
+							lastUse[a] = op.Start
+						}
+					}
+					if op.Guard >= 0 && op.Start > lastUse[op.Guard] {
+						lastUse[op.Guard] = op.Start
+					}
+					if op.Dst >= 0 {
+						defEnd[op.Dst] = op.Start + op.Lat
+						bits[op.Dst] = op.Bits
+					}
+					opCounts[[2]int{int(op.Kind), op.Bits}]++
+					switch op.Kind {
+					case kir.OpChanRead, kir.OpChanReadNB:
+						f.ChanEnds++
+						if prodRole[op.ChID] == kir.RoleTimerServer && x.Role == kir.RoleUser {
+							f.CLTimestampTaps++
+						}
+					case kir.OpChanWrite, kir.OpChanWriteNB:
+						f.ChanEnds++
+						if consRole[op.ChID] == kir.RoleIBuffer && x.Role == kir.RoleUser {
+							f.IBufTaps++
+						}
+					case kir.OpCall:
+						if op.Lib != nil && op.Lib.Timestamp {
+							f.HDLTimestampTaps++
+						}
+					}
+				}
+				for slot, end := range defEnd {
+					span := lastUse[slot] - end
+					if span < 1 {
+						span = 1
+					}
+					f.PipeRegBits += int64(bits[slot] * span)
+				}
+			}
+		})
+		for kb, n := range opCounts {
+			f.Ops = append(f.Ops, area.OpCount{Kind: kir.OpKind(kb[0]), Bits: kb[1], N: n})
+		}
+		if x.Role == kir.RoleIBuffer {
+			f.IBuf = area.IBufFunc(x.Src.Tag)
+			if f.IBuf == "" {
+				f.IBuf = area.IBufRecord
+			}
+		}
+		feats = append(feats, f)
+	}
+	return feats
+}

@@ -1,0 +1,316 @@
+package hls
+
+import (
+	"fmt"
+
+	"oclfpga/internal/kir"
+)
+
+// lowerer elaborates one kernel compute unit: it resolves per-CU channels,
+// if-converts conditionals into predicated ops, fully unrolls #pragma unroll
+// loops, and renames values into runtime slots.
+type lowerer struct {
+	d   *Design
+	k   *kir.Kernel
+	cu  int
+	x   *XKernel
+	err error
+
+	// remap translates kir value ids to slots; identity unless cloning
+	// (unrolling) is active.
+	remap map[int]int
+	// cloning makes every defined value get a fresh slot.
+	cloning bool
+
+	curSeg *Segment
+}
+
+func lowerKernel(d *Design, k *kir.Kernel, cu int) (*XKernel, error) {
+	x := &XKernel{
+		Name:        k.Name,
+		CU:          cu,
+		Mode:        k.Mode,
+		Role:        k.Role,
+		Src:         k,
+		NumSlots:    k.NumVals(),
+		ScalarSlots: map[int]int{},
+	}
+	for _, p := range k.Params {
+		if p.Kind == kir.ScalarParam {
+			x.ScalarSlots[p.Index] = p.Val.ID()
+		}
+	}
+	lw := &lowerer{d: d, k: k, cu: cu, x: x, remap: map[int]int{}}
+	root := &XRegion{}
+	lw.curSeg = &Segment{}
+	lw.region(k.Body, root, -1)
+	lw.closeSegment(root)
+	if lw.err != nil {
+		return nil, lw.err
+	}
+	x.Root = root
+	return x, nil
+}
+
+func (lw *lowerer) fail(format string, args ...any) {
+	if lw.err == nil {
+		lw.err = fmt.Errorf("kernel %q: %s", lw.k.Name, fmt.Sprintf(format, args...))
+	}
+}
+
+// slot maps a kir value to its runtime slot.
+func (lw *lowerer) slot(v kir.Val) int {
+	if !v.Valid() {
+		return -1
+	}
+	if s, ok := lw.remap[v.ID()]; ok {
+		return s
+	}
+	return v.ID()
+}
+
+// defSlot returns the slot an op should define for v: a fresh slot when
+// cloning, the identity slot otherwise.
+func (lw *lowerer) defSlot(v kir.Val) int {
+	if !v.Valid() {
+		return -1
+	}
+	if lw.cloning {
+		s := lw.newSlot()
+		lw.remap[v.ID()] = s
+		return s
+	}
+	return v.ID()
+}
+
+func (lw *lowerer) newSlot() int {
+	s := lw.x.NumSlots
+	lw.x.NumSlots++
+	return s
+}
+
+func (lw *lowerer) closeSegment(out *XRegion) {
+	if len(lw.curSeg.Ops) > 0 {
+		out.Items = append(out.Items, lw.curSeg)
+	}
+	lw.curSeg = &Segment{}
+}
+
+// region lowers r's nodes into out under the given guard slot.
+func (lw *lowerer) region(r *kir.Region, out *XRegion, guard int) {
+	for _, n := range r.Nodes {
+		if lw.err != nil {
+			return
+		}
+		switch n := n.(type) {
+		case *kir.Op:
+			lw.op(n, guard)
+		case *kir.If:
+			cond := lw.slot(n.Cond)
+			newGuard := cond
+			if guard >= 0 {
+				// conjunction with the enclosing predicate
+				g := lw.newSlot()
+				lw.curSeg.Ops = append(lw.curSeg.Ops, &XOp{
+					Kind: kir.OpAnd, Dst: g, OkDst: -1, Bits: 1,
+					Args: []int{guard, cond}, Guard: -1,
+					ChID: -1, LSU: -1, Local: -1,
+				})
+				newGuard = g
+			}
+			lw.region(n.Then, out, newGuard)
+		case *kir.Loop:
+			lw.loop(n, out, guard)
+		}
+	}
+}
+
+func (lw *lowerer) loop(l *kir.Loop, out *XRegion, guard int) {
+	trip, tripKnown := kir.TripCount(lw.k, l)
+	if l.Unroll {
+		if !tripKnown || kir.IsInfinite(lw.k, l) {
+			lw.fail("loop %q: cannot unroll without constant trip count", l.Label)
+			return
+		}
+		lw.unroll(l, trip, guard)
+		return
+	}
+	if guard >= 0 {
+		lw.fail("loop %q: non-unrolled loop under divergent control is not synthesizable", l.Label)
+		return
+	}
+
+	lw.closeSegment(out)
+	sub := &XRegion{
+		IsLoop:    true,
+		IVDep:     l.IVDep,
+		Label:     l.Label,
+		IndSlot:   lw.defSlot(l.IndVar),
+		StartSlot: lw.slot(l.Start),
+		EndSlot:   lw.slot(l.End),
+		StepSlot:  lw.slot(l.Step),
+		Infinite:  kir.IsInfinite(lw.k, l),
+	}
+	for _, c := range l.Carried {
+		sub.Carried = append(sub.Carried, XCarried{
+			InitSlot: lw.slot(c.Init),
+			PhiSlot:  lw.defSlot(c.Phi),
+			NextSlot: -1, // filled after the body is lowered
+			OutSlot:  lw.defSlot(c.Out),
+		})
+	}
+	savedSeg := lw.curSeg
+	lw.curSeg = &Segment{}
+	lw.region(l.Body, sub, -1)
+	lw.closeSegment(sub)
+	lw.curSeg = savedSeg
+	for i, c := range l.Carried {
+		sub.Carried[i].NextSlot = lw.slot(c.Next)
+	}
+	out.Items = append(out.Items, sub)
+}
+
+// unroll expands the loop body trip times inline, renaming all defined
+// values, exactly as the paper's host-interface kernel relies on
+// (#pragma unroll over channel selections, Listing 10).
+func (lw *lowerer) unroll(l *kir.Loop, trip int64, guard int) {
+	start, _ := lw.k.ConstVal(l.Start)
+	step, _ := lw.k.ConstVal(l.Step)
+
+	// carried chain: value slots feeding each iteration's phi
+	cur := make([]int, len(l.Carried))
+	for i, c := range l.Carried {
+		cur[i] = lw.slot(c.Init)
+	}
+
+	savedClone := lw.cloning
+	for it := int64(0); it < trip; it++ {
+		saved := lw.remap
+		lw.remap = cloneRemap(saved)
+		lw.cloning = true
+
+		// induction variable: materialize the constant
+		ivSlot := lw.newSlot()
+		lw.remap[l.IndVar.ID()] = ivSlot
+		lw.curSeg.Ops = append(lw.curSeg.Ops, &XOp{
+			Kind: kir.OpConst, Dst: ivSlot, OkDst: -1, Guard: guard, Bits: 32,
+			Const: start + it*step, ChID: -1, LSU: -1, Local: -1,
+		})
+		for i, c := range l.Carried {
+			lw.remap[c.Phi.ID()] = cur[i]
+		}
+		lw.unrollRegion(l.Body, guard)
+		for i, c := range l.Carried {
+			cur[i] = lw.slot(c.Next)
+		}
+		lw.remap = saved
+		lw.cloning = savedClone
+	}
+	// loop outputs
+	for i, c := range l.Carried {
+		lw.remap[c.Out.ID()] = cur[i]
+	}
+}
+
+// unrollRegion lowers a region in cloning mode; nested loops inside an
+// unrolled loop must themselves be unrolled (the paper's rule for
+// single-cycle-launch bodies).
+func (lw *lowerer) unrollRegion(r *kir.Region, guard int) {
+	for _, n := range r.Nodes {
+		if lw.err != nil {
+			return
+		}
+		switch n := n.(type) {
+		case *kir.Op:
+			lw.op(n, guard)
+		case *kir.If:
+			cond := lw.slot(n.Cond)
+			newGuard := cond
+			if guard >= 0 {
+				g := lw.newSlot()
+				lw.curSeg.Ops = append(lw.curSeg.Ops, &XOp{
+					Kind: kir.OpAnd, Dst: g, OkDst: -1, Bits: 1,
+					Args: []int{guard, cond}, Guard: -1,
+					ChID: -1, LSU: -1, Local: -1,
+				})
+				newGuard = g
+			}
+			lw.unrollRegion(n.Then, newGuard)
+		case *kir.Loop:
+			trip, ok := kir.TripCount(lw.k, n)
+			if !ok || kir.IsInfinite(lw.k, n) {
+				lw.fail("loop %q: non-constant loop nested in unrolled loop", n.Label)
+				return
+			}
+			lw.unroll(n, trip, guard)
+		}
+	}
+}
+
+// op lowers one operation.
+func (lw *lowerer) op(op *kir.Op, guard int) {
+	bits := 32
+	switch {
+	case op.Dst.Valid():
+		bits = lw.k.ValType(op.Dst).Bits()
+	case op.Kind == kir.OpStore || op.Kind == kir.OpLocalStore:
+		bits = lw.k.ValType(op.Args[1]).Bits()
+	case op.Kind == kir.OpChanWrite || op.Kind == kir.OpChanWriteNB:
+		bits = lw.k.ValType(op.Args[0]).Bits()
+	}
+	x := &XOp{
+		Kind:   op.Kind,
+		Guard:  guard,
+		Const:  op.Const,
+		Bits:   bits,
+		Dim:    op.Dim,
+		Lib:    op.Lib,
+		IBuf:   op.IBuf,
+		Pinned: op.Pinned,
+		ChID:   -1,
+		LSU:    -1,
+		Local:  -1,
+	}
+	for _, a := range op.Args {
+		x.Args = append(x.Args, lw.slot(a))
+	}
+	// destinations are renamed after operands are resolved
+	x.Dst = lw.defSlot(op.Dst)
+	x.OkDst = lw.defSlot(op.OkDst)
+
+	switch {
+	case op.Kind.IsChannelOp():
+		ch := op.Ch
+		if op.ChArr != nil {
+			if lw.cu >= len(op.ChArr) {
+				lw.fail("compute unit %d exceeds channel array length %d", lw.cu, len(op.ChArr))
+				return
+			}
+			ch = op.ChArr[lw.cu]
+		}
+		x.ChID = ch.ID
+	case op.Kind.IsGlobalMemOp():
+		x.LSU = len(lw.x.LSUs)
+		lw.x.LSUs = append(lw.x.LSUs, LSUSite{Arr: op.Arr, IsStore: op.Kind == kir.OpStore})
+	case op.Kind == kir.OpLocalLoad || op.Kind == kir.OpLocalStore:
+		x.Local = op.Local.Index
+	case op.Kind == kir.OpComputeID:
+		// resolved at elaboration: the compute unit's coordinate along the
+		// requested dimension is a constant in each replica
+		x.Kind = kir.OpConst
+		dim := op.Dim
+		if dim < 0 || dim > 2 {
+			dim = 0
+		}
+		x.Const = int64(lw.k.CUCoord(lw.cu)[dim])
+	}
+	lw.curSeg.Ops = append(lw.curSeg.Ops, x)
+}
+
+func cloneRemap(m map[int]int) map[int]int {
+	c := make(map[int]int, len(m))
+	for k, v := range m {
+		c[k] = v
+	}
+	return c
+}

@@ -1,0 +1,209 @@
+package hls
+
+import (
+	"oclfpga/internal/kir"
+	"oclfpga/internal/mem"
+)
+
+// linForm is a symbolic affine form c + Σ coeff·iv over loop induction
+// variables (and the NDRange global id), used to pick LSU kinds.
+type linForm struct {
+	ok    bool
+	c     int64
+	terms map[int]int64 // iv slot -> coefficient
+}
+
+func constForm(c int64) linForm { return linForm{ok: true, c: c} }
+
+func ivForm(slot int64) linForm {
+	return linForm{ok: true, terms: map[int]int64{int(slot): 1}}
+}
+
+func (a linForm) add(b linForm, sign int64) linForm {
+	if !a.ok || !b.ok {
+		return linForm{}
+	}
+	out := linForm{ok: true, c: a.c + sign*b.c, terms: map[int]int64{}}
+	for k, v := range a.terms {
+		out.terms[k] = v
+	}
+	for k, v := range b.terms {
+		out.terms[k] += sign * v
+	}
+	return out
+}
+
+func (a linForm) scale(f int64) linForm {
+	if !a.ok {
+		return linForm{}
+	}
+	out := linForm{ok: true, c: a.c * f, terms: map[int]int64{}}
+	for k, v := range a.terms {
+		out.terms[k] = v * f
+	}
+	return out
+}
+
+func (a linForm) pureConst() (int64, bool) {
+	if !a.ok {
+		return 0, false
+	}
+	for _, v := range a.terms {
+		if v != 0 {
+			return 0, false
+		}
+	}
+	return a.c, true
+}
+
+// selectLSUs performs stride analysis over the elaborated kernel and
+// assigns an LSU kind per access site: affine addresses get the (large,
+// coalescing) burst LSU, data-dependent addresses the pipelined LSU.
+// ivFrame is one enclosing loop's induction variable and step.
+type ivFrame struct {
+	slot int
+	step int64
+}
+
+func (d *Design) selectLSUs(x *XKernel) {
+	forms := map[int]linForm{}
+	// a stack of enclosing-loop induction variables; innermost last
+	var stack []ivFrame
+
+	var walk func(r *XRegion)
+	walk = func(r *XRegion) {
+		if r.IsLoop {
+			step := int64(1)
+			if s, ok := forms[r.StepSlot]; ok {
+				if c, isC := s.pureConst(); isC {
+					step = c
+				}
+			}
+			forms[r.IndSlot] = ivForm(int64(r.IndSlot))
+			stack = append(stack, ivFrame{slot: r.IndSlot, step: step})
+			defer func() { stack = stack[:len(stack)-1] }()
+		}
+		for _, it := range r.Items {
+			switch it := it.(type) {
+			case *Segment:
+				for _, op := range it.Ops {
+					d.lsuOp(x, op, forms, stack)
+				}
+			case *XRegion:
+				walk(it)
+			}
+		}
+	}
+	walk(x.Root)
+
+	for i := range x.LSUs {
+		s := &x.LSUs[i]
+		d.Logf("kernel %s: %s site on %q: %s LSU (stride %d elements)",
+			x.UnitName(), lsuDir(s), s.Arr.Name, s.Kind, s.StrideEl)
+	}
+}
+
+func lsuDir(s *LSUSite) string {
+	if s.IsStore {
+		return "store"
+	}
+	return "load"
+}
+
+func (d *Design) lsuOp(x *XKernel, op *XOp, forms map[int]linForm, stack []ivFrame) {
+	set := func(slot int, f linForm) {
+		if slot >= 0 {
+			forms[slot] = f
+		}
+	}
+	get := func(slot int) linForm {
+		if slot < 0 {
+			return linForm{}
+		}
+		return forms[slot]
+	}
+	switch op.Kind {
+	case kir.OpConst:
+		set(op.Dst, constForm(op.Const))
+	case kir.OpGlobalID:
+		// the global id sweeps work-items with stride 1, like an iv
+		set(op.Dst, ivForm(int64(op.Dst)))
+	case kir.OpAdd:
+		set(op.Dst, get(op.Args[0]).add(get(op.Args[1]), 1))
+	case kir.OpSub:
+		set(op.Dst, get(op.Args[0]).add(get(op.Args[1]), -1))
+	case kir.OpMul:
+		a, b := get(op.Args[0]), get(op.Args[1])
+		if c, ok := b.pureConst(); ok {
+			set(op.Dst, a.scale(c))
+		} else if c, ok := a.pureConst(); ok {
+			set(op.Dst, b.scale(c))
+		} else {
+			set(op.Dst, linForm{})
+		}
+	case kir.OpShl:
+		a, b := get(op.Args[0]), get(op.Args[1])
+		if c, ok := b.pureConst(); ok && c >= 0 && c < 32 {
+			set(op.Dst, a.scale(1<<uint(c)))
+		} else {
+			set(op.Dst, linForm{})
+		}
+	case kir.OpLoad, kir.OpStore:
+		idx := get(op.Args[0])
+		site := &x.LSUs[op.LSU]
+		if idx.ok {
+			site.Kind = mem.BurstCoalesced
+			// stride with respect to the innermost enclosing loop whose iv
+			// appears in the form
+			for i := len(stack) - 1; i >= 0; i-- {
+				if co := idx.terms[stack[i].slot]; co != 0 {
+					site.StrideEl = co * stack[i].step
+					break
+				}
+				// a global-id term also implies coalesceable sweeps
+			}
+			if site.StrideEl == 0 {
+				for ivSlot, co := range idx.terms {
+					_ = ivSlot
+					if co != 0 {
+						site.StrideEl = co
+						break
+					}
+				}
+			}
+		} else {
+			site.Kind = mem.Pipelined
+			site.StrideEl = 0
+		}
+		if op.Kind == kir.OpLoad {
+			set(op.Dst, linForm{}) // loaded data is opaque
+		}
+	default:
+		set(op.Dst, linForm{})
+		if op.OkDst >= 0 {
+			set(op.OkDst, linForm{})
+		}
+	}
+}
+
+// sizeChannels fixes the synthesized depth of every channel, applying the
+// channel-depth optimization pass when enabled — including to declared
+// depth-0 channels, which is the stale-timestamp hazard of §3.1.
+func (d *Design) sizeChannels() {
+	p := d.Program
+	d.ChanDepth = make([]int, len(p.Chans))
+	d.ChanBits = make([]int, len(p.Chans))
+	for i, c := range p.Chans {
+		d.ChanDepth[i] = c.Depth
+		d.ChanBits[i] = c.Elem.Bits()
+		if d.Options.OptimizeChannelDepths && c.Depth < d.Options.MinOptimizedDepth {
+			d.ChanDepth[i] = d.Options.MinOptimizedDepth
+			if c.Depth == 0 {
+				d.Logf("channel %q: declared depth 0 raised to %d to cover pipeline latency (may deliver stale values to readers)",
+					c.Name, d.ChanDepth[i])
+			} else {
+				d.Logf("channel %q: depth raised %d -> %d", c.Name, c.Depth, d.ChanDepth[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,477 @@
+package hls
+
+import (
+	"math"
+
+	"oclfpga/internal/kir"
+)
+
+// opTiming returns the scheduled pipeline latency of an op in cycles and,
+// for zero-latency ops, its combinational delay as a fraction of one clock
+// period. Cheap ops (compares, logic, selects, adds) chain within a stage
+// until the accumulated delay exceeds the period — this operation chaining
+// is what lets the paper's ibuffer state machine close at II=1 even though
+// its carried state flows through several muxes per iteration. Global loads
+// schedule at a fixed LSU pipeline depth; the simulator stalls when the
+// memory system responds later than scheduled.
+func opTiming(o *XOp) (lat int, delay float64) {
+	switch o.Kind {
+	case kir.OpConst, kir.OpFence:
+		return 0, 0
+	case kir.OpGlobalID:
+		return 0, 0.05
+	case kir.OpAdd, kir.OpSub:
+		return 0, 0.20
+	case kir.OpAnd, kir.OpOr, kir.OpXor:
+		return 0, 0.08
+	case kir.OpShl, kir.OpShr:
+		return 0, 0.10
+	case kir.OpCmpLT, kir.OpCmpLE, kir.OpCmpEQ, kir.OpCmpNE, kir.OpCmpGT, kir.OpCmpGE:
+		return 0, 0.15
+	case kir.OpSelect:
+		return 0, 0.10
+	case kir.OpMul:
+		return 3, 0
+	case kir.OpDiv, kir.OpMod:
+		return 16, 0
+	case kir.OpLoad:
+		return 7, 0
+	case kir.OpStore:
+		return 1, 0
+	case kir.OpLocalLoad:
+		return 2, 0
+	case kir.OpLocalStore:
+		return 1, 0
+	case kir.OpChanRead, kir.OpChanWrite, kir.OpChanReadNB, kir.OpChanWriteNB:
+		return 2, 0
+	case kir.OpCall:
+		if o.Lib != nil && o.Lib.Latency > 0 {
+			return o.Lib.Latency, 0
+		}
+		return 1, 0
+	case kir.OpIBufLogic:
+		return 1, 0
+	}
+	return 1, 0
+}
+
+// scheduleKernel schedules every segment of the kernel and computes loop
+// initiation intervals.
+func (d *Design) scheduleKernel(x *XKernel) {
+	x.Root.WalkRegions(func(r *XRegion) {
+		if r.IsLoop && r.Leaf() {
+			d.scheduleLeafLoop(x, r)
+		} else {
+			for _, it := range r.Items {
+				if seg, ok := it.(*Segment); ok {
+					d.scheduleSegment(x, seg, nil)
+				}
+			}
+			if r.IsLoop {
+				r.II = 0
+			}
+		}
+		if r.IsLoop {
+			if r.Leaf() {
+				if r.II == 1 {
+					d.Logf("kernel %s: loop %q launches one iteration per cycle (II=1)",
+						x.UnitName(), r.Label)
+				} else {
+					d.Logf("kernel %s: loop %q initiation interval II=%d%s",
+						x.UnitName(), r.Label, r.II, iiReason(r))
+				}
+			} else {
+				d.Logf("kernel %s: loop %q is not pipelined (inner loops present); iterations execute sequentially",
+					x.UnitName(), r.Label)
+			}
+		}
+	})
+}
+
+func iiReason(r *XRegion) string {
+	if r.HasLoopCarriedMemDep {
+		return " (loop-carried global-memory dependence)"
+	}
+	return " (loop-carried dependence)"
+}
+
+// scheduleSegment assigns ASAP start stages. Dependence edges:
+//   - data: op uses a slot defined earlier in the segment;
+//   - guard: the predicate slot must be available;
+//   - channel order: channel ops, fences, and ibuffer-logic ops keep their
+//     program order (AOCL guarantees channel-operation ordering, and the
+//     paper's primitives rely on it);
+//   - memory order: global ops on the same array, and local ops on the same
+//     local array, keep issue order.
+//
+// Anything else floats — which is exactly why a dependence-free timestamp
+// read can drift from the event it should bracket (§3.1).
+//
+// Cheap ops chain combinationally within a stage (opTiming delays); phiAvail
+// (from the modulo fixup) pins loop-carried phi slots to the stage where the
+// previous iteration's value is guaranteed available at the loop's II.
+func (d *Design) scheduleSegment(x *XKernel, seg *Segment, phiAvail map[int]int) {
+	defOp := map[int]*XOp{}
+	chainAcc := map[*XOp]float64{} // accumulated combinational delay at op's stage
+	var chanPrev *XOp
+	var pinPrev *XOp // last pinned op: a barrier every later op must follow
+	maxEnd := 0      // completion frontier: a pinned op waits for everything
+	memPrev := map[*kir.Param]*XOp{}
+	localPrev := map[int]*XOp{}
+
+	depth := 1
+	for _, op := range seg.Ops {
+		lat, delay := opTiming(op)
+		start := 0
+		chainIn := 0.0
+		dep := func(slot int) {
+			if slot < 0 {
+				return
+			}
+			if a, ok := phiAvail[slot]; ok && a > start {
+				start = a
+				chainIn = 0
+			}
+			def, ok := defOp[slot]
+			if !ok {
+				return
+			}
+			t := def.Start + def.Lat
+			if t > start {
+				start = t
+				chainIn = 0
+			}
+			// a zero-latency producer at exactly our current stage chains
+			// combinationally into us
+			if def.Lat == 0 && t == start {
+				if c := chainAcc[def]; c > chainIn {
+					chainIn = c
+				}
+			}
+		}
+		for _, a := range op.Args {
+			dep(a)
+		}
+		dep(op.Guard)
+
+		after := func(prev *XOp) {
+			if prev == nil {
+				return
+			}
+			if t := prev.Start + 1; t > start {
+				start = t
+				chainIn = 0
+			}
+		}
+		isOrdered := op.Kind.IsChannelOp() || op.Kind == kir.OpFence || op.Kind == kir.OpIBufLogic
+		if isOrdered {
+			after(chanPrev)
+		}
+		if op.LSU >= 0 {
+			after(memPrev[x.LSUs[op.LSU].Arr])
+		}
+		if op.Local >= 0 {
+			after(localPrev[op.Local])
+		}
+		// pinned ops are full barriers on *completion*: nothing crosses a
+		// pinned op, and a pinned op waits for everything before it
+		afterEnd := func(prev *XOp) {
+			if prev == nil {
+				return
+			}
+			end := prev.Start + prev.Lat
+			if prev.Lat == 0 {
+				end = prev.Start + 1
+			}
+			if end > start {
+				start = end
+				chainIn = 0
+			}
+		}
+		afterEnd(pinPrev)
+		if op.Pinned && maxEnd > start {
+			start = maxEnd
+			chainIn = 0
+		}
+
+		chain := chainIn + delay
+		if chain > 1.0 {
+			start++
+			chain = delay
+		}
+
+		op.Start = start
+		op.Lat = lat
+		chainAcc[op] = chain
+		end := op.Start + op.Lat
+		if op.Lat == 0 {
+			end = op.Start + 1 // the op still occupies its issue stage
+		}
+		if end > depth {
+			depth = end
+		}
+
+		if op.Dst >= 0 {
+			defOp[op.Dst] = op
+		}
+		if op.OkDst >= 0 {
+			defOp[op.OkDst] = op
+		}
+		if isOrdered {
+			chanPrev = op
+		}
+		if op.LSU >= 0 {
+			memPrev[x.LSUs[op.LSU].Arr] = op
+		}
+		if op.Local >= 0 {
+			localPrev[op.Local] = op
+		}
+		if op.Pinned {
+			pinPrev = op
+		}
+		if end > maxEnd {
+			maxEnd = end
+		}
+	}
+	seg.Depth = depth
+}
+
+// scheduleLeafLoop schedules a leaf loop's single segment and derives its
+// initiation interval from carried dependence cycles, iterating a
+// modulo-scheduling fixup: at the final II, each phi slot is pinned to the
+// stage where the previous iteration's value is guaranteed available, so an
+// II=1 result really sustains one iteration per cycle at runtime. It also
+// tags loop-carried global-memory dependences (pointer chasing).
+func (d *Design) scheduleLeafLoop(x *XKernel, r *XRegion) {
+	seg := r.Items[0].(*Segment)
+	phiAvail := map[int]int{}
+	prevII := 1
+	converged := false
+	for round := 0; round < 12; round++ {
+		d.scheduleSegment(x, seg, phiAvail)
+		ii, memdep, prodEnd := analyzeII(r, seg)
+		if mo := memOrderII(x, seg); !r.IVDep && mo > ii {
+			// may-aliasing accesses to one array across iterations: raise II
+			// so iteration i's last access precedes iteration i+1's first —
+			// the conservative loop-carried memory-dependence handling
+			ii = mo
+		}
+		if ii < prevII {
+			ii = prevII // monotone II damps fixup oscillation
+		}
+		prevII = ii
+		next := map[int]int{}
+		for k, c := range r.Carried {
+			if end, dist, ok := resolveProducer(r, prodEnd, k); ok {
+				if a := end - dist*ii; a > 0 {
+					next[c.PhiSlot] = a
+				}
+			}
+		}
+		if mapsEqual(next, phiAvail) {
+			r.II = ii
+			r.HasLoopCarriedMemDep = memdep
+			converged = true
+			break
+		}
+		phiAvail = next
+	}
+	if !converged {
+		// The fixup oscillated (rare, pathological dependence/memory-order
+		// interplay). Fall back to a schedule with no phi pinning and a
+		// drain-spaced II — iteration i+1 enters only after iteration i has
+		// produced everything — which is always valid.
+		d.scheduleSegment(x, seg, nil)
+		var memdep bool
+		_, memdep, _ = analyzeII(r, seg)
+		r.II = seg.Depth
+		r.HasLoopCarriedMemDep = memdep
+		d.Logf("kernel %s: loop %q modulo scheduling did not converge; serialized at II=%d",
+			x.UnitName(), r.Label, r.II)
+	}
+	// annotate Next producers so the simulator forwards carried values
+	defOp := segDefs(seg)
+	for ci, c := range r.Carried {
+		if target := defOp[c.NextSlot]; target != nil {
+			target.ForwardCarried = append(target.ForwardCarried, ci)
+		}
+	}
+}
+
+func segDefs(seg *Segment) map[int]*XOp {
+	defOp := map[int]*XOp{}
+	for _, op := range seg.Ops {
+		if op.Dst >= 0 {
+			defOp[op.Dst] = op
+		}
+		if op.OkDst >= 0 {
+			defOp[op.OkDst] = op
+		}
+	}
+	return defOp
+}
+
+// resolveProducer finds the schedule stage at which carried k's phi value is
+// actually produced, following passthrough chains: when Next_k is another
+// carried variable's phi, the real producer sits one more iteration back
+// (dist grows). Chains ending at an induction variable, a parent-defined
+// value, or a pure phi cycle (the value is just the init, available forever)
+// need no pin.
+func resolveProducer(r *XRegion, prodEnd map[int]int, k int) (end, dist int, ok bool) {
+	phiIndex := map[int]int{}
+	for j, c := range r.Carried {
+		phiIndex[c.PhiSlot] = j
+	}
+	visited := map[int]bool{}
+	dist = 1
+	cur := k
+	for {
+		if e, has := prodEnd[cur]; has {
+			return e, dist, true
+		}
+		nextSlot := r.Carried[cur].NextSlot
+		j, isPhi := phiIndex[nextSlot]
+		if !isPhi || visited[j] {
+			return 0, 0, false
+		}
+		visited[j] = true
+		cur = j
+		dist++
+	}
+}
+
+func mapsEqual(a, b map[int]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// analyzeII computes the loop's minimum initiation interval: for each
+// carried variable, the maximum cost (pipeline latencies plus combinational
+// delays, in cycles) of any dependence path from the phi to the op producing
+// Next. It also reports whether any such cycle goes through a global load,
+// and the schedule stage at which each Next value is ready.
+func analyzeII(r *XRegion, seg *Segment) (ii int, memDep bool, prodEnd map[int]int) {
+	defOp := segDefs(seg)
+	ii = 1
+	prodEnd = map[int]int{}
+	for ci, c := range r.Carried {
+		target := defOp[c.NextSlot]
+		if target == nil {
+			continue // passthrough or parent-defined: distance 1 handled at issue
+		}
+		prodEnd[ci] = target.Start + target.Lat
+		memo := map[*XOp]float64{}
+		var reach func(op *XOp) float64
+		reach = func(op *XOp) float64 {
+			if v, ok := memo[op]; ok {
+				return v
+			}
+			memo[op] = -1 // cycle guard
+			best := -1.0
+			srcs := op.Args
+			if op.Guard >= 0 {
+				srcs = append(append([]int{}, srcs...), op.Guard)
+			}
+			for _, a := range srcs {
+				if a == c.PhiSlot {
+					if best < 0 {
+						best = 0
+					}
+					continue
+				}
+				if def, ok := defOp[a]; ok {
+					if rr := reach(def); rr >= 0 {
+						if t := rr + opCost(def); t > best {
+							best = t
+						}
+					}
+				}
+			}
+			memo[op] = best
+			return best
+		}
+		rt := reach(target)
+		if rt < 0 {
+			continue
+		}
+		cyc := int(math.Ceil(rt + opCost(target)))
+		if cyc < 1 {
+			cyc = 1
+		}
+		if cyc > ii {
+			ii = cyc
+		}
+		if target.Kind == kir.OpLoad {
+			memDep = true
+		}
+		for op, v := range memo {
+			if v >= 0 && op.Kind == kir.OpLoad {
+				memDep = true
+			}
+		}
+	}
+	return ii, memDep, prodEnd
+}
+
+// opCost is an op's contribution to a recurrence cycle, in cycles.
+func opCost(op *XOp) float64 {
+	lat, delay := opTiming(op)
+	return float64(lat) + delay
+}
+
+// memOrderII returns the II floor imposed by may-aliasing global-memory
+// accesses: when a loop body stores to an array it also accesses elsewhere
+// (another store site or a load site), successive iterations must not
+// overlap those accesses. Groups with a single site, or loads only, impose
+// nothing — which keeps the paper's workloads at II=1.
+func memOrderII(x *XKernel, seg *Segment) int {
+	type span struct {
+		min, max  int
+		hasStore  bool
+		siteCount int
+	}
+	groups := map[any]*span{}
+	record := func(key any, op *XOp, isStore bool) {
+		g, ok := groups[key]
+		if !ok {
+			g = &span{min: op.Start, max: op.Start}
+			groups[key] = g
+		}
+		if op.Start < g.min {
+			g.min = op.Start
+		}
+		if op.Start > g.max {
+			g.max = op.Start
+		}
+		if isStore {
+			g.hasStore = true
+		}
+		g.siteCount++
+	}
+	for _, op := range seg.Ops {
+		if op.LSU >= 0 {
+			site := x.LSUs[op.LSU]
+			record(site.Arr, op, site.IsStore)
+		}
+		if op.Local >= 0 {
+			record(op.Local, op, op.Kind == kir.OpLocalStore)
+		}
+	}
+	ii := 1
+	for _, g := range groups {
+		if !g.hasStore || g.siteCount < 2 {
+			continue
+		}
+		if need := g.max - g.min + 1; need > ii {
+			ii = need
+		}
+	}
+	return ii
+}

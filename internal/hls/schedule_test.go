@@ -1,0 +1,341 @@
+package hls_test
+
+import (
+	"strings"
+	"testing"
+
+	"oclfpga/internal/device"
+	"oclfpga/internal/hls"
+	"oclfpga/internal/kir"
+	"oclfpga/internal/sim"
+)
+
+func compileS(t *testing.T, p *kir.Program) *hls.Design {
+	t.Helper()
+	d, err := hls.Compile(p, device.StratixV(), hls.Options{})
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	return d
+}
+
+// TestMemOrderRaisesII: a loop that reads and writes the same array through
+// different sites must not overlap iterations (may-alias), so II covers the
+// access span — and the simulated result stays sequentially correct.
+func TestMemOrderRaisesII(t *testing.T) {
+	p := kir.NewProgram("rmw")
+	k := p.AddKernel("k", kir.SingleTask)
+	g := k.AddGlobal("g", kir.I32)
+	b := k.NewBuilder()
+	// g[i+1] = g[i] + 1: a loop-carried dependence THROUGH MEMORY
+	b.ForN("i", 32, nil, func(lb *kir.Builder, i kir.Val, _ []kir.Val) []kir.Val {
+		v := lb.Load(g, i)
+		lb.Store(g, lb.Add(i, lb.Ci32(1)), lb.Add(v, lb.Ci32(1)))
+		return nil
+	})
+	d := compileS(t, p)
+	var loop *hls.XRegion
+	d.Kernels[0].Root.WalkRegions(func(r *hls.XRegion) {
+		if r.IsLoop {
+			loop = r
+		}
+	})
+	if loop.II <= 1 {
+		t.Fatalf("II = %d: may-aliasing load+store must serialize iterations", loop.II)
+	}
+
+	m := sim.New(d, sim.Options{})
+	bg := m.NewBuffer("g", kir.I32, 40)
+	bg.Data[0] = 5
+	if _, err := m.Launch("k", sim.Args{"g": bg}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i <= 32; i++ {
+		if bg.Data[i] != int64(5+i) {
+			t.Fatalf("g[%d] = %d, want %d (memory recurrence broken)", i, bg.Data[i], 5+i)
+		}
+	}
+}
+
+// TestSingleStoreSiteKeepsII1: one store site alone (the common case — the
+// paper's info arrays) must not cost II.
+func TestSingleStoreSiteKeepsII1(t *testing.T) {
+	p := kir.NewProgram("st1")
+	k := p.AddKernel("k", kir.SingleTask)
+	g := k.AddGlobal("g", kir.I32)
+	h := k.AddGlobal("h", kir.I32)
+	b := k.NewBuilder()
+	b.ForN("i", 16, nil, func(lb *kir.Builder, i kir.Val, _ []kir.Val) []kir.Val {
+		lb.Store(g, i, lb.Load(h, i)) // distinct arrays: no alias hazard
+		return nil
+	})
+	d := compileS(t, p)
+	var loop *hls.XRegion
+	d.Kernels[0].Root.WalkRegions(func(r *hls.XRegion) {
+		if r.IsLoop {
+			loop = r
+		}
+	})
+	if loop.II != 1 {
+		t.Fatalf("II = %d, want 1 for single-site store + distinct-array load", loop.II)
+	}
+}
+
+// TestCrossCarriedPassthroughChain: next0 = phi1 makes carried 0's real
+// producer live one iteration further back; the design must still compile
+// and compute the sequential semantics.
+func TestCrossCarriedPassthroughChain(t *testing.T) {
+	p := kir.NewProgram("chain")
+	k := p.AddKernel("k", kir.SingleTask)
+	g := k.AddGlobal("g", kir.I32)
+	b := k.NewBuilder()
+	outs := b.ForN("i", 10, []kir.Val{b.Ci32(100), b.Ci32(200)},
+		func(lb *kir.Builder, i kir.Val, c []kir.Val) []kir.Val {
+			// a = old b (passthrough); b = b + a + 1 (op-produced)
+			sum := lb.Add(lb.Add(c[1], c[0]), lb.Ci32(1))
+			return []kir.Val{c[1], sum}
+		})
+	b.Store(g, b.Ci32(0), outs[0])
+	b.Store(g, b.Ci32(1), outs[1])
+
+	d := compileS(t, p)
+	m := sim.New(d, sim.Options{})
+	bg := m.NewBuffer("g", kir.I32, 2)
+	if _, err := m.Launch("k", sim.Args{"g": bg}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	a, bb := int64(100), int64(200)
+	for i := 0; i < 10; i++ {
+		a, bb = bb, bb+a+1
+	}
+	if bg.Data[0] != a || bg.Data[1] != bb {
+		t.Fatalf("chain = (%d,%d), want (%d,%d)", bg.Data[0], bg.Data[1], a, bb)
+	}
+}
+
+// TestOperationChainingSplitsStages: a long chain of compares/selects cannot
+// all fit one clock period; later links must move to later stages.
+func TestOperationChainingSplitsStages(t *testing.T) {
+	p := kir.NewProgram("chainsplit")
+	k := p.AddKernel("k", kir.SingleTask)
+	g := k.AddGlobal("g", kir.I32)
+	b := k.NewBuilder()
+	v := b.Ci32(1)
+	for i := 0; i < 30; i++ {
+		v = b.Select(b.CmpLT(v, b.Ci32(50)), b.Add(v, b.Ci32(1)), v)
+	}
+	b.Store(g, b.Ci32(0), v)
+	d := compileS(t, p)
+	maxStart := 0
+	d.Kernels[0].Root.WalkOps(func(op *hls.XOp) {
+		if op.Start > maxStart {
+			maxStart = op.Start
+		}
+	})
+	if maxStart < 5 {
+		t.Fatalf("30 chained cmp+add+select links scheduled within %d stages — chaining budget ignored", maxStart)
+	}
+	if maxStart > 30 {
+		t.Fatalf("chain spread over %d stages — chaining not applied at all", maxStart)
+	}
+}
+
+// TestModuloFixupPinsConsumers: a carried value produced late (through a
+// multiply) must push its phi consumers to a stage where II iterations of
+// spacing guarantee availability.
+func TestModuloFixupPinsConsumers(t *testing.T) {
+	p := kir.NewProgram("fixup")
+	k := p.AddKernel("k", kir.SingleTask)
+	g := k.AddGlobal("g", kir.I32)
+	b := k.NewBuilder()
+	outs := b.ForN("i", 20, []kir.Val{b.Ci32(3)}, func(lb *kir.Builder, i kir.Val, c []kir.Val) []kir.Val {
+		// phi consumed immediately by a cmp, but next produced via mul (3cy)
+		lb.If(lb.CmpLT(c[0], lb.Ci32(1000)), func(tb *kir.Builder) {
+			tb.Store(g, i, c[0])
+		})
+		return []kir.Val{lb.Mul(c[0], lb.Ci32(3))}
+	})
+	_ = outs
+	d := compileS(t, p)
+	var loop *hls.XRegion
+	d.Kernels[0].Root.WalkRegions(func(r *hls.XRegion) {
+		if r.IsLoop {
+			loop = r
+		}
+	})
+	if loop.II < 3 {
+		t.Fatalf("II = %d, want >= 3 (multiply on the recurrence)", loop.II)
+	}
+	// the phi's earliest consumer must sit at >= producerEnd - II
+	seg := loop.Items[0].(*hls.Segment)
+	phi := loop.Carried[0].PhiSlot
+	next := loop.Carried[0].NextSlot
+	prodEnd, firstUse := -1, 1<<30
+	for _, op := range seg.Ops {
+		if op.Dst == next {
+			prodEnd = op.Start + op.Lat
+		}
+		for _, a := range op.Args {
+			if a == phi && op.Start < firstUse {
+				firstUse = op.Start
+			}
+		}
+	}
+	if prodEnd < 0 || firstUse == 1<<30 {
+		t.Fatal("recurrence structure not found")
+	}
+	if firstUse < prodEnd-loop.II {
+		t.Fatalf("phi consumed at stage %d but produced at %d with II=%d — modulo constraint violated",
+			firstUse, prodEnd, loop.II)
+	}
+
+	m := sim.New(d, sim.Options{})
+	bg := m.NewBuffer("g", kir.I32, 20)
+	if _, err := m.Launch("k", sim.Args{"g": bg}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	v := int64(3)
+	for i := 0; i < 20; i++ {
+		if v < 1000 {
+			if bg.Data[i] != int64(int32(v)) {
+				t.Fatalf("g[%d] = %d, want %d", i, bg.Data[i], v)
+			}
+		}
+		v = int64(int32(v * 3))
+	}
+}
+
+// TestIIIsMaxOfConstraints: when a loop has both a value recurrence (mul,
+// >=3 cycles) and a memory-order constraint, II is at least the larger.
+func TestIIIsMaxOfConstraints(t *testing.T) {
+	p := kir.NewProgram("maxii")
+	k := p.AddKernel("k", kir.SingleTask)
+	g := k.AddGlobal("g", kir.I32)
+	b := k.NewBuilder()
+	b.ForN("i", 8, []kir.Val{b.Ci32(1)}, func(lb *kir.Builder, i kir.Val, c []kir.Val) []kir.Val {
+		v := lb.Load(g, i)                         // g load site
+		lb.Store(g, lb.Add(i, lb.Ci32(4)), v)      // g store site: alias hazard
+		return []kir.Val{lb.Mul(c[0], lb.Ci32(3))} // 3-cycle recurrence
+	})
+	d := compileS(t, p)
+	var loop *hls.XRegion
+	d.Kernels[0].Root.WalkRegions(func(r *hls.XRegion) {
+		if r.IsLoop {
+			loop = r
+		}
+	})
+	if loop.II < 3 {
+		t.Fatalf("II = %d, want >= 3", loop.II)
+	}
+	if !strings.Contains(strings.Join(d.Log, " "), "II=") {
+		t.Fatal("II missing from the compiler log")
+	}
+}
+
+// TestPinnedOpBarriers: pinning the timestamp read holds it in place even
+// without a data dependence — the heavyweight alternative to get_time(dep).
+func TestPinnedOpBarriers(t *testing.T) {
+	build := func(pin bool) (*hls.Design, int) {
+		p := kir.NewProgram("pin")
+		tc := p.AddChan("t2", 0, kir.I64)
+		srv := p.AddKernel("srv", kir.Autorun)
+		srv.Role = kir.RoleTimerServer
+		sb := srv.NewBuilder()
+		sb.Forever([]kir.Val{sb.Ci64(0)}, func(lb *kir.Builder, i kir.Val, c []kir.Val) []kir.Val {
+			n := lb.Add(c[0], lb.Ci64(1))
+			lb.ChanWriteNB(tc, n)
+			return []kir.Val{n}
+		})
+		k := p.AddKernel("k", kir.SingleTask)
+		g := k.AddGlobal("g", kir.I64)
+		b := k.NewBuilder()
+		v := b.Ci32(3)
+		for i := 0; i < 10; i++ {
+			v = b.Mul(v, b.Ci32(1)) // 30-cycle event
+		}
+		end := b.ChanRead(tc) // no data dependence
+		if pin {
+			b.Pin()
+		}
+		b.Store(g, b.Ci32(0), end)
+		b.Store(g, b.Ci32(1), v)
+		d := compileS(t, p)
+		var readStart int
+		for _, xk := range d.Kernels {
+			if xk.Name != "k" {
+				continue
+			}
+			xk.Root.WalkOps(func(op *hls.XOp) {
+				if op.Kind == kir.OpChanRead {
+					readStart = op.Start
+				}
+			})
+		}
+		return d, readStart
+	}
+	_, unpinned := build(false)
+	_, pinned := build(true)
+	if unpinned >= 30 {
+		t.Fatalf("unpinned read at stage %d — expected it to drift early", unpinned)
+	}
+	if pinned < 30 {
+		t.Fatalf("pinned read at stage %d — expected it after the 30-cycle chain", pinned)
+	}
+}
+
+// Test3DReplication: num_compute_units(x,y,z) replicates x*y*z times and
+// get_compute_id(d) resolves to per-dimension coordinates.
+func Test3DReplication(t *testing.T) {
+	p := kir.NewProgram("cu3d")
+	chans := p.AddChanArray("c", 12, 2, kir.I32)
+	k := p.AddKernel("rep", kir.Autorun)
+	k.SetComputeUnits(3, 2, 2)
+	b := k.NewBuilder()
+	b.Forever(nil, func(lb *kir.Builder, i kir.Val, c []kir.Val) []kir.Val {
+		x := lb.ComputeID(0)
+		y := lb.ComputeID(1)
+		z := lb.ComputeID(2)
+		code := lb.Add(lb.Add(x, lb.Mul(y, lb.Ci32(10))), lb.Mul(z, lb.Ci32(100)))
+		lb.ChanWriteNBCU(chans, code)
+		return nil
+	})
+	d := compileS(t, p)
+	units := d.KernelUnits("rep")
+	if len(units) != 12 {
+		t.Fatalf("%d compute units, want 12", len(units))
+	}
+	// each unit's code constant must be z*100+y*10+x for its coordinate
+	for cu, u := range units {
+		want := map[int64]bool{}
+		coord := u.Src.CUCoord(cu)
+		want[int64(coord[2]*100+coord[1]*10+coord[0])] = true
+		// find the three compute-id constants: 0..2 for x, 0..1 for y/z
+		var consts []int64
+		u.Root.WalkOps(func(op *hls.XOp) {
+			if op.Kind == kir.OpConst {
+				consts = append(consts, op.Const)
+			}
+		})
+		found := map[int64]bool{}
+		for _, c := range consts {
+			found[c] = true
+		}
+		for _, dim := range []int{0, 1, 2} {
+			if !found[int64(coord[dim])] {
+				t.Fatalf("cu %d: coordinate %v dim %d constant missing (consts %v)", cu, coord, dim, consts)
+			}
+		}
+	}
+	if !strings.Contains(p.Dump(), "num_compute_units(3,2,2)") {
+		t.Fatal("3-D attribute not rendered")
+	}
+}

@@ -1,0 +1,119 @@
+// Package host implements the paper's host interface (§5.1, Listing 10,
+// Figure 4): a kernel that forwards commands from the host to ibuffer
+// command channels and drains ibuffer output channels into global memory,
+// plus the host-side controller that drives it.
+//
+// Channel indices are runtime values, so the kernel uses the paper's idiom:
+// a fully unrolled loop over instances with a predicated channel operation
+// per instance (`#pragma unroll … if (i == id)`). The expansion is done at
+// IR build time — a channel endpoint is a compile-time object, so unrolling
+// must materialize one predicated endpoint per instance, which is exactly
+// the hardware the paper's #pragma unroll produces.
+package host
+
+import (
+	"fmt"
+
+	"oclfpga/internal/core"
+	"oclfpga/internal/kir"
+	"oclfpga/internal/mem"
+	"oclfpga/internal/sim"
+	"oclfpga/internal/trace"
+)
+
+// Interface is the generated host-interface kernel for one ibuffer bank.
+type Interface struct {
+	Kernel *kir.Kernel
+	IB     *core.IBuffer
+	Name   string
+}
+
+// BuildInterface generates the read_host kernel (Listing 10) for an ibuffer
+// bank: it forwards the command to the selected instance's command channel
+// and, for CmdRead, drains 2*DEPTH words from that instance's output channel
+// into the output buffer.
+func BuildInterface(p *kir.Program, ib *core.IBuffer) *Interface {
+	name := ib.Config.Name + "_read_host"
+	k := p.AddKernel(name, kir.SingleTask)
+	k.Role = kir.RoleHostInterface
+	cmd := k.AddScalar("cmd", kir.I32)
+	id := k.AddScalar("id", kir.I32)
+	out := k.AddGlobal("output", kir.I64)
+	b := k.NewBuilder()
+
+	n := ib.Config.N
+	// unrolled instance selection: one predicated endpoint per channel
+	for i := 0; i < n; i++ {
+		i := i
+		eq := b.CmpEQ(b.Ci32(int64(i)), id.Val)
+		b.If(eq, func(tb *kir.Builder) {
+			tb.ChanWrite(ib.Cmd[i], cmd.Val)
+		})
+	}
+	// when the command is READ, drain DEPTH entries (timestamp + data each)
+	isRead := b.CmpEQ(cmd.Val, b.Ci32(core.CmdRead))
+	nents := b.Select(isRead, b.Ci32(int64(ib.Config.Depth)), b.Ci32(0))
+	b.For("drain", b.Ci32(0), nents, b.Ci32(1), nil, func(lb *kir.Builder, kv kir.Val, _ []kir.Val) []kir.Val {
+		base := lb.Mul(kv, lb.Ci32(2))
+		for i := 0; i < n; i++ {
+			i := i
+			eq := lb.CmpEQ(lb.Ci32(int64(i)), id.Val)
+			lb.If(eq, func(tb *kir.Builder) {
+				tt := tb.ChanRead(ib.OutT[i])
+				tb.Store(out, base, tt)
+				dd := tb.ChanRead(ib.OutD[i])
+				tb.Store(out, tb.Add(base, tb.Ci32(1)), dd)
+			})
+		}
+		return nil
+	})
+	return &Interface{Kernel: k, IB: ib, Name: name}
+}
+
+// Controller drives one ibuffer bank from the host through its interface
+// kernel, mirroring gdb-style start/stop/read interaction.
+type Controller struct {
+	M   *sim.Machine
+	IB  *core.IBuffer
+	Ifc *Interface
+	Out *mem.Buffer
+}
+
+// NewController allocates the readback buffer and returns a controller.
+func NewController(m *sim.Machine, ifc *Interface) *Controller {
+	buf := m.NewBuffer(ifc.Name+"_output", kir.I64, ifc.IB.ReadoutWords())
+	return &Controller{M: m, IB: ifc.IB, Ifc: ifc, Out: buf}
+}
+
+// Send launches the interface kernel to deliver cmd to instance id and runs
+// the machine until delivery (and, for CmdRead, the drain) completes.
+func (c *Controller) Send(id int, cmd int64) error {
+	if id < 0 || id >= c.IB.Config.N {
+		return fmt.Errorf("host: instance %d out of range [0,%d)", id, c.IB.Config.N)
+	}
+	if _, err := c.M.Launch(c.Ifc.Name, sim.Args{"cmd": cmd, "id": id, "output": c.Out}); err != nil {
+		return err
+	}
+	return c.M.Run()
+}
+
+// Reset clears instance id and restarts sampling.
+func (c *Controller) Reset(id int) error { return c.Send(id, core.CmdReset) }
+
+// StartLinear puts instance id into linear sampling.
+func (c *Controller) StartLinear(id int) error { return c.Send(id, core.CmdSampleLinear) }
+
+// StartCyclic puts instance id into flight-recorder sampling.
+func (c *Controller) StartCyclic(id int) error { return c.Send(id, core.CmdSampleCyclic) }
+
+// Stop freezes instance id.
+func (c *Controller) Stop(id int) error { return c.Send(id, core.CmdStop) }
+
+// ReadTrace drains instance id's trace buffer and decodes it.
+func (c *Controller) ReadTrace(id int) ([]trace.Record, error) {
+	if err := c.Send(id, core.CmdRead); err != nil {
+		return nil, err
+	}
+	words := append([]int64(nil), c.Out.Data...)
+	return trace.Decode(words), nil
+}

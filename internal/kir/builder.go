@@ -1,0 +1,338 @@
+package kir
+
+import "fmt"
+
+// Builder appends operations to one region of a kernel. Obtain the root
+// builder with Kernel.NewBuilder; For and If hand nested builders to their
+// body closures. The builder mirrors writing OpenCL kernel source top to
+// bottom.
+type Builder struct {
+	k      *Kernel
+	region *Region
+}
+
+// NewBuilder returns a builder appending to the kernel's top-level body.
+func (k *Kernel) NewBuilder() *Builder {
+	return &Builder{k: k, region: k.Body}
+}
+
+// Kernel returns the kernel under construction.
+func (b *Builder) Kernel() *Kernel { return b.k }
+
+func (b *Builder) emit(op *Op) *Op {
+	b.region.Nodes = append(b.region.Nodes, op)
+	return op
+}
+
+func (b *Builder) def(t Type, name string) Val { return b.k.newVal(t, FromOp, name) }
+
+// wider picks the destination type for binary arithmetic.
+func (b *Builder) wider(x, y Val) Type {
+	tx, ty := b.k.ValType(x), b.k.ValType(y)
+	if ty.Bits() > tx.Bits() {
+		return ty
+	}
+	return tx
+}
+
+// Ci32 materializes a 32-bit constant.
+func (b *Builder) Ci32(v int64) Val { return b.constT(v, I32) }
+
+// Ci64 materializes a 64-bit constant.
+func (b *Builder) Ci64(v int64) Val { return b.constT(v, I64) }
+
+// Cbool materializes a boolean constant.
+func (b *Builder) Cbool(v bool) Val {
+	if v {
+		return b.constT(1, B1)
+	}
+	return b.constT(0, B1)
+}
+
+func (b *Builder) constT(v int64, t Type) Val {
+	dst := b.def(t, "")
+	b.emit(&Op{Kind: OpConst, Dst: dst, Const: v})
+	if b.k.consts == nil {
+		b.k.consts = map[int]int64{}
+	}
+	b.k.consts[dst.ID()] = t.Truncate(v)
+	return dst
+}
+
+func (b *Builder) binary(k OpKind, x, y Val, t Type) Val {
+	dst := b.def(t, "")
+	b.emit(&Op{Kind: k, Dst: dst, Args: []Val{x, y}})
+	return dst
+}
+
+// Add returns x + y.
+func (b *Builder) Add(x, y Val) Val { return b.binary(OpAdd, x, y, b.wider(x, y)) }
+
+// Sub returns x - y.
+func (b *Builder) Sub(x, y Val) Val { return b.binary(OpSub, x, y, b.wider(x, y)) }
+
+// Mul returns x * y.
+func (b *Builder) Mul(x, y Val) Val { return b.binary(OpMul, x, y, b.wider(x, y)) }
+
+// Div returns x / y (0 when y == 0).
+func (b *Builder) Div(x, y Val) Val { return b.binary(OpDiv, x, y, b.wider(x, y)) }
+
+// Mod returns x % y (0 when y == 0).
+func (b *Builder) Mod(x, y Val) Val { return b.binary(OpMod, x, y, b.wider(x, y)) }
+
+// And returns x & y.
+func (b *Builder) And(x, y Val) Val { return b.binary(OpAnd, x, y, b.wider(x, y)) }
+
+// Or returns x | y.
+func (b *Builder) Or(x, y Val) Val { return b.binary(OpOr, x, y, b.wider(x, y)) }
+
+// Xor returns x ^ y.
+func (b *Builder) Xor(x, y Val) Val { return b.binary(OpXor, x, y, b.wider(x, y)) }
+
+// Shl returns x << y.
+func (b *Builder) Shl(x, y Val) Val { return b.binary(OpShl, x, y, b.k.ValType(x)) }
+
+// Shr returns x >> y.
+func (b *Builder) Shr(x, y Val) Val { return b.binary(OpShr, x, y, b.k.ValType(x)) }
+
+// CmpLT returns x < y.
+func (b *Builder) CmpLT(x, y Val) Val { return b.binary(OpCmpLT, x, y, B1) }
+
+// CmpLE returns x <= y.
+func (b *Builder) CmpLE(x, y Val) Val { return b.binary(OpCmpLE, x, y, B1) }
+
+// CmpEQ returns x == y.
+func (b *Builder) CmpEQ(x, y Val) Val { return b.binary(OpCmpEQ, x, y, B1) }
+
+// CmpNE returns x != y.
+func (b *Builder) CmpNE(x, y Val) Val { return b.binary(OpCmpNE, x, y, B1) }
+
+// CmpGT returns x > y.
+func (b *Builder) CmpGT(x, y Val) Val { return b.binary(OpCmpGT, x, y, B1) }
+
+// CmpGE returns x >= y.
+func (b *Builder) CmpGE(x, y Val) Val { return b.binary(OpCmpGE, x, y, B1) }
+
+// Select returns cond ? x : y.
+func (b *Builder) Select(cond, x, y Val) Val {
+	dst := b.def(b.wider(x, y), "")
+	b.emit(&Op{Kind: OpSelect, Dst: dst, Args: []Val{cond, x, y}})
+	return dst
+}
+
+// Load reads arr[idx] from global memory.
+func (b *Builder) Load(arr *Param, idx Val) Val {
+	if arr.Kind != GlobalArray {
+		panic(fmt.Sprintf("kir: Load from non-array param %q", arr.Name))
+	}
+	dst := b.def(arr.Elem, "")
+	b.emit(&Op{Kind: OpLoad, Dst: dst, Args: []Val{idx}, Arr: arr})
+	return dst
+}
+
+// Store writes arr[idx] = v to global memory.
+func (b *Builder) Store(arr *Param, idx, v Val) {
+	if arr.Kind != GlobalArray {
+		panic(fmt.Sprintf("kir: Store to non-array param %q", arr.Name))
+	}
+	b.emit(&Op{Kind: OpStore, Dst: NoVal, Args: []Val{idx, v}, Arr: arr})
+}
+
+// LocalLoad reads local[idx] from on-chip memory.
+func (b *Builder) LocalLoad(local *LocalArray, idx Val) Val {
+	dst := b.def(local.Elem, "")
+	b.emit(&Op{Kind: OpLocalLoad, Dst: dst, Args: []Val{idx}, Local: local})
+	return dst
+}
+
+// LocalStore writes local[idx] = v to on-chip memory.
+func (b *Builder) LocalStore(local *LocalArray, idx, v Val) {
+	b.emit(&Op{Kind: OpLocalStore, Dst: NoVal, Args: []Val{idx, v}, Local: local})
+}
+
+// ChanRead blocks until ch has data and returns the popped value.
+func (b *Builder) ChanRead(ch *Chan) Val {
+	dst := b.def(ch.Elem, "")
+	b.emit(&Op{Kind: OpChanRead, Dst: dst, Ch: ch})
+	return dst
+}
+
+// ChanWrite blocks until ch has space and pushes v.
+func (b *Builder) ChanWrite(ch *Chan, v Val) {
+	b.emit(&Op{Kind: OpChanWrite, Dst: NoVal, Args: []Val{v}, Ch: ch})
+}
+
+// ChanReadNB pops from ch without blocking; ok reports whether data was
+// available (read_channel_nb_altera).
+func (b *Builder) ChanReadNB(ch *Chan) (v, ok Val) {
+	v = b.def(ch.Elem, "")
+	ok = b.def(B1, "")
+	b.emit(&Op{Kind: OpChanReadNB, Dst: v, OkDst: ok, Ch: ch})
+	return v, ok
+}
+
+// ChanWriteNB pushes v without blocking; ok reports whether the write landed
+// (write_channel_nb_altera).
+func (b *Builder) ChanWriteNB(ch *Chan, v Val) (ok Val) {
+	ok = b.def(B1, "")
+	b.emit(&Op{Kind: OpChanWriteNB, Dst: NoVal, OkDst: ok, Args: []Val{v}, Ch: ch})
+	return ok
+}
+
+// ChanReadCU is ChanRead with the endpoint selected per compute unit:
+// compute unit i reads chans[i] (the paper's data_in[get_compute_id(0)]).
+func (b *Builder) ChanReadCU(chans []*Chan) Val {
+	dst := b.def(chans[0].Elem, "")
+	b.emit(&Op{Kind: OpChanRead, Dst: dst, ChArr: chans})
+	return dst
+}
+
+// ChanWriteCU is ChanWrite with a per-compute-unit endpoint.
+func (b *Builder) ChanWriteCU(chans []*Chan, v Val) {
+	b.emit(&Op{Kind: OpChanWrite, Dst: NoVal, Args: []Val{v}, ChArr: chans})
+}
+
+// ChanReadNBCU is ChanReadNB with a per-compute-unit endpoint.
+func (b *Builder) ChanReadNBCU(chans []*Chan) (v, ok Val) {
+	v = b.def(chans[0].Elem, "")
+	ok = b.def(B1, "")
+	b.emit(&Op{Kind: OpChanReadNB, Dst: v, OkDst: ok, ChArr: chans})
+	return v, ok
+}
+
+// ChanWriteNBCU is ChanWriteNB with a per-compute-unit endpoint.
+func (b *Builder) ChanWriteNBCU(chans []*Chan, v Val) (ok Val) {
+	ok = b.def(B1, "")
+	b.emit(&Op{Kind: OpChanWriteNB, Dst: NoVal, OkDst: ok, Args: []Val{v}, ChArr: chans})
+	return ok
+}
+
+// GlobalID returns get_global_id(dim); only valid in NDRange kernels.
+func (b *Builder) GlobalID(dim int) Val {
+	dst := b.def(I32, "gid")
+	b.emit(&Op{Kind: OpGlobalID, Dst: dst, Dim: dim})
+	return dst
+}
+
+// ComputeID returns get_compute_id(dim), the replication index under
+// num_compute_units (paper §4, Listing 8).
+func (b *Builder) ComputeID(dim int) Val {
+	dst := b.def(U8, "cuid")
+	b.emit(&Op{Kind: OpComputeID, Dst: dst, Dim: dim})
+	return dst
+}
+
+// Call invokes an HDL library function such as get_time (Listing 3/4).
+func (b *Builder) Call(lib *LibFunc, args ...Val) Val {
+	if len(args) != lib.Params {
+		panic(fmt.Sprintf("kir: call %s with %d args, want %d", lib.Name, len(args), lib.Params))
+	}
+	dst := b.def(I64, lib.Name)
+	b.emit(&Op{Kind: OpCall, Dst: dst, Args: args, Lib: lib})
+	return dst
+}
+
+// Fence emits mem_fence(CLK_CHANNEL_MEM_FENCE), an ordering barrier the
+// paper's take_snapshot helper uses (Listing 9).
+func (b *Builder) Fence() {
+	b.emit(&Op{Kind: OpFence, Dst: NoVal})
+}
+
+// IBufLogic emits the ibuffer logic-function intrinsic; cfg is interpreted
+// by internal/core and the simulator.
+func (b *Builder) IBufLogic(cfg any) {
+	b.emit(&Op{Kind: OpIBufLogic, Dst: NoVal, IBuf: cfg})
+}
+
+// For builds a counted loop for (v = start; v < end; v += step), with
+// loop-carried values carried (initial values). The body closure receives a
+// builder for the loop body, the induction-variable value, and the carried
+// values at iteration entry; it returns the carried values for the next
+// iteration. For returns the carried values after the loop exits.
+func (b *Builder) For(label string, start, end, step Val, carried []Val, body func(lb *Builder, iv Val, c []Val) []Val) []Val {
+	loop := &Loop{
+		IndVar: b.k.newVal(b.k.ValType(start), FromLoopVar, label),
+		Start:  start, End: end, Step: step,
+		Body:  &Region{},
+		Label: label,
+	}
+	ins := make([]Val, len(carried))
+	for i, init := range carried {
+		loop.Carried = append(loop.Carried, Carried{
+			Init: init,
+			Phi:  b.k.newVal(b.k.ValType(init), FromPhi, ""),
+			Name: b.k.ValName(init),
+		})
+		ins[i] = loop.Carried[i].Phi
+	}
+	lb := &Builder{k: b.k, region: loop.Body}
+	next := body(lb, loop.IndVar, ins)
+	if len(next) != len(carried) {
+		panic(fmt.Sprintf("kir: loop %q body returned %d carried values, want %d", label, len(next), len(carried)))
+	}
+	outs := make([]Val, len(carried))
+	for i := range loop.Carried {
+		loop.Carried[i].Next = next[i]
+		loop.Carried[i].Out = b.k.newVal(b.k.ValType(next[i]), FromLoopOut, "")
+		outs[i] = loop.Carried[i].Out
+	}
+	b.region.Nodes = append(b.region.Nodes, loop)
+	return outs
+}
+
+// ForN is For with constant int32 bounds [0, n) step 1.
+func (b *Builder) ForN(label string, n int64, carried []Val, body func(lb *Builder, iv Val, c []Val) []Val) []Val {
+	return b.For(label, b.Ci32(0), b.Ci32(n), b.Ci32(1), carried, body)
+}
+
+// Forever builds the autorun `while (1)` loop (paper Listings 1, 5, 8): an
+// unbounded pipelined loop. Carried values thread state (e.g. the counter)
+// across iterations; the loop never exits, so there are no Out values.
+func (b *Builder) Forever(carried []Val, body func(lb *Builder, iv Val, c []Val) []Val) {
+	start := b.Ci64(0)
+	end := b.constT(InfiniteTrip, I64)
+	step := b.Ci64(1)
+	b.For("forever", start, end, step, carried, body)
+}
+
+// If builds a one-armed conditional; the body is if-converted during
+// scheduling (every op predicated on cond).
+func (b *Builder) If(cond Val, then func(tb *Builder)) {
+	n := &If{Cond: cond, Then: &Region{}}
+	tb := &Builder{k: b.k, region: n.Then}
+	then(tb)
+	b.region.Nodes = append(b.region.Nodes, n)
+}
+
+// Unrolled marks the most recently appended loop with #pragma unroll.
+func (b *Builder) Unrolled() { b.lastLoop("Unrolled").Unroll = true }
+
+// IVDep marks the most recently appended loop with #pragma ivdep: the
+// designer asserts it has no loop-carried memory dependences.
+func (b *Builder) IVDep() { b.lastLoop("IVDep").IVDep = true }
+
+// Pin marks the most recently emitted operation as position-pinned: the
+// scheduler will not move it relative to the ops around it. This models
+// inserting an explicit scheduling barrier around a probe — the heavyweight
+// alternative to get_time's data-dependence trick.
+func (b *Builder) Pin() {
+	if len(b.region.Nodes) == 0 {
+		panic("kir: Pin with no preceding op")
+	}
+	op, ok := b.region.Nodes[len(b.region.Nodes)-1].(*Op)
+	if !ok {
+		panic("kir: Pin must follow an operation")
+	}
+	op.Pinned = true
+}
+
+func (b *Builder) lastLoop(what string) *Loop {
+	if len(b.region.Nodes) == 0 {
+		panic("kir: " + what + " with no preceding loop")
+	}
+	l, ok := b.region.Nodes[len(b.region.Nodes)-1].(*Loop)
+	if !ok {
+		panic("kir: " + what + " must follow a loop")
+	}
+	return l
+}

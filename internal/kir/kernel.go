@@ -1,0 +1,313 @@
+package kir
+
+import "fmt"
+
+// Val is an opaque handle to an SSA value inside one kernel. The zero Val is
+// invalid (ids are stored shifted by one so a forgotten field can never
+// alias value 0); builders hand out valid handles.
+type Val struct{ id int }
+
+// NoVal is the absent-value sentinel (e.g. no guard, no destination). It
+// equals the zero Val, so Op fields left unset are safely absent.
+var NoVal = Val{}
+
+// Valid reports whether the handle refers to a value.
+func (v Val) Valid() bool { return v.id > 0 }
+
+// ID exposes the raw value index for schedulers and simulators (-1 when
+// invalid).
+func (v Val) ID() int { return v.id - 1 }
+
+// valFromIndex builds a handle from a raw value-table index.
+func valFromIndex(i int) Val { return Val{id: i + 1} }
+
+// ValOrigin says where a value comes from; the scheduler uses it to decide
+// availability times.
+type ValOrigin int
+
+// Value origins.
+const (
+	FromParam   ValOrigin = iota // kernel scalar argument
+	FromOp                       // result of an Op in the body
+	FromLoopVar                  // loop induction variable
+	FromPhi                      // loop-carried variable, value at iteration entry
+	FromLoopOut                  // loop-carried variable, value after the loop exits
+)
+
+// ValDef is one row of a kernel's value table.
+type ValDef struct {
+	Type   Type
+	Origin ValOrigin
+	Name   string // best-effort source name for diagnostics
+}
+
+// ParamKind distinguishes kernel arguments.
+type ParamKind int
+
+// Parameter kinds.
+const (
+	GlobalArray ParamKind = iota // __global pointer; backed by a host buffer
+	ScalarParam                  // pass-by-value scalar
+)
+
+// Param is a kernel argument.
+type Param struct {
+	Name  string
+	Kind  ParamKind
+	Elem  Type
+	Index int
+	// Val is the SSA value carrying a scalar argument (scalars only).
+	Val Val
+}
+
+// LocalArray is an on-chip (local-memory) array, e.g. an ibuffer trace
+// buffer. Local arrays are private to one compute unit.
+type LocalArray struct {
+	Name  string
+	Elem  Type
+	Size  int
+	Index int
+}
+
+// Bits returns the storage footprint of the array in bits.
+func (a *LocalArray) Bits() int { return a.Size * a.Elem.Bits() }
+
+// Role tags what a kernel is for, so the compiler and area model can treat
+// instrumentation structures (which the profiling builders generate) apart
+// from the user's kernels under test.
+type Role int
+
+// Kernel roles.
+const (
+	RoleUser          Role = iota // design under test
+	RoleTimerServer               // persistent free-running counter (Listing 1)
+	RoleSeqServer                 // persistent sequence counter (Listing 5)
+	RoleIBuffer                   // ibuffer instance (Listing 8)
+	RoleHostInterface             // host command/readback agent (Listing 10)
+)
+
+func (r Role) String() string {
+	switch r {
+	case RoleUser:
+		return "user"
+	case RoleTimerServer:
+		return "timer-server"
+	case RoleSeqServer:
+		return "seq-server"
+	case RoleIBuffer:
+		return "ibuffer"
+	case RoleHostInterface:
+		return "host-interface"
+	}
+	return "role(?)"
+}
+
+// Kernel is one OpenCL kernel.
+type Kernel struct {
+	Name string
+	Mode Mode
+	Role Role
+	// Tag carries role-specific metadata, e.g. an ibuffer's logic-function
+	// name for the area model.
+	Tag string
+	// NumComputeUnits replicates the kernel, the paper's scaling mechanism
+	// for multiple ibuffer instances (§4, num_compute_units attribute). It
+	// is the flat total; CUDims carries the up-to-3-D shape the attribute
+	// supports (num_compute_units(x,y,z)).
+	NumComputeUnits int
+	CUDims          [3]int
+	Program         *Program
+
+	Params []*Param
+	Locals []*LocalArray
+	Body   *Region
+
+	vals   []ValDef
+	consts map[int]int64
+}
+
+// SetComputeUnits applies __attribute__((num_compute_units(x,y,z))): the
+// kernel is replicated x*y*z times and get_compute_id(d) yields each copy's
+// coordinate along dimension d.
+func (k *Kernel) SetComputeUnits(x, y, z int) {
+	if x < 1 || y < 1 || z < 1 {
+		panic(fmt.Sprintf("kir: num_compute_units(%d,%d,%d)", x, y, z))
+	}
+	k.CUDims = [3]int{x, y, z}
+	k.NumComputeUnits = x * y * z
+}
+
+// CUCoord decomposes a flat compute-unit index into its (x,y,z) coordinate.
+func (k *Kernel) CUCoord(cu int) [3]int {
+	d := k.CUDims
+	if d[0] == 0 {
+		d = [3]int{k.NumComputeUnits, 1, 1}
+	}
+	return [3]int{cu % d[0], (cu / d[0]) % d[1], cu / (d[0] * d[1])}
+}
+
+// ConstVal reports the compile-time constant value of v, if v is defined by
+// an OpConst. Schedulers use it for trip counts and unrolling.
+func (k *Kernel) ConstVal(v Val) (int64, bool) {
+	if !v.Valid() || k.consts == nil {
+		return 0, false
+	}
+	c, ok := k.consts[v.ID()]
+	return c, ok
+}
+
+// NumVals reports how many SSA values the kernel defines.
+func (k *Kernel) NumVals() int { return len(k.vals) }
+
+// ValType returns the type of a value.
+func (k *Kernel) ValType(v Val) Type { return k.vals[v.ID()].Type }
+
+// ValName returns the diagnostic name of a value ("" if unnamed).
+func (k *Kernel) ValName(v Val) string { return k.vals[v.ID()].Name }
+
+// ValOrigin returns where the value is defined.
+func (k *Kernel) ValOrigin(v Val) ValOrigin { return k.vals[v.ID()].Origin }
+
+func (k *Kernel) newVal(t Type, o ValOrigin, name string) Val {
+	k.vals = append(k.vals, ValDef{Type: t, Origin: o, Name: name})
+	return valFromIndex(len(k.vals) - 1)
+}
+
+// AddGlobal declares a __global array parameter.
+func (k *Kernel) AddGlobal(name string, elem Type) *Param {
+	p := &Param{Name: name, Kind: GlobalArray, Elem: elem, Index: len(k.Params), Val: NoVal}
+	k.Params = append(k.Params, p)
+	return p
+}
+
+// AddScalar declares a scalar parameter and returns its Param; the scalar's
+// value handle is Param.Val.
+func (k *Kernel) AddScalar(name string, elem Type) *Param {
+	p := &Param{Name: name, Kind: ScalarParam, Elem: elem, Index: len(k.Params)}
+	p.Val = k.newVal(elem, FromParam, name)
+	k.Params = append(k.Params, p)
+	return p
+}
+
+// AddLocal declares a local-memory array of size elements.
+func (k *Kernel) AddLocal(name string, elem Type, size int) *LocalArray {
+	if size <= 0 {
+		panic(fmt.Sprintf("kir: local array %q must have positive size", name))
+	}
+	a := &LocalArray{Name: name, Elem: elem, Size: size, Index: len(k.Locals)}
+	k.Locals = append(k.Locals, a)
+	return a
+}
+
+// Region is an ordered list of body nodes.
+type Region struct {
+	Nodes []Node
+}
+
+// Node is an element of a kernel body: an *Op, a *Loop, or an *If.
+type Node interface{ node() }
+
+// Op is a single three-address operation.
+type Op struct {
+	Kind OpKind
+	Dst  Val   // destination, NoVal if none
+	Args []Val // value operands
+
+	Const int64       // immediate for OpConst
+	Arr   *Param      // for OpLoad/OpStore
+	Local *LocalArray // for OpLocalLoad/OpLocalStore
+	Ch    *Chan       // for channel ops with a fixed endpoint
+	// ChArr, when non-nil, selects the channel by compute-unit id at
+	// elaboration time: compute unit i uses ChArr[i]. This models the
+	// paper's `data_in[id]` with id = get_compute_id (Listing 8).
+	ChArr []*Chan
+	OkDst Val      // success flag destination for non-blocking channel ops
+	Dim   int      // dimension for OpGlobalID/OpComputeID
+	Lib   *LibFunc // callee for OpCall
+	IBuf  any      // configuration payload for OpIBufLogic (internal/core)
+
+	// Pinned marks an op the scheduler must not reorder relative to its
+	// position, used to model the *absence* of compiler read-site motion.
+	Pinned bool
+}
+
+func (*Op) node() {}
+
+// Carried is one loop-carried variable of a Loop: Init enters iteration 0 as
+// Phi; each iteration computes Next; after the final iteration the value is
+// visible as Out.
+type Carried struct {
+	Init Val // value from before the loop
+	Phi  Val // value at iteration entry (defined by the loop)
+	Next Val // value computed by the body, feeds the next iteration
+	Out  Val // value after the loop exits (defined by the loop)
+	Name string
+}
+
+// Loop is a counted loop: for (v = Start; v < End; v += Step).
+// Start/End/Step are values defined outside the loop.
+type Loop struct {
+	IndVar  Val
+	Start   Val
+	End     Val
+	Step    Val
+	Carried []Carried
+	Body    *Region
+
+	// Unroll requests full unrolling during scheduling (#pragma unroll).
+	Unroll bool
+	// IVDep asserts there are no loop-carried memory dependences
+	// (#pragma ivdep): the scheduler skips its conservative memory-ordering
+	// II constraint. The assertion is the designer's responsibility — the
+	// ibuffer uses it because its trace-buffer reads and writes happen in
+	// disjoint states.
+	IVDep bool
+	// Label names the loop in compiler logs and schedules.
+	Label string
+}
+
+func (*Loop) node() {}
+
+// If is a one-armed conditional. HLS if-converts it: the scheduler predicates
+// every contained op on Cond (ANDed with enclosing guards), which is how the
+// paper's `if (i < 10) { ... }` capture windows synthesize.
+type If struct {
+	Cond Val
+	Then *Region
+}
+
+func (*If) node() {}
+
+// Infinite reports whether the loop is the idiomatic autorun `while(1)` /
+// for(i=0;i<ULONG_MAX;i++) form: the scheduler treats End as unbounded.
+// It is encoded by an End value that is a parameter-less OpConst with the
+// sentinel InfiniteTrip.
+const InfiniteTrip = int64(1) << 62
+
+// WalkOps visits every Op in the region tree in source order.
+func (r *Region) WalkOps(fn func(*Op)) {
+	for _, n := range r.Nodes {
+		switch n := n.(type) {
+		case *Op:
+			fn(n)
+		case *Loop:
+			n.Body.WalkOps(fn)
+		case *If:
+			n.Then.WalkOps(fn)
+		}
+	}
+}
+
+// WalkLoops visits every Loop in the region tree in source order, outermost
+// first.
+func (r *Region) WalkLoops(fn func(*Loop)) {
+	for _, n := range r.Nodes {
+		switch n := n.(type) {
+		case *Loop:
+			fn(n)
+			n.Body.WalkLoops(fn)
+		case *If:
+			n.Then.WalkLoops(fn)
+		}
+	}
+}

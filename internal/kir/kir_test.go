@@ -1,0 +1,572 @@
+package kir
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTypeBitsAndTruncate(t *testing.T) {
+	cases := []struct {
+		t    Type
+		bits int
+		in   int64
+		out  int64
+	}{
+		{I32, 32, 1 << 40, 0},
+		{I32, 32, -5, -5},
+		{I64, 64, 1 << 40, 1 << 40},
+		{U16, 16, 70000, 70000 - 65536},
+		{U8, 8, 300, 44},
+		{B1, 1, 7, 1},
+		{B1, 1, 0, 0},
+	}
+	for _, c := range cases {
+		if got := c.t.Bits(); got != c.bits {
+			t.Errorf("%s.Bits() = %d, want %d", c.t, got, c.bits)
+		}
+		if got := c.t.Truncate(c.in); got != c.out {
+			t.Errorf("%s.Truncate(%d) = %d, want %d", c.t, c.in, got, c.out)
+		}
+	}
+}
+
+func TestTruncateIdempotent(t *testing.T) {
+	for _, ty := range []Type{I32, I64, U16, U8, B1} {
+		ty := ty
+		f := func(v int64) bool {
+			once := ty.Truncate(v)
+			return ty.Truncate(once) == once
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Errorf("%s: truncate not idempotent: %v", ty, err)
+		}
+	}
+}
+
+func TestTypeStrings(t *testing.T) {
+	if I32.String() != "int" || I64.String() != "long" || B1.String() != "bool" {
+		t.Errorf("unexpected type names: %s %s %s", I32, I64, B1)
+	}
+	if SingleTask.String() != "single-task" || NDRange.String() != "ndrange" || Autorun.String() != "autorun" {
+		t.Errorf("unexpected mode names")
+	}
+	if OpChanReadNB.String() != "chan.read.nb" {
+		t.Errorf("OpChanReadNB.String() = %q", OpChanReadNB)
+	}
+}
+
+func TestOpKindPredicates(t *testing.T) {
+	if !OpChanRead.IsChannelOp() || !OpChanWriteNB.IsChannelOp() || OpAdd.IsChannelOp() {
+		t.Error("IsChannelOp misclassifies")
+	}
+	if !OpChanRead.IsChannelRead() || OpChanWrite.IsChannelRead() {
+		t.Error("IsChannelRead misclassifies")
+	}
+	if !OpLoad.IsGlobalMemOp() || OpLocalLoad.IsGlobalMemOp() {
+		t.Error("IsGlobalMemOp misclassifies")
+	}
+	if OpStore.HasDst() || OpChanWriteNB.HasDst() || !OpLoad.HasDst() {
+		t.Error("HasDst misclassifies")
+	}
+}
+
+// buildDotProduct builds the paper's Listing 2 kernel shape: a dot product
+// with two timestamp read sites around the loop.
+func buildDotProduct(t *testing.T, depth int) (*Program, *Kernel) {
+	t.Helper()
+	p := NewProgram("dotprod")
+	tc1 := p.AddChan("time_ch1", depth, I32)
+	tc2 := p.AddChan("time_ch2", depth, I32)
+	k := p.AddKernel("dot", SingleTask)
+	x := k.AddGlobal("x", I32)
+	y := k.AddGlobal("y", I32)
+	z := k.AddGlobal("z", I32)
+	b := k.NewBuilder()
+	start := b.ChanRead(tc1)
+	sum := b.ForN("i", 100, []Val{b.Ci32(0)}, func(lb *Builder, i Val, c []Val) []Val {
+		xv := lb.Load(x, i)
+		yv := lb.Load(y, i)
+		return []Val{lb.Add(c[0], lb.Mul(xv, yv))}
+	})
+	b.Store(z, b.Ci32(0), sum[0])
+	end := b.ChanRead(tc2)
+	b.Store(z, b.Ci32(1), b.Sub(end, start))
+	return p, k
+}
+
+func TestBuilderDotProductValidates(t *testing.T) {
+	p, k := buildDotProduct(t, 0)
+	if err := p.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if k.NumVals() == 0 {
+		t.Fatal("kernel defined no values")
+	}
+	var loops int
+	k.Body.WalkLoops(func(l *Loop) {
+		loops++
+		n, ok := TripCount(k, l)
+		if !ok || n != 100 {
+			t.Errorf("TripCount = %d, %v; want 100, true", n, ok)
+		}
+	})
+	if loops != 1 {
+		t.Fatalf("found %d loops, want 1", loops)
+	}
+}
+
+func TestValidateDetectsDoubleConsumer(t *testing.T) {
+	p := NewProgram("bad")
+	ch := p.AddChan("c", 4, I32)
+	k1 := p.AddKernel("k1", SingleTask)
+	b1 := k1.NewBuilder()
+	b1.ChanRead(ch)
+	k2 := p.AddKernel("k2", SingleTask)
+	b2 := k2.NewBuilder()
+	b2.ChanRead(ch)
+	err := p.Validate()
+	if err == nil || !strings.Contains(err.Error(), "same direction") {
+		t.Fatalf("want double-consumer error, got %v", err)
+	}
+}
+
+func TestValidateDetectsDoubleProducerSameKernel(t *testing.T) {
+	p := NewProgram("bad")
+	ch := p.AddChan("c", 4, I32)
+	k := p.AddKernel("k", SingleTask)
+	b := k.NewBuilder()
+	v := b.Ci32(1)
+	b.ChanWrite(ch, v)
+	b.ChanWrite(ch, v)
+	err := p.Validate()
+	if err == nil || !strings.Contains(err.Error(), "same-direction endpoints") {
+		t.Fatalf("want double-producer error, got %v", err)
+	}
+}
+
+func TestValidateAutorunWithParams(t *testing.T) {
+	p := NewProgram("bad")
+	k := p.AddKernel("srv", Autorun)
+	k.AddScalar("n", I32)
+	if err := p.Validate(); err == nil || !strings.Contains(err.Error(), "autorun") {
+		t.Fatalf("want autorun-params error, got %v", err)
+	}
+}
+
+func TestValidateGlobalIDInSingleTask(t *testing.T) {
+	p := NewProgram("bad")
+	k := p.AddKernel("k", SingleTask)
+	b := k.NewBuilder()
+	b.GlobalID(0)
+	if err := p.Validate(); err == nil || !strings.Contains(err.Error(), "get_global_id") {
+		t.Fatalf("want get_global_id error, got %v", err)
+	}
+}
+
+func TestValidateScopeLeakFromIf(t *testing.T) {
+	p := NewProgram("bad")
+	k := p.AddKernel("k", SingleTask)
+	g := k.AddGlobal("g", I32)
+	b := k.NewBuilder()
+	cond := b.CmpLT(b.Ci32(1), b.Ci32(2))
+	var leaked Val
+	b.If(cond, func(tb *Builder) {
+		leaked = tb.Add(tb.Ci32(1), tb.Ci32(2))
+	})
+	b.Store(g, b.Ci32(0), leaked) // uses a value scoped to the If body
+	if err := p.Validate(); err == nil || !strings.Contains(err.Error(), "out of scope") {
+		t.Fatalf("want out-of-scope error, got %v", err)
+	}
+}
+
+func TestValidateReplicatedKernelFixedChannel(t *testing.T) {
+	p := NewProgram("bad")
+	ch := p.AddChan("c", 4, I32)
+	k := p.AddKernel("k", Autorun)
+	k.NumComputeUnits = 3
+	b := k.NewBuilder()
+	b.Forever(nil, func(lb *Builder, i Val, c []Val) []Val {
+		lb.ChanRead(ch)
+		return nil
+	})
+	if err := p.Validate(); err == nil || !strings.Contains(err.Error(), "replicated") {
+		t.Fatalf("want replication error, got %v", err)
+	}
+}
+
+func TestValidatePerCUChannels(t *testing.T) {
+	p := NewProgram("ok")
+	chans := p.AddChanArray("data_in", 3, 4, I32)
+	k := p.AddKernel("ibuf", Autorun)
+	k.NumComputeUnits = 3
+	b := k.NewBuilder()
+	b.Forever(nil, func(lb *Builder, i Val, c []Val) []Val {
+		lb.ChanReadNBCU(chans)
+		return nil
+	})
+	if err := p.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestValidatePerCUChannelCountMismatch(t *testing.T) {
+	p := NewProgram("bad")
+	chans := p.AddChanArray("data_in", 2, 4, I32)
+	k := p.AddKernel("ibuf", Autorun)
+	k.NumComputeUnits = 3
+	b := k.NewBuilder()
+	b.Forever(nil, func(lb *Builder, i Val, c []Val) []Val {
+		lb.ChanReadNBCU(chans)
+		return nil
+	})
+	if err := p.Validate(); err == nil || !strings.Contains(err.Error(), "compute units") {
+		t.Fatalf("want per-CU count error, got %v", err)
+	}
+}
+
+func TestChanArrayNaming(t *testing.T) {
+	p := NewProgram("x")
+	cs := p.AddChanArray("cmd_c", 4, 0, I32)
+	if len(cs) != 4 || cs[2].Name != "cmd_c[2]" {
+		t.Fatalf("AddChanArray naming wrong: %+v", cs)
+	}
+	if p.ChanByName("cmd_c[3]") != cs[3] {
+		t.Fatal("ChanByName lookup failed")
+	}
+}
+
+func TestDuplicateChannelPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on duplicate channel")
+		}
+	}()
+	p := NewProgram("x")
+	p.AddChan("c", 0, I32)
+	p.AddChan("c", 0, I32)
+}
+
+func TestDuplicateKernelPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on duplicate kernel")
+		}
+	}()
+	p := NewProgram("x")
+	p.AddKernel("k", SingleTask)
+	p.AddKernel("k", SingleTask)
+}
+
+func TestConstTracking(t *testing.T) {
+	p := NewProgram("x")
+	k := p.AddKernel("k", SingleTask)
+	b := k.NewBuilder()
+	c := b.Ci32(42)
+	v, ok := k.ConstVal(c)
+	if !ok || v != 42 {
+		t.Fatalf("ConstVal = %d, %v; want 42, true", v, ok)
+	}
+	sum := b.Add(c, c)
+	if _, ok := k.ConstVal(sum); ok {
+		t.Fatal("Add result must not be a tracked constant")
+	}
+	if _, ok := k.ConstVal(NoVal); ok {
+		t.Fatal("NoVal must not be constant")
+	}
+}
+
+func TestTripCountEdgeCases(t *testing.T) {
+	p := NewProgram("x")
+	k := p.AddKernel("k", SingleTask)
+	b := k.NewBuilder()
+
+	var emptyLoop, strideLoop *Loop
+	b.For("empty", b.Ci32(5), b.Ci32(5), b.Ci32(1), nil,
+		func(lb *Builder, i Val, c []Val) []Val { return nil })
+	b.For("stride", b.Ci32(0), b.Ci32(10), b.Ci32(3), nil,
+		func(lb *Builder, i Val, c []Val) []Val { return nil })
+	loops := []*Loop{}
+	k.Body.WalkLoops(func(l *Loop) { loops = append(loops, l) })
+	emptyLoop, strideLoop = loops[0], loops[1]
+
+	if n, ok := TripCount(k, emptyLoop); !ok || n != 0 {
+		t.Errorf("empty loop trip = %d, %v; want 0, true", n, ok)
+	}
+	if n, ok := TripCount(k, strideLoop); !ok || n != 4 {
+		t.Errorf("stride loop trip = %d, %v; want 4 (0,3,6,9)", n, ok)
+	}
+}
+
+func TestForeverIsInfinite(t *testing.T) {
+	p := NewProgram("x")
+	k := p.AddKernel("srv", Autorun)
+	b := k.NewBuilder()
+	b.Forever([]Val{b.Ci32(0)}, func(lb *Builder, i Val, c []Val) []Val {
+		return []Val{lb.Add(c[0], lb.Ci32(1))}
+	})
+	var found bool
+	k.Body.WalkLoops(func(l *Loop) {
+		found = true
+		if !IsInfinite(k, l) {
+			t.Error("Forever loop not recognized as infinite")
+		}
+		if _, ok := TripCount(k, l); !ok {
+			t.Error("infinite loop should still have const bounds")
+		}
+	})
+	if !found {
+		t.Fatal("no loop built")
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestCarriedMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on carried-count mismatch")
+		}
+	}()
+	p := NewProgram("x")
+	k := p.AddKernel("k", SingleTask)
+	b := k.NewBuilder()
+	b.ForN("i", 10, []Val{b.Ci32(0)}, func(lb *Builder, i Val, c []Val) []Val {
+		return nil // wrong: must return 1 value
+	})
+}
+
+func TestDumpContainsPaperIdioms(t *testing.T) {
+	p, _ := buildDotProduct(t, 0)
+	// add an autorun counter kernel like Listing 1
+	srv := p.AddKernel("timer_srv", Autorun)
+	b := srv.NewBuilder()
+	b.Forever([]Val{b.Ci32(0)}, func(lb *Builder, i Val, c []Val) []Val {
+		n := lb.Add(c[0], lb.Ci32(1))
+		lb.ChanWriteNB(p.ChanByName("time_ch1"), n)
+		return []Val{n}
+	})
+	_ = p.KernelByName("timer_srv")
+	out := p.Dump()
+	for _, want := range []string{
+		"__attribute__((autorun))",
+		"read_channel_altera(time_ch1)",
+		"write_channel_nb_altera(time_ch1",
+		"while (1)",
+		"channel int time_ch1 __attribute__((depth(0)))",
+		"__global int *x",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Dump missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestDumpUnrollAndComputeID(t *testing.T) {
+	p := NewProgram("x")
+	cs := p.AddChanArray("out_c", 2, 4, I32)
+	k := p.AddKernel("host_if", SingleTask)
+	id := k.AddScalar("id", I32)
+	g := k.AddGlobal("output", I32)
+	b := k.NewBuilder()
+	b.ForN("i", 2, nil, func(lb *Builder, i Val, c []Val) []Val {
+		eq := lb.CmpEQ(i, id.Val)
+		lb.If(eq, func(tb *Builder) {
+			v := tb.ChanRead(cs[0]) // representative endpoint
+			tb.Store(g, i, v)
+		})
+		return nil
+	})
+	b.Unrolled()
+	out := k.Dump()
+	if !strings.Contains(out, "#pragma unroll") {
+		t.Errorf("Dump missing #pragma unroll:\n%s", out)
+	}
+
+	k2 := p.AddKernel("rep", Autorun)
+	k2.NumComputeUnits = 2
+	b2 := k2.NewBuilder()
+	b2.Forever(nil, func(lb *Builder, i Val, c []Val) []Val {
+		lb.ComputeID(0)
+		lb.ChanReadNBCU(cs[:2])
+		return nil
+	})
+	out2 := k2.Dump()
+	for _, want := range []string{"num_compute_units(2)", "get_compute_id(0)", "out_c[cuid]"} {
+		if !strings.Contains(out2, want) {
+			t.Errorf("Dump missing %q in:\n%s", want, out2)
+		}
+	}
+}
+
+func TestUnrolledRequiresLoop(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	p := NewProgram("x")
+	k := p.AddKernel("k", SingleTask)
+	b := k.NewBuilder()
+	b.Ci32(1)
+	b.Unrolled()
+}
+
+func TestWalkOpsOrder(t *testing.T) {
+	p := NewProgram("x")
+	k := p.AddKernel("k", SingleTask)
+	g := k.AddGlobal("g", I32)
+	b := k.NewBuilder()
+	v := b.Ci32(7)
+	b.ForN("i", 3, nil, func(lb *Builder, i Val, c []Val) []Val {
+		lb.Store(g, i, v)
+		return nil
+	})
+	b.Store(g, b.Ci32(9), v)
+	var kinds []OpKind
+	k.Body.WalkOps(func(op *Op) { kinds = append(kinds, op.Kind) })
+	// const 7, (loop bounds consts xN), store inside loop, const 9, store
+	var stores int
+	for _, kd := range kinds {
+		if kd == OpStore {
+			stores++
+		}
+	}
+	if stores != 2 {
+		t.Fatalf("WalkOps saw %d stores, want 2", stores)
+	}
+	if kinds[len(kinds)-1] != OpStore {
+		t.Fatalf("last op = %s, want store", kinds[len(kinds)-1])
+	}
+}
+
+func TestLocalArrayBits(t *testing.T) {
+	p := NewProgram("x")
+	k := p.AddKernel("k", SingleTask)
+	a := k.AddLocal("trace", I64, 1024)
+	if a.Bits() != 1024*64 {
+		t.Fatalf("Bits = %d, want %d", a.Bits(), 1024*64)
+	}
+}
+
+func TestAddLocalRejectsZeroSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	p := NewProgram("x")
+	k := p.AddKernel("k", SingleTask)
+	k.AddLocal("t", I32, 0)
+}
+
+func TestScalarParamValue(t *testing.T) {
+	p := NewProgram("x")
+	k := p.AddKernel("k", SingleTask)
+	n := k.AddScalar("n", I32)
+	if !n.Val.Valid() {
+		t.Fatal("scalar param has no value")
+	}
+	if k.ValOrigin(n.Val) != FromParam {
+		t.Fatalf("scalar origin = %v, want FromParam", k.ValOrigin(n.Val))
+	}
+	if k.ValType(n.Val) != I32 {
+		t.Fatalf("scalar type = %v, want I32", k.ValType(n.Val))
+	}
+}
+
+func TestPinRequiresOp(t *testing.T) {
+	p := NewProgram("x")
+	k := p.AddKernel("k", SingleTask)
+	b := k.NewBuilder()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Pin on empty region must panic")
+		}
+	}()
+	b.Pin()
+}
+
+func TestPinMarksOp(t *testing.T) {
+	p := NewProgram("x")
+	k := p.AddKernel("k", SingleTask)
+	g := k.AddGlobal("g", I32)
+	b := k.NewBuilder()
+	v := b.Ci32(1)
+	b.Store(g, v, v)
+	b.Pin()
+	var pinned int
+	k.Body.WalkOps(func(op *Op) {
+		if op.Pinned {
+			pinned++
+			if op.Kind != OpStore {
+				t.Fatalf("pinned op is %s", op.Kind)
+			}
+		}
+	})
+	if pinned != 1 {
+		t.Fatalf("%d pinned ops", pinned)
+	}
+}
+
+func TestIVDepMarksLoop(t *testing.T) {
+	p := NewProgram("x")
+	k := p.AddKernel("k", SingleTask)
+	g := k.AddGlobal("g", I32)
+	b := k.NewBuilder()
+	b.ForN("i", 4, nil, func(lb *Builder, i Val, _ []Val) []Val {
+		lb.Store(g, i, i)
+		return nil
+	})
+	b.IVDep()
+	var marked bool
+	k.Body.WalkLoops(func(l *Loop) { marked = l.IVDep })
+	if !marked {
+		t.Fatal("IVDep not recorded")
+	}
+}
+
+func TestSetComputeUnits(t *testing.T) {
+	p := NewProgram("x")
+	k := p.AddKernel("k", Autorun)
+	k.SetComputeUnits(3, 2, 2)
+	if k.NumComputeUnits != 12 {
+		t.Fatalf("total = %d", k.NumComputeUnits)
+	}
+	if got := k.CUCoord(7); got != [3]int{1, 0, 1} {
+		t.Fatalf("CUCoord(7) = %v", got)
+	}
+	if got := k.CUCoord(0); got != [3]int{0, 0, 0} {
+		t.Fatalf("CUCoord(0) = %v", got)
+	}
+	// flat NumComputeUnits without dims decomposes along x
+	k2 := p.AddKernel("k2", Autorun)
+	k2.NumComputeUnits = 5
+	if got := k2.CUCoord(4); got != [3]int{4, 0, 0} {
+		t.Fatalf("flat CUCoord(4) = %v", got)
+	}
+}
+
+func TestSetComputeUnitsRejectsZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	p := NewProgram("x")
+	p.AddKernel("k", Autorun).SetComputeUnits(0, 1, 1)
+}
+
+func TestZeroValIsInvalid(t *testing.T) {
+	var v Val
+	if v.Valid() {
+		t.Fatal("zero Val must be invalid")
+	}
+	if v != NoVal {
+		t.Fatal("zero Val must equal NoVal")
+	}
+	if v.ID() >= 0 {
+		t.Fatalf("zero Val ID = %d", v.ID())
+	}
+}

@@ -1,0 +1,185 @@
+package kir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Dump renders the program as pseudo-OpenCL for logs and golden tests.
+func (p *Program) Dump() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "// program %s\n", p.Name)
+	for _, c := range p.Chans {
+		sb.WriteString(c.String())
+		sb.WriteByte('\n')
+	}
+	for _, l := range p.Libs {
+		fmt.Fprintf(&sb, "extern long %s(/* %d args, latency %d */);\n", l.Name, l.Params, l.Latency)
+	}
+	for _, k := range p.Kernels {
+		sb.WriteByte('\n')
+		sb.WriteString(k.Dump())
+	}
+	return sb.String()
+}
+
+// Dump renders one kernel as pseudo-OpenCL.
+func (k *Kernel) Dump() string {
+	var sb strings.Builder
+	if k.Mode == Autorun {
+		sb.WriteString("__attribute__((autorun)) ")
+	}
+	if k.NumComputeUnits > 1 {
+		if d := k.CUDims; d[1] > 1 || d[2] > 1 {
+			fmt.Fprintf(&sb, "__attribute__((num_compute_units(%d,%d,%d))) ", d[0], d[1], d[2])
+		} else {
+			fmt.Fprintf(&sb, "__attribute__((num_compute_units(%d))) ", k.NumComputeUnits)
+		}
+	}
+	fmt.Fprintf(&sb, "__kernel void %s(", k.Name)
+	for i, p := range k.Params {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		if p.Kind == GlobalArray {
+			fmt.Fprintf(&sb, "__global %s *%s", p.Elem, p.Name)
+		} else {
+			fmt.Fprintf(&sb, "%s %s", p.Elem, p.Name)
+		}
+	}
+	sb.WriteString(") {\n")
+	for _, a := range k.Locals {
+		fmt.Fprintf(&sb, "  __local %s %s[%d];\n", a.Elem, a.Name, a.Size)
+	}
+	pr := printer{k: k, sb: &sb}
+	pr.region(k.Body, 1)
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+type printer struct {
+	k  *Kernel
+	sb *strings.Builder
+}
+
+func (p *printer) indent(depth int) { p.sb.WriteString(strings.Repeat("  ", depth)) }
+
+func (p *printer) val(v Val) string {
+	if !v.Valid() {
+		return "_"
+	}
+	if c, ok := p.k.ConstVal(v); ok {
+		return fmt.Sprintf("%d", c)
+	}
+	if n := p.k.ValName(v); n != "" {
+		return fmt.Sprintf("%s#%d", n, v.ID())
+	}
+	return fmt.Sprintf("v%d", v.ID())
+}
+
+func (p *printer) region(r *Region, depth int) {
+	for _, n := range r.Nodes {
+		switch n := n.(type) {
+		case *Op:
+			p.op(n, depth)
+		case *If:
+			p.indent(depth)
+			fmt.Fprintf(p.sb, "if (%s) {\n", p.val(n.Cond))
+			p.region(n.Then, depth+1)
+			p.indent(depth)
+			p.sb.WriteString("}\n")
+		case *Loop:
+			if n.Unroll {
+				p.indent(depth)
+				p.sb.WriteString("#pragma unroll\n")
+			}
+			p.indent(depth)
+			if IsInfinite(p.k, n) {
+				fmt.Fprintf(p.sb, "while (1) { // %s\n", n.Label)
+			} else {
+				fmt.Fprintf(p.sb, "for (%s = %s; %s < %s; %s += %s) {\n",
+					p.val(n.IndVar), p.val(n.Start), p.val(n.IndVar), p.val(n.End),
+					p.val(n.IndVar), p.val(n.Step))
+			}
+			for _, c := range n.Carried {
+				p.indent(depth + 1)
+				fmt.Fprintf(p.sb, "// carried %s: init %s, next %s, out %s\n",
+					p.val(c.Phi), p.val(c.Init), p.val(c.Next), p.val(c.Out))
+			}
+			p.region(n.Body, depth+1)
+			p.indent(depth)
+			p.sb.WriteString("}\n")
+		}
+	}
+}
+
+func (p *printer) chName(op *Op) string {
+	if op.ChArr != nil {
+		base := op.ChArr[0].Name
+		if i := strings.IndexByte(base, '['); i >= 0 {
+			base = base[:i]
+		}
+		return base + "[cuid]"
+	}
+	if op.Ch != nil {
+		return op.Ch.Name
+	}
+	return "?"
+}
+
+func (p *printer) op(op *Op, depth int) {
+	if op.Kind == OpConst {
+		return // constants are printed inline at their uses
+	}
+	p.indent(depth)
+	switch op.Kind {
+	case OpStore:
+		fmt.Fprintf(p.sb, "%s[%s] = %s;", op.Arr.Name, p.val(op.Args[0]), p.val(op.Args[1]))
+	case OpLocalStore:
+		fmt.Fprintf(p.sb, "%s[%s] = %s;", op.Local.Name, p.val(op.Args[0]), p.val(op.Args[1]))
+	case OpLoad:
+		fmt.Fprintf(p.sb, "%s = %s[%s];", p.val(op.Dst), op.Arr.Name, p.val(op.Args[0]))
+	case OpLocalLoad:
+		fmt.Fprintf(p.sb, "%s = %s[%s];", p.val(op.Dst), op.Local.Name, p.val(op.Args[0]))
+	case OpChanRead:
+		fmt.Fprintf(p.sb, "%s = read_channel_altera(%s);", p.val(op.Dst), p.chName(op))
+	case OpChanWrite:
+		fmt.Fprintf(p.sb, "write_channel_altera(%s, %s);", p.chName(op), p.val(op.Args[0]))
+	case OpChanReadNB:
+		fmt.Fprintf(p.sb, "%s = read_channel_nb_altera(%s, &%s);",
+			p.val(op.Dst), p.chName(op), p.val(op.OkDst))
+	case OpChanWriteNB:
+		fmt.Fprintf(p.sb, "%s = write_channel_nb_altera(%s, %s);",
+			p.val(op.OkDst), p.chName(op), p.val(op.Args[0]))
+	case OpGlobalID:
+		fmt.Fprintf(p.sb, "%s = get_global_id(%d);", p.val(op.Dst), op.Dim)
+	case OpComputeID:
+		fmt.Fprintf(p.sb, "%s = get_compute_id(%d);", p.val(op.Dst), op.Dim)
+	case OpCall:
+		args := make([]string, len(op.Args))
+		for i, a := range op.Args {
+			args[i] = p.val(a)
+		}
+		fmt.Fprintf(p.sb, "%s = %s(%s);", p.val(op.Dst), op.Lib.Name, strings.Join(args, ", "))
+	case OpFence:
+		p.sb.WriteString("mem_fence(CLK_CHANNEL_MEM_FENCE);")
+	case OpIBufLogic:
+		p.sb.WriteString("/* ibuffer logic block */;")
+	case OpSelect:
+		fmt.Fprintf(p.sb, "%s = %s ? %s : %s;",
+			p.val(op.Dst), p.val(op.Args[0]), p.val(op.Args[1]), p.val(op.Args[2]))
+	default:
+		sym := map[OpKind]string{
+			OpAdd: "+", OpSub: "-", OpMul: "*", OpDiv: "/", OpMod: "%",
+			OpAnd: "&", OpOr: "|", OpXor: "^", OpShl: "<<", OpShr: ">>",
+			OpCmpLT: "<", OpCmpLE: "<=", OpCmpEQ: "==", OpCmpNE: "!=",
+			OpCmpGT: ">", OpCmpGE: ">=",
+		}
+		if s, ok := sym[op.Kind]; ok && len(op.Args) == 2 {
+			fmt.Fprintf(p.sb, "%s = %s %s %s;", p.val(op.Dst), p.val(op.Args[0]), s, p.val(op.Args[1]))
+		} else {
+			fmt.Fprintf(p.sb, "%s = %s(...);", p.val(op.Dst), op.Kind)
+		}
+	}
+	p.sb.WriteByte('\n')
+}

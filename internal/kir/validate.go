@@ -1,0 +1,231 @@
+package kir
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Validate checks the whole program for structural errors: scoping, channel
+// endpoint discipline (one producer, one consumer per channel — the AOCL
+// rule the paper works around with multiple channels), autorun constraints,
+// and unroll feasibility. It returns all problems found, joined.
+func (p *Program) Validate() error {
+	var errs []error
+	fail := func(format string, args ...any) {
+		errs = append(errs, fmt.Errorf(format, args...))
+	}
+
+	type endpoint struct {
+		kernel string
+		n      int
+	}
+	producers := map[*Chan]*endpoint{}
+	consumers := map[*Chan]*endpoint{}
+	record := func(m map[*Chan]*endpoint, ch *Chan, k *Kernel) {
+		if e, ok := m[ch]; ok {
+			e.n++
+			if e.kernel != k.Name {
+				fail("channel %q has endpoints in both %q and %q of the same direction",
+					ch.Name, e.kernel, k.Name)
+			} else {
+				fail("channel %q has %d same-direction endpoints in kernel %q (max 1)",
+					ch.Name, e.n, k.Name)
+			}
+			return
+		}
+		m[ch] = &endpoint{kernel: k.Name, n: 1}
+	}
+
+	for _, k := range p.Kernels {
+		if k.NumComputeUnits < 1 {
+			fail("kernel %q: NumComputeUnits = %d", k.Name, k.NumComputeUnits)
+		}
+		if k.Mode == Autorun && len(k.Params) > 0 {
+			fail("autorun kernel %q has parameters; autorun kernels take none", k.Name)
+		}
+		v := &validator{p: p, k: k, fail: fail}
+		scope := map[int]bool{}
+		for _, prm := range k.Params {
+			if prm.Kind == ScalarParam {
+				scope[prm.Val.ID()] = true
+			}
+		}
+		v.region(k.Body, scope)
+
+		k.Body.WalkOps(func(op *Op) {
+			chs := op.endpointChans(k, fail)
+			for _, ch := range chs {
+				if ch == nil {
+					continue
+				}
+				if op.Kind.IsChannelRead() {
+					record(consumers, ch, k)
+				} else if op.Kind.IsChannelOp() {
+					record(producers, ch, k)
+				}
+			}
+		})
+	}
+	return errors.Join(errs...)
+}
+
+// endpointChans resolves the channels an op touches post-elaboration: the
+// fixed channel, or one per compute unit for ChArr ops.
+func (op *Op) endpointChans(k *Kernel, fail func(string, ...any)) []*Chan {
+	if !op.Kind.IsChannelOp() {
+		return nil
+	}
+	if op.ChArr != nil {
+		if len(op.ChArr) != k.NumComputeUnits {
+			fail("kernel %q: per-CU channel op has %d channels, kernel has %d compute units",
+				k.Name, len(op.ChArr), k.NumComputeUnits)
+		}
+		return op.ChArr
+	}
+	if op.Ch == nil {
+		fail("kernel %q: channel op %s with no channel", k.Name, op.Kind)
+		return nil
+	}
+	if k.NumComputeUnits > 1 {
+		fail("kernel %q: fixed channel %q endpoint in a kernel replicated %d times",
+			k.Name, op.Ch.Name, k.NumComputeUnits)
+	}
+	return []*Chan{op.Ch}
+}
+
+type validator struct {
+	p    *Program
+	k    *Kernel
+	fail func(string, ...any)
+}
+
+// region walks nodes in order, maintaining the set of in-scope value ids.
+// Values defined inside If/Loop bodies are not visible afterwards (except
+// loop Outs).
+func (v *validator) region(r *Region, scope map[int]bool) {
+	for _, n := range r.Nodes {
+		switch n := n.(type) {
+		case *Op:
+			v.op(n, scope)
+		case *If:
+			v.use(n.Cond, scope, "if condition")
+			inner := cloneScope(scope)
+			v.region(n.Then, inner)
+		case *Loop:
+			v.use(n.Start, scope, "loop start")
+			v.use(n.End, scope, "loop end")
+			v.use(n.Step, scope, "loop step")
+			inner := cloneScope(scope)
+			inner[n.IndVar.ID()] = true
+			for _, c := range n.Carried {
+				v.use(c.Init, scope, "carried init")
+				inner[c.Phi.ID()] = true
+			}
+			v.region(n.Body, inner)
+			for _, c := range n.Carried {
+				v.use(c.Next, inner, "carried next")
+				scope[c.Out.ID()] = true
+			}
+			if n.Unroll {
+				if _, ok := v.tripCount(n); !ok {
+					v.fail("kernel %q: loop %q has #pragma unroll but non-constant bounds",
+						v.k.Name, n.Label)
+				}
+			}
+		}
+	}
+}
+
+func (v *validator) op(op *Op, scope map[int]bool) {
+	for _, a := range op.Args {
+		v.use(a, scope, op.Kind.String())
+	}
+	switch op.Kind {
+	case OpGlobalID:
+		if v.k.Mode != NDRange {
+			v.fail("kernel %q: get_global_id in %s kernel", v.k.Name, v.k.Mode)
+		}
+	case OpCall:
+		if op.Lib == nil || v.p.LibByName(op.Lib.Name) != op.Lib {
+			v.fail("kernel %q: call to unregistered library function", v.k.Name)
+		}
+	case OpLoad, OpStore:
+		if op.Arr == nil || op.Arr.Kind != GlobalArray {
+			v.fail("kernel %q: %s without a global array", v.k.Name, op.Kind)
+		}
+	case OpLocalLoad, OpLocalStore:
+		if op.Local == nil {
+			v.fail("kernel %q: %s without a local array", v.k.Name, op.Kind)
+		}
+	}
+	if op.Kind.IsChannelOp() {
+		var elem Type
+		switch {
+		case op.ChArr != nil:
+			elem = op.ChArr[0].Elem
+			for _, c := range op.ChArr {
+				if c.Elem != elem {
+					v.fail("kernel %q: per-CU channel array mixes element types", v.k.Name)
+				}
+			}
+		case op.Ch != nil:
+			elem = op.Ch.Elem
+		}
+		_ = elem
+	}
+	if op.Dst.Valid() {
+		scope[op.Dst.ID()] = true
+	}
+	if op.OkDst.Valid() {
+		scope[op.OkDst.ID()] = true
+	}
+}
+
+func (v *validator) use(val Val, scope map[int]bool, what string) {
+	if !val.Valid() {
+		v.fail("kernel %q: %s uses an invalid value", v.k.Name, what)
+		return
+	}
+	if val.ID() >= len(v.k.vals) {
+		v.fail("kernel %q: %s uses value %d from another kernel", v.k.Name, what, val.ID())
+		return
+	}
+	if !scope[val.ID()] {
+		v.fail("kernel %q: %s uses value %d (%s) before definition or out of scope",
+			v.k.Name, what, val.ID(), v.k.ValName(val))
+	}
+}
+
+// tripCount evaluates the loop's constant trip count, if bounds are const.
+func (v *validator) tripCount(l *Loop) (int64, bool) {
+	return TripCount(v.k, l)
+}
+
+// TripCount returns the compile-time trip count of a counted loop, when
+// start, end, and step are all constants and step > 0.
+func TripCount(k *Kernel, l *Loop) (int64, bool) {
+	s, ok1 := k.ConstVal(l.Start)
+	e, ok2 := k.ConstVal(l.End)
+	st, ok3 := k.ConstVal(l.Step)
+	if !ok1 || !ok2 || !ok3 || st <= 0 {
+		return 0, false
+	}
+	if e <= s {
+		return 0, true
+	}
+	return (e - s + st - 1) / st, true
+}
+
+// IsInfinite reports whether the loop is an unbounded autorun loop.
+func IsInfinite(k *Kernel, l *Loop) bool {
+	e, ok := k.ConstVal(l.End)
+	return ok && e >= InfiniteTrip
+}
+
+func cloneScope(s map[int]bool) map[int]bool {
+	c := make(map[int]bool, len(s))
+	for k, v := range s {
+		c[k] = v
+	}
+	return c
+}

@@ -1,0 +1,189 @@
+package mem
+
+import "fmt"
+
+// LSUKind selects the load/store unit microarchitecture, following the AOCL
+// LSU taxonomy.
+type LSUKind int
+
+// LSU kinds.
+const (
+	// BurstCoalesced buffers the most recent line and merges accesses that
+	// fall into it — AOCL's default for patterns it cannot prove random.
+	BurstCoalesced LSUKind = iota
+	// Pipelined issues every access to DRAM individually; smaller, no
+	// coalescing win.
+	Pipelined
+)
+
+func (k LSUKind) String() string {
+	switch k {
+	case BurstCoalesced:
+		return "burst-coalesced"
+	case Pipelined:
+		return "pipelined"
+	}
+	return fmt.Sprintf("lsu(%d)", int(k))
+}
+
+// LSUStats aggregates per-site memory behaviour; the profiling experiments
+// report these next to the trace-derived latencies.
+type LSUStats struct {
+	Loads        int64
+	Stores       int64
+	LineFetches  int64
+	CoalesceHits int64
+	TotalLoadLat int64 // sum of (ready - issue) over loads
+	MaxLoadLat   int64
+	StoreStalls  int64
+}
+
+// AvgLoadLatency returns the mean load latency in cycles (0 if no loads).
+func (s LSUStats) AvgLoadLatency() float64 {
+	if s.Loads == 0 {
+		return 0
+	}
+	return float64(s.TotalLoadLat) / float64(s.Loads)
+}
+
+// LSU is one static access site's load/store unit, bound to one buffer.
+type LSU struct {
+	sys  *System
+	buf  *Buffer
+	kind LSUKind
+
+	// coalescing state
+	curLine  int64
+	lineAt   int64
+	hasLine  bool
+	minLocal int64 // cycles from issue to response on a coalesce hit
+
+	// posted-store queue: completion times of in-flight stores
+	storeDone []int64
+
+	stats LSUStats
+}
+
+// NewLSU creates an LSU for one access site on buf.
+func (s *System) NewLSU(kind LSUKind, buf *Buffer) *LSU {
+	return &LSU{sys: s, buf: buf, kind: kind, minLocal: 2}
+}
+
+// Kind returns the LSU microarchitecture.
+func (l *LSU) Kind() LSUKind { return l.kind }
+
+// Buffer returns the buffer the LSU is bound to.
+func (l *LSU) Buffer() *Buffer { return l.buf }
+
+// Stats returns a copy of the per-site statistics.
+func (l *LSU) Stats() LSUStats { return l.stats }
+
+// Load reads element idx at cycle `now`. It returns the loaded value and the
+// cycle at which the pipeline may consume it. Out-of-range indexes return 0
+// with a fast response — mirroring how a synthesized design reads garbage
+// rather than trapping (this is exactly the failure mode the paper's smart
+// watchpoints exist to catch).
+func (l *LSU) Load(now, idx int64) (value int64, readyAt int64) {
+	l.stats.Loads++
+	var v int64
+	if idx >= 0 && idx < int64(len(l.buf.Data)) {
+		v = l.buf.Data[idx]
+	}
+	addr := l.buf.Addr(idx)
+	ready := l.access(now, addr)
+	lat := ready - now
+	l.stats.TotalLoadLat += lat
+	if lat > l.stats.MaxLoadLat {
+		l.stats.MaxLoadLat = lat
+	}
+	return v, ready
+}
+
+// Store writes element idx = value at cycle `now`, returning the cycle the
+// pipeline may proceed (posted unless the store queue is full). Out-of-range
+// stores are dropped, again mirroring silent hardware corruption semantics.
+func (l *LSU) Store(now, idx, value int64) (ackAt int64) {
+	l.stats.Stores++
+	if idx >= 0 && idx < int64(len(l.buf.Data)) {
+		l.buf.Data[idx] = value
+	}
+	addr := l.buf.Addr(idx)
+	done := l.access(now, addr)
+
+	// retire completed posted stores
+	keep := l.storeDone[:0]
+	for _, d := range l.storeDone {
+		if d > now {
+			keep = append(keep, d)
+		}
+	}
+	l.storeDone = keep
+
+	if len(l.storeDone) >= l.sys.cfg.StoreQueue {
+		// queue full: stall until the oldest entry retires
+		l.stats.StoreStalls++
+		oldest := l.storeDone[0]
+		l.storeDone = append(l.storeDone[1:], done)
+		return oldest + 1
+	}
+	l.storeDone = append(l.storeDone, done)
+	return now + 1
+}
+
+// access returns the data-ready cycle for a byte address, applying the LSU's
+// coalescing policy. Out-of-range (including negative) addresses still cost
+// a memory transaction; their timing is modeled at the clamped address.
+func (l *LSU) access(now, addr int64) int64 {
+	if addr < 0 {
+		addr = 0
+	}
+	lineBytes := l.sys.cfg.LineBytes
+	line := addr / lineBytes
+	if l.kind == BurstCoalesced && l.hasLine && line == l.curLine {
+		l.stats.CoalesceHits++
+		return max64(now+l.minLocal, l.lineAt)
+	}
+	ready := l.sys.lineFetch(now, addr)
+	l.stats.LineFetches++
+	if l.kind == BurstCoalesced {
+		l.curLine, l.lineAt, l.hasLine = line, ready, true
+	}
+	return ready
+}
+
+// LocalMem is an on-chip (OpenCL __local) memory: fixed low latency, no
+// global-memory traffic. The ibuffer trace buffer lives here, which is how
+// the paper guarantees profiling does not perturb the design under test's
+// global-memory behaviour (§4, challenge 2).
+type LocalMem struct {
+	Name    string
+	Data    []int64
+	Latency int64 // read latency in cycles (default 1)
+
+	Reads  int64
+	Writes int64
+}
+
+// NewLocalMem allocates a local memory of n elements.
+func NewLocalMem(name string, n int) *LocalMem {
+	return &LocalMem{Name: name, Data: make([]int64, n), Latency: 1}
+}
+
+// Load reads element idx at cycle now; out-of-range reads return 0.
+func (m *LocalMem) Load(now, idx int64) (value int64, readyAt int64) {
+	m.Reads++
+	var v int64
+	if idx >= 0 && idx < int64(len(m.Data)) {
+		v = m.Data[idx]
+	}
+	return v, now + m.Latency
+}
+
+// Store writes element idx at cycle now; out-of-range writes are dropped.
+func (m *LocalMem) Store(now, idx, value int64) (ackAt int64) {
+	m.Writes++
+	if idx >= 0 && idx < int64(len(m.Data)) {
+		m.Data[idx] = value
+	}
+	return now + 1
+}

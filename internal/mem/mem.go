@@ -1,0 +1,158 @@
+// Package mem models the global-memory system of an OpenCL-for-FPGA board:
+// a banked DRAM with row-buffer locality behind load/store units (LSUs).
+//
+// The paper's Figure 2 discussion attributes the performance difference
+// between the single-task and NDRange matvec kernels to their memory access
+// patterns (x[0],x[1],x[2],… vs x[0],x[100],x[200],…). This package makes
+// that difference emerge from first principles: a burst-coalescing LSU turns
+// sequential accesses into one line fetch per 16 int32 elements, while
+// strided accesses pay a fetch (and often a row activation) per element.
+//
+// Timing and values are decoupled: data values are read/written at issue
+// time (sequentially consistent at issue), while the returned completion
+// cycle carries the timing the pipeline must wait for. This keeps the
+// simulator deterministic and is faithful enough for profiling behaviour,
+// which is about *when* responses arrive.
+package mem
+
+import "fmt"
+
+// Config sets the DRAM geometry and timing. Zero fields take defaults that
+// approximate a DDR3-1600 behind a 200–300 MHz fabric.
+type Config struct {
+	Banks       int   // number of DRAM banks (default 8)
+	LineBytes   int64 // burst/line size serviced per DRAM access (default 64)
+	RowBytes    int64 // row-buffer size per bank (default 4096)
+	RowHitLat   int64 // cycles from service start to data, open row (default 24)
+	RowMissLat  int64 // cycles from service start to data, row activate (default 52)
+	BankBusyHit int64 // bank occupancy per hit access (default 2)
+	BankBusyMis int64 // bank occupancy per miss access (default 8)
+	BusBusy     int64 // shared data-bus occupancy per line (default 2)
+	StoreQueue  int   // posted-store queue depth per LSU (default 16)
+}
+
+func (c *Config) fill() {
+	if c.Banks == 0 {
+		c.Banks = 8
+	}
+	if c.LineBytes == 0 {
+		c.LineBytes = 64
+	}
+	if c.RowBytes == 0 {
+		c.RowBytes = 4096
+	}
+	if c.RowHitLat == 0 {
+		c.RowHitLat = 24
+	}
+	if c.RowMissLat == 0 {
+		c.RowMissLat = 52
+	}
+	if c.BankBusyHit == 0 {
+		c.BankBusyHit = 2
+	}
+	if c.BankBusyMis == 0 {
+		c.BankBusyMis = 8
+	}
+	if c.BusBusy == 0 {
+		c.BusBusy = 2
+	}
+	if c.StoreQueue == 0 {
+		c.StoreQueue = 16
+	}
+}
+
+// Buffer is a host-visible global-memory allocation.
+type Buffer struct {
+	Name      string
+	Base      int64 // byte address of element 0
+	ElemBytes int64
+	Data      []int64
+}
+
+// Addr returns the byte address of element idx (no bounds check: FPGA
+// pointers don't have one either; System.Access checks instead).
+func (b *Buffer) Addr(idx int64) int64 { return b.Base + idx*b.ElemBytes }
+
+// System is one board's global-memory system.
+type System struct {
+	cfg     Config
+	banks   []bankState
+	busFree int64
+	next    int64 // bump allocator
+	bufs    []*Buffer
+
+	stats Stats
+}
+
+type bankState struct {
+	openRow int64
+	free    int64
+	opened  bool
+}
+
+// Stats aggregates DRAM activity.
+type Stats struct {
+	Accesses  int64
+	RowHits   int64
+	RowMisses int64
+}
+
+// NewSystem creates a memory system with the given configuration.
+func NewSystem(cfg Config) *System {
+	cfg.fill()
+	return &System{cfg: cfg, banks: make([]bankState, cfg.Banks)}
+}
+
+// Stats returns a copy of the DRAM statistics.
+func (s *System) Stats() Stats { return s.stats }
+
+// Config returns the effective configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// Alloc reserves a buffer of n elements of elemBytes each.
+func (s *System) Alloc(name string, elemBytes int64, n int) *Buffer {
+	if elemBytes <= 0 || n < 0 {
+		panic(fmt.Sprintf("mem: bad Alloc(%q, %d, %d)", name, elemBytes, n))
+	}
+	// Align each buffer to a row boundary so buffers do not share rows; this
+	// keeps experiments reproducible when allocation order changes.
+	base := (s.next + s.cfg.RowBytes - 1) / s.cfg.RowBytes * s.cfg.RowBytes
+	b := &Buffer{Name: name, Base: base, ElemBytes: elemBytes, Data: make([]int64, n)}
+	s.next = base + elemBytes*int64(n)
+	s.bufs = append(s.bufs, b)
+	return b
+}
+
+// lineFetch schedules one DRAM line access starting no earlier than `now`
+// and returns the cycle its data is available.
+func (s *System) lineFetch(now, addr int64) int64 {
+	line := addr / s.cfg.LineBytes
+	bank := &s.banks[line%int64(s.cfg.Banks)]
+	row := addr / s.cfg.RowBytes
+
+	start := max64(now, bank.free, s.busFree)
+	var lat, busy int64
+	if bank.opened && bank.openRow == row {
+		lat, busy = s.cfg.RowHitLat, s.cfg.BankBusyHit
+		s.stats.RowHits++
+	} else {
+		lat, busy = s.cfg.RowMissLat, s.cfg.BankBusyMis
+		s.stats.RowMisses++
+		bank.openRow = row
+		bank.opened = true
+	}
+	s.stats.Accesses++
+	bank.free = start + busy
+	s.busFree = start + s.cfg.BusBusy
+	return start + lat
+}
+
+func max64(vs ...int64) int64 {
+	m := vs[0]
+	for _, v := range vs[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}

@@ -1,0 +1,298 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAllocLayout(t *testing.T) {
+	s := NewSystem(Config{})
+	a := s.Alloc("a", 4, 100)
+	b := s.Alloc("b", 4, 100)
+	if a.Base%s.Config().RowBytes != 0 || b.Base%s.Config().RowBytes != 0 {
+		t.Fatal("buffers not row aligned")
+	}
+	if b.Base <= a.Base {
+		t.Fatal("overlapping buffers")
+	}
+	if a.Addr(3) != a.Base+12 {
+		t.Fatalf("Addr(3) = %d", a.Addr(3))
+	}
+	if len(a.Data) != 100 {
+		t.Fatalf("len(Data) = %d", len(a.Data))
+	}
+}
+
+func TestAllocPanicsOnBadArgs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewSystem(Config{}).Alloc("bad", 0, 10)
+}
+
+func TestLoadReturnsStoredValues(t *testing.T) {
+	s := NewSystem(Config{})
+	buf := s.Alloc("x", 4, 16)
+	l := s.NewLSU(BurstCoalesced, buf)
+	for i := int64(0); i < 16; i++ {
+		l.Store(i, i, i*i)
+	}
+	for i := int64(0); i < 16; i++ {
+		v, _ := l.Load(100+i, i)
+		if v != i*i {
+			t.Fatalf("Load(%d) = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestOutOfRangeAccessSilent(t *testing.T) {
+	s := NewSystem(Config{})
+	buf := s.Alloc("x", 4, 4)
+	l := s.NewLSU(Pipelined, buf)
+	l.Store(0, 99, 7) // dropped
+	v, ready := l.Load(1, -5)
+	if v != 0 {
+		t.Fatalf("OOB load = %d, want 0", v)
+	}
+	if ready <= 1 {
+		t.Fatal("ready time must advance")
+	}
+	for _, d := range buf.Data {
+		if d != 0 {
+			t.Fatal("OOB store corrupted buffer")
+		}
+	}
+}
+
+func TestCoalescingSequentialBeatsStrided(t *testing.T) {
+	// Sequential int32 accesses share 64B lines (16 elements); a stride of
+	// 100 elements (400B) never shares a line. This is the mechanism behind
+	// the paper's Figure 2 performance observation.
+	mk := func() (*System, *LSU) {
+		s := NewSystem(Config{})
+		buf := s.Alloc("x", 4, 5000)
+		return s, s.NewLSU(BurstCoalesced, buf)
+	}
+
+	_, seq := mk()
+	now := int64(0)
+	var seqDone int64
+	for i := int64(0); i < 50; i++ {
+		_, r := seq.Load(now, i)
+		seqDone = r
+		now++
+	}
+
+	_, str := mk()
+	now = 0
+	var strDone int64
+	for i := int64(0); i < 50; i++ {
+		_, r := str.Load(now, i*100)
+		strDone = r
+		now++
+	}
+
+	if seq.Stats().LineFetches >= str.Stats().LineFetches {
+		t.Fatalf("sequential fetched %d lines, strided %d — coalescing broken",
+			seq.Stats().LineFetches, str.Stats().LineFetches)
+	}
+	if seqDone >= strDone {
+		t.Fatalf("sequential finished at %d, strided at %d — want sequential faster",
+			seqDone, strDone)
+	}
+	if seq.Stats().CoalesceHits == 0 {
+		t.Fatal("sequential pattern produced no coalesce hits")
+	}
+}
+
+func TestPipelinedLSUNeverCoalesces(t *testing.T) {
+	s := NewSystem(Config{})
+	buf := s.Alloc("x", 4, 100)
+	l := s.NewLSU(Pipelined, buf)
+	for i := int64(0); i < 32; i++ {
+		l.Load(i, i)
+	}
+	if l.Stats().CoalesceHits != 0 {
+		t.Fatalf("pipelined LSU coalesced %d", l.Stats().CoalesceHits)
+	}
+	if l.Stats().LineFetches != 32 {
+		t.Fatalf("LineFetches = %d, want 32", l.Stats().LineFetches)
+	}
+}
+
+func TestRowBufferLocality(t *testing.T) {
+	s := NewSystem(Config{})
+	buf := s.Alloc("x", 4, 1<<16)
+	l := s.NewLSU(Pipelined, buf)
+	// Same row repeatedly: first access misses, rest hit.
+	for i := int64(0); i < 10; i++ {
+		l.Load(i*100, i) // small stride stays in one 4KB row
+	}
+	st := s.Stats()
+	if st.RowMisses != 1 || st.RowHits != 9 {
+		t.Fatalf("row stats = %+v, want 1 miss, 9 hits", st)
+	}
+
+	// Jumping rows on one bank: alternate far apart addresses.
+	s2 := NewSystem(Config{Banks: 1})
+	buf2 := s2.Alloc("y", 4, 1<<20)
+	l2 := s2.NewLSU(Pipelined, buf2)
+	for i := int64(0); i < 10; i++ {
+		l2.Load(i*1000, (i%2)*100000)
+	}
+	if s2.Stats().RowMisses != 10 {
+		t.Fatalf("alternating rows: misses = %d, want 10", s2.Stats().RowMisses)
+	}
+}
+
+func TestRowMissSlowerThanHit(t *testing.T) {
+	s := NewSystem(Config{})
+	buf := s.Alloc("x", 4, 1<<20)
+	l := s.NewLSU(Pipelined, buf)
+	_, first := l.Load(0, 0) // miss
+	_, second := l.Load(first+100, 1)
+	missLat := first - 0
+	hitLat := second - (first + 100)
+	if hitLat >= missLat {
+		t.Fatalf("hit latency %d !< miss latency %d", hitLat, missLat)
+	}
+}
+
+func TestBankContentionQueues(t *testing.T) {
+	s := NewSystem(Config{Banks: 1, BankBusyMis: 8, BusBusy: 2})
+	buf := s.Alloc("x", 4, 1<<20)
+	l := s.NewLSU(Pipelined, buf)
+	// Two simultaneous accesses to different rows of the same bank: the
+	// second must start after the first's bank occupancy.
+	_, r1 := l.Load(0, 0)
+	_, r2 := l.Load(0, 1<<15)
+	if r2 <= r1 {
+		t.Fatalf("contended access not delayed: r1=%d r2=%d", r1, r2)
+	}
+}
+
+func TestStoreQueuePostsThenStalls(t *testing.T) {
+	s := NewSystem(Config{StoreQueue: 4})
+	buf := s.Alloc("x", 4, 1<<20)
+	l := s.NewLSU(Pipelined, buf)
+	now := int64(0)
+	var sawStall bool
+	for i := int64(0); i < 64; i++ {
+		ack := l.Store(now, i*4096, i) // row misses, slow drain
+		if ack > now+1 {
+			sawStall = true
+		}
+		now++
+	}
+	if !sawStall {
+		t.Fatal("store queue never backpressured")
+	}
+	if l.Stats().StoreStalls == 0 {
+		t.Fatal("StoreStalls not counted")
+	}
+}
+
+func TestLSUStatsAveraging(t *testing.T) {
+	var st LSUStats
+	if st.AvgLoadLatency() != 0 {
+		t.Fatal("empty avg not 0")
+	}
+	st.Loads = 4
+	st.TotalLoadLat = 100
+	if st.AvgLoadLatency() != 25 {
+		t.Fatalf("avg = %f", st.AvgLoadLatency())
+	}
+}
+
+func TestLSUKindString(t *testing.T) {
+	if BurstCoalesced.String() != "burst-coalesced" || Pipelined.String() != "pipelined" {
+		t.Fatal("kind strings wrong")
+	}
+}
+
+func TestLocalMemRoundTrip(t *testing.T) {
+	m := NewLocalMem("trace", 8)
+	ack := m.Store(5, 3, 42)
+	if ack != 6 {
+		t.Fatalf("store ack = %d", ack)
+	}
+	v, ready := m.Load(10, 3)
+	if v != 42 || ready != 11 {
+		t.Fatalf("load = %d at %d", v, ready)
+	}
+	_, _ = m.Load(0, 99) // OOB silent
+	m.Store(0, -1, 5)
+	if m.Reads != 2 || m.Writes != 2 {
+		t.Fatalf("counters: %d reads %d writes", m.Reads, m.Writes)
+	}
+}
+
+// Property: completion times are never before issue time and never regress
+// for monotonically issued accesses on one LSU.
+func TestMonotonicCompletionProperty(t *testing.T) {
+	f := func(idxs []uint16, burst bool) bool {
+		s := NewSystem(Config{})
+		buf := s.Alloc("x", 4, 1<<16)
+		kind := Pipelined
+		if burst {
+			kind = BurstCoalesced
+		}
+		l := s.NewLSU(kind, buf)
+		now := int64(0)
+		prev := int64(0)
+		for _, ix := range idxs {
+			_, r := l.Load(now, int64(ix))
+			if r <= now {
+				return false
+			}
+			if r < prev {
+				// a later-issued access may complete earlier only via the
+				// coalescing buffer; even then not before a previous
+				// response from the same line. Allow equal, forbid regress
+				// below issue.
+				if r < now {
+					return false
+				}
+			}
+			prev = r
+			now += 3
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: values survive arbitrary store/load sequences (memory is a map).
+func TestValueConsistencyProperty(t *testing.T) {
+	f := func(ops []struct {
+		Idx uint8
+		Val int64
+	}) bool {
+		s := NewSystem(Config{})
+		buf := s.Alloc("x", 8, 256)
+		l := s.NewLSU(BurstCoalesced, buf)
+		shadow := map[int64]int64{}
+		now := int64(0)
+		for _, op := range ops {
+			idx := int64(op.Idx)
+			l.Store(now, idx, op.Val)
+			shadow[idx] = op.Val
+			now += 2
+		}
+		for idx, want := range shadow {
+			v, _ := l.Load(now, idx)
+			if v != want {
+				return false
+			}
+			now += 2
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

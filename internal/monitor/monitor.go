@@ -1,0 +1,58 @@
+// Package monitor implements the paper's two ibuffer use cases as
+// instrumentation helpers inserted into kernels under test:
+//
+//   - pipeline stall monitors (§5.1, Listing 9): take_snapshot sites that
+//     feed an ibuffer which timestamps arrivals; pairing two sites recovers
+//     per-event latencies;
+//   - smart watchpoints (§5.2, Listing 11): add_watch configures the watched
+//     address, monitor_address streams memory operations (packed address +
+//     value tag) through the ibuffer's matching/checking logic.
+package monitor
+
+import (
+	"oclfpga/internal/core"
+	"oclfpga/internal/kir"
+)
+
+// TakeSnapshot emits the paper's take_snapshot(id, in): a non-blocking write
+// of in to the ibuffer instance's data channel followed by a channel memory
+// fence (Listing 9). Non-blocking means the design under test never stalls
+// on its own instrumentation.
+func TakeSnapshot(b *kir.Builder, ib *core.IBuffer, id int, in kir.Val) {
+	b.ChanWriteNB(ib.Data[id], in)
+	b.Fence()
+}
+
+// AddWatch emits the paper's add_watch(id, address): configures the watched
+// address of a watchpoint/invariance ibuffer instance (Listing 11).
+func AddWatch(b *kir.Builder, ib *core.IBuffer, id int, addr kir.Val) {
+	if !ib.Config.Func.NeedsAddrChannel() {
+		panic("monitor: AddWatch on an ibuffer without an address channel")
+	}
+	b.ChanWriteNB(ib.Addr[id], addr)
+	b.Fence()
+}
+
+// MonitorAddress emits the paper's monitor_address(id, addr, tag): packs the
+// address and value tag into one word and streams it through the ibuffer's
+// logic function (Listing 11). Addresses are element indexes in this
+// reproduction (the simulator's analogue of global pointers).
+func MonitorAddress(b *kir.Builder, ib *core.IBuffer, id int, addr, tag kir.Val) {
+	packed := b.Or(b.Shl(addr, b.Ci32(core.TagBits)),
+		b.And(tag, b.Ci64(1<<core.TagBits-1)))
+	b.ChanWriteNB(ib.Data[id], packed)
+	b.Fence()
+}
+
+// Assert emits an in-circuit assertion (in the spirit of assertion-based
+// verification for HLS designs): when cond is FALSE, the assertion code is
+// streamed into the ibuffer instance with a timestamp. Non-blocking, so the
+// design under test never stalls on its own checks. Pair with a Record
+// ibuffer; each trace entry is one assertion failure.
+func Assert(b *kir.Builder, ib *core.IBuffer, id int, cond kir.Val, code int64) {
+	failed := b.CmpEQ(cond, b.Cbool(false))
+	b.If(failed, func(tb *kir.Builder) {
+		tb.ChanWriteNB(ib.Data[id], tb.Ci64(code))
+	})
+	b.Fence()
+}

@@ -1,0 +1,114 @@
+package monitor_test
+
+import (
+	"strings"
+	"testing"
+
+	"oclfpga/internal/core"
+	"oclfpga/internal/kir"
+	"oclfpga/internal/monitor"
+)
+
+func buildIB(t *testing.T, f core.Function) (*kir.Program, *core.IBuffer) {
+	t.Helper()
+	p := kir.NewProgram("mon")
+	ib, err := core.Build(p, core.Config{Depth: 8, Func: f})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, ib
+}
+
+func TestTakeSnapshotShape(t *testing.T) {
+	p, ib := buildIB(t, core.Record)
+	k := p.AddKernel("dut", kir.SingleTask)
+	z := k.AddGlobal("z", kir.I32)
+	b := k.NewBuilder()
+	monitor.TakeSnapshot(b, ib, 0, b.Ci64(7))
+	b.Store(z, b.Ci32(0), b.Ci32(1))
+	dump := k.Dump()
+	// Listing 9: non-blocking write followed by a channel fence
+	if !strings.Contains(dump, "write_channel_nb_altera(ibuffer_data_in[0], 7)") {
+		t.Fatalf("snapshot write missing:\n%s", dump)
+	}
+	if !strings.Contains(dump, "mem_fence(CLK_CHANNEL_MEM_FENCE)") {
+		t.Fatalf("fence missing:\n%s", dump)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMonitorAddressPacksWord(t *testing.T) {
+	p2 := kir.NewProgram("mon2")
+	ib2, err := core.Build(p2, core.Config{Depth: 8, Func: core.BoundCheck, BoundLo: 0, BoundHi: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := p2.AddKernel("dut", kir.SingleTask)
+	z := k.AddGlobal("z", kir.I32)
+	b := k.NewBuilder()
+	monitor.MonitorAddress(b, ib2, 0, b.Ci64(3), b.Ci64(42))
+	b.Store(z, b.Ci32(0), b.Ci32(1))
+	if err := p2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	dump := k.Dump()
+	if !strings.Contains(dump, "write_channel_nb_altera(ibuffer_data_in[0]") {
+		t.Fatalf("monitor write missing:\n%s", dump)
+	}
+}
+
+func TestAddWatchRequiresAddressChannel(t *testing.T) {
+	p, ib := buildIB(t, core.Record) // record has no address channel
+	k := p.AddKernel("dut", kir.SingleTask)
+	b := k.NewBuilder()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddWatch on a record ibuffer must panic")
+		}
+	}()
+	monitor.AddWatch(b, ib, 0, b.Ci64(1))
+}
+
+func TestAddWatchOnWatchpoint(t *testing.T) {
+	p, ib := buildIB(t, core.Watchpoint)
+	k := p.AddKernel("dut", kir.SingleTask)
+	z := k.AddGlobal("z", kir.I32)
+	b := k.NewBuilder()
+	monitor.AddWatch(b, ib, 0, b.Ci64(9))
+	monitor.MonitorAddress(b, ib, 0, b.Ci64(9), b.Ci64(1))
+	b.Store(z, b.Ci32(0), b.Ci32(1))
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(k.Dump(), "ibuffer_addr_in_c[0]") {
+		t.Fatal("watch address channel not used")
+	}
+}
+
+// The bound-check build without bounds must fail (validated in core, but the
+// monitor-facing contract is worth pinning here too).
+func TestBoundCheckNeedsBounds(t *testing.T) {
+	p := kir.NewProgram("bad")
+	if _, err := core.Build(p, core.Config{Depth: 8, Func: core.BoundCheck}); err == nil {
+		t.Fatal("bound check without bounds accepted")
+	}
+}
+
+func TestAssertShape(t *testing.T) {
+	p, ib := buildIB(t, core.Record)
+	k := p.AddKernel("dut", kir.SingleTask)
+	z := k.AddGlobal("z", kir.I32)
+	b := k.NewBuilder()
+	ok := b.CmpLT(b.Ci32(1), b.Ci32(2))
+	monitor.Assert(b, ib, 0, ok, 42)
+	b.Store(z, b.Ci32(0), b.Ci32(1))
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	dump := k.Dump()
+	if !strings.Contains(dump, "write_channel_nb_altera(ibuffer_data_in[0], 42)") {
+		t.Fatalf("assertion write missing:\n%s", dump)
+	}
+}

@@ -1,0 +1,139 @@
+// Package primitives implements the paper's two primitive code patterns
+// (§3): timestamps and sequence numbers.
+//
+// Timestamps come in the two flavours the paper compares:
+//
+//   - Persistent-kernel timestamps (Listing 1): an autorun kernel holds a
+//     free-running counter and non-blockingly publishes it into a depth-0
+//     channel every cycle; read sites pop the channel (Listing 2). Hazards:
+//     the compiler may deepen the channel (stale values), separate counter
+//     kernels may launch on different cycles (skew), and a read site with no
+//     data dependence may be scheduled away from the event it brackets.
+//   - HDL timestamps (Listings 3–4): an OpenCL library function get_time
+//     backed by a Verilog free-running counter. The command argument exists
+//     only to manufacture a data dependence that pins the read site. The
+//     emulation body returns command+1, exactly as in the paper.
+//
+// Sequence numbers (Listing 5) use an autorun kernel that *blockingly*
+// writes an incrementing counter, so the counter advances only when a
+// consumer pops — consumers observe 1, 2, 3, … in consumption order.
+package primitives
+
+import (
+	"fmt"
+
+	"oclfpga/internal/kir"
+)
+
+// HDLTimerLatency is the pipeline latency of the get_time library module.
+const HDLTimerLatency = 1
+
+// AddHDLTimer registers the get_time library function (Listing 3). Synth
+// semantics return the global cycle counter; emulation returns command+1.
+// There is one counter module per design, so repeated calls return the
+// already-registered function.
+func AddHDLTimer(p *kir.Program) *kir.LibFunc {
+	if lf := p.LibByName("get_time"); lf != nil {
+		return lf
+	}
+	return p.AddLib(&kir.LibFunc{
+		Name:      "get_time",
+		Params:    1,
+		Latency:   HDLTimerLatency,
+		ALUTs:     40,
+		FFs:       64,
+		Shared:    true,
+		Timestamp: true,
+		Synth:     func(cycle int64, args []int64) int64 { return cycle },
+		Emu:       func(args []int64) int64 { return args[0] + 1 },
+	})
+}
+
+// GetTime emits a pinned timestamp read: get_time(dep). Pass the value your
+// event produces (e.g. the accumulator) as dep so the scheduler cannot move
+// the read site (Listing 4).
+func GetTime(b *kir.Builder, timer *kir.LibFunc, dep kir.Val) kir.Val {
+	return b.Call(timer, dep)
+}
+
+// PersistentTimer is one autorun free-running counter kernel and the
+// channels it drives.
+type PersistentTimer struct {
+	Kernel *kir.Kernel
+	Chans  []*kir.Chan
+}
+
+// AddPersistentTimer builds a Listing-1 persistent kernel driving n depth-0
+// timestamp channels named base[0..n-1] (or just base when n == 1). One
+// kernel driving several channels keeps the counters inherently aligned; the
+// paper reports the vendor flow forced one kernel per channel, which is what
+// AddPersistentTimerPerChannel models.
+func AddPersistentTimer(p *kir.Program, base string, n int) *PersistentTimer {
+	if n < 1 {
+		panic("primitives: timer needs at least one channel")
+	}
+	var chans []*kir.Chan
+	if n == 1 {
+		chans = []*kir.Chan{p.AddChan(base, 0, kir.I64)}
+	} else {
+		chans = p.AddChanArray(base, n, 0, kir.I64)
+	}
+	k := p.AddKernel(base+"_srv", kir.Autorun)
+	k.Role = kir.RoleTimerServer
+	b := k.NewBuilder()
+	b.Forever([]kir.Val{b.Ci64(0)}, func(lb *kir.Builder, i kir.Val, c []kir.Val) []kir.Val {
+		count := lb.Add(c[0], lb.Ci64(1))
+		for _, ch := range chans {
+			lb.ChanWriteNB(ch, count)
+		}
+		return []kir.Val{count}
+	})
+	return &PersistentTimer{Kernel: k, Chans: chans}
+}
+
+// AddPersistentTimerPerChannel builds n independent single-channel counter
+// kernels (the configuration the paper was forced into). If they are not
+// released in the same cycle their counters carry constant offsets — the
+// skew hazard of §3.1. Use sim.Options.AutorunSkew to reproduce it.
+func AddPersistentTimerPerChannel(p *kir.Program, base string, n int) []*PersistentTimer {
+	out := make([]*PersistentTimer, n)
+	for i := range out {
+		out[i] = AddPersistentTimer(p, fmt.Sprintf("%s%d", base, i), 1)
+	}
+	return out
+}
+
+// ReadTimestamp emits a Listing-2 read site on a persistent-timer channel.
+// The read has no data dependence on the surrounding computation, so the
+// scheduler is free to move it — the hazard GetTime exists to close.
+func ReadTimestamp(b *kir.Builder, ch *kir.Chan) kir.Val {
+	return b.ChanRead(ch)
+}
+
+// Sequencer is the autorun sequence-number server and its channel.
+type Sequencer struct {
+	Kernel *kir.Kernel
+	Chan   *kir.Chan
+}
+
+// AddSequencer builds Listing 5: a persistent kernel whose counter is
+// written blockingly, so it advances once per consumer pop.
+func AddSequencer(p *kir.Program, chName string) *Sequencer {
+	ch := p.AddChan(chName, 0, kir.I32)
+	k := p.AddKernel(chName+"_srv", kir.Autorun)
+	k.Role = kir.RoleSeqServer
+	b := k.NewBuilder()
+	b.Forever([]kir.Val{b.Ci32(0)}, func(lb *kir.Builder, i kir.Val, c []kir.Val) []kir.Val {
+		count := lb.Add(c[0], lb.Ci32(1))
+		lb.ChanWrite(ch, count)
+		return []kir.Val{count}
+	})
+	return &Sequencer{Kernel: k, Chan: ch}
+}
+
+// NextSeq emits a sequence-number read site (Listings 6–7). The returned
+// value is typically used as a trace-buffer address, which also manufactures
+// the dependence that keeps instrumentation ordered.
+func NextSeq(b *kir.Builder, s *Sequencer) kir.Val {
+	return b.ChanRead(s.Chan)
+}

@@ -1,0 +1,177 @@
+package primitives_test
+
+import (
+	"testing"
+
+	"oclfpga/internal/device"
+	"oclfpga/internal/hls"
+	"oclfpga/internal/kir"
+	"oclfpga/internal/primitives"
+	"oclfpga/internal/sim"
+)
+
+func compile(t *testing.T, p *kir.Program) *hls.Design {
+	t.Helper()
+	d, err := hls.Compile(p, device.StratixV(), hls.Options{})
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	return d
+}
+
+func TestHDLTimerRegistration(t *testing.T) {
+	p := kir.NewProgram("t")
+	gt := primitives.AddHDLTimer(p)
+	if gt.Name != "get_time" || !gt.Timestamp || gt.Params != 1 {
+		t.Fatalf("get_time misregistered: %+v", gt)
+	}
+	if gt.Synth(123, []int64{7}) != 123 {
+		t.Fatal("synth semantics must return the cycle")
+	}
+	if gt.Emu([]int64{7}) != 8 {
+		t.Fatal("emulation semantics must return command+1 (Listing 3)")
+	}
+	if p.LibByName("get_time") != gt {
+		t.Fatal("library not registered")
+	}
+}
+
+func TestHDLTimestampMeasuresLatency(t *testing.T) {
+	p := kir.NewProgram("hdl")
+	gt := primitives.AddHDLTimer(p)
+	k := p.AddKernel("k", kir.SingleTask)
+	x := k.AddGlobal("x", kir.I32)
+	z := k.AddGlobal("z", kir.I64)
+	b := k.NewBuilder()
+	start := primitives.GetTime(b, gt, b.Ci32(0))
+	sum := b.ForN("i", 50, []kir.Val{b.Ci32(0)}, func(lb *kir.Builder, i kir.Val, c []kir.Val) []kir.Val {
+		return []kir.Val{lb.Add(c[0], lb.Load(x, i))}
+	})
+	end := primitives.GetTime(b, gt, sum[0])
+	b.Store(z, b.Ci32(0), b.Sub(end, start))
+
+	m := sim.New(compile(t, p), sim.Options{})
+	bx := m.NewBuffer("x", kir.I32, 50)
+	bz := m.NewBuffer("z", kir.I64, 1)
+	u, err := m.Launch("k", sim.Args{"x": bx, "z": bz})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	lat := bz.Data[0]
+	if lat <= 0 || lat > u.FinishedAt() {
+		t.Fatalf("measured %d cycles, kernel took %d", lat, u.FinishedAt())
+	}
+	if lat < 50 {
+		t.Fatalf("measured %d < trip count 50: end read not pinned after loop", lat)
+	}
+}
+
+func TestPersistentTimerSharedChannelsAgree(t *testing.T) {
+	p := kir.NewProgram("shared")
+	tm := primitives.AddPersistentTimer(p, "tch", 3)
+	if len(tm.Chans) != 3 || tm.Kernel.Role != kir.RoleTimerServer {
+		t.Fatalf("timer misbuilt: %+v", tm)
+	}
+	k := p.AddKernel("k", kir.SingleTask)
+	z := k.AddGlobal("z", kir.I64)
+	b := k.NewBuilder()
+	t0 := primitives.ReadTimestamp(b, tm.Chans[0])
+	t1 := primitives.ReadTimestamp(b, tm.Chans[1])
+	t2 := primitives.ReadTimestamp(b, tm.Chans[2])
+	b.Store(z, b.Ci32(0), b.Sub(t1, t0))
+	b.Store(z, b.Ci32(1), b.Sub(t2, t1))
+
+	m := sim.New(compile(t, p), sim.Options{})
+	bz := m.NewBuffer("z", kir.I64, 2)
+	m.Step(30)
+	if _, err := m.Launch("k", sim.Args{"z": bz}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// reads are chained one cycle apart; a shared counter shows exactly
+	// that spacing, with no skew between channels
+	for i, d := range bz.Data {
+		if d < 0 || d > 3 {
+			t.Fatalf("inter-channel delta %d = %d; shared counter should be skew-free", i, d)
+		}
+	}
+}
+
+func TestPerChannelTimersSkew(t *testing.T) {
+	p := kir.NewProgram("skew")
+	tms := primitives.AddPersistentTimerPerChannel(p, "tc", 2)
+	if len(tms) != 2 || tms[0].Kernel == tms[1].Kernel {
+		t.Fatal("per-channel timers must be separate kernels")
+	}
+	k := p.AddKernel("k", kir.SingleTask)
+	z := k.AddGlobal("z", kir.I64)
+	b := k.NewBuilder()
+	a := primitives.ReadTimestamp(b, tms[0].Chans[0])
+	c := primitives.ReadTimestamp(b, tms[1].Chans[0])
+	b.Store(z, b.Ci32(0), b.Sub(c, a))
+
+	const skew = 21
+	m := sim.New(compile(t, p), sim.Options{AutorunSkew: func(kernel string, cu int) int64 {
+		if kernel == "tc1_srv" {
+			return skew
+		}
+		return 0
+	}})
+	bz := m.NewBuffer("z", kir.I64, 1)
+	m.Step(60)
+	if _, err := m.Launch("k", sim.Args{"z": bz}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	got := bz.Data[0]
+	// channel 1's counter started 21 cycles late, so it reads ~21 lower
+	if got > 3-skew+4 || got < -skew-2 {
+		t.Fatalf("skewed delta = %d, want about %d", got, -skew)
+	}
+}
+
+func TestSequencerOrderAndAddress(t *testing.T) {
+	p := kir.NewProgram("seq")
+	sq := primitives.AddSequencer(p, "seq_ch")
+	if sq.Kernel.Role != kir.RoleSeqServer {
+		t.Fatal("sequencer role wrong")
+	}
+	k := p.AddKernel("k", kir.SingleTask)
+	z := k.AddGlobal("z", kir.I32)
+	b := k.NewBuilder()
+	b.ForN("i", 10, nil, func(lb *kir.Builder, i kir.Val, _ []kir.Val) []kir.Val {
+		s := primitives.NextSeq(lb, sq)
+		lb.Store(z, s, i) // sequence number as store address, like Listing 6
+		return nil
+	})
+
+	m := sim.New(compile(t, p), sim.Options{})
+	bz := m.NewBuffer("z", kir.I32, 12)
+	if _, err := m.Launch("k", sim.Args{"z": bz}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for s := 1; s <= 10; s++ {
+		if bz.Data[s] != int64(s-1) {
+			t.Fatalf("z[seq=%d] = %d, want loop index %d", s, bz.Data[s], s-1)
+		}
+	}
+}
+
+func TestTimerNeedsChannel(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for n=0")
+		}
+	}()
+	primitives.AddPersistentTimer(kir.NewProgram("x"), "t", 0)
+}

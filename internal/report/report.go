@@ -1,0 +1,93 @@
+// Package report renders experiment results as fixed-width text tables in
+// the layout of the paper's tables and figures.
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a simple column-aligned text table.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// New creates a table with the given title and column headers.
+func New(title string, header ...string) *Table {
+	return &Table{Title: title, Header: header}
+}
+
+// Add appends a row; values are formatted with %v.
+func (t *Table) Add(cells ...any) *Table {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch c := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.1f", c)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+	return t
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	width := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		width[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(width) && len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	if t.Title != "" {
+		sb.WriteString(t.Title)
+		sb.WriteByte('\n')
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", width[i], c)
+		}
+		sb.WriteByte('\n')
+	}
+	line(t.Header)
+	rule := make([]string, len(t.Header))
+	for i := range rule {
+		rule[i] = strings.Repeat("-", width[i])
+	}
+	line(rule)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	return sb.String()
+}
+
+// KiloBits renders a bit count the way the paper's Table 1 does (2.97M).
+func KiloBits(bits int64) string {
+	switch {
+	case bits >= 1_000_000:
+		return fmt.Sprintf("%.2fM", float64(bits)/1e6)
+	case bits >= 1_000:
+		return fmt.Sprintf("%.1fK", float64(bits)/1e3)
+	}
+	return fmt.Sprintf("%d", bits)
+}
+
+// Pct renders a relative change as a signed percentage.
+func Pct(base, v float64) string {
+	if base == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%+.1f%%", (v-base)/base*100)
+}

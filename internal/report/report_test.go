@@ -1,0 +1,65 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableLayout(t *testing.T) {
+	tb := New("title", "a", "bb", "ccc")
+	tb.Add(1, 2.5, "x")
+	tb.Add("longervalue", 3, "y")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if lines[0] != "title" {
+		t.Fatalf("title line = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "a ") {
+		t.Fatalf("header = %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "---") {
+		t.Fatalf("rule = %q", lines[2])
+	}
+	// columns aligned: header and rows share prefix widths
+	if len(lines) != 5 {
+		t.Fatalf("line count = %d", len(lines))
+	}
+	if !strings.Contains(out, "2.5") {
+		t.Fatal("float formatting lost")
+	}
+}
+
+func TestTableNoTitle(t *testing.T) {
+	out := New("", "h").Add("v").String()
+	if strings.HasPrefix(out, "\n") {
+		t.Fatal("leading blank line")
+	}
+	if !strings.HasPrefix(out, "h") {
+		t.Fatalf("header missing: %q", out)
+	}
+}
+
+func TestKiloBits(t *testing.T) {
+	cases := map[int64]string{
+		500:     "500",
+		2048:    "2.0K",
+		2970000: "2.97M",
+	}
+	for in, want := range cases {
+		if got := KiloBits(in); got != want {
+			t.Errorf("KiloBits(%d) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestPct(t *testing.T) {
+	if got := Pct(100, 79.5); got != "-20.5%" {
+		t.Fatalf("Pct = %q", got)
+	}
+	if got := Pct(100, 100); got != "+0.0%" {
+		t.Fatalf("Pct = %q", got)
+	}
+	if got := Pct(0, 5); got != "n/a" {
+		t.Fatalf("Pct zero base = %q", got)
+	}
+}

@@ -1,0 +1,92 @@
+package sim
+
+import "math"
+
+// Future marks a slot whose value has not been produced yet.
+const Future = int64(math.MaxInt64)
+
+// Ctx is one execution context: a single-task kernel activation, one
+// work-item, or one loop iteration. It owns a private copy of the kernel's
+// value slots so that pipelined iterations in flight do not clobber each
+// other, mirroring the per-stage registers of the synthesized pipeline.
+type Ctx struct {
+	slots []int64
+	ready []int64 // cycle at which the slot's value may be consumed
+
+	owner *loopExec // loop this context is an iteration of (nil at top)
+	iter  int64     // iteration index within owner
+	resID int       // resident id within owner (work-item threading)
+	wiID  int64     // get_global_id(0) for NDRange work-items
+
+	// fwd maps a slot to the carried-variable indexes of owner whose Next
+	// value that slot holds; writes trigger forwarding to the successor
+	// iteration.
+	fwd map[int][]int
+}
+
+func newTopCtx(nslots int) *Ctx {
+	c := &Ctx{slots: make([]int64, nslots), ready: make([]int64, nslots)}
+	for i := range c.ready {
+		c.ready[i] = Future
+	}
+	return c
+}
+
+// child clones the context for a loop iteration: parent-computed values
+// (and their pending ready times) are visible; everything else stays Future.
+func (c *Ctx) child() *Ctx {
+	n := &Ctx{
+		slots: make([]int64, len(c.slots)),
+		ready: make([]int64, len(c.ready)),
+		wiID:  c.wiID,
+	}
+	copy(n.slots, c.slots)
+	copy(n.ready, c.ready)
+	return n
+}
+
+// grow extends the slot arrays (contexts are sized per kernel; grow guards
+// against slot tables that expanded during lowering).
+func (c *Ctx) grow(n int) {
+	for len(c.slots) < n {
+		c.slots = append(c.slots, 0)
+		c.ready = append(c.ready, Future)
+	}
+}
+
+// readyAt reports when slot s may be consumed (Future if unwritten).
+func (c *Ctx) readyAt(s int) int64 {
+	if s < 0 {
+		return 0
+	}
+	if s >= len(c.ready) {
+		return Future
+	}
+	return c.ready[s]
+}
+
+// val returns the current value of slot s.
+func (c *Ctx) val(s int) int64 {
+	if s < 0 || s >= len(c.slots) {
+		return 0
+	}
+	return c.slots[s]
+}
+
+// write stores a value with its availability cycle and fires carried-value
+// forwarding hooks.
+func (c *Ctx) write(s int, v, at int64) {
+	if s < 0 {
+		return
+	}
+	c.grow(s + 1)
+	c.slots[s] = v
+	c.ready[s] = at
+	if c.owner != nil {
+		if ks, ok := c.fwd[s]; ok {
+			for _, k := range ks {
+				c.owner.forward(c, k, v, at)
+			}
+		}
+	}
+}

@@ -1,0 +1,465 @@
+package sim
+
+import (
+	"fmt"
+
+	"oclfpga/internal/hls"
+	"oclfpga/internal/kir"
+)
+
+// flow is one context's position while traversing a region's items.
+type flow struct {
+	c     *Ctx
+	item  int
+	stage int
+	opPtr int
+}
+
+// regionExec drives one XRegion's items for a unit. Loop regions get their
+// own regionExec for the body, owned by a loopExec engine (one engine per
+// loop — the loop datapath is shared hardware, whoever's iterations flow
+// through it).
+type regionExec struct {
+	u      *Unit
+	r      *hls.XRegion
+	items  []any // *segExec | *loopExec
+	onDone func(*Ctx)
+}
+
+func buildRegionExec(u *Unit, r *hls.XRegion, onDone func(*Ctx)) *regionExec {
+	re := &regionExec{u: u, r: r, onDone: onDone}
+	for i, it := range r.Items {
+		switch it := it.(type) {
+		case *hls.Segment:
+			re.items = append(re.items, newSegExec(u, re, it, i))
+		case *hls.XRegion:
+			le := &loopExec{u: u, r: it, owner: re, itemIdx: i}
+			le.multithread = u.xk.Mode == kir.NDRange
+			le.body = buildRegionExec(u, it, le.iterDone)
+			re.items = append(re.items, le)
+		}
+	}
+	return re
+}
+
+// enter starts a flow at the region's first item.
+func (re *regionExec) enter(f *flow) {
+	f.item = -1
+	re.moveTo(f, 0)
+}
+
+// moveTo advances a flow to item idx (or completes the region).
+func (re *regionExec) moveTo(f *flow, idx int) {
+	f.item = idx
+	if idx >= len(re.items) {
+		re.onDone(f.c)
+		return
+	}
+	switch it := re.items[idx].(type) {
+	case *segExec:
+		it.enqueue(f)
+	case *loopExec:
+		it.addResident(f)
+	}
+}
+
+// resume unparks a flow after the loop at item idx completes.
+func (re *regionExec) resume(idx int, f *flow) { re.moveTo(f, idx+1) }
+
+// canAccept reports whether a new flow may enter the region this cycle: the
+// first pipeline stage must be free. A stalled pipeline keeps its stage-0
+// slot occupied, backpressuring the issue logic exactly like the synthesized
+// hardware's valid/stall handshake.
+func (re *regionExec) canAccept() bool {
+	if len(re.items) == 0 {
+		return true
+	}
+	if se, ok := re.items[0].(*segExec); ok {
+		for _, f := range se.flows {
+			if f.stage == 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func (re *regionExec) tick(now int64) {
+	for _, it := range re.items {
+		switch it := it.(type) {
+		case *segExec:
+			it.tick(now)
+		case *loopExec:
+			it.tick(now)
+		}
+	}
+}
+
+// segExec runs one scheduled segment as a lockstep pipeline: contexts occupy
+// stages; a blocked op (memory response pending, full/empty channel) stalls
+// every stage, which is what the paper's stall monitors measure.
+type segExec struct {
+	u       *Unit
+	owner   *regionExec
+	seg     *hls.Segment
+	itemIdx int
+
+	byStage    [][]*hls.XOp
+	flows      []*flow // oldest (highest stage) first
+	stallUntil int64
+	// shifts counts pipeline advances. Loop issue spacing is measured in
+	// shifts, not cycles: a stall must not compress the stage distance
+	// between in-flight iterations or the II guarantee breaks.
+	shifts int64
+}
+
+func newSegExec(u *Unit, owner *regionExec, seg *hls.Segment, itemIdx int) *segExec {
+	se := &segExec{u: u, owner: owner, seg: seg, itemIdx: itemIdx}
+	se.byStage = make([][]*hls.XOp, seg.Depth)
+	for _, op := range seg.Ops {
+		se.byStage[op.Start] = append(se.byStage[op.Start], op)
+	}
+	return se
+}
+
+func (se *segExec) enqueue(f *flow) {
+	f.stage, f.opPtr = 0, 0
+	se.flows = append(se.flows, f)
+}
+
+func (se *segExec) tick(now int64) {
+	if se.stallUntil > now {
+		return
+	}
+	stalled := false
+	for _, f := range se.flows {
+		ops := se.byStage[f.stage]
+		for f.opPtr < len(ops) {
+			if !se.u.execOp(f.c, ops[f.opPtr], now, se) {
+				stalled = true
+				break
+			}
+			f.opPtr++
+			se.u.noteProgress()
+		}
+		if stalled {
+			break
+		}
+	}
+	if stalled || se.stallUntil > now {
+		return
+	}
+	// advance the pipeline one stage; retire flows that cleared the segment
+	se.shifts++
+	keep := se.flows[:0]
+	for _, f := range se.flows {
+		f.stage++
+		f.opPtr = 0
+		if f.stage >= se.seg.Depth {
+			se.owner.moveTo(f, f.item+1)
+			continue
+		}
+		keep = append(keep, f)
+	}
+	se.flows = keep
+	se.u.noteProgress()
+}
+
+// carrState tracks one carried variable's most recent value in a resident's
+// iteration chain.
+type carrState struct {
+	iter    int64 // iteration that produced val (-1 = loop init)
+	val     int64
+	readyAt int64
+	waiting []*Ctx // issued successors awaiting delivery (in-order mode)
+
+	outVal   int64 // final-iteration value, becomes the loop output
+	outReady int64
+	outSet   bool
+}
+
+// resident is one parent context executing the loop (a work-item threading
+// through it, or the single-task control flow).
+type resident struct {
+	id         int
+	parentFlow *flow
+
+	evaluated bool
+	start     int64
+	step      int64
+	total     int64
+	infinite  bool
+
+	nextIter int64
+	inflight int
+	carr     []carrState
+}
+
+// loopExec is the shared loop datapath. In-order mode (single-task, autorun)
+// issues iterations back to back at the scheduled II — loop-level
+// parallelism. Multithread mode (NDRange) issues among resident work-items
+// as their carried values resolve — thread-level parallelism. The two modes
+// produce exactly the execution orders of the paper's Figure 2(a)/(b).
+type loopExec struct {
+	u           *Unit
+	r           *hls.XRegion
+	owner       *regionExec
+	itemIdx     int
+	body        *regionExec
+	multithread bool
+
+	residents      []*resident
+	nextResID      int
+	lastIssue      int64
+	lastIssueShift int64
+	anyIssue       bool
+}
+
+// bodyShifts reports the body pipeline's shift counter (0 when the body does
+// not start with a segment — composite loops issue sequentially anyway).
+func (le *loopExec) bodyShifts() int64 {
+	if len(le.body.items) > 0 {
+		if se, ok := le.body.items[0].(*segExec); ok {
+			return se.shifts
+		}
+	}
+	return 0
+}
+
+func (le *loopExec) addResident(f *flow) {
+	le.residents = append(le.residents, &resident{
+		id:         le.nextResID,
+		parentFlow: f,
+		carr:       make([]carrState, len(le.r.Carried)),
+	})
+	le.nextResID++
+}
+
+func (le *loopExec) findResident(id int) *resident {
+	for _, r := range le.residents {
+		if r.id == id {
+			return r
+		}
+	}
+	return nil
+}
+
+func (le *loopExec) removeResident(id int) {
+	for i, r := range le.residents {
+		if r.id == id {
+			le.residents = append(le.residents[:i], le.residents[i+1:]...)
+			return
+		}
+	}
+}
+
+// evaluate computes loop bounds once the parent's values are ready.
+func (le *loopExec) evaluate(r *resident, now int64) bool {
+	pc := r.parentFlow.c
+	for _, s := range []int{le.r.StartSlot, le.r.EndSlot, le.r.StepSlot} {
+		if pc.readyAt(s) > now {
+			return false
+		}
+	}
+	for _, c := range le.r.Carried {
+		if pc.readyAt(c.InitSlot) == Future {
+			return false
+		}
+	}
+	start, end, step := pc.val(le.r.StartSlot), pc.val(le.r.EndSlot), pc.val(le.r.StepSlot)
+	r.start, r.step = start, step
+	r.infinite = le.r.Infinite
+	if step <= 0 {
+		step = 1
+		r.step = 1
+	}
+	if end > start {
+		r.total = (end - start + step - 1) / step
+	}
+	for k, c := range le.r.Carried {
+		r.carr[k] = carrState{iter: -1, val: pc.val(c.InitSlot), readyAt: pc.readyAt(c.InitSlot)}
+	}
+	r.evaluated = true
+	return true
+}
+
+// finish writes loop outputs into the parent and resumes it.
+func (le *loopExec) finish(r *resident) {
+	pc := r.parentFlow.c
+	for k, c := range le.r.Carried {
+		st := &r.carr[k]
+		if r.total == 0 {
+			pc.write(c.OutSlot, st.val, st.readyAt)
+		} else if st.outSet {
+			pc.write(c.OutSlot, st.outVal, st.outReady)
+		} else {
+			// final Next never materialized (should not happen); fall back
+			// to the latest value to keep the machine running
+			pc.write(c.OutSlot, st.val, st.readyAt)
+		}
+	}
+	f := r.parentFlow
+	le.removeResident(r.id)
+	le.owner.resume(le.itemIdx, f)
+	le.u.noteProgress()
+}
+
+// maxInflight bounds iteration contexts per loop engine; real pipelines are
+// bounded by their depth, and the canAccept gate keeps us near that, so this
+// is purely a runaway backstop.
+const maxInflight = 8192
+
+// eligible reports whether resident r can issue its next iteration now.
+func (le *loopExec) eligible(r *resident, now int64) bool {
+	if !r.evaluated || (!r.infinite && r.nextIter >= r.total) {
+		return false
+	}
+	if r.inflight >= maxInflight || !le.body.canAccept() {
+		return false
+	}
+	if le.multithread {
+		// respect the loop's II in pipeline shifts (conservative: covers
+		// per-resident cross-iteration memory ordering)
+		if le.anyIssue && le.r.II > 1 && le.bodyShifts()-le.lastIssueShift < int64(le.r.II) {
+			return false
+		}
+		// carried inputs must be resolved before issuing
+		for k := range le.r.Carried {
+			st := &r.carr[k]
+			if st.iter != r.nextIter-1 || st.readyAt > now {
+				return false
+			}
+		}
+		return true
+	}
+	// in-order mode: composite loops run iterations strictly sequentially;
+	// leaf loops pipeline at II, measured in pipeline shifts so stalls keep
+	// in-flight iterations II stages apart
+	if le.r.II == 0 {
+		return r.inflight == 0
+	}
+	return !le.anyIssue || le.bodyShifts()-le.lastIssueShift >= int64(le.r.II)
+}
+
+func (le *loopExec) issue(r *resident, now int64) {
+	pc := r.parentFlow.c
+	c := pc.child()
+	c.owner = le
+	c.iter = r.nextIter
+	c.resID = r.id
+
+	c.grow(le.u.xk.NumSlots)
+	// induction variable
+	if le.r.IndSlot >= 0 {
+		c.slots[le.r.IndSlot] = r.start + r.nextIter*r.step
+		c.ready[le.r.IndSlot] = now
+	}
+	// carried phis
+	for k, cc := range le.r.Carried {
+		st := &r.carr[k]
+		if st.iter == r.nextIter-1 {
+			c.slots[cc.PhiSlot] = st.val
+			c.ready[cc.PhiSlot] = st.readyAt
+		} else {
+			c.ready[cc.PhiSlot] = Future
+			st.waiting = append(st.waiting, c)
+		}
+	}
+	// forwarding hooks for Next slots
+	c.fwd = map[int][]int{}
+	for k, cc := range le.r.Carried {
+		if cc.NextSlot >= 0 {
+			c.fwd[cc.NextSlot] = append(c.fwd[cc.NextSlot], k)
+		}
+	}
+	// values already present at issue (Next == phi/init/iv/parent value)
+	for k, cc := range le.r.Carried {
+		if cc.NextSlot >= 0 && c.readyAt(cc.NextSlot) != Future {
+			le.forward(c, k, c.val(cc.NextSlot), c.readyAt(cc.NextSlot))
+		}
+	}
+
+	r.nextIter++
+	r.inflight++
+	le.lastIssue = now
+	le.lastIssueShift = le.bodyShifts()
+	le.anyIssue = true
+	le.body.enter(&flow{c: c})
+	le.u.noteProgress()
+}
+
+// forward delivers a produced Next value to the resident's chain, to any
+// waiting successor iteration, and captures the loop output on the final
+// iteration.
+func (le *loopExec) forward(c *Ctx, k int, v, at int64) {
+	r := le.findResident(c.resID)
+	if r == nil {
+		return
+	}
+	st := &r.carr[k]
+	if c.iter < st.iter {
+		return // stale (should not happen; chains advance monotonically)
+	}
+	st.iter, st.val, st.readyAt = c.iter, v, at
+	keep := st.waiting[:0]
+	for _, w := range st.waiting {
+		if w.iter == c.iter+1 {
+			w.write(le.r.Carried[k].PhiSlot, v, at)
+			continue
+		}
+		keep = append(keep, w)
+	}
+	st.waiting = keep
+	if !r.infinite && c.iter == r.total-1 {
+		st.outVal, st.outReady, st.outSet = v, at, true
+	}
+}
+
+// iterDone retires a completed iteration context.
+func (le *loopExec) iterDone(c *Ctx) {
+	r := le.findResident(c.resID)
+	if r == nil {
+		return
+	}
+	r.inflight--
+	if !r.infinite && r.nextIter >= r.total && r.inflight == 0 {
+		le.finish(r)
+	}
+}
+
+func (le *loopExec) tick(now int64) {
+	// evaluate new residents and complete trivially-empty loops
+	for _, r := range append([]*resident(nil), le.residents...) {
+		if !r.evaluated {
+			if !le.evaluate(r, now) {
+				continue
+			}
+			if !r.infinite && r.total == 0 {
+				le.finish(r)
+			}
+		}
+	}
+	// issue at most one iteration per cycle
+	var pick *resident
+	for _, r := range le.residents {
+		if !le.eligible(r, now) {
+			continue
+		}
+		if !le.multithread {
+			pick = r
+			break // in-order: first (oldest) resident only
+		}
+		if pick == nil || r.nextIter < pick.nextIter ||
+			(r.nextIter == pick.nextIter && r.id < pick.id) {
+			pick = r
+		}
+	}
+	if pick != nil {
+		le.issue(pick, now)
+	}
+	le.body.tick(now)
+}
+
+func (le *loopExec) String() string {
+	return fmt.Sprintf("loop %q (mt=%v, residents=%d)", le.r.Label, le.multithread, len(le.residents))
+}

@@ -1,0 +1,375 @@
+// Package sim executes compiled designs cycle by cycle: kernel pipelines
+// with lockstep stalls, Altera-channel connectivity, autorun persistent
+// kernels, and the banked global-memory system. It is the stand-in for the
+// paper's synthesized FPGA hardware.
+package sim
+
+import (
+	"fmt"
+
+	"oclfpga/internal/channel"
+	"oclfpga/internal/hls"
+	"oclfpga/internal/kir"
+	"oclfpga/internal/mem"
+)
+
+// Options configure a machine.
+type Options struct {
+	// MaxCycles bounds a Run (default 20,000,000).
+	MaxCycles int64
+	// StallLimit is how many cycles with zero forward progress on launched
+	// kernels are tolerated before Run reports a deadlock (default 100,000).
+	StallLimit int64
+	// MemConfig tunes the DRAM model.
+	MemConfig mem.Config
+	// AutorunSkew returns the launch-cycle offset of an autorun kernel
+	// compute unit. The paper notes separate persistent kernels may not
+	// launch in the same cycle, skewing free-running counters (§3.1); a
+	// non-zero skew reproduces that hazard.
+	AutorunSkew func(kernel string, cu int) int64
+}
+
+func (o *Options) fill() {
+	if o.MaxCycles == 0 {
+		o.MaxCycles = 20_000_000
+	}
+	if o.StallLimit == 0 {
+		o.StallLimit = 100_000
+	}
+}
+
+// Machine is one simulated board with a loaded design. Autorun kernels (the
+// paper's persistent counters and ibuffers) run continuously; host launches
+// enqueue single-task and NDRange kernels against the same live fabric.
+type Machine struct {
+	d    *hls.Design
+	opts Options
+
+	chans  []*channel.Channel
+	Mem    *mem.System
+	bufs   map[string]*mem.Buffer
+	units  []*Unit // autorun units, persistent
+	active []*Unit // launched units still running
+
+	cycle        int64
+	lastProgress int64
+	err          error
+
+	// cycleHooks run at the end of every cycle (after channel commit);
+	// the VCD recorder uses this.
+	cycleHooks []func(cycle int64)
+}
+
+// New loads a design onto a fresh machine and starts its autorun kernels.
+func New(d *hls.Design, opts Options) *Machine {
+	opts.fill()
+	m := &Machine{d: d, opts: opts, Mem: mem.NewSystem(opts.MemConfig), bufs: map[string]*mem.Buffer{}}
+	for i, c := range d.Program.Chans {
+		m.chans = append(m.chans, channel.New(c.Name, d.ChanDepth[i]))
+	}
+	for _, xk := range d.Kernels {
+		if xk.Mode != kir.Autorun {
+			continue
+		}
+		u := m.newUnit(xk)
+		if opts.AutorunSkew != nil {
+			u.startAt = opts.AutorunSkew(xk.Name, xk.CU)
+		}
+		m.units = append(m.units, u)
+	}
+	return m
+}
+
+// Design returns the loaded design.
+func (m *Machine) Design() *hls.Design { return m.d }
+
+// Cycle returns the current simulation time.
+func (m *Machine) Cycle() int64 { return m.cycle }
+
+// Channel returns the named channel (nil if absent).
+func (m *Machine) Channel(name string) *channel.Channel {
+	c := m.d.Program.ChanByName(name)
+	if c == nil {
+		return nil
+	}
+	return m.chans[c.ID]
+}
+
+// NewBuffer allocates a global-memory buffer for kernel arguments.
+func (m *Machine) NewBuffer(name string, elem kir.Type, n int) *mem.Buffer {
+	if _, dup := m.bufs[name]; dup {
+		panic(fmt.Sprintf("sim: duplicate buffer %q", name))
+	}
+	bytes := int64(elem.Bits() / 8)
+	if bytes == 0 {
+		bytes = 1
+	}
+	b := m.Mem.Alloc(name, bytes, n)
+	m.bufs[name] = b
+	return b
+}
+
+// Buffer returns a previously allocated buffer.
+func (m *Machine) Buffer(name string) *mem.Buffer { return m.bufs[name] }
+
+// Args binds kernel parameters by name: scalars as int64, arrays as
+// *mem.Buffer.
+type Args map[string]any
+
+// Launch enqueues a single-task kernel. The returned unit exposes statistics
+// after Run completes.
+func (m *Machine) Launch(kernel string, args Args) (*Unit, error) {
+	return m.launch(kernel, args, 0)
+}
+
+// LaunchND enqueues an NDRange kernel with globalSize work-items.
+func (m *Machine) LaunchND(kernel string, globalSize int64, args Args) (*Unit, error) {
+	if globalSize <= 0 {
+		return nil, fmt.Errorf("sim: global size %d", globalSize)
+	}
+	return m.launch(kernel, args, globalSize)
+}
+
+func (m *Machine) launch(kernel string, args Args, globalSize int64) (*Unit, error) {
+	units := m.d.KernelUnits(kernel)
+	if len(units) == 0 {
+		return nil, fmt.Errorf("sim: kernel %q not in design", kernel)
+	}
+	if len(units) > 1 {
+		return nil, fmt.Errorf("sim: kernel %q is replicated; only autorun kernels replicate", kernel)
+	}
+	xk := units[0]
+	switch {
+	case xk.Mode == kir.Autorun:
+		return nil, fmt.Errorf("sim: kernel %q is autorun and cannot be launched", kernel)
+	case xk.Mode == kir.NDRange && globalSize == 0:
+		return nil, fmt.Errorf("sim: NDRange kernel %q needs LaunchND", kernel)
+	case xk.Mode != kir.NDRange && globalSize != 0:
+		return nil, fmt.Errorf("sim: kernel %q is not NDRange", kernel)
+	}
+
+	u := m.newUnit(xk)
+	u.globalSize = globalSize
+	u.startAt = m.cycle + 1
+	for _, p := range xk.Src.Params {
+		a, ok := args[p.Name]
+		if !ok {
+			return nil, fmt.Errorf("sim: kernel %q: missing argument %q", kernel, p.Name)
+		}
+		switch p.Kind {
+		case kir.ScalarParam:
+			var v int64
+			switch a := a.(type) {
+			case int64:
+				v = a
+			case int:
+				v = int64(a)
+			default:
+				return nil, fmt.Errorf("sim: kernel %q: argument %q must be an integer", kernel, p.Name)
+			}
+			u.scalars[xk.ScalarSlots[p.Index]] = v
+		case kir.GlobalArray:
+			buf, ok := a.(*mem.Buffer)
+			if !ok {
+				return nil, fmt.Errorf("sim: kernel %q: argument %q must be a *mem.Buffer", kernel, p.Name)
+			}
+			for i, site := range xk.LSUs {
+				if site.Arr == p {
+					u.lsus[i] = m.Mem.NewLSU(site.Kind, buf)
+				}
+			}
+		}
+	}
+	for i, site := range xk.LSUs {
+		if u.lsus[i] == nil {
+			return nil, fmt.Errorf("sim: kernel %q: access site on %q has no bound buffer", kernel, site.Arr.Name)
+		}
+	}
+	m.active = append(m.active, u)
+	return u, nil
+}
+
+// Step advances the machine n cycles unconditionally (autorun kernels keep
+// running whether or not anything is launched).
+func (m *Machine) Step(n int64) {
+	for i := int64(0); i < n; i++ {
+		m.tick()
+	}
+}
+
+// Run advances until every launched kernel completes. It returns an error on
+// deadlock (no forward progress within StallLimit) or cycle overrun.
+func (m *Machine) Run() error {
+	for len(m.active) > 0 {
+		m.tick()
+		if m.err != nil {
+			return m.err
+		}
+		if m.cycle-m.lastProgress > m.opts.StallLimit {
+			return fmt.Errorf("sim: no progress for %d cycles at cycle %d: %s",
+				m.opts.StallLimit, m.cycle, m.blockReport())
+		}
+		if m.cycle > m.opts.MaxCycles {
+			return fmt.Errorf("sim: exceeded %d cycles with %d kernels still running",
+				m.opts.MaxCycles, len(m.active))
+		}
+	}
+	return nil
+}
+
+func (m *Machine) tick() {
+	m.cycle++
+	for _, c := range m.chans {
+		c.BeginCycle()
+	}
+	for _, u := range m.units {
+		u.tick(m.cycle)
+	}
+	stillActive := m.active[:0]
+	for _, u := range m.active {
+		u.tick(m.cycle)
+		if u.Done() {
+			u.finishedAt = m.cycle
+			continue
+		}
+		stillActive = append(stillActive, u)
+	}
+	m.active = stillActive
+	for _, c := range m.chans {
+		c.Commit()
+	}
+	for _, h := range m.cycleHooks {
+		h(m.cycle)
+	}
+}
+
+func (m *Machine) blockReport() string {
+	s := ""
+	for _, u := range m.active {
+		s += fmt.Sprintf("[%s blocked on %s] ", u.xk.UnitName(), u.lastBlock)
+	}
+	if s == "" {
+		s = "(no block site recorded)"
+	}
+	return s
+}
+
+// Unit is one kernel compute unit activation.
+type Unit struct {
+	m  *Machine
+	xk *hls.XKernel
+
+	top     *regionExec
+	locals  []*mem.LocalMem
+	lsus    []*mem.LSU
+	scalars map[int]int64
+
+	startAt    int64
+	started    bool
+	finishedAt int64
+
+	// NDRange progress
+	globalSize int64
+	issuedWI   int64
+	doneWI     int64
+	// single-task / autorun progress
+	topDone bool
+
+	intrinsicState map[*hls.XOp]any
+	lastBlock      string
+}
+
+func (m *Machine) newUnit(xk *hls.XKernel) *Unit {
+	u := &Unit{
+		m:              m,
+		xk:             xk,
+		lsus:           make([]*mem.LSU, len(xk.LSUs)),
+		scalars:        map[int]int64{},
+		intrinsicState: map[*hls.XOp]any{},
+	}
+	for _, la := range xk.Src.Locals {
+		u.locals = append(u.locals, mem.NewLocalMem(fmt.Sprintf("%s.%s", xk.UnitName(), la.Name), la.Size))
+	}
+	u.top = buildRegionExec(u, xk.Root, func(c *Ctx) {
+		if u.xk.Mode == kir.NDRange {
+			u.doneWI++
+		} else {
+			u.topDone = true
+		}
+	})
+	return u
+}
+
+// Kernel returns the underlying compute unit.
+func (u *Unit) Kernel() *hls.XKernel { return u.xk }
+
+// FinishedAt returns the cycle the launch completed (0 while running).
+func (u *Unit) FinishedAt() int64 { return u.finishedAt }
+
+// Local returns the unit's local memory by array index.
+func (u *Unit) Local(i int) *mem.LocalMem { return u.locals[i] }
+
+// LSU returns the unit's load/store unit for access site i.
+func (u *Unit) LSU(i int) *mem.LSU { return u.lsus[i] }
+
+// Done reports whether the activation has completed (never true for
+// autorun).
+func (u *Unit) Done() bool {
+	switch u.xk.Mode {
+	case kir.Autorun:
+		return false
+	case kir.NDRange:
+		return u.started && u.doneWI >= u.globalSize
+	default:
+		return u.started && u.topDone
+	}
+}
+
+func (u *Unit) autorun() bool { return u.xk.Mode == kir.Autorun }
+
+func (u *Unit) noteProgress() {
+	if !u.autorun() {
+		u.m.lastProgress = u.m.cycle
+	}
+}
+
+func (u *Unit) noteBlocked(op *hls.XOp, dir string, now int64) {
+	name := "?"
+	if op.ChID >= 0 && op.ChID < len(u.m.d.Program.Chans) {
+		name = u.m.d.Program.Chans[op.ChID].Name
+	}
+	u.lastBlock = fmt.Sprintf("channel %s %q at cycle %d", dir, name, now)
+}
+
+func (u *Unit) tick(now int64) {
+	if now < u.startAt {
+		return
+	}
+	switch u.xk.Mode {
+	case kir.NDRange:
+		if !u.started {
+			u.started = true
+		}
+		if u.issuedWI < u.globalSize && u.top.canAccept() {
+			c := newTopCtx(u.xk.NumSlots)
+			c.wiID = u.issuedWI
+			for slot, v := range u.scalars {
+				c.slots[slot] = v
+				c.ready[slot] = now
+			}
+			u.issuedWI++
+			u.top.enter(&flow{c: c})
+		}
+	default:
+		if !u.started {
+			u.started = true
+			c := newTopCtx(u.xk.NumSlots)
+			for slot, v := range u.scalars {
+				c.slots[slot] = v
+				c.ready[slot] = now
+			}
+			u.top.enter(&flow{c: c})
+		}
+	}
+	u.top.tick(now)
+}

@@ -1,0 +1,229 @@
+package sim
+
+import (
+	"fmt"
+
+	"oclfpga/internal/channel"
+	"oclfpga/internal/hls"
+	"oclfpga/internal/kir"
+)
+
+// truncBits wraps v to the op's datapath width, mirroring kir.Type widths
+// (32/64 signed, 16/8 unsigned, 1 boolean).
+func truncBits(v int64, bits int) int64 {
+	switch bits {
+	case 64, 0:
+		return v
+	case 32:
+		return int64(int32(v))
+	case 16:
+		return int64(uint16(v))
+	case 8:
+		return int64(uint8(v))
+	case 1:
+		if v != 0 {
+			return 1
+		}
+		return 0
+	}
+	return v
+}
+
+// Intrinsic is the interface an OpIBufLogic payload implements to execute
+// inside the pipeline (the HDL-library escape hatch; the reference ibuffer
+// is plain IR and does not need it). Exec returns false to stall.
+type Intrinsic interface {
+	Exec(env *IntrinsicEnv) bool
+}
+
+// IntrinsicEnv is the machine access an intrinsic gets.
+type IntrinsicEnv struct {
+	M     *Machine
+	U     *Unit
+	C     *Ctx
+	Op    *hls.XOp
+	Now   int64
+	State *any // per-(unit, op) persistent state cell
+}
+
+// Chan gives the intrinsic direct access to a channel endpoint by program
+// channel id — the HDL block's ports.
+func (e *IntrinsicEnv) Chan(id int) *channel.Channel { return e.M.chans[id] }
+
+// execOp executes one op for one context at the current cycle. It returns
+// false when the op cannot proceed (operand pending, blocking channel not
+// ready), which stalls the whole segment pipeline.
+func (u *Unit) execOp(c *Ctx, op *hls.XOp, now int64, se *segExec) bool {
+	// predication (if-conversion): guard must be resolved; a false guard
+	// skips the op entirely — this is how a predicated blocking channel op
+	// avoids blocking, as the host-interface kernel relies on.
+	if op.Guard >= 0 {
+		if c.readyAt(op.Guard) > now {
+			return false
+		}
+		if c.val(op.Guard) == 0 {
+			return true
+		}
+	}
+	// operands must be available (static schedule guarantees this except
+	// for runtime-variable producers: memory and channels)
+	for _, a := range op.Args {
+		if a >= 0 && c.readyAt(a) > now {
+			return false
+		}
+	}
+
+	done := now + int64(op.Lat)
+	arg := func(i int) int64 { return c.val(op.Args[i]) }
+	set := func(v int64) { c.write(op.Dst, truncBits(v, op.Bits), done) }
+
+	switch op.Kind {
+	case kir.OpConst:
+		set(op.Const)
+	case kir.OpAdd:
+		set(arg(0) + arg(1))
+	case kir.OpSub:
+		set(arg(0) - arg(1))
+	case kir.OpMul:
+		set(arg(0) * arg(1))
+	case kir.OpDiv:
+		if arg(1) == 0 {
+			set(0)
+		} else {
+			set(arg(0) / arg(1))
+		}
+	case kir.OpMod:
+		if arg(1) == 0 {
+			set(0)
+		} else {
+			set(arg(0) % arg(1))
+		}
+	case kir.OpAnd:
+		set(arg(0) & arg(1))
+	case kir.OpOr:
+		set(arg(0) | arg(1))
+	case kir.OpXor:
+		set(arg(0) ^ arg(1))
+	case kir.OpShl:
+		set(arg(0) << uint64(arg(1)&63))
+	case kir.OpShr:
+		set(arg(0) >> uint64(arg(1)&63))
+	case kir.OpCmpLT:
+		set(b2i(arg(0) < arg(1)))
+	case kir.OpCmpLE:
+		set(b2i(arg(0) <= arg(1)))
+	case kir.OpCmpEQ:
+		set(b2i(arg(0) == arg(1)))
+	case kir.OpCmpNE:
+		set(b2i(arg(0) != arg(1)))
+	case kir.OpCmpGT:
+		set(b2i(arg(0) > arg(1)))
+	case kir.OpCmpGE:
+		set(b2i(arg(0) >= arg(1)))
+	case kir.OpSelect:
+		if arg(0) != 0 {
+			set(arg(1))
+		} else {
+			set(arg(2))
+		}
+
+	case kir.OpLoad:
+		lsu := u.lsus[op.LSU]
+		if lsu == nil {
+			return u.fail("load through unbound LSU (%s)", op)
+		}
+		v, ready := lsu.Load(now, arg(0))
+		c.write(op.Dst, truncBits(v, op.Bits), ready)
+	case kir.OpStore:
+		lsu := u.lsus[op.LSU]
+		if lsu == nil {
+			return u.fail("store through unbound LSU (%s)", op)
+		}
+		ack := lsu.Store(now, arg(0), arg(1))
+		if ack > now+1 {
+			se.stallUntil = maxi64(se.stallUntil, ack-1)
+		}
+	case kir.OpLocalLoad:
+		lm := u.locals[op.Local]
+		v, ready := lm.Load(now, arg(0))
+		c.write(op.Dst, truncBits(v, op.Bits), ready)
+	case kir.OpLocalStore:
+		lm := u.locals[op.Local]
+		lm.Store(now, arg(0), arg(1))
+
+	case kir.OpChanRead:
+		ch := u.m.chans[op.ChID]
+		v, ok := ch.TryRead()
+		if !ok {
+			u.noteBlocked(op, "read", now)
+			return false
+		}
+		c.write(op.Dst, truncBits(v, op.Bits), done)
+	case kir.OpChanWrite:
+		ch := u.m.chans[op.ChID]
+		if !ch.TryWrite(arg(0)) {
+			u.noteBlocked(op, "write", now)
+			return false
+		}
+	case kir.OpChanReadNB:
+		ch := u.m.chans[op.ChID]
+		v, ok := ch.TryRead()
+		c.write(op.Dst, truncBits(v, op.Bits), done)
+		c.write(op.OkDst, b2i(ok), done)
+	case kir.OpChanWriteNB:
+		ch := u.m.chans[op.ChID]
+		ok := ch.WriteNB(arg(0))
+		c.write(op.OkDst, b2i(ok), done)
+
+	case kir.OpGlobalID:
+		c.write(op.Dst, c.wiID, now)
+	case kir.OpCall:
+		args := make([]int64, len(op.Args))
+		for i := range op.Args {
+			args[i] = arg(i)
+		}
+		var v int64
+		if op.Lib.Synth != nil {
+			v = op.Lib.Synth(now, args)
+		}
+		c.write(op.Dst, v, done)
+	case kir.OpFence:
+		// ordering is enforced by the schedule's channel chain
+	case kir.OpIBufLogic:
+		in, ok := op.IBuf.(Intrinsic)
+		if !ok {
+			return u.fail("OpIBufLogic payload does not implement sim.Intrinsic")
+		}
+		cell := u.intrinsicState[op]
+		env := &IntrinsicEnv{M: u.m, U: u, C: c, Op: op, Now: now, State: &cell}
+		ok = in.Exec(env)
+		u.intrinsicState[op] = cell
+		if !ok {
+			return false
+		}
+	default:
+		return u.fail("unimplemented op %s", op.Kind)
+	}
+	return true
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func maxi64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func (u *Unit) fail(format string, args ...any) bool {
+	if u.m.err == nil {
+		u.m.err = fmt.Errorf("sim: unit %s: %s", u.xk.UnitName(), fmt.Sprintf(format, args...))
+	}
+	return false
+}

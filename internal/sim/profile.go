@@ -1,0 +1,128 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ChannelProfile is one channel's accumulated activity — the kind of
+// information the vendor's built-in profiling inserts counters for (paper
+// §6: "accumulated bandwidth and channel stalls"). The paper's framework
+// complements this coarse view with the ibuffer's per-event insight.
+type ChannelProfile struct {
+	Name         string
+	Depth        int
+	Writes       int64
+	Reads        int64
+	WriteStalls  int64
+	ReadStalls   int64
+	MaxOccupancy int
+}
+
+// LSUProfile is one global-memory access site's accumulated activity.
+type LSUProfile struct {
+	Unit    string
+	Array   string
+	Kind    string
+	IsStore bool
+
+	Loads        int64
+	Stores       int64
+	LineFetches  int64
+	CoalesceHits int64
+	AvgLoadLat   float64
+	MaxLoadLat   int64
+}
+
+// ProfileReport aggregates board-level counters after (or during) a run.
+type ProfileReport struct {
+	Cycle    int64
+	Channels []ChannelProfile
+	LSUs     []LSUProfile
+}
+
+// Profile snapshots the accumulated channel and LSU counters. Pass the
+// launched units whose memory behaviour should be included (finished units
+// keep their counters).
+func (m *Machine) Profile(units ...*Unit) ProfileReport {
+	r := ProfileReport{Cycle: m.cycle}
+	for i, ch := range m.chans {
+		st := ch.Stats()
+		if st.Writes == 0 && st.Reads == 0 && st.WriteStalls == 0 && st.ReadStalls == 0 {
+			continue
+		}
+		r.Channels = append(r.Channels, ChannelProfile{
+			Name:         m.d.Program.Chans[i].Name,
+			Depth:        m.d.ChanDepth[i],
+			Writes:       st.Writes,
+			Reads:        st.Reads,
+			WriteStalls:  st.WriteStalls,
+			ReadStalls:   st.ReadStalls,
+			MaxOccupancy: st.MaxOccupancy,
+		})
+	}
+	for _, u := range units {
+		for i, site := range u.xk.LSUs {
+			lsu := u.lsus[i]
+			if lsu == nil {
+				continue
+			}
+			st := lsu.Stats()
+			r.LSUs = append(r.LSUs, LSUProfile{
+				Unit:         u.xk.UnitName(),
+				Array:        site.Arr.Name,
+				Kind:         site.Kind.String(),
+				IsStore:      site.IsStore,
+				Loads:        st.Loads,
+				Stores:       st.Stores,
+				LineFetches:  st.LineFetches,
+				CoalesceHits: st.CoalesceHits,
+				AvgLoadLat:   st.AvgLoadLatency(),
+				MaxLoadLat:   st.MaxLoadLat,
+			})
+		}
+	}
+	sort.Slice(r.Channels, func(i, j int) bool { return r.Channels[i].Name < r.Channels[j].Name })
+	return r
+}
+
+// String renders the report like a vendor profiler summary.
+func (r ProfileReport) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "profile @ cycle %d\n", r.Cycle)
+	if len(r.Channels) > 0 {
+		sb.WriteString("channels:\n")
+		fmt.Fprintf(&sb, "  %-24s %6s %9s %9s %8s %8s %6s\n",
+			"name", "depth", "writes", "reads", "w-stall", "r-stall", "maxocc")
+		for _, c := range r.Channels {
+			fmt.Fprintf(&sb, "  %-24s %6d %9d %9d %8d %8d %6d\n",
+				c.Name, c.Depth, c.Writes, c.Reads, c.WriteStalls, c.ReadStalls, c.MaxOccupancy)
+		}
+	}
+	if len(r.LSUs) > 0 {
+		sb.WriteString("memory access sites:\n")
+		fmt.Fprintf(&sb, "  %-12s %-10s %-16s %8s %8s %8s %9s %8s %7s\n",
+			"unit", "array", "lsu", "loads", "stores", "lines", "coalesce", "avg-lat", "max-lat")
+		for _, l := range r.LSUs {
+			dir := "load"
+			if l.IsStore {
+				dir = "store"
+			}
+			fmt.Fprintf(&sb, "  %-12s %-10s %-16s %8d %8d %8d %9d %8.1f %7d\n",
+				l.Unit, l.Array, l.Kind+"/"+dir, l.Loads, l.Stores, l.LineFetches,
+				l.CoalesceHits, l.AvgLoadLat, l.MaxLoadLat)
+		}
+	}
+	return sb.String()
+}
+
+// BandwidthBytes estimates the bytes moved by the profiled LSUs, assuming
+// the machine's line size per fetch.
+func (r ProfileReport) BandwidthBytes(lineBytes int64) int64 {
+	var lines int64
+	for _, l := range r.LSUs {
+		lines += l.LineFetches
+	}
+	return lines * lineBytes
+}

@@ -1,0 +1,182 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"oclfpga/internal/hls"
+	"oclfpga/internal/kir"
+)
+
+// streamProgram: producer kernel pushes N values through a channel to a
+// consumer kernel — a two-kernel pipeline, the channel-profiling target.
+func streamProgram(depth int) *kir.Program {
+	p := kir.NewProgram("stream")
+	ch := p.AddChan("pipe", depth, kir.I32)
+	prod := p.AddKernel("producer", kir.SingleTask)
+	src := prod.AddGlobal("src", kir.I32)
+	pb := prod.NewBuilder()
+	pb.ForN("i", 64, nil, func(lb *kir.Builder, i kir.Val, _ []kir.Val) []kir.Val {
+		lb.ChanWrite(ch, lb.Load(src, i))
+		return nil
+	})
+	cons := p.AddKernel("consumer", kir.SingleTask)
+	dst := cons.AddGlobal("dst", kir.I32)
+	cb := cons.NewBuilder()
+	cb.ForN("i", 64, nil, func(lb *kir.Builder, i kir.Val, _ []kir.Val) []kir.Val {
+		lb.Store(dst, i, lb.Mul(lb.ChanRead(ch), lb.Ci32(2)))
+		return nil
+	})
+	return p
+}
+
+func TestKernelToKernelStreaming(t *testing.T) {
+	m := New(compile(t, streamProgram(8), hls.Options{}), Options{})
+	src := m.NewBuffer("src", kir.I32, 64)
+	dst := m.NewBuffer("dst", kir.I32, 64)
+	for i := range src.Data {
+		src.Data[i] = int64(i + 1)
+	}
+	if _, err := m.Launch("producer", Args{"src": src}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Launch("consumer", Args{"dst": dst}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range dst.Data {
+		if dst.Data[i] != int64(2*(i+1)) {
+			t.Fatalf("dst[%d] = %d", i, dst.Data[i])
+		}
+	}
+}
+
+func TestProfileReportsChannelActivity(t *testing.T) {
+	m := New(compile(t, streamProgram(2), hls.Options{}), Options{})
+	src := m.NewBuffer("src", kir.I32, 64)
+	dst := m.NewBuffer("dst", kir.I32, 64)
+	pu, err := m.Launch("producer", Args{"src": src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cu, err := m.Launch("consumer", Args{"dst": dst})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	r := m.Profile(pu, cu)
+	if len(r.Channels) != 1 {
+		t.Fatalf("%d channel rows", len(r.Channels))
+	}
+	c := r.Channels[0]
+	if c.Name != "pipe" || c.Writes != 64 || c.Reads != 64 {
+		t.Fatalf("channel profile = %+v", c)
+	}
+	// a depth-2 channel between a fast producer and a mul-latency consumer
+	// must show backpressure somewhere
+	if c.WriteStalls == 0 && c.ReadStalls == 0 {
+		t.Fatalf("no stalls recorded on a shallow channel: %+v", c)
+	}
+	if c.MaxOccupancy == 0 || c.MaxOccupancy > 2 {
+		t.Fatalf("occupancy %d out of range", c.MaxOccupancy)
+	}
+	// LSU rows: producer load site + consumer store site
+	if len(r.LSUs) != 2 {
+		t.Fatalf("%d LSU rows", len(r.LSUs))
+	}
+	if r.BandwidthBytes(64) <= 0 {
+		t.Fatal("no bandwidth accounted")
+	}
+	out := r.String()
+	for _, want := range []string{"pipe", "producer", "consumer", "burst-coalesced"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestProfileEmptyChannelsElided(t *testing.T) {
+	p := kir.NewProgram("quiet")
+	p.AddChan("unused", 4, kir.I32)
+	k := p.AddKernel("k", kir.SingleTask)
+	z := k.AddGlobal("z", kir.I32)
+	b := k.NewBuilder()
+	b.Store(z, b.Ci32(0), b.Ci32(1))
+	// silence the unused-channel validator by adding endpoints in two
+	// never-launched kernels
+	k2 := p.AddKernel("w", kir.SingleTask)
+	zz := k2.AddScalar("v", kir.I32)
+	b2 := k2.NewBuilder()
+	b2.ChanWrite(p.ChanByName("unused"), zz.Val)
+	k3 := p.AddKernel("r", kir.SingleTask)
+	g3 := k3.AddGlobal("g", kir.I32)
+	b3 := k3.NewBuilder()
+	b3.Store(g3, b3.Ci32(0), b3.ChanRead(p.ChanByName("unused")))
+
+	m := New(compile(t, p, hls.Options{}), Options{})
+	z2 := m.NewBuffer("z", kir.I32, 1)
+	u, err := m.Launch("k", Args{"z": z2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	r := m.Profile(u)
+	if len(r.Channels) != 0 {
+		t.Fatalf("quiet channel reported: %+v", r.Channels)
+	}
+}
+
+func TestVCDRecorder(t *testing.T) {
+	m := New(compile(t, streamProgram(4), hls.Options{}), Options{})
+	vcd := m.NewVCD("pipe")
+	src := m.NewBuffer("src", kir.I32, 64)
+	dst := m.NewBuffer("dst", kir.I32, 64)
+	for i := range src.Data {
+		src.Data[i] = int64(i)
+	}
+	if _, err := m.Launch("producer", Args{"src": src}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Launch("consumer", Args{"dst": dst}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if vcd.Changes() < 10 {
+		t.Fatalf("only %d changes captured", vcd.Changes())
+	}
+	var sb strings.Builder
+	if err := vcd.Flush(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"$enddefinitions",
+		"$var wire 8", // occupancy vector
+		"pipe_occ",
+		"pipe_valid",
+		"#1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("VCD missing %q:\n%s", want, out[:min(400, len(out))])
+		}
+	}
+	// the occupancy signal must actually toggle (data flowed through)
+	if !strings.Contains(out, "b1 ") && !strings.Contains(out, "b10 ") {
+		t.Fatalf("occupancy never became nonzero:\n%s", out[:min(600, len(out))])
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,168 @@
+// Package trace provides the host-side view of ibuffer contents: decoding
+// the (timestamp, data) word stream drained from an ibuffer's output
+// channel, and the post-processing the paper's use cases apply — latency
+// pairing between snapshot sites (§5.1), watchpoint unpacking (§5.2), and
+// stall statistics.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Record is one trace-buffer entry.
+type Record struct {
+	T    int64 // timestamp (cycle) taken inside the ibuffer
+	Data int64 // payload (snapshot value, packed addr/tag, or latency delta)
+}
+
+// Decode splits the raw word stream (t0, d0, t1, d1, …) drained from an
+// ibuffer into records, dropping never-written (all-zero) tail entries that
+// a linear trace read-out includes when the buffer did not fill.
+func Decode(words []int64) []Record {
+	recs := make([]Record, 0, len(words)/2)
+	for i := 0; i+1 < len(words); i += 2 {
+		recs = append(recs, Record{T: words[i], Data: words[i+1]})
+	}
+	for len(recs) > 0 && recs[len(recs)-1] == (Record{}) {
+		recs = recs[:len(recs)-1]
+	}
+	return recs
+}
+
+// Valid filters records with non-zero timestamps (a timestamp of 0 cannot
+// occur for a sampled entry: counters start at 1).
+func Valid(recs []Record) []Record {
+	out := recs[:0:0]
+	for _, r := range recs {
+		if r.T != 0 {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Latencies pairs two snapshot-site traces (site a before the event, site b
+// after) and returns per-event latencies t_b - t_a, exactly the paper's
+// load-latency measurement (Listing 9): the i-th arrival at site b is
+// matched with the i-th arrival at site a.
+func Latencies(a, b []Record) []int64 {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	out := make([]int64, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, b[i].T-a[i].T)
+	}
+	return out
+}
+
+// Stats summarizes a latency series.
+type Stats struct {
+	N           int
+	Min, Max    int64
+	Mean        float64
+	P50, P90    int64
+	StallEvents int // samples beyond 2x the median — pipeline stalls
+}
+
+// Summarize computes latency statistics; stalls are samples > 2*median.
+func Summarize(lat []int64) Stats {
+	if len(lat) == 0 {
+		return Stats{}
+	}
+	s := Stats{N: len(lat), Min: lat[0], Max: lat[0]}
+	sorted := append([]int64(nil), lat...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var sum float64
+	for _, v := range lat {
+		if v < s.Min {
+			s.Min = v
+		}
+		if v > s.Max {
+			s.Max = v
+		}
+		sum += float64(v)
+	}
+	s.Mean = sum / float64(len(lat))
+	s.P50 = sorted[len(sorted)/2]
+	s.P90 = sorted[len(sorted)*9/10]
+	for _, v := range lat {
+		if v > 2*s.P50 {
+			s.StallEvents++
+		}
+	}
+	return s
+}
+
+// Histogram buckets a latency series into fixed-width bins for reporting.
+type Histogram struct {
+	Width  int64
+	Counts []int64
+}
+
+// NewHistogram bins values into nbins buckets of the given width; values
+// beyond the last bucket clamp into it.
+func NewHistogram(values []int64, width int64, nbins int) Histogram {
+	h := Histogram{Width: width, Counts: make([]int64, nbins)}
+	for _, v := range values {
+		b := v / width
+		if b < 0 {
+			b = 0
+		}
+		if b >= int64(nbins) {
+			b = int64(nbins) - 1
+		}
+		h.Counts[b]++
+	}
+	return h
+}
+
+// String renders the histogram as an ASCII bar chart.
+func (h Histogram) String() string {
+	var max int64 = 1
+	for _, c := range h.Counts {
+		if c > max {
+			max = c
+		}
+	}
+	var sb strings.Builder
+	for i, c := range h.Counts {
+		bar := strings.Repeat("#", int(c*40/max))
+		fmt.Fprintf(&sb, "%6d-%-6d %6d %s\n", int64(i)*h.Width, (int64(i)+1)*h.Width-1, c, bar)
+	}
+	return sb.String()
+}
+
+// WatchEvent is one decoded watchpoint/bound-check record.
+type WatchEvent struct {
+	T    int64
+	Addr int64
+	Tag  int64
+}
+
+// DecodeWatch unpacks watchpoint-family records (addr<<16 | tag payloads).
+func DecodeWatch(recs []Record, tagBits uint) []WatchEvent {
+	out := make([]WatchEvent, 0, len(recs))
+	for _, r := range recs {
+		out = append(out, WatchEvent{
+			T:    r.T,
+			Addr: r.Data >> tagBits,
+			Tag:  r.Data & (1<<tagBits - 1),
+		})
+	}
+	return out
+}
+
+// OrderedByT reports whether records are sorted by timestamp — the sanity
+// invariant of any single ibuffer's linear trace.
+func OrderedByT(recs []Record) bool {
+	for i := 1; i < len(recs); i++ {
+		if recs[i].T < recs[i-1].T {
+			return false
+		}
+	}
+	return true
+}

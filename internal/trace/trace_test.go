@@ -1,0 +1,151 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestDecodePairsWords(t *testing.T) {
+	recs := Decode([]int64{10, 100, 20, 200, 30, 300})
+	if len(recs) != 3 {
+		t.Fatalf("decoded %d records", len(recs))
+	}
+	if recs[1] != (Record{T: 20, Data: 200}) {
+		t.Fatalf("recs[1] = %+v", recs[1])
+	}
+}
+
+func TestDecodeDropsZeroTail(t *testing.T) {
+	recs := Decode([]int64{10, 100, 0, 0, 0, 0})
+	if len(recs) != 1 {
+		t.Fatalf("zero tail kept: %+v", recs)
+	}
+	// interior zero entries stay (cyclic buffers may wrap over them)
+	recs = Decode([]int64{0, 0, 10, 100})
+	if len(recs) != 2 {
+		t.Fatalf("interior zero dropped: %+v", recs)
+	}
+}
+
+func TestDecodeOddLength(t *testing.T) {
+	recs := Decode([]int64{1, 2, 3})
+	if len(recs) != 1 {
+		t.Fatalf("odd word count mishandled: %+v", recs)
+	}
+}
+
+func TestValidFilters(t *testing.T) {
+	recs := Valid([]Record{{T: 1, Data: 5}, {T: 0, Data: 9}, {T: 3, Data: 7}})
+	if len(recs) != 2 || recs[1].T != 3 {
+		t.Fatalf("Valid = %+v", recs)
+	}
+}
+
+func TestLatenciesPairwise(t *testing.T) {
+	a := []Record{{T: 10}, {T: 20}, {T: 30}}
+	b := []Record{{T: 15}, {T: 29}}
+	lats := Latencies(a, b)
+	if len(lats) != 2 || lats[0] != 5 || lats[1] != 9 {
+		t.Fatalf("Latencies = %v", lats)
+	}
+	if got := Latencies(nil, b); len(got) != 0 {
+		t.Fatalf("empty a: %v", got)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]int64{10, 10, 10, 10, 10, 10, 10, 10, 10, 50})
+	if s.N != 10 || s.Min != 10 || s.Max != 50 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.P50 != 10 {
+		t.Fatalf("P50 = %d", s.P50)
+	}
+	if s.Mean != 14 {
+		t.Fatalf("Mean = %f", s.Mean)
+	}
+	if s.StallEvents != 1 {
+		t.Fatalf("StallEvents = %d (50 > 2*10)", s.StallEvents)
+	}
+	if z := Summarize(nil); z.N != 0 {
+		t.Fatal("empty summarize")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram([]int64{0, 5, 9, 10, 25, 1000, -3}, 10, 3)
+	if h.Counts[0] != 4 { // 0,5,9,-3(clamped low)
+		t.Fatalf("bucket 0 = %d", h.Counts[0])
+	}
+	if h.Counts[1] != 1 || h.Counts[2] != 2 { // 10 | 25,1000(clamped)
+		t.Fatalf("histogram = %+v", h.Counts)
+	}
+	out := h.String()
+	if !strings.Contains(out, "#") {
+		t.Fatal("no bars rendered")
+	}
+}
+
+func TestDecodeWatch(t *testing.T) {
+	evs := DecodeWatch([]Record{{T: 7, Data: 5<<16 | 99}}, 16)
+	if len(evs) != 1 || evs[0].Addr != 5 || evs[0].Tag != 99 || evs[0].T != 7 {
+		t.Fatalf("DecodeWatch = %+v", evs)
+	}
+}
+
+func TestOrderedByT(t *testing.T) {
+	if !OrderedByT([]Record{{T: 1}, {T: 1}, {T: 5}}) {
+		t.Fatal("non-decreasing rejected")
+	}
+	if OrderedByT([]Record{{T: 5}, {T: 1}}) {
+		t.Fatal("decreasing accepted")
+	}
+	if !OrderedByT(nil) {
+		t.Fatal("empty rejected")
+	}
+}
+
+// Property: Decode inverts interleaving for records with non-zero tails.
+func TestDecodeRoundTripProperty(t *testing.T) {
+	f := func(ts []int64) bool {
+		recs := make([]Record, len(ts))
+		words := make([]int64, 0, 2*len(ts))
+		for i, v := range ts {
+			if v == 0 {
+				v = 1
+			}
+			recs[i] = Record{T: v, Data: v * 3}
+			words = append(words, v, v*3)
+		}
+		got := Decode(words)
+		if len(got) != len(recs) {
+			return false
+		}
+		for i := range got {
+			if got[i] != recs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Summarize bounds are consistent: Min <= P50 <= P90 <= Max and
+// Min <= Mean <= Max.
+func TestSummarizeBoundsProperty(t *testing.T) {
+	f := func(vals []int64) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		s := Summarize(vals)
+		return s.Min <= s.P50 && s.P50 <= s.P90 && s.P90 <= s.Max &&
+			float64(s.Min) <= s.Mean && s.Mean <= float64(s.Max)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

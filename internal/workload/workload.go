@@ -1,0 +1,409 @@
+// Package workload builds the kernels the paper evaluates on:
+//
+//   - matrix-vector multiplication in single-task (Listing 6) and NDRange
+//     (Listing 7) form, with the sequence-number + timestamp capture used to
+//     reveal execution/scheduling order (Figure 2);
+//   - matrix multiplication (Listing 9, Table 1) with optional stall-monitor
+//     and smart-watchpoint instrumentation;
+//   - the pointer-chasing kernel of §3.1 with optional OpenCL-counter or
+//     HDL-counter timestamp instrumentation;
+//   - a plain vector addition for quickstarts.
+package workload
+
+import (
+	"fmt"
+
+	"oclfpga/internal/core"
+	"oclfpga/internal/kir"
+	"oclfpga/internal/monitor"
+	"oclfpga/internal/primitives"
+)
+
+// MatVecConfig configures the Figure-2 matrix-vector kernel.
+type MatVecConfig struct {
+	Mode kir.Mode // SingleTask (Listing 6) or NDRange (Listing 7)
+	N    int      // rows / work-items (paper: 50)
+	Num  int      // columns / inner trip (paper: 100)
+	// Instrument adds the paper's capture: for i < CaptureN, pop a sequence
+	// number and record (timestamp, k, i) into info arrays indexed by it.
+	Instrument bool
+	CaptureN   int // paper: 10
+}
+
+func (c *MatVecConfig) fill() {
+	if c.N == 0 {
+		c.N = 50
+	}
+	if c.Num == 0 {
+		c.Num = 100
+	}
+	if c.CaptureN == 0 {
+		c.CaptureN = 10
+	}
+}
+
+// MatVec is a built matrix-vector kernel and its instrumentation handles.
+type MatVec struct {
+	Config     MatVecConfig
+	KernelName string
+	Seq        *primitives.Sequencer
+	Timer      *primitives.PersistentTimer
+	// InfoSize is the required length of the info1/2/3 buffers.
+	InfoSize int
+}
+
+// BuildMatVec generates the kernel (and, when instrumented, the sequence and
+// timestamp servers) into p. Buffers: x (N*Num), y (Num), z (N), and when
+// instrumented info1/info2/info3 (InfoSize).
+func BuildMatVec(p *kir.Program, cfg MatVecConfig) *MatVec {
+	cfg.fill()
+	mv := &MatVec{Config: cfg, InfoSize: cfg.N*cfg.CaptureN + 2}
+	if cfg.Instrument {
+		mv.Seq = primitives.AddSequencer(p, "seq_ch")
+		mv.Timer = primitives.AddPersistentTimer(p, "time_ch", 1)
+	}
+
+	name := "matvec_st"
+	if cfg.Mode == kir.NDRange {
+		name = "matvec_nd"
+	}
+	mv.KernelName = name
+	k := p.AddKernel(name, cfg.Mode)
+	x := k.AddGlobal("x", kir.I32)
+	y := k.AddGlobal("y", kir.I32)
+	z := k.AddGlobal("z", kir.I32)
+	var info1, info2, info3 *kir.Param
+	if cfg.Instrument {
+		info1 = k.AddGlobal("info1", kir.I64)
+		info2 = k.AddGlobal("info2", kir.I32)
+		info3 = k.AddGlobal("info3", kir.I32)
+	}
+	b := k.NewBuilder()
+
+	body := func(ob *kir.Builder, kv kir.Val) {
+		l := ob.Mul(kv, ob.Ci32(int64(cfg.Num)))
+		sum := ob.ForN("i", int64(cfg.Num), []kir.Val{ob.Ci32(0)}, func(lb *kir.Builder, iv kir.Val, c []kir.Val) []kir.Val {
+			xv := lb.Load(x, lb.Add(iv, l))
+			yv := lb.Load(y, iv)
+			next := lb.Add(c[0], lb.Mul(xv, yv))
+			if cfg.Instrument {
+				lb.If(lb.CmpLT(iv, lb.Ci32(int64(cfg.CaptureN))), func(tb *kir.Builder) {
+					seq := primitives.NextSeq(tb, mv.Seq)
+					ts := primitives.ReadTimestamp(tb, mv.Timer.Chans[0])
+					tb.Store(info1, seq, ts)
+					tb.Store(info2, seq, kv)
+					tb.Store(info3, seq, iv)
+				})
+			}
+			return []kir.Val{next}
+		})
+		ob.Store(z, kv, sum[0])
+	}
+
+	if cfg.Mode == kir.NDRange {
+		body(b, b.GlobalID(0))
+	} else {
+		b.ForN("k", int64(cfg.N), nil, func(ob *kir.Builder, kv kir.Val, _ []kir.Val) []kir.Val {
+			body(ob, kv)
+			return nil
+		})
+	}
+	return mv
+}
+
+// MatMulConfig configures the Table-1 matrix multiplication.
+type MatMulConfig struct {
+	Size int // square matrices Size x Size (default 32)
+	// StallMonitor instruments the data_a load with take_snapshot sites 0/1
+	// feeding a stall-monitor ibuffer bank (Listing 9).
+	StallMonitor bool
+	// Watchpoint adds a smart watchpoint on data_a's read addresses
+	// (Listing 11): monitor_address on the read site, watch set to WatchAddr.
+	Watchpoint bool
+	WatchAddr  int64
+	Depth      int // trace-buffer depth (paper: 1024)
+}
+
+func (c *MatMulConfig) fill() {
+	if c.Size == 0 {
+		c.Size = 32
+	}
+	if c.Depth == 0 {
+		c.Depth = 1024
+	}
+}
+
+// MatMul is a built matrix-multiply kernel and its instrumentation handles.
+type MatMul struct {
+	Config     MatMulConfig
+	KernelName string
+	SM         *core.IBuffer // stall-monitor bank (sites 0 and 1), when enabled
+	WP         *core.IBuffer // watchpoint bank, when enabled
+}
+
+// BuildMatMul generates C = A x B as a single-task triple loop. Buffers:
+// data_a, data_b, data_c (Size*Size each).
+func BuildMatMul(p *kir.Program, cfg MatMulConfig) (*MatMul, error) {
+	cfg.fill()
+	mm := &MatMul{Config: cfg, KernelName: "matmul"}
+	var err error
+	if cfg.StallMonitor {
+		mm.SM, err = core.Build(p, core.Config{
+			Name: "sm_ibuf", N: 2, Depth: cfg.Depth, Func: core.StallMonitor,
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	if cfg.Watchpoint {
+		mm.WP, err = core.Build(p, core.Config{
+			Name: "wp_ibuf", N: 1, Depth: cfg.Depth, Func: core.Watchpoint,
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	k := p.AddKernel("matmul", kir.SingleTask)
+	da := k.AddGlobal("data_a", kir.I32)
+	db := k.AddGlobal("data_b", kir.I32)
+	dc := k.AddGlobal("data_c", kir.I32)
+	b := k.NewBuilder()
+	n := int64(cfg.Size)
+
+	if cfg.Watchpoint {
+		monitor.AddWatch(b, mm.WP, 0, b.Ci64(cfg.WatchAddr))
+	}
+	b.ForN("i", n, nil, func(bi *kir.Builder, iv kir.Val, _ []kir.Val) []kir.Val {
+		bi.ForN("j", n, nil, func(bj *kir.Builder, jv kir.Val, _ []kir.Val) []kir.Val {
+			acc := bj.ForN("k", n, []kir.Val{bj.Ci32(0)}, func(bk *kir.Builder, kv kir.Val, c []kir.Val) []kir.Val {
+				aIdx := bk.Add(bk.Mul(iv, bk.Ci32(n)), kv)
+				if cfg.StallMonitor {
+					monitor.TakeSnapshot(bk, mm.SM, 0, kv) // snapshot site 1 (Listing 9)
+				}
+				av := bk.Load(da, aIdx)
+				if cfg.StallMonitor {
+					monitor.TakeSnapshot(bk, mm.SM, 1, av) // snapshot site 2
+				}
+				if cfg.Watchpoint {
+					monitor.MonitorAddress(bk, mm.WP, 0, aIdx, av)
+				}
+				bv := bk.Load(db, bk.Add(bk.Mul(kv, bk.Ci32(n)), jv))
+				return []kir.Val{bk.Add(c[0], bk.Mul(av, bv))}
+			})
+			bj.Store(dc, bj.Add(bj.Mul(iv, bj.Ci32(n)), jv), acc[0])
+			return nil
+		})
+		return nil
+	})
+	return mm, nil
+}
+
+// TimestampKind selects the pointer-chase instrumentation variant (§3.1).
+type TimestampKind int
+
+// Pointer-chase variants.
+const (
+	NoTimestamp TimestampKind = iota // un-profiled baseline
+	CLCounter                        // persistent-kernel OpenCL counter (Listing 1/2)
+	HDLCounter                       // HDL get_time library (Listing 3/4)
+)
+
+func (t TimestampKind) String() string {
+	switch t {
+	case NoTimestamp:
+		return "base"
+	case CLCounter:
+		return "opencl-counter"
+	case HDLCounter:
+		return "hdl-counter"
+	}
+	return fmt.Sprintf("timestamps(%d)", int(t))
+}
+
+// ChaseConfig configures the pointer-chasing kernel.
+type ChaseConfig struct {
+	Steps int // chase length (default 1000)
+	Kind  TimestampKind
+	// TraceDepth sizes the record ibuffer attached in the instrumented
+	// variants ("including a trace buffer", §3.1). Default 1024.
+	TraceDepth int
+}
+
+func (c *ChaseConfig) fill() {
+	if c.Steps == 0 {
+		c.Steps = 1000
+	}
+	if c.TraceDepth == 0 {
+		c.TraceDepth = 1024
+	}
+}
+
+// Chase is a built pointer-chase kernel.
+type Chase struct {
+	Config     ChaseConfig
+	KernelName string
+	Timers     []*primitives.PersistentTimer // CLCounter variant: one per read site
+	Timer      *kir.LibFunc                  // HDLCounter variant
+	IB         *core.IBuffer                 // trace buffer in instrumented variants
+}
+
+// BuildChase generates the pointer-chasing kernel: v = next[v] repeated
+// Steps times, with the configured timestamp instrumentation bracketing the
+// chase. Buffers: next (table), out (2: final value, measured cycles).
+func BuildChase(p *kir.Program, cfg ChaseConfig) (*Chase, error) {
+	cfg.fill()
+	ch := &Chase{Config: cfg, KernelName: "chase"}
+	var err error
+	if cfg.Kind != NoTimestamp {
+		ch.IB, err = core.Build(p, core.Config{
+			Name: "chase_ibuf", N: 1, Depth: cfg.TraceDepth, Func: core.Record,
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	switch cfg.Kind {
+	case CLCounter:
+		// one persistent kernel per channel — the configuration the paper
+		// was forced into (§3.1); two read sites need two channels
+		ch.Timers = primitives.AddPersistentTimerPerChannel(p, "chase_time_ch", 2)
+	case HDLCounter:
+		if ch.Timer = p.LibByName("get_time"); ch.Timer == nil {
+			ch.Timer = primitives.AddHDLTimer(p)
+		}
+	}
+
+	k := p.AddKernel("chase", kir.SingleTask)
+	next := k.AddGlobal("next", kir.I32)
+	out := k.AddGlobal("out", kir.I64)
+	b := k.NewBuilder()
+
+	var start kir.Val
+	switch cfg.Kind {
+	case CLCounter:
+		start = primitives.ReadTimestamp(b, ch.Timers[0].Chans[0])
+	case HDLCounter:
+		start = primitives.GetTime(b, ch.Timer, b.Ci32(0))
+	}
+	res := b.ForN("s", int64(cfg.Steps), []kir.Val{b.Ci32(0)}, func(lb *kir.Builder, s kir.Val, c []kir.Val) []kir.Val {
+		return []kir.Val{lb.Load(next, c[0])}
+	})
+	v := res[0]
+	switch cfg.Kind {
+	case CLCounter:
+		end := primitives.ReadTimestamp(b, ch.Timers[1].Chans[0])
+		monitor.TakeSnapshot(b, ch.IB, 0, end)
+		b.Store(out, b.Ci32(1), b.Sub(end, start))
+	case HDLCounter:
+		end := primitives.GetTime(b, ch.Timer, v)
+		monitor.TakeSnapshot(b, ch.IB, 0, end)
+		b.Store(out, b.Ci32(1), b.Sub(end, start))
+	default:
+		// keep the store-site count (and so LSU inventory) identical to the
+		// instrumented variants, so area deltas isolate the instrumentation
+		b.Store(out, b.Ci32(1), b.Ci64(0))
+	}
+	b.Store(out, b.Ci32(0), v)
+	return ch, nil
+}
+
+// BuildVecAdd generates the quickstart kernel z[i] = x[i] + y[i] as an
+// NDRange kernel over n work-items.
+func BuildVecAdd(p *kir.Program) string {
+	k := p.AddKernel("vecadd", kir.NDRange)
+	x := k.AddGlobal("x", kir.I32)
+	y := k.AddGlobal("y", kir.I32)
+	z := k.AddGlobal("z", kir.I32)
+	b := k.NewBuilder()
+	gid := b.GlobalID(0)
+	b.Store(z, gid, b.Add(b.Load(x, gid), b.Load(y, gid)))
+	return "vecadd"
+}
+
+// FIRConfig configures the streaming FIR filter workload: a classic FPGA
+// kernel whose shift register becomes a chain of loop-carried variables —
+// the deepest carried-forwarding pattern in the suite.
+type FIRConfig struct {
+	Taps int // filter length (default 8)
+	N    int // samples (default 256)
+	// StallMonitor brackets the sample load with snapshot sites 0/1.
+	StallMonitor bool
+	Depth        int // trace depth when instrumented (default 256)
+}
+
+func (c *FIRConfig) fill() {
+	if c.Taps == 0 {
+		c.Taps = 8
+	}
+	if c.N == 0 {
+		c.N = 256
+	}
+	if c.Depth == 0 {
+		c.Depth = 256
+	}
+}
+
+// FIR is a built FIR-filter kernel.
+type FIR struct {
+	Config     FIRConfig
+	KernelName string
+	SM         *core.IBuffer
+}
+
+// BuildFIR generates y[i] = sum_t coeff[t] * x[i-t] as a single-task loop
+// with a carried shift register. Buffers: x (N), coeff (Taps), y (N).
+func BuildFIR(p *kir.Program, cfg FIRConfig) (*FIR, error) {
+	cfg.fill()
+	f := &FIR{Config: cfg, KernelName: "fir"}
+	var err error
+	if cfg.StallMonitor {
+		f.SM, err = core.Build(p, core.Config{
+			Name: "fir_sm", N: 2, Depth: cfg.Depth, Func: core.StallMonitor,
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	k := p.AddKernel("fir", kir.SingleTask)
+	x := k.AddGlobal("x", kir.I32)
+	coeff := k.AddGlobal("coeff", kir.I32)
+	y := k.AddGlobal("y", kir.I32)
+	b := k.NewBuilder()
+
+	// preload the coefficients into registers (unrolled loop over a small
+	// constant range would also work; explicit loads keep the IR small)
+	cs := make([]kir.Val, cfg.Taps)
+	for t := 0; t < cfg.Taps; t++ {
+		cs[t] = b.Load(coeff, b.Ci32(int64(t)))
+	}
+
+	// shift register as carried variables, newest first
+	init := make([]kir.Val, cfg.Taps)
+	for t := range init {
+		init[t] = b.Ci32(0)
+	}
+	b.ForN("i", int64(cfg.N), init, func(lb *kir.Builder, i kir.Val, sh []kir.Val) []kir.Val {
+		if cfg.StallMonitor {
+			monitor.TakeSnapshot(lb, f.SM, 0, i)
+		}
+		sample := lb.Load(x, i)
+		if cfg.StallMonitor {
+			monitor.TakeSnapshot(lb, f.SM, 1, sample)
+		}
+		// shift: next[0] = sample, next[t] = sh[t-1]
+		next := make([]kir.Val, cfg.Taps)
+		next[0] = sample
+		for t := 1; t < cfg.Taps; t++ {
+			next[t] = sh[t-1]
+		}
+		// dot product of the (new) window with the coefficients
+		acc := lb.Mul(cs[0], sample)
+		for t := 1; t < cfg.Taps; t++ {
+			acc = lb.Add(acc, lb.Mul(cs[t], sh[t-1]))
+		}
+		lb.Store(y, i, acc)
+		return next
+	})
+	return f, nil
+}

@@ -1,0 +1,274 @@
+package workload_test
+
+import (
+	"testing"
+
+	"oclfpga/internal/device"
+	"oclfpga/internal/hls"
+	"oclfpga/internal/kir"
+	"oclfpga/internal/mem"
+	"oclfpga/internal/sim"
+	"oclfpga/internal/workload"
+)
+
+func compile(t *testing.T, p *kir.Program) *hls.Design {
+	t.Helper()
+	d, err := hls.Compile(p, device.StratixV(), hls.Options{})
+	if err != nil {
+		t.Fatalf("Compile: %v\n%s", err, p.Dump())
+	}
+	return d
+}
+
+func TestMatVecBothModesCorrect(t *testing.T) {
+	for _, mode := range []kir.Mode{kir.SingleTask, kir.NDRange} {
+		p := kir.NewProgram("mv")
+		mv := workload.BuildMatVec(p, workload.MatVecConfig{Mode: mode, N: 8, Num: 12})
+		d := compile(t, p)
+		m := sim.New(d, sim.Options{})
+		x := m.NewBuffer("x", kir.I32, 8*12)
+		y := m.NewBuffer("y", kir.I32, 12)
+		z := m.NewBuffer("z", kir.I32, 8)
+		for i := range x.Data {
+			x.Data[i] = int64(i%5 - 2)
+		}
+		for i := range y.Data {
+			y.Data[i] = int64(i%3 + 1)
+		}
+		args := sim.Args{"x": x, "y": y, "z": z}
+		var err error
+		if mode == kir.NDRange {
+			_, err = m.LaunchND(mv.KernelName, 8, args)
+		} else {
+			_, err = m.Launch(mv.KernelName, args)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Run(); err != nil {
+			t.Fatal(err)
+		}
+		for k := 0; k < 8; k++ {
+			want := int64(0)
+			for i := 0; i < 12; i++ {
+				want += x.Data[k*12+i] * y.Data[i]
+			}
+			if z.Data[k] != int64(int32(want)) {
+				t.Fatalf("%v: z[%d] = %d, want %d", mode, k, z.Data[k], want)
+			}
+		}
+	}
+}
+
+func TestMatVecInstrumentedStillCorrect(t *testing.T) {
+	p := kir.NewProgram("mv")
+	mv := workload.BuildMatVec(p, workload.MatVecConfig{Mode: kir.SingleTask, N: 4, Num: 20, Instrument: true})
+	if mv.Seq == nil || mv.Timer == nil {
+		t.Fatal("instrumentation handles missing")
+	}
+	d := compile(t, p)
+	m := sim.New(d, sim.Options{})
+	x := m.NewBuffer("x", kir.I32, 4*20)
+	y := m.NewBuffer("y", kir.I32, 20)
+	z := m.NewBuffer("z", kir.I32, 4)
+	i1 := m.NewBuffer("info1", kir.I64, mv.InfoSize)
+	i2 := m.NewBuffer("info2", kir.I32, mv.InfoSize)
+	i3 := m.NewBuffer("info3", kir.I32, mv.InfoSize)
+	for i := range x.Data {
+		x.Data[i] = 2
+	}
+	for i := range y.Data {
+		y.Data[i] = 3
+	}
+	if _, err := m.Launch(mv.KernelName, sim.Args{
+		"x": x, "y": y, "z": z, "info1": i1, "info2": i2, "info3": i3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 4; k++ {
+		if z.Data[k] != 120 {
+			t.Fatalf("z[%d] = %d, want 120", k, z.Data[k])
+		}
+	}
+	// 4 rows x capture 10 = 40 sequence numbers, consecutive from 1
+	for s := 1; s <= 40; s++ {
+		if i1.Data[s] == 0 {
+			t.Fatalf("seq %d not captured", s)
+		}
+	}
+	if i1.Data[41] != 0 {
+		t.Fatal("capture overran the expected window")
+	}
+}
+
+func TestMatMulVariantsCompile(t *testing.T) {
+	for _, v := range []struct {
+		sm, wp bool
+	}{{false, false}, {true, false}, {false, true}, {true, true}} {
+		p := kir.NewProgram("mm")
+		mm, err := workload.BuildMatMul(p, workload.MatMulConfig{
+			Size: 8, StallMonitor: v.sm, Watchpoint: v.wp, Depth: 64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if (mm.SM != nil) != v.sm || (mm.WP != nil) != v.wp {
+			t.Fatalf("instrumentation handles wrong for %+v", v)
+		}
+		compile(t, p)
+	}
+}
+
+func TestChaseVariants(t *testing.T) {
+	for _, kind := range []workload.TimestampKind{workload.NoTimestamp, workload.CLCounter, workload.HDLCounter} {
+		p := kir.NewProgram("chase")
+		ch, err := workload.BuildChase(p, workload.ChaseConfig{Steps: 64, Kind: kind})
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := compile(t, p)
+		m := sim.New(d, sim.Options{})
+		table := m.NewBuffer("next", kir.I32, 256)
+		out := m.NewBuffer("out", kir.I64, 2)
+		for i := range table.Data {
+			table.Data[i] = int64((i + 17) % 256)
+		}
+		u, err := m.Launch(ch.KernelName, sim.Args{"next": table, "out": out})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Run(); err != nil {
+			t.Fatal(err)
+		}
+		want := int64(0)
+		for i := 0; i < 64; i++ {
+			want = table.Data[want]
+		}
+		if out.Data[0] != want {
+			t.Fatalf("%v: chase = %d, want %d", kind, out.Data[0], want)
+		}
+		if kind != workload.NoTimestamp {
+			if out.Data[1] <= 0 || out.Data[1] > u.FinishedAt() {
+				t.Fatalf("%v: self-measured %d of %d cycles", kind, out.Data[1], u.FinishedAt())
+			}
+		}
+		// the chase load must be data-dependent -> pipelined LSU
+		var foundPipe bool
+		for _, site := range d.KernelUnits(ch.KernelName)[0].LSUs {
+			if !site.IsStore && site.Kind == mem.Pipelined {
+				foundPipe = true
+			}
+		}
+		if !foundPipe {
+			t.Fatalf("%v: chase load not compiled to a pipelined LSU", kind)
+		}
+	}
+}
+
+func TestTimestampKindStrings(t *testing.T) {
+	if workload.NoTimestamp.String() != "base" ||
+		workload.CLCounter.String() != "opencl-counter" ||
+		workload.HDLCounter.String() != "hdl-counter" {
+		t.Fatal("kind names wrong")
+	}
+}
+
+func TestSingleTaskFasterThanNDRangeOnSequentialData(t *testing.T) {
+	// the paper's Figure 2 performance observation: the single-task form's
+	// sequential x accesses coalesce; the NDRange form strides.
+	run := func(mode kir.Mode) int64 {
+		p := kir.NewProgram("mv")
+		mv := workload.BuildMatVec(p, workload.MatVecConfig{Mode: mode})
+		d := compile(t, p)
+		m := sim.New(d, sim.Options{})
+		x := m.NewBuffer("x", kir.I32, 50*100)
+		y := m.NewBuffer("y", kir.I32, 100)
+		z := m.NewBuffer("z", kir.I32, 50)
+		args := sim.Args{"x": x, "y": y, "z": z}
+		var u *sim.Unit
+		var err error
+		if mode == kir.NDRange {
+			u, err = m.LaunchND(mv.KernelName, 50, args)
+		} else {
+			u, err = m.Launch(mv.KernelName, args)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return u.FinishedAt()
+	}
+	st := run(kir.SingleTask)
+	nd := run(kir.NDRange)
+	if nd <= st {
+		t.Fatalf("NDRange (%d cycles) should be slower than single-task (%d) on this access pattern", nd, st)
+	}
+}
+
+func TestFIRFilterCorrect(t *testing.T) {
+	p := kir.NewProgram("fir")
+	f, err := workload.BuildFIR(p, workload.FIRConfig{Taps: 5, N: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := compile(t, p)
+	m := sim.New(d, sim.Options{})
+	bx := m.NewBuffer("x", kir.I32, 64)
+	bc := m.NewBuffer("coeff", kir.I32, 5)
+	by := m.NewBuffer("y", kir.I32, 64)
+	for i := range bx.Data {
+		bx.Data[i] = int64(i%9 - 4)
+	}
+	for i := range bc.Data {
+		bc.Data[i] = int64(i + 1)
+	}
+	u, err := m.Launch(f.KernelName, sim.Args{"x": bx, "coeff": bc, "y": by})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 64; i++ {
+		want := int64(0)
+		for tap := 0; tap < 5; tap++ {
+			if i-tap >= 0 {
+				want += bc.Data[tap] * bx.Data[i-tap]
+			}
+		}
+		if by.Data[i] != int64(int32(want)) {
+			t.Fatalf("y[%d] = %d, want %d", i, by.Data[i], want)
+		}
+	}
+	// a 5-deep shift register must still pipeline at II=1: the carried
+	// chain is pure passthrough plus one sample load outside the cycle
+	var loop *hls.XRegion
+	for _, xk := range d.KernelUnits(f.KernelName) {
+		xk.Root.WalkRegions(func(r *hls.XRegion) {
+			if r.IsLoop {
+				loop = r
+			}
+		})
+	}
+	if loop.II != 1 {
+		t.Fatalf("FIR loop II = %d, want 1 (shift registers are free)", loop.II)
+	}
+	if u.FinishedAt() > 64*6 {
+		t.Fatalf("FIR took %d cycles for 64 samples", u.FinishedAt())
+	}
+}
+
+func TestFIRWithStallMonitor(t *testing.T) {
+	p := kir.NewProgram("fir")
+	f, err := workload.BuildFIR(p, workload.FIRConfig{Taps: 4, N: 32, StallMonitor: true, Depth: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.SM == nil {
+		t.Fatal("stall monitor not attached")
+	}
+	compile(t, p)
+}

@@ -1,0 +1,267 @@
+// Package oclfpga is a library reproduction of "Developing Dynamic Profiling
+// and Debugging Support in OpenCL for FPGAs" (Verma et al., DAC 2017).
+//
+// It provides, entirely in Go with no external dependencies:
+//
+//   - a kernel IR and builder playing the role of OpenCL kernel source
+//     (single-task, NDRange, and autorun kernels, Altera-style channels,
+//     HDL library functions);
+//   - an offline compiler that pipelines kernels (ASAP scheduling with
+//     operation chaining, initiation-interval analysis, LSU selection,
+//     channel sizing) and estimates area/Fmax against device profiles of the
+//     paper's three platforms;
+//   - a cycle-accurate simulator of the synthesized design (lockstep
+//     pipeline stalls, channels, autorun kernels, banked DRAM);
+//   - the paper's profiling/debugging framework: timestamp and
+//     sequence-number primitives (§3), the ibuffer intelligent trace buffer
+//     (§4), pipeline stall monitors and smart watchpoints (§5), and the
+//     host interface kernel with a host-side controller;
+//   - the workloads and experiment harnesses that regenerate every table
+//     and figure in the paper's evaluation (see EXPERIMENTS.md).
+//
+// # Quick start
+//
+//	p := oclfpga.NewProgram("demo")
+//	ib, _ := oclfpga.BuildIBuffer(p, oclfpga.IBufferConfig{Depth: 256})
+//	ifc := oclfpga.BuildHostInterface(p, ib)
+//	// ... build a kernel with p.AddKernel and instrument it with
+//	// oclfpga.TakeSnapshot(...)
+//	design, _ := oclfpga.Compile(p, oclfpga.StratixV(), oclfpga.CompileOptions{})
+//	m := oclfpga.NewMachine(design, oclfpga.SimOptions{})
+//	ctl := oclfpga.NewController(m, ifc)
+//	_ = ctl.StartLinear(0)
+//	// ... launch kernels with m.Launch, then ctl.ReadTrace(0)
+package oclfpga
+
+import (
+	"oclfpga/internal/core"
+	"oclfpga/internal/device"
+	"oclfpga/internal/hls"
+	"oclfpga/internal/host"
+	"oclfpga/internal/kir"
+	"oclfpga/internal/mem"
+	"oclfpga/internal/monitor"
+	"oclfpga/internal/primitives"
+	"oclfpga/internal/sim"
+	"oclfpga/internal/trace"
+)
+
+// Kernel construction (see internal/kir for full documentation).
+type (
+	// Program is a whole OpenCL-for-FPGA design: kernels, channels, and HDL
+	// library functions.
+	Program = kir.Program
+	// Kernel is one kernel under construction.
+	Kernel = kir.Kernel
+	// Builder appends operations to a kernel body.
+	Builder = kir.Builder
+	// Val is an SSA value handle inside one kernel.
+	Val = kir.Val
+	// Type is a value/channel element type.
+	Type = kir.Type
+	// Mode is the kernel launch flavour (single-task, NDRange, autorun).
+	Mode = kir.Mode
+	// Chan is a channel declaration.
+	Chan = kir.Chan
+	// LibFunc is an HDL library function (e.g. get_time).
+	LibFunc = kir.LibFunc
+)
+
+// Element types and kernel modes.
+const (
+	I32 = kir.I32
+	I64 = kir.I64
+	U16 = kir.U16
+	U8  = kir.U8
+	B1  = kir.B1
+
+	SingleTask = kir.SingleTask
+	NDRange    = kir.NDRange
+	Autorun    = kir.Autorun
+)
+
+// NewProgram creates an empty design.
+func NewProgram(name string) *Program { return kir.NewProgram(name) }
+
+// Compilation.
+type (
+	// Design is a compiled program: scheduled datapaths, synthesized channel
+	// depths, the synthesis report, and the compiler log.
+	Design = hls.Design
+	// CompileOptions tune the compiler, including the §3.1 channel-depth
+	// optimization hazard.
+	CompileOptions = hls.Options
+	// Device is an FPGA platform profile.
+	Device = device.Device
+)
+
+// Compile lowers, schedules, and fits a program for a device.
+func Compile(p *Program, dev *Device, opts CompileOptions) (*Design, error) {
+	return hls.Compile(p, dev, opts)
+}
+
+// StratixV returns the paper's discrete Stratix V GX A7 platform profile.
+func StratixV() *Device { return device.StratixV() }
+
+// Arria10 returns the discrete Arria 10 GX 1150 platform profile.
+func Arria10() *Device { return device.Arria10() }
+
+// Arria10Integrated returns the Broadwell-EP integrated Arria 10 profile.
+func Arria10Integrated() *Device { return device.Arria10Integrated() }
+
+// Devices returns all three platforms of the paper's methodology (§2).
+func Devices() []*Device { return device.All() }
+
+// Simulation.
+type (
+	// Machine is a simulated board with a loaded design.
+	Machine = sim.Machine
+	// SimOptions configure the simulator (memory model, autorun skew).
+	SimOptions = sim.Options
+	// Args bind kernel arguments at launch.
+	Args = sim.Args
+	// Buffer is a global-memory allocation.
+	Buffer = mem.Buffer
+	// LaunchedKernel is a running or finished kernel activation.
+	LaunchedKernel = sim.Unit
+	// ProfileReport is the board-level counter snapshot (channel stalls,
+	// memory-site activity) — the coarse view vendor profiling provides,
+	// complementing the ibuffer's per-event traces.
+	ProfileReport = sim.ProfileReport
+	// VCDRecorder captures a SignalTap-style waveform of channel activity —
+	// the logic-analyzer view the paper's framework replaces with
+	// software-visible traces.
+	VCDRecorder = sim.VCDRecorder
+)
+
+// NewMachine loads a design and starts its autorun kernels.
+func NewMachine(d *Design, opts SimOptions) *Machine { return sim.New(d, opts) }
+
+// Profiling and debugging framework (the paper's contribution).
+type (
+	// IBuffer is a built intelligent-trace-buffer bank (§4).
+	IBuffer = core.IBuffer
+	// IBufferConfig configures an ibuffer bank.
+	IBufferConfig = core.Config
+	// IBufferFunction selects the ibuffer logic-function block.
+	IBufferFunction = core.Function
+	// HostInterface is the generated Listing-10 host agent kernel.
+	HostInterface = host.Interface
+	// Controller drives an ibuffer bank from the host.
+	Controller = host.Controller
+	// PersistentTimer is a Listing-1 free-running counter kernel.
+	PersistentTimer = primitives.PersistentTimer
+	// Sequencer is a Listing-5 sequence-number server.
+	Sequencer = primitives.Sequencer
+)
+
+// IBuffer logic functions (§4–§5).
+const (
+	RecordFunc      = core.Record
+	StallMonitor    = core.StallMonitor
+	LatencyPair     = core.LatencyPair
+	Watchpoint      = core.Watchpoint
+	BoundCheck      = core.BoundCheck
+	InvarianceCheck = core.InvarianceCheck
+	HistogramFunc   = core.Histogram
+)
+
+// IBuffer commands, written via Controller.Send.
+const (
+	CmdReset        = core.CmdReset
+	CmdSampleLinear = core.CmdSampleLinear
+	CmdSampleCyclic = core.CmdSampleCyclic
+	CmdStop         = core.CmdStop
+	CmdRead         = core.CmdRead
+)
+
+// BuildIBuffer generates an ibuffer bank (channels + replicated autorun
+// kernel) into the program.
+func BuildIBuffer(p *Program, cfg IBufferConfig) (*IBuffer, error) { return core.Build(p, cfg) }
+
+// BuildHDLIBuffer generates an interface-compatible ibuffer bank whose logic
+// block is an opaque HDL module instead of OpenCL-coded logic — the ablation
+// partner for the paper's "entirely coded in OpenCL" claim.
+func BuildHDLIBuffer(p *Program, cfg IBufferConfig) (*IBuffer, error) { return core.BuildHDL(p, cfg) }
+
+// BuildHostInterface generates the read_host kernel for an ibuffer bank.
+func BuildHostInterface(p *Program, ib *IBuffer) *HostInterface { return host.BuildInterface(p, ib) }
+
+// NewController wires a machine to an ibuffer bank's host interface.
+func NewController(m *Machine, ifc *HostInterface) *Controller { return host.NewController(m, ifc) }
+
+// AddHDLTimer registers the get_time HDL library function (Listing 3).
+func AddHDLTimer(p *Program) *LibFunc { return primitives.AddHDLTimer(p) }
+
+// AddPersistentTimer builds a Listing-1 persistent counter kernel driving n
+// depth-0 channels.
+func AddPersistentTimer(p *Program, base string, n int) *PersistentTimer {
+	return primitives.AddPersistentTimer(p, base, n)
+}
+
+// AddPersistentTimerPerChannel builds n independent counter kernels — the
+// §3.1 configuration subject to launch skew.
+func AddPersistentTimerPerChannel(p *Program, base string, n int) []*PersistentTimer {
+	return primitives.AddPersistentTimerPerChannel(p, base, n)
+}
+
+// AddSequencer builds a Listing-5 sequence-number server.
+func AddSequencer(p *Program, chName string) *Sequencer { return primitives.AddSequencer(p, chName) }
+
+// GetTime emits a pinned HDL timestamp read (Listing 4); pass a value the
+// event produces as dep.
+func GetTime(b *Builder, timer *LibFunc, dep Val) Val { return primitives.GetTime(b, timer, dep) }
+
+// ReadTimestamp emits a Listing-2 persistent-counter read site.
+func ReadTimestamp(b *Builder, ch *Chan) Val { return primitives.ReadTimestamp(b, ch) }
+
+// NextSeq emits a sequence-number read site (Listings 6–7).
+func NextSeq(b *Builder, s *Sequencer) Val { return primitives.NextSeq(b, s) }
+
+// TakeSnapshot emits a Listing-9 take_snapshot instrumentation site.
+func TakeSnapshot(b *Builder, ib *IBuffer, id int, in Val) { monitor.TakeSnapshot(b, ib, id, in) }
+
+// AddWatch emits a Listing-11 add_watch site configuring the watched address.
+func AddWatch(b *Builder, ib *IBuffer, id int, addr Val) { monitor.AddWatch(b, ib, id, addr) }
+
+// MonitorAddress emits a Listing-11 monitor_address site streaming a memory
+// operation (address + value tag) through the ibuffer.
+func MonitorAddress(b *Builder, ib *IBuffer, id int, addr, tag Val) {
+	monitor.MonitorAddress(b, ib, id, addr, tag)
+}
+
+// Assert emits an in-circuit assertion: when cond is false, the code is
+// recorded (with a timestamp) in the ibuffer instance. The check never
+// stalls the design under test.
+func Assert(b *Builder, ib *IBuffer, id int, cond Val, code int64) {
+	monitor.Assert(b, ib, id, cond, code)
+}
+
+// Trace analysis.
+type (
+	// Record is one decoded trace entry.
+	Record = trace.Record
+	// WatchEvent is one decoded watchpoint record.
+	WatchEvent = trace.WatchEvent
+	// LatencyStats summarizes a latency series.
+	LatencyStats = trace.Stats
+	// Histogram is a binned latency view.
+	Histogram = trace.Histogram
+)
+
+// ValidRecords filters never-written trace entries.
+func ValidRecords(recs []Record) []Record { return trace.Valid(recs) }
+
+// PairLatencies pairs two snapshot-site traces into per-event latencies.
+func PairLatencies(a, b []Record) []int64 { return trace.Latencies(a, b) }
+
+// SummarizeLatencies computes latency statistics.
+func SummarizeLatencies(lat []int64) LatencyStats { return trace.Summarize(lat) }
+
+// NewHistogram bins a latency series for display.
+func NewHistogram(values []int64, width int64, nbins int) Histogram {
+	return trace.NewHistogram(values, width, nbins)
+}
+
+// DecodeWatch unpacks watchpoint-family records.
+func DecodeWatch(recs []Record) []WatchEvent { return trace.DecodeWatch(recs, core.TagBits) }

@@ -1,0 +1,136 @@
+package oclfpga_test
+
+import (
+	"testing"
+
+	"oclfpga"
+)
+
+// TestPublicAPIEndToEnd drives the whole documented flow through the facade:
+// build, instrument, compile, simulate, control, read back.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	p := oclfpga.NewProgram("api")
+	ib, err := oclfpga.BuildIBuffer(p, oclfpga.IBufferConfig{Depth: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ifc := oclfpga.BuildHostInterface(p, ib)
+	timer := oclfpga.AddHDLTimer(p)
+
+	k := p.AddKernel("dut", oclfpga.SingleTask)
+	x := k.AddGlobal("x", oclfpga.I32)
+	z := k.AddGlobal("z", oclfpga.I64)
+	b := k.NewBuilder()
+	start := oclfpga.GetTime(b, timer, b.Ci32(0))
+	sum := b.ForN("i", 16, []oclfpga.Val{b.Ci32(0)}, func(lb *oclfpga.Builder, i oclfpga.Val, c []oclfpga.Val) []oclfpga.Val {
+		v := lb.Add(c[0], lb.Load(x, i))
+		oclfpga.TakeSnapshot(lb, ib, 0, v)
+		return []oclfpga.Val{v}
+	})
+	end := oclfpga.GetTime(b, timer, sum[0])
+	b.Store(z, b.Ci32(0), sum[0])
+	b.Store(z, b.Ci32(1), b.Sub(end, start))
+
+	d, err := oclfpga.Compile(p, oclfpga.StratixV(), oclfpga.CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Area.FmaxMHz <= 0 {
+		t.Fatal("no Fmax estimate")
+	}
+	m := oclfpga.NewMachine(d, oclfpga.SimOptions{})
+	ctl := oclfpga.NewController(m, ifc)
+	bx := m.NewBuffer("x", oclfpga.I32, 16)
+	bz := m.NewBuffer("z", oclfpga.I64, 2)
+	for i := range bx.Data {
+		bx.Data[i] = int64(i)
+	}
+	if err := ctl.StartLinear(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Launch("dut", oclfpga.Args{"x": bx, "z": bz}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if bz.Data[0] != 120 {
+		t.Fatalf("sum = %d, want 120", bz.Data[0])
+	}
+	if bz.Data[1] <= 0 {
+		t.Fatalf("measured latency = %d", bz.Data[1])
+	}
+	if err := ctl.Stop(0); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ctl.ReadTrace(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	valid := oclfpga.ValidRecords(recs)
+	if len(valid) != 16 {
+		t.Fatalf("captured %d snapshots, want 16", len(valid))
+	}
+	// running sums 0,1,3,6,...
+	want := int64(0)
+	for i, r := range valid {
+		want += int64(i)
+		if r.Data != want {
+			t.Fatalf("snapshot %d = %d, want %d", i, r.Data, want)
+		}
+	}
+}
+
+func TestDeviceCatalogExported(t *testing.T) {
+	devs := oclfpga.Devices()
+	if len(devs) != 3 {
+		t.Fatalf("Devices() = %d entries", len(devs))
+	}
+	if oclfpga.StratixV().Name == "" || oclfpga.Arria10().Name == "" || oclfpga.Arria10Integrated().Name == "" {
+		t.Fatal("device constructors broken")
+	}
+}
+
+func TestTraceHelpersExported(t *testing.T) {
+	a := []oclfpga.Record{{T: 10, Data: 1}, {T: 20, Data: 2}}
+	bb := []oclfpga.Record{{T: 13, Data: 1}, {T: 26, Data: 2}}
+	lats := oclfpga.PairLatencies(a, bb)
+	if len(lats) != 2 || lats[0] != 3 || lats[1] != 6 {
+		t.Fatalf("PairLatencies = %v", lats)
+	}
+	st := oclfpga.SummarizeLatencies(lats)
+	if st.N != 2 || st.Min != 3 || st.Max != 6 {
+		t.Fatalf("stats = %+v", st)
+	}
+	h := oclfpga.NewHistogram(lats, 2, 4)
+	if len(h.Counts) != 4 {
+		t.Fatalf("histogram = %+v", h)
+	}
+	evs := oclfpga.DecodeWatch([]oclfpga.Record{{T: 1, Data: 3<<16 | 9}})
+	if len(evs) != 1 || evs[0].Addr != 3 || evs[0].Tag != 9 {
+		t.Fatalf("DecodeWatch = %+v", evs)
+	}
+}
+
+// TestWatchpointFunctionsExported exercises the watch-family constants
+// through the facade.
+func TestWatchpointFunctionsExported(t *testing.T) {
+	p := oclfpga.NewProgram("w")
+	for i, f := range []oclfpga.IBufferFunction{
+		oclfpga.RecordFunc, oclfpga.StallMonitor, oclfpga.LatencyPair,
+		oclfpga.Watchpoint, oclfpga.InvarianceCheck, oclfpga.HistogramFunc,
+	} {
+		cfg := oclfpga.IBufferConfig{Name: string(rune('a' + i)), Depth: 8, Func: f}
+		if _, err := oclfpga.BuildIBuffer(p, cfg); err != nil {
+			t.Fatalf("BuildIBuffer(%v): %v", f, err)
+		}
+	}
+	if _, err := oclfpga.BuildIBuffer(p, oclfpga.IBufferConfig{
+		Name: "bchk", Depth: 8, Func: oclfpga.BoundCheck, BoundLo: 0, BoundHi: 4,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
