@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: build test test-short verify vet fmt
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# skips the deep difftest soaks (hundreds of random programs / fault plans)
+test-short:
+	$(GO) test -short ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -l -w .
+
+verify:
+	./scripts/verify.sh

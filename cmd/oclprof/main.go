@@ -5,15 +5,18 @@
 //	go run ./cmd/oclprof -workload matvec-st -device s5
 //	go run ./cmd/oclprof -workload matmul -stallmon -trace
 //	go run ./cmd/oclprof -workload chase -timestamps hdl
+//	go run ./cmd/oclprof -workload chanstall -inject freeze-read:pipe@500 -diagnose
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 
 	"oclfpga/internal/device"
+	"oclfpga/internal/fault"
 	"oclfpga/internal/hls"
 	"oclfpga/internal/host"
 	"oclfpga/internal/kir"
@@ -23,7 +26,7 @@ import (
 )
 
 var (
-	flagWorkload = flag.String("workload", "matvec-st", "matvec-st | matvec-nd | matmul | chase | vecadd | fir")
+	flagWorkload = flag.String("workload", "matvec-st", "matvec-st | matvec-nd | matmul | chase | vecadd | fir | chanstall")
 	flagDevice   = flag.String("device", "s5", "s5 | a10 | a10i")
 	flagStallMon = flag.Bool("stallmon", false, "attach a stall monitor (matmul)")
 	flagWatch    = flag.Bool("watch", false, "attach a smart watchpoint (matmul)")
@@ -35,7 +38,48 @@ var (
 	flagProfile  = flag.Bool("profile", false, "print board-level channel/memory counters after the run")
 	flagVCD      = flag.String("vcd", "", "write a SignalTap-style channel waveform (VCD) to this file")
 	flagSched    = flag.Bool("schedule", false, "print the scheduled-datapath report (the vendor report analogue)")
+	flagInject   = flag.String("inject", "", "inject faults: comma-separated kind[:target]@cycle[+duration][=value] specs")
+	flagDiagnose = flag.Bool("diagnose", false, "on a hang, print the structured deadlock report instead of a bare error")
+	flagStall    = flag.Int64("stalllimit", 0, "cycles without progress before diagnosing a hang (0 = default)")
 )
+
+// must unwraps a (value, error) pair, aborting the tool on error — the
+// command-line analogue of the library's error returns.
+func must[T any](v T, err error) T {
+	if err != nil {
+		log.Fatal(err)
+	}
+	return v
+}
+
+// simOpts builds the simulator options shared by every workload, parsing the
+// -inject fault plan if given.
+func simOpts() sim.Options {
+	opts := sim.Options{StallLimit: *flagStall}
+	if *flagInject != "" {
+		plan, err := fault.ParseSpecs(*flagInject)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts.Fault = plan
+	}
+	return opts
+}
+
+// checkRun handles the outcome of Machine.Run: with -diagnose, a deadlock is
+// reported as the structured hang diagnosis the paper's debugging flow calls
+// for; otherwise any error aborts.
+func checkRun(err error) {
+	if err == nil {
+		return
+	}
+	var de *sim.DeadlockError
+	if *flagDiagnose && errors.As(err, &de) {
+		fmt.Print(de.Report.String())
+		os.Exit(1)
+	}
+	log.Fatal(err)
+}
 
 func pickDevice() *device.Device {
 	switch *flagDevice {
@@ -66,6 +110,8 @@ func main() {
 		runVecAdd(dev, opts)
 	case "fir":
 		runFIR(dev, opts)
+	case "chanstall":
+		runChanStall(dev, opts)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *flagWorkload)
 		flag.Usage()
@@ -102,20 +148,20 @@ func runMatVec(dev *device.Device, opts hls.Options) {
 	p := kir.NewProgram(*flagWorkload)
 	mv := workload.BuildMatVec(p, workload.MatVecConfig{Mode: mode, Instrument: *flagInstr})
 	d := compileAndReport(p, dev, opts)
-	m := sim.New(d, sim.Options{})
+	m := sim.New(d, simOpts())
 	var vcd *sim.VCDRecorder
 	if *flagVCD != "" {
 		vcd = m.NewVCD()
 	}
 	cfg := mv.Config
-	x := m.NewBuffer("x", kir.I32, cfg.N*cfg.Num)
-	y := m.NewBuffer("y", kir.I32, cfg.Num)
-	z := m.NewBuffer("z", kir.I32, cfg.N)
+	x := must(m.NewBuffer("x", kir.I32, cfg.N*cfg.Num))
+	y := must(m.NewBuffer("y", kir.I32, cfg.Num))
+	z := must(m.NewBuffer("z", kir.I32, cfg.N))
 	args := sim.Args{"x": x, "y": y, "z": z}
 	if *flagInstr {
-		args["info1"] = m.NewBuffer("info1", kir.I64, mv.InfoSize)
-		args["info2"] = m.NewBuffer("info2", kir.I32, mv.InfoSize)
-		args["info3"] = m.NewBuffer("info3", kir.I32, mv.InfoSize)
+		args["info1"] = must(m.NewBuffer("info1", kir.I64, mv.InfoSize))
+		args["info2"] = must(m.NewBuffer("info2", kir.I32, mv.InfoSize))
+		args["info3"] = must(m.NewBuffer("info3", kir.I32, mv.InfoSize))
 	}
 	for i := range x.Data {
 		x.Data[i] = int64(i % 7)
@@ -133,9 +179,7 @@ func runMatVec(dev *device.Device, opts hls.Options) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := m.Run(); err != nil {
-		log.Fatal(err)
-	}
+	checkRun(m.Run())
 	fmt.Printf("%s finished in %d cycles (%.2f us at Fmax)\n",
 		mv.KernelName, u.FinishedAt(), float64(u.FinishedAt())/d.Area.FmaxMHz)
 	if *flagProfile {
@@ -184,17 +228,17 @@ func runMatMul(dev *device.Device, opts hls.Options) {
 		wpIfc = host.BuildInterface(p, mm.WP)
 	}
 	d := compileAndReport(p, dev, opts)
-	m := sim.New(d, sim.Options{})
-	da := m.NewBuffer("data_a", kir.I32, n*n)
-	db := m.NewBuffer("data_b", kir.I32, n*n)
-	dc := m.NewBuffer("data_c", kir.I32, n*n)
+	m := sim.New(d, simOpts())
+	da := must(m.NewBuffer("data_a", kir.I32, n*n))
+	db := must(m.NewBuffer("data_b", kir.I32, n*n))
+	dc := must(m.NewBuffer("data_c", kir.I32, n*n))
 	for i := range da.Data {
 		da.Data[i] = int64(i % 13)
 		db.Data[i] = int64(i % 9)
 	}
 	var smCtl, wpCtl *host.Controller
 	if smIfc != nil {
-		smCtl = host.NewController(m, smIfc)
+		smCtl = must(host.NewController(m, smIfc))
 		for id := 0; id < 2; id++ {
 			if err := smCtl.StartLinear(id); err != nil {
 				log.Fatal(err)
@@ -202,7 +246,7 @@ func runMatMul(dev *device.Device, opts hls.Options) {
 		}
 	}
 	if wpIfc != nil {
-		wpCtl = host.NewController(m, wpIfc)
+		wpCtl = must(host.NewController(m, wpIfc))
 		if err := wpCtl.StartLinear(0); err != nil {
 			log.Fatal(err)
 		}
@@ -211,9 +255,7 @@ func runMatMul(dev *device.Device, opts hls.Options) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := m.Run(); err != nil {
-		log.Fatal(err)
-	}
+	checkRun(m.Run())
 	fmt.Printf("matmul %dx%d finished in %d cycles\n", n, n, u.FinishedAt())
 	if *flagProfile {
 		fmt.Println(m.Profile(u))
@@ -263,9 +305,9 @@ func runChase(dev *device.Device, opts hls.Options) {
 		log.Fatal(err)
 	}
 	d := compileAndReport(p, dev, opts)
-	m := sim.New(d, sim.Options{})
-	table := m.NewBuffer("next", kir.I32, 1<<14)
-	out := m.NewBuffer("out", kir.I64, 2)
+	m := sim.New(d, simOpts())
+	table := must(m.NewBuffer("next", kir.I32, 1<<14))
+	out := must(m.NewBuffer("out", kir.I64, 2))
 	for i := range table.Data {
 		table.Data[i] = int64((i*1103 + 331) % len(table.Data))
 	}
@@ -273,9 +315,7 @@ func runChase(dev *device.Device, opts hls.Options) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := m.Run(); err != nil {
-		log.Fatal(err)
-	}
+	checkRun(m.Run())
 	fmt.Printf("chase finished in %d cycles; final value %d\n", u.FinishedAt(), out.Data[0])
 	if *flagProfile {
 		fmt.Println(m.Profile(u))
@@ -289,11 +329,11 @@ func runVecAdd(dev *device.Device, opts hls.Options) {
 	p := kir.NewProgram("vecadd")
 	name := workload.BuildVecAdd(p)
 	d := compileAndReport(p, dev, opts)
-	m := sim.New(d, sim.Options{})
+	m := sim.New(d, simOpts())
 	const n = 1024
-	x := m.NewBuffer("x", kir.I32, n)
-	y := m.NewBuffer("y", kir.I32, n)
-	z := m.NewBuffer("z", kir.I32, n)
+	x := must(m.NewBuffer("x", kir.I32, n))
+	y := must(m.NewBuffer("y", kir.I32, n))
+	z := must(m.NewBuffer("z", kir.I32, n))
 	for i := 0; i < n; i++ {
 		x.Data[i], y.Data[i] = int64(i), int64(2*i)
 	}
@@ -301,9 +341,7 @@ func runVecAdd(dev *device.Device, opts hls.Options) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := m.Run(); err != nil {
-		log.Fatal(err)
-	}
+	checkRun(m.Run())
 	fmt.Printf("vecadd over %d work-items in %d cycles; z[10]=%d\n", n, u.FinishedAt(), z.Data[10])
 }
 
@@ -318,10 +356,10 @@ func runFIR(dev *device.Device, opts hls.Options) {
 		smIfc = host.BuildInterface(p, f.SM)
 	}
 	d := compileAndReport(p, dev, opts)
-	m := sim.New(d, sim.Options{})
-	bx := m.NewBuffer("x", kir.I32, 512)
-	bc := m.NewBuffer("coeff", kir.I32, 8)
-	by := m.NewBuffer("y", kir.I32, 512)
+	m := sim.New(d, simOpts())
+	bx := must(m.NewBuffer("x", kir.I32, 512))
+	bc := must(m.NewBuffer("coeff", kir.I32, 8))
+	by := must(m.NewBuffer("y", kir.I32, 512))
 	for i := range bx.Data {
 		bx.Data[i] = int64(i%33 - 16)
 	}
@@ -330,7 +368,7 @@ func runFIR(dev *device.Device, opts hls.Options) {
 	}
 	var ctl *host.Controller
 	if smIfc != nil {
-		ctl = host.NewController(m, smIfc)
+		ctl = must(host.NewController(m, smIfc))
 		for id := 0; id < 2; id++ {
 			if err := ctl.StartLinear(id); err != nil {
 				log.Fatal(err)
@@ -341,9 +379,7 @@ func runFIR(dev *device.Device, opts hls.Options) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := m.Run(); err != nil {
-		log.Fatal(err)
-	}
+	checkRun(m.Run())
 	fmt.Printf("fir over %d samples in %d cycles; y[8]=%d\n", 512, u.FinishedAt(), by.Data[8])
 	if *flagProfile {
 		fmt.Println(m.Profile(u))
@@ -360,5 +396,64 @@ func runFIR(dev *device.Device, opts hls.Options) {
 		st := trace.Summarize(lats)
 		fmt.Printf("sample-load latency: min %d / median %d / max %d over %d samples\n",
 			st.Min, st.P50, st.Max, st.N)
+	}
+}
+
+// runChanStall builds the §5.1 producer/consumer pair (the E9 experiment's
+// program) as a fault-injection playground: a fast producer feeds a slow
+// consumer through a depth-4 channel named "pipe". With -inject, faults are
+// applied to the live fabric; with -diagnose, a resulting hang prints the
+// structured deadlock report instead of an opaque error.
+//
+//	go run ./cmd/oclprof -workload chanstall -inject freeze-read:pipe@500 -diagnose
+func runChanStall(dev *device.Device, opts hls.Options) {
+	const n = 256
+	p := kir.NewProgram("chanstall")
+	pipe := p.AddChan("pipe", 4, kir.I32)
+
+	prod := p.AddKernel("producer", kir.SingleTask)
+	src := prod.AddGlobal("src", kir.I32)
+	pb := prod.NewBuilder()
+	pb.ForN("i", int64(n), nil, func(lb *kir.Builder, i kir.Val, _ []kir.Val) []kir.Val {
+		lb.ChanWrite(pipe, lb.Load(src, i))
+		return nil
+	})
+
+	cons := p.AddKernel("consumer", kir.SingleTask)
+	dst := cons.AddGlobal("dst", kir.I32)
+	cb := cons.NewBuilder()
+	cb.ForN("i", int64(n), nil, func(lb *kir.Builder, i kir.Val, _ []kir.Val) []kir.Val {
+		v := lb.ChanRead(pipe)
+		slow := lb.ForN("j", 2, []kir.Val{v}, func(jb *kir.Builder, j kir.Val, c []kir.Val) []kir.Val {
+			return []kir.Val{jb.Div(jb.Add(c[0], jb.Ci32(3)), jb.Ci32(1))}
+		})
+		lb.Store(dst, i, slow[0])
+		return nil
+	})
+
+	d := compileAndReport(p, dev, opts)
+	so := simOpts()
+	if so.StallLimit == 0 {
+		so.StallLimit = 2000 // diagnose injected hangs promptly
+	}
+	m := sim.New(d, so)
+	bs := must(m.NewBuffer("src", kir.I32, n))
+	bd := must(m.NewBuffer("dst", kir.I32, n))
+	for i := range bs.Data {
+		bs.Data[i] = int64(i + 1)
+	}
+	pu, err := m.Launch("producer", sim.Args{"src": bs})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cu, err := m.Launch("consumer", sim.Args{"dst": bd})
+	if err != nil {
+		log.Fatal(err)
+	}
+	checkRun(m.Run())
+	fmt.Printf("producer finished at cycle %d, consumer at cycle %d; dst[%d]=%d\n",
+		pu.FinishedAt(), cu.FinishedAt(), n-1, bd.Data[n-1])
+	if *flagProfile {
+		fmt.Println(m.Profile(pu, cu))
 	}
 }

@@ -31,9 +31,9 @@ func Example() {
 		log.Fatal(err)
 	}
 	m := oclfpga.NewMachine(d, oclfpga.SimOptions{})
-	bx := m.NewBuffer("x", oclfpga.I32, 8)
-	by := m.NewBuffer("y", oclfpga.I32, 8)
-	bz := m.NewBuffer("z", oclfpga.I64, 2)
+	bx := must(m.NewBuffer("x", oclfpga.I32, 8))
+	by := must(m.NewBuffer("y", oclfpga.I32, 8))
+	bz := must(m.NewBuffer("z", oclfpga.I64, 2))
 	for i := 0; i < 8; i++ {
 		bx.Data[i], by.Data[i] = int64(i), int64(i)
 	}
@@ -71,8 +71,8 @@ func ExampleController() {
 		log.Fatal(err)
 	}
 	m := oclfpga.NewMachine(d, oclfpga.SimOptions{})
-	ctl := oclfpga.NewController(m, ifc)
-	bz := m.NewBuffer("z", oclfpga.I64, 1)
+	ctl := must(oclfpga.NewController(m, ifc))
+	bz := must(m.NewBuffer("z", oclfpga.I64, 1))
 
 	if err := ctl.StartLinear(0); err != nil {
 		log.Fatal(err)
@@ -124,8 +124,8 @@ func ExampleMonitorAddress() {
 		log.Fatal(err)
 	}
 	m := oclfpga.NewMachine(d, oclfpga.SimOptions{})
-	ctl := oclfpga.NewController(m, ifc)
-	bd := m.NewBuffer("data", oclfpga.I32, 8)
+	ctl := must(oclfpga.NewController(m, ifc))
+	bd := must(m.NewBuffer("data", oclfpga.I32, 8))
 
 	if err := ctl.StartLinear(0); err != nil {
 		log.Fatal(err)

@@ -67,10 +67,10 @@ func main() {
 	}
 	m := oclfpga.NewMachine(d, oclfpga.SimOptions{})
 	vcd := m.NewVCD("pipe")
-	ctl := oclfpga.NewController(m, ifc)
+	ctl := must(oclfpga.NewController(m, ifc))
 
-	bs := m.NewBuffer("src", oclfpga.I32, n)
-	bd := m.NewBuffer("dst", oclfpga.I32, n)
+	bs := must(m.NewBuffer("src", oclfpga.I32, n))
+	bd := must(m.NewBuffer("dst", oclfpga.I32, n))
 	for i := range bs.Data {
 		bs.Data[i] = int64(i + 1)
 	}
@@ -124,4 +124,12 @@ func main() {
 	}
 	fmt.Printf("== view 3: SignalTap-style waveform ==\n%s (%d value changes; open in GTKWave)\n",
 		f.Name(), vcd.Changes())
+}
+
+// must unwraps (value, error), aborting the example on error.
+func must[T any](v T, err error) T {
+	if err != nil {
+		log.Fatal(err)
+	}
+	return v
 }

@@ -73,12 +73,12 @@ func run(mode oclfpga.Mode) {
 	}
 	m := oclfpga.NewMachine(d, oclfpga.SimOptions{})
 	infoSize := rows*capN + 2
-	x := m.NewBuffer("x", oclfpga.I32, rows*cols)
-	y := m.NewBuffer("y", oclfpga.I32, cols)
-	z := m.NewBuffer("z", oclfpga.I32, rows)
-	i1 := m.NewBuffer("info1", oclfpga.I64, infoSize)
-	i2 := m.NewBuffer("info2", oclfpga.I32, infoSize)
-	i3 := m.NewBuffer("info3", oclfpga.I32, infoSize)
+	x := must(m.NewBuffer("x", oclfpga.I32, rows*cols))
+	y := must(m.NewBuffer("y", oclfpga.I32, cols))
+	z := must(m.NewBuffer("z", oclfpga.I32, rows))
+	i1 := must(m.NewBuffer("info1", oclfpga.I64, infoSize))
+	i2 := must(m.NewBuffer("info2", oclfpga.I32, infoSize))
+	i3 := must(m.NewBuffer("info3", oclfpga.I32, infoSize))
 	for i := range x.Data {
 		x.Data[i] = int64(i % 7)
 	}
@@ -115,4 +115,12 @@ func main() {
 	run(oclfpga.NDRange)
 	fmt.Println("\nThe different orders imply x[0],x[1],x[2],… vs x[0],x[100],x[200],…")
 	fmt.Println("access patterns — and hence the different execution times above.")
+}
+
+// must unwraps (value, error), aborting the example on error.
+func must[T any](v T, err error) T {
+	if err != nil {
+		log.Fatal(err)
+	}
+	return v
 }

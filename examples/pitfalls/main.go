@@ -49,8 +49,8 @@ func measure(p *oclfpga.Program, opts oclfpga.CompileOptions, skew func(string, 
 		fmt.Println("  [aoc] " + l)
 	}
 	m := oclfpga.NewMachine(d, oclfpga.SimOptions{AutorunSkew: skew})
-	x := m.NewBuffer("x", oclfpga.I32, 100)
-	z := m.NewBuffer("z", oclfpga.I64, 1)
+	x := must(m.NewBuffer("x", oclfpga.I32, 100))
+	z := must(m.NewBuffer("z", oclfpga.I64, 1))
 	for i := range x.Data {
 		x.Data[i] = 1
 	}
@@ -86,4 +86,12 @@ func main() {
 
 	fmt.Println("The HDL get_time pattern (see examples/quickstart) has neither hazard:")
 	fmt.Println("one Verilog counter, no channels, and the command argument pins the read site.")
+}
+
+// must unwraps (value, error), aborting the example on error.
+func must[T any](v T, err error) T {
+	if err != nil {
+		log.Fatal(err)
+	}
+	return v
 }

@@ -60,12 +60,12 @@ func main() {
 
 	m := oclfpga.NewMachine(design, oclfpga.SimOptions{})
 	const n = 256
-	bx := m.NewBuffer("x", oclfpga.I32, n)
-	by := m.NewBuffer("y", oclfpga.I32, n)
-	bz := m.NewBuffer("z", oclfpga.I32, n)
-	ba := m.NewBuffer("a", oclfpga.I32, n)
-	bb := m.NewBuffer("b", oclfpga.I32, n)
-	br := m.NewBuffer("result", oclfpga.I64, 2)
+	bx := must(m.NewBuffer("x", oclfpga.I32, n))
+	by := must(m.NewBuffer("y", oclfpga.I32, n))
+	bz := must(m.NewBuffer("z", oclfpga.I32, n))
+	ba := must(m.NewBuffer("a", oclfpga.I32, n))
+	bb := must(m.NewBuffer("b", oclfpga.I32, n))
+	br := must(m.NewBuffer("result", oclfpga.I64, 2))
 	for i := 0; i < n; i++ {
 		bx.Data[i], by.Data[i] = int64(i), int64(n-i)
 		ba.Data[i], bb.Data[i] = int64(i%10), int64(i%7)
@@ -86,4 +86,12 @@ func main() {
 	fmt.Printf("dot:    result=%d, loop latency measured on-chip: %d cycles\n", br.Data[0], br.Data[1])
 	fmt.Printf("dot kernel wall time: %d cycles at %.1f MHz = %.2f us\n",
 		u.FinishedAt(), design.Area.FmaxMHz, float64(u.FinishedAt())/design.Area.FmaxMHz)
+}
+
+// must unwraps (value, error), aborting the example on error.
+func must[T any](v T, err error) T {
+	if err != nil {
+		log.Fatal(err)
+	}
+	return v
 }

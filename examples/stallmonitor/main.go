@@ -56,11 +56,11 @@ func main() {
 		log.Fatal(err)
 	}
 	m := oclfpga.NewMachine(d, oclfpga.SimOptions{})
-	ctl := oclfpga.NewController(m, ifc)
+	ctl := must(oclfpga.NewController(m, ifc))
 
-	ba := m.NewBuffer("data_a", oclfpga.I32, size*size)
-	bb := m.NewBuffer("data_b", oclfpga.I32, size*size)
-	bc := m.NewBuffer("data_c", oclfpga.I32, size*size)
+	ba := must(m.NewBuffer("data_a", oclfpga.I32, size*size))
+	bb := must(m.NewBuffer("data_b", oclfpga.I32, size*size))
+	bc := must(m.NewBuffer("data_c", oclfpga.I32, size*size))
 	for i := range ba.Data {
 		ba.Data[i] = int64(i % 13)
 		bb.Data[i] = int64(i % 9)
@@ -99,4 +99,12 @@ func main() {
 		st.Min, st.P50, st.P90, st.Max, st.Mean)
 	fmt.Printf("  %d stall events (latency > 2x median)\n\n", st.StallEvents)
 	fmt.Println(oclfpga.NewHistogram(lats, 8, 12))
+}
+
+// must unwraps (value, error), aborting the example on error.
+func must[T any](v T, err error) T {
+	if err != nil {
+		log.Fatal(err)
+	}
+	return v
 }

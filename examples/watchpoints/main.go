@@ -59,11 +59,11 @@ func main() {
 		log.Fatal(err)
 	}
 	m := oclfpga.NewMachine(d, oclfpga.SimOptions{})
-	wpCtl := oclfpga.NewController(m, wpIfc)
-	bcCtl := oclfpga.NewController(m, bcIfc)
+	wpCtl := must(oclfpga.NewController(m, wpIfc))
+	bcCtl := must(oclfpga.NewController(m, bcIfc))
 
-	ba := m.NewBuffer("addr_a", oclfpga.I32, loopLen)
-	bd := m.NewBuffer("data", oclfpga.I32, boundHi)
+	ba := must(m.NewBuffer("addr_a", oclfpga.I32, loopLen))
+	bd := must(m.NewBuffer("data", oclfpga.I32, boundHi))
 	for i := range ba.Data {
 		ba.Data[i] = int64(i % 16)
 	}
@@ -108,4 +108,12 @@ func main() {
 	for _, e := range oclfpga.DecodeWatch(oclfpga.ValidRecords(recs)) {
 		fmt.Printf("  cycle %6d: index %d (value %d) — silent corruption caught\n", e.T, e.Addr, e.Tag)
 	}
+}
+
+// must unwraps (value, error), aborting the example on error.
+func must[T any](v T, err error) T {
+	if err != nil {
+		log.Fatal(err)
+	}
+	return v
 }

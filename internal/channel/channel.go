@@ -33,6 +33,12 @@ type Channel struct {
 
 	pendingPush []int64
 
+	// fault-injection controls (see internal/fault): a frozen endpoint
+	// refuses the operation exactly as a wedged ready/valid handshake would.
+	readFrozen  bool
+	writeFrozen bool
+	dropNB      bool
+
 	stats Stats
 }
 
@@ -42,6 +48,7 @@ type Stats struct {
 	Reads        int64 // successful reads
 	WriteStalls  int64 // blocked/failed write attempts
 	ReadStalls   int64 // blocked/failed read attempts
+	Dropped      int64 // non-blocking writes discarded by fault injection
 	MaxOccupancy int   // high-water mark of FIFO occupancy
 }
 
@@ -62,6 +69,43 @@ func (c *Channel) Depth() int { return c.depth }
 
 // Stats returns a copy of the accumulated statistics.
 func (c *Channel) Stats() Stats { return c.stats }
+
+// SetReadFrozen freezes or thaws the consumer endpoint (fault injection):
+// while frozen every read attempt stalls, blocking or not.
+func (c *Channel) SetReadFrozen(frozen bool) { c.readFrozen = frozen }
+
+// SetWriteFrozen freezes or thaws the producer endpoint (fault injection):
+// while frozen every write attempt stalls or fails.
+func (c *Channel) SetWriteFrozen(frozen bool) { c.writeFrozen = frozen }
+
+// SetDropNB makes non-blocking writes report success but discard the value
+// (fault injection). Drops are counted in Stats.Dropped so the loss is never
+// invisible.
+func (c *Channel) SetDropNB(drop bool) { c.dropNB = drop }
+
+// ReadFrozen reports whether the consumer endpoint is currently frozen.
+func (c *Channel) ReadFrozen() bool { return c.readFrozen }
+
+// WriteFrozen reports whether the producer endpoint is currently frozen.
+func (c *Channel) WriteFrozen() bool { return c.writeFrozen }
+
+// OverrideDepth forces the effective depth at runtime — the fault-injection
+// reproduction of the §3.1 compiler channel-deepening hazard. Raising a
+// depth-0 register channel to a FIFO preserves the currently held value as
+// the first queued element (the stale timestamp the paper warns about).
+// Shrinking below the committed occupancy keeps the queued excess — it
+// drains normally, but no new pushes land until occupancy falls below the
+// new depth.
+func (c *Channel) OverrideDepth(depth int) {
+	if depth < 0 {
+		depth = 0
+	}
+	if c.depth == 0 && depth > 0 && c.regValid {
+		c.q = append(c.q, c.reg)
+		c.regValid = false
+	}
+	c.depth = depth
+}
 
 // Len returns the committed occupancy (FIFO channels) or 1/0 for a
 // valid/empty register channel.
@@ -85,6 +129,9 @@ func (c *Channel) BeginCycle() {
 
 // CanRead reports whether a read issued this cycle would succeed.
 func (c *Channel) CanRead() bool {
+	if c.readFrozen {
+		return false
+	}
 	if c.depth == 0 {
 		return c.regValid0
 	}
@@ -94,6 +141,10 @@ func (c *Channel) CanRead() bool {
 // TryRead pops a value. ok is false when no data was visible at the start of
 // the cycle (the caller stalls or, for non-blocking reads, proceeds).
 func (c *Channel) TryRead() (v int64, ok bool) {
+	if c.readFrozen {
+		c.stats.ReadStalls++
+		return 0, false
+	}
 	if c.depth == 0 {
 		if !c.regValid0 {
 			c.stats.ReadStalls++
@@ -117,6 +168,9 @@ func (c *Channel) TryRead() (v int64, ok bool) {
 
 // CanWrite reports whether a blocking write issued this cycle would succeed.
 func (c *Channel) CanWrite() bool {
+	if c.writeFrozen {
+		return false
+	}
 	if c.depth == 0 {
 		return !c.regValid0 && !c.regWrote0
 	}
@@ -126,6 +180,10 @@ func (c *Channel) CanWrite() bool {
 // TryWrite pushes a value with blocking-write semantics. ok is false when
 // the channel was full at the start of the cycle (the caller stalls).
 func (c *Channel) TryWrite(v int64) bool {
+	if c.writeFrozen {
+		c.stats.WriteStalls++
+		return false
+	}
 	if c.depth == 0 {
 		if c.regValid0 || c.regWrote0 {
 			c.stats.WriteStalls++
@@ -149,6 +207,16 @@ func (c *Channel) TryWrite(v int64) bool {
 // landed. On a register channel it always lands, overwriting the previous
 // value — this is what keeps the paper's free-running-counter channel fresh.
 func (c *Channel) WriteNB(v int64) bool {
+	if c.dropNB {
+		// the fault swallows the word but reports success — the producer
+		// proceeds, the word is gone, and only Stats.Dropped knows
+		c.stats.Dropped++
+		return true
+	}
+	if c.writeFrozen {
+		c.stats.WriteStalls++
+		return false
+	}
 	if c.depth == 0 {
 		c.regPend, c.regPendSet = v, true
 		c.stats.Writes++

@@ -30,7 +30,7 @@ func buildRigHDL(t *testing.T, cfg core.Config, dut func(p *kir.Program, ib *cor
 		t.Fatalf("Compile: %v", err)
 	}
 	m := sim.New(d, sim.Options{})
-	return &rig{p: p, ib: ib, ifc: ifc, d: d, m: m, ctl: host.NewController(m, ifc)}
+	return &rig{p: p, ib: ib, ifc: ifc, d: d, m: m, ctl: must(host.NewController(m, ifc))}
 }
 
 // session runs the canonical start→DUT→stop→read sequence on a rig.
@@ -121,13 +121,13 @@ func TestHDLWatchpoint(t *testing.T) {
 		t.Fatal(err)
 	}
 	m := sim.New(d, sim.Options{})
-	ctl := host.NewController(m, ifc)
-	ba := m.NewBuffer("addrs", kir.I64, len(pairs))
-	bt := m.NewBuffer("tags", kir.I64, len(pairs))
+	ctl := must(host.NewController(m, ifc))
+	ba := must(m.NewBuffer("addrs", kir.I64, len(pairs)))
+	bt := must(m.NewBuffer("tags", kir.I64, len(pairs)))
 	for i, pr := range pairs {
 		ba.Data[i], bt.Data[i] = pr[0], pr[1]
 	}
-	m.NewBuffer("z2", kir.I64, 1)
+	must(m.NewBuffer("z2", kir.I64, 1))
 	if err := ctl.StartLinear(0); err != nil {
 		t.Fatal(err)
 	}

@@ -41,7 +41,7 @@ func buildRig(t *testing.T, cfg core.Config, dut func(p *kir.Program, ib *core.I
 		t.Fatalf("Compile: %v\n%s", err, p.Dump())
 	}
 	m := sim.New(d, sim.Options{})
-	return &rig{p: p, ib: ib, ifc: ifc, d: d, m: m, ctl: host.NewController(m, ifc)}
+	return &rig{p: p, ib: ib, ifc: ifc, d: d, m: m, ctl: must(host.NewController(m, ifc))}
 }
 
 // snapshotDUT builds a single-task kernel feeding `count` consecutive values
@@ -64,7 +64,7 @@ func (r *rig) launchDUT(t *testing.T, base int64) {
 	t.Helper()
 	name := "z"
 	if r.m.Buffer(name) == nil {
-		r.m.NewBuffer(name, kir.I64, 1)
+		must(r.m.NewBuffer(name, kir.I64, 1))
 	}
 	if _, err := r.m.Launch("dut", sim.Args{"base": base, "z": r.m.Buffer(name)}); err != nil {
 		t.Fatal(err)
@@ -274,14 +274,14 @@ func buildWatchRig(t *testing.T, cfg core.Config, pairs [][2]int64, watchAddr in
 	}
 	r.d = d
 	r.m = sim.New(d, sim.Options{})
-	r.ctl = host.NewController(r.m, ifc)
-	ba := r.m.NewBuffer("addrs", kir.I64, len(pairs))
-	bt := r.m.NewBuffer("tags", kir.I64, len(pairs))
+	r.ctl = must(host.NewController(r.m, ifc))
+	ba := must(r.m.NewBuffer("addrs", kir.I64, len(pairs)))
+	bt := must(r.m.NewBuffer("tags", kir.I64, len(pairs)))
 	for i, pr := range pairs {
 		ba.Data[i] = pr[0]
 		bt.Data[i] = pr[1]
 	}
-	r.m.NewBuffer("z2", kir.I64, 1)
+	must(r.m.NewBuffer("z2", kir.I64, 1))
 	return r
 }
 
@@ -514,8 +514,8 @@ func TestStallMonitorPairAcrossInstances(t *testing.T) {
 		t.Fatal(err)
 	}
 	m := sim.New(d, sim.Options{})
-	ctl := host.NewController(m, ifc)
-	m.NewBuffer("z", kir.I64, 1)
+	ctl := must(host.NewController(m, ifc))
+	must(m.NewBuffer("z", kir.I64, 1))
 	for id := 0; id < 2; id++ {
 		if err := ctl.StartLinear(id); err != nil {
 			t.Fatal(err)
@@ -569,8 +569,8 @@ func TestInCircuitAssertions(t *testing.T) {
 		})
 		b.Store(z, b.Ci32(0), b.Ci64(1))
 	})
-	bx := r.m.NewBuffer("x", kir.I64, 8)
-	bz := r.m.NewBuffer("z", kir.I64, 1)
+	bx := must(r.m.NewBuffer("x", kir.I64, 8))
+	bz := must(r.m.NewBuffer("z", kir.I64, 1))
 	for i := range bx.Data {
 		bx.Data[i] = int64(i * 30) // 0,30,60,90,120,150,180,210: 4 violations
 	}

@@ -15,8 +15,21 @@ import (
 	"oclfpga/internal/emu"
 	"oclfpga/internal/hls"
 	"oclfpga/internal/kir"
+	"oclfpga/internal/mem"
 	"oclfpga/internal/sim"
 )
+
+// newBufs allocates the three standard case buffers on a fresh machine.
+func newBufs(m *sim.Machine) (ba, bb, bo *mem.Buffer, err error) {
+	if ba, err = m.NewBuffer("a", kir.I32, BufLen); err != nil {
+		return
+	}
+	if bb, err = m.NewBuffer("b", kir.I32, BufLen); err != nil {
+		return
+	}
+	bo, err = m.NewBuffer("out", kir.I32, BufLen)
+	return
+}
 
 // BufLen is the length of every generated buffer.
 const BufLen = 64
@@ -225,9 +238,10 @@ func Run(c *Case) error {
 		return fmt.Errorf("hls: %w", err)
 	}
 	m := sim.New(d, sim.Options{})
-	ba := m.NewBuffer("a", kir.I32, BufLen)
-	bb := m.NewBuffer("b", kir.I32, BufLen)
-	bo := m.NewBuffer("out", kir.I32, BufLen)
+	ba, bb, bo, err := newBufs(m)
+	if err != nil {
+		return err
+	}
 	copy(ba.Data, c.In1)
 	copy(bb.Data, c.In2)
 	copy(bo.Data, c.Out)
@@ -336,9 +350,10 @@ func RunStream(c *Case) error {
 		return fmt.Errorf("hls: %w", err)
 	}
 	m := sim.New(d, sim.Options{})
-	ba := m.NewBuffer("a", kir.I32, BufLen)
-	bb := m.NewBuffer("b", kir.I32, BufLen)
-	bo := m.NewBuffer("out", kir.I32, BufLen)
+	ba, bb, bo, err := newBufs(m)
+	if err != nil {
+		return err
+	}
 	copy(ba.Data, c.In1)
 	copy(bb.Data, c.In2)
 	if _, err := m.Launch("producer", sim.Args{"a": ba, "n": n}); err != nil {

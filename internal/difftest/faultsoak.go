@@ -1,0 +1,96 @@
+package difftest
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"oclfpga/internal/device"
+	"oclfpga/internal/emu"
+	"oclfpga/internal/fault"
+	"oclfpga/internal/hls"
+	"oclfpga/internal/sim"
+)
+
+// FaultOutcome classifies one fault-campaign run. There are exactly two
+// acceptable endings: the fabric tolerated the plan and produced the exact
+// reference output, or it hung and the diagnosis named a plan target. A
+// completed run with wrong data is a silently-corrupted trace — the one
+// outcome a debugging tool must never allow.
+type FaultOutcome int
+
+const (
+	// FaultTolerated: the run completed and the output is byte-identical to
+	// the fault-free emulator reference.
+	FaultTolerated FaultOutcome = iota
+	// FaultDiagnosed: the run hung and the DeadlockReport names at least one
+	// channel or kernel the plan targeted.
+	FaultDiagnosed
+)
+
+// RunStreamFaulted executes a stream case under a fault plan and classifies
+// the ending. Any other ending — silent corruption, a mis-blamed hang, or an
+// unexpected machine error — is returned as a non-nil error.
+func RunStreamFaulted(c *Case, plan *fault.Plan) (FaultOutcome, error) {
+	if err := c.Program.Validate(); err != nil {
+		return 0, fmt.Errorf("generated invalid stream program: %w", err)
+	}
+	n := c.Global
+
+	// fault-free functional reference
+	e := emu.New(c.Program)
+	e.Bind("a", append([]int64(nil), c.In1...))
+	e.Bind("b", append([]int64(nil), c.In2...))
+	e.Bind("out", append([]int64(nil), c.Out...))
+	if err := e.Run(emu.Launch{Kernel: "producer", Args: map[string]any{"a": "a", "n": n}}); err != nil {
+		return 0, fmt.Errorf("emu producer: %w", err)
+	}
+	if err := e.Run(emu.Launch{Kernel: "fuzz", Args: map[string]any{"b": "b", "out": "out", "n": n}}); err != nil {
+		return 0, fmt.Errorf("emu consumer: %w", err)
+	}
+
+	d, err := hls.Compile(c.Program, device.StratixV(), hls.Options{})
+	if err != nil {
+		return 0, fmt.Errorf("hls: %w", err)
+	}
+	// the stall limit must exceed the longest transient outage a plan can
+	// inject, or healthy-but-frozen runs would be misreported as hangs
+	m := sim.New(d, sim.Options{Fault: plan, StallLimit: 4500})
+	ba, bb, bo, err := newBufs(m)
+	if err != nil {
+		return 0, err
+	}
+	copy(ba.Data, c.In1)
+	copy(bb.Data, c.In2)
+	if _, err := m.Launch("producer", sim.Args{"a": ba, "n": n}); err != nil {
+		return 0, err
+	}
+	if _, err := m.Launch("fuzz", sim.Args{"b": bb, "out": bo, "n": n}); err != nil {
+		return 0, err
+	}
+
+	runErr := m.Run()
+	if runErr == nil {
+		for i := 0; i < BufLen; i++ {
+			if e.Buffer("out")[i] != bo.Data[i] {
+				return 0, fmt.Errorf("silent corruption under plan %v: out[%d] emu %d vs sim %d\n%s",
+					plan, i, e.Buffer("out")[i], bo.Data[i], c.Program.Dump())
+			}
+		}
+		return FaultTolerated, nil
+	}
+
+	var de *sim.DeadlockError
+	if !errors.As(runErr, &de) {
+		return 0, fmt.Errorf("unexpected machine error under plan %v: %w", plan, runErr)
+	}
+	report := de.Report.String()
+	targets := append(plan.Targets(true), plan.Targets(false)...)
+	for _, tgt := range targets {
+		if strings.Contains(report, tgt) {
+			return FaultDiagnosed, nil
+		}
+	}
+	return 0, fmt.Errorf("hang under plan %v blames none of its targets %v:\n%s",
+		plan, targets, report)
+}

@@ -1,0 +1,46 @@
+package difftest
+
+import (
+	"testing"
+
+	"oclfpga/internal/fault"
+)
+
+// TestFaultCampaign sweeps seeded random fault plans over seeded random
+// stream programs: every run must end tolerated (exact output) or correctly
+// diagnosed (the hang report names a plan target). Zero silent corruption.
+func TestFaultCampaign(t *testing.T) {
+	plans := 220
+	if testing.Short() {
+		plans = 40
+	}
+	spec := fault.CampaignSpec{
+		Channels:   []string{"pipe"},
+		Kernels:    []string{"producer", "fuzz"},
+		AllowFatal: true,
+		// stream cases finish within a few hundred cycles; keep the
+		// injection window inside the run so plans actually bite
+		Horizon: 400,
+	}
+	var tolerated, diagnosed int
+	for seed := int64(500); seed < 500+int64(plans); seed++ {
+		c := GenerateStream(seed, GenConfig{})
+		plan := fault.NewRandomPlan(seed, spec)
+		out, err := RunStreamFaulted(c, plan)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		switch out {
+		case FaultTolerated:
+			tolerated++
+		case FaultDiagnosed:
+			diagnosed++
+		}
+	}
+	t.Logf("fault campaign: %d plans, %d tolerated, %d diagnosed", plans, tolerated, diagnosed)
+	// a campaign that never hangs is not exercising the diagnostics, and one
+	// that never completes is not exercising recovery
+	if tolerated == 0 || diagnosed == 0 {
+		t.Fatalf("degenerate campaign: %d tolerated, %d diagnosed", tolerated, diagnosed)
+	}
+}

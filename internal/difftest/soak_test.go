@@ -5,7 +5,11 @@ import "testing"
 // TestSoak sweeps mixed generator shapes; widen the seed range for a deep
 // soak when touching the scheduler or the pipeline engines.
 func TestSoak(t *testing.T) {
-	for seed := int64(10000); seed < 10600; seed++ {
+	end := int64(10600)
+	if testing.Short() {
+		end = 10100
+	}
+	for seed := int64(10000); seed < end; seed++ {
 		cfgs := []GenConfig{{}, {MaxOps: 8, MaxDepth: 3, MaxLoopTrip: 6}, {MaxOps: 30, MaxDepth: 2, MaxLoopTrip: 15}}
 		c := Generate(seed, cfgs[seed%3])
 		if err := Run(c); err != nil {

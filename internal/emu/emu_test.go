@@ -212,9 +212,9 @@ func TestEmuMatchesSimProperty(t *testing.T) {
 			return false
 		}
 		m := sim.New(d, sim.Options{})
-		bx := m.NewBuffer("x", kir.I32, n*num)
-		by := m.NewBuffer("y", kir.I32, num)
-		bz := m.NewBuffer("z", kir.I32, n)
+		bx := must(m.NewBuffer("x", kir.I32, n*num))
+		by := must(m.NewBuffer("y", kir.I32, num))
+		bz := must(m.NewBuffer("z", kir.I32, n))
 		copy(bx.Data, xs)
 		copy(by.Data, ys)
 		args := sim.Args{"x": bx, "y": by, "z": bz}

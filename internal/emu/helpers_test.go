@@ -1,0 +1,9 @@
+package emu_test
+
+// must unwraps (value, error) for test setup that cannot legitimately fail.
+func must[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
+}

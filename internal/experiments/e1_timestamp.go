@@ -53,8 +53,14 @@ func E1TimestampOverhead(dev *device.Device, steps int) (*E1Result, error) {
 		}
 
 		m := sim.New(d, sim.Options{})
-		table := m.NewBuffer("next", kir.I32, 1<<14)
-		out := m.NewBuffer("out", kir.I64, 2)
+		table, err := m.NewBuffer("next", kir.I32, 1<<14)
+		if err != nil {
+			return nil, err
+		}
+		out, err := m.NewBuffer("out", kir.I64, 2)
+		if err != nil {
+			return nil, err
+		}
 		for i := range table.Data {
 			table.Data[i] = int64((i*1103 + 331) % len(table.Data))
 		}

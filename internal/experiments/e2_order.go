@@ -40,12 +40,30 @@ func E2ExecutionOrder(mode kir.Mode) (*E2Result, error) {
 	m := sim.New(d, sim.Options{})
 
 	cfg := mv.Config
-	x := m.NewBuffer("x", kir.I32, cfg.N*cfg.Num)
-	y := m.NewBuffer("y", kir.I32, cfg.Num)
-	z := m.NewBuffer("z", kir.I32, cfg.N)
-	info1 := m.NewBuffer("info1", kir.I64, mv.InfoSize)
-	info2 := m.NewBuffer("info2", kir.I32, mv.InfoSize)
-	info3 := m.NewBuffer("info3", kir.I32, mv.InfoSize)
+	x, err := m.NewBuffer("x", kir.I32, cfg.N*cfg.Num)
+	if err != nil {
+		return nil, err
+	}
+	y, err := m.NewBuffer("y", kir.I32, cfg.Num)
+	if err != nil {
+		return nil, err
+	}
+	z, err := m.NewBuffer("z", kir.I32, cfg.N)
+	if err != nil {
+		return nil, err
+	}
+	info1, err := m.NewBuffer("info1", kir.I64, mv.InfoSize)
+	if err != nil {
+		return nil, err
+	}
+	info2, err := m.NewBuffer("info2", kir.I32, mv.InfoSize)
+	if err != nil {
+		return nil, err
+	}
+	info3, err := m.NewBuffer("info3", kir.I32, mv.InfoSize)
+	if err != nil {
+		return nil, err
+	}
 	for i := range x.Data {
 		x.Data[i] = int64(i % 7)
 	}

@@ -103,9 +103,18 @@ func E3Verify(size int) (bool, error) {
 	}
 	m := sim.New(d, sim.Options{})
 	n := size
-	da := m.NewBuffer("data_a", kir.I32, n*n)
-	db := m.NewBuffer("data_b", kir.I32, n*n)
-	dc := m.NewBuffer("data_c", kir.I32, n*n)
+	da, err := m.NewBuffer("data_a", kir.I32, n*n)
+	if err != nil {
+		return false, err
+	}
+	db, err := m.NewBuffer("data_b", kir.I32, n*n)
+	if err != nil {
+		return false, err
+	}
+	dc, err := m.NewBuffer("data_c", kir.I32, n*n)
+	if err != nil {
+		return false, err
+	}
 	for i := range da.Data {
 		da.Data[i] = int64(i%11 - 5)
 		db.Data[i] = int64(i%7 - 3)

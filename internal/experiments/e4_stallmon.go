@@ -49,12 +49,24 @@ func E4StallMonitor(size, depth int) (*E4Result, error) {
 		return nil, err
 	}
 	m := sim.New(d, sim.Options{})
-	ctl := host.NewController(m, ifc)
+	ctl, err := host.NewController(m, ifc)
+	if err != nil {
+		return nil, err
+	}
 
 	n := size
-	da := m.NewBuffer("data_a", kir.I32, n*n)
-	db := m.NewBuffer("data_b", kir.I32, n*n)
-	dc := m.NewBuffer("data_c", kir.I32, n*n)
+	da, err := m.NewBuffer("data_a", kir.I32, n*n)
+	if err != nil {
+		return nil, err
+	}
+	db, err := m.NewBuffer("data_b", kir.I32, n*n)
+	if err != nil {
+		return nil, err
+	}
+	dc, err := m.NewBuffer("data_c", kir.I32, n*n)
+	if err != nil {
+		return nil, err
+	}
 	for i := range da.Data {
 		da.Data[i] = int64(i % 13)
 		db.Data[i] = int64(i % 9)

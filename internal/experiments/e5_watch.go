@@ -83,12 +83,27 @@ func E5Watchpoints(mSize int) (*E5Result, error) {
 		return nil, err
 	}
 	m := sim.New(d, sim.Options{})
-	wpCtl := host.NewController(m, wpIfc)
-	bcCtl := host.NewController(m, bcIfc)
-	ivCtl := host.NewController(m, ivIfc)
+	wpCtl, err := host.NewController(m, wpIfc)
+	if err != nil {
+		return nil, err
+	}
+	bcCtl, err := host.NewController(m, bcIfc)
+	if err != nil {
+		return nil, err
+	}
+	ivCtl, err := host.NewController(m, ivIfc)
+	if err != nil {
+		return nil, err
+	}
 
-	bufA := m.NewBuffer("addr_a", kir.I32, mSize)
-	bufD := m.NewBuffer("data", kir.I32, boundHi)
+	bufA, err := m.NewBuffer("addr_a", kir.I32, mSize)
+	if err != nil {
+		return nil, err
+	}
+	bufD, err := m.NewBuffer("data", kir.I32, boundHi)
+	if err != nil {
+		return nil, err
+	}
 	for i := range bufA.Data {
 		bufA.Data[i] = int64(i % 16)
 	}

@@ -66,8 +66,14 @@ func runLatency(p *kir.Program, opts hls.Options, skew func(string, int) int64) 
 		return 0, 0, err
 	}
 	m := sim.New(d, sim.Options{AutorunSkew: skew})
-	x := m.NewBuffer("x", kir.I32, 100)
-	z := m.NewBuffer("z", kir.I64, 2)
+	x, err := m.NewBuffer("x", kir.I32, 100)
+	if err != nil {
+		return 0, 0, err
+	}
+	z, err := m.NewBuffer("z", kir.I64, 2)
+	if err != nil {
+		return 0, 0, err
+	}
 	for i := range x.Data {
 		x.Data[i] = 1
 	}
@@ -158,7 +164,10 @@ func (r *E6Result) driftDemo() error {
 		return err
 	}
 	m := sim.New(d, sim.Options{})
-	bz := m.NewBuffer("z", kir.I64, 3)
+	bz, err := m.NewBuffer("z", kir.I64, 3)
+	if err != nil {
+		return err
+	}
 	m.Step(16)
 	if _, err := m.Launch("dut", sim.Args{"z": bz}); err != nil {
 		return err

@@ -72,8 +72,14 @@ func E7StallFree(samples int) (*E7Result, error) {
 		}
 	}
 	m := sim.New(d, sim.Options{})
-	ctl := host.NewController(m, ifc)
-	z := m.NewBuffer("z", kir.I64, 1)
+	ctl, err := host.NewController(m, ifc)
+	if err != nil {
+		return nil, err
+	}
+	z, err := m.NewBuffer("z", kir.I64, 1)
+	if err != nil {
+		return nil, err
+	}
 	if err := ctl.StartLinear(0); err != nil {
 		return nil, err
 	}
@@ -107,7 +113,10 @@ func E7StallFree(samples int) (*E7Result, error) {
 		return nil, err
 	}
 	m2 := sim.New(d2, sim.Options{})
-	z2 := m2.NewBuffer("z", kir.I64, 1)
+	z2, err := m2.NewBuffer("z", kir.I64, 1)
+	if err != nil {
+		return nil, err
+	}
 	u2, err := m2.Launch("producer", sim.Args{"z": z2})
 	if err != nil {
 		return nil, err
@@ -133,8 +142,14 @@ func E7StallFree(samples int) (*E7Result, error) {
 		return nil, err
 	}
 	m3 := sim.New(d3, sim.Options{})
-	z3 := m3.NewBuffer("z", kir.I64, 1)
-	tr3 := m3.NewBuffer("trace", kir.I64, samples)
+	z3, err := m3.NewBuffer("z", kir.I64, 1)
+	if err != nil {
+		return nil, err
+	}
+	tr3, err := m3.NewBuffer("trace", kir.I64, samples)
+	if err != nil {
+		return nil, err
+	}
 	u3, err := m3.Launch("producer", sim.Args{"z": z3, "trace": tr3})
 	if err != nil {
 		return nil, err

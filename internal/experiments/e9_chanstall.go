@@ -70,9 +70,18 @@ func E9ChannelStall(n int) (*E9Result, error) {
 		return nil, err
 	}
 	m := sim.New(d, sim.Options{})
-	ctl := host.NewController(m, ifc)
-	bs := m.NewBuffer("src", kir.I32, n)
-	bd := m.NewBuffer("dst", kir.I32, n)
+	ctl, err := host.NewController(m, ifc)
+	if err != nil {
+		return nil, err
+	}
+	bs, err := m.NewBuffer("src", kir.I32, n)
+	if err != nil {
+		return nil, err
+	}
+	bd, err := m.NewBuffer("dst", kir.I32, n)
+	if err != nil {
+		return nil, err
+	}
 	for i := range bs.Data {
 		bs.Data[i] = int64(i + 1)
 	}

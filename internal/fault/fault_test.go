@@ -1,0 +1,153 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseSpecRoundTrip(t *testing.T) {
+	specs := []string{
+		"freeze-read:pipe@500",
+		"freeze-write:pipe@500+200",
+		"drop-nb:stream@10+90",
+		"depth:pipe@0=16",
+		"mem-delay@1000+500=40",
+		"stuck:consumer@400+100",
+		"skew:timer@0=250",
+	}
+	for _, s := range specs {
+		e, err := ParseSpec(s)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", s, err)
+		}
+		if got := e.String(); got != s {
+			t.Errorf("round trip: %q -> %q", s, got)
+		}
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	bad := []string{
+		"",                  // empty
+		"freeze-read:pipe",  // missing @cycle
+		"melt:pipe@10",      // unknown kind
+		"freeze-read@10",    // missing required target
+		"freeze-read:p@x",   // bad cycle
+		"freeze-read:p@5+y", // bad duration
+		"depth:p@5=z",       // bad value
+	}
+	for _, s := range bad {
+		if _, err := ParseSpec(s); err == nil {
+			t.Errorf("ParseSpec(%q) should fail", s)
+		}
+	}
+}
+
+func TestParseSpecsPlan(t *testing.T) {
+	p, err := ParseSpecs("freeze-read:pipe@500+100, mem-delay@0+50=8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Events) != 2 {
+		t.Fatalf("got %d events", len(p.Events))
+	}
+	if !strings.Contains(p.String(), "freeze-read:pipe@500+100") {
+		t.Errorf("plan String: %q", p)
+	}
+	if p.Fatal() {
+		t.Error("transient plan reported fatal")
+	}
+	if _, err := ParseSpecs("freeze-read:pipe@500,bogus"); err == nil {
+		t.Error("bad list should fail")
+	}
+}
+
+func TestEventActivity(t *testing.T) {
+	e := Event{Kind: FreezeRead, Target: "c", At: 100, Duration: 50}
+	for cycle, want := range map[int64]bool{0: false, 99: false, 100: true, 149: true, 150: false} {
+		if got := e.ActiveAt(cycle); got != want {
+			t.Errorf("ActiveAt(%d) = %v", cycle, got)
+		}
+	}
+	forever := Event{Kind: FreezeWrite, Target: "c", At: 10}
+	if !forever.ActiveAt(1 << 40) {
+		t.Error("forever event expired")
+	}
+	if !forever.Forever() {
+		t.Error("Forever() = false for zero duration")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := &Plan{Events: []Event{{Kind: MemDelay, At: 5, Duration: 10, Value: 3}}}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []*Plan{
+		{Events: []Event{{Kind: FreezeRead, At: -1, Target: "c"}}},
+		{Events: []Event{{Kind: FreezeRead, At: 0}}}, // missing target
+		{Events: []Event{{Kind: DepthOverride, At: 0, Target: "c", Value: -2}}},
+		{Events: []Event{{Kind: MemDelay, At: 0, Value: -1}}},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("plan %d should be invalid", i)
+		}
+	}
+}
+
+func TestFatal(t *testing.T) {
+	if (&Plan{Events: []Event{{Kind: FreezeRead, Target: "c", At: 0, Duration: 100}}}).Fatal() {
+		t.Error("transient freeze reported fatal")
+	}
+	if !(&Plan{Events: []Event{{Kind: StuckUnit, Target: "k", At: 0}}}).Fatal() {
+		t.Error("forever-stuck not fatal")
+	}
+	// a forever drop loses data but cannot deadlock the fabric
+	if (&Plan{Events: []Event{{Kind: DropWriteNB, Target: "c", At: 0}}}).Fatal() {
+		t.Error("forever drop reported fatal")
+	}
+}
+
+func TestNewRandomPlanDeterministic(t *testing.T) {
+	spec := CampaignSpec{Channels: []string{"pipe", "aux"}, Kernels: []string{"k"}, AllowFatal: true}
+	for seed := int64(1); seed <= 50; seed++ {
+		a := NewRandomPlan(seed, spec)
+		b := NewRandomPlan(seed, spec)
+		if a.String() != b.String() {
+			t.Fatalf("seed %d: %q vs %q", seed, a, b)
+		}
+		if err := a.Validate(); err != nil {
+			t.Fatalf("seed %d: invalid plan: %v", seed, err)
+		}
+		if len(a.Events) == 0 {
+			t.Fatalf("seed %d: empty plan", seed)
+		}
+		for _, e := range a.Events {
+			if e.Kind == DropWriteNB {
+				t.Fatalf("seed %d: drop event without AllowDrop", seed)
+			}
+		}
+	}
+	if NewRandomPlan(1, spec).String() == NewRandomPlan(2, spec).String() &&
+		NewRandomPlan(2, spec).String() == NewRandomPlan(3, spec).String() {
+		t.Error("three consecutive seeds produced identical plans")
+	}
+}
+
+func TestTargets(t *testing.T) {
+	p := &Plan{Events: []Event{
+		{Kind: FreezeRead, Target: "b", At: 0, Duration: 1},
+		{Kind: FreezeWrite, Target: "a", At: 0, Duration: 1},
+		{Kind: FreezeRead, Target: "b", At: 5, Duration: 1},
+		{Kind: StuckUnit, Target: "k", At: 0, Duration: 1},
+	}}
+	ch := p.Targets(true)
+	if len(ch) != 2 || ch[0] != "a" || ch[1] != "b" {
+		t.Errorf("channel targets = %v", ch)
+	}
+	ker := p.Targets(false)
+	if len(ker) != 1 || ker[0] != "k" {
+		t.Errorf("kernel targets = %v", ker)
+	}
+}

@@ -45,7 +45,7 @@ func TestMemOrderRaisesII(t *testing.T) {
 	}
 
 	m := sim.New(d, sim.Options{})
-	bg := m.NewBuffer("g", kir.I32, 40)
+	bg := must(m.NewBuffer("g", kir.I32, 40))
 	bg.Data[0] = 5
 	if _, err := m.Launch("k", sim.Args{"g": bg}); err != nil {
 		t.Fatal(err)
@@ -103,7 +103,7 @@ func TestCrossCarriedPassthroughChain(t *testing.T) {
 
 	d := compileS(t, p)
 	m := sim.New(d, sim.Options{})
-	bg := m.NewBuffer("g", kir.I32, 2)
+	bg := must(m.NewBuffer("g", kir.I32, 2))
 	if _, err := m.Launch("k", sim.Args{"g": bg}); err != nil {
 		t.Fatal(err)
 	}
@@ -196,7 +196,7 @@ func TestModuloFixupPinsConsumers(t *testing.T) {
 	}
 
 	m := sim.New(d, sim.Options{})
-	bg := m.NewBuffer("g", kir.I32, 20)
+	bg := must(m.NewBuffer("g", kir.I32, 20))
 	if _, err := m.Launch("k", sim.Args{"g": bg}); err != nil {
 		t.Fatal(err)
 	}

@@ -12,6 +12,7 @@
 package host
 
 import (
+	"errors"
 	"fmt"
 
 	"oclfpga/internal/core"
@@ -19,6 +20,18 @@ import (
 	"oclfpga/internal/mem"
 	"oclfpga/internal/sim"
 	"oclfpga/internal/trace"
+)
+
+// Sentinel errors for the two distinct host-side failure modes of Send.
+// They are distinguishable with errors.Is so a host program can tell a bad
+// instance id (a programming error) from a saturated command channel (a
+// transient back-pressure condition worth retrying).
+var (
+	// ErrUnknownInstance: the instance id is outside the bank.
+	ErrUnknownInstance = errors.New("host: unknown ibuffer instance")
+	// ErrCommandFull: the instance's command channel is full; the ibuffer is
+	// not consuming commands (wedged or frozen by fault injection).
+	ErrCommandFull = errors.New("host: command channel full")
 )
 
 // Interface is the generated host-interface kernel for one ibuffer bank.
@@ -77,24 +90,64 @@ type Controller struct {
 	IB  *core.IBuffer
 	Ifc *Interface
 	Out *mem.Buffer
+
+	// SendTimeout bounds each Send attempt to this many cycles (0 = run to
+	// completion, the pre-timeout behaviour). With a timeout, a Send that
+	// would hang forever instead returns a *sim.DeadlockError describing
+	// what the fabric is waiting on.
+	SendTimeout int64
+	// Retries is how many additional bounded attempts a timed-out Send makes
+	// before giving up. Each retry continues the same simulation, so a
+	// slow-but-progressing drain eventually completes.
+	Retries int
 }
 
 // NewController allocates the readback buffer and returns a controller.
-func NewController(m *sim.Machine, ifc *Interface) *Controller {
-	buf := m.NewBuffer(ifc.Name+"_output", kir.I64, ifc.IB.ReadoutWords())
-	return &Controller{M: m, IB: ifc.IB, Ifc: ifc, Out: buf}
+func NewController(m *sim.Machine, ifc *Interface) (*Controller, error) {
+	buf, err := m.NewBuffer(ifc.Name+"_output", kir.I64, ifc.IB.ReadoutWords())
+	if err != nil {
+		return nil, err
+	}
+	return &Controller{M: m, IB: ifc.IB, Ifc: ifc, Out: buf}, nil
 }
 
 // Send launches the interface kernel to deliver cmd to instance id and runs
-// the machine until delivery (and, for CmdRead, the drain) completes.
+// the machine until delivery (and, for CmdRead, the drain) completes. A bad
+// id wraps ErrUnknownInstance; a saturated command channel wraps
+// ErrCommandFull before anything is launched, so the failed Send leaves no
+// half-delivered state behind.
 func (c *Controller) Send(id int, cmd int64) error {
 	if id < 0 || id >= c.IB.Config.N {
-		return fmt.Errorf("host: instance %d out of range [0,%d)", id, c.IB.Config.N)
+		return fmt.Errorf("%w: instance %d out of range [0,%d)", ErrUnknownInstance, id, c.IB.Config.N)
+	}
+	cc := c.M.Channel(c.IB.Cmd[id].Name)
+	if cc != nil && cc.Len() >= cc.Depth() && cc.Depth() > 0 {
+		return fmt.Errorf("%w: instance %d command channel %q at occupancy %d/%d",
+			ErrCommandFull, id, cc.Name(), cc.Len(), cc.Depth())
 	}
 	if _, err := c.M.Launch(c.Ifc.Name, sim.Args{"cmd": cmd, "id": id, "output": c.Out}); err != nil {
 		return err
 	}
-	return c.M.Run()
+	return c.run()
+}
+
+// run executes the machine with the controller's timeout policy.
+func (c *Controller) run() error {
+	if c.SendTimeout <= 0 {
+		return c.M.Run()
+	}
+	var err error
+	for attempt := 0; attempt <= c.Retries; attempt++ {
+		err = c.M.RunFor(c.SendTimeout)
+		if err == nil {
+			return nil
+		}
+		var de *sim.DeadlockError
+		if !errors.As(err, &de) || !de.Timeout() {
+			return err // a real hang diagnosis (or machine error), not a budget expiry
+		}
+	}
+	return err
 }
 
 // Reset clears instance id and restarts sampling.

@@ -1,0 +1,174 @@
+package host_test
+
+import (
+	"errors"
+	"testing"
+
+	"oclfpga/internal/core"
+	"oclfpga/internal/device"
+	"oclfpga/internal/fault"
+	"oclfpga/internal/hls"
+	"oclfpga/internal/host"
+	"oclfpga/internal/kir"
+	"oclfpga/internal/monitor"
+	"oclfpga/internal/sim"
+	"oclfpga/internal/trace"
+)
+
+// buildFaultRig is buildRig with an ibuffer of the given depth, snapshots
+// snapshots taken by the DUT, and a fault plan installed on the machine.
+func buildFaultRig(t *testing.T, depth, snapshots int, mkPlan func(ib *core.IBuffer) *fault.Plan) (*sim.Machine, *host.Controller) {
+	t.Helper()
+	p := kir.NewProgram("hostfault")
+	ib, err := core.Build(p, core.Config{Depth: depth, N: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ifc := host.BuildInterface(p, ib)
+	k := p.AddKernel("dut", kir.SingleTask)
+	z := k.AddGlobal("z", kir.I64)
+	b := k.NewBuilder()
+	// one channel endpoint, looped: a kernel may only touch a channel once
+	b.ForN("i", int64(snapshots), nil, func(lb *kir.Builder, i kir.Val, _ []kir.Val) []kir.Val {
+		monitor.TakeSnapshot(lb, ib, 0, lb.Add(lb.Ci64(2000), i))
+		return nil
+	})
+	b.Store(z, b.Ci32(0), b.Ci64(1))
+	d, err := hls.Compile(p, device.StratixV(), hls.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var plan *fault.Plan
+	if mkPlan != nil {
+		plan = mkPlan(ib)
+	}
+	m := sim.New(d, sim.Options{Fault: plan, StallLimit: 20_000})
+	must(m.NewBuffer("z", kir.I64, 1))
+	return m, must(host.NewController(m, ifc))
+}
+
+func TestSendSentinelUnknownInstance(t *testing.T) {
+	_, ctl := buildFaultRig(t, 8, 1, nil)
+	for _, id := range []int{-1, 1, 99} {
+		err := ctl.Send(id, core.CmdStop)
+		if !errors.Is(err, host.ErrUnknownInstance) {
+			t.Fatalf("Send(%d) = %v, want ErrUnknownInstance", id, err)
+		}
+	}
+}
+
+func TestSendSentinelCommandFull(t *testing.T) {
+	// freeze the ibuffer's command-channel read side: the ibuffer stops
+	// consuming commands, so the depth-2 channel saturates after two sends
+	m, ctl := buildFaultRig(t, 8, 1, func(ib *core.IBuffer) *fault.Plan {
+		return &fault.Plan{Events: []fault.Event{
+			{Kind: fault.FreezeRead, Target: ib.Cmd[0].Name, At: 0},
+		}}
+	})
+	var full error
+	for i := 0; i < 3; i++ {
+		if err := ctl.Send(0, core.CmdStop); err != nil {
+			full = err
+			break
+		}
+	}
+	if !errors.Is(full, host.ErrCommandFull) {
+		t.Fatalf("saturated command channel gave %v, want ErrCommandFull", full)
+	}
+	// the two failure modes stay distinguishable
+	if errors.Is(full, host.ErrUnknownInstance) {
+		t.Fatal("sentinels conflated")
+	}
+	_ = m
+}
+
+func TestSendTimeoutErrorsInsteadOfHanging(t *testing.T) {
+	// freeze the trace-output read side: the interface kernel's drain loop
+	// can never complete, which without a timeout runs until the stall limit
+	m, ctl := buildFaultRig(t, 8, 2, func(ib *core.IBuffer) *fault.Plan {
+		return &fault.Plan{Events: []fault.Event{
+			{Kind: fault.FreezeRead, Target: ib.OutT[0].Name, At: 0},
+		}}
+	})
+	ctl.SendTimeout = 500
+	ctl.Retries = 2
+	err := ctl.Send(0, core.CmdRead)
+	if err == nil {
+		t.Fatal("Send against a frozen drain succeeded")
+	}
+	var de *sim.DeadlockError
+	if !errors.As(err, &de) {
+		t.Fatalf("want *sim.DeadlockError, got %v", err)
+	}
+	if !de.Timeout() {
+		t.Fatalf("want budget expiry after retries, got %v", err)
+	}
+	// 3 bounded attempts of 500 cycles each — nowhere near the 20k stall limit
+	if m.Cycle() > 5_000 {
+		t.Fatalf("machine ran %d cycles; timeout did not bound the Send", m.Cycle())
+	}
+}
+
+func TestSendRetriesCompleteSlowRun(t *testing.T) {
+	// a healthy drain split across many tiny budgets must still finish:
+	// each retry resumes the same simulation
+	m, ctl := buildFaultRig(t, 8, 3, nil)
+	if err := ctl.StartLinear(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Launch("dut", sim.Args{"z": m.Buffer("z")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	ctl.SendTimeout = 5
+	ctl.Retries = 10_000
+	if err := ctl.Stop(0); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ctl.ReadTrace(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(trace.Valid(recs)); got != 3 {
+		t.Fatalf("retried readout lost samples: %d valid, want 3", got)
+	}
+}
+
+func TestCyclicIngestsUnderBackPressure(t *testing.T) {
+	// flight-recorder mode must keep ingesting when the fabric is slowed by
+	// an injected memory fault and the sample stream overruns the buffer:
+	// the newest samples survive, the oldest are overwritten
+	const depth, snaps = 4, 12
+	m, ctl := buildFaultRig(t, depth, snaps, func(ib *core.IBuffer) *fault.Plan {
+		return &fault.Plan{Events: []fault.Event{
+			{Kind: fault.MemDelay, At: 0, Duration: 50_000, Value: 16},
+		}}
+	})
+	if err := ctl.StartCyclic(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Launch("dut", sim.Args{"z": m.Buffer("z")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctl.Stop(0); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ctl.ReadTrace(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := trace.Valid(recs)
+	if len(v) != depth {
+		t.Fatalf("cyclic buffer holds %d valid records, want %d", len(v), depth)
+	}
+	for _, r := range v {
+		if r.Data < 2000+snaps-depth {
+			t.Fatalf("record %+v predates the last %d samples — cyclic ingest stalled", r, depth)
+		}
+	}
+}

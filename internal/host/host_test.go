@@ -38,8 +38,8 @@ func buildRig(t *testing.T, n int) (*sim.Machine, *host.Controller) {
 		t.Fatal(err)
 	}
 	m := sim.New(d, sim.Options{})
-	m.NewBuffer("z", kir.I64, 1)
-	return m, host.NewController(m, ifc)
+	must(m.NewBuffer("z", kir.I64, 1))
+	return m, must(host.NewController(m, ifc))
 }
 
 func launchDUT(t *testing.T, m *sim.Machine) {

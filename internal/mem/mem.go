@@ -81,6 +81,10 @@ type System struct {
 	next    int64 // bump allocator
 	bufs    []*Buffer
 
+	// extraLat is added to every response while a mem-delay fault is
+	// active (see internal/fault).
+	extraLat int64
+
 	stats Stats
 }
 
@@ -109,10 +113,13 @@ func (s *System) Stats() Stats { return s.stats }
 // Config returns the effective configuration.
 func (s *System) Config() Config { return s.cfg }
 
-// Alloc reserves a buffer of n elements of elemBytes each.
-func (s *System) Alloc(name string, elemBytes int64, n int) *Buffer {
+// Alloc reserves a buffer of n elements of elemBytes each. A non-positive
+// element size or negative length is a caller error, reported rather than
+// panicking: allocation sits on the public facade path, where a host program
+// should get an error back, not a crash.
+func (s *System) Alloc(name string, elemBytes int64, n int) (*Buffer, error) {
 	if elemBytes <= 0 || n < 0 {
-		panic(fmt.Sprintf("mem: bad Alloc(%q, %d, %d)", name, elemBytes, n))
+		return nil, fmt.Errorf("mem: bad Alloc(%q, elemBytes=%d, n=%d)", name, elemBytes, n)
 	}
 	// Align each buffer to a row boundary so buffers do not share rows; this
 	// keeps experiments reproducible when allocation order changes.
@@ -120,8 +127,20 @@ func (s *System) Alloc(name string, elemBytes int64, n int) *Buffer {
 	b := &Buffer{Name: name, Base: base, ElemBytes: elemBytes, Data: make([]int64, n)}
 	s.next = base + elemBytes*int64(n)
 	s.bufs = append(s.bufs, b)
-	return b
+	return b, nil
 }
+
+// SetExtraLatency adds (or, with 0, removes) a fixed delay on every memory
+// response — the fault-injection model of a congested or refreshing DRAM.
+func (s *System) SetExtraLatency(cycles int64) {
+	if cycles < 0 {
+		cycles = 0
+	}
+	s.extraLat = cycles
+}
+
+// ExtraLatency returns the currently injected response delay.
+func (s *System) ExtraLatency() int64 { return s.extraLat }
 
 // lineFetch schedules one DRAM line access starting no earlier than `now`
 // and returns the cycle its data is available.
@@ -144,7 +163,7 @@ func (s *System) lineFetch(now, addr int64) int64 {
 	s.stats.Accesses++
 	bank.free = start + busy
 	s.busFree = start + s.cfg.BusBusy
-	return start + lat
+	return start + lat + s.extraLat
 }
 
 func max64(vs ...int64) int64 {

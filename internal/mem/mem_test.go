@@ -7,8 +7,8 @@ import (
 
 func TestAllocLayout(t *testing.T) {
 	s := NewSystem(Config{})
-	a := s.Alloc("a", 4, 100)
-	b := s.Alloc("b", 4, 100)
+	a := must(s.Alloc("a", 4, 100))
+	b := must(s.Alloc("b", 4, 100))
 	if a.Base%s.Config().RowBytes != 0 || b.Base%s.Config().RowBytes != 0 {
 		t.Fatal("buffers not row aligned")
 	}
@@ -23,18 +23,22 @@ func TestAllocLayout(t *testing.T) {
 	}
 }
 
-func TestAllocPanicsOnBadArgs(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
-	NewSystem(Config{}).Alloc("bad", 0, 10)
+func TestAllocRejectsBadArgs(t *testing.T) {
+	s := NewSystem(Config{})
+	if _, err := s.Alloc("bad", 0, 10); err == nil {
+		t.Fatal("Alloc with elemBytes=0 should return an error")
+	}
+	if _, err := s.Alloc("bad", 4, -1); err == nil {
+		t.Fatal("Alloc with negative length should return an error")
+	}
+	if _, err := s.Alloc("ok", 4, 0); err != nil {
+		t.Fatalf("zero-length Alloc should succeed: %v", err)
+	}
 }
 
 func TestLoadReturnsStoredValues(t *testing.T) {
 	s := NewSystem(Config{})
-	buf := s.Alloc("x", 4, 16)
+	buf := must(s.Alloc("x", 4, 16))
 	l := s.NewLSU(BurstCoalesced, buf)
 	for i := int64(0); i < 16; i++ {
 		l.Store(i, i, i*i)
@@ -49,7 +53,7 @@ func TestLoadReturnsStoredValues(t *testing.T) {
 
 func TestOutOfRangeAccessSilent(t *testing.T) {
 	s := NewSystem(Config{})
-	buf := s.Alloc("x", 4, 4)
+	buf := must(s.Alloc("x", 4, 4))
 	l := s.NewLSU(Pipelined, buf)
 	l.Store(0, 99, 7) // dropped
 	v, ready := l.Load(1, -5)
@@ -72,7 +76,7 @@ func TestCoalescingSequentialBeatsStrided(t *testing.T) {
 	// the paper's Figure 2 performance observation.
 	mk := func() (*System, *LSU) {
 		s := NewSystem(Config{})
-		buf := s.Alloc("x", 4, 5000)
+		buf := must(s.Alloc("x", 4, 5000))
 		return s, s.NewLSU(BurstCoalesced, buf)
 	}
 
@@ -109,7 +113,7 @@ func TestCoalescingSequentialBeatsStrided(t *testing.T) {
 
 func TestPipelinedLSUNeverCoalesces(t *testing.T) {
 	s := NewSystem(Config{})
-	buf := s.Alloc("x", 4, 100)
+	buf := must(s.Alloc("x", 4, 100))
 	l := s.NewLSU(Pipelined, buf)
 	for i := int64(0); i < 32; i++ {
 		l.Load(i, i)
@@ -124,7 +128,7 @@ func TestPipelinedLSUNeverCoalesces(t *testing.T) {
 
 func TestRowBufferLocality(t *testing.T) {
 	s := NewSystem(Config{})
-	buf := s.Alloc("x", 4, 1<<16)
+	buf := must(s.Alloc("x", 4, 1<<16))
 	l := s.NewLSU(Pipelined, buf)
 	// Same row repeatedly: first access misses, rest hit.
 	for i := int64(0); i < 10; i++ {
@@ -137,7 +141,7 @@ func TestRowBufferLocality(t *testing.T) {
 
 	// Jumping rows on one bank: alternate far apart addresses.
 	s2 := NewSystem(Config{Banks: 1})
-	buf2 := s2.Alloc("y", 4, 1<<20)
+	buf2 := must(s2.Alloc("y", 4, 1<<20))
 	l2 := s2.NewLSU(Pipelined, buf2)
 	for i := int64(0); i < 10; i++ {
 		l2.Load(i*1000, (i%2)*100000)
@@ -149,7 +153,7 @@ func TestRowBufferLocality(t *testing.T) {
 
 func TestRowMissSlowerThanHit(t *testing.T) {
 	s := NewSystem(Config{})
-	buf := s.Alloc("x", 4, 1<<20)
+	buf := must(s.Alloc("x", 4, 1<<20))
 	l := s.NewLSU(Pipelined, buf)
 	_, first := l.Load(0, 0) // miss
 	_, second := l.Load(first+100, 1)
@@ -162,7 +166,7 @@ func TestRowMissSlowerThanHit(t *testing.T) {
 
 func TestBankContentionQueues(t *testing.T) {
 	s := NewSystem(Config{Banks: 1, BankBusyMis: 8, BusBusy: 2})
-	buf := s.Alloc("x", 4, 1<<20)
+	buf := must(s.Alloc("x", 4, 1<<20))
 	l := s.NewLSU(Pipelined, buf)
 	// Two simultaneous accesses to different rows of the same bank: the
 	// second must start after the first's bank occupancy.
@@ -175,7 +179,7 @@ func TestBankContentionQueues(t *testing.T) {
 
 func TestStoreQueuePostsThenStalls(t *testing.T) {
 	s := NewSystem(Config{StoreQueue: 4})
-	buf := s.Alloc("x", 4, 1<<20)
+	buf := must(s.Alloc("x", 4, 1<<20))
 	l := s.NewLSU(Pipelined, buf)
 	now := int64(0)
 	var sawStall bool
@@ -234,7 +238,7 @@ func TestLocalMemRoundTrip(t *testing.T) {
 func TestMonotonicCompletionProperty(t *testing.T) {
 	f := func(idxs []uint16, burst bool) bool {
 		s := NewSystem(Config{})
-		buf := s.Alloc("x", 4, 1<<16)
+		buf := must(s.Alloc("x", 4, 1<<16))
 		kind := Pipelined
 		if burst {
 			kind = BurstCoalesced
@@ -273,7 +277,7 @@ func TestValueConsistencyProperty(t *testing.T) {
 		Val int64
 	}) bool {
 		s := NewSystem(Config{})
-		buf := s.Alloc("x", 8, 256)
+		buf := must(s.Alloc("x", 8, 256))
 		l := s.NewLSU(BurstCoalesced, buf)
 		shadow := map[int64]int64{}
 		now := int64(0)

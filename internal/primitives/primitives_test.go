@@ -51,8 +51,8 @@ func TestHDLTimestampMeasuresLatency(t *testing.T) {
 	b.Store(z, b.Ci32(0), b.Sub(end, start))
 
 	m := sim.New(compile(t, p), sim.Options{})
-	bx := m.NewBuffer("x", kir.I32, 50)
-	bz := m.NewBuffer("z", kir.I64, 1)
+	bx := must(m.NewBuffer("x", kir.I32, 50))
+	bz := must(m.NewBuffer("z", kir.I64, 1))
 	u, err := m.Launch("k", sim.Args{"x": bx, "z": bz})
 	if err != nil {
 		t.Fatal(err)
@@ -85,7 +85,7 @@ func TestPersistentTimerSharedChannelsAgree(t *testing.T) {
 	b.Store(z, b.Ci32(1), b.Sub(t2, t1))
 
 	m := sim.New(compile(t, p), sim.Options{})
-	bz := m.NewBuffer("z", kir.I64, 2)
+	bz := must(m.NewBuffer("z", kir.I64, 2))
 	m.Step(30)
 	if _, err := m.Launch("k", sim.Args{"z": bz}); err != nil {
 		t.Fatal(err)
@@ -122,7 +122,7 @@ func TestPerChannelTimersSkew(t *testing.T) {
 		}
 		return 0
 	}})
-	bz := m.NewBuffer("z", kir.I64, 1)
+	bz := must(m.NewBuffer("z", kir.I64, 1))
 	m.Step(60)
 	if _, err := m.Launch("k", sim.Args{"z": bz}); err != nil {
 		t.Fatal(err)
@@ -153,7 +153,7 @@ func TestSequencerOrderAndAddress(t *testing.T) {
 	})
 
 	m := sim.New(compile(t, p), sim.Options{})
-	bz := m.NewBuffer("z", kir.I32, 12)
+	bz := must(m.NewBuffer("z", kir.I32, 12))
 	if _, err := m.Launch("k", sim.Args{"z": bz}); err != nil {
 		t.Fatal(err)
 	}

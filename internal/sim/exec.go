@@ -136,6 +136,7 @@ func (se *segExec) tick(now int64) {
 		ops := se.byStage[f.stage]
 		for f.opPtr < len(ops) {
 			if !se.u.execOp(f.c, ops[f.opPtr], now, se) {
+				se.u.noteBlockedOp(ops[f.opPtr], now)
 				stalled = true
 				break
 			}
@@ -151,6 +152,7 @@ func (se *segExec) tick(now int64) {
 	}
 	// advance the pipeline one stage; retire flows that cleared the segment
 	se.shifts++
+	advanced := len(se.flows) > 0
 	keep := se.flows[:0]
 	for _, f := range se.flows {
 		f.stage++
@@ -162,7 +164,11 @@ func (se *segExec) tick(now int64) {
 		keep = append(keep, f)
 	}
 	se.flows = keep
-	se.u.noteProgress()
+	// an empty segment "advancing" is not forward progress — counting it
+	// would mask a deadlocked design behind idle pipeline stages
+	if advanced {
+		se.u.noteProgress()
+	}
 }
 
 // carrState tracks one carried variable's most recent value in a resident's

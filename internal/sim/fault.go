@@ -1,0 +1,195 @@
+package sim
+
+import (
+	"fmt"
+
+	"oclfpga/internal/fault"
+)
+
+// faultRuntime is the machine-side state of an installed fault plan: events
+// resolved against the design, plus reference counts so overlapping events
+// on the same target compose instead of cancelling each other.
+type faultRuntime struct {
+	plan   *fault.Plan
+	events []resolvedEvent
+
+	readFrozen  map[int]int // chID -> active freeze-read event count
+	writeFrozen map[int]int
+	dropNB      map[int]int
+	stuckCnt    map[string]int // kernel name -> active stuck event count
+
+	frozenReadSince  map[int]int64
+	frozenWriteSince map[int]int64
+	stuckSince       map[string]int64
+
+	memDelay int64 // currently applied extra latency
+}
+
+type resolvedEvent struct {
+	ev      fault.Event
+	chID    int // resolved channel id, -1 for kernel-targeted events
+	applied bool
+	active  bool
+}
+
+// installFaults resolves every event target against the design. Unknown
+// targets are errors: a fault plan aimed at nothing would silently test
+// nothing.
+func (m *Machine) installFaults(p *fault.Plan) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	fr := &faultRuntime{
+		plan:             p,
+		readFrozen:       map[int]int{},
+		writeFrozen:      map[int]int{},
+		dropNB:           map[int]int{},
+		stuckCnt:         map[string]int{},
+		frozenReadSince:  map[int]int64{},
+		frozenWriteSince: map[int]int64{},
+		stuckSince:       map[string]int64{},
+	}
+	for _, ev := range p.Events {
+		re := resolvedEvent{ev: ev, chID: -1}
+		switch {
+		case ev.Kind.ChannelFault():
+			c := m.d.Program.ChanByName(ev.Target)
+			if c == nil {
+				return fmt.Errorf("sim: fault plan targets unknown channel %q", ev.Target)
+			}
+			re.chID = c.ID
+		case ev.Kind == fault.StuckUnit || ev.Kind == fault.LaunchSkew:
+			if len(m.d.KernelUnits(ev.Target)) == 0 {
+				return fmt.Errorf("sim: fault plan targets unknown kernel %q", ev.Target)
+			}
+		}
+		if ev.Kind == fault.LaunchSkew {
+			// launch skew is inherently a launch-time property: delay the
+			// autorun units now, reproducing the §3.1 counter-skew spike
+			for _, u := range m.units {
+				if u.xk.Name == ev.Target {
+					u.startAt += ev.Value
+				}
+			}
+			re.applied = true
+		}
+		fr.events = append(fr.events, re)
+	}
+	m.faults = fr
+	return nil
+}
+
+// applyFaults transitions fault effects on and off for the current cycle.
+// Called at the top of every tick, before channels snapshot their state, so
+// a freeze triggered at cycle N is visible to cycle N's reads.
+func (m *Machine) applyFaults() {
+	fr := m.faults
+	if fr == nil {
+		return
+	}
+	now := m.cycle
+	var memDelay int64
+	for i := range fr.events {
+		re := &fr.events[i]
+		ev := re.ev
+		switch ev.Kind {
+		case fault.DepthOverride:
+			if !re.applied && now >= ev.At {
+				m.chans[re.chID].OverrideDepth(int(ev.Value))
+				re.applied = true
+			}
+		case fault.LaunchSkew:
+			// applied at install time
+		case fault.MemDelay:
+			if ev.ActiveAt(now) && ev.Value > memDelay {
+				memDelay = ev.Value
+			}
+		default:
+			active := ev.ActiveAt(now)
+			if active == re.active {
+				continue
+			}
+			re.active = active
+			delta := -1
+			if active {
+				delta = 1
+			}
+			switch ev.Kind {
+			case fault.FreezeRead:
+				fr.readFrozen[re.chID] += delta
+				frozen := fr.readFrozen[re.chID] > 0
+				m.chans[re.chID].SetReadFrozen(frozen)
+				if frozen && delta > 0 && fr.readFrozen[re.chID] == 1 {
+					fr.frozenReadSince[re.chID] = now
+				}
+			case fault.FreezeWrite:
+				fr.writeFrozen[re.chID] += delta
+				frozen := fr.writeFrozen[re.chID] > 0
+				m.chans[re.chID].SetWriteFrozen(frozen)
+				if frozen && delta > 0 && fr.writeFrozen[re.chID] == 1 {
+					fr.frozenWriteSince[re.chID] = now
+				}
+			case fault.DropWriteNB:
+				fr.dropNB[re.chID] += delta
+				m.chans[re.chID].SetDropNB(fr.dropNB[re.chID] > 0)
+			case fault.StuckUnit:
+				fr.stuckCnt[ev.Target] += delta
+				if delta > 0 && fr.stuckCnt[ev.Target] == 1 {
+					fr.stuckSince[ev.Target] = now
+				}
+			}
+		}
+	}
+	if memDelay != fr.memDelay {
+		m.Mem.SetExtraLatency(memDelay)
+		fr.memDelay = memDelay
+	}
+}
+
+// stuck reports whether the unit's kernel is held by an active StuckUnit
+// fault this cycle.
+func (m *Machine) stuck(u *Unit) bool {
+	return m.faults != nil && m.faults.stuckCnt[u.xk.Name] > 0
+}
+
+// stuckSinceCycle returns when the kernel's stuck fault engaged.
+func (m *Machine) stuckSinceCycle(kernel string) int64 {
+	if m.faults == nil {
+		return 0
+	}
+	return m.faults.stuckSince[kernel]
+}
+
+// frozenBy reports whether the channel endpoint the unit is blocked on is
+// frozen by fault injection, and since when.
+func (m *Machine) frozenBy(chID int, dir string) (since int64, frozen bool) {
+	if m.faults == nil || chID < 0 {
+		return 0, false
+	}
+	switch dir {
+	case "read":
+		if m.faults.readFrozen[chID] > 0 {
+			return m.faults.frozenReadSince[chID], true
+		}
+	case "write":
+		if m.faults.writeFrozen[chID] > 0 {
+			return m.faults.frozenWriteSince[chID], true
+		}
+	}
+	return 0, false
+}
+
+// channelFrozen reports whether either endpoint of the channel is currently
+// frozen ("read", "write", or "" when thawed).
+func (m *Machine) channelFrozen(chID int) string {
+	if m.faults == nil {
+		return ""
+	}
+	if m.faults.readFrozen[chID] > 0 {
+		return "read"
+	}
+	if m.faults.writeFrozen[chID] > 0 {
+		return "write"
+	}
+	return ""
+}

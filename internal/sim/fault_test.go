@@ -1,0 +1,321 @@
+package sim
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"oclfpga/internal/fault"
+	"oclfpga/internal/hls"
+	"oclfpga/internal/kir"
+)
+
+// pipeProgram is the canonical producer -> "pipe" -> consumer pair the
+// paper's channel-stall analysis (§4.2) is built around.
+func pipeProgram(n int64, depth int) *kir.Program {
+	p := kir.NewProgram("pipetest")
+	ch := p.AddChan("pipe", depth, kir.I32)
+	prod := p.AddKernel("producer", kir.SingleTask)
+	src := prod.AddGlobal("src", kir.I32)
+	pb := prod.NewBuilder()
+	pb.ForN("i", n, nil, func(lb *kir.Builder, i kir.Val, _ []kir.Val) []kir.Val {
+		lb.ChanWrite(ch, lb.Load(src, i))
+		return nil
+	})
+	cons := p.AddKernel("consumer", kir.SingleTask)
+	dst := cons.AddGlobal("dst", kir.I32)
+	cb := cons.NewBuilder()
+	cb.ForN("i", n, nil, func(lb *kir.Builder, i kir.Val, _ []kir.Val) []kir.Val {
+		lb.Store(dst, i, lb.ChanRead(ch))
+		return nil
+	})
+	return p
+}
+
+func launchPipe(t *testing.T, m *Machine, n int) {
+	t.Helper()
+	src := must(m.NewBuffer("src", kir.I32, n))
+	must(m.NewBuffer("dst", kir.I32, n))
+	for i := range src.Data {
+		src.Data[i] = int64(i) * 3
+	}
+	if _, err := m.Launch("producer", Args{"src": src}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Launch("consumer", Args{"dst": m.Buffer("dst")}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func plan(t *testing.T, specs string) *fault.Plan {
+	t.Helper()
+	p, err := fault.ParseSpecs(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// The acceptance scenario: freeze the consumer's read endpoint mid-stream and
+// require the diagnosis to name the producer's blocked channel write, the
+// occupancy, and the injected fault.
+func TestFrozenConsumerDiagnosis(t *testing.T) {
+	d := compile(t, pipeProgram(512, 4), hls.Options{})
+	m := New(d, Options{StallLimit: 400, Fault: plan(t, "freeze-read:pipe@50")})
+	launchPipe(t, m, 512)
+
+	err := m.Run()
+	var de *DeadlockError
+	if !errors.As(err, &de) {
+		t.Fatalf("want *DeadlockError, got %v", err)
+	}
+	r := de.Report
+	if r.Reason != ReasonStallLimit {
+		t.Fatalf("reason = %q", r.Reason)
+	}
+	if de.Timeout() {
+		t.Fatal("a diagnosed hang must not be a Timeout")
+	}
+
+	byKernel := map[string]WaitState{}
+	for _, w := range r.Waits {
+		byKernel[w.Kernel] = w
+	}
+	pw, ok := byKernel["producer"]
+	if !ok {
+		t.Fatalf("producer missing from waits: %+v", r.Waits)
+	}
+	if pw.Channel != "pipe" || pw.Dir != "write" {
+		t.Fatalf("producer wait = %+v, want blocked write on pipe", pw)
+	}
+	if pw.Occupancy != 4 || pw.Depth != 4 {
+		t.Fatalf("producer occupancy = %d/%d, want 4/4", pw.Occupancy, pw.Depth)
+	}
+	cw, ok := byKernel["consumer"]
+	if !ok || cw.Channel != "pipe" || cw.Dir != "read" || !cw.Frozen {
+		t.Fatalf("consumer wait = %+v, want frozen blocked read on pipe", cw)
+	}
+
+	if len(r.Edges) < 2 {
+		t.Fatalf("edges = %v, want producer<->consumer wait-for relation", r.Edges)
+	}
+	if len(r.CycleUnits) == 0 {
+		t.Fatalf("frozen pipe should present as a circular wait: %+v", r)
+	}
+	for _, part := range []string{"fault injection", "read", "pipe"} {
+		if !strings.Contains(r.Blame, part) {
+			t.Fatalf("blame %q missing %q", r.Blame, part)
+		}
+	}
+	// the rendered report and the error string both carry the essentials
+	for _, s := range []string{r.String(), de.Error()} {
+		for _, part := range []string{"pipe", "producer", "consumer"} {
+			if !strings.Contains(s, part) {
+				t.Fatalf("rendering missing %q:\n%s", part, s)
+			}
+		}
+	}
+}
+
+func TestStuckUnitBlame(t *testing.T) {
+	d := compile(t, pipeProgram(128, 4), hls.Options{})
+	m := New(d, Options{StallLimit: 300, Fault: plan(t, "stuck:producer@20")})
+	launchPipe(t, m, 128)
+
+	err := m.Run()
+	var de *DeadlockError
+	if !errors.As(err, &de) {
+		t.Fatalf("want *DeadlockError, got %v", err)
+	}
+	var stuck *WaitState
+	for i := range de.Report.Waits {
+		if de.Report.Waits[i].Kernel == "producer" {
+			stuck = &de.Report.Waits[i]
+		}
+	}
+	if stuck == nil || !stuck.Stuck {
+		t.Fatalf("producer not reported stuck: %+v", de.Report.Waits)
+	}
+	if !strings.Contains(de.Report.Blame, "stuck-unit") || !strings.Contains(de.Report.Blame, "producer") {
+		t.Fatalf("blame = %q", de.Report.Blame)
+	}
+}
+
+func TestMaxCyclesReason(t *testing.T) {
+	d := compile(t, pipeProgram(256, 4), hls.Options{})
+	m := New(d, Options{MaxCycles: 60, StallLimit: 1_000_000})
+	launchPipe(t, m, 256)
+	err := m.Run()
+	var de *DeadlockError
+	if !errors.As(err, &de) {
+		t.Fatalf("want *DeadlockError, got %v", err)
+	}
+	if de.Report.Reason != ReasonMaxCycles {
+		t.Fatalf("reason = %q", de.Report.Reason)
+	}
+	if de.Report.Active == 0 {
+		t.Fatal("kernels should still be running at the cycle ceiling")
+	}
+	if !strings.Contains(de.Error(), "exceeded 60 cycles") {
+		t.Fatalf("error = %q", de.Error())
+	}
+}
+
+func TestRunForBudgetAndResume(t *testing.T) {
+	d := compile(t, pipeProgram(256, 4), hls.Options{})
+	m := New(d, Options{})
+	launchPipe(t, m, 256)
+
+	err := m.RunFor(10)
+	var de *DeadlockError
+	if !errors.As(err, &de) {
+		t.Fatalf("want budget *DeadlockError, got %v", err)
+	}
+	if de.Report.Reason != ReasonBudget || !de.Timeout() {
+		t.Fatalf("want retryable budget expiry, got %+v", de.Report)
+	}
+	// a bounded run is resumable: keep granting budget until it completes
+	for i := 0; err != nil; i++ {
+		if !errors.As(err, &de) || !de.Timeout() {
+			t.Fatalf("resume attempt %d: %v", i, err)
+		}
+		if i > 10_000 {
+			t.Fatal("run never completed")
+		}
+		err = m.RunFor(100)
+	}
+	dst := m.Buffer("dst")
+	for i, v := range dst.Data {
+		if v != int64(i)*3 {
+			t.Fatalf("dst[%d] = %d after resumed run", i, v)
+		}
+	}
+}
+
+func TestDropNBCountsDropped(t *testing.T) {
+	// the autorun timer publishes via non-blocking writes; a drop-nb fault
+	// must lose words loudly (Stats.Dropped), never silently
+	d := compile(t, timerProgram(), hls.Options{})
+	m := New(d, Options{Fault: plan(t, "drop-nb:time_ch1@0+40")})
+	bx := must(m.NewBuffer("x", kir.I32, 100))
+	bz := must(m.NewBuffer("z", kir.I64, 2))
+	if _, err := m.Launch("dut", Args{"x": bx, "z": bz}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Channel("time_ch1").Stats().Dropped; got == 0 {
+		t.Fatal("drop-nb fault recorded no dropped writes")
+	}
+	if m.Channel("time_ch2").Stats().Dropped != 0 {
+		t.Fatal("untargeted channel dropped writes")
+	}
+}
+
+func TestDepthOverride(t *testing.T) {
+	d := compile(t, pipeProgram(64, 1), hls.Options{})
+	m := New(d, Options{Fault: plan(t, "depth:pipe@0=8")})
+	launchPipe(t, m, 64)
+	m.Step(1) // faults are applied as simulated time passes
+	if got := m.Channel("pipe").Depth(); got != 8 {
+		t.Fatalf("depth = %d after override, want 8", got)
+	}
+	if err := m.Run(); err != nil {
+		t.Fatalf("deepened pipe must still drain correctly: %v", err)
+	}
+	dst := m.Buffer("dst")
+	for i, v := range dst.Data {
+		if v != int64(i)*3 {
+			t.Fatalf("dst[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestMemDelaySlowsRun(t *testing.T) {
+	run := func(p *fault.Plan) int64 {
+		d := compile(t, pipeProgram(128, 4), hls.Options{})
+		m := New(d, Options{Fault: p})
+		launchPipe(t, m, 128)
+		u := m.active[len(m.active)-1] // consumer
+		if err := m.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return u.FinishedAt()
+	}
+	base := run(nil)
+	slow := run(plan(t, "mem-delay@0=50"))
+	if slow <= base {
+		t.Fatalf("mem-delay run finished at %d, baseline %d", slow, base)
+	}
+}
+
+func TestLaunchSkewDelaysAutorun(t *testing.T) {
+	run := func(p *fault.Plan) int64 {
+		d := compile(t, timerProgram(), hls.Options{})
+		m := New(d, Options{Fault: p})
+		bx := must(m.NewBuffer("x", kir.I32, 100))
+		bz := must(m.NewBuffer("z", kir.I64, 2))
+		u, err := m.Launch("dut", Args{"x": bx, "z": bz})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return u.FinishedAt()
+	}
+	base := run(nil)
+	skewed := run(plan(t, "skew:timer_srv@0=200"))
+	// the dut blocks on the timer's first timestamp, so a 200-cycle launch
+	// skew pushes its completion out by roughly that much
+	if skewed < base+150 {
+		t.Fatalf("skewed run finished at %d, baseline %d — skew not applied", skewed, base)
+	}
+}
+
+func TestUnknownFaultTargetsError(t *testing.T) {
+	d := compile(t, pipeProgram(16, 4), hls.Options{})
+	m := New(d, Options{Fault: plan(t, "freeze-read:nosuch@0")})
+	err := m.Run()
+	if err == nil || !strings.Contains(err.Error(), "nosuch") {
+		t.Fatalf("want unknown-channel install error, got %v", err)
+	}
+
+	m2 := New(d, Options{Fault: plan(t, "stuck:ghost@0")})
+	if err := m2.Run(); err == nil || !strings.Contains(err.Error(), "ghost") {
+		t.Fatalf("want unknown-kernel install error, got %v", err)
+	}
+}
+
+func TestTransientFreezeRecovers(t *testing.T) {
+	// a bounded freeze stalls the stream but the run completes correctly
+	// once the fault window closes — no corruption, no diagnosis
+	d := compile(t, pipeProgram(128, 4), hls.Options{})
+	m := New(d, Options{Fault: plan(t, "freeze-write:pipe@40+120")})
+	launchPipe(t, m, 128)
+	if err := m.Run(); err != nil {
+		t.Fatalf("transient fault should not hang the run: %v", err)
+	}
+	dst := m.Buffer("dst")
+	for i, v := range dst.Data {
+		if v != int64(i)*3 {
+			t.Fatalf("dst[%d] = %d after transient freeze", i, v)
+		}
+	}
+}
+
+func TestDeadlockReportOnLiveMachine(t *testing.T) {
+	// DeadlockReport is also a live inspection tool on a stepped machine
+	d := compile(t, pipeProgram(512, 4), hls.Options{})
+	m := New(d, Options{Fault: plan(t, "freeze-read:pipe@10")})
+	launchPipe(t, m, 512)
+	m.Step(200)
+	r := m.DeadlockReport(ReasonStallLimit)
+	if len(r.Waits) == 0 || r.Blame == "" {
+		t.Fatalf("live report empty: %+v", r)
+	}
+	if !strings.Contains(r.String(), "hang diagnosis") {
+		t.Fatalf("report rendering: %s", r)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"fmt"
 
 	"oclfpga/internal/channel"
+	"oclfpga/internal/fault"
 	"oclfpga/internal/hls"
 	"oclfpga/internal/kir"
 	"oclfpga/internal/mem"
@@ -27,6 +28,10 @@ type Options struct {
 	// launch in the same cycle, skewing free-running counters (§3.1); a
 	// non-zero skew reproduces that hazard.
 	AutorunSkew func(kernel string, cu int) int64
+	// Fault is an optional deterministic fault-injection plan the machine
+	// consults every cycle. Unknown targets surface as an error from the
+	// first Run rather than being silently ignored.
+	Fault *fault.Plan
 }
 
 func (o *Options) fill() {
@@ -55,6 +60,8 @@ type Machine struct {
 	lastProgress int64
 	err          error
 
+	faults *faultRuntime
+
 	// cycleHooks run at the end of every cycle (after channel commit);
 	// the VCD recorder uses this.
 	cycleHooks []func(cycle int64)
@@ -77,6 +84,11 @@ func New(d *hls.Design, opts Options) *Machine {
 		}
 		m.units = append(m.units, u)
 	}
+	if opts.Fault != nil {
+		if err := m.installFaults(opts.Fault); err != nil && m.err == nil {
+			m.err = err
+		}
+	}
 	return m
 }
 
@@ -95,18 +107,23 @@ func (m *Machine) Channel(name string) *channel.Channel {
 	return m.chans[c.ID]
 }
 
-// NewBuffer allocates a global-memory buffer for kernel arguments.
-func (m *Machine) NewBuffer(name string, elem kir.Type, n int) *mem.Buffer {
+// NewBuffer allocates a global-memory buffer for kernel arguments. A
+// duplicate name or bad size is reported as an error: buffer setup is the
+// host program's public path, where misuse should not crash the process.
+func (m *Machine) NewBuffer(name string, elem kir.Type, n int) (*mem.Buffer, error) {
 	if _, dup := m.bufs[name]; dup {
-		panic(fmt.Sprintf("sim: duplicate buffer %q", name))
+		return nil, fmt.Errorf("sim: duplicate buffer %q", name)
 	}
 	bytes := int64(elem.Bits() / 8)
 	if bytes == 0 {
 		bytes = 1
 	}
-	b := m.Mem.Alloc(name, bytes, n)
+	b, err := m.Mem.Alloc(name, bytes, n)
+	if err != nil {
+		return nil, err
+	}
 	m.bufs[name] = b
-	return b
+	return b, nil
 }
 
 // Buffer returns a previously allocated buffer.
@@ -197,21 +214,36 @@ func (m *Machine) Step(n int64) {
 	}
 }
 
-// Run advances until every launched kernel completes. It returns an error on
-// deadlock (no forward progress within StallLimit) or cycle overrun.
-func (m *Machine) Run() error {
+// Run advances until every launched kernel completes. On deadlock (no
+// forward progress within StallLimit) or cycle overrun it returns a
+// *DeadlockError carrying a structured DeadlockReport: per-unit wait states,
+// the wait-for graph, and a one-line blame verdict.
+func (m *Machine) Run() error { return m.run(-1) }
+
+// RunFor advances like Run but gives up after budget cycles, returning a
+// *DeadlockError whose report's Reason is ReasonBudget (Timeout() true). The
+// machine stays consistent: a later Run or RunFor continues where this one
+// stopped, which is what the host controller's retry loop relies on.
+func (m *Machine) RunFor(budget int64) error { return m.run(budget) }
+
+func (m *Machine) run(budget int64) error {
+	if m.err != nil {
+		return m.err // e.g. a fault plan targeting an unknown channel/kernel
+	}
+	start := m.cycle
 	for len(m.active) > 0 {
+		if budget >= 0 && m.cycle-start >= budget {
+			return &DeadlockError{Report: m.DeadlockReport(ReasonBudget)}
+		}
 		m.tick()
 		if m.err != nil {
 			return m.err
 		}
 		if m.cycle-m.lastProgress > m.opts.StallLimit {
-			return fmt.Errorf("sim: no progress for %d cycles at cycle %d: %s",
-				m.opts.StallLimit, m.cycle, m.blockReport())
+			return &DeadlockError{Report: m.DeadlockReport(ReasonStallLimit)}
 		}
 		if m.cycle > m.opts.MaxCycles {
-			return fmt.Errorf("sim: exceeded %d cycles with %d kernels still running",
-				m.opts.MaxCycles, len(m.active))
+			return &DeadlockError{Report: m.DeadlockReport(ReasonMaxCycles)}
 		}
 	}
 	return nil
@@ -219,14 +251,22 @@ func (m *Machine) Run() error {
 
 func (m *Machine) tick() {
 	m.cycle++
+	m.applyFaults()
 	for _, c := range m.chans {
 		c.BeginCycle()
 	}
 	for _, u := range m.units {
+		if m.stuck(u) {
+			continue
+		}
 		u.tick(m.cycle)
 	}
 	stillActive := m.active[:0]
 	for _, u := range m.active {
+		if m.stuck(u) {
+			stillActive = append(stillActive, u)
+			continue
+		}
 		u.tick(m.cycle)
 		if u.Done() {
 			u.finishedAt = m.cycle
@@ -241,17 +281,6 @@ func (m *Machine) tick() {
 	for _, h := range m.cycleHooks {
 		h(m.cycle)
 	}
-}
-
-func (m *Machine) blockReport() string {
-	s := ""
-	for _, u := range m.active {
-		s += fmt.Sprintf("[%s blocked on %s] ", u.xk.UnitName(), u.lastBlock)
-	}
-	if s == "" {
-		s = "(no block site recorded)"
-	}
-	return s
 }
 
 // Unit is one kernel compute unit activation.
@@ -276,7 +305,18 @@ type Unit struct {
 	topDone bool
 
 	intrinsicState map[*hls.XOp]any
-	lastBlock      string
+	// block tracks the most recent blocked operation for hang diagnostics.
+	block blockState
+}
+
+// blockState is a unit's structured record of what it is (or was last)
+// waiting on — the raw material for DeadlockReport.
+type blockState struct {
+	op    *hls.XOp
+	chID  int    // program channel id, -1 when not a channel op
+	dir   string // "read" / "write" for channel ops, "" otherwise
+	since int64  // first cycle of the current consecutive blockage
+	last  int64  // most recent blocked cycle
 }
 
 func (m *Machine) newUnit(xk *hls.XKernel) *Unit {
@@ -333,12 +373,27 @@ func (u *Unit) noteProgress() {
 	}
 }
 
-func (u *Unit) noteBlocked(op *hls.XOp, dir string, now int64) {
-	name := "?"
-	if op.ChID >= 0 && op.ChID < len(u.m.d.Program.Chans) {
-		name = u.m.d.Program.Chans[op.ChID].Name
+// noteBlockedOp records that op could not proceed this cycle. Consecutive
+// blockages on the same op accumulate into one wait interval; any progress
+// in between restarts the clock.
+func (u *Unit) noteBlockedOp(op *hls.XOp, now int64) {
+	if u.block.op != op || u.block.last < now-1 {
+		u.block.since = now
 	}
-	u.lastBlock = fmt.Sprintf("channel %s %q at cycle %d", dir, name, now)
+	u.block.op = op
+	u.block.last = now
+	u.block.chID = -1
+	u.block.dir = ""
+	switch op.Kind {
+	case kir.OpChanRead, kir.OpChanReadNB:
+		u.block.chID, u.block.dir = op.ChID, "read"
+	case kir.OpChanWrite, kir.OpChanWriteNB:
+		u.block.chID, u.block.dir = op.ChID, "write"
+	case kir.OpIBufLogic:
+		if op.ChID >= 0 {
+			u.block.chID, u.block.dir = op.ChID, "read"
+		}
+	}
 }
 
 func (u *Unit) tick(now int64) {

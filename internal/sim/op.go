@@ -155,14 +155,12 @@ func (u *Unit) execOp(c *Ctx, op *hls.XOp, now int64, se *segExec) bool {
 		ch := u.m.chans[op.ChID]
 		v, ok := ch.TryRead()
 		if !ok {
-			u.noteBlocked(op, "read", now)
 			return false
 		}
 		c.write(op.Dst, truncBits(v, op.Bits), done)
 	case kir.OpChanWrite:
 		ch := u.m.chans[op.ChID]
 		if !ch.TryWrite(arg(0)) {
-			u.noteBlocked(op, "write", now)
 			return false
 		}
 	case kir.OpChanReadNB:

@@ -32,8 +32,8 @@ func streamProgram(depth int) *kir.Program {
 
 func TestKernelToKernelStreaming(t *testing.T) {
 	m := New(compile(t, streamProgram(8), hls.Options{}), Options{})
-	src := m.NewBuffer("src", kir.I32, 64)
-	dst := m.NewBuffer("dst", kir.I32, 64)
+	src := must(m.NewBuffer("src", kir.I32, 64))
+	dst := must(m.NewBuffer("dst", kir.I32, 64))
 	for i := range src.Data {
 		src.Data[i] = int64(i + 1)
 	}
@@ -55,8 +55,8 @@ func TestKernelToKernelStreaming(t *testing.T) {
 
 func TestProfileReportsChannelActivity(t *testing.T) {
 	m := New(compile(t, streamProgram(2), hls.Options{}), Options{})
-	src := m.NewBuffer("src", kir.I32, 64)
-	dst := m.NewBuffer("dst", kir.I32, 64)
+	src := must(m.NewBuffer("src", kir.I32, 64))
+	dst := must(m.NewBuffer("dst", kir.I32, 64))
 	pu, err := m.Launch("producer", Args{"src": src})
 	if err != nil {
 		t.Fatal(err)
@@ -118,7 +118,7 @@ func TestProfileEmptyChannelsElided(t *testing.T) {
 	b3.Store(g3, b3.Ci32(0), b3.ChanRead(p.ChanByName("unused")))
 
 	m := New(compile(t, p, hls.Options{}), Options{})
-	z2 := m.NewBuffer("z", kir.I32, 1)
+	z2 := must(m.NewBuffer("z", kir.I32, 1))
 	u, err := m.Launch("k", Args{"z": z2})
 	if err != nil {
 		t.Fatal(err)
@@ -135,8 +135,8 @@ func TestProfileEmptyChannelsElided(t *testing.T) {
 func TestVCDRecorder(t *testing.T) {
 	m := New(compile(t, streamProgram(4), hls.Options{}), Options{})
 	vcd := m.NewVCD("pipe")
-	src := m.NewBuffer("src", kir.I32, 64)
-	dst := m.NewBuffer("dst", kir.I32, 64)
+	src := must(m.NewBuffer("src", kir.I32, 64))
+	dst := must(m.NewBuffer("dst", kir.I32, 64))
 	for i := range src.Data {
 		src.Data[i] = int64(i)
 	}

@@ -28,7 +28,7 @@ func TestStraightLineStores(t *testing.T) {
 	b.Store(g, b.Ci32(1), b.Mul(v, v))
 
 	m := New(compile(t, p, hls.Options{}), Options{})
-	buf := m.NewBuffer("g", kir.I32, 4)
+	buf := must(m.NewBuffer("g", kir.I32, 4))
 	if _, err := m.Launch("k", Args{"g": buf}); err != nil {
 		t.Fatal(err)
 	}
@@ -49,7 +49,7 @@ func TestScalarArgs(t *testing.T) {
 	b.Store(g, b.Ci32(0), b.Mul(n.Val, b.Ci32(3)))
 
 	m := New(compile(t, p, hls.Options{}), Options{})
-	buf := m.NewBuffer("g", kir.I32, 1)
+	buf := must(m.NewBuffer("g", kir.I32, 1))
 	if _, err := m.Launch("k", Args{"g": buf, "n": 14}); err != nil {
 		t.Fatal(err)
 	}
@@ -74,9 +74,9 @@ func TestDotProductLoop(t *testing.T) {
 	b.Store(z, b.Ci32(0), sum[0])
 
 	m := New(compile(t, p, hls.Options{}), Options{})
-	bx := m.NewBuffer("x", kir.I32, 100)
-	by := m.NewBuffer("y", kir.I32, 100)
-	bz := m.NewBuffer("z", kir.I32, 1)
+	bx := must(m.NewBuffer("x", kir.I32, 100))
+	by := must(m.NewBuffer("y", kir.I32, 100))
+	bz := must(m.NewBuffer("z", kir.I32, 1))
 	want := int64(0)
 	for i := 0; i < 100; i++ {
 		bx.Data[i] = int64(i)
@@ -109,8 +109,8 @@ func TestPipelineThroughput(t *testing.T) {
 	b.Store(z, b.Ci32(0), sum[0])
 
 	m := New(compile(t, p, hls.Options{}), Options{})
-	bx := m.NewBuffer("x", kir.I32, N)
-	bz := m.NewBuffer("z", kir.I32, 1)
+	bx := must(m.NewBuffer("x", kir.I32, N))
+	bz := must(m.NewBuffer("z", kir.I32, 1))
 	u, err := m.Launch("k", Args{"x": bx, "z": bz})
 	if err != nil {
 		t.Fatal(err)
@@ -140,8 +140,8 @@ func TestPointerChaseSerializes(t *testing.T) {
 	b.Store(z, b.Ci32(0), res[0])
 
 	m := New(compile(t, p, hls.Options{}), Options{})
-	bn := m.NewBuffer("next", kir.I32, 4096)
-	bz := m.NewBuffer("z", kir.I32, 1)
+	bn := must(m.NewBuffer("next", kir.I32, 4096))
+	bz := must(m.NewBuffer("z", kir.I32, 1))
 	// a permutation cycle: i -> (i*97+13) % 4096
 	for i := 0; i < 4096; i++ {
 		bn.Data[i] = int64((i*97 + 13) % 4096)
@@ -179,9 +179,9 @@ func TestNDRangeVecAdd(t *testing.T) {
 
 	m := New(compile(t, p, hls.Options{}), Options{})
 	const G = 256
-	bx := m.NewBuffer("x", kir.I32, G)
-	by := m.NewBuffer("y", kir.I32, G)
-	bz := m.NewBuffer("z", kir.I32, G)
+	bx := must(m.NewBuffer("x", kir.I32, G))
+	by := must(m.NewBuffer("y", kir.I32, G))
+	bz := must(m.NewBuffer("z", kir.I32, G))
 	for i := 0; i < G; i++ {
 		bx.Data[i] = int64(i)
 		by.Data[i] = int64(1000 - i)
@@ -216,8 +216,8 @@ func TestNDRangeLoopCarried(t *testing.T) {
 
 	m := New(compile(t, p, hls.Options{}), Options{})
 	const G = 16
-	bx := m.NewBuffer("x", kir.I32, G*8)
-	bz := m.NewBuffer("z", kir.I32, G)
+	bx := must(m.NewBuffer("x", kir.I32, G*8))
+	bz := must(m.NewBuffer("z", kir.I32, G))
 	for i := range bx.Data {
 		bx.Data[i] = int64(i)
 	}
@@ -269,8 +269,8 @@ func timerProgram() *kir.Program {
 
 func TestAutorunTimestamp(t *testing.T) {
 	m := New(compile(t, timerProgram(), hls.Options{}), Options{})
-	bx := m.NewBuffer("x", kir.I32, 100)
-	bz := m.NewBuffer("z", kir.I64, 2)
+	bx := must(m.NewBuffer("x", kir.I32, 100))
+	bz := must(m.NewBuffer("z", kir.I64, 2))
 	for i := range bx.Data {
 		bx.Data[i] = 1
 	}
@@ -312,7 +312,7 @@ func TestSequenceServerConsecutive(t *testing.T) {
 	})
 
 	m := New(compile(t, p, hls.Options{}), Options{})
-	bz := m.NewBuffer("z", kir.I32, 20)
+	bz := must(m.NewBuffer("z", kir.I32, 20))
 	m.Step(100)
 	if _, err := m.Launch("taker", Args{"z": bz}); err != nil {
 		t.Fatal(err)
@@ -336,7 +336,7 @@ func TestDeadlockDetection(t *testing.T) {
 	b.Store(z, b.Ci32(0), b.ChanRead(ch)) // no producer
 
 	m := New(compile(t, p, hls.Options{}), Options{StallLimit: 500})
-	bz := m.NewBuffer("z", kir.I32, 1)
+	bz := must(m.NewBuffer("z", kir.I32, 1))
 	if _, err := m.Launch("k", Args{"z": bz}); err != nil {
 		t.Fatal(err)
 	}
@@ -360,7 +360,7 @@ func TestLaunchErrors(t *testing.T) {
 	if _, err := m.Launch("dut", Args{}); err == nil {
 		t.Fatal("launch without args succeeded")
 	}
-	bz := m.NewBuffer("z", kir.I64, 2)
+	bz := must(m.NewBuffer("z", kir.I64, 2))
 	if _, err := m.Launch("dut", Args{"x": 5, "z": bz}); err == nil {
 		t.Fatal("scalar for array arg accepted")
 	}
@@ -398,8 +398,8 @@ func TestPredicatedChannelOpsSkip(t *testing.T) {
 	b3.Store(g3, b3.Ci32(0), v1)
 
 	m := New(compile(t, p, hls.Options{}), Options{StallLimit: 2000})
-	bz := m.NewBuffer("z", kir.I32, 1)
-	bo := m.NewBuffer("out", kir.I32, 1)
+	bz := must(m.NewBuffer("z", kir.I32, 1))
+	bo := must(m.NewBuffer("out", kir.I32, 1))
 	if _, err := m.Launch("k", Args{"z": bz, "id": 0}); err != nil {
 		t.Fatal(err)
 	}
@@ -435,19 +435,19 @@ func TestStepWithoutLaunches(t *testing.T) {
 
 func TestBufferAccessors(t *testing.T) {
 	m := New(compile(t, timerProgram(), hls.Options{}), Options{})
-	b := m.NewBuffer("b", kir.I32, 8)
+	b := must(m.NewBuffer("b", kir.I32, 8))
 	if m.Buffer("b") != b {
 		t.Fatal("Buffer lookup failed")
 	}
 	if m.Channel("nosuch") != nil {
 		t.Fatal("Channel lookup of unknown name")
 	}
-	defer func() {
-		if recover() == nil {
-			t.Fatal("duplicate buffer not rejected")
-		}
-	}()
-	m.NewBuffer("b", kir.I32, 8)
+	if _, err := m.NewBuffer("b", kir.I32, 8); err == nil {
+		t.Fatal("duplicate buffer not rejected")
+	}
+	if _, err := m.NewBuffer("neg", kir.I32, -1); err == nil {
+		t.Fatal("negative-length buffer not rejected")
+	}
 }
 
 func TestDeterministicReplay(t *testing.T) {
@@ -464,8 +464,8 @@ func TestDeterministicReplay(t *testing.T) {
 		})
 		b.Store(z, gid, sum[0])
 		m := New(compile(t, p, hls.Options{}), Options{})
-		bx := m.NewBuffer("x", kir.I32, 96)
-		bz := m.NewBuffer("z", kir.I32, 16)
+		bx := must(m.NewBuffer("x", kir.I32, 96))
+		bz := must(m.NewBuffer("z", kir.I32, 16))
 		for i := range bx.Data {
 			bx.Data[i] = int64(i * 3 % 17)
 		}
@@ -509,8 +509,8 @@ func TestNDRangeNestedLoops(t *testing.T) {
 
 	m := New(compile(t, p, hls.Options{}), Options{})
 	const G = 8
-	bx := m.NewBuffer("x", kir.I32, G*12)
-	bz := m.NewBuffer("z", kir.I32, G)
+	bx := must(m.NewBuffer("x", kir.I32, G*12))
+	bz := must(m.NewBuffer("z", kir.I32, G))
 	for i := range bx.Data {
 		bx.Data[i] = int64(i%7 + 1)
 	}
@@ -541,7 +541,7 @@ func TestSequentialLaunchesShareState(t *testing.T) {
 	b.Store(g, b.Ci32(0), b.Add(b.Load(g, b.Ci32(0)), b.Ci32(1)))
 
 	m := New(compile(t, p, hls.Options{}), Options{})
-	bg := m.NewBuffer("g", kir.I32, 1)
+	bg := must(m.NewBuffer("g", kir.I32, 1))
 	for i := 0; i < 3; i++ {
 		if _, err := m.Launch("inc", Args{"g": bg}); err != nil {
 			t.Fatal(err)
@@ -576,7 +576,7 @@ func TestNDRangeWide(t *testing.T) {
 
 	m := New(compile(t, p, hls.Options{}), Options{})
 	const G = 1500
-	bz := m.NewBuffer("z", kir.I32, G)
+	bz := must(m.NewBuffer("z", kir.I32, G))
 	u, err := m.LaunchND("k", G, Args{"z": bz})
 	if err != nil {
 		t.Fatal(err)

@@ -26,9 +26,9 @@ func TestMatVecBothModesCorrect(t *testing.T) {
 		mv := workload.BuildMatVec(p, workload.MatVecConfig{Mode: mode, N: 8, Num: 12})
 		d := compile(t, p)
 		m := sim.New(d, sim.Options{})
-		x := m.NewBuffer("x", kir.I32, 8*12)
-		y := m.NewBuffer("y", kir.I32, 12)
-		z := m.NewBuffer("z", kir.I32, 8)
+		x := must(m.NewBuffer("x", kir.I32, 8*12))
+		y := must(m.NewBuffer("y", kir.I32, 12))
+		z := must(m.NewBuffer("z", kir.I32, 8))
 		for i := range x.Data {
 			x.Data[i] = int64(i%5 - 2)
 		}
@@ -68,12 +68,12 @@ func TestMatVecInstrumentedStillCorrect(t *testing.T) {
 	}
 	d := compile(t, p)
 	m := sim.New(d, sim.Options{})
-	x := m.NewBuffer("x", kir.I32, 4*20)
-	y := m.NewBuffer("y", kir.I32, 20)
-	z := m.NewBuffer("z", kir.I32, 4)
-	i1 := m.NewBuffer("info1", kir.I64, mv.InfoSize)
-	i2 := m.NewBuffer("info2", kir.I32, mv.InfoSize)
-	i3 := m.NewBuffer("info3", kir.I32, mv.InfoSize)
+	x := must(m.NewBuffer("x", kir.I32, 4*20))
+	y := must(m.NewBuffer("y", kir.I32, 20))
+	z := must(m.NewBuffer("z", kir.I32, 4))
+	i1 := must(m.NewBuffer("info1", kir.I64, mv.InfoSize))
+	i2 := must(m.NewBuffer("info2", kir.I32, mv.InfoSize))
+	i3 := must(m.NewBuffer("info3", kir.I32, mv.InfoSize))
 	for i := range x.Data {
 		x.Data[i] = 2
 	}
@@ -129,8 +129,8 @@ func TestChaseVariants(t *testing.T) {
 		}
 		d := compile(t, p)
 		m := sim.New(d, sim.Options{})
-		table := m.NewBuffer("next", kir.I32, 256)
-		out := m.NewBuffer("out", kir.I64, 2)
+		table := must(m.NewBuffer("next", kir.I32, 256))
+		out := must(m.NewBuffer("out", kir.I64, 2))
 		for i := range table.Data {
 			table.Data[i] = int64((i + 17) % 256)
 		}
@@ -182,9 +182,9 @@ func TestSingleTaskFasterThanNDRangeOnSequentialData(t *testing.T) {
 		mv := workload.BuildMatVec(p, workload.MatVecConfig{Mode: mode})
 		d := compile(t, p)
 		m := sim.New(d, sim.Options{})
-		x := m.NewBuffer("x", kir.I32, 50*100)
-		y := m.NewBuffer("y", kir.I32, 100)
-		z := m.NewBuffer("z", kir.I32, 50)
+		x := must(m.NewBuffer("x", kir.I32, 50*100))
+		y := must(m.NewBuffer("y", kir.I32, 100))
+		z := must(m.NewBuffer("z", kir.I32, 50))
 		args := sim.Args{"x": x, "y": y, "z": z}
 		var u *sim.Unit
 		var err error
@@ -216,9 +216,9 @@ func TestFIRFilterCorrect(t *testing.T) {
 	}
 	d := compile(t, p)
 	m := sim.New(d, sim.Options{})
-	bx := m.NewBuffer("x", kir.I32, 64)
-	bc := m.NewBuffer("coeff", kir.I32, 5)
-	by := m.NewBuffer("y", kir.I32, 64)
+	bx := must(m.NewBuffer("x", kir.I32, 64))
+	bc := must(m.NewBuffer("coeff", kir.I32, 5))
+	by := must(m.NewBuffer("y", kir.I32, 64))
 	for i := range bx.Data {
 		bx.Data[i] = int64(i%9 - 4)
 	}

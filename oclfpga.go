@@ -28,7 +28,7 @@
 //	// oclfpga.TakeSnapshot(...)
 //	design, _ := oclfpga.Compile(p, oclfpga.StratixV(), oclfpga.CompileOptions{})
 //	m := oclfpga.NewMachine(design, oclfpga.SimOptions{})
-//	ctl := oclfpga.NewController(m, ifc)
+//	ctl, _ := oclfpga.NewController(m, ifc)
 //	_ = ctl.StartLinear(0)
 //	// ... launch kernels with m.Launch, then ctl.ReadTrace(0)
 package oclfpga
@@ -36,6 +36,7 @@ package oclfpga
 import (
 	"oclfpga/internal/core"
 	"oclfpga/internal/device"
+	"oclfpga/internal/fault"
 	"oclfpga/internal/hls"
 	"oclfpga/internal/host"
 	"oclfpga/internal/kir"
@@ -137,6 +138,51 @@ type (
 // NewMachine loads a design and starts its autorun kernels.
 func NewMachine(d *Design, opts SimOptions) *Machine { return sim.New(d, opts) }
 
+// Fault injection and hang diagnostics.
+type (
+	// FaultPlan is a deterministic, seeded schedule of injected faults the
+	// simulator consults every cycle (set SimOptions.Fault).
+	FaultPlan = fault.Plan
+	// FaultEvent is one scheduled fault.
+	FaultEvent = fault.Event
+	// FaultKind selects what a FaultEvent does (frozen channel endpoint,
+	// dropped non-blocking write, overridden depth, delayed memory, stuck
+	// unit, launch skew).
+	FaultKind = fault.Kind
+	// FaultCampaignSpec bounds randomly generated fault plans.
+	FaultCampaignSpec = fault.CampaignSpec
+	// DeadlockReport is the structured hang diagnosis Run returns instead of
+	// an opaque error: per-unit wait states, the wait-for graph, and a blame
+	// verdict.
+	DeadlockReport = sim.DeadlockReport
+	// DeadlockError is the error wrapping a DeadlockReport.
+	DeadlockError = sim.DeadlockError
+	// WaitState is one compute unit's row in a DeadlockReport.
+	WaitState = sim.WaitState
+)
+
+// Fault kinds (see internal/fault).
+const (
+	FaultFreezeRead    = fault.FreezeRead
+	FaultFreezeWrite   = fault.FreezeWrite
+	FaultDropWriteNB   = fault.DropWriteNB
+	FaultDepthOverride = fault.DepthOverride
+	FaultMemDelay      = fault.MemDelay
+	FaultStuckUnit     = fault.StuckUnit
+	FaultLaunchSkew    = fault.LaunchSkew
+)
+
+// ParseFaultSpecs parses a comma-separated fault-plan spec of the form
+// "kind[:target]@cycle[+duration][=value]", e.g.
+// "freeze-read:pipe@500+2000,mem-delay@100+400=32".
+func ParseFaultSpecs(s string) (*FaultPlan, error) { return fault.ParseSpecs(s) }
+
+// NewRandomFaultPlan derives a deterministic fault plan from a seed — the
+// building block of fault-soak campaigns.
+func NewRandomFaultPlan(seed int64, spec FaultCampaignSpec) *FaultPlan {
+	return fault.NewRandomPlan(seed, spec)
+}
+
 // Profiling and debugging framework (the paper's contribution).
 type (
 	// IBuffer is a built intelligent-trace-buffer bank (§4).
@@ -188,7 +234,9 @@ func BuildHDLIBuffer(p *Program, cfg IBufferConfig) (*IBuffer, error) { return c
 func BuildHostInterface(p *Program, ib *IBuffer) *HostInterface { return host.BuildInterface(p, ib) }
 
 // NewController wires a machine to an ibuffer bank's host interface.
-func NewController(m *Machine, ifc *HostInterface) *Controller { return host.NewController(m, ifc) }
+func NewController(m *Machine, ifc *HostInterface) (*Controller, error) {
+	return host.NewController(m, ifc)
+}
 
 // AddHDLTimer registers the get_time HDL library function (Listing 3).
 func AddHDLTimer(p *Program) *LibFunc { return primitives.AddHDLTimer(p) }

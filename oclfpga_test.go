@@ -39,9 +39,9 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 		t.Fatal("no Fmax estimate")
 	}
 	m := oclfpga.NewMachine(d, oclfpga.SimOptions{})
-	ctl := oclfpga.NewController(m, ifc)
-	bx := m.NewBuffer("x", oclfpga.I32, 16)
-	bz := m.NewBuffer("z", oclfpga.I64, 2)
+	ctl := must(oclfpga.NewController(m, ifc))
+	bx := must(m.NewBuffer("x", oclfpga.I32, 16))
+	bz := must(m.NewBuffer("z", oclfpga.I64, 2))
 	for i := range bx.Data {
 		bx.Data[i] = int64(i)
 	}

@@ -1,0 +1,11 @@
+#!/bin/sh
+# verify.sh — the full pre-merge gate: static checks, a clean build, and the
+# race-enabled test suite (the simulator is single-goroutine by design, but
+# the host controller and examples are exercised under the detector anyway).
+set -eux
+
+cd "$(dirname "$0")/.."
+
+go vet ./...
+go build ./...
+go test -race ./...
