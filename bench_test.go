@@ -9,7 +9,6 @@ package oclfpga_test
 import (
 	"sync"
 	"testing"
-	"time"
 
 	"oclfpga"
 	"oclfpga/internal/device"
@@ -251,22 +250,38 @@ func BenchmarkAblationLSUKinds(b *testing.B) {
 	b.ReportMetric(float64(nd)/float64(st), "ndrange-slowdown-x")
 }
 
-// BenchmarkSimThroughput measures raw simulator speed on the E2 single-task
-// workload: simulated cycles per wall second.
+// BenchmarkSimThroughput measures raw simulator speed — simulated cycles per
+// wall second — on the stall-heavy producer/consumer workload (DESIGN.md §8).
+// Compilation is benchmarked separately so the simulate phases time pure
+// machine stepping; Simulate runs with fast-forward (the default), and
+// SimulateSlowPath forces every cycle to be stepped. The ratio of their
+// simcycles/s metrics is the fast-forward speedup.
 func BenchmarkSimThroughput(b *testing.B) {
-	var cycles int64
-	start := testingNow()
-	for i := 0; i < b.N; i++ {
-		r, err := experiments.E2ExecutionOrder(kir.SingleTask)
-		if err != nil {
-			b.Fatal(err)
+	const n = 4096
+	b.Run("Compile", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := experiments.CompileSimBench(n); err != nil {
+				b.Fatal(err)
+			}
 		}
-		cycles += r.TotalCycle
+	})
+	simulate := func(b *testing.B, disableFF bool) {
+		if _, err := experiments.RunSimBench(n, disableFF); err != nil {
+			b.Fatal(err) // warm the design memo outside the timed region
+		}
+		b.ResetTimer()
+		var cycles int64
+		for i := 0; i < b.N; i++ {
+			r, err := experiments.RunSimBench(n, disableFF)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cycles += r.Cycles
+		}
+		if s := b.Elapsed().Seconds(); s > 0 {
+			b.ReportMetric(float64(cycles)/s, "simcycles/s")
+		}
 	}
-	elapsed := testingNow() - start
-	if elapsed > 0 {
-		b.ReportMetric(float64(cycles)/elapsed, "simcycles/s")
-	}
+	b.Run("Simulate", func(b *testing.B) { simulate(b, false) })
+	b.Run("SimulateSlowPath", func(b *testing.B) { simulate(b, true) })
 }
-
-func testingNow() float64 { return float64(time.Now().UnixNano()) / 1e9 }

@@ -1,0 +1,110 @@
+// benchjson converts `go test -bench` output on stdin into a JSON document
+// on stdout: one entry per benchmark name, each holding every recorded run
+// (-count N yields N runs) with its ns/op and all custom metrics. scripts/
+// bench.sh pipes through it to produce the repo's BENCH_*.json trajectory
+// files.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+type run map[string]float64
+
+type doc struct {
+	Goos       string           `json:"goos,omitempty"`
+	Goarch     string           `json:"goarch,omitempty"`
+	Pkg        string           `json:"pkg,omitempty"`
+	CPU        string           `json:"cpu,omitempty"`
+	Benchmarks map[string][]run `json:"benchmarks"`
+	// Derived convenience metrics (e.g. fast-forward speedup) keyed by name.
+	Derived map[string]float64 `json:"derived,omitempty"`
+}
+
+func main() {
+	d := doc{Benchmarks: map[string][]run{}}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			d.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			continue
+		case strings.HasPrefix(line, "goarch:"):
+			d.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			continue
+		case strings.HasPrefix(line, "pkg:"):
+			d.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			d.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) < 4 {
+			continue
+		}
+		// Strip the -GOMAXPROCS suffix so counts aggregate under one name.
+		name := f[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		r := run{}
+		if iters, err := strconv.ParseFloat(f[1], 64); err == nil {
+			r["iterations"] = iters
+		}
+		for i := 2; i+1 < len(f); i += 2 {
+			v, err := strconv.ParseFloat(f[i], 64)
+			if err != nil {
+				continue
+			}
+			r[f[i+1]] = v
+		}
+		d.Benchmarks[name] = append(d.Benchmarks[name], r)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+
+	// The headline derived metric: simulate-phase throughput with the
+	// fast-forward path over the forced slow path, averaged across runs.
+	fast := mean(d.Benchmarks["BenchmarkSimThroughput/Simulate"], "simcycles/s")
+	slow := mean(d.Benchmarks["BenchmarkSimThroughput/SimulateSlowPath"], "simcycles/s")
+	if fast > 0 && slow > 0 {
+		d.Derived = map[string]float64{"fast-forward-speedup-x": fast / slow}
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(d); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func mean(rs []run, key string) float64 {
+	var sum float64
+	var n int
+	for _, r := range rs {
+		if v, ok := r[key]; ok {
+			sum += v
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}

@@ -39,6 +39,14 @@ type Channel struct {
 	writeFrozen bool
 	dropNB      bool
 
+	// dirty tracking: touched is set on the first state mutation of a cycle
+	// and cleared by EndCycle; notify (if set) fires on that first mutation so
+	// the simulator can maintain a dirty set and only EndCycle the channels
+	// that actually changed. The snapshot invariant is: between EndCycle and
+	// the next mutation, the read snapshot equals the committed state.
+	touched bool
+	notify  func()
+
 	stats Stats
 }
 
@@ -69,6 +77,28 @@ func (c *Channel) Depth() int { return c.depth }
 
 // Stats returns a copy of the accumulated statistics.
 func (c *Channel) Stats() Stats { return c.stats }
+
+// SetNotify registers a callback fired on the first state mutation after an
+// EndCycle. The simulator uses it to build a per-cycle dirty set.
+func (c *Channel) SetNotify(fn func()) { c.notify = fn }
+
+// touch marks the channel dirty for the current cycle.
+func (c *Channel) touch() {
+	if !c.touched {
+		c.touched = true
+		if c.notify != nil {
+			c.notify()
+		}
+	}
+}
+
+// AddReadStalls batch-accounts n failed read attempts without re-running
+// them, used when the simulator fast-forwards a window in which a blocked
+// read would have retried (and failed) every cycle.
+func (c *Channel) AddReadStalls(n int64) { c.stats.ReadStalls += n }
+
+// AddWriteStalls batch-accounts n failed write attempts (see AddReadStalls).
+func (c *Channel) AddWriteStalls(n int64) { c.stats.WriteStalls += n }
 
 // SetReadFrozen freezes or thaws the consumer endpoint (fault injection):
 // while frozen every read attempt stalls, blocking or not.
@@ -105,6 +135,10 @@ func (c *Channel) OverrideDepth(depth int) {
 		c.regValid = false
 	}
 	c.depth = depth
+	// the override mutates committed state outside the normal write path;
+	// refresh the read snapshot so this cycle's reads observe it
+	c.touch()
+	c.BeginCycle()
 }
 
 // Len returns the committed occupancy (FIFO channels) or 1/0 for a
@@ -125,6 +159,16 @@ func (c *Channel) BeginCycle() {
 	c.reads0 = 0
 	c.reg0, c.regValid0 = c.reg, c.regValid
 	c.regWrote0 = false
+}
+
+// EndCycle commits this cycle's writes and re-snapshots for the next cycle,
+// then clears the dirty mark. The simulator calls this only for channels
+// touched during the cycle: an untouched channel's snapshot is already equal
+// to its committed state, so skipping it is exact, not an approximation.
+func (c *Channel) EndCycle() {
+	c.Commit()
+	c.BeginCycle()
+	c.touched = false
 }
 
 // CanRead reports whether a read issued this cycle would succeed.
@@ -150,6 +194,7 @@ func (c *Channel) TryRead() (v int64, ok bool) {
 			c.stats.ReadStalls++
 			return 0, false
 		}
+		c.touch()
 		c.regValid0 = false // consumed this cycle
 		c.regValid = false
 		c.stats.Reads++
@@ -159,6 +204,7 @@ func (c *Channel) TryRead() (v int64, ok bool) {
 		c.stats.ReadStalls++
 		return 0, false
 	}
+	c.touch()
 	v = c.q[0]
 	c.q = c.q[1:]
 	c.reads0++
@@ -189,6 +235,7 @@ func (c *Channel) TryWrite(v int64) bool {
 			c.stats.WriteStalls++
 			return false
 		}
+		c.touch()
 		c.regPend, c.regPendSet = v, true
 		c.regWrote0 = true // a second same-cycle write would collide
 		c.stats.Writes++
@@ -198,6 +245,7 @@ func (c *Channel) TryWrite(v int64) bool {
 		c.stats.WriteStalls++
 		return false
 	}
+	c.touch()
 	c.pendingPush = append(c.pendingPush, v)
 	c.stats.Writes++
 	return true
@@ -218,6 +266,7 @@ func (c *Channel) WriteNB(v int64) bool {
 		return false
 	}
 	if c.depth == 0 {
+		c.touch()
 		c.regPend, c.regPendSet = v, true
 		c.stats.Writes++
 		return true
@@ -226,6 +275,7 @@ func (c *Channel) WriteNB(v int64) bool {
 		c.stats.WriteStalls++
 		return false
 	}
+	c.touch()
 	c.pendingPush = append(c.pendingPush, v)
 	c.stats.Writes++
 	return true
@@ -258,10 +308,11 @@ func (c *Channel) Drain() []int64 {
 			return nil
 		}
 		c.regValid = false
+		c.BeginCycle()
 		return []int64{c.reg}
 	}
 	out := c.q
 	c.q = nil
-	c.startLen = 0
+	c.BeginCycle()
 	return out
 }

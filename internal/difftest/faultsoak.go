@@ -28,12 +28,27 @@ const (
 	FaultDiagnosed
 )
 
+// FaultRunDetail exposes the observables of one faulted run for the
+// fast-forward equivalence suite: everything the debug stack reports must be
+// identical whether or not quiescent cycles were skipped.
+type FaultRunDetail struct {
+	FinalCycle int64   // machine cycle when the run ended (completion or hang)
+	Out        []int64 // the sim's output buffer, verbatim
+	Report     string  // rendered DeadlockReport; "" when the run completed
+}
+
 // RunStreamFaulted executes a stream case under a fault plan and classifies
 // the ending. Any other ending — silent corruption, a mis-blamed hang, or an
 // unexpected machine error — is returned as a non-nil error.
 func RunStreamFaulted(c *Case, plan *fault.Plan) (FaultOutcome, error) {
+	out, _, err := RunStreamFaultedDetail(c, plan)
+	return out, err
+}
+
+// RunStreamFaultedDetail is RunStreamFaulted returning the run's observables.
+func RunStreamFaultedDetail(c *Case, plan *fault.Plan) (FaultOutcome, *FaultRunDetail, error) {
 	if err := c.Program.Validate(); err != nil {
-		return 0, fmt.Errorf("generated invalid stream program: %w", err)
+		return 0, nil, fmt.Errorf("generated invalid stream program: %w", err)
 	}
 	n := c.Global
 
@@ -43,54 +58,61 @@ func RunStreamFaulted(c *Case, plan *fault.Plan) (FaultOutcome, error) {
 	e.Bind("b", append([]int64(nil), c.In2...))
 	e.Bind("out", append([]int64(nil), c.Out...))
 	if err := e.Run(emu.Launch{Kernel: "producer", Args: map[string]any{"a": "a", "n": n}}); err != nil {
-		return 0, fmt.Errorf("emu producer: %w", err)
+		return 0, nil, fmt.Errorf("emu producer: %w", err)
 	}
 	if err := e.Run(emu.Launch{Kernel: "fuzz", Args: map[string]any{"b": "b", "out": "out", "n": n}}); err != nil {
-		return 0, fmt.Errorf("emu consumer: %w", err)
+		return 0, nil, fmt.Errorf("emu consumer: %w", err)
 	}
 
 	d, err := hls.Compile(c.Program, device.StratixV(), hls.Options{})
 	if err != nil {
-		return 0, fmt.Errorf("hls: %w", err)
+		return 0, nil, fmt.Errorf("hls: %w", err)
 	}
 	// the stall limit must exceed the longest transient outage a plan can
 	// inject, or healthy-but-frozen runs would be misreported as hangs
 	m := sim.New(d, sim.Options{Fault: plan, StallLimit: 4500})
 	ba, bb, bo, err := newBufs(m)
 	if err != nil {
-		return 0, err
+		return 0, nil, err
 	}
 	copy(ba.Data, c.In1)
 	copy(bb.Data, c.In2)
 	if _, err := m.Launch("producer", sim.Args{"a": ba, "n": n}); err != nil {
-		return 0, err
+		return 0, nil, err
 	}
 	if _, err := m.Launch("fuzz", sim.Args{"b": bb, "out": bo, "n": n}); err != nil {
-		return 0, err
+		return 0, nil, err
 	}
 
 	runErr := m.Run()
 	if runErr == nil {
 		for i := 0; i < BufLen; i++ {
 			if e.Buffer("out")[i] != bo.Data[i] {
-				return 0, fmt.Errorf("silent corruption under plan %v: out[%d] emu %d vs sim %d\n%s",
+				return 0, nil, fmt.Errorf("silent corruption under plan %v: out[%d] emu %d vs sim %d\n%s",
 					plan, i, e.Buffer("out")[i], bo.Data[i], c.Program.Dump())
 			}
 		}
-		return FaultTolerated, nil
+		return FaultTolerated, &FaultRunDetail{
+			FinalCycle: m.Cycle(),
+			Out:        append([]int64(nil), bo.Data...),
+		}, nil
 	}
 
 	var de *sim.DeadlockError
 	if !errors.As(runErr, &de) {
-		return 0, fmt.Errorf("unexpected machine error under plan %v: %w", plan, runErr)
+		return 0, nil, fmt.Errorf("unexpected machine error under plan %v: %w", plan, runErr)
 	}
 	report := de.Report.String()
 	targets := append(plan.Targets(true), plan.Targets(false)...)
 	for _, tgt := range targets {
 		if strings.Contains(report, tgt) {
-			return FaultDiagnosed, nil
+			return FaultDiagnosed, &FaultRunDetail{
+				FinalCycle: m.Cycle(),
+				Out:        append([]int64(nil), bo.Data...),
+				Report:     report,
+			}, nil
 		}
 	}
-	return 0, fmt.Errorf("hang under plan %v blames none of its targets %v:\n%s",
+	return 0, nil, fmt.Errorf("hang under plan %v blames none of its targets %v:\n%s",
 		plan, targets, report)
 }

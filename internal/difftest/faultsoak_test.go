@@ -1,6 +1,9 @@
 package difftest
 
 import (
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"oclfpga/internal/fault"
@@ -9,6 +12,9 @@ import (
 // TestFaultCampaign sweeps seeded random fault plans over seeded random
 // stream programs: every run must end tolerated (exact output) or correctly
 // diagnosed (the hang report names a plan target). Zero silent corruption.
+// Each (program, plan) pair derives entirely from its seed, so the sweep
+// shards deterministically across GOMAXPROCS workers; the tolerated/diagnosed
+// tallies are order-independent counters, identical to the serial sweep's.
 func TestFaultCampaign(t *testing.T) {
 	plans := 220
 	if testing.Short() {
@@ -22,25 +28,38 @@ func TestFaultCampaign(t *testing.T) {
 		// injection window inside the run so plans actually bite
 		Horizon: 400,
 	}
-	var tolerated, diagnosed int
-	for seed := int64(500); seed < 500+int64(plans); seed++ {
-		c := GenerateStream(seed, GenConfig{})
-		plan := fault.NewRandomPlan(seed, spec)
-		out, err := RunStreamFaulted(c, plan)
-		if err != nil {
-			t.Fatalf("seed %d: %v", seed, err)
-		}
-		switch out {
-		case FaultTolerated:
-			tolerated++
-		case FaultDiagnosed:
-			diagnosed++
-		}
+	var tolerated, diagnosed atomic.Int64
+	workers := int64(runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for w := int64(0); w < workers; w++ {
+		wg.Add(1)
+		go func(w int64) {
+			defer wg.Done()
+			for seed := 500 + w; seed < 500+int64(plans); seed += workers {
+				c := GenerateStream(seed, GenConfig{})
+				plan := fault.NewRandomPlan(seed, spec)
+				out, err := RunStreamFaulted(c, plan)
+				if err != nil {
+					t.Errorf("seed %d: %v", seed, err)
+					return
+				}
+				switch out {
+				case FaultTolerated:
+					tolerated.Add(1)
+				case FaultDiagnosed:
+					diagnosed.Add(1)
+				}
+			}
+		}(w)
 	}
-	t.Logf("fault campaign: %d plans, %d tolerated, %d diagnosed", plans, tolerated, diagnosed)
+	wg.Wait()
+	t.Logf("fault campaign: %d plans, %d tolerated, %d diagnosed", plans, tolerated.Load(), diagnosed.Load())
 	// a campaign that never hangs is not exercising the diagnostics, and one
 	// that never completes is not exercising recovery
-	if tolerated == 0 || diagnosed == 0 {
-		t.Fatalf("degenerate campaign: %d tolerated, %d diagnosed", tolerated, diagnosed)
+	if t.Failed() {
+		return
+	}
+	if tolerated.Load() == 0 || diagnosed.Load() == 0 {
+		t.Fatalf("degenerate campaign: %d tolerated, %d diagnosed", tolerated.Load(), diagnosed.Load())
 	}
 }

@@ -1,0 +1,57 @@
+package difftest
+
+import (
+	"testing"
+
+	"oclfpga/internal/fault"
+	"oclfpga/internal/sim"
+)
+
+// TestFaultCampaignFastForwardEquivalence replays a slice of the fault
+// campaign twice — once stepping every cycle, once with fast-forward — and
+// requires byte-identical observables: the same outcome, the same final
+// cycle, the same output buffer, and the same rendered blame report. This is
+// the strongest form of the fast-forward contract: jumping over quiescent
+// windows must be invisible even to fault application and deadlock forensics.
+func TestFaultCampaignFastForwardEquivalence(t *testing.T) {
+	seeds := int64(60)
+	if testing.Short() {
+		seeds = 20
+	}
+	spec := fault.CampaignSpec{
+		Channels:   []string{"pipe"},
+		Kernels:    []string{"producer", "fuzz"},
+		AllowFatal: true,
+		Horizon:    400,
+	}
+	defer sim.SetFastForwardDisabled(false)
+	for seed := int64(500); seed < 500+seeds; seed++ {
+		plan := fault.NewRandomPlan(seed, spec)
+
+		sim.SetFastForwardDisabled(true)
+		slowOut, slowDet, err := RunStreamFaultedDetail(GenerateStream(seed, GenConfig{}), plan)
+		if err != nil {
+			t.Fatalf("seed %d slow path: %v", seed, err)
+		}
+		sim.SetFastForwardDisabled(false)
+		fastOut, fastDet, err := RunStreamFaultedDetail(GenerateStream(seed, GenConfig{}), plan)
+		if err != nil {
+			t.Fatalf("seed %d fast path: %v", seed, err)
+		}
+
+		if slowOut != fastOut {
+			t.Fatalf("seed %d: outcome differs: slow %v vs fast %v", seed, slowOut, fastOut)
+		}
+		if slowDet.FinalCycle != fastDet.FinalCycle {
+			t.Fatalf("seed %d: final cycle differs: slow %d vs fast %d", seed, slowDet.FinalCycle, fastDet.FinalCycle)
+		}
+		if slowDet.Report != fastDet.Report {
+			t.Fatalf("seed %d: blame report differs:\n--- slow\n%s\n--- fast\n%s", seed, slowDet.Report, fastDet.Report)
+		}
+		for i := range slowDet.Out {
+			if slowDet.Out[i] != fastDet.Out[i] {
+				t.Fatalf("seed %d: out[%d] differs: slow %d vs fast %d", seed, i, slowDet.Out[i], fastDet.Out[i])
+			}
+		}
+	}
+}

@@ -1,19 +1,36 @@
 package difftest
 
-import "testing"
+import (
+	"runtime"
+	"sync"
+	"testing"
+)
 
 // TestSoak sweeps mixed generator shapes; widen the seed range for a deep
-// soak when touching the scheduler or the pipeline engines.
+// soak when touching the scheduler or the pipeline engines. Seeds are fully
+// independent (one generator, one machine each), so the sweep shards across
+// GOMAXPROCS workers — seed s goes to worker s mod W, every seed still runs,
+// and a failure reports its seed exactly as the serial loop did.
 func TestSoak(t *testing.T) {
 	end := int64(10600)
 	if testing.Short() {
 		end = 10100
 	}
-	for seed := int64(10000); seed < end; seed++ {
-		cfgs := []GenConfig{{}, {MaxOps: 8, MaxDepth: 3, MaxLoopTrip: 6}, {MaxOps: 30, MaxDepth: 2, MaxLoopTrip: 15}}
-		c := Generate(seed, cfgs[seed%3])
-		if err := Run(c); err != nil {
-			t.Fatalf("seed %d cfg %d: %v", seed, seed%3, err)
-		}
+	workers := int64(runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for w := int64(0); w < workers; w++ {
+		wg.Add(1)
+		go func(w int64) {
+			defer wg.Done()
+			for seed := 10000 + w; seed < end; seed += workers {
+				cfgs := []GenConfig{{}, {MaxOps: 8, MaxDepth: 3, MaxLoopTrip: 6}, {MaxOps: 30, MaxDepth: 2, MaxLoopTrip: 15}}
+				c := Generate(seed, cfgs[seed%3])
+				if err := Run(c); err != nil {
+					t.Errorf("seed %d cfg %d: %v", seed, seed%3, err)
+					return
+				}
+			}
+		}(w)
 	}
+	wg.Wait()
 }

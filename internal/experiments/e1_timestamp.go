@@ -42,15 +42,17 @@ func E1TimestampOverhead(dev *device.Device, steps int) (*E1Result, error) {
 	res := &E1Result{Device: dev.Name}
 	var baseALUTs int
 	for _, kind := range []workload.TimestampKind{workload.NoTimestamp, workload.CLCounter, workload.HDLCounter} {
-		p := kir.NewProgram("chase_" + kind.String())
-		ch, err := workload.BuildChase(p, workload.ChaseConfig{Steps: steps, Kind: kind})
+		kind := kind
+		d, aux, err := compiledDesign(fmt.Sprintf("e1/%s/%d", kind, steps), dev, hls.Options{},
+			func() (*kir.Program, any, error) {
+				p := kir.NewProgram("chase_" + kind.String())
+				ch, err := workload.BuildChase(p, workload.ChaseConfig{Steps: steps, Kind: kind})
+				return p, ch, err
+			})
 		if err != nil {
 			return nil, err
 		}
-		d, err := hls.Compile(p, dev, hls.Options{})
-		if err != nil {
-			return nil, err
-		}
+		ch := aux.(*workload.Chase)
 
 		m := sim.New(d, sim.Options{})
 		table, err := m.NewBuffer("next", kir.I32, 1<<14)

@@ -31,12 +31,16 @@ type E2Result struct {
 // E2ExecutionOrder reproduces Figure 2 for one kernel flavour: the
 // instrumented matvec (N=50, num=100, capture i<10) on Stratix V.
 func E2ExecutionOrder(mode kir.Mode) (*E2Result, error) {
-	p := kir.NewProgram("matvec_order")
-	mv := workload.BuildMatVec(p, workload.MatVecConfig{Mode: mode, Instrument: true})
-	d, err := hls.Compile(p, device.StratixV(), hls.Options{})
+	d, aux, err := compiledDesign("e2/"+mode.String(), device.StratixV(), hls.Options{},
+		func() (*kir.Program, any, error) {
+			p := kir.NewProgram("matvec_order")
+			mv := workload.BuildMatVec(p, workload.MatVecConfig{Mode: mode, Instrument: true})
+			return p, mv, nil
+		})
 	if err != nil {
 		return nil, err
 	}
+	mv := aux.(*workload.MatVec)
 	m := sim.New(d, sim.Options{})
 
 	cfg := mv.Config

@@ -44,14 +44,15 @@ func E3Table1(dev *device.Device, size int) (*E3Result, error) {
 		{"SM + WP", true, true},
 	}
 	for _, v := range variants {
-		p := kir.NewProgram("matmul_" + v.name)
-		_, err := workload.BuildMatMul(p, workload.MatMulConfig{
-			Size: size, StallMonitor: v.sm, Watchpoint: v.wp, Depth: 1024,
-		})
-		if err != nil {
-			return nil, err
-		}
-		d, err := hls.Compile(p, dev, hls.Options{})
+		v := v
+		d, _, err := compiledDesign(fmt.Sprintf("e3/%s/%d", v.name, size), dev, hls.Options{},
+			func() (*kir.Program, any, error) {
+				p := kir.NewProgram("matmul_" + v.name)
+				_, err := workload.BuildMatMul(p, workload.MatMulConfig{
+					Size: size, StallMonitor: v.sm, Watchpoint: v.wp, Depth: 1024,
+				})
+				return p, nil, err
+			})
 		if err != nil {
 			return nil, err
 		}
@@ -90,17 +91,18 @@ func E3Verify(size int) (bool, error) {
 	if size == 0 {
 		size = 8
 	}
-	p := kir.NewProgram("matmul_verify")
-	mm, err := workload.BuildMatMul(p, workload.MatMulConfig{
-		Size: size, StallMonitor: true, Watchpoint: true, Depth: 64,
-	})
+	d, aux, err := compiledDesign(fmt.Sprintf("e3verify/%d", size), device.StratixV(), hls.Options{},
+		func() (*kir.Program, any, error) {
+			p := kir.NewProgram("matmul_verify")
+			mm, err := workload.BuildMatMul(p, workload.MatMulConfig{
+				Size: size, StallMonitor: true, Watchpoint: true, Depth: 64,
+			})
+			return p, mm, err
+		})
 	if err != nil {
 		return false, err
 	}
-	d, err := hls.Compile(p, device.StratixV(), hls.Options{})
-	if err != nil {
-		return false, err
-	}
+	mm := aux.(*workload.MatMul)
 	m := sim.New(d, sim.Options{})
 	n := size
 	da, err := m.NewBuffer("data_a", kir.I32, n*n)

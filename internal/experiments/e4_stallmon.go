@@ -36,18 +36,25 @@ func E4StallMonitor(size, depth int) (*E4Result, error) {
 	if depth == 0 {
 		depth = 256
 	}
-	p := kir.NewProgram("matmul_sm")
-	mm, err := workload.BuildMatMul(p, workload.MatMulConfig{
-		Size: size, StallMonitor: true, Depth: depth,
-	})
+	type e4Aux struct {
+		mm  *workload.MatMul
+		ifc *host.Interface
+	}
+	d, aux, err := compiledDesign(fmt.Sprintf("e4/%d/%d", size, depth), device.StratixV(), hls.Options{},
+		func() (*kir.Program, any, error) {
+			p := kir.NewProgram("matmul_sm")
+			mm, err := workload.BuildMatMul(p, workload.MatMulConfig{
+				Size: size, StallMonitor: true, Depth: depth,
+			})
+			if err != nil {
+				return nil, nil, err
+			}
+			return p, &e4Aux{mm: mm, ifc: host.BuildInterface(p, mm.SM)}, nil
+		})
 	if err != nil {
 		return nil, err
 	}
-	ifc := host.BuildInterface(p, mm.SM)
-	d, err := hls.Compile(p, device.StratixV(), hls.Options{})
-	if err != nil {
-		return nil, err
-	}
+	mm, ifc := aux.(*e4Aux).mm, aux.(*e4Aux).ifc
 	m := sim.New(d, sim.Options{})
 	ctl, err := host.NewController(m, ifc)
 	if err != nil {

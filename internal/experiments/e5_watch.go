@@ -41,47 +41,55 @@ func E5Watchpoints(mSize int) (*E5Result, error) {
 		boundLo   = 0
 		boundHi   = 32
 	)
-	p := kir.NewProgram("watch_usecase")
-	wp, err := core.Build(p, core.Config{Name: "wp", N: 1, Depth: 128, Func: core.Watchpoint})
-	if err != nil {
-		return nil, err
+	type e5Aux struct {
+		wpIfc, bcIfc, ivIfc *host.Interface
 	}
-	bc, err := core.Build(p, core.Config{Name: "bc", N: 1, Depth: 128, Func: core.BoundCheck,
-		BoundLo: boundLo, BoundHi: boundHi})
-	if err != nil {
-		return nil, err
-	}
-	iv, err := core.Build(p, core.Config{Name: "iv", N: 1, Depth: 128, Func: core.InvarianceCheck})
-	if err != nil {
-		return nil, err
-	}
-	wpIfc := host.BuildInterface(p, wp)
-	bcIfc := host.BuildInterface(p, bc)
-	ivIfc := host.BuildInterface(p, iv)
+	d, auxv, err := compiledDesign(fmt.Sprintf("e5/%d", mSize), device.StratixV(), hls.Options{},
+		func() (*kir.Program, any, error) {
+			p := kir.NewProgram("watch_usecase")
+			wp, err := core.Build(p, core.Config{Name: "wp", N: 1, Depth: 128, Func: core.Watchpoint})
+			if err != nil {
+				return nil, nil, err
+			}
+			bc, err := core.Build(p, core.Config{Name: "bc", N: 1, Depth: 128, Func: core.BoundCheck,
+				BoundLo: boundLo, BoundHi: boundHi})
+			if err != nil {
+				return nil, nil, err
+			}
+			iv, err := core.Build(p, core.Config{Name: "iv", N: 1, Depth: 128, Func: core.InvarianceCheck})
+			if err != nil {
+				return nil, nil, err
+			}
+			aux := &e5Aux{
+				wpIfc: host.BuildInterface(p, wp),
+				bcIfc: host.BuildInterface(p, bc),
+				ivIfc: host.BuildInterface(p, iv),
+			}
 
-	k := p.AddKernel("updater", kir.SingleTask)
-	addrA := k.AddGlobal("addr_a", kir.I32)
-	data := k.AddGlobal("data", kir.I32)
-	b := k.NewBuilder()
-	// watch writes that land on data[watchAddr] (Listing 11's add_watch)
-	monitor.AddWatch(b, wp, 0, b.Ci64(watchAddr))
-	monitor.AddWatch(b, iv, 0, b.Ci64(watchAddr))
-	b.ForN("k", int64(mSize), nil, func(lb *kir.Builder, kv kir.Val, _ []kir.Val) []kir.Val {
-		bv := lb.Add(lb.Mul(kv, lb.Ci32(3)), lb.Ci32(1))
-		a := lb.Load(addrA, kv)
-		// monitor the *read index* for bound checking
-		monitor.MonitorAddress(lb, bc, 0, a, bv)
-		// the write *a = b: monitor the written address for watch/invariance
-		monitor.MonitorAddress(lb, wp, 0, a, bv)
-		monitor.MonitorAddress(lb, iv, 0, a, bv)
-		lb.Store(data, a, bv)
-		return nil
-	})
-
-	d, err := hls.Compile(p, device.StratixV(), hls.Options{})
+			k := p.AddKernel("updater", kir.SingleTask)
+			addrA := k.AddGlobal("addr_a", kir.I32)
+			data := k.AddGlobal("data", kir.I32)
+			b := k.NewBuilder()
+			// watch writes that land on data[watchAddr] (Listing 11's add_watch)
+			monitor.AddWatch(b, wp, 0, b.Ci64(watchAddr))
+			monitor.AddWatch(b, iv, 0, b.Ci64(watchAddr))
+			b.ForN("k", int64(mSize), nil, func(lb *kir.Builder, kv kir.Val, _ []kir.Val) []kir.Val {
+				bv := lb.Add(lb.Mul(kv, lb.Ci32(3)), lb.Ci32(1))
+				a := lb.Load(addrA, kv)
+				// monitor the *read index* for bound checking
+				monitor.MonitorAddress(lb, bc, 0, a, bv)
+				// the write *a = b: monitor the written address for watch/invariance
+				monitor.MonitorAddress(lb, wp, 0, a, bv)
+				monitor.MonitorAddress(lb, iv, 0, a, bv)
+				lb.Store(data, a, bv)
+				return nil
+			})
+			return p, aux, nil
+		})
 	if err != nil {
 		return nil, err
 	}
+	wpIfc, bcIfc, ivIfc := auxv.(*e5Aux).wpIfc, auxv.(*e5Aux).bcIfc, auxv.(*e5Aux).ivIfc
 	m := sim.New(d, sim.Options{})
 	wpCtl, err := host.NewController(m, wpIfc)
 	if err != nil {

@@ -60,8 +60,12 @@ func latencyProgram(shared bool) (*kir.Program, *kir.Chan, *kir.Chan) {
 	return p, tc1, tc2
 }
 
-func runLatency(p *kir.Program, opts hls.Options, skew func(string, int) int64) (measured, actual int64, err error) {
-	d, err := hls.Compile(p, device.StratixV(), opts)
+func runLatency(shared bool, opts hls.Options, skew func(string, int) int64) (measured, actual int64, err error) {
+	d, _, err := compiledDesign(fmt.Sprintf("e6/lat/shared=%v", shared), device.StratixV(), opts,
+		func() (*kir.Program, any, error) {
+			p, _, _ := latencyProgram(shared)
+			return p, nil, nil
+		})
 	if err != nil {
 		return 0, 0, err
 	}
@@ -93,22 +97,19 @@ func E6TimestampPitfalls() (*E6Result, error) {
 	res := &E6Result{SkewCycles: 37}
 
 	// (a) stale timestamps from channel-depth optimization
-	p, _, _ := latencyProgram(true)
-	fresh, actual, err := runLatency(p, hls.Options{}, nil)
+	fresh, actual, err := runLatency(true, hls.Options{}, nil)
 	if err != nil {
 		return nil, err
 	}
 	res.FreshLatency, res.TrueLatency = fresh, actual
-	p, _, _ = latencyProgram(true)
-	stale, _, err := runLatency(p, hls.Options{OptimizeChannelDepths: true}, nil)
+	stale, _, err := runLatency(true, hls.Options{OptimizeChannelDepths: true}, nil)
 	if err != nil {
 		return nil, err
 	}
 	res.StaleLatency = stale
 
 	// (b) counter skew across separate persistent kernels
-	p, _, _ = latencyProgram(false)
-	skewed, _, err := runLatency(p, hls.Options{}, func(kernel string, cu int) int64 {
+	skewed, _, err := runLatency(false, hls.Options{}, func(kernel string, cu int) int64 {
 		if kernel == "tch1_srv" {
 			return res.SkewCycles // second counter released late
 		}
@@ -118,8 +119,7 @@ func E6TimestampPitfalls() (*E6Result, error) {
 		return nil, err
 	}
 	res.SkewLatency = skewed
-	p, _, _ = latencyProgram(true)
-	aligned, _, err := runLatency(p, hls.Options{}, func(kernel string, cu int) int64 {
+	aligned, _, err := runLatency(true, hls.Options{}, func(kernel string, cu int) int64 {
 		return 11 // a shared kernel may start late, but both channels agree
 	})
 	if err != nil {
@@ -137,29 +137,31 @@ func E6TimestampPitfalls() (*E6Result, error) {
 // driftDemo measures a 20-multiply chain (60 cycles) with a dependence-free
 // channel read vs a dependence-carrying get_time call.
 func (r *E6Result) driftDemo() error {
-	p := kir.NewProgram("drift")
-	tm := primitives.AddPersistentTimer(p, "tch", 2)
-	gt := primitives.AddHDLTimer(p)
-	k := p.AddKernel("dut", kir.SingleTask)
-	z := k.AddGlobal("z", kir.I64)
-	b := k.NewBuilder()
-	start := primitives.ReadTimestamp(b, tm.Chans[0])
-	v := b.Ci32(3)
-	for i := 0; i < 20; i++ {
-		v = b.Mul(v, b.Ci32(1))
-	}
-	endDrift := primitives.ReadTimestamp(b, tm.Chans[1]) // no dependence on v
-	startHDL := primitives.GetTime(b, gt, v)             // pinned after chain 1
-	v2 := v
-	for i := 0; i < 20; i++ {
-		v2 = b.Mul(v2, b.Ci32(1))
-	}
-	endHDL := primitives.GetTime(b, gt, v2) // pinned by the dependence
-	b.Store(z, b.Ci32(0), b.Sub(endDrift, start))
-	b.Store(z, b.Ci32(1), b.Sub(endHDL, startHDL))
-	b.Store(z, b.Ci32(2), v2)
-
-	d, err := hls.Compile(p, device.StratixV(), hls.Options{})
+	d, _, err := compiledDesign("e6/drift", device.StratixV(), hls.Options{},
+		func() (*kir.Program, any, error) {
+			p := kir.NewProgram("drift")
+			tm := primitives.AddPersistentTimer(p, "tch", 2)
+			gt := primitives.AddHDLTimer(p)
+			k := p.AddKernel("dut", kir.SingleTask)
+			z := k.AddGlobal("z", kir.I64)
+			b := k.NewBuilder()
+			start := primitives.ReadTimestamp(b, tm.Chans[0])
+			v := b.Ci32(3)
+			for i := 0; i < 20; i++ {
+				v = b.Mul(v, b.Ci32(1))
+			}
+			endDrift := primitives.ReadTimestamp(b, tm.Chans[1]) // no dependence on v
+			startHDL := primitives.GetTime(b, gt, v)             // pinned after chain 1
+			v2 := v
+			for i := 0; i < 20; i++ {
+				v2 = b.Mul(v2, b.Ci32(1))
+			}
+			endHDL := primitives.GetTime(b, gt, v2) // pinned by the dependence
+			b.Store(z, b.Ci32(0), b.Sub(endDrift, start))
+			b.Store(z, b.Ci32(1), b.Sub(endHDL, startHDL))
+			b.Store(z, b.Ci32(2), v2)
+			return p, nil, nil
+		})
 	if err != nil {
 		return err
 	}

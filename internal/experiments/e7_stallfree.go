@@ -60,12 +60,15 @@ func E7StallFree(samples int) (*E7Result, error) {
 	}
 
 	// capture run
-	p, ib := build()
-	ifc := host.BuildInterface(p, ib)
-	d, err := hls.Compile(p, device.StratixV(), hls.Options{})
+	d, aux, err := compiledDesign(fmt.Sprintf("e7/capture/%d", samples), device.StratixV(), hls.Options{},
+		func() (*kir.Program, any, error) {
+			p, ib := build()
+			return p, host.BuildInterface(p, ib), nil
+		})
 	if err != nil {
 		return nil, err
 	}
+	ifc := aux.(*host.Interface)
 	for _, l := range d.Log {
 		if strings.Contains(l, "kernel ibuffer:") && strings.Contains(l, "II=1") {
 			res.IILogLine = l
@@ -107,8 +110,11 @@ func E7StallFree(samples int) (*E7Result, error) {
 	}
 
 	// baseline run: sampling never enabled — producer must take the same time
-	p2, _ := build()
-	d2, err := hls.Compile(p2, device.StratixV(), hls.Options{})
+	d2, _, err := compiledDesign(fmt.Sprintf("e7/base/%d", samples), device.StratixV(), hls.Options{},
+		func() (*kir.Program, any, error) {
+			p2, _ := build()
+			return p2, nil, nil
+		})
 	if err != nil {
 		return nil, err
 	}
@@ -127,17 +133,20 @@ func E7StallFree(samples int) (*E7Result, error) {
 	res.BaseCycles = u2.FinishedAt()
 
 	// ablation: trace to global memory instead of an ibuffer
-	p3 := kir.NewProgram("globalstore")
-	k3 := p3.AddKernel("producer", kir.SingleTask)
-	z3p := k3.AddGlobal("z", kir.I64)
-	tr := k3.AddGlobal("trace", kir.I64)
-	b3 := k3.NewBuilder()
-	b3.ForN("i", int64(samples), nil, func(lb *kir.Builder, i kir.Val, _ []kir.Val) []kir.Val {
-		lb.Store(tr, i, i) // the trace write now shares global memory
-		return nil
-	})
-	b3.Store(z3p, b3.Ci32(0), b3.Ci64(1))
-	d3, err := hls.Compile(p3, device.StratixV(), hls.Options{})
+	d3, _, err := compiledDesign(fmt.Sprintf("e7/globalstore/%d", samples), device.StratixV(), hls.Options{},
+		func() (*kir.Program, any, error) {
+			p3 := kir.NewProgram("globalstore")
+			k3 := p3.AddKernel("producer", kir.SingleTask)
+			z3p := k3.AddGlobal("z", kir.I64)
+			tr := k3.AddGlobal("trace", kir.I64)
+			b3 := k3.NewBuilder()
+			b3.ForN("i", int64(samples), nil, func(lb *kir.Builder, i kir.Val, _ []kir.Val) []kir.Val {
+				lb.Store(tr, i, i) // the trace write now shares global memory
+				return nil
+			})
+			b3.Store(z3p, b3.Ci32(0), b3.Ci64(1))
+			return p3, nil, nil
+		})
 	if err != nil {
 		return nil, err
 	}

@@ -35,40 +35,43 @@ func E9ChannelStall(n int) (*E9Result, error) {
 	if n == 0 {
 		n = 256
 	}
-	p := kir.NewProgram("chanstall")
-	pipe := p.AddChan("pipe", 4, kir.I32)
-	ib, err := core.Build(p, core.Config{Name: "mon", Depth: n, Func: core.LatencyPair, DataDepth: 16})
-	if err != nil {
-		return nil, err
-	}
-	ifc := host.BuildInterface(p, ib)
+	d, aux, err := compiledDesign(fmt.Sprintf("e9/%d", n), device.StratixV(), hls.Options{},
+		func() (*kir.Program, any, error) {
+			p := kir.NewProgram("chanstall")
+			pipe := p.AddChan("pipe", 4, kir.I32)
+			ib, err := core.Build(p, core.Config{Name: "mon", Depth: n, Func: core.LatencyPair, DataDepth: 16})
+			if err != nil {
+				return nil, nil, err
+			}
+			ifc := host.BuildInterface(p, ib)
 
-	prod := p.AddKernel("producer", kir.SingleTask)
-	src := prod.AddGlobal("src", kir.I32)
-	pb := prod.NewBuilder()
-	pb.ForN("i", int64(n), nil, func(lb *kir.Builder, i kir.Val, _ []kir.Val) []kir.Val {
-		lb.ChanWrite(pipe, lb.Load(src, i))
-		monitor.TakeSnapshot(lb, ib, 0, i)
-		return nil
-	})
+			prod := p.AddKernel("producer", kir.SingleTask)
+			src := prod.AddGlobal("src", kir.I32)
+			pb := prod.NewBuilder()
+			pb.ForN("i", int64(n), nil, func(lb *kir.Builder, i kir.Val, _ []kir.Val) []kir.Val {
+				lb.ChanWrite(pipe, lb.Load(src, i))
+				monitor.TakeSnapshot(lb, ib, 0, i)
+				return nil
+			})
 
-	cons := p.AddKernel("consumer", kir.SingleTask)
-	dst := cons.AddGlobal("dst", kir.I32)
-	cb := cons.NewBuilder()
-	cb.ForN("i", int64(n), nil, func(lb *kir.Builder, i kir.Val, _ []kir.Val) []kir.Val {
-		v := lb.ChanRead(pipe)
-		// a div on the carried path throttles the consumer
-		slow := lb.ForN("j", 2, []kir.Val{v}, func(jb *kir.Builder, j kir.Val, c []kir.Val) []kir.Val {
-			return []kir.Val{jb.Div(jb.Add(c[0], jb.Ci32(3)), jb.Ci32(1))}
+			cons := p.AddKernel("consumer", kir.SingleTask)
+			dst := cons.AddGlobal("dst", kir.I32)
+			cb := cons.NewBuilder()
+			cb.ForN("i", int64(n), nil, func(lb *kir.Builder, i kir.Val, _ []kir.Val) []kir.Val {
+				v := lb.ChanRead(pipe)
+				// a div on the carried path throttles the consumer
+				slow := lb.ForN("j", 2, []kir.Val{v}, func(jb *kir.Builder, j kir.Val, c []kir.Val) []kir.Val {
+					return []kir.Val{jb.Div(jb.Add(c[0], jb.Ci32(3)), jb.Ci32(1))}
+				})
+				lb.Store(dst, i, slow[0])
+				return nil
+			})
+			return p, ifc, nil
 		})
-		lb.Store(dst, i, slow[0])
-		return nil
-	})
-
-	d, err := hls.Compile(p, device.StratixV(), hls.Options{})
 	if err != nil {
 		return nil, err
 	}
+	ifc := aux.(*host.Interface)
 	m := sim.New(d, sim.Options{})
 	ctl, err := host.NewController(m, ifc)
 	if err != nil {

@@ -1,0 +1,157 @@
+package experiments
+
+import (
+	"fmt"
+
+	"oclfpga/internal/device"
+	"oclfpga/internal/hls"
+	"oclfpga/internal/kir"
+	"oclfpga/internal/mem"
+	"oclfpga/internal/sim"
+)
+
+// The simulator-throughput benchmark workload: a fast producer feeding a slow
+// consumer through a shallow channel, deliberately shaped to be stall-heavy —
+// the regime the fast-forward path targets:
+//
+//   - the consumer's table loads stride by a prime larger than a DRAM row, so
+//     nearly every access pays the row-activate latency (52 cycles) against a
+//     scheduled latency of 7 — each iteration stalls the pipeline for tens of
+//     cycles, and a second load addressed by the first's result serializes two
+//     such windows back to back;
+//   - the throttled consumer backs the depth-4 pipe up, so the producer
+//     blocks on channel writes.
+//
+// Most cycles therefore have no unit able to make progress, and a cycle
+// simulator that only steps can do nothing but spin through them. The design
+// is uninstrumented on purpose: autorun monitor kernels poll every cycle and
+// would keep the machine permanently busy, hiding the quiescent windows this
+// benchmark exists to measure.
+
+// simBenchTblElems is the lookup-table size (power of two for mask indexing):
+// 1<<14 i32 elements = 16 DRAM rows at the default 4096-byte row buffer.
+const (
+	simBenchTblElems   = 1 << 14
+	simBenchTblStride  = 1031 // prime > one row of i32 elements: every load a row miss
+	simBenchTblStride2 = 523  // second, dependent stride — a second miss per item
+)
+
+// SimBenchResult is one simulated run of the benchmark workload.
+type SimBenchResult struct {
+	N         int   // items streamed producer -> consumer
+	Cycles    int64 // final machine cycle
+	FFJumps   int64 // fast-forward jumps taken
+	FFSkipped int64 // cycles elided by those jumps
+}
+
+func buildSimBench(n int) *kir.Program {
+	p := kir.NewProgram("simbench")
+	pipe := p.AddChan("pipe", 4, kir.I32)
+
+	prod := p.AddKernel("producer", kir.SingleTask)
+	src := prod.AddGlobal("src", kir.I32)
+	pb := prod.NewBuilder()
+	pb.ForN("i", int64(n), nil, func(lb *kir.Builder, i kir.Val, _ []kir.Val) []kir.Val {
+		lb.ChanWrite(pipe, lb.Load(src, i))
+		return nil
+	})
+
+	cons := p.AddKernel("consumer", kir.SingleTask)
+	tbl := cons.AddGlobal("tbl", kir.I32)
+	dst := cons.AddGlobal("dst", kir.I32)
+	cb := cons.NewBuilder()
+	// The carried value feeds the next iteration's load address, so the two
+	// row-miss latencies serialize across iterations instead of overlapping
+	// in the pipeline — the loop's true II is the memory round-trip.
+	cb.ForN("i", int64(n), []kir.Val{cb.Ci32(0)}, func(lb *kir.Builder, i kir.Val, c []kir.Val) []kir.Val {
+		v := lb.ChanRead(pipe)
+		w := lb.Load(tbl, lb.And(lb.Add(c[0], lb.Mul(i, lb.Ci32(simBenchTblStride))), lb.Ci32(simBenchTblElems-1)))
+		w2 := lb.Load(tbl, lb.And(lb.Mul(lb.Add(w, i), lb.Ci32(simBenchTblStride2)), lb.Ci32(simBenchTblElems-1)))
+		lb.Store(dst, i, lb.Div(lb.Add(v, w2), lb.Ci32(2)))
+		return []kir.Val{w2}
+	})
+	return p
+}
+
+// simBenchExpected mirrors the consumer in plain Go (all values are small and
+// positive, so 32-bit truncation and division round-toward-zero never bite).
+func simBenchExpected(n int) []int64 {
+	out := make([]int64, n)
+	c := int64(0)
+	for i := 0; i < n; i++ {
+		v := int64(i + 1)
+		w := ((c + int64(i)*simBenchTblStride) & (simBenchTblElems - 1)) % 97
+		w2 := (((w + int64(i)) * simBenchTblStride2) & (simBenchTblElems - 1)) % 97
+		out[i] = (v + w2) / 2
+		c = w2
+	}
+	return out
+}
+
+// CompileSimBench compiles the benchmark workload bypassing the design memo —
+// the benchmark's compile-phase measurement, kept separate so the simulate
+// phases measure pure machine stepping.
+func CompileSimBench(n int) (*hls.Design, error) {
+	if n == 0 {
+		n = 2048
+	}
+	return hls.Compile(buildSimBench(n), device.StratixV(), hls.Options{})
+}
+
+// RunSimBench compiles (memoized) and simulates the benchmark workload,
+// validating the consumer's output — the equivalence suite runs it with
+// fast-forward on and off and compares every field of the result.
+func RunSimBench(n int, disableFF bool) (*SimBenchResult, error) {
+	if n == 0 {
+		n = 2048
+	}
+	d, _, err := compiledDesign(fmt.Sprintf("simbench/%d", n), device.StratixV(), hls.Options{},
+		func() (*kir.Program, any, error) { return buildSimBench(n), nil, nil })
+	if err != nil {
+		return nil, err
+	}
+	// A congested-DRAM profile: the scheduled load latency stays at the
+	// compiler's optimistic estimate while the modeled row activate takes
+	// ~200 cycles, so each consumer load opens a long quiescent window — the
+	// shape of the §5.1 "memory behaves differently than the compiler
+	// assumed" stalls the profiling stack exists to expose.
+	m := sim.New(d, sim.Options{
+		DisableFastForward: disableFF,
+		MemConfig:          mem.Config{RowHitLat: 60, RowMissLat: 200},
+	})
+	src, err := m.NewBuffer("src", kir.I32, n)
+	if err != nil {
+		return nil, err
+	}
+	tbl, err := m.NewBuffer("tbl", kir.I32, simBenchTblElems)
+	if err != nil {
+		return nil, err
+	}
+	dst, err := m.NewBuffer("dst", kir.I32, n)
+	if err != nil {
+		return nil, err
+	}
+	for i := range src.Data {
+		src.Data[i] = int64(i + 1)
+	}
+	for i := range tbl.Data {
+		tbl.Data[i] = int64(i % 97)
+	}
+	if _, err := m.Launch("producer", sim.Args{"src": src}); err != nil {
+		return nil, err
+	}
+	if _, err := m.Launch("consumer", sim.Args{"tbl": tbl, "dst": dst}); err != nil {
+		return nil, err
+	}
+	if err := m.Run(); err != nil {
+		return nil, err
+	}
+	want := simBenchExpected(n)
+	for i := 0; i < n; i++ {
+		if dst.Data[i] != want[i] {
+			return nil, fmt.Errorf("simbench: dst[%d] = %d, want %d", i, dst.Data[i], want[i])
+		}
+	}
+	jumps, skipped := m.FastForwardStats()
+	return &SimBenchResult{N: n, Cycles: m.Cycle(), FFJumps: jumps, FFSkipped: skipped}, nil
+}

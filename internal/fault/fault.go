@@ -11,6 +11,7 @@ package fault
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 	"strconv"
@@ -97,6 +98,21 @@ func (e Event) ActiveAt(cycle int64) bool {
 
 // Forever reports whether the event never expires.
 func (e Event) Forever() bool { return e.Duration == 0 }
+
+// NextBoundary returns the earliest cycle strictly after now at which the
+// event's activation state can change (its onset, or its expiry for finite
+// events), or math.MaxInt64 when no transition remains. The simulator's
+// fast-forward path must never jump across a boundary: fault application is
+// cycle-exact, so every transition is a mandatory wake-up point.
+func (e Event) NextBoundary(now int64) int64 {
+	if e.At > now {
+		return e.At
+	}
+	if e.Duration > 0 && e.At+e.Duration > now {
+		return e.At + e.Duration
+	}
+	return math.MaxInt64
+}
 
 // String renders the event in the spec syntax ParseSpec accepts.
 func (e Event) String() string {

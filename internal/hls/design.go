@@ -96,6 +96,11 @@ type XKernel struct {
 
 	// ScalarSlots maps scalar parameter index -> slot.
 	ScalarSlots map[int]int
+
+	// NumIBufStates counts OpIBufLogic ops; each got a dense StateIdx during
+	// lowering so the simulator can keep intrinsic state in a slice instead
+	// of a per-op map.
+	NumIBufStates int
 }
 
 // UnitName returns "kernel" or "kernel[cu]" for replicated kernels.
@@ -184,6 +189,9 @@ type XOp struct {
 	Dim   int
 	Lib   *kir.LibFunc
 	IBuf  any
+	// StateIdx indexes the unit's intrinsic-state table for OpIBufLogic ops
+	// (dense per kernel; see XKernel.NumIBufStates). -1 for other kinds.
+	StateIdx int
 
 	// Pinned ops act as scheduling barriers: they stay in program order
 	// relative to every neighbouring op.

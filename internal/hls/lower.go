@@ -259,17 +259,22 @@ func (lw *lowerer) op(op *kir.Op, guard int) {
 		bits = lw.k.ValType(op.Args[0]).Bits()
 	}
 	x := &XOp{
-		Kind:   op.Kind,
-		Guard:  guard,
-		Const:  op.Const,
-		Bits:   bits,
-		Dim:    op.Dim,
-		Lib:    op.Lib,
-		IBuf:   op.IBuf,
-		Pinned: op.Pinned,
-		ChID:   -1,
-		LSU:    -1,
-		Local:  -1,
+		Kind:     op.Kind,
+		Guard:    guard,
+		Const:    op.Const,
+		Bits:     bits,
+		Dim:      op.Dim,
+		Lib:      op.Lib,
+		IBuf:     op.IBuf,
+		Pinned:   op.Pinned,
+		ChID:     -1,
+		LSU:      -1,
+		Local:    -1,
+		StateIdx: -1,
+	}
+	if op.Kind == kir.OpIBufLogic {
+		x.StateIdx = lw.x.NumIBufStates
+		lw.x.NumIBufStates++
 	}
 	for _, a := range op.Args {
 		x.Args = append(x.Args, lw.slot(a))

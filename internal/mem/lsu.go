@@ -64,9 +64,12 @@ type LSU struct {
 	stats LSUStats
 }
 
-// NewLSU creates an LSU for one access site on buf.
+// NewLSU creates an LSU for one access site on buf. The posted-store queue
+// is preallocated to its bound (Config.StoreQueue) so the retire/append
+// cycle in Store never allocates on the simulation hot path.
 func (s *System) NewLSU(kind LSUKind, buf *Buffer) *LSU {
-	return &LSU{sys: s, buf: buf, kind: kind, minLocal: 2}
+	return &LSU{sys: s, buf: buf, kind: kind, minLocal: 2,
+		storeDone: make([]int64, 0, s.cfg.StoreQueue)}
 }
 
 // Kind returns the LSU microarchitecture.

@@ -24,25 +24,74 @@ type Ctx struct {
 	fwd map[int][]int
 }
 
-func newTopCtx(nslots int) *Ctx {
-	c := &Ctx{slots: make([]int64, nslots), ready: make([]int64, nslots)}
-	for i := range c.ready {
+// allocCtx returns a cleared context sized for the unit's kernel, recycling
+// a retired one when available — contexts churn once per work-item and once
+// per loop iteration, so pooling removes the dominant allocation source in
+// the simulation hot path.
+func (u *Unit) allocCtx() *Ctx {
+	n := u.xk.NumSlots
+	c := u.takeCtx(n)
+	for i := range c.slots {
+		c.slots[i] = 0
 		c.ready[i] = Future
 	}
 	return c
 }
 
-// child clones the context for a loop iteration: parent-computed values
-// (and their pending ready times) are visible; everything else stays Future.
-func (c *Ctx) child() *Ctx {
-	n := &Ctx{
-		slots: make([]int64, len(c.slots)),
-		ready: make([]int64, len(c.ready)),
-		wiID:  c.wiID,
+// childCtx clones pc for a loop iteration: parent-computed values (and their
+// pending ready times) are visible; everything else stays Future.
+func (u *Unit) childCtx(pc *Ctx) *Ctx {
+	c := u.takeCtx(len(pc.slots))
+	copy(c.slots, pc.slots)
+	copy(c.ready, pc.ready)
+	c.wiID = pc.wiID
+	return c
+}
+
+// takeCtx pops a pooled context (or makes one) with slot arrays of length n
+// and neutral metadata; the caller initializes slot contents.
+func (u *Unit) takeCtx(n int) *Ctx {
+	if k := len(u.ctxPool); k > 0 {
+		c := u.ctxPool[k-1]
+		u.ctxPool[k-1] = nil
+		u.ctxPool = u.ctxPool[:k-1]
+		if cap(c.slots) < n {
+			c.slots = make([]int64, n)
+			c.ready = make([]int64, n)
+		} else {
+			c.slots = c.slots[:n]
+			c.ready = c.ready[:n]
+		}
+		return c
 	}
-	copy(n.slots, c.slots)
-	copy(n.ready, c.ready)
-	return n
+	return &Ctx{slots: make([]int64, n), ready: make([]int64, n)}
+}
+
+// freeCtx recycles a retired context. The caller must guarantee nothing
+// still references it (loop engines purge waiting lists before retiring).
+func (u *Unit) freeCtx(c *Ctx) {
+	c.owner = nil
+	c.iter, c.resID, c.wiID = 0, 0, 0
+	c.fwd = nil
+	u.ctxPool = append(u.ctxPool, c)
+}
+
+// newFlow returns a flow carrier for c, recycled when possible.
+func (u *Unit) newFlow(c *Ctx) *flow {
+	if k := len(u.flowPool); k > 0 {
+		f := u.flowPool[k-1]
+		u.flowPool[k-1] = nil
+		u.flowPool = u.flowPool[:k-1]
+		*f = flow{c: c}
+		return f
+	}
+	return &flow{c: c}
+}
+
+// freeFlow recycles a flow whose context has left the region tree.
+func (u *Unit) freeFlow(f *flow) {
+	*f = flow{}
+	u.flowPool = append(u.flowPool, f)
 }
 
 // grow extends the slot arrays (contexts are sized per kernel; grow guards

@@ -168,7 +168,11 @@ func (e *DeadlockError) Error() string {
 
 // DeadlockReport diagnoses the machine's current wait structure. It is
 // called by run() when giving up, and may also be called directly on a
-// machine to inspect a live (stepped) simulation.
+// machine to inspect a live (stepped) simulation. The wait durations it
+// renders come from blocked-since watermarks that fast-forward maintains
+// across skipped windows (batchAdvance), and run() always steps the
+// stall-limit deadline cycle for real, so reports carry the same cycle
+// numbers whether or not quiescent windows were jumped.
 func (m *Machine) DeadlockReport(reason Reason) *DeadlockReport {
 	r := &DeadlockReport{
 		Reason:     reason,

@@ -36,6 +36,16 @@ func buildRegionExec(u *Unit, r *hls.XRegion, onDone func(*Ctx)) *regionExec {
 			le := &loopExec{u: u, r: it, owner: re, itemIdx: i}
 			le.multithread = u.xk.Mode == kir.NDRange
 			le.body = buildRegionExec(u, it, le.iterDone)
+			// the Next-slot forwarding table is identical for every
+			// iteration; build it once and share it across contexts
+			for k, cc := range it.Carried {
+				if cc.NextSlot >= 0 {
+					if le.fwdShared == nil {
+						le.fwdShared = map[int][]int{}
+					}
+					le.fwdShared[cc.NextSlot] = append(le.fwdShared[cc.NextSlot], k)
+				}
+			}
 			re.items = append(re.items, le)
 		}
 	}
@@ -53,6 +63,7 @@ func (re *regionExec) moveTo(f *flow, idx int) {
 	f.item = idx
 	if idx >= len(re.items) {
 		re.onDone(f.c)
+		re.u.freeFlow(f)
 		return
 	}
 	switch it := re.items[idx].(type) {
@@ -219,6 +230,10 @@ type loopExec struct {
 	lastIssue      int64
 	lastIssueShift int64
 	anyIssue       bool
+
+	// fwdShared maps a Next slot to the carried indexes it defines; computed
+	// once at build time (identical for every iteration context).
+	fwdShared map[int][]int
 }
 
 // bodyShifts reports the body pipeline's shift counter (0 when the body does
@@ -349,7 +364,7 @@ func (le *loopExec) eligible(r *resident, now int64) bool {
 
 func (le *loopExec) issue(r *resident, now int64) {
 	pc := r.parentFlow.c
-	c := pc.child()
+	c := le.u.childCtx(pc)
 	c.owner = le
 	c.iter = r.nextIter
 	c.resID = r.id
@@ -371,13 +386,8 @@ func (le *loopExec) issue(r *resident, now int64) {
 			st.waiting = append(st.waiting, c)
 		}
 	}
-	// forwarding hooks for Next slots
-	c.fwd = map[int][]int{}
-	for k, cc := range le.r.Carried {
-		if cc.NextSlot >= 0 {
-			c.fwd[cc.NextSlot] = append(c.fwd[cc.NextSlot], k)
-		}
-	}
+	// forwarding hooks for Next slots (shared table, read-only)
+	c.fwd = le.fwdShared
 	// values already present at issue (Next == phi/init/iv/parent value)
 	for k, cc := range le.r.Carried {
 		if cc.NextSlot >= 0 && c.readyAt(cc.NextSlot) != Future {
@@ -390,7 +400,7 @@ func (le *loopExec) issue(r *resident, now int64) {
 	le.lastIssue = now
 	le.lastIssueShift = le.bodyShifts()
 	le.anyIssue = true
-	le.body.enter(&flow{c: c})
+	le.body.enter(le.u.newFlow(c))
 	le.u.noteProgress()
 }
 
@@ -425,24 +435,44 @@ func (le *loopExec) forward(c *Ctx, k int, v, at int64) {
 func (le *loopExec) iterDone(c *Ctx) {
 	r := le.findResident(c.resID)
 	if r == nil {
+		le.u.freeCtx(c)
 		return
 	}
 	r.inflight--
+	// a context whose phi slot the body never reads can retire while still
+	// queued for carried-value delivery; purge before recycling it
+	for k := range r.carr {
+		st := &r.carr[k]
+		for i := 0; i < len(st.waiting); i++ {
+			if st.waiting[i] == c {
+				st.waiting = append(st.waiting[:i], st.waiting[i+1:]...)
+				i--
+			}
+		}
+	}
+	le.u.freeCtx(c)
 	if !r.infinite && r.nextIter >= r.total && r.inflight == 0 {
 		le.finish(r)
 	}
 }
 
 func (le *loopExec) tick(now int64) {
-	// evaluate new residents and complete trivially-empty loops
-	for _, r := range append([]*resident(nil), le.residents...) {
-		if !r.evaluated {
-			if !le.evaluate(r, now) {
-				continue
-			}
-			if !r.infinite && r.total == 0 {
-				le.finish(r)
-			}
+	// evaluate new residents and complete trivially-empty loops (indexed
+	// loop, not a copied slice: finish() may remove the current resident)
+	for i := 0; i < len(le.residents); i++ {
+		r := le.residents[i]
+		if r.evaluated {
+			continue
+		}
+		if !le.evaluate(r, now) {
+			continue
+		}
+		// an evaluation is a state change the fast-forward scan must not
+		// jump over, even though no op executed
+		le.u.m.workDone = true
+		if !r.infinite && r.total == 0 {
+			le.finish(r)
+			i--
 		}
 	}
 	// issue at most one iteration per cycle

@@ -1,0 +1,422 @@
+package sim
+
+import (
+	"sync/atomic"
+
+	"oclfpga/internal/channel"
+	"oclfpga/internal/fault"
+	"oclfpga/internal/hls"
+	"oclfpga/internal/kir"
+)
+
+// Fast-forward: event-driven skipping of quiescent cycles.
+//
+// A tick that ends with m.workDone == false made no state change beyond three
+// batch-replayable effects: empty segments incrementing their shift counters,
+// blocked channel ops incrementing the channel's stall statistics, and
+// blocked-op bookkeeping refreshing blockState.last. While the machine stays
+// in that state, every future tick is byte-for-byte predictable, so Run can
+// jump the clock to the earliest cycle anything could change — a memory
+// response maturing, a stall window expiring, II pacing being satisfied, a
+// delayed launch starting, or a fault event switching on or off — and replay
+// the skipped cycles' counter effects in O(blocked ops) instead of
+// O(cycles × fabric).
+//
+// The wake computation is deliberately conservative in one direction only:
+// it may UNDER-estimate the next wake (costing an extra real tick), never
+// over-estimate it (which would change observable behaviour). Channel-blocked
+// ops report "no timed wake" — only a counterpart's commit can unblock them,
+// and a counterpart that could commit would have made the tick non-quiescent.
+// Opaque blockages (intrinsic logic) report now+1, disabling skipping.
+
+// wakeInf means "no timed wake-up: only another unit's progress (or a fault
+// boundary, accounted separately) can change this item's state".
+const wakeInf = int64(1<<62 - 1)
+
+// ffDisabled force-disables fast-forward process-wide; the equivalence tests
+// use it to drive the slow path through public entry points.
+var ffDisabled atomic.Bool
+
+// SetFastForwardDisabled force-disables (or re-enables) quiescent-cycle
+// skipping for every machine in the process. Intended for tests and A/B
+// debugging; fast-forward is semantics-preserving, so normal users never
+// need it.
+func SetFastForwardDisabled(v bool) { ffDisabled.Store(v) }
+
+// FastForwardStats reports how many jumps the machine has taken and how many
+// quiescent cycles they skipped. Skipped cycles still "happened" — counters,
+// stall statistics, and the cycle clock all read as if each one was stepped.
+func (m *Machine) FastForwardStats() (jumps, skipped int64) {
+	return m.ffJumps, m.ffSkipped
+}
+
+// fastForwardOK reports whether skipping is currently allowed: it is off
+// when the options or the process-wide switch disable it, and whenever cycle
+// hooks (the VCD recorder) are attached — hooks observe every cycle by
+// contract, so their presence forces per-cycle stepping.
+func (m *Machine) fastForwardOK() bool {
+	return !m.opts.DisableFastForward && len(m.cycleHooks) == 0 && !ffDisabled.Load()
+}
+
+// fastForward is called after a quiescent tick at m.cycle. It computes the
+// next wake and jumps to just before it, batch-replaying the skipped cycles'
+// effects. Deadline cycles (stall limit, max cycles, run budget) cap the
+// jump so the tick that trips a limit executes for real and the resulting
+// report carries exactly the state the slow path would have produced.
+func (m *Machine) fastForward(start, budget int64) {
+	w := m.nextWake()
+	to := w - 1
+	if lim := m.lastProgress + m.opts.StallLimit; to > lim {
+		to = lim
+	}
+	if to > m.opts.MaxCycles {
+		to = m.opts.MaxCycles
+	}
+	if budget >= 0 && to > start+budget {
+		to = start + budget
+	}
+	if to <= m.cycle {
+		return
+	}
+	m.batchAdvance(m.cycle, to)
+	m.ffJumps++
+	m.ffSkipped += to - m.cycle
+	m.cycle = to
+}
+
+// nextWake returns the earliest cycle > m.cycle at which any unit (or the
+// fault plan) could change machine state, given that the tick that just ran
+// was quiescent.
+func (m *Machine) nextWake() int64 {
+	now := m.cycle
+	w := wakeInf
+	for _, u := range m.units {
+		if uw := m.unitWake(u, now); uw < w {
+			w = uw
+		}
+	}
+	for _, u := range m.active {
+		if uw := m.unitWake(u, now); uw < w {
+			w = uw
+		}
+	}
+	if m.faults != nil {
+		if fw := m.faults.nextBoundary(now); fw < w {
+			w = fw
+		}
+	}
+	return w
+}
+
+func (m *Machine) unitWake(u *Unit, now int64) int64 {
+	if m.stuck(u) {
+		return wakeInf // thaws only at a fault boundary
+	}
+	if now < u.startAt {
+		return u.startAt
+	}
+	// NDRange work-item issue needs no candidate: if the top region could
+	// accept, the tick would have issued (non-quiescent); stage-0 freeing is
+	// op-driven and covered by the segment wakes below.
+	return m.regionWake(u.top, now)
+}
+
+func (m *Machine) regionWake(re *regionExec, now int64) int64 {
+	w := wakeInf
+	for _, it := range re.items {
+		var iw int64
+		switch it := it.(type) {
+		case *segExec:
+			iw = m.segWake(it, now)
+		case *loopExec:
+			iw = m.loopWake(it, now)
+		}
+		if iw < w {
+			w = iw
+		}
+	}
+	return w
+}
+
+// segWake: an empty segment only batch-advances its shift counter (no timed
+// wake); a stalled segment wakes when its stall window expires; otherwise
+// the oldest flow with pending ops is blocked on exactly its next op.
+func (m *Machine) segWake(se *segExec, now int64) int64 {
+	if len(se.flows) == 0 {
+		return wakeInf
+	}
+	if se.stallUntil > now {
+		return se.stallUntil
+	}
+	for _, f := range se.flows {
+		if ops := se.byStage[f.stage]; f.opPtr < len(ops) {
+			return m.opWake(f.c, ops[f.opPtr], now)
+		}
+	}
+	// every op complete: the segment would advance, contradicting
+	// quiescence; fall back to per-cycle stepping
+	return now + 1
+}
+
+// opWake reports when a blocked op's inputs could mature. A pending guard or
+// argument with a finite ready time gives an exact wake; Future means the
+// producer is itself op-driven (its own wake is counted where it is
+// blocked). Ready-but-refused channel ops have no timed wake. Anything else
+// (intrinsic logic, unmodelled states) conservatively disables skipping.
+func (m *Machine) opWake(c *Ctx, op *hls.XOp, now int64) int64 {
+	if op.Guard >= 0 {
+		if g := c.readyAt(op.Guard); g > now {
+			if g == Future {
+				return wakeInf
+			}
+			return g
+		}
+	}
+	var wake int64
+	for _, a := range op.Args {
+		if a < 0 {
+			continue
+		}
+		r := c.readyAt(a)
+		if r <= now {
+			continue
+		}
+		if r == Future {
+			return wakeInf
+		}
+		if r > wake {
+			wake = r
+		}
+	}
+	if wake > now {
+		return wake
+	}
+	switch op.Kind {
+	case kir.OpChanRead, kir.OpChanWrite:
+		return wakeInf // only a counterpart commit or a fault thaw helps
+	}
+	return now + 1
+}
+
+func (m *Machine) loopWake(le *loopExec, now int64) int64 {
+	w := m.regionWake(le.body, now)
+	for _, r := range le.residents {
+		if rw := m.residentWake(le, r, now); rw < w {
+			w = rw
+		}
+	}
+	return w
+}
+
+// residentWake reports when a parked loop resident could evaluate its bounds
+// or issue its next iteration.
+func (m *Machine) residentWake(le *loopExec, r *resident, now int64) int64 {
+	pc := r.parentFlow.c
+	if !r.evaluated {
+		var wake int64
+		for _, s := range []int{le.r.StartSlot, le.r.EndSlot, le.r.StepSlot} {
+			rd := pc.readyAt(s)
+			if rd <= now {
+				continue
+			}
+			if rd == Future {
+				return wakeInf
+			}
+			if rd > wake {
+				wake = rd
+			}
+		}
+		for _, cc := range le.r.Carried {
+			if pc.readyAt(cc.InitSlot) == Future {
+				return wakeInf
+			}
+		}
+		if wake > now {
+			return wake
+		}
+		return now + 1 // evaluable now: should not happen in a quiescent tick
+	}
+	if !r.infinite && r.nextIter >= r.total {
+		return wakeInf // draining: retirement is op-driven
+	}
+	if r.inflight >= maxInflight || !le.body.canAccept() {
+		return wakeInf // backpressure releases op-driven
+	}
+	wake := now
+	if le.multithread {
+		for k := range le.r.Carried {
+			st := &r.carr[k]
+			if st.iter != r.nextIter-1 {
+				return wakeInf // carried chain advances op-driven
+			}
+			if st.readyAt > now {
+				if st.readyAt == Future {
+					return wakeInf
+				}
+				if st.readyAt > wake {
+					wake = st.readyAt
+				}
+			}
+		}
+		if le.anyIssue && le.r.II > 1 {
+			if iw := le.iiWake(now); iw > wake {
+				wake = iw // conjunctive with carried readiness: take the max
+			}
+		}
+	} else {
+		if le.r.II == 0 {
+			if r.inflight > 0 {
+				return wakeInf // sequential composite: next issue is op-driven
+			}
+			return now + 1 // issuable now: should not happen when quiescent
+		}
+		if le.anyIssue {
+			if iw := le.iiWake(now); iw > wake {
+				wake = iw
+			}
+		}
+	}
+	if wake <= now {
+		return now + 1
+	}
+	return wake
+}
+
+// iiWake is the earliest cycle at which the body's shift counter reaches the
+// II spacing required for the next issue, assuming the body's first segment
+// stays empty (it shifts once per un-stalled cycle). If the segment holds
+// flows its advance is op-driven and its own wake candidates apply.
+func (le *loopExec) iiWake(now int64) int64 {
+	if len(le.body.items) == 0 {
+		return now + 1
+	}
+	se, ok := le.body.items[0].(*segExec)
+	if !ok {
+		return now + 1 // no shift pacing to wait for
+	}
+	if len(se.flows) > 0 {
+		return wakeInf
+	}
+	needed := le.lastIssueShift + int64(le.r.II) - se.shifts
+	if needed <= 0 {
+		return now + 1
+	}
+	// shifts(t-1) = shifts(now) + (t-1 - base) for t-1 >= base, where base
+	// accounts for a pending stall window; eligibility at cycle t sees the
+	// counter as of t-1
+	base := now
+	if se.stallUntil-1 > base {
+		base = se.stallUntil - 1
+	}
+	return base + needed + 1
+}
+
+// nextBoundary returns the earliest upcoming fault-event transition. Jumps
+// never cross one: applyFaults runs per-tick, so every onset and expiry must
+// be observed at its exact cycle.
+func (fr *faultRuntime) nextBoundary(now int64) int64 {
+	w := wakeInf
+	for i := range fr.events {
+		re := &fr.events[i]
+		if re.ev.Kind == fault.LaunchSkew {
+			continue // applied at install time; no runtime transition
+		}
+		if b := re.ev.NextBoundary(now); b < w {
+			w = b
+		}
+	}
+	return w
+}
+
+// batchAdvance replays, in O(items), the per-cycle side effects the skipped
+// window (from, to] would have produced: empty segments shift once per
+// un-stalled cycle, blocked channel ops charge one stall per retried cycle,
+// and blocked-op bookkeeping stays contiguous so DeadlockReport wait
+// durations are exact.
+func (m *Machine) batchAdvance(from, to int64) {
+	for _, u := range m.units {
+		m.batchUnit(u, from, to)
+	}
+	for _, u := range m.active {
+		m.batchUnit(u, from, to)
+	}
+}
+
+func (m *Machine) batchUnit(u *Unit, from, to int64) {
+	if m.stuck(u) || from < u.startAt {
+		return // the unit does not tick in this window
+	}
+	stalledSegs := 0
+	m.batchRegion(u, u.top, from, to, &stalledSegs)
+	if u.block.op != nil && u.block.last == from {
+		u.block.last = to
+		if stalledSegs > 1 {
+			// with several stalled segments the per-cycle bookkeeping
+			// ping-pongs between their front ops, restarting the wait clock
+			// every cycle; the final record's interval starts at the last
+			// skipped cycle
+			u.block.since = to
+		}
+	}
+}
+
+func (m *Machine) batchRegion(u *Unit, re *regionExec, from, to int64, stalledSegs *int) {
+	for _, it := range re.items {
+		switch it := it.(type) {
+		case *segExec:
+			if len(it.flows) == 0 {
+				lo := from + 1
+				if it.stallUntil > lo {
+					lo = it.stallUntil
+				}
+				if to >= lo {
+					it.shifts += to - lo + 1
+				}
+				continue
+			}
+			if it.stallUntil > from {
+				continue // stalled through the window (wake capped at expiry)
+			}
+			for _, f := range it.flows {
+				ops := it.byStage[f.stage]
+				if f.opPtr >= len(ops) {
+					continue
+				}
+				op := ops[f.opPtr]
+				*stalledSegs++
+				if ch := m.chanStallTarget(f.c, op, from); ch != nil {
+					if op.Kind == kir.OpChanRead {
+						ch.AddReadStalls(to - from)
+					} else {
+						ch.AddWriteStalls(to - from)
+					}
+				}
+				break // only the front blocked op retries each cycle
+			}
+		case *loopExec:
+			m.batchRegion(u, it.body, from, to, stalledSegs)
+		}
+	}
+}
+
+// chanStallTarget returns the channel whose stall counter the blocked op
+// charges each retried cycle, mirroring execOp's early-outs: a pending guard
+// or argument fails before the channel is consulted (no stat), a false guard
+// would have skipped the op (not blocked), and only blocking channel ops
+// reach TryRead/TryWrite.
+func (m *Machine) chanStallTarget(c *Ctx, op *hls.XOp, now int64) *channel.Channel {
+	if op.Kind != kir.OpChanRead && op.Kind != kir.OpChanWrite {
+		return nil
+	}
+	if op.Guard >= 0 {
+		if c.readyAt(op.Guard) > now || c.val(op.Guard) == 0 {
+			return nil
+		}
+	}
+	for _, a := range op.Args {
+		if a >= 0 && c.readyAt(a) > now {
+			return nil
+		}
+	}
+	return m.chans[op.ChID]
+}

@@ -32,6 +32,11 @@ type Options struct {
 	// consults every cycle. Unknown targets surface as an error from the
 	// first Run rather than being silently ignored.
 	Fault *fault.Plan
+	// DisableFastForward forces Run to step every cycle even when the whole
+	// fabric is provably quiescent. Fast-forward is exactly
+	// semantics-preserving (see DESIGN.md §8), so this exists for debugging
+	// and for the equivalence test suite, not for correctness.
+	DisableFastForward bool
 }
 
 func (o *Options) fill() {
@@ -60,6 +65,16 @@ type Machine struct {
 	lastProgress int64
 	err          error
 
+	// workDone is reset at the top of every tick and set whenever the tick
+	// changes machine state in a way that is not batch-replayable; a tick
+	// that ends with workDone false is quiescent and Run may fast-forward.
+	workDone bool
+	// dirtyChans lists channels touched since their last EndCycle.
+	dirtyChans []*channel.Channel
+	// fast-forward statistics (see FastForwardStats).
+	ffJumps   int64
+	ffSkipped int64
+
 	faults *faultRuntime
 
 	// cycleHooks run at the end of every cycle (after channel commit);
@@ -72,7 +87,9 @@ func New(d *hls.Design, opts Options) *Machine {
 	opts.fill()
 	m := &Machine{d: d, opts: opts, Mem: mem.NewSystem(opts.MemConfig), bufs: map[string]*mem.Buffer{}}
 	for i, c := range d.Program.Chans {
-		m.chans = append(m.chans, channel.New(c.Name, d.ChanDepth[i]))
+		ch := channel.New(c.Name, d.ChanDepth[i])
+		ch.SetNotify(func() { m.dirtyChans = append(m.dirtyChans, ch) })
+		m.chans = append(m.chans, ch)
 	}
 	for _, xk := range d.Kernels {
 		if xk.Mode != kir.Autorun {
@@ -184,7 +201,7 @@ func (m *Machine) launch(kernel string, args Args, globalSize int64) (*Unit, err
 			default:
 				return nil, fmt.Errorf("sim: kernel %q: argument %q must be an integer", kernel, p.Name)
 			}
-			u.scalars[xk.ScalarSlots[p.Index]] = v
+			u.scalars = append(u.scalars, scalarBind{slot: xk.ScalarSlots[p.Index], val: v})
 		case kir.GlobalArray:
 			buf, ok := a.(*mem.Buffer)
 			if !ok {
@@ -245,16 +262,19 @@ func (m *Machine) run(budget int64) error {
 		if m.cycle > m.opts.MaxCycles {
 			return &DeadlockError{Report: m.DeadlockReport(ReasonMaxCycles)}
 		}
+		if !m.workDone && m.fastForwardOK() {
+			m.fastForward(start, budget)
+		}
 	}
 	return nil
 }
 
 func (m *Machine) tick() {
 	m.cycle++
+	m.workDone = false
 	m.applyFaults()
-	for _, c := range m.chans {
-		c.BeginCycle()
-	}
+	// channels re-snapshot lazily: the dirty set built by their notify
+	// callbacks replaces the old begin-of-cycle scan over every channel
 	for _, u := range m.units {
 		if m.stuck(u) {
 			continue
@@ -275,8 +295,12 @@ func (m *Machine) tick() {
 		stillActive = append(stillActive, u)
 	}
 	m.active = stillActive
-	for _, c := range m.chans {
-		c.Commit()
+	if len(m.dirtyChans) > 0 {
+		for i, c := range m.dirtyChans {
+			c.EndCycle()
+			m.dirtyChans[i] = nil
+		}
+		m.dirtyChans = m.dirtyChans[:0]
 	}
 	for _, h := range m.cycleHooks {
 		h(m.cycle)
@@ -288,10 +312,12 @@ type Unit struct {
 	m  *Machine
 	xk *hls.XKernel
 
-	top     *regionExec
-	locals  []*mem.LocalMem
-	lsus    []*mem.LSU
-	scalars map[int]int64
+	top    *regionExec
+	locals []*mem.LocalMem
+	lsus   []*mem.LSU
+	// scalars holds the launch's scalar bindings, copied into every top
+	// context (a sparse slice: kernels have a handful of scalar params).
+	scalars []scalarBind
 
 	startAt    int64
 	started    bool
@@ -304,9 +330,21 @@ type Unit struct {
 	// single-task / autorun progress
 	topDone bool
 
-	intrinsicState map[*hls.XOp]any
+	// intrinsicState is indexed by XOp.StateIdx (dense, assigned during
+	// lowering) — the hot path avoids a per-op map lookup.
+	intrinsicState []any
+	ienv           IntrinsicEnv
+	// ctxPool / flowPool recycle retired iteration and work-item carriers.
+	ctxPool  []*Ctx
+	flowPool []*flow
 	// block tracks the most recent blocked operation for hang diagnostics.
 	block blockState
+}
+
+// scalarBind is one scalar kernel argument pinned to its slot.
+type scalarBind struct {
+	slot int
+	val  int64
 }
 
 // blockState is a unit's structured record of what it is (or was last)
@@ -321,11 +359,12 @@ type blockState struct {
 
 func (m *Machine) newUnit(xk *hls.XKernel) *Unit {
 	u := &Unit{
-		m:              m,
-		xk:             xk,
-		lsus:           make([]*mem.LSU, len(xk.LSUs)),
-		scalars:        map[int]int64{},
-		intrinsicState: map[*hls.XOp]any{},
+		m:    m,
+		xk:   xk,
+		lsus: make([]*mem.LSU, len(xk.LSUs)),
+	}
+	if xk.NumIBufStates > 0 {
+		u.intrinsicState = make([]any, xk.NumIBufStates)
 	}
 	for _, la := range xk.Src.Locals {
 		u.locals = append(u.locals, mem.NewLocalMem(fmt.Sprintf("%s.%s", xk.UnitName(), la.Name), la.Size))
@@ -336,6 +375,7 @@ func (m *Machine) newUnit(xk *hls.XKernel) *Unit {
 		} else {
 			u.topDone = true
 		}
+		u.freeCtx(c)
 	})
 	return u
 }
@@ -368,6 +408,7 @@ func (u *Unit) Done() bool {
 func (u *Unit) autorun() bool { return u.xk.Mode == kir.Autorun }
 
 func (u *Unit) noteProgress() {
+	u.m.workDone = true
 	if !u.autorun() {
 		u.m.lastProgress = u.m.cycle
 	}
@@ -404,27 +445,32 @@ func (u *Unit) tick(now int64) {
 	case kir.NDRange:
 		if !u.started {
 			u.started = true
+			u.m.workDone = true
 		}
 		if u.issuedWI < u.globalSize && u.top.canAccept() {
-			c := newTopCtx(u.xk.NumSlots)
+			c := u.newTopCtx(now)
 			c.wiID = u.issuedWI
-			for slot, v := range u.scalars {
-				c.slots[slot] = v
-				c.ready[slot] = now
-			}
 			u.issuedWI++
-			u.top.enter(&flow{c: c})
+			u.m.workDone = true
+			u.top.enter(u.newFlow(c))
 		}
 	default:
 		if !u.started {
 			u.started = true
-			c := newTopCtx(u.xk.NumSlots)
-			for slot, v := range u.scalars {
-				c.slots[slot] = v
-				c.ready[slot] = now
-			}
-			u.top.enter(&flow{c: c})
+			u.m.workDone = true
+			u.top.enter(u.newFlow(u.newTopCtx(now)))
 		}
 	}
 	u.top.tick(now)
+}
+
+// newTopCtx builds (or recycles) a top-level context with the launch's
+// scalar arguments bound at the current cycle.
+func (u *Unit) newTopCtx(now int64) *Ctx {
+	c := u.allocCtx()
+	for _, sb := range u.scalars {
+		c.slots[sb.slot] = sb.val
+		c.ready[sb.slot] = now
+	}
+	return c
 }

@@ -74,82 +74,82 @@ func (u *Unit) execOp(c *Ctx, op *hls.XOp, now int64, se *segExec) bool {
 	}
 
 	done := now + int64(op.Lat)
-	arg := func(i int) int64 { return c.val(op.Args[i]) }
-	set := func(v int64) { c.write(op.Dst, truncBits(v, op.Bits), done) }
 
+	// ALU ops funnel through one write at the bottom; the hot path avoids
+	// closure allocation by indexing operands directly.
 	switch op.Kind {
 	case kir.OpConst:
-		set(op.Const)
+		c.write(op.Dst, truncBits(op.Const, op.Bits), done)
 	case kir.OpAdd:
-		set(arg(0) + arg(1))
+		c.write(op.Dst, truncBits(c.val(op.Args[0])+c.val(op.Args[1]), op.Bits), done)
 	case kir.OpSub:
-		set(arg(0) - arg(1))
+		c.write(op.Dst, truncBits(c.val(op.Args[0])-c.val(op.Args[1]), op.Bits), done)
 	case kir.OpMul:
-		set(arg(0) * arg(1))
+		c.write(op.Dst, truncBits(c.val(op.Args[0])*c.val(op.Args[1]), op.Bits), done)
 	case kir.OpDiv:
-		if arg(1) == 0 {
-			set(0)
-		} else {
-			set(arg(0) / arg(1))
+		var v int64
+		if d := c.val(op.Args[1]); d != 0 {
+			v = c.val(op.Args[0]) / d
 		}
+		c.write(op.Dst, truncBits(v, op.Bits), done)
 	case kir.OpMod:
-		if arg(1) == 0 {
-			set(0)
-		} else {
-			set(arg(0) % arg(1))
+		var v int64
+		if d := c.val(op.Args[1]); d != 0 {
+			v = c.val(op.Args[0]) % d
 		}
+		c.write(op.Dst, truncBits(v, op.Bits), done)
 	case kir.OpAnd:
-		set(arg(0) & arg(1))
+		c.write(op.Dst, truncBits(c.val(op.Args[0])&c.val(op.Args[1]), op.Bits), done)
 	case kir.OpOr:
-		set(arg(0) | arg(1))
+		c.write(op.Dst, truncBits(c.val(op.Args[0])|c.val(op.Args[1]), op.Bits), done)
 	case kir.OpXor:
-		set(arg(0) ^ arg(1))
+		c.write(op.Dst, truncBits(c.val(op.Args[0])^c.val(op.Args[1]), op.Bits), done)
 	case kir.OpShl:
-		set(arg(0) << uint64(arg(1)&63))
+		c.write(op.Dst, truncBits(c.val(op.Args[0])<<uint64(c.val(op.Args[1])&63), op.Bits), done)
 	case kir.OpShr:
-		set(arg(0) >> uint64(arg(1)&63))
+		c.write(op.Dst, truncBits(c.val(op.Args[0])>>uint64(c.val(op.Args[1])&63), op.Bits), done)
 	case kir.OpCmpLT:
-		set(b2i(arg(0) < arg(1)))
+		c.write(op.Dst, b2i(c.val(op.Args[0]) < c.val(op.Args[1])), done)
 	case kir.OpCmpLE:
-		set(b2i(arg(0) <= arg(1)))
+		c.write(op.Dst, b2i(c.val(op.Args[0]) <= c.val(op.Args[1])), done)
 	case kir.OpCmpEQ:
-		set(b2i(arg(0) == arg(1)))
+		c.write(op.Dst, b2i(c.val(op.Args[0]) == c.val(op.Args[1])), done)
 	case kir.OpCmpNE:
-		set(b2i(arg(0) != arg(1)))
+		c.write(op.Dst, b2i(c.val(op.Args[0]) != c.val(op.Args[1])), done)
 	case kir.OpCmpGT:
-		set(b2i(arg(0) > arg(1)))
+		c.write(op.Dst, b2i(c.val(op.Args[0]) > c.val(op.Args[1])), done)
 	case kir.OpCmpGE:
-		set(b2i(arg(0) >= arg(1)))
+		c.write(op.Dst, b2i(c.val(op.Args[0]) >= c.val(op.Args[1])), done)
 	case kir.OpSelect:
-		if arg(0) != 0 {
-			set(arg(1))
-		} else {
-			set(arg(2))
+		v := c.val(op.Args[2])
+		if c.val(op.Args[0]) != 0 {
+			v = c.val(op.Args[1])
 		}
+		c.write(op.Dst, truncBits(v, op.Bits), done)
 
 	case kir.OpLoad:
 		lsu := u.lsus[op.LSU]
 		if lsu == nil {
 			return u.fail("load through unbound LSU (%s)", op)
 		}
-		v, ready := lsu.Load(now, arg(0))
+		v, ready := lsu.Load(now, c.val(op.Args[0]))
 		c.write(op.Dst, truncBits(v, op.Bits), ready)
 	case kir.OpStore:
 		lsu := u.lsus[op.LSU]
 		if lsu == nil {
 			return u.fail("store through unbound LSU (%s)", op)
 		}
-		ack := lsu.Store(now, arg(0), arg(1))
+		ack := lsu.Store(now, c.val(op.Args[0]), c.val(op.Args[1]))
 		if ack > now+1 {
 			se.stallUntil = maxi64(se.stallUntil, ack-1)
 		}
 	case kir.OpLocalLoad:
 		lm := u.locals[op.Local]
-		v, ready := lm.Load(now, arg(0))
+		v, ready := lm.Load(now, c.val(op.Args[0]))
 		c.write(op.Dst, truncBits(v, op.Bits), ready)
 	case kir.OpLocalStore:
 		lm := u.locals[op.Local]
-		lm.Store(now, arg(0), arg(1))
+		lm.Store(now, c.val(op.Args[0]), c.val(op.Args[1]))
 
 	case kir.OpChanRead:
 		ch := u.m.chans[op.ChID]
@@ -160,7 +160,7 @@ func (u *Unit) execOp(c *Ctx, op *hls.XOp, now int64, se *segExec) bool {
 		c.write(op.Dst, truncBits(v, op.Bits), done)
 	case kir.OpChanWrite:
 		ch := u.m.chans[op.ChID]
-		if !ch.TryWrite(arg(0)) {
+		if !ch.TryWrite(c.val(op.Args[0])) {
 			return false
 		}
 	case kir.OpChanReadNB:
@@ -170,15 +170,15 @@ func (u *Unit) execOp(c *Ctx, op *hls.XOp, now int64, se *segExec) bool {
 		c.write(op.OkDst, b2i(ok), done)
 	case kir.OpChanWriteNB:
 		ch := u.m.chans[op.ChID]
-		ok := ch.WriteNB(arg(0))
+		ok := ch.WriteNB(c.val(op.Args[0]))
 		c.write(op.OkDst, b2i(ok), done)
 
 	case kir.OpGlobalID:
 		c.write(op.Dst, c.wiID, now)
 	case kir.OpCall:
 		args := make([]int64, len(op.Args))
-		for i := range op.Args {
-			args[i] = arg(i)
+		for i, a := range op.Args {
+			args[i] = c.val(a)
 		}
 		var v int64
 		if op.Lib.Synth != nil {
@@ -192,10 +192,16 @@ func (u *Unit) execOp(c *Ctx, op *hls.XOp, now int64, se *segExec) bool {
 		if !ok {
 			return u.fail("OpIBufLogic payload does not implement sim.Intrinsic")
 		}
-		cell := u.intrinsicState[op]
-		env := &IntrinsicEnv{M: u.m, U: u, C: c, Op: op, Now: now, State: &cell}
+		if op.StateIdx < 0 || op.StateIdx >= len(u.intrinsicState) {
+			return u.fail("OpIBufLogic without a lowered StateIdx (%s)", op)
+		}
+		// the env is reused across calls (intrinsics must not retain it);
+		// state lives in a dense per-unit slice indexed by the op's StateIdx
+		env := &u.ienv
+		env.M, env.U, env.C, env.Op, env.Now = u.m, u, c, op, now
+		env.State = &u.intrinsicState[op.StateIdx]
 		ok = in.Exec(env)
-		u.intrinsicState[op] = cell
+		env.C, env.Op, env.State = nil, nil, nil
 		if !ok {
 			return false
 		}

@@ -44,7 +44,11 @@ type ProfileReport struct {
 
 // Profile snapshots the accumulated channel and LSU counters. Pass the
 // launched units whose memory behaviour should be included (finished units
-// keep their counters).
+// keep their counters). Every counter here is fast-forward-exact: windows
+// the machine skips batch-advance the same write/read stall totals the
+// per-cycle path would have accumulated (see batchAdvance in
+// fastforward.go), so profiles are identical either way — asserted by the
+// equivalence suite.
 func (m *Machine) Profile(units ...*Unit) ProfileReport {
 	r := ProfileReport{Cycle: m.cycle}
 	for i, ch := range m.chans {

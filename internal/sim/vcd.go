@@ -37,7 +37,10 @@ type vcdChange struct {
 // NewVCD attaches a recorder to the machine. Channel names select channels
 // to trace (occupancy as a vector, data-available as a bit); pass no names
 // to trace every channel. Sampling starts immediately and costs one callback
-// per cycle.
+// per cycle. Attaching a recorder registers a cycle hook, which forces the
+// machine onto the per-cycle slow path (DESIGN.md §8): a waveform must
+// contain every cycle, so quiescent windows cannot be skipped while one is
+// attached.
 func (m *Machine) NewVCD(channelNames ...string) *VCDRecorder {
 	r := &VCDRecorder{m: m}
 	want := map[string]bool{}

@@ -138,6 +138,17 @@ type (
 // NewMachine loads a design and starts its autorun kernels.
 func NewMachine(d *Design, opts SimOptions) *Machine { return sim.New(d, opts) }
 
+// SetFastForwardDisabled globally disables (true) or re-enables (false) the
+// simulator's event-driven fast-forward, which jumps over quiescent windows
+// where every unit is provably stalled (DESIGN.md §8). Fast-forward is
+// exactly semantics-preserving — cycle counts, profiles, deadlock reports,
+// and fault outcomes are identical either way — so this switch exists for
+// A/B timing comparisons and equivalence tests. For per-machine control use
+// SimOptions.DisableFastForward; Machine.FastForwardStats reports how much
+// a run skipped. Designs with a
+// cycle hook attached (e.g. a VCDRecorder) never fast-forward regardless.
+func SetFastForwardDisabled(v bool) { sim.SetFastForwardDisabled(v) }
+
 // Fault injection and hang diagnostics.
 type (
 	// FaultPlan is a deterministic, seeded schedule of injected faults the

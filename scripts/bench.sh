@@ -1,0 +1,18 @@
+#!/bin/sh
+# bench.sh — run the full benchmark suite and record the numbers.
+#
+# Runs every benchmark three times with allocation stats and converts the
+# output into BENCH_<n>.json (ns/op, simcycles/s, B/op, every custom metric,
+# plus the derived fast-forward speedup). Pass the output filename as $1 to
+# target a specific trajectory point; default BENCH_2.json.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_2.json}"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+go test -run '^$' -bench . -benchmem -count 3 . | tee "$RAW"
+go run ./cmd/benchjson < "$RAW" > "$OUT"
+echo "wrote $OUT"
