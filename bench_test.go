@@ -284,4 +284,29 @@ func BenchmarkSimThroughput(b *testing.B) {
 	}
 	b.Run("Simulate", func(b *testing.B) { simulate(b, false) })
 	b.Run("SimulateSlowPath", func(b *testing.B) { simulate(b, true) })
+	// SimulateObserved runs the same workload with the observability recorder
+	// attached (timeline + metrics every 1024 cycles). The gap between its
+	// simcycles/s and Simulate's is the recorder overhead; benchjson derives
+	// it as observe-overhead-pct. Fast-forward stays enabled — the recorder
+	// is event-driven, not a cycle hook.
+	b.Run("SimulateObserved", func(b *testing.B) {
+		if _, err := experiments.RunSimBenchObserved(n, 1024); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		var cycles int64
+		for i := 0; i < b.N; i++ {
+			r, err := experiments.RunSimBenchObserved(n, 1024)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if r.ObsEvents == 0 || r.FFJumps == 0 {
+				b.Fatal("recorder inactive or fast-forward lost")
+			}
+			cycles += r.Cycles
+		}
+		if s := b.Elapsed().Seconds(); s > 0 {
+			b.ReportMetric(float64(cycles)/s, "simcycles/s")
+		}
+	})
 }

@@ -78,12 +78,20 @@ func main() {
 		os.Exit(1)
 	}
 
-	// The headline derived metric: simulate-phase throughput with the
-	// fast-forward path over the forced slow path, averaged across runs.
+	// The headline derived metrics: simulate-phase throughput with the
+	// fast-forward path over the forced slow path, and the observability
+	// recorder's throughput cost relative to the unobserved fast path.
 	fast := mean(d.Benchmarks["BenchmarkSimThroughput/Simulate"], "simcycles/s")
 	slow := mean(d.Benchmarks["BenchmarkSimThroughput/SimulateSlowPath"], "simcycles/s")
-	if fast > 0 && slow > 0 {
-		d.Derived = map[string]float64{"fast-forward-speedup-x": fast / slow}
+	obsd := mean(d.Benchmarks["BenchmarkSimThroughput/SimulateObserved"], "simcycles/s")
+	if fast > 0 && (slow > 0 || obsd > 0) {
+		d.Derived = map[string]float64{}
+		if slow > 0 {
+			d.Derived["fast-forward-speedup-x"] = fast / slow
+		}
+		if obsd > 0 {
+			d.Derived["observe-overhead-pct"] = (1 - obsd/fast) * 100
+		}
 	}
 
 	enc := json.NewEncoder(os.Stdout)

@@ -1,0 +1,108 @@
+// Command obscheck validates observability artifacts produced by oclprof:
+// it parses a timeline (Perfetto trace_event JSON) and/or a metrics series,
+// runs the structural validators, re-encodes each document, and checks the
+// round trip is byte-identical — the codec contract scripts/verify.sh gates
+// on. Exit status 0 means every given file is valid and stable.
+//
+//	go run ./cmd/obscheck -timeline t.json -metrics m.json
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"oclfpga/internal/obs"
+)
+
+var (
+	flagTimeline = flag.String("timeline", "", "timeline file to validate")
+	flagMetrics  = flag.String("metrics", "", "metrics-series file to validate")
+	flagReport   = flag.String("report", "", "oclprof -json run report to validate (must be one JSON document)")
+	flagQuiet    = flag.Bool("q", false, "suppress the per-file summary lines")
+)
+
+func main() {
+	flag.Parse()
+	if *flagTimeline == "" && *flagMetrics == "" && *flagReport == "" {
+		fmt.Fprintln(os.Stderr, "obscheck: nothing to check (pass -timeline, -metrics, and/or -report)")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *flagTimeline != "" {
+		checkFile(*flagTimeline, checkTimeline)
+	}
+	if *flagMetrics != "" {
+		checkFile(*flagMetrics, checkSeries)
+	}
+	if *flagReport != "" {
+		checkFile(*flagReport, checkReport)
+	}
+}
+
+func checkFile(path string, check func([]byte) (string, error)) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	summary, err := check(raw)
+	if err != nil {
+		log.Fatalf("%s: %v", path, err)
+	}
+	if !*flagQuiet {
+		fmt.Printf("%s: ok (%s)\n", path, summary)
+	}
+}
+
+func checkTimeline(raw []byte) (string, error) {
+	tl, err := obs.ReadTimeline(bytes.NewReader(raw))
+	if err != nil {
+		return "", err
+	}
+	if err := tl.Validate(); err != nil {
+		return "", err
+	}
+	var re bytes.Buffer
+	if err := obs.WriteTimeline(&re, tl); err != nil {
+		return "", err
+	}
+	if !bytes.Equal(raw, re.Bytes()) {
+		return "", fmt.Errorf("re-encoded timeline differs from input (%d vs %d bytes)", len(re.Bytes()), len(raw))
+	}
+	return fmt.Sprintf("%d events, %d ff-jumps, end cycle %d", len(tl.Events), len(tl.FFJumps), tl.EndCycle), nil
+}
+
+// checkReport accepts exactly one JSON value spanning the whole file — what
+// oclprof -json promises on stdout.
+func checkReport(raw []byte) (string, error) {
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	var v map[string]any
+	if err := dec.Decode(&v); err != nil {
+		return "", err
+	}
+	if dec.More() {
+		return "", fmt.Errorf("trailing content after the first JSON document")
+	}
+	return fmt.Sprintf("%d top-level keys", len(v)), nil
+}
+
+func checkSeries(raw []byte) (string, error) {
+	s, err := obs.ReadSeries(bytes.NewReader(raw))
+	if err != nil {
+		return "", err
+	}
+	if err := s.Validate(); err != nil {
+		return "", err
+	}
+	var re bytes.Buffer
+	if err := obs.WriteSeries(&re, s); err != nil {
+		return "", err
+	}
+	if !bytes.Equal(raw, re.Bytes()) {
+		return "", fmt.Errorf("re-encoded series differs from input (%d vs %d bytes)", len(re.Bytes()), len(raw))
+	}
+	return fmt.Sprintf("%d samples, every %d cycles", len(s.Samples), s.SampleEvery), nil
+}

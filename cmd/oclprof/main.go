@@ -9,9 +9,11 @@
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 
@@ -20,6 +22,7 @@ import (
 	"oclfpga/internal/hls"
 	"oclfpga/internal/host"
 	"oclfpga/internal/kir"
+	"oclfpga/internal/obs"
 	"oclfpga/internal/sim"
 	"oclfpga/internal/trace"
 	"oclfpga/internal/workload"
@@ -41,7 +44,18 @@ var (
 	flagInject   = flag.String("inject", "", "inject faults: comma-separated kind[:target]@cycle[+duration][=value] specs")
 	flagDiagnose = flag.Bool("diagnose", false, "on a hang, print the structured deadlock report instead of a bare error")
 	flagStall    = flag.Int64("stalllimit", 0, "cycles without progress before diagnosing a hang (0 = default)")
+	flagTimeline = flag.String("timeline", "", "write the event timeline (Perfetto/Chrome trace_event JSON) to this file")
+	flagMetrics  = flag.String("metrics", "", "write the periodic metrics series (JSON) to this file")
+	flagEvery    = flag.Int64("sample-every", 1000, "metrics sampling interval in cycles (with -metrics/-timeline)")
+	flagJSON     = flag.Bool("json", false, "emit a machine-readable run report on stdout; human text goes to stderr")
 )
+
+// out carries the human-readable narration. With -json it is rerouted to
+// stderr so stdout stays a single valid JSON document.
+var out io.Writer = os.Stdout
+
+// observeOn reports whether the observability layer should be attached.
+func observeOn() bool { return *flagTimeline != "" || *flagMetrics != "" }
 
 // must unwraps a (value, error) pair, aborting the tool on error — the
 // command-line analogue of the library's error returns.
@@ -63,6 +77,9 @@ func simOpts() sim.Options {
 		}
 		opts.Fault = plan
 	}
+	if observeOn() {
+		opts.Observe = &obs.Config{SampleEvery: *flagEvery}
+	}
 	return opts
 }
 
@@ -75,10 +92,96 @@ func checkRun(err error) {
 	}
 	var de *sim.DeadlockError
 	if *flagDiagnose && errors.As(err, &de) {
-		fmt.Print(de.Report.String())
+		if *flagJSON {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if eerr := enc.Encode(struct {
+				Deadlock *sim.DeadlockReport `json:"deadlock"`
+			}{de.Report}); eerr != nil {
+				log.Fatal(eerr)
+			}
+		} else {
+			fmt.Fprint(out, de.Report.String())
+		}
 		os.Exit(1)
 	}
 	log.Fatal(err)
+}
+
+// runReport is the machine-readable summary -json prints on stdout.
+type runReport struct {
+	Workload    string               `json:"workload"`
+	Device      string               `json:"device"`
+	Cycles      int64                `json:"cycles"`
+	Units       []unitReport         `json:"units"`
+	Profile     *sim.ProfileReport   `json:"profile,omitempty"`
+	FastForward sim.FastForwardStats `json:"fastForward"`
+	Timeline    string               `json:"timelineFile,omitempty"`
+	Metrics     string               `json:"metricsFile,omitempty"`
+	SampleEvery int64                `json:"sampleEvery,omitempty"`
+}
+
+type unitReport struct {
+	Kernel     string `json:"kernel"`
+	FinishedAt int64  `json:"finishedAt"`
+}
+
+// finishRun is the common epilogue of every workload: dump the timeline and
+// metrics files if requested, and with -json emit the run report on stdout.
+func finishRun(m *sim.Machine, units ...*sim.Unit) {
+	if *flagTimeline != "" {
+		writeJSONFile(*flagTimeline, func(w io.Writer) error {
+			return obs.WriteTimeline(w, m.Timeline())
+		})
+		fmt.Fprintf(out, "timeline: %s (%d events; open in ui.perfetto.dev)\n",
+			*flagTimeline, len(m.Timeline().Events))
+	}
+	if *flagMetrics != "" {
+		writeJSONFile(*flagMetrics, func(w io.Writer) error {
+			return obs.WriteSeries(w, m.Series())
+		})
+		fmt.Fprintf(out, "metrics: %s (%d samples, every %d cycles)\n",
+			*flagMetrics, len(m.Samples()), *flagEvery)
+	}
+	if !*flagJSON {
+		return
+	}
+	r := runReport{
+		Workload:    *flagWorkload,
+		Device:      *flagDevice,
+		Cycles:      m.Cycle(),
+		FastForward: m.FastForwardStats(),
+		Timeline:    *flagTimeline,
+		Metrics:     *flagMetrics,
+	}
+	if observeOn() {
+		r.SampleEvery = *flagEvery
+	}
+	for _, u := range units {
+		r.Units = append(r.Units, unitReport{Kernel: u.Kernel().UnitName(), FinishedAt: u.FinishedAt()})
+	}
+	if *flagProfile {
+		p := m.Profile(units...)
+		r.Profile = &p
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func writeJSONFile(path string, write func(io.Writer) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := write(f); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
 }
 
 func pickDevice() *device.Device {
@@ -96,6 +199,9 @@ func pickDevice() *device.Device {
 
 func main() {
 	flag.Parse()
+	if *flagJSON {
+		out = os.Stderr
+	}
 	dev := pickDevice()
 	opts := hls.Options{OptimizeChannelDepths: *flagDepthOpt}
 
@@ -125,15 +231,15 @@ func compileAndReport(p *kir.Program, dev *device.Device, opts hls.Options) *hls
 		log.Fatal(err)
 	}
 	if *flagLog {
-		fmt.Println("== compiler log ==")
+		fmt.Fprintln(out, "== compiler log ==")
 		for _, l := range d.Log {
-			fmt.Println("  " + l)
+			fmt.Fprintln(out, "  "+l)
 		}
 	}
-	fmt.Printf("== fit: %.1fK ALUTs, %d RAM blocks, %s memory bits, Fmax %.1f MHz ==\n\n",
+	fmt.Fprintf(out, "== fit: %.1fK ALUTs, %d RAM blocks, %s memory bits, Fmax %.1f MHz ==\n\n",
 		d.Area.LogicK(), d.Area.M20Ks, fmtBits(d.Area.MemBits), d.Area.FmaxMHz)
 	if *flagSched {
-		fmt.Println(d.DumpSchedule())
+		fmt.Fprintln(out, d.DumpSchedule())
 	}
 	return d
 }
@@ -180,10 +286,10 @@ func runMatVec(dev *device.Device, opts hls.Options) {
 		log.Fatal(err)
 	}
 	checkRun(m.Run())
-	fmt.Printf("%s finished in %d cycles (%.2f us at Fmax)\n",
+	fmt.Fprintf(out, "%s finished in %d cycles (%.2f us at Fmax)\n",
 		mv.KernelName, u.FinishedAt(), float64(u.FinishedAt())/d.Area.FmaxMHz)
 	if *flagProfile {
-		fmt.Println(m.Profile(u))
+		fmt.Fprintln(out, m.Profile(u))
 	}
 	if vcd != nil {
 		f, err := os.Create(*flagVCD)
@@ -194,21 +300,22 @@ func runMatVec(dev *device.Device, opts hls.Options) {
 			log.Fatal(err)
 		}
 		f.Close()
-		fmt.Printf("waveform: %s (%d value changes)\n", *flagVCD, vcd.Changes())
+		fmt.Fprintf(out, "waveform: %s (%d value changes)\n", *flagVCD, vcd.Changes())
 	}
 	if *flagInstr {
 		i1 := m.Buffer("info1")
 		i2 := m.Buffer("info2")
 		i3 := m.Buffer("info3")
-		fmt.Println("\nexecution order capture (first 20 sequence numbers):")
-		fmt.Println("  seq  timestamp     k    i")
+		fmt.Fprintln(out, "\nexecution order capture (first 20 sequence numbers):")
+		fmt.Fprintln(out, "  seq  timestamp     k    i")
 		for s := 1; s <= 20 && s < mv.InfoSize; s++ {
 			if i1.Data[s] == 0 {
 				break
 			}
-			fmt.Printf("  %3d  %9d  %4d %4d\n", s, i1.Data[s], i2.Data[s], i3.Data[s])
+			fmt.Fprintf(out, "  %3d  %9d  %4d %4d\n", s, i1.Data[s], i2.Data[s], i3.Data[s])
 		}
 	}
+	finishRun(m, u)
 }
 
 func runMatMul(dev *device.Device, opts hls.Options) {
@@ -256,9 +363,9 @@ func runMatMul(dev *device.Device, opts hls.Options) {
 		log.Fatal(err)
 	}
 	checkRun(m.Run())
-	fmt.Printf("matmul %dx%d finished in %d cycles\n", n, n, u.FinishedAt())
+	fmt.Fprintf(out, "matmul %dx%d finished in %d cycles\n", n, n, u.FinishedAt())
 	if *flagProfile {
-		fmt.Println(m.Profile(u))
+		fmt.Fprintln(out, m.Profile(u))
 	}
 	if smCtl != nil && *flagTrace {
 		for id := 0; id < 2; id++ {
@@ -270,9 +377,9 @@ func runMatMul(dev *device.Device, opts hls.Options) {
 		after, _ := smCtl.ReadTrace(1)
 		lats := trace.Latencies(trace.Valid(before), trace.Valid(after))
 		st := trace.Summarize(lats)
-		fmt.Printf("\nstall monitor: %d samples, load latency min %d / median %d / max %d cycles\n",
+		fmt.Fprintf(out, "\nstall monitor: %d samples, load latency min %d / median %d / max %d cycles\n",
 			st.N, st.Min, st.P50, st.Max)
-		fmt.Println(trace.NewHistogram(lats, 8, 10))
+		fmt.Fprintln(out, trace.NewHistogram(lats, 8, 10))
 	}
 	if wpCtl != nil && *flagTrace {
 		if err := wpCtl.Stop(0); err != nil {
@@ -280,15 +387,16 @@ func runMatMul(dev *device.Device, opts hls.Options) {
 		}
 		recs, _ := wpCtl.ReadTrace(0)
 		evs := trace.DecodeWatch(trace.Valid(recs), 16)
-		fmt.Printf("\nwatchpoint events at address 0: %d\n", len(evs))
+		fmt.Fprintf(out, "\nwatchpoint events at address 0: %d\n", len(evs))
 		for i, e := range evs {
 			if i >= 10 {
-				fmt.Println("  ...")
+				fmt.Fprintln(out, "  ...")
 				break
 			}
-			fmt.Printf("  cycle %d: addr %d value %d\n", e.T, e.Addr, e.Tag)
+			fmt.Fprintf(out, "  cycle %d: addr %d value %d\n", e.T, e.Addr, e.Tag)
 		}
 	}
+	finishRun(m, u)
 }
 
 func runChase(dev *device.Device, opts hls.Options) {
@@ -307,22 +415,23 @@ func runChase(dev *device.Device, opts hls.Options) {
 	d := compileAndReport(p, dev, opts)
 	m := sim.New(d, simOpts())
 	table := must(m.NewBuffer("next", kir.I32, 1<<14))
-	out := must(m.NewBuffer("out", kir.I64, 2))
+	res := must(m.NewBuffer("out", kir.I64, 2))
 	for i := range table.Data {
 		table.Data[i] = int64((i*1103 + 331) % len(table.Data))
 	}
-	u, err := m.Launch(ch.KernelName, sim.Args{"next": table, "out": out})
+	u, err := m.Launch(ch.KernelName, sim.Args{"next": table, "out": res})
 	if err != nil {
 		log.Fatal(err)
 	}
 	checkRun(m.Run())
-	fmt.Printf("chase finished in %d cycles; final value %d\n", u.FinishedAt(), out.Data[0])
+	fmt.Fprintf(out, "chase finished in %d cycles; final value %d\n", u.FinishedAt(), res.Data[0])
 	if *flagProfile {
-		fmt.Println(m.Profile(u))
+		fmt.Fprintln(out, m.Profile(u))
 	}
 	if kind != workload.NoTimestamp {
-		fmt.Printf("on-chip measured duration: %d cycles (%s timestamps)\n", out.Data[1], kind)
+		fmt.Fprintf(out, "on-chip measured duration: %d cycles (%s timestamps)\n", res.Data[1], kind)
 	}
+	finishRun(m, u)
 }
 
 func runVecAdd(dev *device.Device, opts hls.Options) {
@@ -342,7 +451,8 @@ func runVecAdd(dev *device.Device, opts hls.Options) {
 		log.Fatal(err)
 	}
 	checkRun(m.Run())
-	fmt.Printf("vecadd over %d work-items in %d cycles; z[10]=%d\n", n, u.FinishedAt(), z.Data[10])
+	fmt.Fprintf(out, "vecadd over %d work-items in %d cycles; z[10]=%d\n", n, u.FinishedAt(), z.Data[10])
+	finishRun(m, u)
 }
 
 func runFIR(dev *device.Device, opts hls.Options) {
@@ -380,9 +490,9 @@ func runFIR(dev *device.Device, opts hls.Options) {
 		log.Fatal(err)
 	}
 	checkRun(m.Run())
-	fmt.Printf("fir over %d samples in %d cycles; y[8]=%d\n", 512, u.FinishedAt(), by.Data[8])
+	fmt.Fprintf(out, "fir over %d samples in %d cycles; y[8]=%d\n", 512, u.FinishedAt(), by.Data[8])
 	if *flagProfile {
-		fmt.Println(m.Profile(u))
+		fmt.Fprintln(out, m.Profile(u))
 	}
 	if ctl != nil && *flagTrace {
 		for id := 0; id < 2; id++ {
@@ -394,9 +504,10 @@ func runFIR(dev *device.Device, opts hls.Options) {
 		after, _ := ctl.ReadTrace(1)
 		lats := trace.Latencies(trace.Valid(before), trace.Valid(after))
 		st := trace.Summarize(lats)
-		fmt.Printf("sample-load latency: min %d / median %d / max %d over %d samples\n",
+		fmt.Fprintf(out, "sample-load latency: min %d / median %d / max %d over %d samples\n",
 			st.Min, st.P50, st.Max, st.N)
 	}
+	finishRun(m, u)
 }
 
 // runChanStall builds the §5.1 producer/consumer pair (the E9 experiment's
@@ -451,9 +562,10 @@ func runChanStall(dev *device.Device, opts hls.Options) {
 		log.Fatal(err)
 	}
 	checkRun(m.Run())
-	fmt.Printf("producer finished at cycle %d, consumer at cycle %d; dst[%d]=%d\n",
+	fmt.Fprintf(out, "producer finished at cycle %d, consumer at cycle %d; dst[%d]=%d\n",
 		pu.FinishedAt(), cu.FinishedAt(), n-1, bd.Data[n-1])
 	if *flagProfile {
-		fmt.Println(m.Profile(pu, cu))
+		fmt.Fprintln(out, m.Profile(pu, cu))
 	}
+	finishRun(m, pu, cu)
 }

@@ -50,14 +50,15 @@ type Channel struct {
 	stats Stats
 }
 
-// Stats aggregates channel activity for the profiling reports.
+// Stats aggregates channel activity for the profiling reports. The JSON tags
+// are the wire names the observability layer's metrics samples use.
 type Stats struct {
-	Writes       int64 // successful writes
-	Reads        int64 // successful reads
-	WriteStalls  int64 // blocked/failed write attempts
-	ReadStalls   int64 // blocked/failed read attempts
-	Dropped      int64 // non-blocking writes discarded by fault injection
-	MaxOccupancy int   // high-water mark of FIFO occupancy
+	Writes       int64 `json:"writes"`                 // successful writes
+	Reads        int64 `json:"reads"`                  // successful reads
+	WriteStalls  int64 `json:"writeStalls"`            // blocked/failed write attempts
+	ReadStalls   int64 `json:"readStalls"`             // blocked/failed read attempts
+	Dropped      int64 `json:"dropped,omitempty"`      // non-blocking writes discarded by fault injection
+	MaxOccupancy int   `json:"maxOccupancy,omitempty"` // high-water mark of FIFO occupancy
 }
 
 // New creates a channel with the given synthesized depth (0 for a register

@@ -54,7 +54,7 @@ func E1TimestampOverhead(dev *device.Device, steps int) (*E1Result, error) {
 		}
 		ch := aux.(*workload.Chase)
 
-		m := sim.New(d, sim.Options{})
+		m := newSim(d, sim.Options{})
 		table, err := m.NewBuffer("next", kir.I32, 1<<14)
 		if err != nil {
 			return nil, err

@@ -41,7 +41,7 @@ func E2ExecutionOrder(mode kir.Mode) (*E2Result, error) {
 		return nil, err
 	}
 	mv := aux.(*workload.MatVec)
-	m := sim.New(d, sim.Options{})
+	m := newSim(d, sim.Options{})
 
 	cfg := mv.Config
 	x, err := m.NewBuffer("x", kir.I32, cfg.N*cfg.Num)

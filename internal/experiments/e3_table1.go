@@ -103,7 +103,7 @@ func E3Verify(size int) (bool, error) {
 		return false, err
 	}
 	mm := aux.(*workload.MatMul)
-	m := sim.New(d, sim.Options{})
+	m := newSim(d, sim.Options{})
 	n := size
 	da, err := m.NewBuffer("data_a", kir.I32, n*n)
 	if err != nil {

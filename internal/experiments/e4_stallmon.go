@@ -55,7 +55,7 @@ func E4StallMonitor(size, depth int) (*E4Result, error) {
 		return nil, err
 	}
 	mm, ifc := aux.(*e4Aux).mm, aux.(*e4Aux).ifc
-	m := sim.New(d, sim.Options{})
+	m := newSim(d, sim.Options{})
 	ctl, err := host.NewController(m, ifc)
 	if err != nil {
 		return nil, err

@@ -90,7 +90,7 @@ func E5Watchpoints(mSize int) (*E5Result, error) {
 		return nil, err
 	}
 	wpIfc, bcIfc, ivIfc := auxv.(*e5Aux).wpIfc, auxv.(*e5Aux).bcIfc, auxv.(*e5Aux).ivIfc
-	m := sim.New(d, sim.Options{})
+	m := newSim(d, sim.Options{})
 	wpCtl, err := host.NewController(m, wpIfc)
 	if err != nil {
 		return nil, err

@@ -69,7 +69,7 @@ func runLatency(shared bool, opts hls.Options, skew func(string, int) int64) (me
 	if err != nil {
 		return 0, 0, err
 	}
-	m := sim.New(d, sim.Options{AutorunSkew: skew})
+	m := newSim(d, sim.Options{AutorunSkew: skew})
 	x, err := m.NewBuffer("x", kir.I32, 100)
 	if err != nil {
 		return 0, 0, err
@@ -165,7 +165,7 @@ func (r *E6Result) driftDemo() error {
 	if err != nil {
 		return err
 	}
-	m := sim.New(d, sim.Options{})
+	m := newSim(d, sim.Options{})
 	bz, err := m.NewBuffer("z", kir.I64, 3)
 	if err != nil {
 		return err

@@ -74,7 +74,7 @@ func E7StallFree(samples int) (*E7Result, error) {
 			res.IILogLine = l
 		}
 	}
-	m := sim.New(d, sim.Options{})
+	m := newSim(d, sim.Options{})
 	ctl, err := host.NewController(m, ifc)
 	if err != nil {
 		return nil, err
@@ -118,7 +118,7 @@ func E7StallFree(samples int) (*E7Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	m2 := sim.New(d2, sim.Options{})
+	m2 := newSim(d2, sim.Options{})
 	z2, err := m2.NewBuffer("z", kir.I64, 1)
 	if err != nil {
 		return nil, err
@@ -150,7 +150,7 @@ func E7StallFree(samples int) (*E7Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	m3 := sim.New(d3, sim.Options{})
+	m3 := newSim(d3, sim.Options{})
 	z3, err := m3.NewBuffer("z", kir.I64, 1)
 	if err != nil {
 		return nil, err

@@ -9,6 +9,7 @@ import (
 	"oclfpga/internal/host"
 	"oclfpga/internal/kir"
 	"oclfpga/internal/monitor"
+	"oclfpga/internal/obs"
 	"oclfpga/internal/report"
 	"oclfpga/internal/sim"
 	"oclfpga/internal/trace"
@@ -25,6 +26,8 @@ type E9Result struct {
 	ConsumerCycles   int64
 	ChannelStalls    int64 // producer-side write stalls on the pipe
 	MaxOccupancy     int
+	StallSpans       int   // distinct producer blockage intervals on the pipe
+	LongestStall     int64 // longest such interval, in cycles
 	GapStats         trace.Stats
 	ConsumerII       int // the consumer loop's compiled II — the ground truth
 	BottleneckCaught bool
@@ -72,7 +75,11 @@ func E9ChannelStall(n int) (*E9Result, error) {
 		return nil, err
 	}
 	ifc := aux.(*host.Interface)
-	m := sim.New(d, sim.Options{})
+	// E9 is the experiment that exercises the observability layer end to
+	// end: channel counters come from the metrics sampler's terminal sample
+	// and stall structure from the event timeline, instead of the ad-hoc
+	// ProfileReport plumbing the other experiments still use.
+	m := newSim(d, sim.Options{Observe: &obs.Config{SampleEvery: 256}})
 	ctl, err := host.NewController(m, ifc)
 	if err != nil {
 		return nil, err
@@ -121,11 +128,22 @@ func E9ChannelStall(n int) (*E9Result, error) {
 		ConsumerCycles: cu.FinishedAt(),
 		GapStats:       trace.Summarize(gaps),
 	}
-	prof := m.Profile(pu, cu)
-	for _, c := range prof.Channels {
+	// the terminal metrics sample carries the end-of-run channel counters
+	samples := m.Samples()
+	for _, c := range samples[len(samples)-1].Channels {
 		if c.Name == "pipe" {
 			res.ChannelStalls = c.WriteStalls
 			res.MaxOccupancy = c.MaxOccupancy
+		}
+	}
+	// the timeline turns the stall total into structure: how many distinct
+	// producer blockages the pipe saw, and how long the worst one lasted
+	for _, e := range m.Timeline().Events {
+		if e.Kind == obs.KindChanStall && e.Track == "chan:pipe" && e.Name == "write-stall" {
+			res.StallSpans++
+			if span := e.End - e.Start + 1; span > res.LongestStall {
+				res.LongestStall = span
+			}
 		}
 	}
 	for _, xk := range d.KernelUnits("consumer") {
@@ -151,6 +169,8 @@ func (r *E9Result) Table() string {
 	t.Add("consumer finished (cycle)", r.ConsumerCycles)
 	t.Add("pipe write stalls (vendor-style counter)", r.ChannelStalls)
 	t.Add("pipe max occupancy", r.MaxOccupancy)
+	t.Add("pipe write-stall spans (timeline)", r.StallSpans)
+	t.Add("longest write-stall span (cycles)", r.LongestStall)
 	t.Add("steady inter-push gap median (ibuffer)", r.GapStats.P50)
 	t.Add("consumer throttle-loop II (compiler)", r.ConsumerII)
 	t.Add("bottleneck attributed to consumer", r.BottleneckCaught)

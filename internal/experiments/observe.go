@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"sync"
+
+	"oclfpga/internal/hls"
+	"oclfpga/internal/obs"
+	"oclfpga/internal/sim"
+)
+
+// Every experiment creates its machines through newSim so the observability
+// equivalence suite can inject a recorder into all of them without each
+// experiment growing an options parameter: with the test hook armed, any
+// machine created without an explicit Observe config gets the injected one,
+// and every created machine is collected for the test to inspect afterwards.
+// Outside the hook, newSim is exactly sim.New.
+
+var obsHook struct {
+	mu       sync.Mutex
+	cfg      *obs.Config
+	machines []*sim.Machine
+}
+
+// EnableObserveForTest arms the injection hook: subsequent newSim calls
+// attach a recorder sampling every sampleEvery cycles and are collected.
+func EnableObserveForTest(sampleEvery int64) {
+	obsHook.mu.Lock()
+	defer obsHook.mu.Unlock()
+	obsHook.cfg = &obs.Config{SampleEvery: sampleEvery}
+	obsHook.machines = nil
+}
+
+// DisableObserveForTest disarms the hook and returns the machines created
+// while it was armed, in creation order.
+func DisableObserveForTest() []*sim.Machine {
+	obsHook.mu.Lock()
+	defer obsHook.mu.Unlock()
+	ms := obsHook.machines
+	obsHook.cfg = nil
+	obsHook.machines = nil
+	return ms
+}
+
+// newSim is the experiments' machine constructor (see the hook note above).
+func newSim(d *hls.Design, o sim.Options) *sim.Machine {
+	obsHook.mu.Lock()
+	if obsHook.cfg != nil && o.Observe == nil {
+		o.Observe = obsHook.cfg
+	}
+	m := sim.New(d, o)
+	if obsHook.cfg != nil {
+		obsHook.machines = append(obsHook.machines, m)
+	}
+	obsHook.mu.Unlock()
+	return m
+}

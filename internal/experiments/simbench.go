@@ -7,6 +7,7 @@ import (
 	"oclfpga/internal/hls"
 	"oclfpga/internal/kir"
 	"oclfpga/internal/mem"
+	"oclfpga/internal/obs"
 	"oclfpga/internal/sim"
 )
 
@@ -38,10 +39,12 @@ const (
 
 // SimBenchResult is one simulated run of the benchmark workload.
 type SimBenchResult struct {
-	N         int   // items streamed producer -> consumer
-	Cycles    int64 // final machine cycle
-	FFJumps   int64 // fast-forward jumps taken
-	FFSkipped int64 // cycles elided by those jumps
+	N          int   // items streamed producer -> consumer
+	Cycles     int64 // final machine cycle
+	FFJumps    int64 // fast-forward jumps taken
+	FFSkipped  int64 // cycles elided by those jumps
+	ObsEvents  int   // timeline events recorded (observed runs only)
+	ObsSamples int   // metrics samples recorded (observed runs only)
 }
 
 func buildSimBench(n int) *kir.Program {
@@ -102,6 +105,17 @@ func CompileSimBench(n int) (*hls.Design, error) {
 // validating the consumer's output — the equivalence suite runs it with
 // fast-forward on and off and compares every field of the result.
 func RunSimBench(n int, disableFF bool) (*SimBenchResult, error) {
+	return runSimBench(n, disableFF, nil)
+}
+
+// RunSimBenchObserved runs the benchmark workload with the observability
+// recorder attached (sampling every sampleEvery cycles) — the workload the
+// recorder-overhead benchmark measures against the plain fast path.
+func RunSimBenchObserved(n int, sampleEvery int64) (*SimBenchResult, error) {
+	return runSimBench(n, false, &obs.Config{SampleEvery: sampleEvery})
+}
+
+func runSimBench(n int, disableFF bool, observe *obs.Config) (*SimBenchResult, error) {
 	if n == 0 {
 		n = 2048
 	}
@@ -115,9 +129,10 @@ func RunSimBench(n int, disableFF bool) (*SimBenchResult, error) {
 	// ~200 cycles, so each consumer load opens a long quiescent window — the
 	// shape of the §5.1 "memory behaves differently than the compiler
 	// assumed" stalls the profiling stack exists to expose.
-	m := sim.New(d, sim.Options{
+	m := newSim(d, sim.Options{
 		DisableFastForward: disableFF,
 		MemConfig:          mem.Config{RowHitLat: 60, RowMissLat: 200},
+		Observe:            observe,
 	})
 	src, err := m.NewBuffer("src", kir.I32, n)
 	if err != nil {
@@ -152,6 +167,11 @@ func RunSimBench(n int, disableFF bool) (*SimBenchResult, error) {
 			return nil, fmt.Errorf("simbench: dst[%d] = %d, want %d", i, dst.Data[i], want[i])
 		}
 	}
-	jumps, skipped := m.FastForwardStats()
-	return &SimBenchResult{N: n, Cycles: m.Cycle(), FFJumps: jumps, FFSkipped: skipped}, nil
+	ff := m.FastForwardStats()
+	res := &SimBenchResult{N: n, Cycles: m.Cycle(), FFJumps: ff.Jumps, FFSkipped: ff.Skipped}
+	if m.Observed() {
+		res.ObsEvents = len(m.Timeline().Events)
+		res.ObsSamples = len(m.Samples())
+	}
+	return res, nil
 }

@@ -100,6 +100,11 @@ type Controller struct {
 	// before giving up. Each retry continues the same simulation, so a
 	// slow-but-progressing drain eventually completes.
 	Retries int
+
+	// TruncatedWords accumulates orphaned trailing words ReadTrace found in
+	// drained streams (see trace.Decode): a non-zero value means some drain
+	// stopped mid-record and a partial event was discarded.
+	TruncatedWords int64
 }
 
 // NewController allocates the readback buffer and returns a controller.
@@ -162,11 +167,15 @@ func (c *Controller) StartCyclic(id int) error { return c.Send(id, core.CmdSampl
 // Stop freezes instance id.
 func (c *Controller) Stop(id int) error { return c.Send(id, core.CmdStop) }
 
-// ReadTrace drains instance id's trace buffer and decodes it.
+// ReadTrace drains instance id's trace buffer and decodes it. Truncated
+// drains (an odd word count — a partial record) are tallied on
+// TruncatedWords rather than silently dropped.
 func (c *Controller) ReadTrace(id int) ([]trace.Record, error) {
 	if err := c.Send(id, core.CmdRead); err != nil {
 		return nil, err
 	}
 	words := append([]int64(nil), c.Out.Data...)
-	return trace.Decode(words), nil
+	recs, truncated := trace.Decode(words)
+	c.TruncatedWords += int64(truncated)
+	return recs, nil
 }

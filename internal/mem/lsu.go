@@ -27,15 +27,16 @@ func (k LSUKind) String() string {
 }
 
 // LSUStats aggregates per-site memory behaviour; the profiling experiments
-// report these next to the trace-derived latencies.
+// report these next to the trace-derived latencies. The JSON tags are the
+// wire names the observability layer's metrics samples use.
 type LSUStats struct {
-	Loads        int64
-	Stores       int64
-	LineFetches  int64
-	CoalesceHits int64
-	TotalLoadLat int64 // sum of (ready - issue) over loads
-	MaxLoadLat   int64
-	StoreStalls  int64
+	Loads        int64 `json:"loads"`
+	Stores       int64 `json:"stores"`
+	LineFetches  int64 `json:"lineFetches"`
+	CoalesceHits int64 `json:"coalesceHits"`
+	TotalLoadLat int64 `json:"totalLoadLat"` // sum of (ready - issue) over loads
+	MaxLoadLat   int64 `json:"maxLoadLat"`
+	StoreStalls  int64 `json:"storeStalls,omitempty"`
 }
 
 // AvgLoadLatency returns the mean load latency in cycles (0 if no loads).
@@ -62,6 +63,11 @@ type LSU struct {
 	storeDone []int64
 
 	stats LSUStats
+
+	// OnLineFetch, when set, observes every DRAM line fetch this site issues
+	// (issue cycle and data-ready cycle). The simulator's observability layer
+	// binds it at launch time; it stays nil otherwise.
+	OnLineFetch func(now, ready int64)
 }
 
 // NewLSU creates an LSU for one access site on buf. The posted-store queue
@@ -148,6 +154,9 @@ func (l *LSU) access(now, addr int64) int64 {
 	}
 	ready := l.sys.lineFetch(now, addr)
 	l.stats.LineFetches++
+	if l.OnLineFetch != nil {
+		l.OnLineFetch(now, ready)
+	}
 	if l.kind == BurstCoalesced {
 		l.curLine, l.lineAt, l.hasLine = line, ready, true
 	}

@@ -1,0 +1,47 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WriteSeries serializes a metrics series as indented JSON. Deterministic for
+// identical series (same reason as WriteTimeline: the equivalence suite
+// compares bytes).
+func WriteSeries(w io.Writer, s *Series) error {
+	buf, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	_, err = w.Write(buf)
+	return err
+}
+
+// ReadSeries parses a metrics series written by WriteSeries.
+func ReadSeries(r io.Reader) (*Series, error) {
+	var s Series
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("obs: series: %w", err)
+	}
+	return &s, nil
+}
+
+// Validate checks the series' internal consistency: non-negative period and
+// strictly increasing sample cycles (the sampler emits at most one sample per
+// cycle, including the terminal one).
+func (s *Series) Validate() error {
+	if s.SampleEvery < 0 {
+		return fmt.Errorf("obs: series: negative sample period %d", s.SampleEvery)
+	}
+	last := int64(-1)
+	for i, sm := range s.Samples {
+		if sm.Cycle <= last {
+			return fmt.Errorf("obs: series: sample[%d] cycle %d not after %d", i, sm.Cycle, last)
+		}
+		last = sm.Cycle
+	}
+	return nil
+}

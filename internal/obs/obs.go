@@ -1,0 +1,252 @@
+// Package obs is the simulator's unified observability layer: a structured
+// event timeline (spans and instants for unit activity, channel stalls, LSU
+// line fetches, fault-injection windows, fast-forward jumps, and deadlock
+// blame), a periodic metrics sampler, and machine-readable codecs for both.
+// It turns the end-of-run text tables the paper's §6 profiling produces into
+// the kind of timeline/series data dashboards and regression tooling consume
+// — the paper's dynamic-visibility goal, emitted as data instead of prose.
+//
+// The recorder is event-driven: nothing here runs per cycle, so attaching it
+// does not force the simulator off its fast-forward path (unlike the VCD
+// recorder's cycle hook). Everything recorded is fast-forward-exact — the
+// simulator emits events only at cycles it executes for real in both modes,
+// and batch-advances the open stall spans across skipped windows, so a
+// timeline is byte-identical with skipping on or off. Fast-forward jumps
+// themselves are the one exception (they exist only when skipping is on) and
+// are kept on a separate Timeline.FFJumps track for exactly that reason.
+package obs
+
+import (
+	"oclfpga/internal/channel"
+	"oclfpga/internal/mem"
+)
+
+// Event kinds, used as the trace_event category.
+const (
+	// KindLaunch marks a host launch landing on a compute unit (instant).
+	KindLaunch = "launch"
+	// KindUnitRun spans a compute unit's active interval (start → finish).
+	KindUnitRun = "unit-run"
+	// KindChanStall spans one consecutive blockage of a channel endpoint
+	// (first refused attempt → last refused attempt).
+	KindChanStall = "chan-stall"
+	// KindLineFetch spans one DRAM line fetch (issue → data ready).
+	KindLineFetch = "line-fetch"
+	// KindFault spans an injected fault's active window (instant for
+	// one-shot kinds like depth-override and launch-skew).
+	KindFault = "fault"
+	// KindFFJump spans a window of quiescent cycles the simulator skipped.
+	KindFFJump = "ff-jump"
+	// KindBlame marks a deadlock diagnosis (instant; Detail carries the
+	// blame verdict).
+	KindBlame = "deadlock-blame"
+)
+
+// Event is one timeline entry. Spans cover the inclusive cycle interval
+// [Start, End]; instants have Start == End.
+type Event struct {
+	Kind    string `json:"kind"`
+	Track   string `json:"track"`
+	Name    string `json:"name"`
+	Start   int64  `json:"start"`
+	End     int64  `json:"end"`
+	Instant bool   `json:"instant,omitempty"`
+	Detail  string `json:"detail,omitempty"`
+}
+
+// Timeline is a finished run's event record. FFJumps is kept separate from
+// Events because jumps describe how the run was simulated, not what the
+// simulated hardware did — the equivalence suite compares Events across
+// fast-forward modes and ignores FFJumps.
+type Timeline struct {
+	Design   string  `json:"design"`
+	EndCycle int64   `json:"endCycle"`
+	Events   []Event `json:"events"`
+	FFJumps  []Event `json:"ffJumps,omitempty"`
+}
+
+// ChannelSample is one channel's counters at a sample cycle. Channels with no
+// activity and no occupancy are omitted from the sample.
+type ChannelSample struct {
+	Name string `json:"name"`
+	Len  int    `json:"len"`
+	channel.Stats
+}
+
+// LSUSample is one memory access site's counters at a sample cycle.
+type LSUSample struct {
+	Unit    string `json:"unit"`
+	Array   string `json:"array"`
+	Kind    string `json:"kind"`
+	IsStore bool   `json:"isStore"`
+	mem.LSUStats
+}
+
+// LocalSample is one on-chip local memory's counters at a sample cycle — the
+// ibuffer trace storage shows up here (paper §4: the ibuffer lives in local
+// memory so profiling does not perturb global-memory behaviour).
+type LocalSample struct {
+	Name   string `json:"name"`
+	Reads  int64  `json:"reads"`
+	Writes int64  `json:"writes"`
+}
+
+// Sample is one periodic snapshot of the machine's accumulated counters.
+type Sample struct {
+	Cycle    int64           `json:"cycle"`
+	Channels []ChannelSample `json:"channels,omitempty"`
+	LSUs     []LSUSample     `json:"lsus,omitempty"`
+	Locals   []LocalSample   `json:"locals,omitempty"`
+}
+
+// Series is the metrics time series of a run: one Sample every SampleEvery
+// cycles plus a terminal sample at the end cycle.
+type Series struct {
+	Design      string   `json:"design"`
+	SampleEvery int64    `json:"sampleEvery"`
+	Samples     []Sample `json:"samples"`
+}
+
+// Config enables observability on a machine.
+type Config struct {
+	// SampleEvery takes a metrics sample every N cycles (0 disables
+	// sampling; the event timeline is recorded either way). Sample cycles
+	// are fast-forward deadline cycles: the simulator never jumps across
+	// one, so each sample sees exactly the state the per-cycle path would.
+	SampleEvery int64
+}
+
+// Recorder accumulates a run's timeline and samples. It is not safe for
+// concurrent use; the simulator owns it and appends from its single-threaded
+// tick loop.
+type Recorder struct {
+	design    string
+	cfg       Config
+	events    []Event
+	ffJumps   []Event
+	windows   []window // open fault windows, insertion-ordered
+	samples   []Sample
+	lastSamp  int64
+	endCycle  int64
+	finalized bool
+}
+
+// window is an open span waiting for its close edge.
+type window struct {
+	key    string
+	ev     Event
+	closed bool
+}
+
+// NewRecorder creates a recorder for a run of the named design.
+func NewRecorder(design string, cfg Config) *Recorder {
+	return &Recorder{design: design, cfg: cfg, lastSamp: -1}
+}
+
+// SampleEvery returns the configured sampling period.
+func (r *Recorder) SampleEvery() int64 { return r.cfg.SampleEvery }
+
+// Add appends a fully formed event. Events added after Finalize are dropped:
+// the timeline is a closed record of the run.
+func (r *Recorder) Add(e Event) {
+	if r.finalized {
+		return
+	}
+	r.events = append(r.events, e)
+}
+
+// Span appends a completed span event.
+func (r *Recorder) Span(kind, track, name string, start, end int64) {
+	r.Add(Event{Kind: kind, Track: track, Name: name, Start: start, End: end})
+}
+
+// Instant appends an instant event (detail may be empty).
+func (r *Recorder) Instant(kind, track, name string, at int64, detail string) {
+	r.Add(Event{Kind: kind, Track: track, Name: name, Start: at, End: at, Instant: true, Detail: detail})
+}
+
+// FFJump records one fast-forward jump over the inclusive skipped window
+// [from, to]. Jumps live on their own timeline track (see Timeline.FFJumps).
+func (r *Recorder) FFJump(from, to int64) {
+	if r.finalized {
+		return
+	}
+	r.ffJumps = append(r.ffJumps, Event{
+		Kind: KindFFJump, Track: "sim:fast-forward", Name: "jump", Start: from, End: to,
+	})
+}
+
+// OpenWindow starts a span whose end is not yet known (a fault switching on).
+// The End field of e is ignored until CloseWindow or Finalize supplies it.
+func (r *Recorder) OpenWindow(key string, e Event) {
+	if r.finalized {
+		return
+	}
+	r.windows = append(r.windows, window{key: key, ev: e})
+}
+
+// CloseWindow completes the most recent open window with the given key; the
+// finished span is appended to the timeline at close time, so event order
+// reflects when facts became known.
+func (r *Recorder) CloseWindow(key string, end int64) {
+	if r.finalized {
+		return
+	}
+	for i := len(r.windows) - 1; i >= 0; i-- {
+		w := &r.windows[i]
+		if w.closed || w.key != key {
+			continue
+		}
+		w.closed = true
+		w.ev.End = end
+		r.events = append(r.events, w.ev)
+		return
+	}
+}
+
+// AddSample appends a metrics sample.
+func (r *Recorder) AddSample(s Sample) {
+	if r.finalized {
+		return
+	}
+	r.samples = append(r.samples, s)
+	r.lastSamp = s.Cycle
+}
+
+// LastSampleCycle returns the cycle of the most recent sample (-1 if none).
+func (r *Recorder) LastSampleCycle() int64 { return r.lastSamp }
+
+// Finalize closes the record at endCycle: any still-open windows become spans
+// ending at endCycle (in the order they were opened). Further Add/AddSample
+// calls are ignored; Finalize itself is idempotent.
+func (r *Recorder) Finalize(endCycle int64) {
+	if r.finalized {
+		return
+	}
+	for i := range r.windows {
+		w := &r.windows[i]
+		if w.closed {
+			continue
+		}
+		w.closed = true
+		w.ev.End = endCycle
+		r.events = append(r.events, w.ev)
+	}
+	r.endCycle = endCycle
+	r.finalized = true
+}
+
+// Finalized reports whether the record has been closed.
+func (r *Recorder) Finalized() bool { return r.finalized }
+
+// Timeline snapshots the recorded events. Call after Finalize; the returned
+// struct shares the recorder's backing slices and must not be mutated except
+// to detach FFJumps.
+func (r *Recorder) Timeline() *Timeline {
+	return &Timeline{Design: r.design, EndCycle: r.endCycle, Events: r.events, FFJumps: r.ffJumps}
+}
+
+// Series snapshots the recorded metrics samples.
+func (r *Recorder) Series() *Series {
+	return &Series{Design: r.design, SampleEvery: r.cfg.SampleEvery, Samples: r.samples}
+}

@@ -7,6 +7,7 @@ import (
 
 	"oclfpga/internal/hls"
 	"oclfpga/internal/kir"
+	"oclfpga/internal/obs"
 )
 
 // Reason classifies why a Run gave up.
@@ -29,21 +30,21 @@ const (
 // blocked on, which channel, and for how long. This is the per-unit row of
 // the paper-style hang report.
 type WaitState struct {
-	Unit    string // unit name ("kernel" or "kernel[cu]")
-	Kernel  string
-	CU      int
-	Autorun bool
+	Unit    string `json:"unit"` // unit name ("kernel" or "kernel[cu]")
+	Kernel  string `json:"kernel"`
+	CU      int    `json:"cu"`
+	Autorun bool   `json:"autorun,omitempty"`
 
-	Op        string // blocked op (kir op name), "" if none recorded
-	Channel   string // channel name when blocked on a channel op
-	Dir       string // "read" or "write"
-	Occupancy int    // channel occupancy at diagnosis
-	Depth     int    // channel capacity (0 = register channel)
-	Since     int64  // first cycle of the current consecutive blockage
-	Waited    int64  // cycles spent in the current blockage
+	Op        string `json:"op,omitempty"`        // blocked op (kir op name), "" if none recorded
+	Channel   string `json:"channel,omitempty"`   // channel name when blocked on a channel op
+	Dir       string `json:"dir,omitempty"`       // "read" or "write"
+	Occupancy int    `json:"occupancy,omitempty"` // channel occupancy at diagnosis
+	Depth     int    `json:"depth,omitempty"`     // channel capacity (0 = register channel)
+	Since     int64  `json:"since"`               // first cycle of the current consecutive blockage
+	Waited    int64  `json:"waited"`              // cycles spent in the current blockage
 
-	Stuck  bool // held by an injected stuck-unit fault
-	Frozen bool // blocked endpoint frozen by an injected channel fault
+	Stuck  bool `json:"stuck,omitempty"`  // held by an injected stuck-unit fault
+	Frozen bool `json:"frozen,omitempty"` // blocked endpoint frozen by an injected channel fault
 }
 
 func (w WaitState) describe() string {
@@ -68,22 +69,22 @@ func (w WaitState) describe() string {
 // error: every waiting unit's state, the wait-for graph between them, any
 // circular wait, and a one-line blame verdict.
 type DeadlockReport struct {
-	Reason     Reason
-	Cycle      int64 // simulation time at diagnosis
-	StallLimit int64
-	MaxCycles  int64
-	Active     int // launched kernels still running
+	Reason     Reason `json:"reason"`
+	Cycle      int64  `json:"cycle"` // simulation time at diagnosis
+	StallLimit int64  `json:"stallLimit"`
+	MaxCycles  int64  `json:"maxCycles"`
+	Active     int    `json:"active"` // launched kernels still running
 
-	Waits []WaitState
+	Waits []WaitState `json:"waits,omitempty"`
 	// Edges are wait-for relations: Edges[i] = [waiter, waited-on unit].
 	// A unit blocked writing channel c waits for c's readers; a unit blocked
 	// reading waits for c's writers.
-	Edges [][2]string
+	Edges [][2]string `json:"edges,omitempty"`
 	// CycleUnits is a circular wait among the waiting units (first repeated
 	// unit omitted), empty when none was found.
-	CycleUnits []string
+	CycleUnits []string `json:"cycleUnits,omitempty"`
 	// Blame is the one-line verdict naming the most likely culprit.
-	Blame string
+	Blame string `json:"blame"`
 }
 
 // String renders the report in the compiler-log style of the paper's
@@ -224,6 +225,9 @@ func (m *Machine) DeadlockReport(reason Reason) *DeadlockReport {
 	}
 	r.CycleUnits = findCycle(adj)
 	r.Blame = m.blameVerdict(r, readers, writers)
+	if m.obs != nil {
+		m.obs.rec.Instant(obs.KindBlame, "diagnosis", string(reason), m.cycle, r.Blame)
+	}
 	return r
 }
 

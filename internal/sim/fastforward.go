@@ -43,11 +43,19 @@ var ffDisabled atomic.Bool
 // need it.
 func SetFastForwardDisabled(v bool) { ffDisabled.Store(v) }
 
-// FastForwardStats reports how many jumps the machine has taken and how many
-// quiescent cycles they skipped. Skipped cycles still "happened" — counters,
-// stall statistics, and the cycle clock all read as if each one was stepped.
-func (m *Machine) FastForwardStats() (jumps, skipped int64) {
-	return m.ffJumps, m.ffSkipped
+// FastForwardStats summarizes the machine's quiescent-cycle skipping: how
+// many jumps it has taken and how many cycles they skipped. Skipped cycles
+// still "happened" — counters, stall statistics, and the cycle clock all
+// read as if each one was stepped. The JSON tags make the struct one of the
+// machine-readable report payloads (DESIGN.md §9).
+type FastForwardStats struct {
+	Jumps   int64 `json:"jumps"`
+	Skipped int64 `json:"skipped"`
+}
+
+// FastForwardStats reports the accumulated jump statistics.
+func (m *Machine) FastForwardStats() FastForwardStats {
+	return FastForwardStats{Jumps: m.ffJumps, Skipped: m.ffSkipped}
 }
 
 // fastForwardOK reports whether skipping is currently allowed: it is off
@@ -75,10 +83,21 @@ func (m *Machine) fastForward(start, budget int64) {
 	if budget >= 0 && to > start+budget {
 		to = start + budget
 	}
+	if m.obs != nil && m.obs.sampleEvery > 0 {
+		// metrics sample cycles are deadlines too: never jump onto or past
+		// the next one, so the tick that takes the sample executes for real
+		// and the sample matches the per-cycle path byte for byte
+		if next := (m.cycle/m.obs.sampleEvery + 1) * m.obs.sampleEvery; to >= next {
+			to = next - 1
+		}
+	}
 	if to <= m.cycle {
 		return
 	}
 	m.batchAdvance(m.cycle, to)
+	if m.obs != nil {
+		m.obs.rec.FFJump(m.cycle+1, to)
+	}
 	m.ffJumps++
 	m.ffSkipped += to - m.cycle
 	m.cycle = to
@@ -387,8 +406,14 @@ func (m *Machine) batchRegion(u *Unit, re *regionExec, from, to int64, stalledSe
 				if ch := m.chanStallTarget(f.c, op, from); ch != nil {
 					if op.Kind == kir.OpChanRead {
 						ch.AddReadStalls(to - from)
+						if m.obs != nil {
+							m.obsExtendStall(op.ChID, 0, from, to)
+						}
 					} else {
 						ch.AddWriteStalls(to - from)
+						if m.obs != nil {
+							m.obsExtendStall(op.ChID, 1, from, to)
+						}
 					}
 				}
 				break // only the front blocked op retries each cycle

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"oclfpga/internal/fault"
+	"oclfpga/internal/obs"
 )
 
 // faultRuntime is the machine-side state of an installed fault plan: events
@@ -72,6 +73,10 @@ func (m *Machine) installFaults(p *fault.Plan) error {
 				}
 			}
 			re.applied = true
+			if m.obs != nil {
+				m.obs.rec.Instant(obs.KindFault, "fault:"+ev.Target, ev.Kind.String(),
+					m.cycle, fmt.Sprintf("value=%d", ev.Value))
+			}
 		}
 		fr.events = append(fr.events, re)
 	}
@@ -97,12 +102,23 @@ func (m *Machine) applyFaults() {
 			if !re.applied && now >= ev.At {
 				m.chans[re.chID].OverrideDepth(int(ev.Value))
 				re.applied = true
+				if m.obs != nil {
+					m.obs.rec.Instant(obs.KindFault, "fault:"+ev.Target, ev.Kind.String(),
+						now, fmt.Sprintf("value=%d", ev.Value))
+				}
 			}
 		case fault.LaunchSkew:
 			// applied at install time
 		case fault.MemDelay:
-			if ev.ActiveAt(now) && ev.Value > memDelay {
+			act := ev.ActiveAt(now)
+			if act && ev.Value > memDelay {
 				memDelay = ev.Value
+			}
+			// re.active is otherwise unused for aggregate mem-delay events;
+			// repurpose it to edge-detect the window for the timeline
+			if m.obs != nil && act != re.active {
+				re.active = act
+				m.obsFaultEdge(i, re, now)
 			}
 		default:
 			active := ev.ActiveAt(now)
@@ -110,6 +126,9 @@ func (m *Machine) applyFaults() {
 				continue
 			}
 			re.active = active
+			if m.obs != nil {
+				m.obsFaultEdge(i, re, now)
+			}
 			delta := -1
 			if active {
 				delta = 1

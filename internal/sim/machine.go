@@ -12,6 +12,7 @@ import (
 	"oclfpga/internal/hls"
 	"oclfpga/internal/kir"
 	"oclfpga/internal/mem"
+	"oclfpga/internal/obs"
 )
 
 // Options configure a machine.
@@ -37,6 +38,13 @@ type Options struct {
 	// semantics-preserving (see DESIGN.md §8), so this exists for debugging
 	// and for the equivalence test suite, not for correctness.
 	DisableFastForward bool
+	// Observe attaches the observability recorder (DESIGN.md §9): a
+	// structured event timeline plus, when Observe.SampleEvery > 0, a
+	// periodic metrics series. Unlike a VCD cycle hook the recorder is
+	// event-driven, so fast-forward stays enabled and the record is
+	// byte-identical with skipping on or off. Nil disables observability;
+	// the hot path then pays a single nil check.
+	Observe *obs.Config
 }
 
 func (o *Options) fill() {
@@ -77,6 +85,10 @@ type Machine struct {
 
 	faults *faultRuntime
 
+	// obs is the observability recorder state (nil when Options.Observe is
+	// unset — every hook site checks this once).
+	obs *obsState
+
 	// cycleHooks run at the end of every cycle (after channel commit);
 	// the VCD recorder uses this.
 	cycleHooks []func(cycle int64)
@@ -90,6 +102,9 @@ func New(d *hls.Design, opts Options) *Machine {
 		ch := channel.New(c.Name, d.ChanDepth[i])
 		ch.SetNotify(func() { m.dirtyChans = append(m.dirtyChans, ch) })
 		m.chans = append(m.chans, ch)
+	}
+	if opts.Observe != nil {
+		m.initObserve(opts.Observe)
 	}
 	for _, xk := range d.Kernels {
 		if xk.Mode != kir.Autorun {
@@ -220,6 +235,9 @@ func (m *Machine) launch(kernel string, args Args, globalSize int64) (*Unit, err
 		}
 	}
 	m.active = append(m.active, u)
+	if m.obs != nil {
+		m.obsLaunch(u)
+	}
 	return u, nil
 }
 
@@ -290,6 +308,9 @@ func (m *Machine) tick() {
 		u.tick(m.cycle)
 		if u.Done() {
 			u.finishedAt = m.cycle
+			if m.obs != nil {
+				m.obsUnitFinished(u)
+			}
 			continue
 		}
 		stillActive = append(stillActive, u)
@@ -304,6 +325,9 @@ func (m *Machine) tick() {
 	}
 	for _, h := range m.cycleHooks {
 		h(m.cycle)
+	}
+	if m.obs != nil {
+		m.obsEndTick()
 	}
 }
 
@@ -321,6 +345,7 @@ type Unit struct {
 
 	startAt    int64
 	started    bool
+	startedAt  int64 // first cycle the unit actually ticked
 	finishedAt int64
 
 	// NDRange progress
@@ -445,6 +470,7 @@ func (u *Unit) tick(now int64) {
 	case kir.NDRange:
 		if !u.started {
 			u.started = true
+			u.startedAt = now
 			u.m.workDone = true
 		}
 		if u.issuedWI < u.globalSize && u.top.canAccept() {
@@ -457,6 +483,7 @@ func (u *Unit) tick(now int64) {
 	default:
 		if !u.started {
 			u.started = true
+			u.startedAt = now
 			u.m.workDone = true
 			u.top.enter(u.newFlow(u.newTopCtx(now)))
 		}

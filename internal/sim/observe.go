@@ -1,0 +1,269 @@
+package sim
+
+import (
+	"fmt"
+
+	"oclfpga/internal/channel"
+	"oclfpga/internal/mem"
+	"oclfpga/internal/obs"
+)
+
+// Observability wiring. The machine carries an optional obsState; every hook
+// on the hot path is guarded by a single `m.obs != nil` check so a machine
+// without Options.Observe pays one predictable branch, and the recorder is
+// event-driven rather than cycle-driven, so — unlike the VCD recorder's
+// cycle hook — enabling it does not force the per-cycle slow path.
+//
+// Fast-forward exactness contract: events are only emitted at cycles the
+// machine executes for real in both modes (launches, fault boundaries, unit
+// finishes, deadline and sample cycles), and the one piece of open state —
+// channel stall spans — is batch-extended across skipped windows at exactly
+// the points batchRegion charges the equivalent stall counters. The
+// equivalence suite asserts timelines and samples are byte-identical with
+// skipping on and off; fast-forward jump events, which exist only when
+// skipping is on, live on the separate Timeline.FFJumps track.
+
+// obsState is the per-machine observability state.
+type obsState struct {
+	rec         *obs.Recorder
+	sampleEvery int64
+	// stalls tracks one open blocked-interval per channel endpoint,
+	// indexed [chID][dir] with dir 0 = read, 1 = write.
+	stalls [][2]stallSpan
+	// launched remembers every launched unit so finalize and sampling can
+	// visit them after they leave m.active.
+	launched  []*Unit
+	finalized bool
+}
+
+// stallSpan is one in-progress consecutive blockage of a channel endpoint.
+type stallSpan struct {
+	since, last int64
+	open        bool
+}
+
+var dirName = [2]string{"read-stall", "write-stall"}
+
+// initObserve attaches a recorder; called from New before faults install so
+// launch-skew instants land on the timeline.
+func (m *Machine) initObserve(cfg *obs.Config) {
+	m.obs = &obsState{
+		rec:         obs.NewRecorder(m.d.Program.Name, *cfg),
+		sampleEvery: cfg.SampleEvery,
+		stalls:      make([][2]stallSpan, len(m.chans)),
+	}
+}
+
+// Observed reports whether the machine records an observability timeline.
+func (m *Machine) Observed() bool { return m.obs != nil }
+
+func unitTrack(u *Unit) string { return "unit:" + u.xk.UnitName() }
+
+// obsLaunch records a launch instant and binds line-fetch observers to the
+// launch's freshly created LSUs.
+func (m *Machine) obsLaunch(u *Unit) {
+	o := m.obs
+	o.launched = append(o.launched, u)
+	o.rec.Instant(obs.KindLaunch, unitTrack(u), "launch", m.cycle, "")
+	for i, lsu := range u.lsus {
+		if lsu == nil {
+			continue
+		}
+		site := u.xk.LSUs[i]
+		track := fmt.Sprintf("lsu:%s/%s#%d", u.xk.UnitName(), site.Arr.Name, i)
+		name := site.Kind.String()
+		rec := o.rec
+		lsu.OnLineFetch = func(now, ready int64) {
+			rec.Span(obs.KindLineFetch, track, name, now, ready)
+		}
+	}
+}
+
+// obsUnitFinished closes the unit's run span.
+func (m *Machine) obsUnitFinished(u *Unit) {
+	m.obs.rec.Span(obs.KindUnitRun, unitTrack(u), "run", u.startedAt, u.finishedAt)
+}
+
+// obsChanBlocked notes a refused blocking channel op at cycle now. Adjacent
+// refused cycles accumulate into one span; a gap flushes the old span and
+// opens a new one — mirroring Unit.noteBlockedOp's interval semantics, but
+// tracked per channel endpoint so multi-segment ping-ponging (which restarts
+// the per-unit clock every cycle on the slow path) cannot desynchronize the
+// two fast-forward modes.
+func (m *Machine) obsChanBlocked(chID, dir int, now int64) {
+	s := &m.obs.stalls[chID][dir]
+	if s.open {
+		if s.last >= now-1 {
+			if now > s.last {
+				s.last = now
+			}
+			return
+		}
+		m.obsFlushStall(chID, dir)
+	}
+	*s = stallSpan{since: now, last: now, open: true}
+}
+
+// obsExtendStall batch-extends the open stall span across a skipped window
+// (from, to]; called from batchRegion next to the stall-counter batch charge.
+// The span is open with last == from — the quiescent tick at `from` executed
+// for real and its refused attempt opened or extended it — but the guards
+// keep a missed assumption from corrupting the record.
+func (m *Machine) obsExtendStall(chID, dir int, from, to int64) {
+	s := &m.obs.stalls[chID][dir]
+	if !s.open {
+		*s = stallSpan{since: from, open: true}
+	}
+	if to > s.last {
+		s.last = to
+	}
+}
+
+// obsFlushStall emits the endpoint's open span, if any, as a timeline event.
+func (m *Machine) obsFlushStall(chID, dir int) {
+	s := &m.obs.stalls[chID][dir]
+	if !s.open {
+		return
+	}
+	m.obs.rec.Span(obs.KindChanStall, "chan:"+m.d.Program.Chans[chID].Name,
+		dirName[dir], s.since, s.last)
+	s.open = false
+}
+
+// obsEndTick runs at the end of every real tick: it takes a metrics sample
+// when the cycle lands on the sampling grid. Sample cycles are fast-forward
+// deadlines (see fastForward), so this sees identical state in both modes.
+func (m *Machine) obsEndTick() {
+	o := m.obs
+	if o.sampleEvery > 0 && m.cycle%o.sampleEvery == 0 {
+		o.rec.AddSample(m.obsSample())
+	}
+}
+
+// obsSample snapshots the accumulated counters: channels with any activity or
+// occupancy, access sites with any traffic, and local memories (where the
+// ibuffer trace storage lives) with any traffic.
+func (m *Machine) obsSample() obs.Sample {
+	s := obs.Sample{Cycle: m.cycle}
+	for i, ch := range m.chans {
+		st := ch.Stats()
+		if st == (channel.Stats{}) && ch.Len() == 0 {
+			continue
+		}
+		s.Channels = append(s.Channels, obs.ChannelSample{
+			Name: m.d.Program.Chans[i].Name, Len: ch.Len(), Stats: st,
+		})
+	}
+	for _, u := range m.units {
+		m.obsSampleUnit(&s, u)
+	}
+	for _, u := range m.obs.launched {
+		m.obsSampleUnit(&s, u)
+	}
+	return s
+}
+
+func (m *Machine) obsSampleUnit(s *obs.Sample, u *Unit) {
+	for i, site := range u.xk.LSUs {
+		lsu := u.lsus[i]
+		if lsu == nil {
+			continue
+		}
+		st := lsu.Stats()
+		if st == (mem.LSUStats{}) {
+			continue
+		}
+		s.LSUs = append(s.LSUs, obs.LSUSample{
+			Unit: u.xk.UnitName(), Array: site.Arr.Name,
+			Kind: site.Kind.String(), IsStore: site.IsStore, LSUStats: st,
+		})
+	}
+	for _, lm := range u.locals {
+		if lm.Reads == 0 && lm.Writes == 0 {
+			continue
+		}
+		s.Locals = append(s.Locals, obs.LocalSample{Name: lm.Name, Reads: lm.Reads, Writes: lm.Writes})
+	}
+}
+
+// obsFaultEdge records an injected fault switching on or off. Fault
+// boundaries are never jumped across (nextBoundary), so edges land at their
+// exact cycles in both fast-forward modes.
+func (m *Machine) obsFaultEdge(idx int, re *resolvedEvent, now int64) {
+	key := fmt.Sprintf("fault#%d", idx)
+	ev := re.ev
+	if re.active {
+		var detail string
+		if ev.Value != 0 {
+			detail = fmt.Sprintf("value=%d", ev.Value)
+		}
+		m.obs.rec.OpenWindow(key, obs.Event{
+			Kind: obs.KindFault, Track: "fault:" + ev.Target,
+			Name: ev.Kind.String(), Start: now, Detail: detail,
+		})
+	} else {
+		// the last cycle the fault was active is the one before this edge
+		m.obs.rec.CloseWindow(key, now-1)
+	}
+}
+
+// obsFinalize closes the record: open stall spans flush in channel order,
+// still-running units get run spans ending now, a terminal metrics sample
+// lands on the current cycle, and the recorder seals remaining fault
+// windows. Idempotent; triggered by Timeline/Samples/Series.
+func (m *Machine) obsFinalize() {
+	o := m.obs
+	if o.finalized {
+		return
+	}
+	o.finalized = true
+	for chID := range o.stalls {
+		m.obsFlushStall(chID, 0)
+		m.obsFlushStall(chID, 1)
+	}
+	for _, u := range m.units {
+		if u.started {
+			o.rec.Span(obs.KindUnitRun, unitTrack(u), "run", u.startedAt, m.cycle)
+		}
+	}
+	for _, u := range o.launched {
+		if u.started && u.finishedAt == 0 {
+			o.rec.Span(obs.KindUnitRun, unitTrack(u), "run", u.startedAt, m.cycle)
+		}
+	}
+	if o.sampleEvery > 0 && o.rec.LastSampleCycle() != m.cycle {
+		o.rec.AddSample(m.obsSample())
+	}
+	o.rec.Finalize(m.cycle)
+}
+
+// Timeline finalizes and returns the run's event timeline, or nil when the
+// machine was created without Options.Observe. Finalizing is terminal: call
+// it after the run completes (stepping further records nothing new).
+func (m *Machine) Timeline() *obs.Timeline {
+	if m.obs == nil {
+		return nil
+	}
+	m.obsFinalize()
+	return m.obs.rec.Timeline()
+}
+
+// Samples finalizes and returns the run's metrics samples (nil when
+// observability is off or sampling was not configured).
+func (m *Machine) Samples() []obs.Sample {
+	s := m.Series()
+	if s == nil {
+		return nil
+	}
+	return s.Samples
+}
+
+// Series finalizes and returns the run's metrics series, or nil when the
+// machine was created without Options.Observe.
+func (m *Machine) Series() *obs.Series {
+	if m.obs == nil {
+		return nil
+	}
+	m.obsFinalize()
+	return m.obs.rec.Series()
+}

@@ -155,12 +155,18 @@ func (u *Unit) execOp(c *Ctx, op *hls.XOp, now int64, se *segExec) bool {
 		ch := u.m.chans[op.ChID]
 		v, ok := ch.TryRead()
 		if !ok {
+			if u.m.obs != nil {
+				u.m.obsChanBlocked(op.ChID, 0, now)
+			}
 			return false
 		}
 		c.write(op.Dst, truncBits(v, op.Bits), done)
 	case kir.OpChanWrite:
 		ch := u.m.chans[op.ChID]
 		if !ch.TryWrite(c.val(op.Args[0])) {
+			if u.m.obs != nil {
+				u.m.obsChanBlocked(op.ChID, 1, now)
+			}
 			return false
 		}
 	case kir.OpChanReadNB:

@@ -11,35 +11,35 @@ import (
 // §6: "accumulated bandwidth and channel stalls"). The paper's framework
 // complements this coarse view with the ibuffer's per-event insight.
 type ChannelProfile struct {
-	Name         string
-	Depth        int
-	Writes       int64
-	Reads        int64
-	WriteStalls  int64
-	ReadStalls   int64
-	MaxOccupancy int
+	Name         string `json:"name"`
+	Depth        int    `json:"depth"`
+	Writes       int64  `json:"writes"`
+	Reads        int64  `json:"reads"`
+	WriteStalls  int64  `json:"writeStalls"`
+	ReadStalls   int64  `json:"readStalls"`
+	MaxOccupancy int    `json:"maxOccupancy"`
 }
 
 // LSUProfile is one global-memory access site's accumulated activity.
 type LSUProfile struct {
-	Unit    string
-	Array   string
-	Kind    string
-	IsStore bool
+	Unit    string `json:"unit"`
+	Array   string `json:"array"`
+	Kind    string `json:"kind"`
+	IsStore bool   `json:"isStore"`
 
-	Loads        int64
-	Stores       int64
-	LineFetches  int64
-	CoalesceHits int64
-	AvgLoadLat   float64
-	MaxLoadLat   int64
+	Loads        int64   `json:"loads"`
+	Stores       int64   `json:"stores"`
+	LineFetches  int64   `json:"lineFetches"`
+	CoalesceHits int64   `json:"coalesceHits"`
+	AvgLoadLat   float64 `json:"avgLoadLat"`
+	MaxLoadLat   int64   `json:"maxLoadLat"`
 }
 
 // ProfileReport aggregates board-level counters after (or during) a run.
 type ProfileReport struct {
-	Cycle    int64
-	Channels []ChannelProfile
-	LSUs     []LSUProfile
+	Cycle    int64            `json:"cycle"`
+	Channels []ChannelProfile `json:"channels,omitempty"`
+	LSUs     []LSUProfile     `json:"lsus,omitempty"`
 }
 
 // Profile snapshots the accumulated channel and LSU counters. Pass the
@@ -88,6 +88,22 @@ func (m *Machine) Profile(units ...*Unit) ProfileReport {
 		}
 	}
 	sort.Slice(r.Channels, func(i, j int) bool { return r.Channels[i].Name < r.Channels[j].Name })
+	// LSU rows sort like the channel rows do: the caller's unit order must
+	// not leak into the report, or its text/JSON output churns between runs
+	// that profile the same design from different call sites.
+	sort.Slice(r.LSUs, func(i, j int) bool {
+		a, b := r.LSUs[i], r.LSUs[j]
+		if a.Unit != b.Unit {
+			return a.Unit < b.Unit
+		}
+		if a.Array != b.Array {
+			return a.Array < b.Array
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		return !a.IsStore && b.IsStore
+	})
 	return r
 }
 

@@ -19,16 +19,20 @@ type Record struct {
 
 // Decode splits the raw word stream (t0, d0, t1, d1, …) drained from an
 // ibuffer into records, dropping never-written (all-zero) tail entries that
-// a linear trace read-out includes when the buffer did not fill.
-func Decode(words []int64) []Record {
-	recs := make([]Record, 0, len(words)/2)
+// a linear trace read-out includes when the buffer did not fill. An
+// odd-length stream means the drain stopped mid-record (a partial read-out
+// or a producer cut off mid-push); the orphaned trailing word cannot form a
+// record, and truncated reports it — 1 for a dangling timestamp, 0 for a
+// clean stream — so partial drains are visible instead of vanishing.
+func Decode(words []int64) (recs []Record, truncated int) {
+	recs = make([]Record, 0, len(words)/2)
 	for i := 0; i+1 < len(words); i += 2 {
 		recs = append(recs, Record{T: words[i], Data: words[i+1]})
 	}
 	for len(recs) > 0 && recs[len(recs)-1] == (Record{}) {
 		recs = recs[:len(recs)-1]
 	}
-	return recs
+	return recs, len(words) % 2
 }
 
 // Valid filters records with non-zero timestamps (a timestamp of 0 cannot

@@ -7,31 +7,69 @@ import (
 )
 
 func TestDecodePairsWords(t *testing.T) {
-	recs := Decode([]int64{10, 100, 20, 200, 30, 300})
+	recs, truncated := Decode([]int64{10, 100, 20, 200, 30, 300})
 	if len(recs) != 3 {
 		t.Fatalf("decoded %d records", len(recs))
 	}
 	if recs[1] != (Record{T: 20, Data: 200}) {
 		t.Fatalf("recs[1] = %+v", recs[1])
 	}
+	if truncated != 0 {
+		t.Fatalf("even stream reported truncation %d", truncated)
+	}
 }
 
 func TestDecodeDropsZeroTail(t *testing.T) {
-	recs := Decode([]int64{10, 100, 0, 0, 0, 0})
+	recs, _ := Decode([]int64{10, 100, 0, 0, 0, 0})
 	if len(recs) != 1 {
 		t.Fatalf("zero tail kept: %+v", recs)
 	}
 	// interior zero entries stay (cyclic buffers may wrap over them)
-	recs = Decode([]int64{0, 0, 10, 100})
+	recs, _ = Decode([]int64{0, 0, 10, 100})
 	if len(recs) != 2 {
 		t.Fatalf("interior zero dropped: %+v", recs)
 	}
 }
 
 func TestDecodeOddLength(t *testing.T) {
-	recs := Decode([]int64{1, 2, 3})
+	recs, truncated := Decode([]int64{1, 2, 3})
 	if len(recs) != 1 {
 		t.Fatalf("odd word count mishandled: %+v", recs)
+	}
+	if truncated != 1 {
+		t.Fatalf("orphaned trailing word not reported: truncated = %d", truncated)
+	}
+}
+
+func TestDecodeEdgeCases(t *testing.T) {
+	// an all-zero stream is an empty (never-written) buffer, not records
+	recs, truncated := Decode([]int64{0, 0, 0, 0, 0, 0})
+	if len(recs) != 0 || truncated != 0 {
+		t.Fatalf("all-zero stream: recs=%+v truncated=%d", recs, truncated)
+	}
+	// a single orphaned word yields nothing but is reported
+	recs, truncated = Decode([]int64{42})
+	if len(recs) != 0 || truncated != 1 {
+		t.Fatalf("single word: recs=%+v truncated=%d", recs, truncated)
+	}
+	// an odd stream whose complete pairs are all zero: tail dropped AND
+	// truncation reported — the two effects are independent
+	recs, truncated = Decode([]int64{0, 0, 7})
+	if len(recs) != 0 || truncated != 1 {
+		t.Fatalf("odd all-zero stream: recs=%+v truncated=%d", recs, truncated)
+	}
+	// empty and nil streams decode cleanly
+	if recs, truncated = Decode(nil); len(recs) != 0 || truncated != 0 {
+		t.Fatalf("nil stream: recs=%+v truncated=%d", recs, truncated)
+	}
+	// Valid on an all-zero decoded tail-less stream stays empty
+	if v := Valid(nil); len(v) != 0 {
+		t.Fatalf("Valid(nil) = %+v", v)
+	}
+	// Valid drops zero-timestamp records wherever they sit
+	v := Valid([]Record{{T: 0, Data: 1}, {T: 2, Data: 2}, {T: 0, Data: 3}})
+	if len(v) != 1 || v[0].T != 2 {
+		t.Fatalf("Valid zero filtering = %+v", v)
 	}
 }
 
@@ -118,8 +156,8 @@ func TestDecodeRoundTripProperty(t *testing.T) {
 			recs[i] = Record{T: v, Data: v * 3}
 			words = append(words, v, v*3)
 		}
-		got := Decode(words)
-		if len(got) != len(recs) {
+		got, truncated := Decode(words)
+		if truncated != 0 || len(got) != len(recs) {
 			return false
 		}
 		for i := range got {

@@ -34,6 +34,8 @@
 package oclfpga
 
 import (
+	"io"
+
 	"oclfpga/internal/core"
 	"oclfpga/internal/device"
 	"oclfpga/internal/fault"
@@ -42,6 +44,7 @@ import (
 	"oclfpga/internal/kir"
 	"oclfpga/internal/mem"
 	"oclfpga/internal/monitor"
+	"oclfpga/internal/obs"
 	"oclfpga/internal/primitives"
 	"oclfpga/internal/sim"
 	"oclfpga/internal/trace"
@@ -133,7 +136,44 @@ type (
 	// the logic-analyzer view the paper's framework replaces with
 	// software-visible traces.
 	VCDRecorder = sim.VCDRecorder
+	// FastForwardStats reports how much of a run the event-driven skip
+	// covered (Machine.FastForwardStats).
+	FastForwardStats = sim.FastForwardStats
 )
+
+// Observability (DESIGN.md §9): the structured event timeline and periodic
+// metrics sampler attached via SimOptions.Observe. Unlike a VCDRecorder,
+// the recorder is event-driven — fast-forward stays enabled and the
+// recorded artifacts are byte-identical with it on or off.
+type (
+	// ObserveConfig enables the observability layer (set SimOptions.Observe).
+	ObserveConfig = obs.Config
+	// Timeline is the structured event record of a run — unit activations,
+	// channel-stall intervals, LSU line fetches, fault windows, deadlock
+	// blame — retrieved with Machine.Timeline after the run.
+	Timeline = obs.Timeline
+	// TimelineEvent is one span or instant on the timeline.
+	TimelineEvent = obs.Event
+	// MetricsSample is one periodic counter snapshot (channel, LSU, and
+	// local-memory activity at a sample cycle).
+	MetricsSample = obs.Sample
+	// MetricsSeries is the whole sampled run (Machine.Series).
+	MetricsSeries = obs.Series
+)
+
+// WriteTimeline serializes a timeline as Perfetto/Chrome trace_event JSON —
+// the file loads directly in ui.perfetto.dev or chrome://tracing, one track
+// per unit, channel, and memory site.
+func WriteTimeline(w io.Writer, t *Timeline) error { return obs.WriteTimeline(w, t) }
+
+// ReadTimeline parses a timeline previously written by WriteTimeline.
+func ReadTimeline(r io.Reader) (*Timeline, error) { return obs.ReadTimeline(r) }
+
+// WriteMetricsSeries serializes a metrics series as JSON.
+func WriteMetricsSeries(w io.Writer, s *MetricsSeries) error { return obs.WriteSeries(w, s) }
+
+// ReadMetricsSeries parses a series previously written by WriteMetricsSeries.
+func ReadMetricsSeries(r io.Reader) (*MetricsSeries, error) { return obs.ReadSeries(r) }
 
 // NewMachine loads a design and starts its autorun kernels.
 func NewMachine(d *Design, opts SimOptions) *Machine { return sim.New(d, opts) }

@@ -3,13 +3,14 @@
 #
 # Runs every benchmark three times with allocation stats and converts the
 # output into BENCH_<n>.json (ns/op, simcycles/s, B/op, every custom metric,
-# plus the derived fast-forward speedup). Pass the output filename as $1 to
-# target a specific trajectory point; default BENCH_2.json.
+# plus the derived fast-forward speedup and observability-recorder overhead).
+# Pass the output filename as $1 to target a specific trajectory point;
+# default BENCH_3.json.
 set -eu
 
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_2.json}"
+OUT="${1:-BENCH_3.json}"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 

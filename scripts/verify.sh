@@ -9,3 +9,13 @@ cd "$(dirname "$0")/.."
 go vet ./...
 go build ./...
 go test -race ./...
+
+# Observability artifacts: a real workload's timeline and metrics series must
+# be valid, Perfetto-loadable JSON that round-trips byte-identically through
+# the codec, and the -json run report must parse as a single JSON document.
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+go run ./cmd/oclprof -workload chanstall -log=false -sample-every 500 \
+  -timeline "$TMP/t.json" -metrics "$TMP/m.json" -json > "$TMP/report.json"
+go run ./cmd/obscheck -timeline "$TMP/t.json" -metrics "$TMP/m.json" -report "$TMP/report.json"
+go run ./cmd/benchjson < /dev/null > /dev/null  # benchjson stays runnable
