@@ -8,26 +8,84 @@ package main
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 )
 
 type run map[string]float64
 
+// fingerprint identifies the host a benchmark document was recorded on.
+// Comparing numbers across different machines (or Go toolchains) is
+// meaningless, so every document is stamped and -baseline warns on mismatch.
+type fingerprint struct {
+	GoVersion  string `json:"goVersion"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	CPUModel   string `json:"cpuModel,omitempty"`
+}
+
 type doc struct {
 	Goos       string           `json:"goos,omitempty"`
 	Goarch     string           `json:"goarch,omitempty"`
 	Pkg        string           `json:"pkg,omitempty"`
 	CPU        string           `json:"cpu,omitempty"`
+	Host       *fingerprint     `json:"host,omitempty"`
 	Benchmarks map[string][]run `json:"benchmarks"`
 	// Derived convenience metrics (e.g. fast-forward speedup) keyed by name.
 	Derived map[string]float64 `json:"derived,omitempty"`
 }
 
+// hostFingerprint stamps the current host. The CPU model comes from
+// /proc/cpuinfo when readable (Linux); elsewhere the field is empty and the
+// comparison falls back to toolchain + parallelism.
+func hostFingerprint() *fingerprint {
+	fp := &fingerprint{GoVersion: runtime.Version(), GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	if raw, err := os.ReadFile("/proc/cpuinfo"); err == nil {
+		for _, line := range strings.Split(string(raw), "\n") {
+			if k, v, ok := strings.Cut(line, ":"); ok && strings.TrimSpace(k) == "model name" {
+				fp.CPUModel = strings.TrimSpace(v)
+				break
+			}
+		}
+	}
+	return fp
+}
+
+// checkBaseline compares the current host against the fingerprint of an
+// earlier benchmark document. A mismatch is a warning, not an error: numbers
+// still serialize, they just should not be read as a trajectory.
+func checkBaseline(path string, cur *fingerprint) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: baseline %s: %v\n", path, err)
+		return
+	}
+	var base doc
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: baseline %s: %v\n", path, err)
+		return
+	}
+	switch {
+	case base.Host == nil:
+		fmt.Fprintf(os.Stderr, "benchjson: warning: baseline %s has no host fingerprint; comparison is unreliable\n", path)
+	case *base.Host != *cur:
+		fmt.Fprintf(os.Stderr, "benchjson: warning: baseline %s was recorded on a different host:\n  baseline: %s, GOMAXPROCS %d, %q\n  current:  %s, GOMAXPROCS %d, %q\n",
+			path, base.Host.GoVersion, base.Host.GOMAXPROCS, base.Host.CPUModel,
+			cur.GoVersion, cur.GOMAXPROCS, cur.CPUModel)
+	}
+}
+
+var flagBaseline = flag.String("baseline", "", "earlier benchjson document to fingerprint-check against (warn on host mismatch)")
+
 func main() {
-	d := doc{Benchmarks: map[string][]run{}}
+	flag.Parse()
+	d := doc{Benchmarks: map[string][]run{}, Host: hostFingerprint()}
+	if *flagBaseline != "" {
+		checkBaseline(*flagBaseline, d.Host)
+	}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {

@@ -16,19 +16,24 @@ import (
 	"os"
 
 	"oclfpga/internal/obs"
+	"oclfpga/internal/obs/analyze"
 )
 
 var (
 	flagTimeline = flag.String("timeline", "", "timeline file to validate")
 	flagMetrics  = flag.String("metrics", "", "metrics-series file to validate")
 	flagReport   = flag.String("report", "", "oclprof -json run report to validate (must be one JSON document)")
+	flagAttr     = flag.String("attr", "", "stall-attribution file (oclprof -attr) to validate")
+	flagPprof    = flag.String("pprof", "", "pprof stall profile (oclprof -pprof) to validate")
+	flagSpill    = flag.String("spill", "", "NDJSON spill stream (oclprof -spill) to replay and validate")
 	flagQuiet    = flag.Bool("q", false, "suppress the per-file summary lines")
 )
 
 func main() {
 	flag.Parse()
-	if *flagTimeline == "" && *flagMetrics == "" && *flagReport == "" {
-		fmt.Fprintln(os.Stderr, "obscheck: nothing to check (pass -timeline, -metrics, and/or -report)")
+	if *flagTimeline == "" && *flagMetrics == "" && *flagReport == "" &&
+		*flagAttr == "" && *flagPprof == "" && *flagSpill == "" {
+		fmt.Fprintln(os.Stderr, "obscheck: nothing to check (pass -timeline, -metrics, -report, -attr, -pprof, and/or -spill)")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -40,6 +45,15 @@ func main() {
 	}
 	if *flagReport != "" {
 		checkFile(*flagReport, checkReport)
+	}
+	if *flagAttr != "" {
+		checkFile(*flagAttr, checkAttr)
+	}
+	if *flagPprof != "" {
+		checkFile(*flagPprof, checkPprof)
+	}
+	if *flagSpill != "" {
+		checkFile(*flagSpill, checkSpill)
 	}
 }
 
@@ -87,6 +101,66 @@ func checkReport(raw []byte) (string, error) {
 		return "", fmt.Errorf("trailing content after the first JSON document")
 	}
 	return fmt.Sprintf("%d top-level keys", len(v)), nil
+}
+
+func checkAttr(raw []byte) (string, error) {
+	a, err := analyze.ReadJSON(bytes.NewReader(raw))
+	if err != nil {
+		return "", err
+	}
+	if err := a.Validate(); err != nil {
+		return "", err
+	}
+	var re bytes.Buffer
+	if err := analyze.WriteJSON(&re, a); err != nil {
+		return "", err
+	}
+	if !bytes.Equal(raw, re.Bytes()) {
+		return "", fmt.Errorf("re-encoded attribution differs from input (%d vs %d bytes)", len(re.Bytes()), len(raw))
+	}
+	return fmt.Sprintf("%d rows, %d stall cycles, critical path %d cycles",
+		len(a.Rows), a.TotalStallCycles, a.CriticalCycles), nil
+}
+
+func checkPprof(raw []byte) (string, error) {
+	sum, err := analyze.CheckPprof(raw)
+	if err != nil {
+		return "", err
+	}
+	return sum.String(), nil
+}
+
+// checkSpill replays the NDJSON stream through a fresh buffering recorder and
+// validates what it rebuilds. With -timeline given alongside, the replayed
+// timeline's serialization must equal that file byte for byte — the streaming
+// path's equivalence contract.
+func checkSpill(raw []byte) (string, error) {
+	tl, series, err := obs.ReplayNDJSON(bytes.NewReader(raw))
+	if err != nil {
+		return "", err
+	}
+	if err := tl.Validate(); err != nil {
+		return "", err
+	}
+	if err := series.Validate(); err != nil {
+		return "", err
+	}
+	var re bytes.Buffer
+	if err := obs.WriteTimeline(&re, tl); err != nil {
+		return "", err
+	}
+	if *flagTimeline != "" {
+		want, err := os.ReadFile(*flagTimeline)
+		if err != nil {
+			return "", err
+		}
+		if !bytes.Equal(want, re.Bytes()) {
+			return "", fmt.Errorf("replayed timeline differs from %s (%d vs %d bytes)",
+				*flagTimeline, len(re.Bytes()), len(want))
+		}
+		return fmt.Sprintf("%d events replayed, byte-identical to %s", len(tl.Events), *flagTimeline), nil
+	}
+	return fmt.Sprintf("%d events, %d samples replayed", len(tl.Events), len(series.Samples)), nil
 }
 
 func checkSeries(raw []byte) (string, error) {

@@ -1,0 +1,144 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// TestMain builds obscheck plus the oclprof that produces its inputs; the
+// tests then run the real validation pipeline end to end: artifacts from one
+// binary gated by the other, exit codes asserted on both the accept and
+// reject paths.
+
+var (
+	obscheckBin string
+	oclprofBin  string
+)
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "obscheck-cli")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	obscheckBin = filepath.Join(dir, "obscheck")
+	oclprofBin = filepath.Join(dir, "oclprof")
+	for bin, pkg := range map[string]string{obscheckBin: ".", oclprofBin: "../oclprof"} {
+		if out, err := exec.Command("go", "build", "-o", bin, pkg).CombinedOutput(); err != nil {
+			fmt.Fprintf(os.Stderr, "build %s: %v\n%s", pkg, err, out)
+			os.RemoveAll(dir)
+			os.Exit(1)
+		}
+	}
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
+
+func runCmd(t *testing.T, bin string, args ...string) (string, string, int) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	err := cmd.Run()
+	code := 0
+	if err != nil {
+		ee, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Fatal(err)
+		}
+		code = ee.ExitCode()
+	}
+	return stdout.String(), stderr.String(), code
+}
+
+// artifacts produces one full set of observability files via oclprof.
+func artifacts(t *testing.T) (tl, metrics, attr, pprof, spill string) {
+	t.Helper()
+	dir := t.TempDir()
+	tl = filepath.Join(dir, "tl.json")
+	metrics = filepath.Join(dir, "m.json")
+	attr = filepath.Join(dir, "attr.json")
+	pprof = filepath.Join(dir, "attr.pb.gz")
+	spill = filepath.Join(dir, "spill.ndjson")
+	_, stderr, code := runCmd(t, oclprofBin,
+		"-workload", "chanstall", "-log=false", "-sample-every", "500",
+		"-timeline", tl, "-metrics", metrics, "-attr", attr, "-pprof", pprof, "-spill", spill)
+	if code != 0 {
+		t.Fatalf("oclprof exit %d\n%s", code, stderr)
+	}
+	return
+}
+
+func TestAcceptsValidArtifacts(t *testing.T) {
+	tl, metrics, attr, pprof, spill := artifacts(t)
+	stdout, stderr, code := runCmd(t, obscheckBin,
+		"-timeline", tl, "-metrics", metrics, "-attr", attr, "-pprof", pprof, "-spill", spill)
+	if code != 0 {
+		t.Fatalf("exit %d\nstdout: %s\nstderr: %s", code, stdout, stderr)
+	}
+	for _, f := range []string{tl, metrics, attr, pprof, spill} {
+		if !bytes.Contains([]byte(stdout), []byte(f+": ok")) {
+			t.Errorf("no ok line for %s:\n%s", f, stdout)
+		}
+	}
+	// the spill summary must confirm byte-identity against the timeline file
+	if !bytes.Contains([]byte(stdout), []byte("byte-identical")) {
+		t.Errorf("spill replay not cross-checked against -timeline:\n%s", stdout)
+	}
+}
+
+func TestQuietSuppressesSummaries(t *testing.T) {
+	tl, _, _, _, _ := artifacts(t)
+	stdout, _, code := runCmd(t, obscheckBin, "-q", "-timeline", tl)
+	if code != 0 || stdout != "" {
+		t.Fatalf("exit %d, stdout %q", code, stdout)
+	}
+}
+
+func TestRejectsCorruptedTimeline(t *testing.T) {
+	tl, _, _, _, _ := artifacts(t)
+	raw, err := os.ReadFile(tl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// flip a span's duration: the validators or the byte-stability re-encode
+	// must catch it
+	bad := bytes.Replace(raw, []byte(`"dur"`), []byte(`"Dur"`), 1)
+	if bytes.Equal(bad, raw) {
+		t.Fatal("corruption had no effect")
+	}
+	badPath := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(badPath, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, code := runCmd(t, obscheckBin, "-timeline", badPath); code == 0 {
+		t.Fatal("corrupted timeline accepted")
+	}
+}
+
+func TestRejectsTruncatedSpill(t *testing.T) {
+	_, _, _, _, spill := artifacts(t)
+	raw, err := os.ReadFile(spill)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trunc := raw[:len(raw)/2]
+	badPath := filepath.Join(t.TempDir(), "trunc.ndjson")
+	if err := os.WriteFile(badPath, trunc, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, code := runCmd(t, obscheckBin, "-spill", badPath); code == 0 {
+		t.Fatal("truncated spill accepted")
+	}
+}
+
+func TestNothingToCheckExitsTwo(t *testing.T) {
+	if _, _, code := runCmd(t, obscheckBin); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}

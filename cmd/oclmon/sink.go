@@ -1,0 +1,196 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+
+	"oclfpga/internal/obs"
+)
+
+// liveSink is the obs.Sink behind every hosted run: the simulation goroutine
+// streams records in through the recorder, HTTP handlers read consistent
+// copies out. It keeps its own event/sample buffers — the machine's recorder
+// belongs to the sim goroutine and is never touched by a handler — plus the
+// running aggregates /metrics scrapes and the SSE subscriber set.
+type liveSink struct {
+	mu          sync.Mutex
+	design      string
+	sampleEvery int64
+
+	events  []obs.Event
+	ffJumps []obs.Event
+	samples []obs.Sample
+	cycle   int64 // latest cycle any record has reached
+
+	stall map[stallKey]int64 // chan-stall cycles by (channel, direction)
+	depth map[string]int     // channel occupancy at the latest sample
+
+	finalized bool
+	dropped   int64
+	err       error
+
+	subs map[chan []byte]struct{}
+}
+
+type stallKey struct{ resource, op string }
+
+func newLiveSink(design string, sampleEvery int64) *liveSink {
+	return &liveSink{
+		design:      design,
+		sampleEvery: sampleEvery,
+		stall:       map[stallKey]int64{},
+		depth:       map[string]int{},
+		subs:        map[chan []byte]struct{}{},
+	}
+}
+
+func (s *liveSink) Event(e obs.Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e.Kind == obs.KindFFJump {
+		s.ffJumps = append(s.ffJumps, e)
+	} else {
+		s.events = append(s.events, e)
+	}
+	if e.End > s.cycle {
+		s.cycle = e.End
+	}
+	if e.Kind == obs.KindChanStall {
+		k := stallKey{resource: strings.TrimPrefix(e.Track, "chan:"), op: e.Name}
+		s.stall[k] += e.End - e.Start + 1
+	}
+	s.broadcast(e)
+}
+
+func (s *liveSink) Sample(smp obs.Sample) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.samples = append(s.samples, smp)
+	if smp.Cycle > s.cycle {
+		s.cycle = smp.Cycle
+	}
+	for _, c := range smp.Channels {
+		s.depth[c.Name] = c.Len
+	}
+}
+
+func (s *liveSink) Finalize(endCycle int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.finalized {
+		return nil
+	}
+	s.finalized = true
+	s.cycle = endCycle
+	for ch := range s.subs {
+		close(ch)
+	}
+	s.subs = map[chan []byte]struct{}{}
+	return nil
+}
+
+// retire publishes the run goroutine's final outcome once the machine is done
+// with the sink.
+func (s *liveSink) retire(dropped int64, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.dropped = dropped
+	s.err = err
+}
+
+// broadcast fans one event out to the SSE subscribers as a `data:` frame.
+// Slow subscribers lose events rather than stalling the simulation: the
+// channel is buffered and a full buffer drops the frame. Callers hold s.mu.
+func (s *liveSink) broadcast(e obs.Event) {
+	if len(s.subs) == 0 {
+		return
+	}
+	buf, err := json.Marshal(e)
+	if err != nil {
+		return
+	}
+	msg := make([]byte, 0, len(buf)+16)
+	msg = append(msg, "data: "...)
+	msg = append(msg, buf...)
+	msg = append(msg, "\n\n"...)
+	for ch := range s.subs {
+		select {
+		case ch <- msg:
+		default:
+		}
+	}
+}
+
+// subscribe registers an SSE tail; the returned channel closes at Finalize.
+// cancel is idempotent and safe after the close.
+func (s *liveSink) subscribe() (<-chan []byte, func()) {
+	ch := make(chan []byte, 256)
+	s.mu.Lock()
+	if s.finalized {
+		close(ch)
+		s.mu.Unlock()
+		return ch, func() {}
+	}
+	s.subs[ch] = struct{}{}
+	s.mu.Unlock()
+	return ch, func() {
+		s.mu.Lock()
+		if _, live := s.subs[ch]; live {
+			delete(s.subs, ch)
+			close(ch)
+		}
+		s.mu.Unlock()
+	}
+}
+
+// liveStats is one consistent reading of the sink's aggregates.
+type liveStats struct {
+	cycle   int64
+	events  int
+	samples int
+	ffJumps int
+	stall   map[stallKey]int64
+	depth   map[string]int
+	done    bool
+	dropped int64
+	err     error
+}
+
+func (s *liveSink) stats() liveStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := liveStats{
+		cycle:   s.cycle,
+		events:  len(s.events),
+		samples: len(s.samples),
+		ffJumps: len(s.ffJumps),
+		stall:   make(map[stallKey]int64, len(s.stall)),
+		depth:   make(map[string]int, len(s.depth)),
+		done:    s.finalized,
+		dropped: s.dropped,
+		err:     s.err,
+	}
+	for k, v := range s.stall {
+		st.stall[k] = v
+	}
+	for k, v := range s.depth {
+		st.depth[k] = v
+	}
+	return st
+}
+
+// snapshot builds a timeline of everything recorded so far — the finalized
+// record once the run is done, otherwise a consistent mid-run view whose
+// EndCycle is the telemetry high-water mark.
+func (s *liveSink) snapshot() *obs.Timeline {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return &obs.Timeline{
+		Design:        s.design,
+		EndCycle:      s.cycle,
+		DroppedEvents: s.dropped,
+		Events:        append([]obs.Event(nil), s.events...),
+		FFJumps:       append([]obs.Event(nil), s.ffJumps...),
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"oclfpga/internal/host"
 	"oclfpga/internal/kir"
 	"oclfpga/internal/obs"
+	"oclfpga/internal/obs/analyze"
 	"oclfpga/internal/sim"
 	"oclfpga/internal/trace"
 	"oclfpga/internal/workload"
@@ -48,6 +49,10 @@ var (
 	flagMetrics  = flag.String("metrics", "", "write the periodic metrics series (JSON) to this file")
 	flagEvery    = flag.Int64("sample-every", 1000, "metrics sampling interval in cycles (with -metrics/-timeline)")
 	flagJSON     = flag.Bool("json", false, "emit a machine-readable run report on stdout; human text goes to stderr")
+	flagAttr     = flag.String("attr", "", "write the stall attribution & critical-path analysis (JSON) to this file")
+	flagFolded   = flag.String("folded", "", "write folded stall stacks (flamegraph.pl input) to this file")
+	flagPprof    = flag.String("pprof", "", "write a gzipped pprof stall profile to this file (open with go tool pprof -http)")
+	flagSpill    = flag.String("spill", "", "stream observability records to this file as NDJSON while the run executes")
 )
 
 // out carries the human-readable narration. With -json it is rerouted to
@@ -55,7 +60,17 @@ var (
 var out io.Writer = os.Stdout
 
 // observeOn reports whether the observability layer should be attached.
-func observeOn() bool { return *flagTimeline != "" || *flagMetrics != "" }
+func observeOn() bool {
+	return *flagTimeline != "" || *flagMetrics != "" || *flagAttr != "" ||
+		*flagFolded != "" || *flagPprof != "" || *flagSpill != ""
+}
+
+// analyzeOn reports whether the run's timeline feeds the analysis engine.
+func analyzeOn() bool { return *flagAttr != "" || *flagFolded != "" || *flagPprof != "" }
+
+// spillFile holds the -spill NDJSON destination open across the run; the
+// simulator's recorder streams into it and finishRun closes it.
+var spillFile *os.File
 
 // must unwraps a (value, error) pair, aborting the tool on error — the
 // command-line analogue of the library's error returns.
@@ -67,8 +82,9 @@ func must[T any](v T, err error) T {
 }
 
 // simOpts builds the simulator options shared by every workload, parsing the
-// -inject fault plan if given.
-func simOpts() sim.Options {
+// -inject fault plan if given. design names the NDJSON spill stream so a
+// replayed timeline matches the in-memory one byte for byte.
+func simOpts(design string) sim.Options {
 	opts := sim.Options{StallLimit: *flagStall}
 	if *flagInject != "" {
 		plan, err := fault.ParseSpecs(*flagInject)
@@ -79,6 +95,14 @@ func simOpts() sim.Options {
 	}
 	if observeOn() {
 		opts.Observe = &obs.Config{SampleEvery: *flagEvery}
+		if *flagSpill != "" {
+			f, err := os.Create(*flagSpill)
+			if err != nil {
+				log.Fatal(err)
+			}
+			spillFile = f
+			opts.Observe.Sink = obs.NewNDJSONSink(f, design, *flagEvery)
+		}
 	}
 	return opts
 }
@@ -118,7 +142,19 @@ type runReport struct {
 	FastForward sim.FastForwardStats `json:"fastForward"`
 	Timeline    string               `json:"timelineFile,omitempty"`
 	Metrics     string               `json:"metricsFile,omitempty"`
+	Attr        string               `json:"attrFile,omitempty"`
+	Folded      string               `json:"foldedFile,omitempty"`
+	Pprof       string               `json:"pprofFile,omitempty"`
+	Spill       string               `json:"spillFile,omitempty"`
 	SampleEvery int64                `json:"sampleEvery,omitempty"`
+	// Stall summarizes the attribution when the analysis engine ran.
+	Stall *stallReport `json:"stall,omitempty"`
+}
+
+type stallReport struct {
+	TotalStallCycles int64 `json:"totalStallCycles"`
+	CriticalCycles   int64 `json:"criticalCycles"`
+	Rows             int   `json:"rows"`
 }
 
 type unitReport struct {
@@ -143,6 +179,35 @@ func finishRun(m *sim.Machine, units ...*sim.Unit) {
 		fmt.Fprintf(out, "metrics: %s (%d samples, every %d cycles)\n",
 			*flagMetrics, len(m.Samples()), *flagEvery)
 	}
+	if *flagSpill != "" {
+		// Timeline() above (or the first analysis call below) finalizes the
+		// recorder, which flushes the NDJSON terminal line through the sink.
+		m.Timeline()
+		if err := m.ObserveErr(); err != nil {
+			log.Fatal(err)
+		}
+		if err := spillFile.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(out, "spill: %s (NDJSON event stream; replay with obscheck -spill)\n", *flagSpill)
+	}
+	var attr *analyze.Attribution
+	if analyzeOn() {
+		attr = analyze.Attribute(m.Timeline())
+		if *flagAttr != "" {
+			writeJSONFile(*flagAttr, func(w io.Writer) error { return analyze.WriteJSON(w, attr) })
+			fmt.Fprintf(out, "attribution: %s (%d rows, critical path %d cycles)\n",
+				*flagAttr, len(attr.Rows), attr.CriticalCycles)
+		}
+		if *flagFolded != "" {
+			writeJSONFile(*flagFolded, func(w io.Writer) error { return analyze.WriteFolded(w, attr) })
+			fmt.Fprintf(out, "folded stacks: %s\n", *flagFolded)
+		}
+		if *flagPprof != "" {
+			writeJSONFile(*flagPprof, func(w io.Writer) error { return analyze.WritePprof(w, attr) })
+			fmt.Fprintf(out, "pprof profile: %s (go tool pprof -http=: %s)\n", *flagPprof, *flagPprof)
+		}
+	}
 	if !*flagJSON {
 		return
 	}
@@ -153,9 +218,20 @@ func finishRun(m *sim.Machine, units ...*sim.Unit) {
 		FastForward: m.FastForwardStats(),
 		Timeline:    *flagTimeline,
 		Metrics:     *flagMetrics,
+		Attr:        *flagAttr,
+		Folded:      *flagFolded,
+		Pprof:       *flagPprof,
+		Spill:       *flagSpill,
 	}
 	if observeOn() {
 		r.SampleEvery = *flagEvery
+	}
+	if attr != nil {
+		r.Stall = &stallReport{
+			TotalStallCycles: attr.TotalStallCycles,
+			CriticalCycles:   attr.CriticalCycles,
+			Rows:             len(attr.Rows),
+		}
 	}
 	for _, u := range units {
 		r.Units = append(r.Units, unitReport{Kernel: u.Kernel().UnitName(), FinishedAt: u.FinishedAt()})
@@ -254,7 +330,7 @@ func runMatVec(dev *device.Device, opts hls.Options) {
 	p := kir.NewProgram(*flagWorkload)
 	mv := workload.BuildMatVec(p, workload.MatVecConfig{Mode: mode, Instrument: *flagInstr})
 	d := compileAndReport(p, dev, opts)
-	m := sim.New(d, simOpts())
+	m := sim.New(d, simOpts(p.Name))
 	var vcd *sim.VCDRecorder
 	if *flagVCD != "" {
 		vcd = m.NewVCD()
@@ -335,7 +411,7 @@ func runMatMul(dev *device.Device, opts hls.Options) {
 		wpIfc = host.BuildInterface(p, mm.WP)
 	}
 	d := compileAndReport(p, dev, opts)
-	m := sim.New(d, simOpts())
+	m := sim.New(d, simOpts(p.Name))
 	da := must(m.NewBuffer("data_a", kir.I32, n*n))
 	db := must(m.NewBuffer("data_b", kir.I32, n*n))
 	dc := must(m.NewBuffer("data_c", kir.I32, n*n))
@@ -413,7 +489,7 @@ func runChase(dev *device.Device, opts hls.Options) {
 		log.Fatal(err)
 	}
 	d := compileAndReport(p, dev, opts)
-	m := sim.New(d, simOpts())
+	m := sim.New(d, simOpts(p.Name))
 	table := must(m.NewBuffer("next", kir.I32, 1<<14))
 	res := must(m.NewBuffer("out", kir.I64, 2))
 	for i := range table.Data {
@@ -438,7 +514,7 @@ func runVecAdd(dev *device.Device, opts hls.Options) {
 	p := kir.NewProgram("vecadd")
 	name := workload.BuildVecAdd(p)
 	d := compileAndReport(p, dev, opts)
-	m := sim.New(d, simOpts())
+	m := sim.New(d, simOpts(p.Name))
 	const n = 1024
 	x := must(m.NewBuffer("x", kir.I32, n))
 	y := must(m.NewBuffer("y", kir.I32, n))
@@ -466,7 +542,7 @@ func runFIR(dev *device.Device, opts hls.Options) {
 		smIfc = host.BuildInterface(p, f.SM)
 	}
 	d := compileAndReport(p, dev, opts)
-	m := sim.New(d, simOpts())
+	m := sim.New(d, simOpts(p.Name))
 	bx := must(m.NewBuffer("x", kir.I32, 512))
 	bc := must(m.NewBuffer("coeff", kir.I32, 8))
 	by := must(m.NewBuffer("y", kir.I32, 512))
@@ -543,7 +619,7 @@ func runChanStall(dev *device.Device, opts hls.Options) {
 	})
 
 	d := compileAndReport(p, dev, opts)
-	so := simOpts()
+	so := simOpts(p.Name)
 	if so.StallLimit == 0 {
 		so.StallLimit = 2000 // diagnose injected hangs promptly
 	}

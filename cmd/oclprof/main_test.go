@@ -1,0 +1,126 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// The CLI contract tests run the real binary: TestMain builds it once into a
+// temp dir and each test asserts on exit code, stdout, and stderr — the
+// -json promise (stdout is exactly one JSON document, narration on stderr)
+// is what scripts and CI pipelines depend on.
+
+var oclprofBin string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "oclprof-cli")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	oclprofBin = filepath.Join(dir, "oclprof")
+	if out, err := exec.Command("go", "build", "-o", oclprofBin, ".").CombinedOutput(); err != nil {
+		fmt.Fprintf(os.Stderr, "build: %v\n%s", err, out)
+		os.RemoveAll(dir)
+		os.Exit(1)
+	}
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
+
+// runBin executes the built binary and returns stdout, stderr, and exit code.
+func runBin(t *testing.T, args ...string) (string, string, int) {
+	t.Helper()
+	cmd := exec.Command(oclprofBin, args...)
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	err := cmd.Run()
+	code := 0
+	if err != nil {
+		ee, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Fatal(err)
+		}
+		code = ee.ExitCode()
+	}
+	return stdout.String(), stderr.String(), code
+}
+
+// oneJSONDocument asserts the string is exactly one JSON value and returns it.
+func oneJSONDocument(t *testing.T, s string) map[string]any {
+	t.Helper()
+	dec := json.NewDecoder(bytes.NewReader([]byte(s)))
+	var v map[string]any
+	if err := dec.Decode(&v); err != nil {
+		t.Fatalf("stdout is not JSON: %v\n%s", err, s)
+	}
+	if dec.More() {
+		t.Fatalf("stdout holds more than one JSON document:\n%s", s)
+	}
+	return v
+}
+
+func TestJSONReportContract(t *testing.T) {
+	dir := t.TempDir()
+	tl := filepath.Join(dir, "tl.json")
+	stdout, stderr, code := runBin(t,
+		"-workload", "chanstall", "-json", "-timeline", tl, "-sample-every", "500")
+	if code != 0 {
+		t.Fatalf("exit %d\nstderr: %s", code, stderr)
+	}
+	v := oneJSONDocument(t, stdout)
+	if v["workload"] != "chanstall" {
+		t.Fatalf("workload = %v", v["workload"])
+	}
+	if c, ok := v["cycles"].(float64); !ok || c <= 0 {
+		t.Fatalf("cycles = %v", v["cycles"])
+	}
+	if _, ok := v["units"].([]any); !ok {
+		t.Fatalf("units missing: %v", v["units"])
+	}
+	// narration (compiler log, fit line, file notes) must land on stderr
+	if !bytes.Contains([]byte(stderr), []byte("timeline: "+tl)) {
+		t.Fatalf("narration missing from stderr:\n%s", stderr)
+	}
+	if _, err := os.Stat(tl); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJSONStallSummary(t *testing.T) {
+	dir := t.TempDir()
+	stdout, stderr, code := runBin(t,
+		"-workload", "chanstall", "-json", "-log=false",
+		"-attr", filepath.Join(dir, "attr.json"),
+		"-pprof", filepath.Join(dir, "attr.pb.gz"),
+		"-spill", filepath.Join(dir, "spill.ndjson"))
+	if code != 0 {
+		t.Fatalf("exit %d\nstderr: %s", code, stderr)
+	}
+	v := oneJSONDocument(t, stdout)
+	stall, ok := v["stall"].(map[string]any)
+	if !ok {
+		t.Fatalf("stall summary missing: %v", v)
+	}
+	if c, ok := stall["criticalCycles"].(float64); !ok || c <= 0 {
+		t.Fatalf("criticalCycles = %v", stall["criticalCycles"])
+	}
+	for _, f := range []string{"attr.json", "attr.pb.gz", "spill.ndjson"} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+func TestUnknownWorkloadExitCode(t *testing.T) {
+	_, stderr, code := runBin(t, "-workload", "nope")
+	if code != 2 {
+		t.Fatalf("exit %d, want 2\nstderr: %s", code, stderr)
+	}
+}

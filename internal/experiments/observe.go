@@ -18,15 +18,27 @@ import (
 var obsHook struct {
 	mu       sync.Mutex
 	cfg      *obs.Config
+	sink     func(design string, sampleEvery int64) obs.Sink
 	machines []*sim.Machine
 }
 
 // EnableObserveForTest arms the injection hook: subsequent newSim calls
 // attach a recorder sampling every sampleEvery cycles and are collected.
 func EnableObserveForTest(sampleEvery int64) {
+	EnableObserveSinkForTest(sampleEvery, nil)
+}
+
+// EnableObserveSinkForTest arms the hook with a streaming destination: each
+// machine's recorder additionally forwards to one fresh sink per machine, in
+// creation order, so the streaming-path equivalence suite can capture every
+// machine's NDJSON spill. The factory receives the design name and the
+// sampling interval actually in effect — experiments that pass their own
+// Observe config (E9) keep their interval, and the spill header must agree.
+func EnableObserveSinkForTest(sampleEvery int64, sink func(design string, sampleEvery int64) obs.Sink) {
 	obsHook.mu.Lock()
 	defer obsHook.mu.Unlock()
 	obsHook.cfg = &obs.Config{SampleEvery: sampleEvery}
+	obsHook.sink = sink
 	obsHook.machines = nil
 }
 
@@ -37,6 +49,7 @@ func DisableObserveForTest() []*sim.Machine {
 	defer obsHook.mu.Unlock()
 	ms := obsHook.machines
 	obsHook.cfg = nil
+	obsHook.sink = nil
 	obsHook.machines = nil
 	return ms
 }
@@ -44,8 +57,23 @@ func DisableObserveForTest() []*sim.Machine {
 // newSim is the experiments' machine constructor (see the hook note above).
 func newSim(d *hls.Design, o sim.Options) *sim.Machine {
 	obsHook.mu.Lock()
-	if obsHook.cfg != nil && o.Observe == nil {
-		o.Observe = obsHook.cfg
+	if obsHook.cfg != nil {
+		// Work on a copy so neither the hook's shared config nor an
+		// experiment's own config is mutated by the sink attachment.
+		var cfg obs.Config
+		if o.Observe != nil {
+			cfg = *o.Observe
+		} else {
+			cfg = *obsHook.cfg
+		}
+		if obsHook.sink != nil {
+			s := obsHook.sink(d.Program.Name, cfg.SampleEvery)
+			if cfg.Sink != nil {
+				s = obs.NewFanout(cfg.Sink, s)
+			}
+			cfg.Sink = s
+		}
+		o.Observe = &cfg
 	}
 	m := sim.New(d, o)
 	if obsHook.cfg != nil {

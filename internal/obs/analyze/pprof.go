@@ -1,0 +1,200 @@
+package analyze
+
+import (
+	"compress/gzip"
+	"fmt"
+	"io"
+)
+
+// Flamegraph export. WriteFolded emits the Brendan-Gregg folded-stack text
+// format (one "unit;op;resource weight" line per attribution row), and
+// WritePprof emits a gzipped pprof profile.proto with the same three-frame
+// stacks, so `go tool pprof -http` renders the stall breakdown as a
+// flamegraph with no external tooling. The proto encoder below is the
+// handful of varint/length-delimited primitives the profile.proto schema
+// needs — hand-rolled because the repo deliberately has no dependencies.
+
+// WriteFolded writes the attribution as folded stacks, heaviest row first:
+//
+//	consumer;read-stall;pipe 5321
+func WriteFolded(w io.Writer, a *Attribution) error {
+	for _, r := range a.Rows {
+		if _, err := fmt.Fprintf(w, "%s;%s;%s %d\n", frame(r.Unit), frame(r.Op), frame(r.Resource), r.Cycles); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// frame sanitizes one stack-frame name for the folded format (';' splits
+// frames, ' ' splits the count; neither occurs in generated names, but a
+// hand-built timeline could hold anything).
+func frame(s string) string {
+	if s == "" {
+		return "(unknown)"
+	}
+	out := []byte(s)
+	for i, c := range out {
+		if c == ';' || c == ' ' {
+			out[i] = '_'
+		}
+	}
+	return string(out)
+}
+
+// proto wire-format primitives (wire type 0 = varint, 2 = length-delimited).
+
+type protoBuf struct{ b []byte }
+
+func (p *protoBuf) varint(v uint64) {
+	for v >= 0x80 {
+		p.b = append(p.b, byte(v)|0x80)
+		v >>= 7
+	}
+	p.b = append(p.b, byte(v))
+}
+
+func (p *protoBuf) tag(field, wire int) { p.varint(uint64(field)<<3 | uint64(wire)) }
+
+// uintField emits a varint-typed field, omitted when zero (proto3 default).
+func (p *protoBuf) uintField(field int, v uint64) {
+	if v == 0 {
+		return
+	}
+	p.tag(field, 0)
+	p.varint(v)
+}
+
+func (p *protoBuf) bytesField(field int, b []byte) {
+	p.tag(field, 2)
+	p.varint(uint64(len(b)))
+	p.b = append(p.b, b...)
+}
+
+func (p *protoBuf) stringField(field int, s string) {
+	if s == "" {
+		return
+	}
+	p.bytesField(field, []byte(s))
+}
+
+// packed emits a packed repeated varint field (profile.proto's repeated
+// int64/uint64 fields are proto3, packed by default).
+func (p *protoBuf) packed(field int, vs []uint64) {
+	if len(vs) == 0 {
+		return
+	}
+	var inner protoBuf
+	for _, v := range vs {
+		inner.varint(v)
+	}
+	p.bytesField(field, inner.b)
+}
+
+// strtab interns strings into the profile string table (index 0 must be "").
+type strtab struct {
+	idx  map[string]uint64
+	strs []string
+}
+
+func newStrtab() *strtab {
+	return &strtab{idx: map[string]uint64{"": 0}, strs: []string{""}}
+}
+
+func (t *strtab) id(s string) uint64 {
+	if i, ok := t.idx[s]; ok {
+		return i
+	}
+	i := uint64(len(t.strs))
+	t.idx[s] = i
+	t.strs = append(t.strs, s)
+	return i
+}
+
+// profile.proto field numbers (google/pprof/proto/profile.proto).
+const (
+	profSampleType  = 1
+	profSample      = 2
+	profLocation    = 4
+	profFunction    = 5
+	profStringTable = 6
+	profPeriodType  = 11
+	profPeriod      = 12
+
+	vtType = 1
+	vtUnit = 2
+
+	sampleLocationID = 1
+	sampleValue      = 2
+
+	locID   = 1
+	locLine = 4
+
+	lineFunctionID = 1
+
+	funcID   = 1
+	funcName = 2
+)
+
+func valueType(t *strtab, typ, unit string) []byte {
+	var p protoBuf
+	p.uintField(vtType, t.id(typ))
+	p.uintField(vtUnit, t.id(unit))
+	return p.b
+}
+
+// WritePprof serializes the attribution as a gzipped pprof profile. Each
+// attribution row becomes one sample with the stack [resource ← op ← unit]
+// (leaf first) and two values: span count and stall cycles; pprof's default
+// metric is the last, so flamegraphs weight by cycles out of the box.
+func WritePprof(w io.Writer, a *Attribution) error {
+	tab := newStrtab()
+	var p protoBuf
+	p.bytesField(profSampleType, valueType(tab, "spans", "count"))
+	p.bytesField(profSampleType, valueType(tab, "stall", "cycles"))
+
+	// one synthetic function+location per distinct frame name
+	frameLoc := map[string]uint64{}
+	locOf := func(name string) uint64 {
+		if id, ok := frameLoc[name]; ok {
+			return id
+		}
+		id := uint64(len(frameLoc) + 1)
+		frameLoc[name] = id
+		var fn protoBuf
+		fn.uintField(funcID, id)
+		fn.uintField(funcName, tab.id(name))
+		p.bytesField(profFunction, fn.b)
+		var ln protoBuf
+		ln.uintField(lineFunctionID, id)
+		var loc protoBuf
+		loc.uintField(locID, id)
+		loc.bytesField(locLine, ln.b)
+		p.bytesField(profLocation, loc.b)
+		return id
+	}
+	for _, r := range a.Rows {
+		locs := []uint64{locOf(frame(r.Resource)), locOf(frame(r.Op)), locOf(frame(r.Unit))}
+		var s protoBuf
+		s.packed(sampleLocationID, locs)
+		s.packed(sampleValue, []uint64{uint64(r.Spans), uint64(r.Cycles)})
+		p.bytesField(profSample, s.b)
+	}
+	// interns nothing new ("stall"/"cycles" entered with the sample types),
+	// so the string table flushed below is complete
+	p.bytesField(profPeriodType, valueType(tab, "stall", "cycles"))
+	p.uintField(profPeriod, 1)
+	for _, s := range tab.strs {
+		// index 0 is the mandatory empty string; emit explicitly so the
+		// table's length matches the intern indices
+		p.tag(profStringTable, 2)
+		p.varint(uint64(len(s)))
+		p.b = append(p.b, s...)
+	}
+
+	gz := gzip.NewWriter(w)
+	if _, err := gz.Write(p.b); err != nil {
+		return err
+	}
+	return gz.Close()
+}

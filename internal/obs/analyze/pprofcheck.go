@@ -1,0 +1,345 @@
+package analyze
+
+import (
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"io"
+)
+
+// PprofSummary is what CheckPprof learns about a profile.
+type PprofSummary struct {
+	Samples     int
+	Locations   int
+	Functions   int
+	Strings     int
+	SampleTypes int
+	// TotalValue sums the last value of every sample (the default metric —
+	// stall cycles for profiles written by WritePprof).
+	TotalValue int64
+}
+
+func (s PprofSummary) String() string {
+	return fmt.Sprintf("%d samples, %d locations, %d functions, %d strings, total %d",
+		s.Samples, s.Locations, s.Functions, s.Strings, s.TotalValue)
+}
+
+// CheckPprof structurally validates a (gzipped or raw) profile.proto
+// document: it walks the wire format, resolves every sample's location ids
+// against the location table, every location's function ids against the
+// function table, and every interned name against the string table. It is a
+// purpose-built validator for profiles WritePprof emits, not a general
+// pprof parser — obscheck uses it to gate the flamegraph artifact.
+func CheckPprof(raw []byte) (PprofSummary, error) {
+	var sum PprofSummary
+	if len(raw) >= 2 && raw[0] == 0x1f && raw[1] == 0x8b {
+		gz, err := gzip.NewReader(bytes.NewReader(raw))
+		if err != nil {
+			return sum, fmt.Errorf("gzip: %w", err)
+		}
+		raw, err = io.ReadAll(gz)
+		if err != nil {
+			return sum, fmt.Errorf("gzip: %w", err)
+		}
+	}
+
+	type sample struct {
+		locs   []uint64
+		values []int64
+	}
+	var samples []sample
+	locFuncs := map[uint64][]uint64{} // location id -> function ids
+	funcNames := map[uint64]uint64{}  // function id -> name string index
+	var nameIdxs []uint64
+
+	d := protoDec{b: raw}
+	for !d.done() {
+		field, wire, err := d.tagAt()
+		if err != nil {
+			return sum, err
+		}
+		switch field {
+		case profSampleType:
+			msg, err := d.bytes(wire)
+			if err != nil {
+				return sum, err
+			}
+			sd := protoDec{b: msg}
+			if err := sd.eachField(func(f int, w int) error {
+				if f != vtType && f != vtUnit {
+					return sd.skip(w)
+				}
+				v, err := sd.uint(w)
+				if err == nil {
+					nameIdxs = append(nameIdxs, v)
+				}
+				return err
+			}); err != nil {
+				return sum, fmt.Errorf("sample_type: %w", err)
+			}
+			sum.SampleTypes++
+		case profSample:
+			msg, err := d.bytes(wire)
+			if err != nil {
+				return sum, err
+			}
+			var s sample
+			sd := protoDec{b: msg}
+			if err := sd.eachField(func(f int, w int) error {
+				switch f {
+				case sampleLocationID:
+					vs, err := sd.repeatedUint(w)
+					s.locs = append(s.locs, vs...)
+					return err
+				case sampleValue:
+					vs, err := sd.repeatedUint(w)
+					for _, v := range vs {
+						s.values = append(s.values, int64(v))
+					}
+					return err
+				default:
+					return sd.skip(w)
+				}
+			}); err != nil {
+				return sum, fmt.Errorf("sample[%d]: %w", len(samples), err)
+			}
+			samples = append(samples, s)
+		case profLocation:
+			msg, err := d.bytes(wire)
+			if err != nil {
+				return sum, err
+			}
+			var id uint64
+			var fns []uint64
+			sd := protoDec{b: msg}
+			if err := sd.eachField(func(f int, w int) error {
+				switch f {
+				case locID:
+					v, err := sd.uint(w)
+					id = v
+					return err
+				case locLine:
+					line, err := sd.bytes(w)
+					if err != nil {
+						return err
+					}
+					ld := protoDec{b: line}
+					return ld.eachField(func(lf int, lw int) error {
+						if lf == lineFunctionID {
+							v, err := ld.uint(lw)
+							fns = append(fns, v)
+							return err
+						}
+						return ld.skip(lw)
+					})
+				default:
+					return sd.skip(w)
+				}
+			}); err != nil {
+				return sum, fmt.Errorf("location: %w", err)
+			}
+			if id == 0 {
+				return sum, fmt.Errorf("location with id 0")
+			}
+			locFuncs[id] = fns
+		case profFunction:
+			msg, err := d.bytes(wire)
+			if err != nil {
+				return sum, err
+			}
+			var id, name uint64
+			sd := protoDec{b: msg}
+			if err := sd.eachField(func(f int, w int) error {
+				if f != funcID && f != funcName {
+					return sd.skip(w)
+				}
+				v, err := sd.uint(w)
+				switch f {
+				case funcID:
+					id = v
+				case funcName:
+					name = v
+				}
+				return err
+			}); err != nil {
+				return sum, fmt.Errorf("function: %w", err)
+			}
+			if id == 0 {
+				return sum, fmt.Errorf("function with id 0")
+			}
+			funcNames[id] = name
+		case profStringTable:
+			if _, err := d.bytes(wire); err != nil {
+				return sum, err
+			}
+			sum.Strings++
+		default:
+			if err := d.skip(wire); err != nil {
+				return sum, err
+			}
+		}
+	}
+
+	sum.Samples = len(samples)
+	sum.Locations = len(locFuncs)
+	sum.Functions = len(funcNames)
+	if sum.Strings == 0 {
+		return sum, fmt.Errorf("empty string table")
+	}
+	if sum.SampleTypes == 0 {
+		return sum, fmt.Errorf("no sample_type")
+	}
+	for i, s := range samples {
+		if len(s.values) != sum.SampleTypes {
+			return sum, fmt.Errorf("sample[%d]: %d values for %d sample types", i, len(s.values), sum.SampleTypes)
+		}
+		if len(s.locs) == 0 {
+			return sum, fmt.Errorf("sample[%d]: empty stack", i)
+		}
+		for _, l := range s.locs {
+			fns, ok := locFuncs[l]
+			if !ok {
+				return sum, fmt.Errorf("sample[%d]: unknown location %d", i, l)
+			}
+			for _, fn := range fns {
+				name, ok := funcNames[fn]
+				if !ok {
+					return sum, fmt.Errorf("location %d: unknown function %d", l, fn)
+				}
+				if name >= uint64(sum.Strings) {
+					return sum, fmt.Errorf("function %d: name index %d out of string table (%d)", fn, name, sum.Strings)
+				}
+			}
+		}
+		sum.TotalValue += s.values[len(s.values)-1]
+	}
+	for _, idx := range nameIdxs {
+		if idx >= uint64(sum.Strings) {
+			return sum, fmt.Errorf("sample_type string index %d out of string table (%d)", idx, sum.Strings)
+		}
+	}
+	return sum, nil
+}
+
+// protoDec is a cursor over proto wire-format bytes.
+type protoDec struct {
+	b   []byte
+	off int
+}
+
+func (d *protoDec) done() bool { return d.off >= len(d.b) }
+
+func (d *protoDec) varint() (uint64, error) {
+	var v uint64
+	for shift := uint(0); shift < 64; shift += 7 {
+		if d.off >= len(d.b) {
+			return 0, fmt.Errorf("truncated varint at %d", d.off)
+		}
+		c := d.b[d.off]
+		d.off++
+		v |= uint64(c&0x7f) << shift
+		if c < 0x80 {
+			return v, nil
+		}
+	}
+	return 0, fmt.Errorf("varint overflow at %d", d.off)
+}
+
+func (d *protoDec) tagAt() (field, wire int, err error) {
+	t, err := d.varint()
+	if err != nil {
+		return 0, 0, err
+	}
+	return int(t >> 3), int(t & 7), nil
+}
+
+// uint reads a varint-typed field value.
+func (d *protoDec) uint(wire int) (uint64, error) {
+	if wire != 0 {
+		return 0, fmt.Errorf("wire type %d for varint field", wire)
+	}
+	return d.varint()
+}
+
+// bytes reads a length-delimited field value.
+func (d *protoDec) bytes(wire int) ([]byte, error) {
+	if wire != 2 {
+		return nil, fmt.Errorf("wire type %d for length-delimited field", wire)
+	}
+	n, err := d.varint()
+	if err != nil {
+		return nil, err
+	}
+	if d.off+int(n) > len(d.b) {
+		return nil, fmt.Errorf("truncated field (%d bytes at %d)", n, d.off)
+	}
+	b := d.b[d.off : d.off+int(n)]
+	d.off += int(n)
+	return b, nil
+}
+
+// repeatedUint reads a numeric repeated field in either encoding: packed
+// (wire 2) or one-per-tag (wire 0).
+func (d *protoDec) repeatedUint(wire int) ([]uint64, error) {
+	if wire == 0 {
+		v, err := d.varint()
+		if err != nil {
+			return nil, err
+		}
+		return []uint64{v}, nil
+	}
+	msg, err := d.bytes(wire)
+	if err != nil {
+		return nil, err
+	}
+	var vs []uint64
+	pd := protoDec{b: msg}
+	for !pd.done() {
+		v, err := pd.varint()
+		if err != nil {
+			return nil, err
+		}
+		vs = append(vs, v)
+	}
+	return vs, nil
+}
+
+// skip consumes an unrecognized field.
+func (d *protoDec) skip(wire int) error {
+	switch wire {
+	case 0:
+		_, err := d.varint()
+		return err
+	case 1:
+		if d.off+8 > len(d.b) {
+			return fmt.Errorf("truncated fixed64 at %d", d.off)
+		}
+		d.off += 8
+		return nil
+	case 2:
+		_, err := d.bytes(wire)
+		return err
+	case 5:
+		if d.off+4 > len(d.b) {
+			return fmt.Errorf("truncated fixed32 at %d", d.off)
+		}
+		d.off += 4
+		return nil
+	}
+	return fmt.Errorf("unsupported wire type %d", wire)
+}
+
+// eachField iterates the message's fields, calling fn with each tag; fn must
+// consume the field's value (or call skip).
+func (d *protoDec) eachField(fn func(field, wire int) error) error {
+	for !d.done() {
+		f, w, err := d.tagAt()
+		if err != nil {
+			return err
+		}
+		if err := fn(f, w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -57,12 +57,15 @@ type Event struct {
 // Timeline is a finished run's event record. FFJumps is kept separate from
 // Events because jumps describe how the run was simulated, not what the
 // simulated hardware did — the equivalence suite compares Events across
-// fast-forward modes and ignores FFJumps.
+// fast-forward modes and ignores FFJumps. DroppedEvents counts events that
+// arrived after Finalize and were refused (a closed timeline is a sealed
+// record; late arrivals are counted, never appended).
 type Timeline struct {
-	Design   string  `json:"design"`
-	EndCycle int64   `json:"endCycle"`
-	Events   []Event `json:"events"`
-	FFJumps  []Event `json:"ffJumps,omitempty"`
+	Design        string  `json:"design"`
+	EndCycle      int64   `json:"endCycle"`
+	DroppedEvents int64   `json:"droppedEvents,omitempty"`
+	Events        []Event `json:"events"`
+	FFJumps       []Event `json:"ffJumps,omitempty"`
 }
 
 // ChannelSample is one channel's counters at a sample cycle. Channels with no
@@ -114,11 +117,19 @@ type Config struct {
 	// are fast-forward deadline cycles: the simulator never jumps across
 	// one, so each sample sees exactly the state the per-cycle path would.
 	SampleEvery int64
+	// Sink, when non-nil, receives every finished event (including
+	// fast-forward jumps, distinguishable by Kind) and every sample as the
+	// recorder appends them, and Finalize when the record closes. Compose
+	// several destinations with NewFanout; the recorder itself stays the
+	// buffering head of the pipeline, so Timeline/Series keep working
+	// regardless of what streams downstream.
+	Sink Sink
 }
 
-// Recorder accumulates a run's timeline and samples. It is not safe for
-// concurrent use; the simulator owns it and appends from its single-threaded
-// tick loop.
+// Recorder accumulates a run's timeline and samples — the pipeline's
+// buffering sink. It is not safe for concurrent use; the simulator owns it
+// and appends from its single-threaded tick loop. A downstream Sink (if
+// configured) sees events and samples in exactly append order.
 type Recorder struct {
 	design    string
 	cfg       Config
@@ -128,6 +139,7 @@ type Recorder struct {
 	samples   []Sample
 	lastSamp  int64
 	endCycle  int64
+	dropped   int64
 	finalized bool
 }
 
@@ -146,14 +158,46 @@ func NewRecorder(design string, cfg Config) *Recorder {
 // SampleEvery returns the configured sampling period.
 func (r *Recorder) SampleEvery() int64 { return r.cfg.SampleEvery }
 
-// Add appends a fully formed event. Events added after Finalize are dropped:
-// the timeline is a closed record of the run.
+// append lands a finished event on the main track and streams it downstream.
+func (r *Recorder) append(e Event) {
+	r.events = append(r.events, e)
+	if r.cfg.Sink != nil {
+		r.cfg.Sink.Event(e)
+	}
+}
+
+// drop refuses a post-Finalize arrival, counting it so the corruption the
+// silent path used to allow is visible in Timeline.DroppedEvents (and, via
+// oclmon, in /metrics).
+func (r *Recorder) drop() { r.dropped++ }
+
+// Add appends a fully formed event. Events added after Finalize are dropped
+// and counted: the timeline is a closed record of the run.
 func (r *Recorder) Add(e Event) {
 	if r.finalized {
+		r.drop()
 		return
 	}
-	r.events = append(r.events, e)
+	r.append(e)
 }
+
+// Event implements Sink: fast-forward jumps route to their dedicated track,
+// everything else to the main event sequence. This is what lets a replayed
+// NDJSON stream rebuild a byte-identical timeline through a fresh Recorder.
+func (r *Recorder) Event(e Event) {
+	if e.Kind == KindFFJump {
+		r.FFJump(e.Start, e.End)
+		return
+	}
+	r.Add(e)
+}
+
+// Sample implements Sink (alias of AddSample).
+func (r *Recorder) Sample(s Sample) { r.AddSample(s) }
+
+// DroppedEvents returns how many events/samples arrived after Finalize and
+// were refused.
+func (r *Recorder) DroppedEvents() int64 { return r.dropped }
 
 // Span appends a completed span event.
 func (r *Recorder) Span(kind, track, name string, start, end int64) {
@@ -166,20 +210,25 @@ func (r *Recorder) Instant(kind, track, name string, at int64, detail string) {
 }
 
 // FFJump records one fast-forward jump over the inclusive skipped window
-// [from, to]. Jumps live on their own timeline track (see Timeline.FFJumps).
+// [from, to]. Jumps live on their own timeline track (see Timeline.FFJumps)
+// but stream downstream interleaved with ordinary events, tagged by Kind.
 func (r *Recorder) FFJump(from, to int64) {
 	if r.finalized {
+		r.drop()
 		return
 	}
-	r.ffJumps = append(r.ffJumps, Event{
-		Kind: KindFFJump, Track: "sim:fast-forward", Name: "jump", Start: from, End: to,
-	})
+	e := Event{Kind: KindFFJump, Track: "sim:fast-forward", Name: "jump", Start: from, End: to}
+	r.ffJumps = append(r.ffJumps, e)
+	if r.cfg.Sink != nil {
+		r.cfg.Sink.Event(e)
+	}
 }
 
 // OpenWindow starts a span whose end is not yet known (a fault switching on).
 // The End field of e is ignored until CloseWindow or Finalize supplies it.
 func (r *Recorder) OpenWindow(key string, e Event) {
 	if r.finalized {
+		r.drop()
 		return
 	}
 	r.windows = append(r.windows, window{key: key, ev: e})
@@ -190,6 +239,7 @@ func (r *Recorder) OpenWindow(key string, e Event) {
 // reflects when facts became known.
 func (r *Recorder) CloseWindow(key string, end int64) {
 	if r.finalized {
+		r.drop()
 		return
 	}
 	for i := len(r.windows) - 1; i >= 0; i-- {
@@ -199,7 +249,7 @@ func (r *Recorder) CloseWindow(key string, end int64) {
 		}
 		w.closed = true
 		w.ev.End = end
-		r.events = append(r.events, w.ev)
+		r.append(w.ev)
 		return
 	}
 }
@@ -207,21 +257,27 @@ func (r *Recorder) CloseWindow(key string, end int64) {
 // AddSample appends a metrics sample.
 func (r *Recorder) AddSample(s Sample) {
 	if r.finalized {
+		r.drop()
 		return
 	}
 	r.samples = append(r.samples, s)
 	r.lastSamp = s.Cycle
+	if r.cfg.Sink != nil {
+		r.cfg.Sink.Sample(s)
+	}
 }
 
 // LastSampleCycle returns the cycle of the most recent sample (-1 if none).
 func (r *Recorder) LastSampleCycle() int64 { return r.lastSamp }
 
 // Finalize closes the record at endCycle: any still-open windows become spans
-// ending at endCycle (in the order they were opened). Further Add/AddSample
-// calls are ignored; Finalize itself is idempotent.
-func (r *Recorder) Finalize(endCycle int64) {
+// ending at endCycle (in the order they were opened), and a configured
+// downstream sink is finalized in turn (its error — e.g. an NDJSON writer's
+// flush failure — is the return value). Further Add/AddSample calls are
+// dropped and counted; Finalize itself is idempotent.
+func (r *Recorder) Finalize(endCycle int64) error {
 	if r.finalized {
-		return
+		return nil
 	}
 	for i := range r.windows {
 		w := &r.windows[i]
@@ -230,10 +286,14 @@ func (r *Recorder) Finalize(endCycle int64) {
 		}
 		w.closed = true
 		w.ev.End = endCycle
-		r.events = append(r.events, w.ev)
+		r.append(w.ev)
 	}
 	r.endCycle = endCycle
 	r.finalized = true
+	if r.cfg.Sink != nil {
+		return r.cfg.Sink.Finalize(endCycle)
+	}
+	return nil
 }
 
 // Finalized reports whether the record has been closed.
@@ -243,7 +303,10 @@ func (r *Recorder) Finalized() bool { return r.finalized }
 // struct shares the recorder's backing slices and must not be mutated except
 // to detach FFJumps.
 func (r *Recorder) Timeline() *Timeline {
-	return &Timeline{Design: r.design, EndCycle: r.endCycle, Events: r.events, FFJumps: r.ffJumps}
+	return &Timeline{
+		Design: r.design, EndCycle: r.endCycle, DroppedEvents: r.dropped,
+		Events: r.events, FFJumps: r.ffJumps,
+	}
 }
 
 // Series snapshots the recorded metrics samples.

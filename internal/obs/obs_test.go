@@ -57,6 +57,28 @@ func TestRecorderDropsAfterFinalize(t *testing.T) {
 	if len(tl.Events) != 0 || len(tl.FFJumps) != 0 || len(r.Series().Samples) != 0 {
 		t.Fatalf("post-finalize records kept: %+v", tl)
 	}
+	if r.DroppedEvents() != 3 || tl.DroppedEvents != 3 {
+		t.Fatalf("dropped = %d / timeline %d, want 3", r.DroppedEvents(), tl.DroppedEvents)
+	}
+}
+
+func TestDroppedEventsRoundTrip(t *testing.T) {
+	r := NewRecorder("d", Config{})
+	r.Span(KindUnitRun, "unit:x", "run", 0, 5)
+	r.Finalize(10)
+	r.Span(KindUnitRun, "unit:x", "run", 6, 8)
+	tl := r.Timeline()
+	var b bytes.Buffer
+	if err := WriteTimeline(&b, tl); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTimeline(&b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.DroppedEvents != 1 {
+		t.Fatalf("droppedEvents = %d after round trip", got.DroppedEvents)
+	}
 }
 
 func TestTimelineRoundTrip(t *testing.T) {

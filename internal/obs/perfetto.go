@@ -86,6 +86,11 @@ func WriteTimeline(w io.Writer, t *Timeline) error {
 			"endCycle": strconv.FormatInt(t.EndCycle, 10),
 		},
 	}
+	if t.DroppedEvents != 0 {
+		// only when non-zero, so timelines written before the drop guard
+		// existed still round-trip byte-identically
+		doc.OtherData["droppedEvents"] = strconv.FormatInt(t.DroppedEvents, 10)
+	}
 	doc.TraceEvents = append(doc.TraceEvents, traceEvent{
 		Name: "process_name", Ph: "M", Pid: tracePid,
 		Args: map[string]string{"name": t.Design},
@@ -145,6 +150,13 @@ func ReadTimeline(r io.Reader) (*Timeline, error) {
 		}
 		t.EndCycle = v
 	}
+	if de := doc.OtherData["droppedEvents"]; de != "" {
+		v, err := strconv.ParseInt(de, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("obs: timeline: bad droppedEvents %q", de)
+		}
+		t.DroppedEvents = v
+	}
 	for _, te := range doc.TraceEvents {
 		switch te.Ph {
 		case "M":
@@ -176,8 +188,12 @@ func ReadTimeline(r io.Reader) (*Timeline, error) {
 }
 
 // Validate checks a timeline's internal consistency: well-formed spans,
-// named tracks, instants with zero extent, and nothing past the end cycle.
+// named tracks, instants with zero extent, nothing past the end cycle, and a
+// non-negative dropped-event count.
 func (t *Timeline) Validate() error {
+	if t.DroppedEvents < 0 {
+		return fmt.Errorf("obs: timeline: negative droppedEvents %d", t.DroppedEvents)
+	}
 	check := func(where string, evs []Event) error {
 		for i, e := range evs {
 			switch {

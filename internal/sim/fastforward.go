@@ -407,12 +407,12 @@ func (m *Machine) batchRegion(u *Unit, re *regionExec, from, to int64, stalledSe
 					if op.Kind == kir.OpChanRead {
 						ch.AddReadStalls(to - from)
 						if m.obs != nil {
-							m.obsExtendStall(op.ChID, 0, from, to)
+							m.obsExtendStall(u, op.ChID, 0, from, to)
 						}
 					} else {
 						ch.AddWriteStalls(to - from)
 						if m.obs != nil {
-							m.obsExtendStall(op.ChID, 1, from, to)
+							m.obsExtendStall(u, op.ChID, 1, from, to)
 						}
 					}
 				}

@@ -34,11 +34,19 @@ type obsState struct {
 	// visit them after they leave m.active.
 	launched  []*Unit
 	finalized bool
+	// sinkErr is the downstream sink's Finalize error, surfaced through
+	// Machine.ObserveErr.
+	sinkErr error
 }
 
 // stallSpan is one in-progress consecutive blockage of a channel endpoint.
+// unit names the compute unit whose refused attempt opened the span — the
+// attribution key the analyze package groups by. Opening happens only on
+// real ticks (the batch path merely extends), so the opener is identical
+// with fast-forward on or off.
 type stallSpan struct {
 	since, last int64
+	unit        string
 	open        bool
 }
 
@@ -90,7 +98,7 @@ func (m *Machine) obsUnitFinished(u *Unit) {
 // tracked per channel endpoint so multi-segment ping-ponging (which restarts
 // the per-unit clock every cycle on the slow path) cannot desynchronize the
 // two fast-forward modes.
-func (m *Machine) obsChanBlocked(chID, dir int, now int64) {
+func (m *Machine) obsChanBlocked(u *Unit, chID, dir int, now int64) {
 	s := &m.obs.stalls[chID][dir]
 	if s.open {
 		if s.last >= now-1 {
@@ -101,7 +109,7 @@ func (m *Machine) obsChanBlocked(chID, dir int, now int64) {
 		}
 		m.obsFlushStall(chID, dir)
 	}
-	*s = stallSpan{since: now, last: now, open: true}
+	*s = stallSpan{since: now, last: now, unit: u.xk.UnitName(), open: true}
 }
 
 // obsExtendStall batch-extends the open stall span across a skipped window
@@ -109,10 +117,10 @@ func (m *Machine) obsChanBlocked(chID, dir int, now int64) {
 // The span is open with last == from — the quiescent tick at `from` executed
 // for real and its refused attempt opened or extended it — but the guards
 // keep a missed assumption from corrupting the record.
-func (m *Machine) obsExtendStall(chID, dir int, from, to int64) {
+func (m *Machine) obsExtendStall(u *Unit, chID, dir int, from, to int64) {
 	s := &m.obs.stalls[chID][dir]
 	if !s.open {
-		*s = stallSpan{since: from, open: true}
+		*s = stallSpan{since: from, unit: u.xk.UnitName(), open: true}
 	}
 	if to > s.last {
 		s.last = to
@@ -120,13 +128,17 @@ func (m *Machine) obsExtendStall(chID, dir int, from, to int64) {
 }
 
 // obsFlushStall emits the endpoint's open span, if any, as a timeline event.
+// The opening unit travels in Detail — the stall's attribution to a compute
+// unit, which the analyze package turns into per-(unit, op, channel) rows.
 func (m *Machine) obsFlushStall(chID, dir int) {
 	s := &m.obs.stalls[chID][dir]
 	if !s.open {
 		return
 	}
-	m.obs.rec.Span(obs.KindChanStall, "chan:"+m.d.Program.Chans[chID].Name,
-		dirName[dir], s.since, s.last)
+	m.obs.rec.Add(obs.Event{
+		Kind: obs.KindChanStall, Track: "chan:" + m.d.Program.Chans[chID].Name,
+		Name: dirName[dir], Start: s.since, End: s.last, Detail: "unit=" + s.unit,
+	})
 	s.open = false
 }
 
@@ -234,7 +246,18 @@ func (m *Machine) obsFinalize() {
 	if o.sampleEvery > 0 && o.rec.LastSampleCycle() != m.cycle {
 		o.rec.AddSample(m.obsSample())
 	}
-	o.rec.Finalize(m.cycle)
+	o.sinkErr = o.rec.Finalize(m.cycle)
+}
+
+// ObserveErr reports the downstream observability sink's Finalize error (nil
+// before finalize, when observability is off, or when no sink failed). The
+// in-memory record is unaffected by a failing sink — a full spill disk, say,
+// never loses the buffered timeline.
+func (m *Machine) ObserveErr() error {
+	if m.obs == nil {
+		return nil
+	}
+	return m.obs.sinkErr
 }
 
 // Timeline finalizes and returns the run's event timeline, or nil when the

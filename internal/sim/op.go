@@ -156,7 +156,7 @@ func (u *Unit) execOp(c *Ctx, op *hls.XOp, now int64, se *segExec) bool {
 		v, ok := ch.TryRead()
 		if !ok {
 			if u.m.obs != nil {
-				u.m.obsChanBlocked(op.ChID, 0, now)
+				u.m.obsChanBlocked(u, op.ChID, 0, now)
 			}
 			return false
 		}
@@ -165,7 +165,7 @@ func (u *Unit) execOp(c *Ctx, op *hls.XOp, now int64, se *segExec) bool {
 		ch := u.m.chans[op.ChID]
 		if !ch.TryWrite(c.val(op.Args[0])) {
 			if u.m.obs != nil {
-				u.m.obsChanBlocked(op.ChID, 1, now)
+				u.m.obsChanBlocked(u, op.ChID, 1, now)
 			}
 			return false
 		}

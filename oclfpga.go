@@ -45,6 +45,7 @@ import (
 	"oclfpga/internal/mem"
 	"oclfpga/internal/monitor"
 	"oclfpga/internal/obs"
+	"oclfpga/internal/obs/analyze"
 	"oclfpga/internal/primitives"
 	"oclfpga/internal/sim"
 	"oclfpga/internal/trace"
@@ -174,6 +175,57 @@ func WriteMetricsSeries(w io.Writer, s *MetricsSeries) error { return obs.WriteS
 
 // ReadMetricsSeries parses a series previously written by WriteMetricsSeries.
 func ReadMetricsSeries(r io.Reader) (*MetricsSeries, error) { return obs.ReadSeries(r) }
+
+// Streaming sinks (DESIGN.md §10): the recorder buffers as before, and an
+// ObserveConfig.Sink additionally receives every record in append order while
+// the run executes — to an NDJSON spill file, a live server, or both.
+type (
+	// ObserveSink consumes the event/sample stream live.
+	ObserveSink = obs.Sink
+	// ObserveFanout tees a stream to several sinks.
+	ObserveFanout = obs.Fanout
+	// NDJSONSink spills the stream as newline-delimited JSON with bounded
+	// memory; ReplayNDJSON rebuilds the exact timeline from the file.
+	NDJSONSink = obs.NDJSONSink
+)
+
+// NewObserveFanout composes sinks; nils are skipped.
+func NewObserveFanout(sinks ...ObserveSink) *ObserveFanout { return obs.NewFanout(sinks...) }
+
+// NewNDJSONSink streams observability records to w as NDJSON.
+func NewNDJSONSink(w io.Writer, design string, sampleEvery int64) *NDJSONSink {
+	return obs.NewNDJSONSink(w, design, sampleEvery)
+}
+
+// ReplayNDJSON replays a spill stream through a fresh buffering recorder and
+// returns the timeline and series it reconstructs — byte-identical, once
+// serialized, to what the originating machine would have returned.
+func ReplayNDJSON(r io.Reader) (*Timeline, *MetricsSeries, error) { return obs.ReplayNDJSON(r) }
+
+// Stall analysis (DESIGN.md §10): attribution and critical-path extraction
+// over a recorded timeline, exportable as JSON, folded stacks, and pprof.
+type (
+	// StallAttribution is the full analysis of one timeline: per-(unit, op,
+	// resource) stall totals plus per-unit and end-to-end critical chains.
+	StallAttribution = analyze.Attribution
+	// StallRow is one attribution bucket.
+	StallRow = analyze.Row
+	// StallChainLink is one span on a critical chain.
+	StallChainLink = analyze.ChainLink
+)
+
+// AttributeStalls analyzes a finalized timeline.
+func AttributeStalls(t *Timeline) *StallAttribution { return analyze.Attribute(t) }
+
+// WriteStallAttribution serializes an attribution as deterministic JSON.
+func WriteStallAttribution(w io.Writer, a *StallAttribution) error { return analyze.WriteJSON(w, a) }
+
+// WriteFoldedStacks writes the attribution as folded stacks (flamegraph.pl).
+func WriteFoldedStacks(w io.Writer, a *StallAttribution) error { return analyze.WriteFolded(w, a) }
+
+// WriteStallPprof writes the attribution as a gzipped pprof profile that
+// `go tool pprof -http` renders as a flamegraph.
+func WriteStallPprof(w io.Writer, a *StallAttribution) error { return analyze.WritePprof(w, a) }
 
 // NewMachine loads a design and starts its autorun kernels.
 func NewMachine(d *Design, opts SimOptions) *Machine { return sim.New(d, opts) }

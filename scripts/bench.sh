@@ -3,9 +3,11 @@
 #
 # Runs every benchmark three times with allocation stats and converts the
 # output into BENCH_<n>.json (ns/op, simcycles/s, B/op, every custom metric,
-# plus the derived fast-forward speedup and observability-recorder overhead).
-# Pass the output filename as $1 to target a specific trajectory point;
-# default BENCH_3.json.
+# plus the derived fast-forward speedup and observability-recorder overhead,
+# stamped with the host fingerprint). Pass the output filename as $1 to
+# target a specific trajectory point; default BENCH_3.json. The newest
+# earlier BENCH_*.json is fingerprint-checked as the baseline, so numbers
+# recorded on a different host warn instead of silently joining a trajectory.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -14,6 +16,18 @@ OUT="${1:-BENCH_3.json}"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
+BASELINE=""
+for f in $(ls BENCH_*.json 2>/dev/null | sort -r); do
+    if [ "$f" != "$OUT" ]; then
+        BASELINE="$f"
+        break
+    fi
+done
+
 go test -run '^$' -bench . -benchmem -count 3 . | tee "$RAW"
-go run ./cmd/benchjson < "$RAW" > "$OUT"
+if [ -n "$BASELINE" ]; then
+    go run ./cmd/benchjson -baseline "$BASELINE" < "$RAW" > "$OUT"
+else
+    go run ./cmd/benchjson < "$RAW" > "$OUT"
+fi
 echo "wrote $OUT"

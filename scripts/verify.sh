@@ -10,12 +10,37 @@ go vet ./...
 go build ./...
 go test -race ./...
 
-# Observability artifacts: a real workload's timeline and metrics series must
-# be valid, Perfetto-loadable JSON that round-trips byte-identically through
-# the codec, and the -json run report must parse as a single JSON document.
+# Observability artifacts: a real workload's timeline, metrics series, stall
+# attribution, pprof profile, and NDJSON spill must all validate, round-trip
+# byte-identically through their codecs (the spill replay is cross-checked
+# against the buffered timeline), and the -json run report must parse as a
+# single JSON document.
 TMP="$(mktemp -d)"
 trap 'rm -rf "$TMP"' EXIT
 go run ./cmd/oclprof -workload chanstall -log=false -sample-every 500 \
-  -timeline "$TMP/t.json" -metrics "$TMP/m.json" -json > "$TMP/report.json"
-go run ./cmd/obscheck -timeline "$TMP/t.json" -metrics "$TMP/m.json" -report "$TMP/report.json"
+  -timeline "$TMP/t.json" -metrics "$TMP/m.json" \
+  -attr "$TMP/attr.json" -pprof "$TMP/attr.pb.gz" -spill "$TMP/spill.ndjson" \
+  -json > "$TMP/report.json"
+go run ./cmd/obscheck -timeline "$TMP/t.json" -metrics "$TMP/m.json" \
+  -report "$TMP/report.json" \
+  -attr "$TMP/attr.json" -pprof "$TMP/attr.pb.gz" -spill "$TMP/spill.ndjson"
 go run ./cmd/benchjson < /dev/null > /dev/null  # benchjson stays runnable
+
+# oclmon smoke test: serve one small run on an ephemeral port, scrape
+# /metrics, assert a known gauge, and shut the server down cleanly.
+go build -o "$TMP/oclmon" ./cmd/oclmon
+"$TMP/oclmon" -addr localhost:0 -runs 1 -n 2048 2> "$TMP/oclmon.log" &
+OCLMON_PID=$!
+ADDR=""
+for _ in $(seq 1 50); do
+    ADDR="$(grep -o 'http://[0-9.:]*' "$TMP/oclmon.log" || true)"
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+done
+[ -n "$ADDR" ] || { cat "$TMP/oclmon.log"; exit 1; }
+curl -fsS "$ADDR/metrics" > "$TMP/metrics.txt"
+grep -q '^oclmon_runs 1$' "$TMP/metrics.txt"
+grep -q '^oclmon_cycles{' "$TMP/metrics.txt"
+curl -fsS "$ADDR/" > /dev/null
+kill "$OCLMON_PID"
+wait "$OCLMON_PID" || true
