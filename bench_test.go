@@ -284,6 +284,28 @@ func BenchmarkSimThroughput(b *testing.B) {
 	}
 	b.Run("Simulate", func(b *testing.B) { simulate(b, false) })
 	b.Run("SimulateSlowPath", func(b *testing.B) { simulate(b, true) })
+	// SimulateSupervised drives the same workload through internal/supervise
+	// (sliced RunFor under budget + watchdog accounting) instead of one
+	// uninterrupted Run. The gap between its simcycles/s and Simulate's is
+	// the supervision overhead; benchjson derives it as
+	// supervise-overhead-pct, gated at <= 2%.
+	b.Run("SimulateSupervised", func(b *testing.B) {
+		if _, err := experiments.RunSimBenchSupervised(n); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		var cycles int64
+		for i := 0; i < b.N; i++ {
+			r, err := experiments.RunSimBenchSupervised(n)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cycles += r.Cycles
+		}
+		if s := b.Elapsed().Seconds(); s > 0 {
+			b.ReportMetric(float64(cycles)/s, "simcycles/s")
+		}
+	})
 	// SimulateObserved runs the same workload with the observability recorder
 	// attached (timeline + metrics every 1024 cycles). The gap between its
 	// simcycles/s and Simulate's is the recorder overhead; benchjson derives

@@ -142,13 +142,19 @@ func main() {
 	fast := mean(d.Benchmarks["BenchmarkSimThroughput/Simulate"], "simcycles/s")
 	slow := mean(d.Benchmarks["BenchmarkSimThroughput/SimulateSlowPath"], "simcycles/s")
 	obsd := mean(d.Benchmarks["BenchmarkSimThroughput/SimulateObserved"], "simcycles/s")
-	if fast > 0 && (slow > 0 || obsd > 0) {
+	supd := mean(d.Benchmarks["BenchmarkSimThroughput/SimulateSupervised"], "simcycles/s")
+	if fast > 0 && (slow > 0 || obsd > 0 || supd > 0) {
 		d.Derived = map[string]float64{}
 		if slow > 0 {
 			d.Derived["fast-forward-speedup-x"] = fast / slow
 		}
 		if obsd > 0 {
 			d.Derived["observe-overhead-pct"] = (1 - obsd/fast) * 100
+		}
+		if supd > 0 {
+			// The supervision layer's throughput cost: sliced RunFor with
+			// budget/watchdog accounting vs one uninterrupted Run.
+			d.Derived["supervise-overhead-pct"] = (1 - supd/fast) * 100
 		}
 	}
 

@@ -26,14 +26,15 @@ var (
 	flagAttr     = flag.String("attr", "", "stall-attribution file (oclprof -attr) to validate")
 	flagPprof    = flag.String("pprof", "", "pprof stall profile (oclprof -pprof) to validate")
 	flagSpill    = flag.String("spill", "", "NDJSON spill stream (oclprof -spill) to replay and validate")
+	flagSpillDir = flag.String("spill-dir", "", "segmented spill directory (oclprof -spill-dir / oclmon) to stitch, replay, and validate")
 	flagQuiet    = flag.Bool("q", false, "suppress the per-file summary lines")
 )
 
 func main() {
 	flag.Parse()
 	if *flagTimeline == "" && *flagMetrics == "" && *flagReport == "" &&
-		*flagAttr == "" && *flagPprof == "" && *flagSpill == "" {
-		fmt.Fprintln(os.Stderr, "obscheck: nothing to check (pass -timeline, -metrics, -report, -attr, -pprof, and/or -spill)")
+		*flagAttr == "" && *flagPprof == "" && *flagSpill == "" && *flagSpillDir == "" {
+		fmt.Fprintln(os.Stderr, "obscheck: nothing to check (pass -timeline, -metrics, -report, -attr, -pprof, -spill, and/or -spill-dir)")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -55,6 +56,59 @@ func main() {
 	if *flagSpill != "" {
 		checkFile(*flagSpill, checkSpill)
 	}
+	if *flagSpillDir != "" {
+		summary, err := checkSpillDir(*flagSpillDir)
+		if err != nil {
+			log.Fatalf("%s: %v", *flagSpillDir, err)
+		}
+		if !*flagQuiet {
+			fmt.Printf("%s: ok (%s)\n", *flagSpillDir, summary)
+		}
+	}
+}
+
+// checkSpillDir loads a segmented spill, requires the manifest to mark a
+// complete record, replays the stitched stream through a fresh recorder, and
+// validates what it rebuilds. With -timeline given alongside, the replayed
+// timeline's serialization must equal that file byte for byte — the same
+// equivalence contract as -spill, across segment boundaries and the
+// crash-recovery path that wrote them.
+func checkSpillDir(dir string) (string, error) {
+	slog, err := obs.LoadSegments(dir)
+	if err != nil {
+		return "", err
+	}
+	if !slog.Manifest.Complete {
+		return "", fmt.Errorf("manifest does not mark a complete record (run crashed before finalize?)")
+	}
+	tl, series, err := slog.Replay()
+	if err != nil {
+		return "", err
+	}
+	if err := tl.Validate(); err != nil {
+		return "", err
+	}
+	if err := series.Validate(); err != nil {
+		return "", err
+	}
+	var re bytes.Buffer
+	if err := obs.WriteTimeline(&re, tl); err != nil {
+		return "", err
+	}
+	if *flagTimeline != "" {
+		want, err := os.ReadFile(*flagTimeline)
+		if err != nil {
+			return "", err
+		}
+		if !bytes.Equal(want, re.Bytes()) {
+			return "", fmt.Errorf("stitched timeline differs from %s (%d vs %d bytes)",
+				*flagTimeline, len(re.Bytes()), len(want))
+		}
+		return fmt.Sprintf("%d segments, %d lines stitched, byte-identical to %s",
+			len(slog.Manifest.Segments), len(slog.Lines), *flagTimeline), nil
+	}
+	return fmt.Sprintf("%d segments, %d lines stitched, end cycle %d",
+		len(slog.Manifest.Segments), len(slog.Lines), slog.Manifest.EndCycle), nil
 }
 
 func checkFile(path string, check func([]byte) (string, error)) {

@@ -1,20 +1,30 @@
-// Command oclmon is the live observability service: it hosts one or more
-// concurrent simulations of a stall-heavy producer/consumer design and serves
-// their telemetry over HTTP while the runs are in flight — the board-monitor
+// Command oclmon is the live observability service: it hosts supervised
+// simulations of a stall-heavy producer/consumer design and serves their
+// telemetry over HTTP while the runs are in flight — the board-monitor
 // daemon analogue of the paper's host-side profiling flow.
 //
 //	go run ./cmd/oclmon -addr localhost:8077 -runs 2 -n 8192
 //
+// Every run executes under internal/supervise: per-run cycle budgets, a
+// wall-clock watchdog, panic isolation, a bounded slot+queue admission path,
+// and a per-workload circuit breaker. With -spill-dir the event stream is
+// also committed to crash-safe NDJSON segments; on restart the server
+// replays completed runs from their spill and deterministically re-executes
+// interrupted ones, verifying the regenerated stream byte-for-byte against
+// the durable prefix before resuming it.
+//
 // Endpoints:
 //
-//	GET /metrics                  Prometheus text exposition (cycles, stall
-//	                              cycles by channel+direction, channel depths,
-//	                              fast-forward jumps, dropped events)
-//	GET /runs                     JSON index of hosted runs
-//	GET /runs/{id}/timeline.json  the run's event timeline (Perfetto JSON);
-//	                              a consistent snapshot while still running
-//	GET /runs/{id}/attr.json      stall attribution & critical path (live)
-//	GET /runs/{id}/events         Server-Sent Events tail of the event stream
+//	GET  /healthz                  liveness (always 200 while serving)
+//	GET  /readyz                   503 while slots+queue are saturated
+//	GET  /metrics                  Prometheus text exposition (cycles, stalls,
+//	                               SSE drops, supervisor counters)
+//	GET  /runs                     JSON index of hosted runs
+//	POST /runs?n=&cycles=&wall=    admit a run (202; 429 saturated, 503 quarantined)
+//	GET  /runs/{id}/timeline.json  the run's event timeline (Perfetto JSON);
+//	                               a consistent snapshot while still running
+//	GET  /runs/{id}/attr.json      stall attribution & critical path (live)
+//	GET  /runs/{id}/events         Server-Sent Events tail of the event stream
 //
 // The server binds before the simulations start and announces
 // "oclmon: listening on http://..." on stderr, so scripts can poll the log,
@@ -23,7 +33,6 @@ package main
 
 import (
 	"context"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -31,32 +40,37 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
-	"sort"
 	"syscall"
 	"time"
 
-	"oclfpga/internal/device"
-	"oclfpga/internal/hls"
 	"oclfpga/internal/kir"
-	"oclfpga/internal/mem"
-	"oclfpga/internal/obs"
-	"oclfpga/internal/obs/analyze"
-	"oclfpga/internal/sim"
+	"oclfpga/internal/supervise"
 )
 
 var (
 	flagAddr  = flag.String("addr", "localhost:8077", "listen address (use :0 for an ephemeral port)")
-	flagRuns  = flag.Int("runs", 1, "number of concurrent simulations to host")
+	flagRuns  = flag.Int("runs", 1, "number of simulations to submit at boot")
 	flagN     = flag.Int("n", 8192, "items streamed producer -> consumer per run (~400 cycles each)")
 	flagEvery = flag.Int64("sample-every", 1000, "metrics sampling interval in cycles")
 	flagNoFF  = flag.Bool("no-fastforward", false, "step every cycle (slower; same telemetry bytes)")
+
+	flagSlots   = flag.Int("slots", 2, "concurrent run slots")
+	flagQueue   = flag.Int("queue", 8, "wait-queue depth behind the slots")
+	flagBudget  = flag.Int64("cycle-budget", 50_000_000, "default per-run cycle budget")
+	flagWall    = flag.Duration("wall-clock", 2*time.Minute, "default per-run wall-clock watchdog")
+	flagBreaker = flag.Int("breaker-threshold", 3, "consecutive failures before a workload is quarantined (0 disables)")
+	flagCool    = flag.Duration("breaker-cooldown", 30*time.Second, "how long a quarantined workload stays open")
+
+	flagSpillDir = flag.String("spill-dir", "", "root directory for crash-safe segmented spill (enables replay recovery)")
+	flagSegLines = flag.Int("seg-lines", 4096, "spill segment rotation threshold (payload lines)")
+	flagSegBytes = flag.Int64("seg-bytes", 1<<20, "spill segment rotation threshold (payload bytes)")
 )
 
 // buildWorkload is the monitored design: the stall-heavy producer/consumer
 // pair from the throughput benchmark — a fast producer backing up a depth-4
 // channel into a consumer whose dependent table loads serialize DRAM row
-// misses. Under the congested MemConfig below, n items cost roughly 400
-// cycles each, so the default -n runs for several million cycles.
+// misses. Under the congested MemConfig in buildStart, n items cost roughly
+// 400 cycles each, so the default -n runs for several million cycles.
 func buildWorkload(n int) *kir.Program {
 	const (
 		tblElems = 1 << 14
@@ -88,115 +102,45 @@ func buildWorkload(n int) *kir.Program {
 	return p
 }
 
-// run is one hosted simulation: the machine executes on its own goroutine and
-// every telemetry read goes through the liveSink's mutex-guarded copy, never
-// through the machine itself, so handlers stay race-free while the sim is in
-// flight. Final state (error, dropped-event count) lands in the sink when the
-// goroutine retires.
-type run struct {
-	id       string
-	workload string
-	sink     *liveSink
-}
-
-func startRun(id string, n int) (*run, error) {
-	d, err := hls.Compile(buildWorkload(n), device.StratixV(), hls.Options{})
-	if err != nil {
-		return nil, err
-	}
-	sink := newLiveSink("oclmon", *flagEvery)
-	m := sim.New(d, sim.Options{
-		DisableFastForward: *flagNoFF,
-		MemConfig:          mem.Config{RowHitLat: 60, RowMissLat: 200},
-		Observe:            &obs.Config{SampleEvery: *flagEvery, Sink: sink},
-	})
-	src, err := m.NewBuffer("src", kir.I32, n)
-	if err != nil {
-		return nil, err
-	}
-	tbl, err := m.NewBuffer("tbl", kir.I32, 1<<14)
-	if err != nil {
-		return nil, err
-	}
-	if _, err := m.NewBuffer("dst", kir.I32, n); err != nil {
-		return nil, err
-	}
-	for i := range src.Data {
-		src.Data[i] = int64(i + 1)
-	}
-	for i := range tbl.Data {
-		tbl.Data[i] = int64(i % 97)
-	}
-	if _, err := m.Launch("producer", sim.Args{"src": src}); err != nil {
-		return nil, err
-	}
-	if _, err := m.Launch("consumer", sim.Args{"tbl": tbl, "dst": m.Buffer("dst")}); err != nil {
-		return nil, err
-	}
-	r := &run{id: id, workload: "oclmon", sink: sink}
-	go func() {
-		err := m.Run()
-		// Timeline() finalizes the recorder, which finalizes the sink and
-		// closes the SSE subscribers; do it before publishing the outcome.
-		tl := m.Timeline()
-		if err == nil {
-			err = m.ObserveErr()
-		}
-		sink.retire(tl.DroppedEvents, err)
-		if err != nil {
-			log.Printf("run %s: %v", id, err)
-		}
-	}()
-	return r, nil
-}
-
 func main() {
 	flag.Parse()
-	if *flagRuns < 1 || *flagN < 1 {
-		log.Fatal("oclmon: -runs and -n must be positive")
+	if *flagRuns < 0 || *flagN < 1 {
+		log.Fatal("oclmon: -runs must be >= 0 and -n positive")
 	}
-	var runs []*run
-	for i := 1; i <= *flagRuns; i++ {
-		r, err := startRun(fmt.Sprintf("run%d", i), *flagN)
-		if err != nil {
+	sup := supervise.New(supervise.Config{
+		Slots: *flagSlots,
+		Queue: *flagQueue,
+		Defaults: supervise.Limits{
+			CycleBudget: *flagBudget,
+			WallClock:   *flagWall,
+		},
+		Breaker: supervise.BreakerConfig{Threshold: *flagBreaker, Cooldown: *flagCool},
+	})
+	srv := newServer(serverConfig{
+		n:           *flagN,
+		sampleEvery: *flagEvery,
+		noFF:        *flagNoFF,
+		spillDir:    *flagSpillDir,
+		segLines:    *flagSegLines,
+		segBytes:    *flagSegBytes,
+	}, sup)
+	if err := srv.recoverSpills(); err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < *flagRuns; i++ {
+		if _, err := srv.submit("", *flagN, supervise.Limits{}, nil); err != nil {
 			log.Fatal(err)
 		}
-		runs = append(runs, r)
 	}
-
-	mux := http.NewServeMux()
-	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, req *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		writeMetrics(w, runs)
-	})
-	mux.HandleFunc("GET /runs", func(w http.ResponseWriter, req *http.Request) {
-		writeIndex(w, runs)
-	})
-	mux.HandleFunc("GET /{$}", func(w http.ResponseWriter, req *http.Request) {
-		writeIndex(w, runs)
-	})
-	mux.HandleFunc("GET /runs/{id}/timeline.json", withRun(runs, func(w http.ResponseWriter, r *run) {
-		w.Header().Set("Content-Type", "application/json")
-		if err := obs.WriteTimeline(w, r.sink.snapshot()); err != nil {
-			log.Printf("timeline %s: %v", r.id, err)
-		}
-	}))
-	mux.HandleFunc("GET /runs/{id}/attr.json", withRun(runs, func(w http.ResponseWriter, r *run) {
-		w.Header().Set("Content-Type", "application/json")
-		if err := analyze.WriteJSON(w, analyze.Attribute(r.sink.snapshot())); err != nil {
-			log.Printf("attr %s: %v", r.id, err)
-		}
-	}))
-	mux.HandleFunc("GET /runs/{id}/events", withRun(runs, serveEvents))
 
 	ln, err := net.Listen("tcp", *flagAddr)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "oclmon: listening on http://%s (%d runs)\n", ln.Addr(), len(runs))
-	srv := &http.Server{Handler: mux}
+	fmt.Fprintf(os.Stderr, "oclmon: listening on http://%s (%d runs)\n", ln.Addr(), len(srv.allRuns()))
+	hs := &http.Server{Handler: srv.handler()}
 	go func() {
-		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+		if err := hs.Serve(ln); err != nil && err != http.ErrServerClosed {
 			log.Fatal(err)
 		}
 	}()
@@ -206,141 +150,9 @@ func main() {
 	<-stop
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
-	if err := srv.Shutdown(ctx); err != nil {
+	if err := hs.Shutdown(ctx); err != nil {
 		log.Fatal(err)
 	}
-}
-
-// withRun resolves the {id} path value against the hosted runs.
-func withRun(runs []*run, h func(http.ResponseWriter, *run)) http.HandlerFunc {
-	return func(w http.ResponseWriter, req *http.Request) {
-		id := req.PathValue("id")
-		for _, r := range runs {
-			if r.id == id {
-				h(w, r)
-				return
-			}
-		}
-		http.Error(w, "unknown run "+id, http.StatusNotFound)
-	}
-}
-
-func writeIndex(w http.ResponseWriter, runs []*run) {
-	type entry struct {
-		ID       string `json:"id"`
-		Workload string `json:"workload"`
-		Done     bool   `json:"done"`
-		Cycle    int64  `json:"cycle"`
-		Events   int    `json:"events"`
-		Error    string `json:"error,omitempty"`
-	}
-	var out []entry
-	for _, r := range runs {
-		st := r.sink.stats()
-		e := entry{ID: r.id, Workload: r.workload, Done: st.done, Cycle: st.cycle, Events: st.events}
-		if st.err != nil {
-			e.Error = st.err.Error()
-		}
-		out = append(out, e)
-	}
-	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(out); err != nil {
-		log.Printf("index: %v", err)
-	}
-}
-
-// writeMetrics emits the Prometheus text exposition. Gauge values come from
-// each run's live sink, so a scrape mid-run sees the telemetry recorded so
-// far; totals are monotone per run.
-func writeMetrics(w http.ResponseWriter, runs []*run) {
-	p := func(format string, args ...any) { fmt.Fprintf(w, format, args...) }
-	p("# HELP oclmon_runs Number of hosted simulations.\n# TYPE oclmon_runs gauge\n")
-	p("oclmon_runs %d\n", len(runs))
-	p("# HELP oclmon_run_done Whether the run has finished (1) or is in flight (0).\n# TYPE oclmon_run_done gauge\n")
-	for _, r := range runs {
-		p("oclmon_run_done{run=%q} %d\n", r.id, b2i(r.sink.stats().done))
-	}
-	p("# HELP oclmon_cycles Last simulated cycle observed for the run.\n# TYPE oclmon_cycles gauge\n")
-	for _, r := range runs {
-		p("oclmon_cycles{run=%q} %d\n", r.id, r.sink.stats().cycle)
-	}
-	p("# HELP oclmon_events_total Timeline events recorded.\n# TYPE oclmon_events_total counter\n")
-	for _, r := range runs {
-		p("oclmon_events_total{run=%q} %d\n", r.id, r.sink.stats().events)
-	}
-	p("# HELP oclmon_samples_total Metrics samples recorded.\n# TYPE oclmon_samples_total counter\n")
-	for _, r := range runs {
-		p("oclmon_samples_total{run=%q} %d\n", r.id, r.sink.stats().samples)
-	}
-	p("# HELP oclmon_ff_jumps_total Fast-forward jumps taken.\n# TYPE oclmon_ff_jumps_total counter\n")
-	for _, r := range runs {
-		p("oclmon_ff_jumps_total{run=%q} %d\n", r.id, r.sink.stats().ffJumps)
-	}
-	p("# HELP oclmon_events_dropped_total Events refused after the timeline was finalized.\n# TYPE oclmon_events_dropped_total counter\n")
-	for _, r := range runs {
-		p("oclmon_events_dropped_total{run=%q} %d\n", r.id, r.sink.stats().dropped)
-	}
-	p("# HELP oclmon_stall_cycles_total Cycles a unit spent blocked, by channel endpoint.\n# TYPE oclmon_stall_cycles_total counter\n")
-	for _, r := range runs {
-		st := r.sink.stats()
-		keys := make([]stallKey, 0, len(st.stall))
-		for k := range st.stall {
-			keys = append(keys, k)
-		}
-		sort.Slice(keys, func(i, j int) bool {
-			if keys[i].resource != keys[j].resource {
-				return keys[i].resource < keys[j].resource
-			}
-			return keys[i].op < keys[j].op
-		})
-		for _, k := range keys {
-			p("oclmon_stall_cycles_total{run=%q,chan=%q,dir=%q} %d\n", r.id, k.resource, k.op, st.stall[k])
-		}
-	}
-	p("# HELP oclmon_channel_depth Channel occupancy at the latest metrics sample.\n# TYPE oclmon_channel_depth gauge\n")
-	for _, r := range runs {
-		st := r.sink.stats()
-		names := make([]string, 0, len(st.depth))
-		for n := range st.depth {
-			names = append(names, n)
-		}
-		sort.Strings(names)
-		for _, n := range names {
-			p("oclmon_channel_depth{run=%q,chan=%q} %d\n", r.id, n, st.depth[n])
-		}
-	}
-}
-
-func b2i(b bool) int {
-	if b {
-		return 1
-	}
-	return 0
-}
-
-// serveEvents is the SSE live tail: each subscriber gets the events recorded
-// from subscription onward, one JSON object per `data:` frame, then a final
-// `event: finalize` frame when the run's timeline closes.
-func serveEvents(w http.ResponseWriter, r *run) {
-	fl, ok := w.(http.Flusher)
-	if !ok {
-		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
-		return
-	}
-	w.Header().Set("Content-Type", "text/event-stream")
-	w.Header().Set("Cache-Control", "no-cache")
-	w.WriteHeader(http.StatusOK)
-	fl.Flush()
-	ch, cancel := r.sink.subscribe()
-	defer cancel()
-	for msg := range ch {
-		if _, err := w.Write(msg); err != nil {
-			return
-		}
-		fl.Flush()
-	}
-	fmt.Fprintf(w, "event: finalize\ndata: {\"endCycle\":%d}\n\n", r.sink.stats().cycle)
-	fl.Flush()
+	// In-flight runs are abandoned, not drained: with -spill-dir their
+	// durable prefixes are already on disk and the next start recovers them.
 }

@@ -1,0 +1,579 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"math"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"oclfpga/internal/device"
+	"oclfpga/internal/hls"
+	"oclfpga/internal/kir"
+	"oclfpga/internal/mem"
+	"oclfpga/internal/obs"
+	"oclfpga/internal/obs/analyze"
+	"oclfpga/internal/sim"
+	"oclfpga/internal/supervise"
+)
+
+// serverConfig is everything the HTTP layer needs to host supervised runs.
+type serverConfig struct {
+	n           int   // default items per run
+	sampleEvery int64 // metrics sampling interval
+	noFF        bool
+	spillDir    string // root directory for durable spill ("" disables)
+	segLines    int    // spill segment rotation (payload lines)
+	segBytes    int64  // spill segment rotation (payload bytes)
+
+	// startHook, when set, replaces the workload builder — tests use it to
+	// inject blocking or failing runs without compiling designs.
+	startHook func(n int) func() (*sim.Machine, error)
+}
+
+// run is one hosted simulation (live, recovered, or quarantined). Telemetry
+// reads go through the liveSink's mutex-guarded copies; lifecycle state is
+// guarded separately here because it is written from supervisor goroutines.
+type run struct {
+	id        string
+	workload  string
+	sink      *liveSink
+	spill     string // this run's spill directory ("" when not spilling)
+	recovered bool   // rebuilt or resumed from a spill at startup
+
+	mu      sync.Mutex
+	state   supervise.State
+	outcome *supervise.Outcome
+}
+
+func (r *run) setState(st supervise.State) {
+	r.mu.Lock()
+	r.state = st
+	r.mu.Unlock()
+}
+
+func (r *run) status() (supervise.State, *supervise.Outcome) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.state, r.outcome
+}
+
+// finish records the terminal outcome and retires the live sink.
+func (r *run) finish(m *sim.Machine, out supervise.Outcome) {
+	r.mu.Lock()
+	r.state = out.State
+	r.outcome = &out
+	r.mu.Unlock()
+	var dropped int64
+	if m != nil {
+		func() {
+			defer func() { recover() }() // a panicked run may hold a mid-tick machine
+			if m.Observed() {
+				dropped = m.Timeline().DroppedEvents
+			}
+		}()
+	}
+	r.sink.retire(dropped, out.Err)
+	// A failed run's sink may never have been finalized (e.g. Start errored
+	// before a machine existed); close it so SSE tails terminate.
+	r.sink.Finalize(r.sink.stats().cycle)
+	if out.Err != nil {
+		log.Printf("run %s: %s: %v", r.id, out.State, out.Err)
+	}
+}
+
+// server owns the run registry and the supervisor behind it.
+type server struct {
+	cfg serverConfig
+	sup *supervise.Supervisor
+
+	mu     sync.Mutex
+	runs   []*run
+	byID   map[string]*run
+	nextID int
+}
+
+func newServer(cfg serverConfig, sup *supervise.Supervisor) *server {
+	if cfg.segLines <= 0 {
+		cfg.segLines = 4096
+	}
+	if cfg.segBytes <= 0 {
+		cfg.segBytes = 1 << 20
+	}
+	return &server{cfg: cfg, sup: sup, byID: map[string]*run{}}
+}
+
+func (s *server) addRun(r *run) {
+	s.mu.Lock()
+	s.runs = append(s.runs, r)
+	s.byID[r.id] = r
+	s.mu.Unlock()
+}
+
+func (s *server) dropRun(r *run) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.byID, r.id)
+	for i, x := range s.runs {
+		if x == r {
+			s.runs = append(s.runs[:i], s.runs[i+1:]...)
+			break
+		}
+	}
+}
+
+func (s *server) allRuns() []*run {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*run(nil), s.runs...)
+}
+
+func (s *server) get(id string) *run {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.byID[id]
+}
+
+// newID reserves the next free run id (run1, run2, ...), skipping ids taken
+// by recovered runs.
+func (s *server) newID() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		s.nextID++
+		id := fmt.Sprintf("run%d", s.nextID)
+		if _, taken := s.byID[id]; !taken {
+			return id
+		}
+	}
+}
+
+// buildStart constructs the supervised Start closure for a fresh or resumed
+// run: compile, attach the live sink (and segment spill, fanned out), build
+// buffers, launch. It runs inside the supervisor worker so compile/launch
+// panics are isolated like run panics. seg receives the spill sink for the
+// FinalizeRetry hook.
+func (s *server) buildStart(r *run, n int, resume *obs.SegmentLog, seg **obs.SegmentSink) func() (*sim.Machine, error) {
+	if s.cfg.startHook != nil {
+		hook := s.cfg.startHook(n)
+		return func() (*sim.Machine, error) {
+			r.setState(supervise.StateRunning)
+			return hook()
+		}
+	}
+	return func() (*sim.Machine, error) {
+		d, err := hls.Compile(buildWorkload(n), device.StratixV(), hls.Options{})
+		if err != nil {
+			return nil, err
+		}
+		var sink obs.Sink = r.sink
+		if r.spill != "" {
+			cfg := obs.SegmentConfig{
+				Dir: r.spill, Design: "oclmon", SampleEvery: s.cfg.sampleEvery,
+				Meta:     map[string]string{"workload": r.workload, "n": strconv.Itoa(n)},
+				MaxLines: s.cfg.segLines, MaxBytes: s.cfg.segBytes,
+			}
+			var ss *obs.SegmentSink
+			if resume != nil {
+				ss, err = obs.NewResumeSink(cfg, resume)
+			} else {
+				ss, err = obs.NewSegmentSink(cfg)
+			}
+			if err != nil {
+				return nil, err
+			}
+			*seg = ss
+			sink = obs.NewFanout(r.sink, ss)
+		}
+		m := sim.New(d, sim.Options{
+			// The supervisor's cycle budget is the operative ceiling here;
+			// leaving the sim's own 20M-cycle default in place would fail
+			// long runs with max-cycles before the budget ever applies.
+			MaxCycles:          math.MaxInt64 / 2,
+			DisableFastForward: s.cfg.noFF,
+			MemConfig:          mem.Config{RowHitLat: 60, RowMissLat: 200},
+			Observe:            &obs.Config{SampleEvery: s.cfg.sampleEvery, Sink: sink},
+		})
+		src, err := m.NewBuffer("src", kir.I32, n)
+		if err != nil {
+			return nil, err
+		}
+		tbl, err := m.NewBuffer("tbl", kir.I32, 1<<14)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := m.NewBuffer("dst", kir.I32, n); err != nil {
+			return nil, err
+		}
+		for i := range src.Data {
+			src.Data[i] = int64(i + 1)
+		}
+		for i := range tbl.Data {
+			tbl.Data[i] = int64(i % 97)
+		}
+		if _, err := m.Launch("producer", sim.Args{"src": src}); err != nil {
+			return nil, err
+		}
+		if _, err := m.Launch("consumer", sim.Args{"tbl": tbl, "dst": m.Buffer("dst")}); err != nil {
+			return nil, err
+		}
+		r.setState(supervise.StateRunning)
+		return m, nil
+	}
+}
+
+// submit admits one run through the supervisor. resume carries the durable
+// prefix when re-executing a crashed run at startup (id is then the spill
+// directory's name). Shed submissions (ErrSaturated) leave no trace in the
+// registry; quarantined ones are recorded in their terminal state.
+func (s *server) submit(id string, n int, lim supervise.Limits, resume *obs.SegmentLog) (*run, error) {
+	if id == "" {
+		id = s.newID()
+	}
+	r := &run{
+		id: id, workload: "oclmon", recovered: resume != nil,
+		sink:  newLiveSink("oclmon", s.cfg.sampleEvery),
+		state: supervise.StateQueued,
+	}
+	if s.cfg.spillDir != "" {
+		r.spill = filepath.Join(s.cfg.spillDir, id)
+	}
+	var seg *obs.SegmentSink
+	s.addRun(r)
+	err := s.sup.Submit(supervise.Spec{
+		ID: id, Workload: r.workload, Limits: lim,
+		Start: s.buildStart(r, n, resume, &seg),
+		Done:  func(m *sim.Machine, out supervise.Outcome) { r.finish(m, out) },
+		FinalizeRetry: func() error {
+			if seg == nil {
+				return errors.New("no spill sink to retry")
+			}
+			return seg.RetryFinalize()
+		},
+	})
+	if errors.Is(err, supervise.ErrSaturated) {
+		s.dropRun(r)
+		return nil, err
+	}
+	return r, err
+}
+
+// recoverSpills replays the durable record of every run found under the
+// spill root: complete logs become static, already-finalized runs; a log a
+// crash left incomplete is re-executed deterministically against its durable
+// prefix (the resume sink verifies byte-identity and appends the rest).
+func (s *server) recoverSpills() error {
+	if s.cfg.spillDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(s.cfg.spillDir, 0o777); err != nil {
+		return err
+	}
+	ents, err := os.ReadDir(s.cfg.spillDir)
+	if err != nil {
+		return err
+	}
+	for _, ent := range ents {
+		if !ent.IsDir() {
+			continue
+		}
+		id := ent.Name()
+		dir := filepath.Join(s.cfg.spillDir, id)
+		slog, err := obs.LoadSegments(dir)
+		if err != nil {
+			log.Printf("oclmon: spill %s: unrecoverable: %v", dir, err)
+			continue
+		}
+		if slog.Manifest.Complete {
+			r := &run{
+				id: id, workload: slog.Manifest.Meta["workload"], spill: dir, recovered: true,
+				sink:  newLiveSink(slog.Manifest.Design, slog.Manifest.SampleEvery),
+				state: supervise.StateCompleted,
+			}
+			if err := slog.Feed(r.sink); err != nil {
+				log.Printf("oclmon: spill %s: %v", dir, err)
+				continue
+			}
+			r.sink.Finalize(slog.Manifest.EndCycle)
+			r.sink.retire(0, nil)
+			s.addRun(r)
+			log.Printf("oclmon: recovered completed run %s from spill (%d events to cycle %d)",
+				id, len(slog.Lines), slog.Manifest.EndCycle)
+			continue
+		}
+		n := s.cfg.n
+		if v, err := strconv.Atoi(slog.Manifest.Meta["n"]); err == nil && v > 0 {
+			n = v
+		}
+		log.Printf("oclmon: re-executing crashed run %s: verifying %d durable lines to cycle %d, then resuming",
+			id, len(slog.Lines), slog.LastCycle())
+		if _, err := s.submit(id, n, supervise.Limits{}, slog); err != nil {
+			log.Printf("oclmon: recover %s: %v", id, err)
+		}
+	}
+	return nil
+}
+
+// handler builds the HTTP surface.
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, req *http.Request) {
+		// Liveness: the process serves while runs hang, fail, or shed —
+		// that is the whole point of supervision.
+		w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, req *http.Request) {
+		if s.sup.Saturated() {
+			http.Error(w, "saturated: run slots and wait queue full", http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte("ready\n"))
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		s.writeMetrics(w)
+	})
+	mux.HandleFunc("GET /runs", func(w http.ResponseWriter, req *http.Request) {
+		s.writeIndex(w)
+	})
+	mux.HandleFunc("GET /{$}", func(w http.ResponseWriter, req *http.Request) {
+		s.writeIndex(w)
+	})
+	mux.HandleFunc("POST /runs", s.handleSubmit)
+	mux.HandleFunc("GET /runs/{id}/timeline.json", s.withRun(func(w http.ResponseWriter, r *run) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := obs.WriteTimeline(w, r.sink.snapshot()); err != nil {
+			log.Printf("timeline %s: %v", r.id, err)
+		}
+	}))
+	mux.HandleFunc("GET /runs/{id}/attr.json", s.withRun(func(w http.ResponseWriter, r *run) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := analyze.WriteJSON(w, analyze.Attribute(r.sink.snapshot())); err != nil {
+			log.Printf("attr %s: %v", r.id, err)
+		}
+	}))
+	mux.HandleFunc("GET /runs/{id}/events", s.withRun(serveEvents))
+	return mux
+}
+
+// handleSubmit is the admission path: POST /runs?n=..&cycles=..&wall=..
+// answers 202 with the run id, 429 when slots+queue are full (retry later),
+// 503 when the workload is quarantined by the circuit breaker.
+func (s *server) handleSubmit(w http.ResponseWriter, req *http.Request) {
+	n := s.cfg.n
+	var lim supervise.Limits
+	q := req.URL.Query()
+	if v := q.Get("n"); v != "" {
+		p, err := strconv.Atoi(v)
+		if err != nil || p < 1 {
+			http.Error(w, "bad n", http.StatusBadRequest)
+			return
+		}
+		n = p
+	}
+	if v := q.Get("cycles"); v != "" {
+		p, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || p < 1 {
+			http.Error(w, "bad cycles", http.StatusBadRequest)
+			return
+		}
+		lim.CycleBudget = p
+	}
+	if v := q.Get("wall"); v != "" {
+		p, err := time.ParseDuration(v)
+		if err != nil || p <= 0 {
+			http.Error(w, "bad wall", http.StatusBadRequest)
+			return
+		}
+		lim.WallClock = p
+	}
+	r, err := s.submit("", n, lim, nil)
+	switch {
+	case errors.Is(err, supervise.ErrSaturated):
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, err.Error(), http.StatusTooManyRequests)
+		return
+	case errors.Is(err, supervise.ErrQuarantined):
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	case err != nil:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusAccepted)
+	fmt.Fprintf(w, "{\"id\":%q}\n", r.id)
+}
+
+// withRun resolves the {id} path value against the registry.
+func (s *server) withRun(h func(http.ResponseWriter, *run)) http.HandlerFunc {
+	return func(w http.ResponseWriter, req *http.Request) {
+		id := req.PathValue("id")
+		if r := s.get(id); r != nil {
+			h(w, r)
+			return
+		}
+		http.Error(w, "unknown run "+id, http.StatusNotFound)
+	}
+}
+
+func (s *server) writeIndex(w http.ResponseWriter) {
+	type entry struct {
+		ID        string `json:"id"`
+		Workload  string `json:"workload"`
+		State     string `json:"state"`
+		Done      bool   `json:"done"`
+		Recovered bool   `json:"recovered,omitempty"`
+		Cycle     int64  `json:"cycle"`
+		Events    int    `json:"events"`
+		Error     string `json:"error,omitempty"`
+	}
+	out := []entry{}
+	for _, r := range s.allRuns() {
+		st := r.sink.stats()
+		state, outcome := r.status()
+		e := entry{
+			ID: r.id, Workload: r.workload, State: string(state), Recovered: r.recovered,
+			Done:  state == supervise.StateCompleted || state == supervise.StateFailed || state == supervise.StateQuarantined,
+			Cycle: st.cycle, Events: st.events,
+		}
+		if outcome != nil && outcome.Err != nil {
+			e.Error = outcome.Err.Error()
+		} else if st.err != nil {
+			e.Error = st.err.Error()
+		}
+		out = append(out, e)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		log.Printf("index: %v", err)
+	}
+}
+
+// writeMetrics emits the Prometheus text exposition: per-run telemetry from
+// the live sinks plus the supervisor's admission/outcome counters.
+func (s *server) writeMetrics(w http.ResponseWriter) {
+	runs := s.allRuns()
+	p := func(format string, args ...any) { fmt.Fprintf(w, format, args...) }
+	p("# HELP oclmon_runs Number of hosted simulations.\n# TYPE oclmon_runs gauge\n")
+	p("oclmon_runs %d\n", len(runs))
+
+	st := s.sup.Stats()
+	p("# HELP oclmon_queue_depth Submissions waiting for a run slot.\n# TYPE oclmon_queue_depth gauge\n")
+	p("oclmon_queue_depth %d\n", st.Queued)
+	p("# HELP oclmon_runs_running Runs currently executing.\n# TYPE oclmon_runs_running gauge\n")
+	p("oclmon_runs_running %d\n", st.Running)
+	p("# HELP oclmon_runs_completed_total Supervised runs that completed.\n# TYPE oclmon_runs_completed_total counter\n")
+	p("oclmon_runs_completed_total %d\n", st.Completed)
+	p("# HELP oclmon_runs_failed_total Supervised runs that failed (diagnosed hang, budget, watchdog, panic, sink).\n# TYPE oclmon_runs_failed_total counter\n")
+	p("oclmon_runs_failed_total %d\n", st.Failed)
+	p("# HELP oclmon_runs_quarantined_total Submissions refused by the circuit breaker.\n# TYPE oclmon_runs_quarantined_total counter\n")
+	p("oclmon_runs_quarantined_total %d\n", st.Quarantined)
+	p("# HELP oclmon_submissions_shed_total Submissions shed by admission control (429).\n# TYPE oclmon_submissions_shed_total counter\n")
+	p("oclmon_submissions_shed_total %d\n", st.Shed)
+	p("# HELP oclmon_run_panics_total Run goroutine panics converted to failed runs.\n# TYPE oclmon_run_panics_total counter\n")
+	p("oclmon_run_panics_total %d\n", st.Panics)
+
+	p("# HELP oclmon_run_done Whether the run has finished (1) or is in flight (0).\n# TYPE oclmon_run_done gauge\n")
+	for _, r := range runs {
+		state, _ := r.status()
+		done := state == supervise.StateCompleted || state == supervise.StateFailed || state == supervise.StateQuarantined
+		p("oclmon_run_done{run=%q} %d\n", r.id, b2i(done))
+	}
+	p("# HELP oclmon_cycles Last simulated cycle observed for the run.\n# TYPE oclmon_cycles gauge\n")
+	for _, r := range runs {
+		p("oclmon_cycles{run=%q} %d\n", r.id, r.sink.stats().cycle)
+	}
+	p("# HELP oclmon_events_total Timeline events recorded.\n# TYPE oclmon_events_total counter\n")
+	for _, r := range runs {
+		p("oclmon_events_total{run=%q} %d\n", r.id, r.sink.stats().events)
+	}
+	p("# HELP oclmon_samples_total Metrics samples recorded.\n# TYPE oclmon_samples_total counter\n")
+	for _, r := range runs {
+		p("oclmon_samples_total{run=%q} %d\n", r.id, r.sink.stats().samples)
+	}
+	p("# HELP oclmon_ff_jumps_total Fast-forward jumps taken.\n# TYPE oclmon_ff_jumps_total counter\n")
+	for _, r := range runs {
+		p("oclmon_ff_jumps_total{run=%q} %d\n", r.id, r.sink.stats().ffJumps)
+	}
+	p("# HELP oclmon_events_dropped_total Events refused after the timeline was finalized.\n# TYPE oclmon_events_dropped_total counter\n")
+	for _, r := range runs {
+		p("oclmon_events_dropped_total{run=%q} %d\n", r.id, r.sink.stats().dropped)
+	}
+	p("# HELP oclmon_sse_dropped_total SSE frames dropped to slow subscribers instead of blocking the sim loop.\n# TYPE oclmon_sse_dropped_total counter\n")
+	for _, r := range runs {
+		p("oclmon_sse_dropped_total{run=%q} %d\n", r.id, r.sink.stats().sseDropped)
+	}
+	p("# HELP oclmon_stall_cycles_total Cycles a unit spent blocked, by channel endpoint.\n# TYPE oclmon_stall_cycles_total counter\n")
+	for _, r := range runs {
+		st := r.sink.stats()
+		keys := make([]stallKey, 0, len(st.stall))
+		for k := range st.stall {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i].resource != keys[j].resource {
+				return keys[i].resource < keys[j].resource
+			}
+			return keys[i].op < keys[j].op
+		})
+		for _, k := range keys {
+			p("oclmon_stall_cycles_total{run=%q,chan=%q,dir=%q} %d\n", r.id, k.resource, k.op, st.stall[k])
+		}
+	}
+	p("# HELP oclmon_channel_depth Channel occupancy at the latest metrics sample.\n# TYPE oclmon_channel_depth gauge\n")
+	for _, r := range runs {
+		st := r.sink.stats()
+		names := make([]string, 0, len(st.depth))
+		for n := range st.depth {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			p("oclmon_channel_depth{run=%q,chan=%q} %d\n", r.id, n, st.depth[n])
+		}
+	}
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// serveEvents is the SSE live tail: each subscriber gets the events recorded
+// from subscription onward, one JSON object per `data:` frame, then a final
+// `event: finalize` frame when the run's timeline closes. Slow subscribers
+// shed frames (counted in oclmon_sse_dropped_total) instead of backing up
+// the sink.
+func serveEvents(w http.ResponseWriter, r *run) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+	ch, cancel := r.sink.subscribe()
+	defer cancel()
+	for msg := range ch {
+		if _, err := w.Write(msg); err != nil {
+			return
+		}
+		fl.Flush()
+	}
+	fmt.Fprintf(w, "event: finalize\ndata: {\"endCycle\":%d}\n\n", r.sink.stats().cycle)
+	fl.Flush()
+}

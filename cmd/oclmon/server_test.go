@@ -1,0 +1,377 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"oclfpga/internal/device"
+	"oclfpga/internal/hls"
+	"oclfpga/internal/kir"
+	"oclfpga/internal/mem"
+	"oclfpga/internal/obs"
+	"oclfpga/internal/sim"
+	"oclfpga/internal/supervise"
+)
+
+// launchWorkload builds, buffers, and launches the oclmon workload on a
+// fresh machine — the same wiring as server.buildStart, shared by the
+// recovery tests that need to drive a machine by hand.
+func launchWorkload(t *testing.T, n int, sink obs.Sink) *sim.Machine {
+	t.Helper()
+	d, err := hls.Compile(buildWorkload(n), device.StratixV(), hls.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := sim.New(d, sim.Options{
+		MemConfig: mem.Config{RowHitLat: 60, RowMissLat: 200},
+		Observe:   &obs.Config{SampleEvery: 1000, Sink: sink},
+	})
+	src, err := m.NewBuffer("src", kir.I32, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := m.NewBuffer("tbl", kir.I32, 1<<14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.NewBuffer("dst", kir.I32, n); err != nil {
+		t.Fatal(err)
+	}
+	for i := range src.Data {
+		src.Data[i] = int64(i + 1)
+	}
+	for i := range tbl.Data {
+		tbl.Data[i] = int64(i % 97)
+	}
+	if _, err := m.Launch("producer", sim.Args{"src": src}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Launch("consumer", sim.Args{"tbl": tbl, "dst": m.Buffer("dst")}); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func waitState(t *testing.T, srv *server, id string, want supervise.State) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		r := srv.get(id)
+		if r != nil {
+			if st, _ := r.status(); st == want {
+				return
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	r := srv.get(id)
+	if r == nil {
+		t.Fatalf("run %s never appeared", id)
+	}
+	st, out := r.status()
+	t.Fatalf("run %s stuck in %s (outcome %+v), want %s", id, st, out, want)
+}
+
+func TestOverloadShedsAndStaysResponsive(t *testing.T) {
+	release := make(chan struct{})
+	cfg := serverConfig{n: 64, sampleEvery: 1000}
+	cfg.startHook = func(n int) func() (*sim.Machine, error) {
+		return func() (*sim.Machine, error) {
+			<-release
+			return nil, errors.New("released")
+		}
+	}
+	sup := supervise.New(supervise.Config{Slots: 1, Queue: 1})
+	srv := newServer(cfg, sup)
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+	defer close(release)
+
+	post := func() *http.Response {
+		resp, err := http.Post(ts.URL+"/runs", "", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+	// Slot + queue fill; the slot's run must have been picked up before the
+	// queue slot frees, so poll until one run is executing.
+	if got := post().StatusCode; got != http.StatusAccepted {
+		t.Fatalf("first submit = %d", got)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for sup.Stats().Running != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("worker never picked up the run")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := post().StatusCode; got != http.StatusAccepted {
+		t.Fatalf("queued submit = %d", got)
+	}
+
+	// Overload: the next submission sheds with 429 and a Retry-After.
+	resp, err := http.Post(ts.URL+"/runs", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overloaded submit = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+
+	// The service stays responsive while saturated: /healthz is 200, /readyz
+	// reports the backpressure, /metrics still serves.
+	for path, want := range map[string]int{"/healthz": 200, "/readyz": 503, "/metrics": 200} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != want {
+			t.Fatalf("%s = %d (%s), want %d", path, resp.StatusCode, body, want)
+		}
+	}
+	body := scrape(t, ts.URL+"/metrics")
+	if !strings.Contains(body, "oclmon_submissions_shed_total 1") {
+		t.Fatalf("shed counter missing:\n%s", grepMetrics(body, "shed"))
+	}
+	// The shed submission left no registry entry behind.
+	if n := len(srv.allRuns()); n != 2 {
+		t.Fatalf("registry holds %d runs, want 2", n)
+	}
+}
+
+func TestBreakerQuarantinesWorkload(t *testing.T) {
+	cfg := serverConfig{n: 64, sampleEvery: 1000}
+	cfg.startHook = func(n int) func() (*sim.Machine, error) {
+		return func() (*sim.Machine, error) { return nil, errors.New("no bitstream") }
+	}
+	sup := supervise.New(supervise.Config{Slots: 1, Breaker: supervise.BreakerConfig{Threshold: 1, Cooldown: time.Hour}})
+	srv := newServer(cfg, sup)
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	resp, err := http.Post(ts.URL+"/runs", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit = %d", resp.StatusCode)
+	}
+	waitState(t, srv, "run1", supervise.StateFailed)
+
+	resp, err = http.Post(ts.URL+"/runs", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("quarantined submit = %d (%s), want 503", resp.StatusCode, body)
+	}
+	// The quarantined run is recorded in its terminal state.
+	r := srv.get("run2")
+	if r == nil {
+		t.Fatal("quarantined run not in registry")
+	}
+	if st, _ := r.status(); st != supervise.StateQuarantined {
+		t.Fatalf("state = %s", st)
+	}
+	if !strings.Contains(scrape(t, ts.URL+"/metrics"), "oclmon_runs_quarantined_total 1") {
+		t.Fatal("quarantine counter missing")
+	}
+}
+
+// TestStalledSSEClientShedsFrames is the regression test for the slow-client
+// path: a subscriber that never drains its buffer (a stalled HTTP client)
+// loses frames — counted, never blocking the sink's caller.
+func TestStalledSSEClientShedsFrames(t *testing.T) {
+	sink := newLiveSink("d", 0)
+	ch, cancel := sink.subscribe()
+	defer cancel()
+	// Never read from ch: pump more events than the per-client buffer holds.
+	// Every Event call must return promptly even with the buffer full.
+	const total = 1000
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < total; i++ {
+			sink.Event(obs.Event{Kind: obs.KindLaunch, Track: "unit:k", Name: "go", Start: int64(i), End: int64(i)})
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("stalled subscriber blocked the sink")
+	}
+	st := sink.stats()
+	if st.sseDropped != int64(total-cap(ch)) {
+		t.Fatalf("sseDropped = %d, want %d (buffer %d)", st.sseDropped, total-cap(ch), cap(ch))
+	}
+	if len(ch) != cap(ch) {
+		t.Fatalf("buffer holds %d frames, want full %d", len(ch), cap(ch))
+	}
+
+	// The counter is exposed per run in /metrics.
+	srv := newServer(serverConfig{n: 64, sampleEvery: 1000}, supervise.New(supervise.Config{Slots: 1}))
+	srv.addRun(&run{id: "sse", workload: "oclmon", sink: sink, state: supervise.StateRunning})
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+	body := scrape(t, ts.URL+"/metrics")
+	want := fmt.Sprintf("oclmon_sse_dropped_total{run=\"sse\"} %d", st.sseDropped)
+	if !strings.Contains(body, want) {
+		t.Fatalf("metrics missing %q:\n%s", want, grepMetrics(body, "sse"))
+	}
+}
+
+// TestCrashRecoveryResumesRun is the in-process kill-and-recover path: a run
+// dies mid-flight leaving sealed spill segments, a fresh server re-executes
+// it deterministically against the durable prefix, and the stitched record
+// is byte-identical to an uninterrupted run's.
+func TestCrashRecoveryResumesRun(t *testing.T) {
+	const n = 512
+	root := t.TempDir()
+
+	// "Crash": drive the workload partway with a segment spill, then abandon
+	// the machine — sealed segments survive, the open .part does not count.
+	seg, err := obs.NewSegmentSink(obs.SegmentConfig{
+		Dir: root + "/run1", Design: "oclmon", SampleEvery: 1000,
+		Meta:     map[string]string{"workload": "oclmon", "n": "512"},
+		MaxLines: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := launchWorkload(t, n, seg)
+	if err := m.RunFor(40_000); err == nil {
+		t.Fatal("workload finished before the crash point; raise n")
+	}
+	slog, err := obs.LoadSegments(root + "/run1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(slog.Lines) == 0 {
+		t.Fatal("crash left no durable prefix; lower MaxLines")
+	}
+
+	// Recovery: a fresh server finds the incomplete spill and re-executes.
+	sup := supervise.New(supervise.Config{Slots: 1})
+	defer sup.Close()
+	srv := newServer(serverConfig{n: 8192, sampleEvery: 1000, spillDir: root, segLines: 64}, sup)
+	if err := srv.recoverSpills(); err != nil {
+		t.Fatal(err)
+	}
+	r := srv.get("run1")
+	if r == nil || !r.recovered {
+		t.Fatalf("run1 not resumed: %+v", r)
+	}
+	waitState(t, srv, "run1", supervise.StateCompleted)
+
+	// The stitched spill replays byte-identically to an uninterrupted run.
+	stitched, err := obs.LoadSegments(root + "/run1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stitched.Manifest.Complete {
+		t.Fatalf("recovered manifest not complete: %+v", stitched.Manifest)
+	}
+	tl, ser, err := stitched.Replay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean := launchWorkload(t, n, nil)
+	if err := clean.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var got, want bytes.Buffer
+	if err := obs.WriteTimeline(&got, tl); err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.WriteTimeline(&want, clean.Timeline()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Fatal("recovered timeline differs from uninterrupted run")
+	}
+	got.Reset()
+	want.Reset()
+	if err := obs.WriteSeries(&got, ser); err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.WriteSeries(&want, clean.Series()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Fatal("recovered series differs from uninterrupted run")
+	}
+
+	// A third boot finds the now-complete spill and serves it statically.
+	srv2 := newServer(serverConfig{n: 8192, sampleEvery: 1000, spillDir: root}, supervise.New(supervise.Config{Slots: 1}))
+	if err := srv2.recoverSpills(); err != nil {
+		t.Fatal(err)
+	}
+	r2 := srv2.get("run1")
+	if r2 == nil {
+		t.Fatal("completed run not recovered on reboot")
+	}
+	if st, _ := r2.status(); st != supervise.StateCompleted {
+		t.Fatalf("rebooted run state = %s", st)
+	}
+	if r2.sink.stats().cycle != stitched.Manifest.EndCycle {
+		t.Fatalf("static run at cycle %d, want %d", r2.sink.stats().cycle, stitched.Manifest.EndCycle)
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	srv := newServer(serverConfig{n: 64, sampleEvery: 1000}, supervise.New(supervise.Config{Slots: 1}))
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+	for _, q := range []string{"n=0", "n=x", "cycles=-1", "wall=banana"} {
+		resp, err := http.Post(ts.URL+"/runs?"+q, "", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("POST /runs?%s = %d, want 400", q, resp.StatusCode)
+		}
+	}
+}
+
+func scrape(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+func grepMetrics(body, substr string) string {
+	var out []string
+	for _, l := range strings.Split(body, "\n") {
+		if strings.Contains(l, substr) {
+			out = append(out, l)
+		}
+	}
+	return strings.Join(out, "\n")
+}

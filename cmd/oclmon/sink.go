@@ -30,7 +30,8 @@ type liveSink struct {
 	dropped   int64
 	err       error
 
-	subs map[chan []byte]struct{}
+	subs       map[chan []byte]struct{}
+	sseDropped int64 // frames shed to slow SSE subscribers
 }
 
 type stallKey struct{ resource, op string }
@@ -101,7 +102,9 @@ func (s *liveSink) retire(dropped int64, err error) {
 
 // broadcast fans one event out to the SSE subscribers as a `data:` frame.
 // Slow subscribers lose events rather than stalling the simulation: the
-// channel is buffered and a full buffer drops the frame. Callers hold s.mu.
+// channel is a bounded per-client buffer, and a full buffer drops the frame
+// and counts it (oclmon_sse_dropped_total) — the sim loop never blocks on a
+// stalled HTTP client. Callers hold s.mu.
 func (s *liveSink) broadcast(e obs.Event) {
 	if len(s.subs) == 0 {
 		return
@@ -118,6 +121,7 @@ func (s *liveSink) broadcast(e obs.Event) {
 		select {
 		case ch <- msg:
 		default:
+			s.sseDropped++
 		}
 	}
 }
@@ -146,30 +150,32 @@ func (s *liveSink) subscribe() (<-chan []byte, func()) {
 
 // liveStats is one consistent reading of the sink's aggregates.
 type liveStats struct {
-	cycle   int64
-	events  int
-	samples int
-	ffJumps int
-	stall   map[stallKey]int64
-	depth   map[string]int
-	done    bool
-	dropped int64
-	err     error
+	cycle      int64
+	events     int
+	samples    int
+	ffJumps    int
+	stall      map[stallKey]int64
+	depth      map[string]int
+	done       bool
+	dropped    int64
+	sseDropped int64
+	err        error
 }
 
 func (s *liveSink) stats() liveStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st := liveStats{
-		cycle:   s.cycle,
-		events:  len(s.events),
-		samples: len(s.samples),
-		ffJumps: len(s.ffJumps),
-		stall:   make(map[stallKey]int64, len(s.stall)),
-		depth:   make(map[string]int, len(s.depth)),
-		done:    s.finalized,
-		dropped: s.dropped,
-		err:     s.err,
+		cycle:      s.cycle,
+		events:     len(s.events),
+		samples:    len(s.samples),
+		ffJumps:    len(s.ffJumps),
+		stall:      make(map[stallKey]int64, len(s.stall)),
+		depth:      make(map[string]int, len(s.depth)),
+		done:       s.finalized,
+		dropped:    s.dropped,
+		sseDropped: s.sseDropped,
+		err:        s.err,
 	}
 	for k, v := range s.stall {
 		st.stall[k] = v

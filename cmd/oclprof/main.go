@@ -53,6 +53,9 @@ var (
 	flagFolded   = flag.String("folded", "", "write folded stall stacks (flamegraph.pl input) to this file")
 	flagPprof    = flag.String("pprof", "", "write a gzipped pprof stall profile to this file (open with go tool pprof -http)")
 	flagSpill    = flag.String("spill", "", "stream observability records to this file as NDJSON while the run executes")
+	flagSpillDir = flag.String("spill-dir", "", "stream observability records into crash-safe rotated NDJSON segments under this directory")
+	flagSegLines = flag.Int("seg-lines", 4096, "segment rotation threshold in payload lines (with -spill-dir)")
+	flagSegBytes = flag.Int64("seg-bytes", 1<<20, "segment rotation threshold in payload bytes (with -spill-dir)")
 )
 
 // out carries the human-readable narration. With -json it is rerouted to
@@ -62,7 +65,7 @@ var out io.Writer = os.Stdout
 // observeOn reports whether the observability layer should be attached.
 func observeOn() bool {
 	return *flagTimeline != "" || *flagMetrics != "" || *flagAttr != "" ||
-		*flagFolded != "" || *flagPprof != "" || *flagSpill != ""
+		*flagFolded != "" || *flagPprof != "" || *flagSpill != "" || *flagSpillDir != ""
 }
 
 // analyzeOn reports whether the run's timeline feeds the analysis engine.
@@ -95,13 +98,32 @@ func simOpts(design string) sim.Options {
 	}
 	if observeOn() {
 		opts.Observe = &obs.Config{SampleEvery: *flagEvery}
+		var sinks []obs.Sink
 		if *flagSpill != "" {
 			f, err := os.Create(*flagSpill)
 			if err != nil {
 				log.Fatal(err)
 			}
 			spillFile = f
-			opts.Observe.Sink = obs.NewNDJSONSink(f, design, *flagEvery)
+			sinks = append(sinks, obs.NewNDJSONSink(f, design, *flagEvery))
+		}
+		if *flagSpillDir != "" {
+			seg, err := obs.NewSegmentSink(obs.SegmentConfig{
+				Dir: *flagSpillDir, Design: design, SampleEvery: *flagEvery,
+				Meta:     map[string]string{"workload": *flagWorkload},
+				MaxLines: *flagSegLines, MaxBytes: *flagSegBytes,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			sinks = append(sinks, seg)
+		}
+		switch len(sinks) {
+		case 0:
+		case 1:
+			opts.Observe.Sink = sinks[0]
+		default:
+			opts.Observe.Sink = obs.NewFanout(sinks...)
 		}
 	}
 	return opts
@@ -146,6 +168,7 @@ type runReport struct {
 	Folded      string               `json:"foldedFile,omitempty"`
 	Pprof       string               `json:"pprofFile,omitempty"`
 	Spill       string               `json:"spillFile,omitempty"`
+	SpillDir    string               `json:"spillDir,omitempty"`
 	SampleEvery int64                `json:"sampleEvery,omitempty"`
 	// Stall summarizes the attribution when the analysis engine ran.
 	Stall *stallReport `json:"stall,omitempty"`
@@ -191,6 +214,15 @@ func finishRun(m *sim.Machine, units ...*sim.Unit) {
 		}
 		fmt.Fprintf(out, "spill: %s (NDJSON event stream; replay with obscheck -spill)\n", *flagSpill)
 	}
+	if *flagSpillDir != "" {
+		// Same finalize path: Timeline() committed the segments through the
+		// sink; a failed commit (full disk, blocked rename) surfaces here.
+		m.Timeline()
+		if err := m.ObserveErr(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(out, "spill-dir: %s (crash-safe segments; validate with obscheck -spill-dir)\n", *flagSpillDir)
+	}
 	var attr *analyze.Attribution
 	if analyzeOn() {
 		attr = analyze.Attribute(m.Timeline())
@@ -222,6 +254,7 @@ func finishRun(m *sim.Machine, units ...*sim.Unit) {
 		Folded:      *flagFolded,
 		Pprof:       *flagPprof,
 		Spill:       *flagSpill,
+		SpillDir:    *flagSpillDir,
 	}
 	if observeOn() {
 		r.SampleEvery = *flagEvery

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"sync"
 
 	"oclfpga/internal/device"
 	"oclfpga/internal/hls"
@@ -9,6 +10,7 @@ import (
 	"oclfpga/internal/mem"
 	"oclfpga/internal/obs"
 	"oclfpga/internal/sim"
+	"oclfpga/internal/supervise"
 )
 
 // The simulator-throughput benchmark workload: a fast producer feeding a slow
@@ -119,10 +121,69 @@ func runSimBench(n int, disableFF bool, observe *obs.Config) (*SimBenchResult, e
 	if n == 0 {
 		n = 2048
 	}
+	m, dst, err := setupSimBench(n, disableFF, observe)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.Run(); err != nil {
+		return nil, err
+	}
+	return finishSimBench(m, dst, n)
+}
+
+// benchSupervisor is the long-lived supervisor behind RunSimBenchSupervised,
+// mirroring a real deployment (oclmon keeps one for the process lifetime):
+// the overhead benchmark prices supervising a run, not constructing the
+// supervisor and its worker pool every time.
+var (
+	benchSupervisor     *supervise.Supervisor
+	benchSupervisorOnce sync.Once
+)
+
+// RunSimBenchSupervised runs the same workload, same validation, but drives
+// the machine through internal/supervise — sliced RunFor calls under a cycle
+// budget and wall-clock watchdog instead of one uninterrupted Run. The
+// supervise-overhead benchmark compares it against RunSimBench to price the
+// supervision layer (budget accounting + watchdog checks per slice).
+func RunSimBenchSupervised(n int) (*SimBenchResult, error) {
+	if n == 0 {
+		n = 2048
+	}
+	var (
+		m   *sim.Machine
+		dst *mem.Buffer
+	)
+	benchSupervisorOnce.Do(func() {
+		benchSupervisor = supervise.New(supervise.Config{Slots: 1})
+	})
+	sup := benchSupervisor
+	done := make(chan supervise.Outcome, 1)
+	err := sup.Submit(supervise.Spec{
+		ID: "simbench", Workload: "simbench",
+		Start: func() (*sim.Machine, error) {
+			var err error
+			m, dst, err = setupSimBench(n, false, nil)
+			return m, err
+		},
+		Done: func(_ *sim.Machine, out supervise.Outcome) { done <- out },
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := <-done
+	if out.State != supervise.StateCompleted {
+		return nil, fmt.Errorf("simbench: supervised run %s: %w", out.State, out.Err)
+	}
+	return finishSimBench(m, dst, n)
+}
+
+// setupSimBench compiles (memoized) the benchmark workload and stages a
+// machine ready to run: congested DRAM, buffers filled, kernels launched.
+func setupSimBench(n int, disableFF bool, observe *obs.Config) (*sim.Machine, *mem.Buffer, error) {
 	d, _, err := compiledDesign(fmt.Sprintf("simbench/%d", n), device.StratixV(), hls.Options{},
 		func() (*kir.Program, any, error) { return buildSimBench(n), nil, nil })
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	// A congested-DRAM profile: the scheduled load latency stays at the
 	// compiler's optimistic estimate while the modeled row activate takes
@@ -136,15 +197,15 @@ func runSimBench(n int, disableFF bool, observe *obs.Config) (*SimBenchResult, e
 	})
 	src, err := m.NewBuffer("src", kir.I32, n)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	tbl, err := m.NewBuffer("tbl", kir.I32, simBenchTblElems)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	dst, err := m.NewBuffer("dst", kir.I32, n)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	for i := range src.Data {
 		src.Data[i] = int64(i + 1)
@@ -153,14 +214,16 @@ func runSimBench(n int, disableFF bool, observe *obs.Config) (*SimBenchResult, e
 		tbl.Data[i] = int64(i % 97)
 	}
 	if _, err := m.Launch("producer", sim.Args{"src": src}); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if _, err := m.Launch("consumer", sim.Args{"tbl": tbl, "dst": dst}); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	if err := m.Run(); err != nil {
-		return nil, err
-	}
+	return m, dst, nil
+}
+
+// finishSimBench validates the consumer's output and packages the result.
+func finishSimBench(m *sim.Machine, dst *mem.Buffer, n int) (*SimBenchResult, error) {
 	want := simBenchExpected(n)
 	for i := 0; i < n; i++ {
 		if dst.Data[i] != want[i] {

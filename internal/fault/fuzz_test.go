@@ -1,0 +1,83 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseSpec drives arbitrary input through the fault-spec parser. The
+// invariant is String-idempotence: whenever a spec parses, Event.String must
+// render back into the accepted syntax, and that rendering must be a fixpoint
+// (parse → String → parse → String is stable). Full struct equality is NOT
+// the contract — String deliberately drops Value for kinds that don't carry
+// one — but kind, target, and onset cycle must survive the round trip.
+func FuzzParseSpec(f *testing.F) {
+	for _, s := range []string{
+		"freeze-read:pipe@500",
+		"freeze-write:pipe@500+200",
+		"depth:pipe@0=16",
+		"mem-delay@1000+500=40",
+		"stuck:consumer@400",
+		"skew:timer@0=250",
+		"freeze-read@5",     // missing required target
+		"bogus:pipe@1",      // unknown kind
+		"freeze-read:pipe",  // missing @cycle
+		"depth:pipe@-3=-9",  // negative fields
+		"stuck:a b@7",       // target with a space
+		"mem-delay@5=3=4",   // doubled value separator
+		"freeze-read:p@5+x", // malformed duration
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		e, err := ParseSpec(s)
+		if err != nil {
+			return // rejection is fine; crashing is not
+		}
+		s2 := e.String()
+		e2, err := ParseSpec(s2)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q).String() = %q does not re-parse: %v", s, s2, err)
+		}
+		if got := e2.String(); got != s2 {
+			t.Fatalf("String not a fixpoint: %q renders as %q", s2, got)
+		}
+		if e2.Kind != e.Kind || e2.Target != e.Target || e2.At != e.At {
+			t.Fatalf("round trip changed identity: %+v vs %+v", e, e2)
+		}
+	})
+}
+
+// FuzzParseSpecs does the same for comma-separated plans: a plan that parses
+// renders (Plan.String) into a spec list that re-parses to the same rendering.
+func FuzzParseSpecs(f *testing.F) {
+	for _, s := range []string{
+		"freeze-read:pipe@500,freeze-write:pipe@600+10",
+		"depth:pipe@0=16, mem-delay@1000+500=40 ,stuck:consumer@400",
+		"",
+		",,,",
+		"freeze-read:pipe@500,bogus@1",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := ParseSpecs(s)
+		if err != nil {
+			return
+		}
+		if len(p.Events) == 0 {
+			return // "(no faults)" is a display form, not spec syntax
+		}
+		s2 := p.String()
+		if strings.Contains(s2, "(no faults)") {
+			t.Fatalf("non-empty plan rendered as %q", s2)
+		}
+		p2, err := ParseSpecs(s2)
+		if err != nil {
+			t.Fatalf("ParseSpecs(%q).String() = %q does not re-parse: %v", s, s2, err)
+		}
+		if got := p2.String(); got != s2 {
+			t.Fatalf("Plan.String not a fixpoint: %q renders as %q", s2, got)
+		}
+	})
+}

@@ -1,0 +1,70 @@
+package host_test
+
+import (
+	"errors"
+	"testing"
+
+	"oclfpga/internal/core"
+	"oclfpga/internal/fault"
+	"oclfpga/internal/sim"
+	"oclfpga/internal/supervise"
+)
+
+// frozenDrainRig is a rig whose trace drain can never complete: every Send
+// attempt consumes exactly its cycle budget, making the retry schedule
+// directly observable on the machine's cycle counter.
+func frozenDrainRig(t *testing.T) (*sim.Machine, func() int64) {
+	t.Helper()
+	m, ctl := buildFaultRig(t, 8, 2, func(ib *core.IBuffer) *fault.Plan {
+		return &fault.Plan{Events: []fault.Event{
+			{Kind: fault.FreezeRead, Target: ib.OutT[0].Name, At: 0},
+		}}
+	})
+	ctl.SendTimeout = 100
+	ctl.Retries = 4
+	ctl.BackoffSeed = 42
+	return m, func() int64 {
+		err := ctl.Send(0, core.CmdRead)
+		var de *sim.DeadlockError
+		if !errors.As(err, &de) || !de.Timeout() {
+			t.Fatalf("Send = %v, want budget expiry", err)
+		}
+		if ctl.Attempts != 5 {
+			t.Fatalf("attempts = %d, want 5 (1 + 4 retries)", ctl.Attempts)
+		}
+		return m.Cycle()
+	}
+}
+
+func TestSendBackoffSchedule(t *testing.T) {
+	_, send := frozenDrainRig(t)
+	cycles := send()
+
+	// The machine consumed exactly the seeded backoff schedule: each attempt
+	// burned its full budget against the frozen drain.
+	sched := supervise.Backoff{Base: 100, Seed: 42}.Schedule(5)
+	var want int64
+	for _, d := range sched {
+		want += d
+	}
+	if cycles != want {
+		t.Fatalf("machine ran %d cycles, backoff schedule %v sums to %d", cycles, sched, want)
+	}
+	// The schedule is exponential (each pre-jitter budget doubles) and
+	// jittered within its fraction.
+	for i, d := range sched {
+		base := int64(100) << i
+		if base > 6400 {
+			base = 6400
+		}
+		if d < base || d > base+base/10 {
+			t.Fatalf("attempt %d budget %d outside [%d, %d]", i, d, base, base+base/10)
+		}
+	}
+
+	// Determinism: an identical rig with the same seed lands on the same cycle.
+	_, send2 := frozenDrainRig(t)
+	if again := send2(); again != cycles {
+		t.Fatalf("same seed, different total: %d vs %d", again, cycles)
+	}
+}

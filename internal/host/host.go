@@ -19,6 +19,7 @@ import (
 	"oclfpga/internal/kir"
 	"oclfpga/internal/mem"
 	"oclfpga/internal/sim"
+	"oclfpga/internal/supervise"
 	"oclfpga/internal/trace"
 )
 
@@ -91,15 +92,27 @@ type Controller struct {
 	Ifc *Interface
 	Out *mem.Buffer
 
-	// SendTimeout bounds each Send attempt to this many cycles (0 = run to
-	// completion, the pre-timeout behaviour). With a timeout, a Send that
+	// SendTimeout bounds the first Send attempt to this many cycles (0 = run
+	// to completion, the pre-timeout behaviour). With a timeout, a Send that
 	// would hang forever instead returns a *sim.DeadlockError describing
 	// what the fabric is waiting on.
 	SendTimeout int64
 	// Retries is how many additional bounded attempts a timed-out Send makes
 	// before giving up. Each retry continues the same simulation, so a
-	// slow-but-progressing drain eventually completes.
+	// slow-but-progressing drain eventually completes. Retry budgets follow
+	// an exponential backoff schedule (SendTimeout, 2x, 4x, ... capped at
+	// 64x) with deterministic seeded jitter: a genuinely slow drain gets
+	// rapidly growing slices instead of thousands of identical tiny ones,
+	// while a fleet of controllers sharing a timeout doesn't re-poll in
+	// lockstep. See supervise.Backoff.
 	Retries int
+	// BackoffSeed seeds the retry schedule's jitter; controllers built from
+	// the same seed retry on identical schedules (determinism the replay
+	// tooling relies on).
+	BackoffSeed int64
+	// Attempts counts RunFor attempts across all Sends — observability for
+	// tests and callers tuning the schedule.
+	Attempts int64
 
 	// TruncatedWords accumulates orphaned trailing words ReadTrace found in
 	// drained streams (see trace.Decode): a non-zero value means some drain
@@ -136,14 +149,18 @@ func (c *Controller) Send(id int, cmd int64) error {
 	return c.run()
 }
 
-// run executes the machine with the controller's timeout policy.
+// run executes the machine with the controller's timeout policy: the first
+// attempt gets SendTimeout cycles, each retry an exponentially larger budget
+// from the seeded backoff schedule.
 func (c *Controller) run() error {
 	if c.SendTimeout <= 0 {
 		return c.M.Run()
 	}
+	budgets := supervise.Backoff{Base: c.SendTimeout, Seed: c.BackoffSeed}.Schedule(1 + c.Retries)
 	var err error
-	for attempt := 0; attempt <= c.Retries; attempt++ {
-		err = c.M.RunFor(c.SendTimeout)
+	for _, budget := range budgets {
+		c.Attempts++
+		err = c.M.RunFor(budget)
 		if err == nil {
 			return nil
 		}

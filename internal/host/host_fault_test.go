@@ -103,7 +103,8 @@ func TestSendTimeoutErrorsInsteadOfHanging(t *testing.T) {
 	if !de.Timeout() {
 		t.Fatalf("want budget expiry after retries, got %v", err)
 	}
-	// 3 bounded attempts of 500 cycles each — nowhere near the 20k stall limit
+	// 3 bounded attempts on the backoff schedule (500, ~1000, ~2000 cycles)
+	// — nowhere near the 20k stall limit
 	if m.Cycle() > 5_000 {
 		t.Fatalf("machine ran %d cycles; timeout did not bound the Send", m.Cycle())
 	}

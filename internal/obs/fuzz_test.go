@@ -1,0 +1,58 @@
+package obs
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReplayNDJSON throws arbitrary byte streams at the spill reader. Replay
+// must classify every input — a rebuilt record or an error, never a panic —
+// and a successful replay must be deterministic: replaying the same bytes
+// twice yields byte-identical serialized records.
+func FuzzReplayNDJSON(f *testing.F) {
+	var clean bytes.Buffer
+	s := NewNDJSONSink(&clean, "fuzz", 50)
+	s.Event(Event{Kind: KindLaunch, Track: "unit:k", Name: "launch", Start: 0, End: 0, Instant: true})
+	s.Event(Event{Kind: KindChanStall, Track: "chan:pipe", Name: "write", Start: 3, End: 9})
+	s.Sample(Sample{Cycle: 50})
+	s.Event(Event{Kind: KindFFJump, Track: "ff", Name: "jump", Start: 60, End: 90})
+	if err := s.Finalize(100); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(clean.Bytes())
+	// A truncated stream (terminal line cut off) and assorted malformed heads.
+	lines := bytes.SplitAfter(clean.Bytes(), []byte("\n"))
+	f.Add(bytes.Join(lines[:len(lines)-2], nil))
+	f.Add([]byte(`{"obsNDJSON":1,"design":"d"}` + "\n" + `{"fin":{"endCycle":5}}` + "\n"))
+	f.Add([]byte(`{"obsNDJSON":9}` + "\n"))
+	f.Add([]byte("not json"))
+	f.Add([]byte(""))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tl, ser, err := ReplayNDJSON(bytes.NewReader(data))
+		if err != nil {
+			return // rejection is fine; crashing is not
+		}
+		var a bytes.Buffer
+		if err := WriteTimeline(&a, tl); err != nil {
+			t.Fatalf("replayed timeline does not serialize: %v", err)
+		}
+		if err := WriteSeries(&a, ser); err != nil {
+			t.Fatalf("replayed series does not serialize: %v", err)
+		}
+		tl2, ser2, err := ReplayNDJSON(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("second replay of accepted stream failed: %v", err)
+		}
+		var b bytes.Buffer
+		if err := WriteTimeline(&b, tl2); err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteSeries(&b, ser2); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a.Bytes(), b.Bytes()) {
+			t.Fatal("replay is not deterministic")
+		}
+	})
+}

@@ -1,0 +1,482 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Durable segmented spill: the crash-safe form of the NDJSON stream. Instead
+// of one file that is only valid once its terminal line lands, the stream is
+// cut into size-rotated segments, each committed with temp-file + atomic
+// rename and listed in a manifest (itself rewritten atomically). At any
+// instant the directory therefore holds a durable, self-describing prefix of
+// the run's record:
+//
+//	manifest.json          sealed-segment index + design/meta, atomically replaced
+//	seg-000001.ndjson      sealed segment: header line + payload lines
+//	seg-000002.ndjson.part segment being written (ignored by recovery)
+//
+// A process crash loses at most the .part segment. Because the simulator is
+// deterministic, recovery is replay-based rather than journal-based: restart
+// the workload from cycle 0 with a resume sink (NewResumeSink) that verifies
+// the regenerated stream byte-for-byte against the durable prefix and starts
+// appending new segments where the prefix ends. The stitched record is then
+// byte-identical to an uninterrupted run's — the recovery invariant the
+// chaos suite asserts with fast-forward on and off.
+
+// SegmentInfo is one sealed segment's manifest entry.
+type SegmentInfo struct {
+	File string `json:"file"`
+	// Lines counts payload (event/sample) lines — the header and any fin
+	// line are excluded.
+	Lines     int   `json:"lines"`
+	Bytes     int64 `json:"bytes"`
+	LastCycle int64 `json:"lastCycle"`
+}
+
+// Manifest indexes a segmented spill directory.
+type Manifest struct {
+	Version     int               `json:"obsSegments"`
+	Design      string            `json:"design"`
+	SampleEvery int64             `json:"sampleEvery,omitempty"`
+	// Meta carries opaque workload parameters (e.g. oclmon's item count) so
+	// a recovering process can rebuild the identical deterministic run.
+	Meta     map[string]string `json:"meta,omitempty"`
+	Complete bool              `json:"complete,omitempty"`
+	EndCycle int64             `json:"endCycle,omitempty"`
+	Segments []SegmentInfo     `json:"segments"`
+}
+
+const manifestName = "manifest.json"
+
+func segmentName(seq int) string { return fmt.Sprintf("seg-%06d.ndjson", seq) }
+
+// SegmentConfig configures a segmented spill.
+type SegmentConfig struct {
+	// Dir is the spill directory (created if absent). One run per directory.
+	Dir         string
+	Design      string
+	SampleEvery int64
+	// Meta is stored in the manifest verbatim (see Manifest.Meta).
+	Meta map[string]string
+	// MaxLines rotates the open segment after this many payload lines
+	// (default 4096); MaxBytes after this many payload bytes (default 1MiB).
+	// Whichever trips first seals the segment.
+	MaxLines int
+	MaxBytes int64
+}
+
+func (c *SegmentConfig) fill() {
+	if c.MaxLines == 0 {
+		c.MaxLines = 4096
+	}
+	if c.MaxBytes == 0 {
+		c.MaxBytes = 1 << 20
+	}
+}
+
+// SegmentSink spills the event/sample stream into rotated, atomically
+// committed NDJSON segments. Mid-stream write errors are sticky (the sink
+// goes quiet, like NDJSONSink); commit-phase errors at Finalize are kept
+// separate and can be retried with RetryFinalize — the hook the supervisor's
+// backoff loop uses for transient IO failures.
+type SegmentSink struct {
+	cfg SegmentConfig
+	man Manifest
+
+	// verify is the durable prefix a resume sink checks instead of rewriting;
+	// vpos is the next line to verify.
+	verify [][]byte
+	vpos   int
+
+	f       *os.File
+	bw      *bufio.Writer
+	lines   int
+	bytes   int64
+	last    int64
+	pending *SegmentInfo // closed .part awaiting rename + manifest commit
+
+	werr      error // sticky stream/data error: not retryable
+	cerr      error // commit error: retryable
+	finalized bool
+	endCycle  int64
+}
+
+// NewSegmentSink starts a fresh segmented spill in cfg.Dir, writing the
+// manifest immediately so even a run that crashes before the first rotation
+// leaves a recoverable (empty-prefix) log behind.
+func NewSegmentSink(cfg SegmentConfig) (*SegmentSink, error) {
+	cfg.fill()
+	if err := os.MkdirAll(cfg.Dir, 0o777); err != nil {
+		return nil, fmt.Errorf("obs: segment: %w", err)
+	}
+	s := &SegmentSink{cfg: cfg, man: Manifest{
+		Version: 1, Design: cfg.Design, SampleEvery: cfg.SampleEvery, Meta: cfg.Meta,
+	}}
+	if err := s.writeManifest(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// NewResumeSink continues an interrupted segmented spill: the first
+// len(log.Lines) records the run regenerates are byte-compared against the
+// durable prefix (a mismatch is a replay-divergence error — the workload was
+// not rebuilt identically), and every record after the prefix is appended as
+// new segments continuing the manifest. Durable segments are never rewritten.
+func NewResumeSink(cfg SegmentConfig, log *SegmentLog) (*SegmentSink, error) {
+	if log.Manifest.Complete {
+		return nil, fmt.Errorf("obs: segment: log in %s is complete; nothing to resume", cfg.Dir)
+	}
+	cfg.fill()
+	cfg.Design = log.Manifest.Design
+	cfg.SampleEvery = log.Manifest.SampleEvery
+	cfg.Meta = log.Manifest.Meta
+	s := &SegmentSink{cfg: cfg, man: log.Manifest, verify: log.Lines}
+	return s, nil
+}
+
+// Verified reports how many durable-prefix lines the resumed run has
+// reproduced byte-identically so far.
+func (s *SegmentSink) Verified() int { return s.vpos }
+
+// Dir returns the spill directory.
+func (s *SegmentSink) Dir() string { return s.cfg.Dir }
+
+func (s *SegmentSink) writeManifest() error {
+	buf, err := json.MarshalIndent(&s.man, "", "  ")
+	if err != nil {
+		return fmt.Errorf("obs: segment: manifest: %w", err)
+	}
+	buf = append(buf, '\n')
+	tmp := filepath.Join(s.cfg.Dir, manifestName+".tmp")
+	if err := os.WriteFile(tmp, buf, 0o666); err != nil {
+		return fmt.Errorf("obs: segment: manifest: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(s.cfg.Dir, manifestName)); err != nil {
+		return fmt.Errorf("obs: segment: manifest: %w", err)
+	}
+	return nil
+}
+
+// open starts the next segment's .part file with its header line.
+func (s *SegmentSink) open() error {
+	name := segmentName(len(s.man.Segments) + 1)
+	f, err := os.Create(filepath.Join(s.cfg.Dir, name+".part"))
+	if err != nil {
+		return err
+	}
+	s.f, s.bw = f, bufio.NewWriter(f)
+	s.lines, s.bytes, s.last = 0, 0, 0
+	hdr, err := json.Marshal(ndjsonHeader{Version: 1, Design: s.cfg.Design, SampleEvery: s.cfg.SampleEvery})
+	if err != nil {
+		return err
+	}
+	_, err = s.bw.Write(append(hdr, '\n'))
+	return err
+}
+
+// seal commits the open segment: flush, fsync, close, atomic rename, and a
+// manifest rewrite listing it. Idempotent across retries — each completed
+// stage is not redone.
+func (s *SegmentSink) seal() error {
+	if s.f != nil {
+		if err := s.bw.Flush(); err != nil {
+			return err
+		}
+		if err := s.f.Sync(); err != nil {
+			return err
+		}
+		name := segmentName(len(s.man.Segments) + 1)
+		info := &SegmentInfo{File: name, Lines: s.lines, Bytes: s.bytes, LastCycle: s.last}
+		if err := s.f.Close(); err != nil {
+			s.f, s.bw = nil, nil
+			return err
+		}
+		s.f, s.bw = nil, nil
+		s.pending = info
+	}
+	if s.pending != nil {
+		p := filepath.Join(s.cfg.Dir, s.pending.File)
+		if err := os.Rename(p+".part", p); err != nil {
+			return err
+		}
+		s.man.Segments = append(s.man.Segments, *s.pending)
+		s.pending = nil
+	}
+	return s.writeManifest()
+}
+
+// write lands one marshalled line: verified against the durable prefix while
+// it lasts, appended to the open segment afterwards.
+func (s *SegmentSink) write(line []byte, cycle int64) {
+	if s.werr != nil {
+		return
+	}
+	if s.vpos < len(s.verify) {
+		if string(line) != string(s.verify[s.vpos]) {
+			s.werr = fmt.Errorf("replay diverged from durable prefix at line %d: re-executed run produced %q, spill holds %q",
+				s.vpos, line, s.verify[s.vpos])
+			return
+		}
+		s.vpos++
+		return
+	}
+	if s.f == nil {
+		if err := s.open(); err != nil {
+			s.werr = err
+			return
+		}
+	}
+	if _, err := s.bw.Write(append(line, '\n')); err != nil {
+		s.werr = err
+		return
+	}
+	s.lines++
+	s.bytes += int64(len(line)) + 1
+	if cycle > s.last {
+		s.last = cycle
+	}
+	if s.lines >= s.cfg.MaxLines || s.bytes >= s.cfg.MaxBytes {
+		if err := s.seal(); err != nil {
+			s.werr = err
+		}
+	}
+}
+
+func (s *SegmentSink) writeLine(v any, cycle int64) {
+	if s.werr != nil {
+		return
+	}
+	buf, err := json.Marshal(v)
+	if err != nil {
+		s.werr = err
+		return
+	}
+	s.write(buf, cycle)
+}
+
+// Event implements Sink.
+func (s *SegmentSink) Event(e Event) { s.writeLine(ndjsonLine{E: &e}, e.End) }
+
+// Sample implements Sink.
+func (s *SegmentSink) Sample(sm Sample) { s.writeLine(ndjsonLine{S: &sm}, sm.Cycle) }
+
+// Finalize writes the terminal fin line into the last segment, seals it, and
+// marks the manifest complete. Stream errors are returned as-is; commit
+// errors are additionally retryable via RetryFinalize.
+func (s *SegmentSink) Finalize(endCycle int64) error {
+	if s.finalized {
+		return s.err()
+	}
+	s.finalized = true
+	s.endCycle = endCycle
+	if s.werr == nil && s.vpos < len(s.verify) {
+		s.werr = fmt.Errorf("replay ended after %d of %d durable lines; re-executed run is shorter than the spill",
+			s.vpos, len(s.verify))
+	}
+	if s.werr == nil {
+		if s.f == nil {
+			if err := s.open(); err != nil {
+				s.werr = err
+			}
+		}
+		if s.werr == nil {
+			buf, err := json.Marshal(ndjsonLine{Fin: &ndjsonFinal{EndCycle: endCycle}})
+			if err != nil {
+				s.werr = err
+			} else if _, err := s.bw.Write(append(buf, '\n')); err != nil {
+				s.werr = err
+			}
+		}
+	}
+	return s.commit()
+}
+
+// commit seals the final segment and publishes the completed manifest.
+func (s *SegmentSink) commit() error {
+	if s.werr != nil {
+		return fmt.Errorf("obs: segment: %w", s.werr)
+	}
+	s.cerr = nil
+	if err := s.seal(); err != nil {
+		s.cerr = err
+		return fmt.Errorf("obs: segment: commit: %w", err)
+	}
+	if !s.man.Complete {
+		s.man.Complete = true
+		s.man.EndCycle = s.endCycle
+		if err := s.writeManifest(); err != nil {
+			s.man.Complete = false
+			s.cerr = err
+			return fmt.Errorf("obs: segment: commit: %w", err)
+		}
+	}
+	return nil
+}
+
+// RetryFinalize re-attempts the commit phase after a Finalize failure.
+// Stream/data errors are permanent and returned unchanged; commit errors
+// (a failed rename or manifest write) are retried from the failed stage.
+func (s *SegmentSink) RetryFinalize() error {
+	if !s.finalized {
+		return fmt.Errorf("obs: segment: RetryFinalize before Finalize")
+	}
+	return s.commit()
+}
+
+func (s *SegmentSink) err() error {
+	if s.werr != nil {
+		return fmt.Errorf("obs: segment: %w", s.werr)
+	}
+	if s.cerr != nil {
+		return fmt.Errorf("obs: segment: commit: %w", s.cerr)
+	}
+	return nil
+}
+
+// SegmentLog is a loaded segmented spill: the manifest plus every durable
+// payload line in stream order (raw bytes — the currency of the resume
+// sink's byte-prefix verification).
+type SegmentLog struct {
+	Dir      string
+	Manifest Manifest
+	Lines    [][]byte
+}
+
+// LastCycle returns the highest cycle any durable record reached.
+func (l *SegmentLog) LastCycle() int64 {
+	if l.Manifest.Complete {
+		return l.Manifest.EndCycle
+	}
+	var last int64
+	for _, seg := range l.Manifest.Segments {
+		if seg.LastCycle > last {
+			last = seg.LastCycle
+		}
+	}
+	return last
+}
+
+// LoadSegments reads a segmented spill directory back: the manifest, then
+// every sealed segment it lists, validating headers and per-segment line
+// counts. Unlisted files (a crashed run's .part segment, an orphaned sealed
+// segment from a crash between rename and manifest rewrite) are ignored —
+// the manifest is the sole source of durable truth.
+func LoadSegments(dir string) (*SegmentLog, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		return nil, err
+	}
+	l := &SegmentLog{Dir: dir}
+	if err := json.Unmarshal(raw, &l.Manifest); err != nil {
+		return nil, fmt.Errorf("obs: segment: manifest: %w", err)
+	}
+	if l.Manifest.Version != 1 {
+		return nil, fmt.Errorf("obs: segment: unsupported manifest version %d", l.Manifest.Version)
+	}
+	for i, seg := range l.Manifest.Segments {
+		if err := l.loadSegment(i, seg); err != nil {
+			return nil, err
+		}
+	}
+	return l, nil
+}
+
+func (l *SegmentLog) loadSegment(idx int, seg SegmentInfo) error {
+	f, err := os.Open(filepath.Join(l.Dir, seg.File))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	if !sc.Scan() {
+		return fmt.Errorf("obs: segment: %s: empty (missing header)", seg.File)
+	}
+	var hdr ndjsonHeader
+	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil {
+		return fmt.Errorf("obs: segment: %s: header: %w", seg.File, err)
+	}
+	if hdr.Version != 1 || hdr.Design != l.Manifest.Design || hdr.SampleEvery != l.Manifest.SampleEvery {
+		return fmt.Errorf("obs: segment: %s: header %+v disagrees with manifest (design %q, sampleEvery %d)",
+			seg.File, hdr, l.Manifest.Design, l.Manifest.SampleEvery)
+	}
+	lines, sawFin := 0, false
+	for sc.Scan() {
+		if sawFin {
+			return fmt.Errorf("obs: segment: %s: line after terminal fin line", seg.File)
+		}
+		var ln ndjsonLine
+		if err := json.Unmarshal(sc.Bytes(), &ln); err != nil {
+			return fmt.Errorf("obs: segment: %s: line %d: %w", seg.File, lines+2, err)
+		}
+		switch {
+		case ln.Fin != nil:
+			last := idx == len(l.Manifest.Segments)-1
+			if !last || !l.Manifest.Complete {
+				return fmt.Errorf("obs: segment: %s: unexpected fin line (segment %d of %d, complete=%v)",
+					seg.File, idx+1, len(l.Manifest.Segments), l.Manifest.Complete)
+			}
+			if ln.Fin.EndCycle != l.Manifest.EndCycle {
+				return fmt.Errorf("obs: segment: %s: fin cycle %d disagrees with manifest end cycle %d",
+					seg.File, ln.Fin.EndCycle, l.Manifest.EndCycle)
+			}
+			sawFin = true
+		case ln.E != nil || ln.S != nil:
+			l.Lines = append(l.Lines, append([]byte(nil), sc.Bytes()...))
+			lines++
+		default:
+			return fmt.Errorf("obs: segment: %s: line %d: no payload", seg.File, lines+2)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("obs: segment: %s: %w", seg.File, err)
+	}
+	if lines != seg.Lines {
+		return fmt.Errorf("obs: segment: %s: %d payload lines, manifest says %d (sealed segment corrupt)",
+			seg.File, lines, seg.Lines)
+	}
+	if idx == len(l.Manifest.Segments)-1 && l.Manifest.Complete && !sawFin {
+		return fmt.Errorf("obs: segment: %s: manifest complete but fin line missing", seg.File)
+	}
+	return nil
+}
+
+// Feed streams the durable lines into sink in order, without finalizing —
+// the caller decides whether the log's end is the run's end.
+func (l *SegmentLog) Feed(sink Sink) error {
+	for i, raw := range l.Lines {
+		var ln ndjsonLine
+		if err := json.Unmarshal(raw, &ln); err != nil {
+			return fmt.Errorf("obs: segment: durable line %d: %w", i, err)
+		}
+		switch {
+		case ln.E != nil:
+			sink.Event(*ln.E)
+		case ln.S != nil:
+			sink.Sample(*ln.S)
+		}
+	}
+	return nil
+}
+
+// Replay rebuilds the buffering record of a complete segmented spill —
+// byte-identical, once serialized, to the originating run's Timeline and
+// Series, exactly like ReplayNDJSON on a single-file spill.
+func (l *SegmentLog) Replay() (*Timeline, *Series, error) {
+	if !l.Manifest.Complete {
+		return nil, nil, fmt.Errorf("obs: segment: log in %s is incomplete (crashed run?); recover it before replaying", l.Dir)
+	}
+	rec := NewRecorder(l.Manifest.Design, Config{SampleEvery: l.Manifest.SampleEvery})
+	if err := l.Feed(rec); err != nil {
+		return nil, nil, err
+	}
+	if err := rec.Finalize(l.Manifest.EndCycle); err != nil {
+		return nil, nil, err
+	}
+	return rec.Timeline(), rec.Series(), nil
+}

@@ -1,0 +1,376 @@
+package obs
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// segCfg returns a tiny-rotation config so even the short feedRecorder
+// sequence spans several sealed segments.
+func segCfg(dir string) SegmentConfig {
+	return SegmentConfig{Dir: dir, Design: "d", SampleEvery: 50, MaxLines: 2, Meta: map[string]string{"n": "8"}}
+}
+
+// spillSegments runs the canonical feed through a recorder spilling into dir
+// and returns the uninterrupted head recorder for comparison.
+func spillSegments(t *testing.T, dir string) *Recorder {
+	t.Helper()
+	sink, err := NewSegmentSink(segCfg(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := NewRecorder("d", Config{SampleEvery: 50, Sink: sink})
+	feedRecorder(rec)
+	if err := sink.err(); err != nil {
+		t.Fatal(err)
+	}
+	head := NewRecorder("d", Config{SampleEvery: 50})
+	feedRecorder(head)
+	return head
+}
+
+// assertSameRecord byte-compares serialized timelines and series. The head
+// recorder saw feedRecorder's post-finalize drop; a replayed record did not.
+func assertSameRecord(t *testing.T, head *Recorder, tl *Timeline, ser *Series) {
+	t.Helper()
+	want := head.Timeline()
+	want.DroppedEvents = 0
+	var b1, b2 bytes.Buffer
+	if err := WriteTimeline(&b1, want); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteTimeline(&b2, tl); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Fatalf("replayed timeline differs:\n%s\nvs\n%s", b1.String(), b2.String())
+	}
+	b1.Reset()
+	b2.Reset()
+	if err := WriteSeries(&b1, head.Series()); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteSeries(&b2, ser); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Fatal("replayed series differs")
+	}
+}
+
+func TestSegmentRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	head := spillSegments(t, dir)
+
+	log, err := LoadSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !log.Manifest.Complete || log.Manifest.EndCycle != 125 {
+		t.Fatalf("manifest = %+v", log.Manifest)
+	}
+	if len(log.Manifest.Segments) < 2 {
+		t.Fatalf("expected rotation, got %d segments", len(log.Manifest.Segments))
+	}
+	if log.Manifest.Meta["n"] != "8" {
+		t.Fatalf("meta lost: %+v", log.Manifest.Meta)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if strings.HasSuffix(e.Name(), ".part") || strings.HasSuffix(e.Name(), ".tmp") {
+			t.Fatalf("uncommitted file left behind: %s", e.Name())
+		}
+	}
+	tl, ser, err := log.Replay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameRecord(t, head, tl, ser)
+}
+
+// crashSpill emulates a process dying mid-run: a prefix of the feed lands in
+// dir, nothing is finalized, and the open .part segment is left truncated
+// mid-line — the bytes a SIGKILL between two writes would leave behind.
+func crashSpill(t *testing.T, dir string) {
+	t.Helper()
+	sink, err := NewSegmentSink(segCfg(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := NewRecorder("d", Config{SampleEvery: 50, Sink: sink})
+	rec.Instant(KindLaunch, "unit:k", "launch", 0, "")
+	rec.OpenWindow("run:k", Event{Kind: KindUnitRun, Track: "unit:k", Name: "run", Start: 1})
+	rec.Add(Event{Kind: KindChanStall, Track: "chan:pipe", Name: "read-stall", Start: 5, End: 24, Detail: "unit=k"})
+	rec.AddSample(Sample{Cycle: 100, Channels: []ChannelSample{{Name: "pipe", Len: 3}}})
+	rec.FFJump(30, 70)
+	rec.Span(KindLineFetch, "lsu:k/tbl#0", "burst", 80, 99)
+	if err := sink.err(); err != nil {
+		t.Fatal(err)
+	}
+	if sink.bw != nil {
+		if err := sink.bw.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	parts, err := filepath.Glob(filepath.Join(dir, "*.part"))
+	if err != nil || len(parts) != 1 {
+		t.Fatalf("parts = %v, err = %v", parts, err)
+	}
+	st, err := os.Stat(parts[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(parts[0], st.Size()-7); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSegmentResumeByteIdentical(t *testing.T) {
+	clean := t.TempDir()
+	head := spillSegments(t, clean)
+
+	crashed := t.TempDir()
+	crashSpill(t, crashed)
+
+	log, err := LoadSegments(crashed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if log.Manifest.Complete {
+		t.Fatal("crashed log claims complete")
+	}
+	if len(log.Lines) == 0 || log.LastCycle() == 0 {
+		t.Fatalf("no durable prefix recovered: %d lines, last cycle %d", len(log.Lines), log.LastCycle())
+	}
+
+	// Re-execute the (deterministic) run against the durable prefix.
+	sink, err := NewResumeSink(segCfg(crashed), log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := NewRecorder("d", Config{SampleEvery: 50, Sink: sink})
+	feedRecorder(rec)
+	if err := sink.err(); err != nil {
+		t.Fatal(err)
+	}
+	if sink.Verified() != len(log.Lines) {
+		t.Fatalf("verified %d of %d durable lines", sink.Verified(), len(log.Lines))
+	}
+
+	// The stitched directory must replay byte-identically to the clean run.
+	stitched, err := LoadSegments(crashed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl, ser, err := stitched.Replay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameRecord(t, head, tl, ser)
+
+	// And line-for-line identically to the clean spill.
+	cleanLog, err := LoadSegments(clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cleanLog.Lines) != len(stitched.Lines) {
+		t.Fatalf("line counts differ: clean %d, stitched %d", len(cleanLog.Lines), len(stitched.Lines))
+	}
+	for i := range cleanLog.Lines {
+		if !bytes.Equal(cleanLog.Lines[i], stitched.Lines[i]) {
+			t.Fatalf("line %d differs:\n%s\nvs\n%s", i, cleanLog.Lines[i], stitched.Lines[i])
+		}
+	}
+}
+
+func TestSegmentResumeDivergenceDetected(t *testing.T) {
+	dir := t.TempDir()
+	crashSpill(t, dir)
+	log, err := LoadSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink, err := NewResumeSink(segCfg(dir), log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := NewRecorder("d", Config{SampleEvery: 50, Sink: sink})
+	// A different first event: the "re-executed" run is not the same workload.
+	rec.Instant(KindLaunch, "unit:k", "launch", 3, "")
+	err = rec.Finalize(125)
+	if err == nil || !strings.Contains(err.Error(), "diverged") {
+		t.Fatalf("divergence not detected: %v", err)
+	}
+}
+
+func TestSegmentResumeShortReplayDetected(t *testing.T) {
+	dir := t.TempDir()
+	crashSpill(t, dir)
+	log, err := LoadSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink, err := NewResumeSink(segCfg(dir), log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := NewRecorder("d", Config{SampleEvery: 50, Sink: sink})
+	rec.Instant(KindLaunch, "unit:k", "launch", 0, "") // then the run "ends"
+	if err := rec.Finalize(1); err == nil || !strings.Contains(err.Error(), "shorter") {
+		t.Fatalf("short replay not detected: %v", err)
+	}
+}
+
+func TestSegmentResumeRefusesCompleteLog(t *testing.T) {
+	dir := t.TempDir()
+	spillSegments(t, dir)
+	log, err := LoadSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewResumeSink(segCfg(dir), log); err == nil {
+		t.Fatal("resumed a complete log")
+	}
+	if _, _, err := log.Replay(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSegmentLoadRejectsCorruption(t *testing.T) {
+	fresh := func(t *testing.T) string {
+		dir := t.TempDir()
+		spillSegments(t, dir)
+		return dir
+	}
+
+	t.Run("truncated sealed segment", func(t *testing.T) {
+		dir := fresh(t)
+		log, err := LoadSegments(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := filepath.Join(dir, log.Manifest.Segments[0].File)
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Truncate(p, st.Size()-10); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadSegments(dir); err == nil {
+			t.Fatal("accepted truncated sealed segment")
+		}
+	})
+	t.Run("missing segment file", func(t *testing.T) {
+		dir := fresh(t)
+		log, _ := LoadSegments(dir)
+		if err := os.Remove(filepath.Join(dir, log.Manifest.Segments[0].File)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadSegments(dir); err == nil {
+			t.Fatal("accepted missing segment")
+		}
+	})
+	t.Run("bad manifest version", func(t *testing.T) {
+		dir := fresh(t)
+		p := filepath.Join(dir, manifestName)
+		raw, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw = bytes.Replace(raw, []byte(`"obsSegments": 1`), []byte(`"obsSegments": 9`), 1)
+		if err := os.WriteFile(p, raw, 0o666); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadSegments(dir); err == nil {
+			t.Fatal("accepted bad manifest version")
+		}
+	})
+	t.Run("missing manifest", func(t *testing.T) {
+		if _, err := LoadSegments(t.TempDir()); err == nil {
+			t.Fatal("accepted empty directory")
+		}
+	})
+	t.Run("garbage line in sealed segment", func(t *testing.T) {
+		dir := fresh(t)
+		log, _ := LoadSegments(dir)
+		p := filepath.Join(dir, log.Manifest.Segments[0].File)
+		f, err := os.OpenFile(p, os.O_APPEND|os.O_WRONLY, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.WriteString("garbage\n"); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+		if _, err := LoadSegments(dir); err == nil {
+			t.Fatal("accepted garbage line")
+		}
+	})
+}
+
+func TestSegmentRetryFinalize(t *testing.T) {
+	dir := t.TempDir()
+	sink, err := NewSegmentSink(segCfg(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := NewRecorder("d", Config{SampleEvery: 50, Sink: sink})
+	rec.Instant(KindLaunch, "unit:k", "launch", 0, "")
+	rec.Span(KindUnitRun, "unit:k", "run", 1, 120)
+
+	// Block the final segment's rename by squatting on its target name with a
+	// non-empty directory — the shape of a transient commit failure.
+	final := filepath.Join(dir, segmentName(len(sink.man.Segments)+1))
+	if err := os.MkdirAll(filepath.Join(final, "x"), 0o777); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Finalize(125); err == nil {
+		t.Fatal("commit succeeded despite blocked rename")
+	}
+	if err := sink.RetryFinalize(); err == nil {
+		t.Fatal("retry succeeded while rename still blocked")
+	}
+	if err := os.RemoveAll(final); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.RetryFinalize(); err != nil {
+		t.Fatalf("retry after clearing obstruction: %v", err)
+	}
+	log, err := LoadSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !log.Manifest.Complete || log.Manifest.EndCycle != 125 {
+		t.Fatalf("manifest = %+v", log.Manifest)
+	}
+	if _, _, err := log.Replay(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSegmentRetryFinalizeStreamErrorPermanent(t *testing.T) {
+	dir := t.TempDir()
+	crashSpill(t, dir)
+	log, err := LoadSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink, err := NewResumeSink(segCfg(dir), log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink.Event(Event{Kind: KindLaunch, Track: "unit:k", Name: "launch", Start: 9, End: 9, Instant: true})
+	if err := sink.Finalize(125); err == nil {
+		t.Fatal("divergence not surfaced")
+	}
+	if err := sink.RetryFinalize(); err == nil || !strings.Contains(err.Error(), "diverged") {
+		t.Fatalf("stream error should be permanent: %v", err)
+	}
+}

@@ -24,6 +24,16 @@ const (
 	// ReasonBudget: a bounded RunFor exhausted its budget. Not necessarily a
 	// hang — DeadlockError.Timeout() reports true so callers can retry.
 	ReasonBudget Reason = "budget"
+	// ReasonWallClock: a supervisor's wall-clock watchdog expired while the
+	// run was still in flight. The simulation itself is consistent (the
+	// supervisor stops it between bounded slices); the report captures what
+	// the fabric was doing when real time ran out.
+	ReasonWallClock Reason = "wall-clock"
+	// ReasonPanic: the run's goroutine panicked mid-simulation and a
+	// supervisor converted the crash into a diagnosis instead of letting it
+	// take the process down. Machine state may be mid-tick; the report is
+	// best-effort.
+	ReasonPanic Reason = "panic"
 )
 
 // WaitState is one compute unit's snapshot at diagnosis time: what op it is
@@ -127,6 +137,10 @@ func (r *DeadlockReport) reasonLine() string {
 		return fmt.Sprintf("exceeded %d-cycle limit with %d kernels running", r.MaxCycles, r.Active)
 	case ReasonBudget:
 		return "run budget exhausted"
+	case ReasonWallClock:
+		return fmt.Sprintf("wall-clock watchdog expired with %d kernels running", r.Active)
+	case ReasonPanic:
+		return "run goroutine panicked"
 	default:
 		return string(r.Reason)
 	}
@@ -151,6 +165,10 @@ func (e *DeadlockError) Error() string {
 		head = fmt.Sprintf("sim: exceeded %d cycles with %d kernels still running", r.MaxCycles, r.Active)
 	case ReasonBudget:
 		head = fmt.Sprintf("sim: run budget exhausted at cycle %d with %d kernels still running", r.Cycle, r.Active)
+	case ReasonWallClock:
+		head = fmt.Sprintf("sim: wall-clock watchdog expired at cycle %d with %d kernels still running", r.Cycle, r.Active)
+	case ReasonPanic:
+		head = fmt.Sprintf("sim: run goroutine panicked at cycle %d", r.Cycle)
 	default:
 		head = fmt.Sprintf("sim: run aborted (%s) at cycle %d", r.Reason, r.Cycle)
 	}
@@ -225,7 +243,11 @@ func (m *Machine) DeadlockReport(reason Reason) *DeadlockReport {
 	}
 	r.CycleUnits = findCycle(adj)
 	r.Blame = m.blameVerdict(r, readers, writers)
-	if m.obs != nil {
+	// A budget expiry is a resumable pause, not a terminal diagnosis: a
+	// supervisor slicing RunFor hits one per slice, and recording each would
+	// make the telemetry stream depend on the slicing — breaking replay
+	// recovery's byte-identity against an uninterrupted run.
+	if m.obs != nil && reason != ReasonBudget {
 		m.obs.rec.Instant(obs.KindBlame, "diagnosis", string(reason), m.cycle, r.Blame)
 	}
 	return r
@@ -435,8 +457,13 @@ func (m *Machine) blameVerdict(r *DeadlockReport, readers, writers map[int][]str
 	if longest != nil {
 		return fmt.Sprintf("longest wait: unit %s %s", longest.Unit, longest.describe())
 	}
-	if r.Reason == ReasonBudget {
+	switch r.Reason {
+	case ReasonBudget:
 		return "run budget exhausted; no unit is blocked — the workload may simply need more cycles"
+	case ReasonWallClock:
+		return "wall-clock watchdog expired; no unit is blocked — the workload may simply be slow to simulate"
+	case ReasonPanic:
+		return "run goroutine panicked; the report snapshots the fabric at the crash"
 	}
 	return "no unit reports a blocked op; the design may be spinning without forward progress"
 }

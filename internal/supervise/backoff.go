@@ -1,0 +1,67 @@
+// Package supervise wraps simulator runs in the guard layers a long-lived
+// service needs: cycle budgets, wall-clock watchdogs, panic isolation,
+// bounded admission with a wait queue, a per-workload circuit breaker, and
+// retry-with-backoff for transient sink failures. It turns "a run went wrong"
+// from a process-killing event into a classified terminal state carrying the
+// same DeadlockReport diagnostics the CLI tools print.
+package supervise
+
+import "math/rand"
+
+// Backoff computes an exponential retry schedule with deterministic, seeded
+// jitter. The unit of Base/Max is the caller's: the host controller feeds it
+// simulated cycles, the supervisor nanoseconds. Determinism matters here —
+// two processes built from the same seed retry on the same schedule, so test
+// assertions (and replayed runs) see identical behaviour.
+type Backoff struct {
+	// Base is the first delay (default 1 if unset).
+	Base int64
+	// Max caps each delay (default Base*64).
+	Max int64
+	// Seed drives the jitter PRNG; the same seed always yields the same
+	// schedule.
+	Seed int64
+	// Jitter is the fraction of each delay added as random spread: delay +
+	// uniform[0, Jitter*delay). 0 means the default 0.1; negative disables
+	// jitter entirely.
+	Jitter float64
+}
+
+// Schedule returns the delays before each of the next `attempts` retries:
+// Base, 2*Base, 4*Base, ... capped at Max, each stretched by seeded jitter.
+func (b Backoff) Schedule(attempts int) []int64 {
+	base := b.Base
+	if base <= 0 {
+		base = 1
+	}
+	max := b.Max
+	if max <= 0 {
+		if base > (1<<62)/64 {
+			max = 1 << 62
+		} else {
+			max = base * 64
+		}
+	}
+	jit := b.Jitter
+	if jit == 0 {
+		jit = 0.1
+	} else if jit < 0 {
+		jit = 0
+	}
+	rng := rand.New(rand.NewSource(b.Seed))
+	out := make([]int64, attempts)
+	d := base
+	for i := range out {
+		delay := d
+		if delay > max {
+			delay = max
+		}
+		out[i] = delay + int64(jit*float64(delay)*rng.Float64())
+		if d > max/2 {
+			d = max
+		} else {
+			d *= 2
+		}
+	}
+	return out
+}

@@ -48,6 +48,7 @@ import (
 	"oclfpga/internal/obs/analyze"
 	"oclfpga/internal/primitives"
 	"oclfpga/internal/sim"
+	"oclfpga/internal/supervise"
 	"oclfpga/internal/trace"
 )
 
@@ -201,6 +202,73 @@ func NewNDJSONSink(w io.Writer, design string, sampleEvery int64) *NDJSONSink {
 // returns the timeline and series it reconstructs — byte-identical, once
 // serialized, to what the originating machine would have returned.
 func ReplayNDJSON(r io.Reader) (*Timeline, *MetricsSeries, error) { return obs.ReplayNDJSON(r) }
+
+// Crash-safe spill (DESIGN.md §11): the segmented form of the NDJSON stream.
+// Records rotate through size-bounded segment files committed atomically
+// (temp file + rename) under a manifest, so a crash at any instant leaves a
+// loadable durable prefix; a resume sink re-executes the deterministic run,
+// verifies the prefix byte for byte, and appends the remainder.
+type (
+	// SegmentConfig configures a segmented spill directory.
+	SegmentConfig = obs.SegmentConfig
+	// SegmentSink streams records into rotated, atomically-committed
+	// segments (NewSegmentSink for fresh runs, NewResumeSink for recovery).
+	SegmentSink = obs.SegmentSink
+	// SegmentLog is a loaded spill directory: its manifest and every durable
+	// payload line, in order.
+	SegmentLog = obs.SegmentLog
+	// SegmentManifest is the spill directory's source of truth.
+	SegmentManifest = obs.Manifest
+)
+
+// NewSegmentSink starts a fresh segmented spill under cfg.Dir.
+func NewSegmentSink(cfg SegmentConfig) (*SegmentSink, error) { return obs.NewSegmentSink(cfg) }
+
+// NewResumeSink resumes an interrupted spill: the re-executed run's records
+// are verified byte-for-byte against log's durable prefix before any new
+// segment is written; divergence is a permanent error.
+func NewResumeSink(cfg SegmentConfig, log *SegmentLog) (*SegmentSink, error) {
+	return obs.NewResumeSink(cfg, log)
+}
+
+// LoadSegments loads a spill directory's durable record (complete or not).
+func LoadSegments(dir string) (*SegmentLog, error) { return obs.LoadSegments(dir) }
+
+// Supervision (DESIGN.md §11): bounded-slot admission, per-run cycle budgets
+// and wall-clock watchdogs, panic isolation with DeadlockReport-style
+// diagnostics, finalize retry with seeded exponential backoff, and a
+// per-workload circuit breaker.
+type (
+	// Supervisor executes submitted runs on a bounded worker pool with
+	// layered guards; every run reaches a classified terminal state.
+	Supervisor = supervise.Supervisor
+	// SuperviseConfig configures a Supervisor.
+	SuperviseConfig = supervise.Config
+	// RunSpec describes one run to supervise.
+	RunSpec = supervise.Spec
+	// RunLimits bounds one run (cycle budget, wall clock, slice).
+	RunLimits = supervise.Limits
+	// RunOutcome is a run's terminal record.
+	RunOutcome = supervise.Outcome
+	// RunState classifies a run's lifecycle position.
+	RunState = supervise.State
+	// Backoff is a deterministic seeded exponential backoff schedule,
+	// shared by the supervisor's sink retries and the host controller's
+	// Send retries.
+	Backoff = supervise.Backoff
+)
+
+// Supervised run states.
+const (
+	RunQueued      = supervise.StateQueued
+	RunRunning     = supervise.StateRunning
+	RunCompleted   = supervise.StateCompleted
+	RunFailed      = supervise.StateFailed
+	RunQuarantined = supervise.StateQuarantined
+)
+
+// NewSupervisor starts a supervisor with cfg's worker pool.
+func NewSupervisor(cfg SuperviseConfig) *Supervisor { return supervise.New(cfg) }
 
 // Stall analysis (DESIGN.md §10): attribution and critical-path extraction
 // over a recorded timeline, exportable as JSON, folded stacks, and pprof.

@@ -10,6 +10,13 @@ go vet ./...
 go build ./...
 go test -race ./...
 
+# Fuzz smoke: a few seconds each on the parser fuzz targets (spec parser and
+# NDJSON replay). Any crasher fails the gate; the seed corpora alone already
+# ran under `go test` above.
+go test ./internal/fault -run '^$' -fuzz 'FuzzParseSpec$' -fuzztime 5s
+go test ./internal/fault -run '^$' -fuzz 'FuzzParseSpecs$' -fuzztime 5s
+go test ./internal/obs -run '^$' -fuzz 'FuzzReplayNDJSON$' -fuzztime 5s
+
 # Observability artifacts: a real workload's timeline, metrics series, stall
 # attribution, pprof profile, and NDJSON spill must all validate, round-trip
 # byte-identically through their codecs (the spill replay is cross-checked
@@ -20,10 +27,12 @@ trap 'rm -rf "$TMP"' EXIT
 go run ./cmd/oclprof -workload chanstall -log=false -sample-every 500 \
   -timeline "$TMP/t.json" -metrics "$TMP/m.json" \
   -attr "$TMP/attr.json" -pprof "$TMP/attr.pb.gz" -spill "$TMP/spill.ndjson" \
+  -spill-dir "$TMP/segs" -seg-lines 64 \
   -json > "$TMP/report.json"
 go run ./cmd/obscheck -timeline "$TMP/t.json" -metrics "$TMP/m.json" \
   -report "$TMP/report.json" \
-  -attr "$TMP/attr.json" -pprof "$TMP/attr.pb.gz" -spill "$TMP/spill.ndjson"
+  -attr "$TMP/attr.json" -pprof "$TMP/attr.pb.gz" -spill "$TMP/spill.ndjson" \
+  -spill-dir "$TMP/segs"
 go run ./cmd/benchjson < /dev/null > /dev/null  # benchjson stays runnable
 
 # oclmon smoke test: serve one small run on an ephemeral port, scrape
@@ -44,3 +53,50 @@ grep -q '^oclmon_cycles{' "$TMP/metrics.txt"
 curl -fsS "$ADDR/" > /dev/null
 kill "$OCLMON_PID"
 wait "$OCLMON_PID" || true
+
+# oclmon kill-and-recover smoke: start a long run with a durable spill,
+# SIGKILL the server mid-run, and restart it on the same directory. The
+# crashed run must be re-executed deterministically to completion, and the
+# stitched spill must replay byte-identically to the timeline the recovered
+# server serves.
+SPILL="$TMP/mon-spill"
+"$TMP/oclmon" -addr localhost:0 -runs 1 -n 65536 \
+  -spill-dir "$SPILL" -seg-lines 1024 2> "$TMP/oclmon-crash.log" &
+OCLMON_PID=$!
+for _ in $(seq 1 100); do
+    ls "$SPILL"/run1/seg-*.ndjson > /dev/null 2>&1 && break
+    sleep 0.1
+done
+ls "$SPILL"/run1/seg-*.ndjson > /dev/null  # at least one sealed segment
+kill -9 "$OCLMON_PID"
+wait "$OCLMON_PID" || true
+! grep -q '"complete": true' "$SPILL/run1/manifest.json"  # crashed mid-run
+
+"$TMP/oclmon" -addr localhost:0 -runs 0 \
+  -spill-dir "$SPILL" -seg-lines 1024 2> "$TMP/oclmon-recover.log" &
+OCLMON_PID=$!
+ADDR=""
+for _ in $(seq 1 50); do
+    ADDR="$(grep -o 'http://[0-9.:]*' "$TMP/oclmon-recover.log" || true)"
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+done
+[ -n "$ADDR" ] || { cat "$TMP/oclmon-recover.log"; exit 1; }
+grep -q 're-executing crashed run run1' "$TMP/oclmon-recover.log"
+DONE=""
+for _ in $(seq 1 300); do
+    curl -fsS "$ADDR/metrics" > "$TMP/metrics-recover.txt"
+    if grep -q '^oclmon_run_done{run="run1"} 1$' "$TMP/metrics-recover.txt"; then
+        DONE=1
+        break
+    fi
+    sleep 0.2
+done
+[ -n "$DONE" ] || { cat "$TMP/oclmon-recover.log"; exit 1; }
+grep -q '^oclmon_runs_completed_total 1$' "$TMP/metrics-recover.txt"
+curl -fsS "$ADDR/runs" | grep -q '"recovered": *true'
+curl -fsS "$ADDR/runs/run1/timeline.json" > "$TMP/t-recovered.json"
+kill "$OCLMON_PID"
+wait "$OCLMON_PID" || true
+grep -q '"complete": true' "$SPILL/run1/manifest.json"  # recovery committed
+go run ./cmd/obscheck -spill-dir "$SPILL/run1" -timeline "$TMP/t-recovered.json"
