@@ -80,7 +80,64 @@ func checkBaseline(path string, cur *fingerprint) {
 
 var flagBaseline = flag.String("baseline", "", "earlier benchjson document to fingerprint-check against (warn on host mismatch)")
 
+var flagFleet = flag.String("fleet", "", "oclstorm report whose benchmarks and derived metrics merge into the output")
+
+// gate is one "-gate name<=value" (or name>=value) assertion against the
+// final derived-metric map. Gates make the bench pipeline a regression test:
+// a missing metric or a violated bound fails the run.
+type gate struct {
+	name string
+	op   string // "<=" or ">="
+	val  float64
+}
+
+type gateList []gate
+
+func (g *gateList) String() string { return fmt.Sprint(*g) }
+
+func (g *gateList) Set(s string) error {
+	for _, op := range []string{"<=", ">="} {
+		if name, v, ok := strings.Cut(s, op); ok {
+			val, err := strconv.ParseFloat(strings.TrimSpace(v), 64)
+			if err != nil {
+				return fmt.Errorf("gate %q: %v", s, err)
+			}
+			*g = append(*g, gate{name: strings.TrimSpace(name), op: op, val: val})
+			return nil
+		}
+	}
+	return fmt.Errorf("gate %q: want name<=value or name>=value", s)
+}
+
+var flagGates gateList
+
+// mergeFleet folds an oclstorm report into the document: its benchmark
+// entries are appended and its derived metrics (fleet-admit-p99-ms,
+// fleet-recovery-ms, ...) join the derived map, so one BENCH document carries
+// both the micro-benchmarks and the fleet's measured behavior.
+func mergeFleet(d *doc, path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var fd doc
+	if err := json.Unmarshal(raw, &fd); err != nil {
+		return fmt.Errorf("%s: %v", path, err)
+	}
+	for name, rs := range fd.Benchmarks {
+		d.Benchmarks[name] = append(d.Benchmarks[name], rs...)
+	}
+	if len(fd.Derived) > 0 && d.Derived == nil {
+		d.Derived = map[string]float64{}
+	}
+	for name, v := range fd.Derived {
+		d.Derived[name] = v
+	}
+	return nil
+}
+
 func main() {
+	flag.Var(&flagGates, "gate", "derived-metric bound to enforce, e.g. 'fleet-recovery-ms<=15000' (repeatable; exit 1 on violation or missing metric)")
 	flag.Parse()
 	d := doc{Benchmarks: map[string][]run{}, Host: hostFingerprint()}
 	if *flagBaseline != "" {
@@ -158,10 +215,37 @@ func main() {
 		}
 	}
 
+	if *flagFleet != "" {
+		if err := mergeFleet(&d, *flagFleet); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson: fleet:", err)
+			os.Exit(1)
+		}
+	}
+
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(d); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+
+	// Gates run last, against the fully merged derived map, so a violated
+	// bound still leaves the document on stdout for inspection.
+	failed := false
+	for _, g := range flagGates {
+		v, ok := d.Derived[g.name]
+		switch {
+		case !ok:
+			fmt.Fprintf(os.Stderr, "benchjson: gate %s%s%g: metric missing from derived map\n", g.name, g.op, g.val)
+			failed = true
+		case g.op == "<=" && v > g.val, g.op == ">=" && v < g.val:
+			fmt.Fprintf(os.Stderr, "benchjson: gate FAILED: %s = %g, want %s %g\n", g.name, v, g.op, g.val)
+			failed = true
+		default:
+			fmt.Fprintf(os.Stderr, "benchjson: gate ok: %s = %g (%s %g)\n", g.name, v, g.op, g.val)
+		}
+	}
+	if failed {
 		os.Exit(1)
 	}
 }

@@ -20,11 +20,27 @@
 //	GET  /metrics                  Prometheus text exposition (cycles, stalls,
 //	                               SSE drops, supervisor counters)
 //	GET  /runs                     JSON index of hosted runs
-//	POST /runs?n=&cycles=&wall=    admit a run (202; 429 saturated, 503 quarantined)
+//	POST /runs?n=&cycles=&wall=    admit a run (202; 429 saturated or over
+//	                               tenant quota, 503 quarantined); tenant from
+//	                               X-Tenant or ?tenant=
 //	GET  /runs/{id}/timeline.json  the run's event timeline (Perfetto JSON);
 //	                               a consistent snapshot while still running
 //	GET  /runs/{id}/attr.json      stall attribution & critical path (live)
-//	GET  /runs/{id}/events         Server-Sent Events tail of the event stream
+//	GET  /runs/{id}/events         Server-Sent Events tail of the event stream;
+//	                               resumes with Last-Event-ID (or ?after=N)
+//
+// With -workers N the process instead runs as a fleet front end: it spawns N
+// crash-isolated worker processes (this same binary in worker mode), places
+// submissions on a consistent-hash ring keyed by tenant and workload, proxies
+// run traffic, aggregates /runs and /metrics, and on a worker death hands the
+// corpse's spill directories to a survivor, which steals the ownership lease
+// and replay-recovers the orphaned runs byte-identically, then respawns a
+// replacement. The front end adds:
+//
+//	GET  /readyz                   200 "ready"/"degraded" with live/total
+//	                               worker counts; 503 when no worker is live
+//	GET  /fleet                    worker inventory and recovery stats
+//	POST /fleet/kill?worker=wN     chaos hook: SIGKILL a worker
 //
 // The server binds before the simulations start and announces
 // "oclmon: listening on http://..." on stderr, so scripts can poll the log,
@@ -39,10 +55,14 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"os/exec"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
+	"oclfpga/internal/fleet"
 	"oclfpga/internal/kir"
 	"oclfpga/internal/supervise"
 )
@@ -64,6 +84,11 @@ var (
 	flagSpillDir = flag.String("spill-dir", "", "root directory for crash-safe segmented spill (enables replay recovery)")
 	flagSegLines = flag.Int("seg-lines", 4096, "spill segment rotation threshold (payload lines)")
 	flagSegBytes = flag.Int64("seg-bytes", 1<<20, "spill segment rotation threshold (payload bytes)")
+
+	flagWorkers    = flag.Int("workers", 0, "fleet mode: spawn N crash-isolated worker processes behind this front end")
+	flagWorkerName = flag.String("worker-name", "", "fleet worker identity (set by the front end; implies lease-guarded spill)")
+	flagLeaseTTL   = flag.Duration("lease-ttl", 10*time.Second, "spill-dir ownership lease TTL in worker mode")
+	flagTenants    = flag.String("tenant-weights", "", "per-tenant admission weights, e.g. a=3,b=1 (enables the weighted quota; capacity = slots+queue)")
 )
 
 // buildWorkload is the monitored design: the stall-heavy producer/consumer
@@ -102,14 +127,50 @@ func buildWorkload(n int) *kir.Program {
 	return p
 }
 
+// parseTenantWeights parses "a=3,b=1" into a weight map.
+func parseTenantWeights(s string) (map[string]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := map[string]int{}
+	for _, part := range strings.Split(s, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("bad tenant weight %q (want name=weight)", part)
+		}
+		w, err := strconv.Atoi(val)
+		if err != nil || w < 1 {
+			return nil, fmt.Errorf("bad tenant weight %q (want positive integer)", part)
+		}
+		out[name] = w
+	}
+	return out, nil
+}
+
 func main() {
 	flag.Parse()
 	if *flagRuns < 0 || *flagN < 1 {
 		log.Fatal("oclmon: -runs must be >= 0 and -n positive")
 	}
+	if *flagWorkers > 0 {
+		frontendMain()
+		return
+	}
+
+	weights, err := parseTenantWeights(*flagTenants)
+	if err != nil {
+		log.Fatalf("oclmon: -tenant-weights: %v", err)
+	}
+	var quota *fleet.WeightedQuota
+	var supQuota supervise.TenantQuota
+	if weights != nil {
+		quota = fleet.NewWeightedQuota(*flagSlots+*flagQueue, fleet.QuotaOptions{Weights: weights})
+		supQuota = quota
+	}
 	sup := supervise.New(supervise.Config{
 		Slots: *flagSlots,
 		Queue: *flagQueue,
+		Quota: supQuota,
 		Defaults: supervise.Limits{
 			CycleBudget: *flagBudget,
 			WallClock:   *flagWall,
@@ -123,12 +184,15 @@ func main() {
 		spillDir:    *flagSpillDir,
 		segLines:    *flagSegLines,
 		segBytes:    *flagSegBytes,
+		workerName:  *flagWorkerName,
+		leaseTTL:    *flagLeaseTTL,
+		quota:       quota,
 	}, sup)
 	if err := srv.recoverSpills(); err != nil {
 		log.Fatal(err)
 	}
 	for i := 0; i < *flagRuns; i++ {
-		if _, err := srv.submit("", *flagN, supervise.Limits{}, nil); err != nil {
+		if _, err := srv.submit("", "", *flagN, supervise.Limits{}, nil); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -155,4 +219,85 @@ func main() {
 	}
 	// In-flight runs are abandoned, not drained: with -spill-dir their
 	// durable prefixes are already on disk and the next start recovers them.
+}
+
+// frontendMain runs the fleet front end: spawn the workers (this binary in
+// worker mode, inheriting the run-shape and supervision flags), serve the
+// routing layer, and submit the boot runs through its own admission path so
+// they are placed like any client submission.
+func frontendMain() {
+	self, err := os.Executable()
+	if err != nil {
+		log.Fatalf("oclmon: cannot locate own binary for worker spawn: %v", err)
+	}
+	fe := fleet.New(fleet.Config{
+		Workers:   *flagWorkers,
+		SpillRoot: *flagSpillDir,
+		Logf:      log.Printf,
+		Spawn: func(name, dir string) *exec.Cmd {
+			args := []string{
+				"-addr", "localhost:0", "-runs", "0",
+				"-worker-name", name,
+				"-n", strconv.Itoa(*flagN),
+				"-sample-every", strconv.FormatInt(*flagEvery, 10),
+				"-slots", strconv.Itoa(*flagSlots),
+				"-queue", strconv.Itoa(*flagQueue),
+				"-cycle-budget", strconv.FormatInt(*flagBudget, 10),
+				"-wall-clock", flagWall.String(),
+				"-breaker-threshold", strconv.Itoa(*flagBreaker),
+				"-breaker-cooldown", flagCool.String(),
+				"-seg-lines", strconv.Itoa(*flagSegLines),
+				"-seg-bytes", strconv.FormatInt(*flagSegBytes, 10),
+				"-lease-ttl", flagLeaseTTL.String(),
+			}
+			if *flagNoFF {
+				args = append(args, "-no-fastforward")
+			}
+			if dir != "" {
+				args = append(args, "-spill-dir", dir)
+			}
+			if *flagTenants != "" {
+				args = append(args, "-tenant-weights", *flagTenants)
+			}
+			return exec.Command(self, args...)
+		},
+	})
+	if err := fe.Start(); err != nil {
+		log.Fatalf("oclmon: fleet start: %v", err)
+	}
+	defer fe.Close()
+
+	ln, err := net.Listen("tcp", *flagAddr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "oclmon: fleet front end listening on http://%s (%d workers)\n", ln.Addr(), *flagWorkers)
+	hs := &http.Server{Handler: fe.Handler()}
+	go func() {
+		if err := hs.Serve(ln); err != nil && err != http.ErrServerClosed {
+			log.Fatal(err)
+		}
+	}()
+
+	for i := 0; i < *flagRuns; i++ {
+		resp, err := http.Post(fmt.Sprintf("http://%s/runs?n=%d", ln.Addr(), *flagN), "", nil)
+		if err != nil {
+			log.Fatalf("oclmon: boot run %d: %v", i+1, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			log.Printf("oclmon: boot run %d refused: %s", i+1, resp.Status)
+		}
+	}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		log.Fatal(err)
+	}
+	// Workers are SIGKILLed by Close; their spills are crash-safe and the
+	// next fleet start replay-recovers them.
 }

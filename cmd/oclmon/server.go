@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"oclfpga/internal/device"
+	"oclfpga/internal/fleet"
 	"oclfpga/internal/hls"
 	"oclfpga/internal/kir"
 	"oclfpga/internal/mem"
@@ -33,6 +34,19 @@ type serverConfig struct {
 	segLines    int    // spill segment rotation (payload lines)
 	segBytes    int64  // spill segment rotation (payload bytes)
 
+	// workerName is this process's fleet identity ("" = single-process
+	// mode). When set, run ids are prefixed "<name>-", the spill dir is
+	// guarded by an ownership lease with heartbeat renewal, and POST
+	// /takeover lets the front end hand this worker a dead peer's spill dir.
+	workerName string
+	leaseTTL   time.Duration
+	// retrySeed seeds the jittered Retry-After schedule (default: derived
+	// from workerName so workers de-synchronize their clients differently).
+	retrySeed int64
+	// quota, when set, is the per-tenant weighted admission quota also wired
+	// into the supervisor; the server only reads it for /metrics.
+	quota *fleet.WeightedQuota
+
 	// startHook, when set, replaces the workload builder — tests use it to
 	// inject blocking or failing runs without compiling designs.
 	startHook func(n int) func() (*sim.Machine, error)
@@ -44,6 +58,7 @@ type serverConfig struct {
 type run struct {
 	id        string
 	workload  string
+	tenant    string
 	sink      *liveSink
 	spill     string // this run's spill directory ("" when not spilling)
 	recovered bool   // rebuilt or resumed from a spill at startup
@@ -98,6 +113,18 @@ type server struct {
 	runs   []*run
 	byID   map[string]*run
 	nextID int
+
+	// leases are the spill-dir ownership claims this process holds (its own
+	// dir plus adopted ones), renewed by a single heartbeat goroutine. Losing
+	// one is fatal by design: another worker owns the bytes now.
+	leaseMu       sync.Mutex
+	leases        []*obs.Lease
+	heartbeat     sync.Once
+	heartbeatOff  sync.Once
+	heartbeatDone chan struct{}
+
+	retryMu    sync.Mutex
+	retryCount int64
 }
 
 func newServer(cfg serverConfig, sup *supervise.Supervisor) *server {
@@ -107,7 +134,32 @@ func newServer(cfg serverConfig, sup *supervise.Supervisor) *server {
 	if cfg.segBytes <= 0 {
 		cfg.segBytes = 1 << 20
 	}
-	return &server{cfg: cfg, sup: sup, byID: map[string]*run{}}
+	if cfg.leaseTTL <= 0 {
+		cfg.leaseTTL = 10 * time.Second
+	}
+	if cfg.retrySeed == 0 {
+		for _, c := range cfg.workerName {
+			cfg.retrySeed = cfg.retrySeed*31 + int64(c)
+		}
+		cfg.retrySeed++
+	}
+	return &server{cfg: cfg, sup: sup, byID: map[string]*run{}, heartbeatDone: make(chan struct{})}
+}
+
+// retryAfter returns the next jittered Retry-After value (whole seconds,
+// ceiling) for a 429: base one second stretched by supervise.Backoff's
+// seeded jitter, a fresh seed per response, so a thundering herd of shed
+// clients does not retry in lockstep and re-saturate the queue in one wave.
+func (s *server) retryAfter() string {
+	s.retryMu.Lock()
+	seed := s.cfg.retrySeed + s.retryCount
+	s.retryCount++
+	s.retryMu.Unlock()
+	d := supervise.Backoff{
+		Base: time.Second.Nanoseconds(), Max: time.Second.Nanoseconds(),
+		Jitter: 2.0, Seed: seed,
+	}.Schedule(1)[0]
+	return strconv.FormatInt((d+time.Second.Nanoseconds()-1)/time.Second.Nanoseconds(), 10)
 }
 
 func (s *server) addRun(r *run) {
@@ -141,14 +193,19 @@ func (s *server) get(id string) *run {
 	return s.byID[id]
 }
 
-// newID reserves the next free run id (run1, run2, ...), skipping ids taken
-// by recovered runs.
+// newID reserves the next free run id (run1, run2, ... — prefixed with the
+// worker name in fleet mode so ids are globally unique across the fleet),
+// skipping ids taken by recovered runs.
 func (s *server) newID() string {
+	prefix := ""
+	if s.cfg.workerName != "" {
+		prefix = s.cfg.workerName + "-"
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for {
 		s.nextID++
-		id := fmt.Sprintf("run%d", s.nextID)
+		id := fmt.Sprintf("%srun%d", prefix, s.nextID)
 		if _, taken := s.byID[id]; !taken {
 			return id
 		}
@@ -175,21 +232,17 @@ func (s *server) buildStart(r *run, n int, resume *obs.SegmentLog, seg **obs.Seg
 		}
 		var sink obs.Sink = r.sink
 		if r.spill != "" {
-			cfg := obs.SegmentConfig{
-				Dir: r.spill, Design: "oclmon", SampleEvery: s.cfg.sampleEvery,
-				Meta:     map[string]string{"workload": r.workload, "n": strconv.Itoa(n)},
-				MaxLines: s.cfg.segLines, MaxBytes: s.cfg.segBytes,
+			ss := *seg // fresh runs: created eagerly at admission
+			if ss == nil {
+				ss, err = obs.NewResumeSink(obs.SegmentConfig{
+					Dir: r.spill, Design: "oclmon", SampleEvery: s.cfg.sampleEvery,
+					MaxLines: s.cfg.segLines, MaxBytes: s.cfg.segBytes,
+				}, resume)
+				if err != nil {
+					return nil, err
+				}
+				*seg = ss
 			}
-			var ss *obs.SegmentSink
-			if resume != nil {
-				ss, err = obs.NewResumeSink(cfg, resume)
-			} else {
-				ss, err = obs.NewSegmentSink(cfg)
-			}
-			if err != nil {
-				return nil, err
-			}
-			*seg = ss
 			sink = obs.NewFanout(r.sink, ss)
 		}
 		m := sim.New(d, sim.Options{
@@ -230,25 +283,48 @@ func (s *server) buildStart(r *run, n int, resume *obs.SegmentLog, seg **obs.Seg
 }
 
 // submit admits one run through the supervisor. resume carries the durable
-// prefix when re-executing a crashed run at startup (id is then the spill
-// directory's name). Shed submissions (ErrSaturated) leave no trace in the
+// prefix when re-executing a crashed run at startup or takeover (id is then
+// the spill directory's name, and the spill stays in resume's directory —
+// which for an adopted run lives under the dead peer's root). Shed
+// submissions (ErrSaturated, ErrTenantSaturated) leave no trace in the
 // registry; quarantined ones are recorded in their terminal state.
-func (s *server) submit(id string, n int, lim supervise.Limits, resume *obs.SegmentLog) (*run, error) {
+func (s *server) submit(id, tenant string, n int, lim supervise.Limits, resume *obs.SegmentLog) (*run, error) {
 	if id == "" {
 		id = s.newID()
 	}
+	if tenant == "" {
+		tenant = "default"
+	}
 	r := &run{
-		id: id, workload: "oclmon", recovered: resume != nil,
+		id: id, workload: "oclmon", tenant: tenant, recovered: resume != nil,
 		sink:  newLiveSink("oclmon", s.cfg.sampleEvery),
 		state: supervise.StateQueued,
 	}
-	if s.cfg.spillDir != "" {
+	if resume != nil {
+		r.spill = resume.Dir
+	} else if s.cfg.spillDir != "" {
 		r.spill = filepath.Join(s.cfg.spillDir, id)
 	}
 	var seg *obs.SegmentSink
+	if r.spill != "" && resume == nil && s.cfg.startHook == nil {
+		// The spill manifest is written before the 202, making the on-disk
+		// directory the durable admission record: a worker killed while this
+		// run is still queued leaves a recoverable (empty-prefix) log, so a
+		// takeover re-executes it instead of silently dropping acknowledged
+		// work.
+		ss, err := obs.NewSegmentSink(obs.SegmentConfig{
+			Dir: r.spill, Design: "oclmon", SampleEvery: s.cfg.sampleEvery,
+			Meta:     map[string]string{"workload": r.workload, "n": strconv.Itoa(n), "tenant": tenant},
+			MaxLines: s.cfg.segLines, MaxBytes: s.cfg.segBytes,
+		})
+		if err != nil {
+			return nil, err
+		}
+		seg = ss
+	}
 	s.addRun(r)
 	err := s.sup.Submit(supervise.Spec{
-		ID: id, Workload: r.workload, Limits: lim,
+		ID: id, Workload: r.workload, Tenant: tenant, Limits: lim,
 		Start: s.buildStart(r, n, resume, &seg),
 		Done:  func(m *sim.Machine, out supervise.Outcome) { r.finish(m, out) },
 		FinalizeRetry: func() error {
@@ -258,17 +334,20 @@ func (s *server) submit(id string, n int, lim supervise.Limits, resume *obs.Segm
 			return seg.RetryFinalize()
 		},
 	})
-	if errors.Is(err, supervise.ErrSaturated) {
+	if errors.Is(err, supervise.ErrSaturated) || errors.Is(err, supervise.ErrTenantSaturated) {
 		s.dropRun(r)
+		if seg != nil && resume == nil {
+			// A shed submission was never acknowledged; its eager spill stub
+			// must not survive to be "recovered" as a crashed run.
+			os.RemoveAll(r.spill)
+		}
 		return nil, err
 	}
 	return r, err
 }
 
-// recoverSpills replays the durable record of every run found under the
-// spill root: complete logs become static, already-finalized runs; a log a
-// crash left incomplete is re-executed deterministically against its durable
-// prefix (the resume sink verifies byte-identity and appends the rest).
+// recoverSpills claims this process's own spill root (taking the ownership
+// lease in fleet mode) and replays every run recorded under it.
 func (s *server) recoverSpills() error {
 	if s.cfg.spillDir == "" {
 		return nil
@@ -276,16 +355,34 @@ func (s *server) recoverSpills() error {
 	if err := os.MkdirAll(s.cfg.spillDir, 0o777); err != nil {
 		return err
 	}
-	ents, err := os.ReadDir(s.cfg.spillDir)
-	if err != nil {
+	if err := s.acquireLease(s.cfg.spillDir, false); err != nil {
 		return err
 	}
+	_, err := s.recoverDir(s.cfg.spillDir)
+	return err
+}
+
+// recoverDir replays the durable record of every run found under dir:
+// complete logs become static, already-finalized runs; a log a crash left
+// incomplete is re-executed deterministically against its durable prefix
+// (the resume sink verifies byte-identity and appends the rest). It returns
+// the ids of every run it registered — the takeover path reports these to
+// the front end so routes move to this worker.
+func (s *server) recoverDir(root string) ([]string, error) {
+	ents, err := os.ReadDir(root)
+	if err != nil {
+		return nil, err
+	}
+	var ids []string
 	for _, ent := range ents {
 		if !ent.IsDir() {
 			continue
 		}
 		id := ent.Name()
-		dir := filepath.Join(s.cfg.spillDir, id)
+		if s.get(id) != nil {
+			continue // already hosted (idempotent takeover retry)
+		}
+		dir := filepath.Join(root, id)
 		slog, err := obs.LoadSegments(dir)
 		if err != nil {
 			log.Printf("oclmon: spill %s: unrecoverable: %v", dir, err)
@@ -304,6 +401,7 @@ func (s *server) recoverSpills() error {
 			r.sink.Finalize(slog.Manifest.EndCycle)
 			r.sink.retire(0, nil)
 			s.addRun(r)
+			ids = append(ids, id)
 			log.Printf("oclmon: recovered completed run %s from spill (%d events to cycle %d)",
 				id, len(slog.Lines), slog.Manifest.EndCycle)
 			continue
@@ -314,11 +412,97 @@ func (s *server) recoverSpills() error {
 		}
 		log.Printf("oclmon: re-executing crashed run %s: verifying %d durable lines to cycle %d, then resuming",
 			id, len(slog.Lines), slog.LastCycle())
-		if _, err := s.submit(id, n, supervise.Limits{}, slog); err != nil {
+		if _, err := s.submit(id, slog.Manifest.Meta["tenant"], n, supervise.Limits{}, slog); err != nil {
 			log.Printf("oclmon: recover %s: %v", id, err)
+			continue
 		}
+		ids = append(ids, id)
 	}
+	return ids, nil
+}
+
+// acquireLease claims dir's ownership lease (fleet mode only; single-process
+// oclmon has no peers to fence against) and starts the one heartbeat
+// goroutine that renews every held lease. force steals a live lease — the
+// takeover path uses it because the front end has already reaped the old
+// holder's process, so a live-looking lease just means the corpse never got
+// to say goodbye.
+func (s *server) acquireLease(dir string, force bool) error {
+	if s.cfg.workerName == "" {
+		return nil
+	}
+	l, err := obs.AcquireLease(dir, s.cfg.workerName, obs.LeaseOptions{TTL: s.cfg.leaseTTL, Steal: force})
+	if err != nil {
+		return fmt.Errorf("lease on %s: %w", dir, err)
+	}
+	s.leaseMu.Lock()
+	s.leases = append(s.leases, l)
+	s.leaseMu.Unlock()
+	s.heartbeat.Do(func() {
+		go func() {
+			tick := time.NewTicker(s.cfg.leaseTTL / 3)
+			defer tick.Stop()
+			for {
+				select {
+				case <-s.heartbeatDone:
+					return
+				case <-tick.C:
+				}
+				s.leaseMu.Lock()
+				held := append([]*obs.Lease(nil), s.leases...)
+				s.leaseMu.Unlock()
+				for _, l := range held {
+					if err := l.Renew(); err != nil {
+						// Crash-only: another worker owns our bytes now, so
+						// any further append would fork the durable history.
+						log.Fatalf("oclmon: lease lost on %s: %v", l.Dir(), err)
+					}
+				}
+			}
+		}()
+	})
 	return nil
+}
+
+// stopLeaseHeartbeat halts lease renewal. Test teardown only: a real worker
+// holds its leases until the process dies (crash-only), but an in-process
+// test server outlived by its heartbeat would fatally trip over the test's
+// deleted temp dirs.
+func (s *server) stopLeaseHeartbeat() {
+	s.heartbeatOff.Do(func() { close(s.heartbeatDone) })
+}
+
+// handleTakeover is the fleet handoff endpoint: the front end POSTs a dead
+// peer's spill dir; this worker steals the lease, replay-recovers every run
+// under it, and answers with the recovered ids so routing follows the data.
+func (s *server) handleTakeover(w http.ResponseWriter, req *http.Request) {
+	if s.cfg.workerName == "" {
+		http.Error(w, "not a fleet worker", http.StatusNotFound)
+		return
+	}
+	var in struct {
+		Dir   string `json:"dir"`
+		Force bool   `json:"force"`
+	}
+	if err := json.NewDecoder(req.Body).Decode(&in); err != nil || in.Dir == "" {
+		http.Error(w, "bad takeover request", http.StatusBadRequest)
+		return
+	}
+	if err := s.acquireLease(in.Dir, in.Force); err != nil {
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	}
+	ids, err := s.recoverDir(in.Dir)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	log.Printf("oclmon: adopted spill dir %s (%d runs)", in.Dir, len(ids))
+	if ids == nil {
+		ids = []string{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string][]string{"runs": ids})
 }
 
 // handler builds the HTTP surface.
@@ -347,13 +531,14 @@ func (s *server) handler() http.Handler {
 		s.writeIndex(w)
 	})
 	mux.HandleFunc("POST /runs", s.handleSubmit)
-	mux.HandleFunc("GET /runs/{id}/timeline.json", s.withRun(func(w http.ResponseWriter, r *run) {
+	mux.HandleFunc("POST /takeover", s.handleTakeover)
+	mux.HandleFunc("GET /runs/{id}/timeline.json", s.withRun(func(w http.ResponseWriter, req *http.Request, r *run) {
 		w.Header().Set("Content-Type", "application/json")
 		if err := obs.WriteTimeline(w, r.sink.snapshot()); err != nil {
 			log.Printf("timeline %s: %v", r.id, err)
 		}
 	}))
-	mux.HandleFunc("GET /runs/{id}/attr.json", s.withRun(func(w http.ResponseWriter, r *run) {
+	mux.HandleFunc("GET /runs/{id}/attr.json", s.withRun(func(w http.ResponseWriter, req *http.Request, r *run) {
 		w.Header().Set("Content-Type", "application/json")
 		if err := analyze.WriteJSON(w, analyze.Attribute(r.sink.snapshot())); err != nil {
 			log.Printf("attr %s: %v", r.id, err)
@@ -364,12 +549,18 @@ func (s *server) handler() http.Handler {
 }
 
 // handleSubmit is the admission path: POST /runs?n=..&cycles=..&wall=..
-// answers 202 with the run id, 429 when slots+queue are full (retry later),
-// 503 when the workload is quarantined by the circuit breaker.
+// answers 202 with the run id, 429 when slots+queue are full or the caller's
+// tenant is over its weighted share (retry after the jittered Retry-After),
+// 503 when the workload is quarantined by the circuit breaker. The tenant
+// comes from the X-Tenant header (or ?tenant=), defaulting to "default".
 func (s *server) handleSubmit(w http.ResponseWriter, req *http.Request) {
 	n := s.cfg.n
 	var lim supervise.Limits
 	q := req.URL.Query()
+	tenant := req.Header.Get("X-Tenant")
+	if tenant == "" {
+		tenant = q.Get("tenant")
+	}
 	if v := q.Get("n"); v != "" {
 		p, err := strconv.Atoi(v)
 		if err != nil || p < 1 {
@@ -394,10 +585,10 @@ func (s *server) handleSubmit(w http.ResponseWriter, req *http.Request) {
 		}
 		lim.WallClock = p
 	}
-	r, err := s.submit("", n, lim, nil)
+	r, err := s.submit("", tenant, n, lim, nil)
 	switch {
-	case errors.Is(err, supervise.ErrSaturated):
-		w.Header().Set("Retry-After", "1")
+	case errors.Is(err, supervise.ErrSaturated), errors.Is(err, supervise.ErrTenantSaturated):
+		w.Header().Set("Retry-After", s.retryAfter())
 		http.Error(w, err.Error(), http.StatusTooManyRequests)
 		return
 	case errors.Is(err, supervise.ErrQuarantined):
@@ -413,11 +604,11 @@ func (s *server) handleSubmit(w http.ResponseWriter, req *http.Request) {
 }
 
 // withRun resolves the {id} path value against the registry.
-func (s *server) withRun(h func(http.ResponseWriter, *run)) http.HandlerFunc {
+func (s *server) withRun(h func(http.ResponseWriter, *http.Request, *run)) http.HandlerFunc {
 	return func(w http.ResponseWriter, req *http.Request) {
 		id := req.PathValue("id")
 		if r := s.get(id); r != nil {
-			h(w, r)
+			h(w, req, r)
 			return
 		}
 		http.Error(w, "unknown run "+id, http.StatusNotFound)
@@ -428,6 +619,7 @@ func (s *server) writeIndex(w http.ResponseWriter) {
 	type entry struct {
 		ID        string `json:"id"`
 		Workload  string `json:"workload"`
+		Tenant    string `json:"tenant,omitempty"`
 		State     string `json:"state"`
 		Done      bool   `json:"done"`
 		Recovered bool   `json:"recovered,omitempty"`
@@ -440,7 +632,7 @@ func (s *server) writeIndex(w http.ResponseWriter) {
 		st := r.sink.stats()
 		state, outcome := r.status()
 		e := entry{
-			ID: r.id, Workload: r.workload, State: string(state), Recovered: r.recovered,
+			ID: r.id, Workload: r.workload, Tenant: r.tenant, State: string(state), Recovered: r.recovered,
 			Done:  state == supervise.StateCompleted || state == supervise.StateFailed || state == supervise.StateQuarantined,
 			Cycle: st.cycle, Events: st.events,
 		}
@@ -482,6 +674,19 @@ func (s *server) writeMetrics(w http.ResponseWriter) {
 	p("oclmon_submissions_shed_total %d\n", st.Shed)
 	p("# HELP oclmon_run_panics_total Run goroutine panics converted to failed runs.\n# TYPE oclmon_run_panics_total counter\n")
 	p("oclmon_run_panics_total %d\n", st.Panics)
+	p("# HELP oclmon_submissions_tenant_shed_total Submissions refused by the per-tenant quota (429).\n# TYPE oclmon_submissions_tenant_shed_total counter\n")
+	p("oclmon_submissions_tenant_shed_total %d\n", st.TenantShed)
+
+	if s.cfg.quota != nil {
+		p("# HELP oclmon_tenant_held Admissions currently held per tenant.\n# TYPE oclmon_tenant_held gauge\n")
+		for _, h := range s.cfg.quota.Snapshot() {
+			p("oclmon_tenant_held{tenant=%q} %d\n", h.Tenant, h.Held)
+		}
+		p("# HELP oclmon_tenant_weight Configured fair-share weight per tenant.\n# TYPE oclmon_tenant_weight gauge\n")
+		for _, h := range s.cfg.quota.Snapshot() {
+			p("oclmon_tenant_weight{tenant=%q} %d\n", h.Tenant, h.Weight)
+		}
+	}
 
 	p("# HELP oclmon_run_done Whether the run has finished (1) or is in flight (0).\n# TYPE oclmon_run_done gauge\n")
 	for _, r := range runs {
@@ -551,23 +756,50 @@ func b2i(b bool) int {
 	return 0
 }
 
-// serveEvents is the SSE live tail: each subscriber gets the events recorded
-// from subscription onward, one JSON object per `data:` frame, then a final
-// `event: finalize` frame when the run's timeline closes. Slow subscribers
-// shed frames (counted in oclmon_sse_dropped_total) instead of backing up
-// the sink.
-func serveEvents(w http.ResponseWriter, r *run) {
+// serveEvents is the SSE live tail. Each frame carries an `id:` line — the
+// event's index in the run's deterministic append-order stream — so a client
+// dropped mid-tail (or cut off by a worker failover) reconnects with
+// Last-Event-ID (or ?after=N) and resumes exactly where it left off, no
+// duplicate or missing frames: the backlog past that point is served first,
+// then the live feed, then a final `event: finalize` frame when the run's
+// timeline closes. Sequence numbers survive failover because the surviving
+// worker's replay reproduces the identical stream. Slow subscribers shed
+// live frames (counted in oclmon_sse_dropped_total) instead of backing up
+// the sink; the resulting id gap tells the client what to re-fetch.
+func serveEvents(w http.ResponseWriter, req *http.Request, r *run) {
 	fl, ok := w.(http.Flusher)
 	if !ok {
 		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
 		return
 	}
+	after := int64(-1)
+	if v := req.Header.Get("Last-Event-ID"); v != "" {
+		p, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			http.Error(w, "bad Last-Event-ID", http.StatusBadRequest)
+			return
+		}
+		after = p
+	} else if v := req.URL.Query().Get("after"); v != "" {
+		p, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			http.Error(w, "bad after", http.StatusBadRequest)
+			return
+		}
+		after = p
+	}
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
 	w.WriteHeader(http.StatusOK)
 	fl.Flush()
-	ch, cancel := r.sink.subscribe()
+	backlog, ch, cancel := r.sink.subscribe(after)
 	defer cancel()
+	for _, msg := range backlog {
+		if _, err := w.Write(msg); err != nil {
+			return
+		}
+		fl.Flush()
+	}
 	for msg := range ch {
 		if _, err := w.Write(msg); err != nil {
 			return

@@ -201,7 +201,7 @@ func TestBreakerQuarantinesWorkload(t *testing.T) {
 // loses frames — counted, never blocking the sink's caller.
 func TestStalledSSEClientShedsFrames(t *testing.T) {
 	sink := newLiveSink("d", 0)
-	ch, cancel := sink.subscribe()
+	_, ch, cancel := sink.subscribe(-1)
 	defer cancel()
 	// Never read from ch: pump more events than the per-client buffer holds.
 	// Every Event call must return promptly even with the buffer full.

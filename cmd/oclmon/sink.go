@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"fmt"
 	"strings"
 	"sync"
 
@@ -10,16 +11,20 @@ import (
 
 // liveSink is the obs.Sink behind every hosted run: the simulation goroutine
 // streams records in through the recorder, HTTP handlers read consistent
-// copies out. It keeps its own event/sample buffers — the machine's recorder
-// belongs to the sim goroutine and is never touched by a handler — plus the
-// running aggregates /metrics scrapes and the SSE subscriber set.
+// copies out. It keeps the event stream in append (spill) order — each event's
+// index is its SSE sequence number, which is what lets a client dropped
+// mid-tail resume with Last-Event-ID without duplicate or missing frames,
+// even across a worker failover (the replacement worker replays the spill in
+// the same order, so sequence numbers are stable by determinism). It also
+// keeps the running aggregates /metrics scrapes and the SSE subscriber set.
 type liveSink struct {
 	mu          sync.Mutex
 	design      string
 	sampleEvery int64
 
-	events  []obs.Event
-	ffJumps []obs.Event
+	stream  []obs.Event // every event in arrival order; index == SSE id
+	events  int         // non-FF-jump count (timeline partition sizes)
+	ffJumps int
 	samples []obs.Sample
 	cycle   int64 // latest cycle any record has reached
 
@@ -49,10 +54,12 @@ func newLiveSink(design string, sampleEvery int64) *liveSink {
 func (s *liveSink) Event(e obs.Event) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	seq := int64(len(s.stream))
+	s.stream = append(s.stream, e)
 	if e.Kind == obs.KindFFJump {
-		s.ffJumps = append(s.ffJumps, e)
+		s.ffJumps++
 	} else {
-		s.events = append(s.events, e)
+		s.events++
 	}
 	if e.End > s.cycle {
 		s.cycle = e.End
@@ -61,7 +68,7 @@ func (s *liveSink) Event(e obs.Event) {
 		k := stallKey{resource: strings.TrimPrefix(e.Track, "chan:"), op: e.Name}
 		s.stall[k] += e.End - e.Start + 1
 	}
-	s.broadcast(e)
+	s.broadcast(seq, e)
 }
 
 func (s *liveSink) Sample(smp obs.Sample) {
@@ -100,23 +107,34 @@ func (s *liveSink) retire(dropped int64, err error) {
 	s.err = err
 }
 
-// broadcast fans one event out to the SSE subscribers as a `data:` frame.
-// Slow subscribers lose events rather than stalling the simulation: the
-// channel is a bounded per-client buffer, and a full buffer drops the frame
-// and counts it (oclmon_sse_dropped_total) — the sim loop never blocks on a
-// stalled HTTP client. Callers hold s.mu.
-func (s *liveSink) broadcast(e obs.Event) {
+// sseFrame renders one event as an SSE frame. The id line carries the
+// event's stream sequence number so clients can resume with Last-Event-ID.
+func sseFrame(seq int64, e obs.Event) []byte {
+	buf, err := json.Marshal(e)
+	if err != nil {
+		return nil
+	}
+	msg := make([]byte, 0, len(buf)+32)
+	msg = append(msg, fmt.Sprintf("id: %d\ndata: ", seq)...)
+	msg = append(msg, buf...)
+	msg = append(msg, "\n\n"...)
+	return msg
+}
+
+// broadcast fans one event out to the SSE subscribers. Slow subscribers lose
+// events rather than stalling the simulation: the channel is a bounded
+// per-client buffer, and a full buffer drops the frame and counts it
+// (oclmon_sse_dropped_total) — the sim loop never blocks on a stalled HTTP
+// client. A dropped frame leaves a gap in the client's ids; reconnecting
+// with Last-Event-ID replays exactly the gap. Callers hold s.mu.
+func (s *liveSink) broadcast(seq int64, e obs.Event) {
 	if len(s.subs) == 0 {
 		return
 	}
-	buf, err := json.Marshal(e)
-	if err != nil {
+	msg := sseFrame(seq, e)
+	if msg == nil {
 		return
 	}
-	msg := make([]byte, 0, len(buf)+16)
-	msg = append(msg, "data: "...)
-	msg = append(msg, buf...)
-	msg = append(msg, "\n\n"...)
 	for ch := range s.subs {
 		select {
 		case ch <- msg:
@@ -126,23 +144,35 @@ func (s *liveSink) broadcast(e obs.Event) {
 	}
 }
 
-// subscribe registers an SSE tail; the returned channel closes at Finalize.
-// cancel is idempotent and safe after the close.
-func (s *liveSink) subscribe() (<-chan []byte, func()) {
-	ch := make(chan []byte, 256)
+// subscribe registers an SSE tail resuming after sequence number `after`
+// (-1 for the full stream): the returned backlog holds the frames already
+// recorded past that point, and the channel carries everything newer, with
+// no duplicates or gaps between them because both are cut under one lock.
+// The channel closes at Finalize. cancel is idempotent and safe after the
+// close.
+func (s *liveSink) subscribe(after int64) (backlog [][]byte, ch <-chan []byte, cancel func()) {
+	c := make(chan []byte, 256)
 	s.mu.Lock()
-	if s.finalized {
-		close(ch)
-		s.mu.Unlock()
-		return ch, func() {}
+	if after < -1 {
+		after = -1
 	}
-	s.subs[ch] = struct{}{}
+	for seq := after + 1; seq < int64(len(s.stream)); seq++ {
+		if msg := sseFrame(seq, s.stream[seq]); msg != nil {
+			backlog = append(backlog, msg)
+		}
+	}
+	if s.finalized {
+		close(c)
+		s.mu.Unlock()
+		return backlog, c, func() {}
+	}
+	s.subs[c] = struct{}{}
 	s.mu.Unlock()
-	return ch, func() {
+	return backlog, c, func() {
 		s.mu.Lock()
-		if _, live := s.subs[ch]; live {
-			delete(s.subs, ch)
-			close(ch)
+		if _, live := s.subs[c]; live {
+			delete(s.subs, c)
+			close(c)
 		}
 		s.mu.Unlock()
 	}
@@ -167,9 +197,9 @@ func (s *liveSink) stats() liveStats {
 	defer s.mu.Unlock()
 	st := liveStats{
 		cycle:      s.cycle,
-		events:     len(s.events),
+		events:     s.events,
 		samples:    len(s.samples),
-		ffJumps:    len(s.ffJumps),
+		ffJumps:    s.ffJumps,
 		stall:      make(map[stallKey]int64, len(s.stall)),
 		depth:      make(map[string]int, len(s.depth)),
 		done:       s.finalized,
@@ -188,15 +218,25 @@ func (s *liveSink) stats() liveStats {
 
 // snapshot builds a timeline of everything recorded so far — the finalized
 // record once the run is done, otherwise a consistent mid-run view whose
-// EndCycle is the telemetry high-water mark.
+// EndCycle is the telemetry high-water mark. Partitioning the unified stream
+// preserves each partition's arrival order, so the bytes match the recorder's
+// own Timeline exactly.
 func (s *liveSink) snapshot() *obs.Timeline {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return &obs.Timeline{
+	tl := &obs.Timeline{
 		Design:        s.design,
 		EndCycle:      s.cycle,
 		DroppedEvents: s.dropped,
-		Events:        append([]obs.Event(nil), s.events...),
-		FFJumps:       append([]obs.Event(nil), s.ffJumps...),
+		Events:        make([]obs.Event, 0, s.events),
+		FFJumps:       make([]obs.Event, 0, s.ffJumps),
 	}
+	for _, e := range s.stream {
+		if e.Kind == obs.KindFFJump {
+			tl.FFJumps = append(tl.FFJumps, e)
+		} else {
+			tl.Events = append(tl.Events, e)
+		}
+	}
+	return tl
 }

@@ -1,0 +1,478 @@
+// Command oclstorm is the load/chaos harness for fleet-mode oclmon: it
+// floods a fleet with concurrent run submissions and SSE tails, optionally
+// SIGKILLs a worker mid-storm through the /fleet/kill chaos hook, and
+// records what the clients actually experienced — admission latency,
+// stream lag, 429 pressure, and how long the fleet took to re-surface every
+// run after the kill — as a BENCH-style JSON document that
+// cmd/benchjson -fleet merges and -gate enforces.
+//
+//	go run ./cmd/oclstorm -oclmon ./oclmon -workers 2 -runs 120 -clients 16 \
+//	    -kill-after 2s -out storm.json
+//
+// Point it at an already-running fleet with -target instead of -oclmon.
+// Every metric is measured from the client side: admission latency is the
+// accepted POST's round trip, stream lag is the gap between consecutive SSE
+// frames on a tail (reconnecting with Last-Event-ID across failovers), and
+// recovery is the window during which at least one admitted run was missing
+// from the aggregated index after the kill.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"os/exec"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+var (
+	flagTarget  = flag.String("target", "", "attack an already-running fleet at this base URL (skips spawning)")
+	flagOclmon  = flag.String("oclmon", "", "oclmon binary to spawn in fleet mode (required unless -target)")
+	flagWorkers = flag.Int("workers", 2, "workers for the spawned fleet")
+	flagRuns    = flag.Int("runs", 120, "total runs to push through the fleet")
+	flagClients = flag.Int("clients", 16, "concurrent submitting clients")
+	flagN       = flag.Int("n", 2000, "items per run")
+	flagTenants = flag.String("tenants", "a,b", "tenants assigned round-robin to submissions")
+	flagKill    = flag.Duration("kill-after", 2*time.Second, "SIGKILL one worker this long into the storm (0 disables)")
+	flagOut     = flag.String("out", "", "write the JSON report here (default stdout)")
+	flagTimeout = flag.Duration("timeout", 5*time.Minute, "overall storm deadline")
+	flagSeed    = flag.Int64("seed", 1, "seed for the kill-target choice")
+)
+
+type storm struct {
+	base   string
+	client *http.Client
+
+	mu       sync.Mutex
+	admitMS  []float64 // accepted POST round trips
+	gapMS    []float64 // inter-frame gaps on SSE tails
+	admitted []string  // run ids in admission order
+	shed429  int64
+	retries  int64
+	tailErrs int64
+}
+
+func (s *storm) record(dst *[]float64, v float64) {
+	s.mu.Lock()
+	*dst = append(*dst, v)
+	s.mu.Unlock()
+}
+
+// submitOne POSTs one run, honoring 429 Retry-After (capped — this is a load
+// harness, not a polite client) until admitted or the deadline passes.
+func (s *storm) submitOne(tenant string, n int, deadline time.Time) (string, error) {
+	for time.Now().Before(deadline) {
+		t0 := time.Now()
+		req, err := http.NewRequest(http.MethodPost, fmt.Sprintf("%s/runs?n=%d", s.base, n), nil)
+		if err != nil {
+			return "", err
+		}
+		req.Header.Set("X-Tenant", tenant)
+		resp, err := s.client.Do(req)
+		if err != nil {
+			return "", err
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusAccepted:
+			var out struct {
+				ID string `json:"id"`
+			}
+			if err := json.Unmarshal(body, &out); err != nil || out.ID == "" {
+				return "", fmt.Errorf("bad admit response %q", body)
+			}
+			s.record(&s.admitMS, float64(time.Since(t0).Microseconds())/1000)
+			s.mu.Lock()
+			s.admitted = append(s.admitted, out.ID)
+			s.mu.Unlock()
+			return out.ID, nil
+		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+			s.mu.Lock()
+			s.shed429++
+			s.retries++
+			s.mu.Unlock()
+			wait := 200 * time.Millisecond
+			if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && ra > 0 {
+				wait = time.Duration(ra) * time.Second
+			}
+			if wait > time.Second {
+				wait = time.Second
+			}
+			time.Sleep(wait)
+		default:
+			return "", fmt.Errorf("submit %d: %s", resp.StatusCode, body)
+		}
+	}
+	return "", fmt.Errorf("deadline before admission")
+}
+
+// tail follows the run's SSE stream to its finalize frame, reconnecting with
+// Last-Event-ID across drops (worker failover included) and recording
+// inter-frame gaps.
+func (s *storm) tail(id string, deadline time.Time) {
+	last := int64(-1)
+	for time.Now().Before(deadline) {
+		req, err := http.NewRequest(http.MethodGet, fmt.Sprintf("%s/runs/%s/events", s.base, id), nil)
+		if err != nil {
+			return
+		}
+		if last >= 0 {
+			req.Header.Set("Last-Event-ID", strconv.FormatInt(last, 10))
+		}
+		resp, err := s.client.Do(req)
+		if err != nil {
+			s.mu.Lock()
+			s.tailErrs++
+			s.mu.Unlock()
+			time.Sleep(100 * time.Millisecond)
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			resp.Body.Close()
+			time.Sleep(200 * time.Millisecond) // failover window: 503 + Retry-After
+			continue
+		}
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		prev := time.Now()
+		finalized := false
+		for sc.Scan() {
+			line := sc.Text()
+			if line == "event: finalize" {
+				finalized = true
+				break
+			}
+			if v, ok := strings.CutPrefix(line, "id: "); ok {
+				if seq, err := strconv.ParseInt(v, 10, 64); err == nil {
+					now := time.Now()
+					s.record(&s.gapMS, float64(now.Sub(prev).Microseconds())/1000)
+					prev = now
+					last = seq
+				}
+			}
+		}
+		resp.Body.Close()
+		if finalized {
+			return
+		}
+		// Stream cut mid-run (dead worker): resume from the last seen frame.
+		s.mu.Lock()
+		s.tailErrs++
+		s.mu.Unlock()
+	}
+}
+
+// index fetches the aggregated run index as id -> done.
+func (s *storm) index() (map[string]bool, error) {
+	resp, err := s.client.Get(s.base + "/runs")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var entries []struct {
+		ID   string `json:"id"`
+		Done bool   `json:"done"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&entries); err != nil {
+		return nil, err
+	}
+	out := make(map[string]bool, len(entries))
+	for _, e := range entries {
+		out[e.ID] = e.Done
+	}
+	return out, nil
+}
+
+// kill SIGKILLs one live worker and measures how long the fleet takes to
+// re-surface every already-admitted run in the aggregated index.
+func (s *storm) kill(rng *rand.Rand, deadline time.Time) (worker string, recovery time.Duration, err error) {
+	resp, err := s.client.Get(s.base + "/fleet")
+	if err != nil {
+		return "", 0, err
+	}
+	var fl struct {
+		Workers []struct {
+			Name  string `json:"name"`
+			State string `json:"state"`
+		} `json:"workers"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&fl)
+	resp.Body.Close()
+	if err != nil {
+		return "", 0, err
+	}
+	var live []string
+	for _, w := range fl.Workers {
+		if w.State == "live" {
+			live = append(live, w.Name)
+		}
+	}
+	if len(live) == 0 {
+		return "", 0, fmt.Errorf("no live workers to kill")
+	}
+	worker = live[rng.Intn(len(live))]
+
+	s.mu.Lock()
+	outstanding := append([]string(nil), s.admitted...)
+	s.mu.Unlock()
+
+	t0 := time.Now()
+	kr, err := s.client.Post(s.base+"/fleet/kill?worker="+worker, "", nil)
+	if err != nil {
+		return worker, 0, err
+	}
+	io.Copy(io.Discard, kr.Body)
+	kr.Body.Close()
+	if kr.StatusCode != http.StatusOK {
+		return worker, 0, fmt.Errorf("/fleet/kill = %d", kr.StatusCode)
+	}
+	var lastMissing []string
+	for time.Now().Before(deadline) {
+		idx, err := s.index()
+		if err == nil {
+			lastMissing = lastMissing[:0]
+			for _, id := range outstanding {
+				if _, ok := idx[id]; !ok {
+					lastMissing = append(lastMissing, id)
+				}
+			}
+			if len(lastMissing) == 0 {
+				return worker, time.Since(t0), nil
+			}
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	return worker, 0, fmt.Errorf("fleet never re-surfaced runs %v after killing %s", lastMissing, worker)
+}
+
+func percentile(vals []float64, p float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), vals...)
+	sort.Float64s(sorted)
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// announceRE must match only the front end's own announce line — the front
+// end also relays its workers' "oclmon: listening on ..." lines to stderr,
+// and tailing one of those would point the storm at a single worker.
+var announceRE = regexp.MustCompile(`fleet front end listening on (http://[^\s]+)`)
+
+// spawnFleet launches oclmon -workers and waits for its announce line.
+func spawnFleet(bin string, workers, n int, spill string) (*exec.Cmd, string, error) {
+	cmd := exec.Command(bin,
+		"-addr", "localhost:0", "-runs", "0",
+		"-workers", strconv.Itoa(workers),
+		"-n", strconv.Itoa(n),
+		"-spill-dir", spill,
+		"-seg-lines", "256",
+	)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		return nil, "", err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, "", err
+	}
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		for sc.Scan() {
+			line := sc.Text()
+			if m := announceRE.FindStringSubmatch(line); m != nil {
+				select {
+				case addrCh <- m[1]:
+				default:
+				}
+			}
+			fmt.Fprintln(os.Stderr, "fleet:", line)
+		}
+	}()
+	select {
+	case addr := <-addrCh:
+		return cmd, addr, nil
+	case <-time.After(60 * time.Second):
+		cmd.Process.Kill()
+		return nil, "", fmt.Errorf("fleet never announced")
+	}
+}
+
+func main() {
+	flag.Parse()
+	deadline := time.Now().Add(*flagTimeout)
+
+	base := *flagTarget
+	if base == "" {
+		if *flagOclmon == "" {
+			fmt.Fprintln(os.Stderr, "oclstorm: need -target or -oclmon")
+			os.Exit(2)
+		}
+		spill, err := os.MkdirTemp("", "oclstorm-spill")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "oclstorm:", err)
+			os.Exit(1)
+		}
+		defer os.RemoveAll(spill)
+		cmd, addr, err := spawnFleet(*flagOclmon, *flagWorkers, *flagN, spill)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "oclstorm:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}()
+		base = addr
+	}
+
+	s := &storm{base: base, client: &http.Client{Timeout: 0}}
+	tenants := strings.Split(*flagTenants, ",")
+	rng := rand.New(rand.NewSource(*flagSeed))
+
+	// The storm: flagClients concurrent submitters drain a shared budget of
+	// flagRuns, each admitted run immediately gets an SSE tail.
+	var next int64
+	var wg sync.WaitGroup
+	var tails sync.WaitGroup
+	stormStart := time.Now()
+	for c := 0; c < *flagClients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				s.mu.Lock()
+				mine := next
+				next++
+				s.mu.Unlock()
+				if mine >= int64(*flagRuns) {
+					return
+				}
+				tenant := tenants[int(mine)%len(tenants)]
+				id, err := s.submitOne(tenant, *flagN, deadline)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "oclstorm: submit %d: %v\n", mine, err)
+					return
+				}
+				tails.Add(1)
+				go func() {
+					defer tails.Done()
+					s.tail(id, deadline)
+				}()
+			}
+		}()
+	}
+
+	// Chaos: partway into the storm, SIGKILL one worker and time the
+	// client-visible recovery window.
+	var killedWorker string
+	var recovery time.Duration
+	var killErr error
+	if *flagKill > 0 {
+		time.Sleep(*flagKill)
+		killedWorker, recovery, killErr = s.kill(rng, deadline)
+		if killErr != nil {
+			fmt.Fprintln(os.Stderr, "oclstorm: chaos:", killErr)
+		} else {
+			fmt.Fprintf(os.Stderr, "oclstorm: killed %s; fleet re-surfaced all runs in %s\n",
+				killedWorker, recovery.Round(time.Millisecond))
+		}
+	}
+
+	wg.Wait()
+	tails.Wait()
+
+	// Settle: every admitted run reaches done.
+	var done, total int
+	for time.Now().Before(deadline) {
+		idx, err := s.index()
+		if err != nil {
+			time.Sleep(100 * time.Millisecond)
+			continue
+		}
+		s.mu.Lock()
+		ids := append([]string(nil), s.admitted...)
+		s.mu.Unlock()
+		done, total = 0, len(ids)
+		for _, id := range ids {
+			if idx[id] {
+				done++
+			}
+		}
+		if done == total {
+			break
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	elapsed := time.Since(stormStart)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	derived := map[string]float64{
+		"fleet-admit-p50-ms":      percentile(s.admitMS, 0.50),
+		"fleet-admit-p99-ms":      percentile(s.admitMS, 0.99),
+		"fleet-stream-lag-p50-ms": percentile(s.gapMS, 0.50),
+		"fleet-stream-lag-p99-ms": percentile(s.gapMS, 0.99),
+		"fleet-runs-admitted":     float64(len(s.admitted)),
+		"fleet-runs-completed":    float64(done),
+		"fleet-429-total":         float64(s.shed429),
+		"fleet-tail-reconnects":   float64(s.tailErrs),
+		"fleet-storm-wall-s":      elapsed.Seconds(),
+	}
+	if killErr == nil && killedWorker != "" {
+		derived["fleet-recovery-ms"] = float64(recovery.Microseconds()) / 1000
+	}
+	out := struct {
+		Benchmarks map[string][]map[string]float64 `json:"benchmarks"`
+		Derived    map[string]float64              `json:"derived"`
+	}{
+		Benchmarks: map[string][]map[string]float64{
+			"StormSubmit": {{
+				"iterations": float64(len(s.admitMS)),
+				"p50-ms":     percentile(s.admitMS, 0.50),
+				"p99-ms":     percentile(s.admitMS, 0.99),
+			}},
+			"StormStream": {{
+				"iterations": float64(len(s.gapMS)),
+				"p50-ms":     percentile(s.gapMS, 0.50),
+				"p99-ms":     percentile(s.gapMS, 0.99),
+			}},
+		},
+		Derived: derived,
+	}
+	w := os.Stdout
+	if *flagOut != "" {
+		f, err := os.Create(*flagOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "oclstorm:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(os.Stderr, "oclstorm:", err)
+		os.Exit(1)
+	}
+	if done != total {
+		fmt.Fprintf(os.Stderr, "oclstorm: FAIL: only %d/%d admitted runs completed before the deadline\n", done, total)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "oclstorm: %d runs admitted and completed in %s (%d 429s, %d reconnects)\n",
+		total, elapsed.Round(time.Millisecond), s.shed429, s.tailErrs)
+}

@@ -1,0 +1,388 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Config assembles a Frontend.
+type Config struct {
+	// Workers is the fleet's target size.
+	Workers int
+	// Spawn builds the exec.Cmd for a new worker (the oclmon binary in
+	// worker mode). name is the worker's fleet name (w1, w2, ...), dir its
+	// spill directory ("" when SpillRoot is unset). The front end owns the
+	// returned process.
+	Spawn func(name, dir string) *exec.Cmd
+	// SpillRoot is the shared spill root; each worker gets SpillRoot/<name>
+	// and dead workers' directories are handed to survivors. "" disables
+	// spill (and with it, recovery — dead workers' runs are simply lost).
+	SpillRoot string
+	// Replicas is the ring's virtual-node count (default 64).
+	Replicas int
+	// ProbeEvery is the health-probe interval (default 1s); ProbeFails
+	// consecutive failures kill the worker so the exit path takes over
+	// (default 3).
+	ProbeEvery time.Duration
+	ProbeFails int
+	// StartTimeout bounds how long a spawned worker may take to announce its
+	// listen address (default 30s).
+	StartTimeout time.Duration
+	// Respawn replaces dead workers with fresh processes (default true;
+	// set NoRespawn to disable, e.g. in failover tests that assert the
+	// degraded state).
+	NoRespawn bool
+	// Logf receives worker stderr lines and fleet lifecycle messages
+	// (default: discard).
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) fill() {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.ProbeEvery <= 0 {
+		c.ProbeEvery = time.Second
+	}
+	if c.ProbeFails <= 0 {
+		c.ProbeFails = 3
+	}
+	if c.StartTimeout <= 0 {
+		c.StartTimeout = 30 * time.Second
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+}
+
+// Frontend is the thin stateless routing layer in front of the worker
+// fleet: consistent-hash placement on POST /runs (with spill-over to ring
+// successors when the owner sheds), run-id routing for reads and SSE tails,
+// aggregated /runs and /metrics, and the worker-death path — detect, hand
+// the dead worker's spill dirs to a survivor (which replay-recovers the
+// orphaned runs), respawn a replacement.
+type Frontend struct {
+	cfg  Config
+	ring *Ring
+
+	mu         sync.Mutex
+	workers    map[string]*Worker // live and dead, for /fleet visibility
+	routes     map[string]string  // run id -> worker name
+	orphans    []string           // spill dirs awaiting a survivor
+	nextIdx    int
+	restarts   int64
+	takeovers  int64
+	recoveries []time.Duration // death -> takeover-complete, per dead worker
+	closing    bool
+
+	reapers sync.WaitGroup
+	stopCh  chan struct{}
+
+	client *http.Client
+}
+
+// New builds a Frontend; call Start to spawn the fleet.
+func New(cfg Config) *Frontend {
+	cfg.fill()
+	return &Frontend{
+		cfg:     cfg,
+		ring:    NewRing(cfg.Replicas),
+		workers: map[string]*Worker{},
+		routes:  map[string]string{},
+		stopCh:  make(chan struct{}),
+		client:  &http.Client{Timeout: 10 * time.Second},
+	}
+}
+
+// Start spawns the initial workers and the health-probe loop.
+func (f *Frontend) Start() error {
+	for i := 0; i < f.cfg.Workers; i++ {
+		if _, err := f.spawn(); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	go f.probeLoop()
+	return nil
+}
+
+// Close terminates the fleet: SIGKILL every worker (their spills are
+// crash-safe by construction; the next Start recovers) and reap them.
+func (f *Frontend) Close() {
+	f.mu.Lock()
+	if f.closing {
+		f.mu.Unlock()
+		return
+	}
+	f.closing = true
+	ws := f.liveLocked()
+	f.mu.Unlock()
+	close(f.stopCh)
+	for _, w := range ws {
+		w.kill()
+	}
+	f.reapers.Wait()
+}
+
+// spawn starts one fresh worker, adds it to the ring, and hands it any
+// orphaned spill dirs no survivor could adopt.
+func (f *Frontend) spawn() (*Worker, error) {
+	f.mu.Lock()
+	if f.closing {
+		f.mu.Unlock()
+		return nil, fmt.Errorf("fleet: closing")
+	}
+	f.nextIdx++
+	name := fmt.Sprintf("w%d", f.nextIdx)
+	f.mu.Unlock()
+
+	dir := ""
+	if f.cfg.SpillRoot != "" {
+		dir = filepath.Join(f.cfg.SpillRoot, name)
+	}
+	w, err := startWorker(name, dir, f.cfg.Spawn(name, dir), f.cfg.StartTimeout, f.cfg.Logf)
+	if err != nil {
+		return nil, err
+	}
+	f.mu.Lock()
+	f.workers[name] = w
+	orphans := f.orphans
+	f.orphans = nil
+	f.mu.Unlock()
+	f.ring.Add(name)
+	f.cfg.Logf("fleet: worker %s live at %s (pid %d)", name, w.URL, w.PID)
+
+	f.reapers.Add(1)
+	go func() {
+		defer f.reapers.Done()
+		w.wait()
+		f.onWorkerExit(w)
+	}()
+
+	if len(orphans) > 0 {
+		f.handoff(w, orphans, time.Now())
+	}
+	return w, nil
+}
+
+// onWorkerExit is the death path: remove the corpse from placement, hand its
+// spill dirs to a survivor, respawn a replacement.
+func (f *Frontend) onWorkerExit(w *Worker) {
+	died := time.Now()
+	w.setState(WorkerDead)
+	f.ring.Remove(w.Name)
+	f.mu.Lock()
+	if f.closing {
+		f.mu.Unlock()
+		return
+	}
+	var dirs []string
+	if f.cfg.SpillRoot != "" {
+		dirs = append(dirs, w.Dirs...)
+	}
+	// Routes to the dead worker stay in place until takeover rewrites them;
+	// reads in the window get 503 + Retry-After, not 404.
+	f.mu.Unlock()
+	f.cfg.Logf("fleet: worker %s (pid %d) died; %d spill dirs to hand off", w.Name, w.PID, len(dirs))
+
+	if len(dirs) > 0 {
+		f.handoffToSurvivor(dirs, died)
+	}
+	if !f.cfg.NoRespawn {
+		f.mu.Lock()
+		f.restarts++
+		f.mu.Unlock()
+		if _, err := f.spawn(); err != nil {
+			f.cfg.Logf("fleet: respawn after %s: %v", w.Name, err)
+		}
+	}
+}
+
+// handoffToSurvivor picks the dead worker's ring successor and transfers the
+// orphaned dirs; with no survivors the dirs wait for the next spawn.
+func (f *Frontend) handoffToSurvivor(dirs []string, died time.Time) {
+	for _, name := range f.ring.PickN("handoff", len(f.ring.Members())) {
+		f.mu.Lock()
+		s := f.workers[name]
+		f.mu.Unlock()
+		if s == nil || s.State() != WorkerLive {
+			continue
+		}
+		if f.handoff(s, dirs, died) {
+			return
+		}
+	}
+	f.mu.Lock()
+	f.orphans = append(f.orphans, dirs...)
+	f.mu.Unlock()
+	f.cfg.Logf("fleet: no survivor for %d orphaned dirs; queued for next spawn", len(dirs))
+}
+
+// handoff POSTs /takeover for each dir to the survivor and rewrites the
+// routes for the recovered runs. Returns false if the survivor failed.
+func (f *Frontend) handoff(s *Worker, dirs []string, died time.Time) bool {
+	for _, dir := range dirs {
+		body, _ := json.Marshal(map[string]any{"dir": dir, "force": true})
+		resp, err := f.client.Post(s.URL.String()+"/takeover", "application/json", strings.NewReader(string(body)))
+		if err != nil {
+			f.cfg.Logf("fleet: takeover of %s by %s: %v", dir, s.Name, err)
+			return false
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			f.cfg.Logf("fleet: takeover of %s by %s: %d %s", dir, s.Name, resp.StatusCode, raw)
+			return false
+		}
+		var out struct {
+			Runs []string `json:"runs"`
+		}
+		if err := json.Unmarshal(raw, &out); err != nil {
+			f.cfg.Logf("fleet: takeover of %s by %s: bad response %q", dir, s.Name, raw)
+			return false
+		}
+		f.mu.Lock()
+		for _, id := range out.Runs {
+			f.routes[id] = s.Name
+		}
+		s.Dirs = append(s.Dirs, dir)
+		f.takeovers++
+		f.mu.Unlock()
+		f.cfg.Logf("fleet: %s adopted %s (%d runs) in %s", s.Name, dir, len(out.Runs), time.Since(died).Round(time.Millisecond))
+	}
+	f.mu.Lock()
+	f.recoveries = append(f.recoveries, time.Since(died))
+	f.mu.Unlock()
+	return true
+}
+
+// probeLoop health-checks live workers; ProbeFails consecutive misses kill
+// the process, which funnels the failure into the one death path.
+func (f *Frontend) probeLoop() {
+	fails := map[string]int{}
+	tick := time.NewTicker(f.cfg.ProbeEvery)
+	defer tick.Stop()
+	client := &http.Client{Timeout: f.cfg.ProbeEvery}
+	for {
+		select {
+		case <-f.stopCh:
+			return
+		case <-tick.C:
+		}
+		for _, w := range f.live() {
+			resp, err := client.Get(w.URL.String() + "/healthz")
+			if err == nil {
+				resp.Body.Close()
+			}
+			if err == nil && resp.StatusCode == http.StatusOK {
+				fails[w.Name] = 0
+				continue
+			}
+			fails[w.Name]++
+			if fails[w.Name] >= f.cfg.ProbeFails {
+				f.cfg.Logf("fleet: worker %s failed %d probes; killing", w.Name, fails[w.Name])
+				w.kill()
+				fails[w.Name] = 0
+			}
+		}
+	}
+}
+
+func (f *Frontend) liveLocked() []*Worker {
+	var out []*Worker
+	for _, w := range f.workers {
+		if w.State() == WorkerLive {
+			out = append(out, w)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+func (f *Frontend) live() []*Worker {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.liveLocked()
+}
+
+// LiveWorkers reports current live count and the fleet's target size.
+func (f *Frontend) LiveWorkers() (live, total int) {
+	return len(f.live()), f.cfg.Workers
+}
+
+// Worker returns the named worker, or nil.
+func (f *Frontend) Worker(name string) *Worker {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.workers[name]
+}
+
+// Kill SIGKILLs the named worker — the chaos hook behind POST /fleet/kill.
+func (f *Frontend) Kill(name string) error {
+	w := f.Worker(name)
+	if w == nil || w.State() != WorkerLive {
+		return fmt.Errorf("fleet: no live worker %q", name)
+	}
+	return w.kill()
+}
+
+// Takeovers reports completed spill-dir handoffs and their durations.
+func (f *Frontend) Takeovers() (int64, []time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.takeovers, append([]time.Duration(nil), f.recoveries...)
+}
+
+// routeFor resolves a run id to a live worker, refreshing the table from the
+// workers when the id is unknown (e.g. the front end restarted).
+func (f *Frontend) routeFor(id string) (*Worker, bool) {
+	f.mu.Lock()
+	name, ok := f.routes[id]
+	var w *Worker
+	if ok {
+		w = f.workers[name]
+	}
+	f.mu.Unlock()
+	if ok && w != nil {
+		return w, true
+	}
+	f.refreshRoutes()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if name, ok := f.routes[id]; ok {
+		return f.workers[name], true
+	}
+	return nil, false
+}
+
+// refreshRoutes rebuilds the id->worker table from each live worker's /runs
+// index.
+func (f *Frontend) refreshRoutes() {
+	for _, w := range f.live() {
+		resp, err := f.client.Get(w.URL.String() + "/runs")
+		if err != nil {
+			continue
+		}
+		var entries []struct {
+			ID string `json:"id"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&entries)
+		resp.Body.Close()
+		if err != nil {
+			continue
+		}
+		f.mu.Lock()
+		for _, e := range entries {
+			f.routes[e.ID] = w.Name
+		}
+		f.mu.Unlock()
+	}
+}

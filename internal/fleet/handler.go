@@ -1,0 +1,324 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Handler builds the front end's HTTP surface. It mirrors a single worker's
+// API — clients talk to one address whether oclmon runs solo or as a fleet —
+// plus the fleet-management endpoints:
+//
+//	GET  /healthz            front-end liveness
+//	GET  /readyz             ready / degraded (some workers dead) / not ready
+//	GET  /metrics            merged worker expositions + fleet gauges
+//	GET  /runs               aggregated run index (each entry tagged "worker")
+//	POST /runs               consistent-hash placement, ring spill-over on 429
+//	GET  /runs/{id}/...      routed to the owning worker (SSE streams through)
+//	GET  /fleet              worker inventory, takeovers, recovery times
+//	POST /fleet/kill?worker= SIGKILL a worker (chaos/testing hook)
+func (f *Frontend) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, req *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("GET /readyz", f.handleReadyz)
+	mux.HandleFunc("GET /metrics", f.handleMetrics)
+	mux.HandleFunc("GET /runs", f.handleIndex)
+	mux.HandleFunc("GET /{$}", f.handleIndex)
+	mux.HandleFunc("POST /runs", f.handleSubmit)
+	mux.HandleFunc("/runs/{id}/{rest...}", f.handleRunProxy)
+	mux.HandleFunc("GET /fleet", f.handleFleet)
+	mux.HandleFunc("POST /fleet/kill", f.handleKill)
+	return mux
+}
+
+// handleReadyz distinguishes three states: ready (full strength), degraded
+// but serving (some workers dead — capacity reduced, requests still land),
+// and not ready (no live workers). Degraded stays 200: an LB draining a
+// degraded-but-serving fleet would turn partial failure into an outage.
+func (f *Frontend) handleReadyz(w http.ResponseWriter, req *http.Request) {
+	live, total := f.LiveWorkers()
+	switch {
+	case live == 0:
+		http.Error(w, fmt.Sprintf("not ready: 0/%d workers live", total), http.StatusServiceUnavailable)
+	case live < total:
+		fmt.Fprintf(w, "degraded: %d/%d workers live\n", live, total)
+	default:
+		fmt.Fprintf(w, "ready: %d/%d workers live\n", live, total)
+	}
+}
+
+// handleSubmit places the run on the ring — keyed by (tenant, workload,
+// size) so repeated submissions of one workload land on one worker — and
+// walks the ring's successors when the owner sheds (429/503) or is
+// unreachable, so a saturated or dying worker does not refuse work the rest
+// of the fleet could take. The terminal refusal propagated to the client is
+// the placed owner's (including its jittered Retry-After).
+func (f *Frontend) handleSubmit(w http.ResponseWriter, req *http.Request) {
+	tenant := tenantOf(req)
+	n := req.URL.Query().Get("n")
+	key := fmt.Sprintf("%s/oclmon/n=%s", tenant, n)
+	prefs := f.ring.PickN(key, len(f.ring.Members()))
+	if len(prefs) == 0 {
+		http.Error(w, "no live workers", http.StatusServiceUnavailable)
+		return
+	}
+	var firstRefusal *http.Response
+	var firstBody []byte
+	for _, name := range prefs {
+		wk := f.Worker(name)
+		if wk == nil || wk.State() != WorkerLive {
+			continue
+		}
+		target := wk.URL.String() + "/runs"
+		if req.URL.RawQuery != "" {
+			target += "?" + req.URL.RawQuery
+		}
+		preq, err := http.NewRequest(http.MethodPost, target, nil)
+		if err != nil {
+			continue
+		}
+		preq.Header.Set("X-Tenant", tenant)
+		resp, err := f.client.Do(preq)
+		if err != nil {
+			continue
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusAccepted:
+			var out struct {
+				ID string `json:"id"`
+			}
+			if err := json.Unmarshal(body, &out); err != nil || out.ID == "" {
+				http.Error(w, fmt.Sprintf("worker %s: bad admit response %q", name, body), http.StatusBadGateway)
+				return
+			}
+			f.mu.Lock()
+			f.routes[out.ID] = name
+			f.mu.Unlock()
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusAccepted)
+			fmt.Fprintf(w, "{\"id\":%q,\"worker\":%q}\n", out.ID, name)
+			return
+		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+			if firstRefusal == nil {
+				firstRefusal, firstBody = resp, body
+			}
+			continue // spill over to the next ring member
+		default:
+			// Validation errors and the like are the same on every worker.
+			copyHeader(w.Header(), resp.Header)
+			w.WriteHeader(resp.StatusCode)
+			w.Write(body)
+			return
+		}
+	}
+	if firstRefusal != nil {
+		copyHeader(w.Header(), firstRefusal.Header)
+		w.WriteHeader(firstRefusal.StatusCode)
+		w.Write(firstBody)
+		return
+	}
+	http.Error(w, "no reachable workers", http.StatusServiceUnavailable)
+}
+
+func copyHeader(dst, src http.Header) {
+	for _, k := range []string{"Retry-After", "Content-Type"} {
+		if v := src.Get(k); v != "" {
+			dst.Set(k, v)
+		}
+	}
+}
+
+func tenantOf(req *http.Request) string {
+	if t := req.Header.Get("X-Tenant"); t != "" {
+		return t
+	}
+	if t := req.URL.Query().Get("tenant"); t != "" {
+		return t
+	}
+	return "default"
+}
+
+// handleRunProxy routes /runs/{id}/... to the owning worker. During a
+// failover window (owner dead, takeover in flight) it answers 503 +
+// Retry-After rather than 404 — the run is not gone, it is moving.
+func (f *Frontend) handleRunProxy(w http.ResponseWriter, req *http.Request) {
+	id := req.PathValue("id")
+	wk, known := f.routeFor(id)
+	if !known {
+		http.Error(w, "unknown run "+id, http.StatusNotFound)
+		return
+	}
+	if wk == nil || wk.State() != WorkerLive {
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, fmt.Sprintf("run %s is failing over to a new worker; retry", id), http.StatusServiceUnavailable)
+		return
+	}
+	wk.Proxy().ServeHTTP(w, req)
+}
+
+// handleIndex aggregates every live worker's /runs index, tagging each entry
+// with its worker.
+func (f *Frontend) handleIndex(w http.ResponseWriter, req *http.Request) {
+	type tagged struct {
+		entry  map[string]any
+		worker string
+	}
+	var mu sync.Mutex
+	var all []tagged
+	var wg sync.WaitGroup
+	for _, wk := range f.live() {
+		wg.Add(1)
+		go func(wk *Worker) {
+			defer wg.Done()
+			resp, err := f.client.Get(wk.URL.String() + "/runs")
+			if err != nil {
+				return
+			}
+			var entries []map[string]any
+			err = json.NewDecoder(resp.Body).Decode(&entries)
+			resp.Body.Close()
+			if err != nil {
+				return
+			}
+			mu.Lock()
+			for _, e := range entries {
+				e["worker"] = wk.Name
+				all = append(all, tagged{entry: e, worker: wk.Name})
+			}
+			mu.Unlock()
+		}(wk)
+	}
+	wg.Wait()
+	sort.Slice(all, func(i, j int) bool {
+		a, _ := all[i].entry["id"].(string)
+		b, _ := all[j].entry["id"].(string)
+		return a < b
+	})
+	out := make([]map[string]any, len(all))
+	for i, t := range all {
+		out[i] = t.entry
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(out)
+}
+
+// handleMetrics emits the fleet's own gauges followed by the merged worker
+// expositions (identical series summed — the fleet-wide totals).
+func (f *Frontend) handleMetrics(w http.ResponseWriter, req *http.Request) {
+	live, total := f.LiveWorkers()
+	f.mu.Lock()
+	restarts, takeovers := f.restarts, f.takeovers
+	recoveries := append([]time.Duration(nil), f.recoveries...)
+	f.mu.Unlock()
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	fmt.Fprintf(w, "# HELP oclmon_workers_live Worker processes currently serving.\n# TYPE oclmon_workers_live gauge\n")
+	fmt.Fprintf(w, "oclmon_workers_live %d\n", live)
+	fmt.Fprintf(w, "# HELP oclmon_workers_total Fleet target size.\n# TYPE oclmon_workers_total gauge\n")
+	fmt.Fprintf(w, "oclmon_workers_total %d\n", total)
+	fmt.Fprintf(w, "# HELP oclmon_worker_restarts_total Workers respawned after death.\n# TYPE oclmon_worker_restarts_total counter\n")
+	fmt.Fprintf(w, "oclmon_worker_restarts_total %d\n", restarts)
+	fmt.Fprintf(w, "# HELP oclmon_takeovers_total Spill-dir ownership handoffs completed.\n# TYPE oclmon_takeovers_total counter\n")
+	fmt.Fprintf(w, "oclmon_takeovers_total %d\n", takeovers)
+	if len(recoveries) > 0 {
+		last := recoveries[len(recoveries)-1]
+		fmt.Fprintf(w, "# HELP oclmon_last_recovery_ms Duration of the most recent worker-death handoff.\n# TYPE oclmon_last_recovery_ms gauge\n")
+		fmt.Fprintf(w, "oclmon_last_recovery_ms %d\n", last.Milliseconds())
+	}
+
+	var mu sync.Mutex
+	var bodies []string
+	var wg sync.WaitGroup
+	for _, wk := range f.live() {
+		wg.Add(1)
+		go func(wk *Worker) {
+			defer wg.Done()
+			resp, err := f.client.Get(wk.URL.String() + "/metrics")
+			if err != nil {
+				return
+			}
+			raw, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				return
+			}
+			mu.Lock()
+			bodies = append(bodies, string(raw))
+			mu.Unlock()
+		}(wk)
+	}
+	wg.Wait()
+	sort.Strings(bodies) // deterministic order regardless of fetch timing
+	MergeMetrics(w, bodies...)
+}
+
+// handleFleet reports the worker inventory and recovery history.
+func (f *Frontend) handleFleet(w http.ResponseWriter, req *http.Request) {
+	type workerJSON struct {
+		Name  string   `json:"name"`
+		State string   `json:"state"`
+		PID   int      `json:"pid"`
+		URL   string   `json:"url,omitempty"`
+		Dirs  []string `json:"dirs,omitempty"`
+	}
+	f.mu.Lock()
+	out := struct {
+		Workers      []workerJSON `json:"workers"`
+		Live         int          `json:"live"`
+		Total        int          `json:"total"`
+		Restarts     int64        `json:"restarts"`
+		Takeovers    int64        `json:"takeovers"`
+		RecoveriesMS []int64      `json:"recoveriesMs,omitempty"`
+	}{Total: f.cfg.Workers, Restarts: f.restarts, Takeovers: f.takeovers}
+	names := make([]string, 0, len(f.workers))
+	for n := range f.workers {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		wk := f.workers[n]
+		wj := workerJSON{Name: wk.Name, State: string(wk.State()), PID: wk.PID, Dirs: wk.Dirs}
+		if wk.URL != nil {
+			wj.URL = wk.URL.String()
+		}
+		if wk.State() == WorkerLive {
+			out.Live++
+		}
+		out.Workers = append(out.Workers, wj)
+	}
+	for _, d := range f.recoveries {
+		out.RecoveriesMS = append(out.RecoveriesMS, d.Milliseconds())
+	}
+	f.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(out)
+}
+
+// handleKill SIGKILLs the named worker: the chaos hook oclstorm and the
+// verify.sh fleet smoke use to exercise the death path for real.
+func (f *Frontend) handleKill(w http.ResponseWriter, req *http.Request) {
+	name := strings.TrimSpace(req.URL.Query().Get("worker"))
+	if name == "" {
+		http.Error(w, "missing ?worker=", http.StatusBadRequest)
+		return
+	}
+	if err := f.Kill(name); err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	fmt.Fprintf(w, "killed %s\n", name)
+}

@@ -1,0 +1,113 @@
+package fleet
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// MergeMetrics folds several Prometheus text expositions (one per worker)
+// into one: the first HELP/TYPE comment per metric wins, and series with
+// identical name+labels are summed. Per-run series never collide (run ids
+// are worker-prefixed), so summing only actually combines the fleet-wide
+// scalars — oclmon_runs, oclmon_runs_completed_total, queue depths and the
+// like — which is exactly the aggregation a fleet scrape wants.
+func MergeMetrics(w io.Writer, bodies ...string) error {
+	type series struct {
+		id    string // "name{labels}" or "name"
+		value float64
+	}
+	var order []string            // metric names in first-appearance order
+	help := map[string][]string{} // metric name -> comment lines
+	idx := map[string]int{}       // series id -> position in list
+	var list []series
+
+	metricOf := func(id string) string {
+		if i := strings.IndexByte(id, '{'); i >= 0 {
+			return id[:i]
+		}
+		return id
+	}
+	seenMetric := map[string]bool{}
+	for _, body := range bodies {
+		for _, line := range strings.Split(body, "\n") {
+			line = strings.TrimRight(line, "\r")
+			if line == "" {
+				continue
+			}
+			if strings.HasPrefix(line, "#") {
+				f := strings.Fields(line)
+				if len(f) >= 3 && (f[1] == "HELP" || f[1] == "TYPE") {
+					name := f[2]
+					if !seenMetric[name] {
+						seenMetric[name] = true
+						order = append(order, name)
+					}
+					// first worker's comments win; drop duplicates
+					if len(help[name]) < 2 {
+						dup := false
+						for _, h := range help[name] {
+							if strings.HasPrefix(h, "# "+f[1]+" ") {
+								dup = true
+							}
+						}
+						if !dup {
+							help[name] = append(help[name], line)
+						}
+					}
+				}
+				continue
+			}
+			sp := strings.LastIndexByte(line, ' ')
+			if sp <= 0 {
+				continue
+			}
+			id, vs := line[:sp], line[sp+1:]
+			v, err := strconv.ParseFloat(vs, 64)
+			if err != nil {
+				continue
+			}
+			name := metricOf(id)
+			if !seenMetric[name] {
+				seenMetric[name] = true
+				order = append(order, name)
+			}
+			if i, ok := idx[id]; ok {
+				list[i].value += v
+			} else {
+				idx[id] = len(list)
+				list = append(list, series{id: id, value: v})
+			}
+		}
+	}
+
+	byMetric := map[string][]series{}
+	for _, s := range list {
+		m := metricOf(s.id)
+		byMetric[m] = append(byMetric[m], s)
+	}
+	for _, name := range order {
+		for _, h := range help[name] {
+			if _, err := fmt.Fprintln(w, h); err != nil {
+				return err
+			}
+		}
+		for _, s := range byMetric[name] {
+			if _, err := fmt.Fprintf(w, "%s %s\n", s.id, formatValue(s.value)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// formatValue prints integers without an exponent (Prometheus accepts both,
+// but the merged output should read like the inputs, which are %d-formatted
+// counters and gauges).
+func formatValue(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

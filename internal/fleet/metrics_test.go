@@ -1,0 +1,46 @@
+package fleet
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMergeMetricsSumsAndPreservesSeries(t *testing.T) {
+	w1 := `# HELP oclmon_runs Number of hosted simulations.
+# TYPE oclmon_runs gauge
+oclmon_runs 3
+# HELP oclmon_cycles Last simulated cycle observed for the run.
+# TYPE oclmon_cycles gauge
+oclmon_cycles{run="w1-run1"} 120000
+`
+	w2 := `# HELP oclmon_runs Number of hosted simulations.
+# TYPE oclmon_runs gauge
+oclmon_runs 2
+# HELP oclmon_cycles Last simulated cycle observed for the run.
+# TYPE oclmon_cycles gauge
+oclmon_cycles{run="w2-run1"} 98000
+`
+	var out strings.Builder
+	if err := MergeMetrics(&out, w1, w2); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"oclmon_runs 5\n",                     // fleet scalar summed
+		`oclmon_cycles{run="w1-run1"} 120000`, // per-run series intact
+		`oclmon_cycles{run="w2-run1"} 98000`,  // from both workers
+		"# HELP oclmon_runs Number of hosted simulations.",
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("merged output missing %q:\n%s", want, got)
+		}
+	}
+	// Comments appear once, not per worker.
+	if strings.Count(got, "# TYPE oclmon_runs gauge") != 1 {
+		t.Fatalf("duplicated TYPE comment:\n%s", got)
+	}
+	// Metric order follows first appearance.
+	if strings.Index(got, "oclmon_runs") > strings.Index(got, "oclmon_cycles") {
+		t.Fatalf("metric order lost:\n%s", got)
+	}
+}

@@ -1,0 +1,207 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// ErrOverQuota is the refusal WeightedQuota.Acquire returns; the supervisor
+// wraps it in supervise.ErrTenantSaturated and oclmon maps it to 429.
+var ErrOverQuota = errors.New("fleet: tenant over weighted share")
+
+// WeightedQuota is a work-conserving weighted-fair admission quota over a
+// fixed capacity (a worker's slots + queue). It implements
+// supervise.TenantQuota.
+//
+// Each tenant t has a weight (declared, or DefaultWeight); among the
+// *active* tenants (holding capacity, currently asking, or recently starved)
+// t's guaranteed floor is capacity * w_t / Σw. The rules:
+//
+//   - A tenant below its floor is admitted whenever any capacity is free.
+//   - A tenant at or above its floor is admitted only into capacity that is
+//     not reserved for under-floor active tenants — so a flooding tenant can
+//     use the whole machine while it is alone, but is pushed back to its
+//     share as soon as someone else shows up.
+//
+// The "recently starved" memory is what prevents the classic retry race: a
+// tenant refused while under its floor is remembered for StarveTTL, so the
+// flood cannot re-grab every freed slot before the starved tenant's next
+// retry lands. Starvation is therefore bounded by one run completion, not by
+// retry-timing luck.
+type WeightedQuota struct {
+	mu       sync.Mutex
+	capacity int
+	weights  map[string]int
+	defW     int
+	ttl      time.Duration
+	now      func() time.Time
+
+	held    map[string]int
+	starved map[string]time.Time // tenant -> starve-memory expiry
+}
+
+// QuotaOptions tunes a WeightedQuota.
+type QuotaOptions struct {
+	// Weights declares per-tenant weights; undeclared tenants get
+	// DefaultWeight.
+	Weights map[string]int
+	// DefaultWeight applies to undeclared tenants (default 1).
+	DefaultWeight int
+	// StarveTTL is how long a refused under-floor tenant keeps its
+	// reservation against flooders (default 5s).
+	StarveTTL time.Duration
+	// Now is injectable for tests (default time.Now).
+	Now func() time.Time
+}
+
+// NewWeightedQuota builds a quota over `capacity` concurrent holdings.
+func NewWeightedQuota(capacity int, opts QuotaOptions) *WeightedQuota {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	if opts.DefaultWeight <= 0 {
+		opts.DefaultWeight = 1
+	}
+	if opts.StarveTTL <= 0 {
+		opts.StarveTTL = 5 * time.Second
+	}
+	if opts.Now == nil {
+		opts.Now = time.Now
+	}
+	w := map[string]int{}
+	for k, v := range opts.Weights {
+		if v > 0 {
+			w[k] = v
+		}
+	}
+	return &WeightedQuota{
+		capacity: capacity, weights: w, defW: opts.DefaultWeight,
+		ttl: opts.StarveTTL, now: opts.Now,
+		held: map[string]int{}, starved: map[string]time.Time{},
+	}
+}
+
+func (q *WeightedQuota) weight(t string) int {
+	if w, ok := q.weights[t]; ok {
+		return w
+	}
+	return q.defW
+}
+
+// active returns the tenants that currently count for floor computation:
+// holders, unexpired starved tenants, and the asker. Caller holds q.mu.
+func (q *WeightedQuota) active(asker string, now time.Time) map[string]bool {
+	act := map[string]bool{asker: true}
+	for t, n := range q.held {
+		if n > 0 {
+			act[t] = true
+		}
+	}
+	for t, exp := range q.starved {
+		if now.Before(exp) {
+			act[t] = true
+		} else {
+			delete(q.starved, t)
+		}
+	}
+	return act
+}
+
+// floor computes tenant t's guaranteed share among the active set. Caller
+// holds q.mu.
+func (q *WeightedQuota) floor(t string, active map[string]bool) int {
+	sum := 0
+	for a := range active {
+		sum += q.weight(a)
+	}
+	if sum == 0 {
+		return 0
+	}
+	f := q.capacity * q.weight(t) / sum
+	if f < 1 {
+		f = 1 // every active tenant is guaranteed at least one holding
+	}
+	return f
+}
+
+// Acquire admits tenant t or returns ErrOverQuota. Implements
+// supervise.TenantQuota.
+func (q *WeightedQuota) Acquire(t string) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	now := q.now()
+	act := q.active(t, now)
+	total := 0
+	for _, n := range q.held {
+		total += n
+	}
+	if total >= q.capacity {
+		// Hard capacity. An under-floor tenant refused here is starving:
+		// remember it so flooders cannot reclaim the next freed slot.
+		if q.held[t] < q.floor(t, act) {
+			q.starved[t] = now.Add(q.ttl)
+		}
+		return fmt.Errorf("%w: capacity %d full", ErrOverQuota, q.capacity)
+	}
+	if q.held[t] < q.floor(t, act) {
+		q.held[t]++
+		delete(q.starved, t)
+		return nil
+	}
+	// Above floor: only spare, unreserved capacity is available. Reserved
+	// capacity is what the other active tenants are still owed below their
+	// floors.
+	reserved := 0
+	for a := range act {
+		if a == t {
+			continue
+		}
+		if f := q.floor(a, act); q.held[a] < f {
+			reserved += f - q.held[a]
+		}
+	}
+	if total+reserved >= q.capacity {
+		return fmt.Errorf("%w: %d/%d held, %d reserved for under-share tenants",
+			ErrOverQuota, q.held[t], q.capacity, reserved)
+	}
+	q.held[t]++
+	delete(q.starved, t)
+	return nil
+}
+
+// Release returns one holding. Implements supervise.TenantQuota.
+func (q *WeightedQuota) Release(t string) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.held[t] > 0 {
+		q.held[t]--
+		if q.held[t] == 0 {
+			delete(q.held, t)
+		}
+	}
+}
+
+// TenantHolding is one tenant's current quota usage.
+type TenantHolding struct {
+	Tenant string `json:"tenant"`
+	Held   int    `json:"held"`
+	Weight int    `json:"weight"`
+}
+
+// Snapshot returns current holdings sorted by tenant — the /metrics feed.
+func (q *WeightedQuota) Snapshot() []TenantHolding {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make([]TenantHolding, 0, len(q.held))
+	for t, n := range q.held {
+		out = append(out, TenantHolding{Tenant: t, Held: n, Weight: q.weight(t)})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Tenant < out[j].Tenant })
+	return out
+}
+
+// Capacity returns the configured capacity.
+func (q *WeightedQuota) Capacity() int { return q.capacity }

@@ -1,0 +1,197 @@
+package fleet
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"oclfpga/internal/sim"
+	"oclfpga/internal/supervise"
+)
+
+func TestQuotaWorkConservingWhenAlone(t *testing.T) {
+	q := NewWeightedQuota(4, QuotaOptions{})
+	for i := 0; i < 4; i++ {
+		if err := q.Acquire("solo"); err != nil {
+			t.Fatalf("lone tenant refused at %d/4: %v", i, err)
+		}
+	}
+	if err := q.Acquire("solo"); !errors.Is(err, ErrOverQuota) {
+		t.Fatalf("over capacity = %v, want ErrOverQuota", err)
+	}
+}
+
+// The starved-tenant memory defeats the retry race: a tenant refused while
+// under its floor keeps its reservation, so the flooder cannot reclaim the
+// next freed slot before the starved tenant's retry lands.
+func TestQuotaStarvedTenantKeepsReservation(t *testing.T) {
+	now := time.Unix(1000, 0)
+	q := NewWeightedQuota(4, QuotaOptions{Now: func() time.Time { return now }})
+
+	// Flood fills the machine while alone (work-conserving).
+	for i := 0; i < 4; i++ {
+		if err := q.Acquire("flood"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Quiet shows up, is refused at hard capacity, and is now remembered.
+	if err := q.Acquire("quiet"); !errors.Is(err, ErrOverQuota) {
+		t.Fatalf("quiet at capacity = %v", err)
+	}
+	// One flood run finishes. The freed slot is reserved for quiet: the
+	// flooder's immediate retry loses the race on purpose.
+	q.Release("flood")
+	if err := q.Acquire("flood"); !errors.Is(err, ErrOverQuota) {
+		t.Fatalf("flood reclaimed the slot reserved for the starved tenant: %v", err)
+	}
+	if err := q.Acquire("quiet"); err != nil {
+		t.Fatalf("starved tenant still refused after a slot freed: %v", err)
+	}
+	// With quiet now holding, a second freed slot may go to either side up to
+	// the floors: flood holds 3 of floor 2, so it stays refused; quiet holds
+	// 1 of floor 2, so it is admitted.
+	q.Release("flood")
+	if err := q.Acquire("flood"); !errors.Is(err, ErrOverQuota) {
+		t.Fatalf("flood admitted above floor while quiet under floor: %v", err)
+	}
+	if err := q.Acquire("quiet"); err != nil {
+		t.Fatalf("quiet refused under floor: %v", err)
+	}
+
+	// Once the starve memory expires and quiet goes idle, flood may use the
+	// whole machine again.
+	for q.held["quiet"] > 0 {
+		q.Release("quiet")
+	}
+	for q.held["flood"] > 0 {
+		q.Release("flood")
+	}
+	now = now.Add(time.Hour)
+	for i := 0; i < 4; i++ {
+		if err := q.Acquire("flood"); err != nil {
+			t.Fatalf("flood refused with machine idle: %v", err)
+		}
+	}
+}
+
+func TestQuotaWeights(t *testing.T) {
+	q := NewWeightedQuota(8, QuotaOptions{Weights: map[string]int{"gold": 3, "bronze": 1}})
+	// Both active: gold's floor is 6, bronze's 2.
+	for i := 0; i < 6; i++ {
+		if err := q.Acquire("gold"); err != nil {
+			t.Fatalf("gold under floor refused at %d: %v", i, err)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		if err := q.Acquire("bronze"); err != nil {
+			t.Fatalf("bronze under floor refused at %d: %v", i, err)
+		}
+	}
+	snap := q.Snapshot()
+	if len(snap) != 2 || snap[0].Tenant != "bronze" || snap[0].Held != 2 || snap[0].Weight != 1 ||
+		snap[1].Tenant != "gold" || snap[1].Held != 6 || snap[1].Weight != 3 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+}
+
+// TestQuotaFairnessUnderFlood is the end-to-end starvation test through the
+// supervisor: one tenant floods a saturated supervisor, and the weighted
+// quota still hands the other tenant its share as slots free up.
+func TestQuotaFairnessUnderFlood(t *testing.T) {
+	quota := NewWeightedQuota(4, QuotaOptions{})
+	sup := supervise.New(supervise.Config{Slots: 2, Queue: 2, Quota: quota})
+	defer sup.Close()
+
+	type handle struct {
+		release chan struct{}
+		done    chan supervise.Outcome
+	}
+	submit := func(tenant string) (*handle, error) {
+		h := &handle{release: make(chan struct{}), done: make(chan supervise.Outcome, 1)}
+		err := sup.Submit(supervise.Spec{
+			ID: tenant, Workload: "flood-test", Tenant: tenant,
+			Start: func() (*sim.Machine, error) {
+				<-h.release
+				return nil, errors.New("released")
+			},
+			Done: func(_ *sim.Machine, out supervise.Outcome) { h.done <- out },
+		})
+		return h, err
+	}
+	waitHeld := func(tenant string, want int) {
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			held := 0
+			for _, s := range quota.Snapshot() {
+				if s.Tenant == tenant {
+					held = s.Held
+				}
+			}
+			if held == want {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("tenant %s held never reached %d: %+v", tenant, want, quota.Snapshot())
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	// The flood takes the whole machine while alone: two runs occupy the
+	// slots (wait for the workers to pick them up so the next two have queue
+	// room), two more fill the queue.
+	var floods []*handle
+	for i := 0; i < 4; i++ {
+		h, err := submit("flood")
+		if err != nil {
+			t.Fatalf("flood submit %d: %v", i, err)
+		}
+		floods = append(floods, h)
+		if i == 1 {
+			deadline := time.Now().Add(10 * time.Second)
+			for sup.Stats().Running != 2 {
+				if time.Now().After(deadline) {
+					t.Fatal("workers never picked up the first two runs")
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}
+	if _, err := submit("flood"); !errors.Is(err, supervise.ErrTenantSaturated) {
+		t.Fatalf("flood over capacity = %v, want ErrTenantSaturated", err)
+	}
+	// The quiet tenant arrives, is refused, and is remembered as starved.
+	if _, err := submit("quiet"); !errors.Is(err, supervise.ErrTenantSaturated) {
+		t.Fatalf("quiet at capacity = %v, want ErrTenantSaturated", err)
+	}
+	if sup.Stats().TenantShed != 2 {
+		t.Fatalf("TenantShed = %d, want 2", sup.Stats().TenantShed)
+	}
+
+	// One flood run finishes; the freed slot is the quiet tenant's, even if
+	// the flooder retries first.
+	close(floods[0].release)
+	<-floods[0].done
+	waitHeld("flood", 3)
+	if _, err := submit("flood"); !errors.Is(err, supervise.ErrTenantSaturated) {
+		t.Fatalf("flood retry won the freed slot: %v", err)
+	}
+	quiet, err := submit("quiet")
+	if err != nil {
+		t.Fatalf("quiet refused its reserved slot: %v", err)
+	}
+	waitHeld("quiet", 1)
+
+	// Drain everything (unblock all first — quiet sits queued behind flood
+	// runs); every acquisition is released exactly once.
+	close(quiet.release)
+	for _, h := range floods[1:] {
+		close(h.release)
+	}
+	<-quiet.done
+	for _, h := range floods[1:] {
+		<-h.done
+	}
+	waitHeld("flood", 0)
+	waitHeld("quiet", 0)
+}

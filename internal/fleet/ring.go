@@ -1,0 +1,136 @@
+// Package fleet turns oclmon into a multi-process service: a thin stateless
+// front end places runs onto N crash-isolated worker processes with a
+// consistent-hash ring, enforces per-tenant weighted admission quotas,
+// routes and aggregates the workers' HTTP surfaces, and — the robustness
+// core — hands a dead worker's spill-directory ownership to a survivor so
+// the orphaned runs are replay-recovered byte-identically (the PR-5
+// obs.SegmentSink / NewResumeSink path, exercised across process
+// boundaries).
+package fleet
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+)
+
+// Ring is a consistent-hash ring over worker names. Each member contributes
+// `replicas` virtual points (FNV-1a of "name#i"); a key maps to the member
+// owning the first point clockwise of the key's hash. Adding or removing one
+// member therefore remaps only the keys that hashed into its arcs — run
+// placement stays stable across worker churn, which is what keeps a
+// workload's runs (and any compiled-design locality) pinned to one process.
+type Ring struct {
+	mu       sync.RWMutex
+	replicas int
+	points   []ringPoint
+	members  map[string]bool
+}
+
+type ringPoint struct {
+	hash uint64
+	name string
+}
+
+// NewRing builds an empty ring with the given virtual-node count per member
+// (default 64 when <= 0).
+func NewRing(replicas int) *Ring {
+	if replicas <= 0 {
+		replicas = 64
+	}
+	return &Ring{replicas: replicas, members: map[string]bool{}}
+}
+
+func ringHash(s string) uint64 {
+	f := fnv.New64a()
+	f.Write([]byte(s))
+	h := f.Sum64()
+	// FNV-1a of short, similar strings ("w1#0", "w1#1", ...) yields nearly
+	// sequential values, which would collapse each member's virtual nodes
+	// into one arc; a murmur3-style finalizer avalanches the bits so the
+	// points actually interleave.
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// Add inserts a member (idempotent).
+func (r *Ring) Add(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.members[name] {
+		return
+	}
+	r.members[name] = true
+	for i := 0; i < r.replicas; i++ {
+		r.points = append(r.points, ringPoint{hash: ringHash(fmt.Sprintf("%s#%d", name, i)), name: name})
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+}
+
+// Remove deletes a member (idempotent).
+func (r *Ring) Remove(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.members[name] {
+		return
+	}
+	delete(r.members, name)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.name != name {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+}
+
+// Members returns the current member names, sorted.
+func (r *Ring) Members() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.members))
+	for m := range r.members {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Pick returns the member owning key, or "" when the ring is empty.
+func (r *Ring) Pick(key string) string {
+	if ms := r.PickN(key, 1); len(ms) > 0 {
+		return ms[0]
+	}
+	return ""
+}
+
+// PickN returns up to n distinct members in preference order for key: the
+// owner first, then the next distinct members clockwise — the failover
+// order a front end walks when the owner is saturated or dead.
+func (r *Ring) PickN(key string, n int) []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.members) {
+		n = len(r.members)
+	}
+	h := ringHash(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]string, 0, n)
+	seen := map[string]bool{}
+	for i := 0; len(out) < n && i < len(r.points); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.name] {
+			seen[p.name] = true
+			out = append(out, p.name)
+		}
+	}
+	return out
+}

@@ -1,0 +1,99 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingPickIsStable(t *testing.T) {
+	r := NewRing(64)
+	r.Add("w1")
+	r.Add("w2")
+	r.Add("w3")
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("tenant/%d", i)
+		first := r.Pick(key)
+		if first == "" {
+			t.Fatalf("empty pick for %q", key)
+		}
+		for j := 0; j < 5; j++ {
+			if got := r.Pick(key); got != first {
+				t.Fatalf("pick %q flapped: %q then %q", key, first, got)
+			}
+		}
+	}
+}
+
+func TestRingSpreadsKeys(t *testing.T) {
+	r := NewRing(64)
+	r.Add("w1")
+	r.Add("w2")
+	r.Add("w3")
+	counts := map[string]int{}
+	const keys = 3000
+	for i := 0; i < keys; i++ {
+		counts[r.Pick(fmt.Sprintf("key/%d", i))]++
+	}
+	for _, w := range r.Members() {
+		if counts[w] < keys/10 {
+			t.Fatalf("member %s got %d/%d keys — ring badly skewed: %v", w, counts[w], keys, counts)
+		}
+	}
+}
+
+// Removing one member must remap only the keys it owned: everyone else's
+// placement survives worker churn.
+func TestRingRemovalRemapsMinimally(t *testing.T) {
+	r := NewRing(64)
+	r.Add("w1")
+	r.Add("w2")
+	r.Add("w3")
+	const keys = 1000
+	before := map[string]string{}
+	for i := 0; i < keys; i++ {
+		k := fmt.Sprintf("key/%d", i)
+		before[k] = r.Pick(k)
+	}
+	r.Remove("w2")
+	for k, owner := range before {
+		got := r.Pick(k)
+		if owner == "w2" {
+			if got == "w2" || got == "" {
+				t.Fatalf("key %q still maps to removed member (%q)", k, got)
+			}
+			continue
+		}
+		if got != owner {
+			t.Fatalf("key %q moved %q -> %q though its owner survived", k, owner, got)
+		}
+	}
+}
+
+func TestRingPickNPreferenceOrder(t *testing.T) {
+	r := NewRing(64)
+	for i := 1; i <= 4; i++ {
+		r.Add(fmt.Sprintf("w%d", i))
+	}
+	got := r.PickN("some/key", 4)
+	if len(got) != 4 {
+		t.Fatalf("PickN returned %d members, want 4: %v", len(got), got)
+	}
+	seen := map[string]bool{}
+	for _, m := range got {
+		if seen[m] {
+			t.Fatalf("PickN repeated %q: %v", m, got)
+		}
+		seen[m] = true
+	}
+	if got[0] != r.Pick("some/key") {
+		t.Fatalf("PickN[0] = %q, Pick = %q", got[0], r.Pick("some/key"))
+	}
+	// Asking for more than the membership truncates.
+	if n := len(r.PickN("some/key", 10)); n != 4 {
+		t.Fatalf("PickN(10) over 4 members returned %d", n)
+	}
+	// Empty ring yields nothing.
+	if NewRing(0).Pick("x") != "" {
+		t.Fatal("empty ring picked a member")
+	}
+}

@@ -1,0 +1,126 @@
+package fleet
+
+import (
+	"bufio"
+	"fmt"
+	"net/http"
+	"net/http/httputil"
+	"net/url"
+	"os/exec"
+	"regexp"
+	"sync"
+	"time"
+)
+
+// WorkerState is a worker process's lifecycle position.
+type WorkerState string
+
+const (
+	WorkerStarting WorkerState = "starting"
+	WorkerLive     WorkerState = "live"
+	WorkerDead     WorkerState = "dead"
+)
+
+// Worker is one crash-isolated oclmon worker process: the front end owns its
+// exec.Cmd, learns its ephemeral listen address from the announce line on
+// stderr, proxies run traffic to it, and reaps it on exit.
+type Worker struct {
+	Name string
+	// Dirs are the spill directories this worker currently owns: its own,
+	// plus any it adopted from dead peers via /takeover.
+	Dirs []string
+	URL  *url.URL
+	PID  int
+
+	cmd   *exec.Cmd
+	proxy *httputil.ReverseProxy
+
+	mu    sync.Mutex
+	state WorkerState
+}
+
+func (w *Worker) State() WorkerState {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.state
+}
+
+func (w *Worker) setState(s WorkerState) {
+	w.mu.Lock()
+	w.state = s
+	w.mu.Unlock()
+}
+
+// Proxy returns the worker's streaming reverse proxy (FlushInterval < 0 so
+// SSE frames pass through unbuffered).
+func (w *Worker) Proxy() http.Handler { return w.proxy }
+
+var announceRE = regexp.MustCompile(`listening on (http://[^\s]+)`)
+
+// startWorker launches cmd, scans its stderr for the oclmon announce line to
+// learn the listen URL, and keeps relaying the remaining stderr through logf.
+// It returns once the worker announced (or errs after timeout/exit).
+func startWorker(name string, dir string, cmd *exec.Cmd, timeout time.Duration, logf func(string, ...any)) (*Worker, error) {
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		return nil, fmt.Errorf("fleet: worker %s: %w", name, err)
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("fleet: worker %s: %w", name, err)
+	}
+	w := &Worker{Name: name, Dirs: []string{dir}, cmd: cmd, PID: cmd.Process.Pid, state: WorkerStarting}
+
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		announced := false
+		for sc.Scan() {
+			line := sc.Text()
+			if !announced {
+				if m := announceRE.FindStringSubmatch(line); m != nil {
+					announced = true
+					addrCh <- m[1]
+				}
+			}
+			logf("%s: %s", name, line)
+		}
+	}()
+
+	select {
+	case raw := <-addrCh:
+		u, err := url.Parse(raw)
+		if err != nil {
+			cmd.Process.Kill()
+			return nil, fmt.Errorf("fleet: worker %s announced %q: %w", name, raw, err)
+		}
+		w.URL = u
+		p := httputil.NewSingleHostReverseProxy(u)
+		p.FlushInterval = -1 // stream SSE frames as they arrive
+		p.ErrorHandler = func(rw http.ResponseWriter, req *http.Request, err error) {
+			http.Error(rw, fmt.Sprintf("worker %s unreachable: %v", name, err), http.StatusBadGateway)
+		}
+		w.proxy = p
+		w.setState(WorkerLive)
+		return w, nil
+	case <-time.After(timeout):
+		cmd.Process.Kill()
+		return nil, fmt.Errorf("fleet: worker %s did not announce within %s", name, timeout)
+	}
+}
+
+// kill SIGKILLs the worker process (the chaos path — no warning, no drain).
+func (w *Worker) kill() error {
+	if w.cmd == nil || w.cmd.Process == nil {
+		return fmt.Errorf("fleet: worker %s has no process", w.Name)
+	}
+	return w.cmd.Process.Kill()
+}
+
+// wait blocks until the process exits.
+func (w *Worker) wait() error {
+	if w.cmd == nil {
+		return nil
+	}
+	return w.cmd.Wait()
+}

@@ -1,0 +1,222 @@
+package obs
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// Spill-dir ownership leases. A fleet of worker processes sharing one spill
+// root must agree on who may append to a directory of segmented spills: the
+// crash-safe segment protocol makes concurrent *readers* safe, but two
+// writers resuming the same run would fork the durable record. The lease is
+// a single owner.json file inside the directory, committed with the same
+// fsync + atomic-rename discipline as the segments themselves, naming the
+// holder, a monotonically increasing epoch, and an expiry.
+//
+// The failure model is crash-only, like the rest of the spill machinery:
+//
+//   - A live holder renews the lease well inside its TTL (heartbeat).
+//   - A holder that dies stops renewing; once the expiry passes, any other
+//     process may take the lease over (stale-lease takeover), bumping the
+//     epoch.
+//   - A supervisor that *knows* the holder is dead (it reaped the process)
+//     may steal the lease immediately instead of waiting out the TTL.
+//   - A holder whose Renew discovers a different holder/epoch in the file
+//     has lost the lease (it was presumed dead and taken over). It must stop
+//     writing to the directory immediately — the idiomatic response for a
+//     worker is to exit and let its supervisor respawn it.
+//
+// Two processes racing a takeover can both write owner.json; the atomic
+// rename makes the last writer the owner, and the loser finds out at its
+// next Renew. That window is benign as long as writers only start appending
+// after a successful Acquire *and* treat ErrLeaseLost as fatal, which is the
+// contract oclmon's worker mode follows.
+
+// Lease ownership errors.
+var (
+	// ErrLeaseHeld means another holder's unexpired lease is in place and
+	// Steal was not set.
+	ErrLeaseHeld = errors.New("obs: lease: held by another owner")
+	// ErrLeaseLost means the on-disk lease no longer names this holder and
+	// epoch — it was taken over. The loser must stop using the directory.
+	ErrLeaseLost = errors.New("obs: lease: lost to another owner")
+)
+
+const leaseName = "owner.json"
+
+// LeaseInfo is the on-disk lease record.
+type LeaseInfo struct {
+	Holder string `json:"holder"`
+	// Epoch increases by one on every acquisition or takeover, so a stitched
+	// history of owners is totally ordered even across clock skew.
+	Epoch   int64 `json:"epoch"`
+	Expires int64 `json:"expiresUnixNano"`
+	Renewed int64 `json:"renewedUnixNano"`
+}
+
+// Live reports whether the lease is unexpired at now.
+func (i *LeaseInfo) Live(now time.Time) bool { return i.Expires > now.UnixNano() }
+
+// LeaseOptions tunes acquisition.
+type LeaseOptions struct {
+	// TTL is how long the lease stays valid without a Renew (default 10s).
+	TTL time.Duration
+	// Steal takes the lease even if a live one names another holder — for
+	// supervisors that have independent proof the holder is dead.
+	Steal bool
+	// Now is injectable for tests (default time.Now).
+	Now func() time.Time
+}
+
+func (o *LeaseOptions) fill() {
+	if o.TTL <= 0 {
+		o.TTL = 10 * time.Second
+	}
+	if o.Now == nil {
+		o.Now = time.Now
+	}
+}
+
+// Lease is a held ownership claim on a spill directory.
+type Lease struct {
+	dir    string
+	holder string
+	epoch  int64
+	opts   LeaseOptions
+}
+
+// ReadLease returns the directory's lease record, or (nil, nil) when no
+// lease file exists.
+func ReadLease(dir string) (*LeaseInfo, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, leaseName))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("obs: lease: %w", err)
+	}
+	info := &LeaseInfo{}
+	if err := json.Unmarshal(raw, info); err != nil {
+		return nil, fmt.Errorf("obs: lease: %s: %w", leaseName, err)
+	}
+	return info, nil
+}
+
+// writeLease commits info as dir's owner.json: temp file, fsync, atomic
+// rename — the same durability ladder the segments use, so a torn lease
+// write can never be observed.
+func writeLease(dir string, info *LeaseInfo) error {
+	buf, err := json.MarshalIndent(info, "", "  ")
+	if err != nil {
+		return fmt.Errorf("obs: lease: %w", err)
+	}
+	buf = append(buf, '\n')
+	tmp := filepath.Join(dir, leaseName+".tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("obs: lease: %w", err)
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		return fmt.Errorf("obs: lease: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("obs: lease: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("obs: lease: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, leaseName)); err != nil {
+		return fmt.Errorf("obs: lease: %w", err)
+	}
+	return nil
+}
+
+// AcquireLease claims ownership of dir for holder. It succeeds when no lease
+// exists, the existing lease already names holder, the existing lease has
+// expired (stale takeover), or opts.Steal is set; otherwise it returns
+// ErrLeaseHeld wrapped with the current owner. The directory is created if
+// absent.
+func AcquireLease(dir, holder string, opts LeaseOptions) (*Lease, error) {
+	opts.fill()
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		return nil, fmt.Errorf("obs: lease: %w", err)
+	}
+	cur, err := ReadLease(dir)
+	if err != nil {
+		return nil, err
+	}
+	now := opts.Now()
+	var epoch int64 = 1
+	if cur != nil {
+		if cur.Holder != holder && cur.Live(now) && !opts.Steal {
+			return nil, fmt.Errorf("%w: %q holds %s until %s", ErrLeaseHeld,
+				cur.Holder, dir, time.Unix(0, cur.Expires).Format(time.RFC3339))
+		}
+		epoch = cur.Epoch + 1
+	}
+	l := &Lease{dir: dir, holder: holder, epoch: epoch, opts: opts}
+	if err := writeLease(dir, l.info(now)); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+func (l *Lease) info(now time.Time) *LeaseInfo {
+	return &LeaseInfo{
+		Holder:  l.holder,
+		Epoch:   l.epoch,
+		Expires: now.Add(l.opts.TTL).UnixNano(),
+		Renewed: now.UnixNano(),
+	}
+}
+
+// Dir returns the leased directory.
+func (l *Lease) Dir() string { return l.dir }
+
+// Holder returns the lease's owner name.
+func (l *Lease) Holder() string { return l.holder }
+
+// Epoch returns the acquisition epoch.
+func (l *Lease) Epoch() int64 { return l.epoch }
+
+// Renew extends the lease by its TTL. If the on-disk record no longer names
+// this holder and epoch the lease was taken over: Renew returns ErrLeaseLost
+// and the caller must stop writing to the directory.
+func (l *Lease) Renew() error {
+	cur, err := ReadLease(l.dir)
+	if err != nil {
+		return err
+	}
+	if cur == nil || cur.Holder != l.holder || cur.Epoch != l.epoch {
+		got := "no lease"
+		if cur != nil {
+			got = fmt.Sprintf("%q (epoch %d)", cur.Holder, cur.Epoch)
+		}
+		return fmt.Errorf("%w: %s now holds %s", ErrLeaseLost, got, l.dir)
+	}
+	return writeLease(l.dir, l.info(l.opts.Now()))
+}
+
+// Release ends the lease: the record stays on disk (preserving the epoch
+// history) but with an already-passed expiry, so any successor can acquire
+// immediately. Releasing a lease that was already lost returns ErrLeaseLost.
+func (l *Lease) Release() error {
+	cur, err := ReadLease(l.dir)
+	if err != nil {
+		return err
+	}
+	if cur == nil || cur.Holder != l.holder || cur.Epoch != l.epoch {
+		return fmt.Errorf("%w: cannot release %s", ErrLeaseLost, l.dir)
+	}
+	now := l.opts.Now()
+	return writeLease(l.dir, &LeaseInfo{
+		Holder: l.holder, Epoch: l.epoch,
+		Expires: now.UnixNano(), Renewed: now.UnixNano(),
+	})
+}

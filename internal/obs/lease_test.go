@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"errors"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// fakeClock hands out a controllable now for lease tests.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func TestLeaseAcquireRenewRelease(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "w1")
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	opts := LeaseOptions{TTL: 10 * time.Second, Now: clk.now}
+
+	l, err := AcquireLease(dir, "w1", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Epoch() != 1 {
+		t.Fatalf("epoch = %d, want 1", l.Epoch())
+	}
+	info, err := ReadLease(dir)
+	if err != nil || info == nil {
+		t.Fatalf("ReadLease = %+v, %v", info, err)
+	}
+	if info.Holder != "w1" || !info.Live(clk.t) {
+		t.Fatalf("lease = %+v", info)
+	}
+
+	// A rival cannot take a live lease without Steal.
+	if _, err := AcquireLease(dir, "w2", opts); !errors.Is(err, ErrLeaseHeld) {
+		t.Fatalf("rival acquire = %v, want ErrLeaseHeld", err)
+	}
+
+	// Renew extends the expiry.
+	clk.advance(8 * time.Second)
+	if err := l.Renew(); err != nil {
+		t.Fatal(err)
+	}
+	info, _ = ReadLease(dir)
+	if !info.Live(clk.t.Add(9 * time.Second)) {
+		t.Fatalf("renewed lease expires too early: %+v", info)
+	}
+
+	// Release leaves an expired record behind; a successor acquires at once.
+	if err := l.Release(); err != nil {
+		t.Fatal(err)
+	}
+	info, _ = ReadLease(dir)
+	if info.Live(clk.t) {
+		t.Fatalf("released lease still live: %+v", info)
+	}
+	l2, err := AcquireLease(dir, "w2", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l2.Epoch() != 2 {
+		t.Fatalf("successor epoch = %d, want 2", l2.Epoch())
+	}
+}
+
+func TestLeaseStaleTakeover(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "w1")
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	opts := LeaseOptions{TTL: 10 * time.Second, Now: clk.now}
+
+	l1, err := AcquireLease(dir, "w1", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Holder goes silent; once the TTL passes the lease is stale and a
+	// survivor may take it over without Steal.
+	clk.advance(11 * time.Second)
+	l2, err := AcquireLease(dir, "w2", opts)
+	if err != nil {
+		t.Fatalf("stale takeover: %v", err)
+	}
+	if l2.Epoch() != 2 {
+		t.Fatalf("takeover epoch = %d, want 2", l2.Epoch())
+	}
+
+	// The presumed-dead holder discovers the loss at its next Renew and must
+	// stand down.
+	if err := l1.Renew(); !errors.Is(err, ErrLeaseLost) {
+		t.Fatalf("old holder Renew = %v, want ErrLeaseLost", err)
+	}
+	if err := l1.Release(); !errors.Is(err, ErrLeaseLost) {
+		t.Fatalf("old holder Release = %v, want ErrLeaseLost", err)
+	}
+	// The new holder's renewals keep working.
+	if err := l2.Renew(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLeaseStealBeforeExpiry(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "w1")
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	opts := LeaseOptions{TTL: time.Hour, Now: clk.now}
+
+	if _, err := AcquireLease(dir, "w1", opts); err != nil {
+		t.Fatal(err)
+	}
+	// A supervisor that reaped the holder's process steals immediately
+	// instead of waiting out the TTL.
+	steal := opts
+	steal.Steal = true
+	l2, err := AcquireLease(dir, "w2", steal)
+	if err != nil {
+		t.Fatalf("steal: %v", err)
+	}
+	if l2.Epoch() != 2 || l2.Holder() != "w2" {
+		t.Fatalf("stolen lease = holder %q epoch %d", l2.Holder(), l2.Epoch())
+	}
+}
+
+func TestLeaseReacquireSameHolder(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "w1")
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	opts := LeaseOptions{TTL: time.Hour, Now: clk.now}
+	if _, err := AcquireLease(dir, "w1", opts); err != nil {
+		t.Fatal(err)
+	}
+	// A restarted process with the same name re-acquires its own live lease,
+	// bumping the epoch (the old incarnation, if somehow alive, loses).
+	l, err := AcquireLease(dir, "w1", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Epoch() != 2 {
+		t.Fatalf("reacquire epoch = %d, want 2", l.Epoch())
+	}
+}
+
+func TestLeaseIgnoredBySegmentRecovery(t *testing.T) {
+	// owner.json lives inside a worker's spill dir next to the per-run
+	// subdirectories; LoadSegments on a run dir and directory scans over the
+	// worker dir must both be oblivious to it.
+	dir := t.TempDir()
+	if _, err := AcquireLease(dir, "w1", LeaseOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadLease(dir); err != nil {
+		t.Fatal(err)
+	}
+	// A directory with only a lease has no manifest: LoadSegments must fail
+	// with not-exist on the manifest, not trip over owner.json.
+	if _, err := LoadSegments(dir); err == nil {
+		t.Fatal("LoadSegments succeeded on a lease-only directory")
+	}
+}

@@ -39,9 +39,9 @@ type SegmentInfo struct {
 
 // Manifest indexes a segmented spill directory.
 type Manifest struct {
-	Version     int               `json:"obsSegments"`
-	Design      string            `json:"design"`
-	SampleEvery int64             `json:"sampleEvery,omitempty"`
+	Version     int    `json:"obsSegments"`
+	Design      string `json:"design"`
+	SampleEvery int64  `json:"sampleEvery,omitempty"`
 	// Meta carries opaque workload parameters (e.g. oclmon's item count) so
 	// a recovering process can rebuild the identical deterministic run.
 	Meta     map[string]string `json:"meta,omitempty"`

@@ -80,6 +80,10 @@ type Spec struct {
 	// Workload keys the circuit breaker: runs sharing a Workload share a
 	// failure history, and repeated failures quarantine the whole class.
 	Workload string
+	// Tenant names the submitting party for Config.Quota accounting
+	// ("" is a tenant like any other). The supervisor itself attaches no
+	// meaning to the string.
+	Tenant string
 	// Limits overrides the supervisor defaults where non-zero.
 	Limits Limits
 	// Start builds and launches the machine. It executes inside the
@@ -95,6 +99,18 @@ type Spec struct {
 	// the hook a durable spill uses to re-attempt its commit (for example
 	// obs.(*SegmentSink).RetryFinalize). A nil return clears the failure.
 	FinalizeRetry func() error
+}
+
+// TenantQuota is the per-tenant fairness hook consulted on admission.
+// Acquire runs after the circuit-breaker check and before the run enters
+// the slot/queue machinery; a non-nil error refuses the submission with
+// ErrTenantSaturated (mapped to 429 by oclmon, like plain saturation).
+// Release is called exactly once per successful Acquire — when the run
+// reaches a terminal state, or immediately if the queue sheds it.
+// internal/fleet's WeightedQuota is the canonical implementation.
+type TenantQuota interface {
+	Acquire(tenant string) error
+	Release(tenant string)
 }
 
 // BreakerConfig tunes the per-workload circuit breaker.
@@ -117,6 +133,9 @@ type Config struct {
 	// Defaults fills unset per-run Limits.
 	Defaults Limits
 	Breaker  BreakerConfig
+	// Quota, when set, gates admission per Spec.Tenant (weighted fairness
+	// lives in the implementation; see TenantQuota).
+	Quota TenantQuota
 	// Retry schedules FinalizeRetry attempts; Base/Max are nanoseconds
 	// (default 50ms doubling to 2s, 4 attempts).
 	Retry Backoff
@@ -132,9 +151,10 @@ type Config struct {
 // oclmon: saturation is 429 (retry later), quarantine 503 (the workload
 // itself is suspect until the breaker cools down).
 var (
-	ErrSaturated   = errors.New("supervise: run slots and wait queue full")
-	ErrQuarantined = errors.New("supervise: workload quarantined by circuit breaker")
-	ErrClosed      = errors.New("supervise: supervisor closed")
+	ErrSaturated       = errors.New("supervise: run slots and wait queue full")
+	ErrTenantSaturated = errors.New("supervise: tenant over quota")
+	ErrQuarantined     = errors.New("supervise: workload quarantined by circuit breaker")
+	ErrClosed          = errors.New("supervise: supervisor closed")
 )
 
 // Stats is a snapshot of the supervisor's counters.
@@ -145,6 +165,7 @@ type Stats struct {
 	Failed      int64
 	Quarantined int64
 	Shed        int64 // submissions refused with ErrSaturated
+	TenantShed  int64 // submissions refused with ErrTenantSaturated
 	Panics      int64 // run goroutine panics converted to failures
 }
 
@@ -212,10 +233,11 @@ func New(cfg Config) *Supervisor {
 }
 
 // Submit admits a run or refuses it. ErrSaturated means slots and queue are
-// full (the submission is shed and only counted); ErrQuarantined means the
-// workload's breaker is open (the run is recorded: Done fires with
-// StateQuarantined). Admitted runs execute asynchronously; their terminal
-// state arrives via spec.Done.
+// full (the submission is shed and only counted); ErrTenantSaturated means
+// Config.Quota refused the tenant; ErrQuarantined means the workload's
+// breaker is open (the run is recorded: Done fires with StateQuarantined).
+// Admitted runs execute asynchronously; their terminal state arrives via
+// spec.Done.
 func (s *Supervisor) Submit(spec Spec) error {
 	s.mu.Lock()
 	if s.closed {
@@ -231,6 +253,13 @@ func (s *Supervisor) Submit(spec Spec) error {
 		}
 		return err
 	}
+	if s.cfg.Quota != nil {
+		if err := s.cfg.Quota.Acquire(spec.Tenant); err != nil {
+			s.stats.TenantShed++
+			s.mu.Unlock()
+			return fmt.Errorf("%w (tenant %q): %v", ErrTenantSaturated, spec.Tenant, err)
+		}
+	}
 	select {
 	case s.ch <- &spec:
 		s.mu.Unlock()
@@ -238,6 +267,9 @@ func (s *Supervisor) Submit(spec Spec) error {
 	default:
 		s.stats.Shed++
 		s.mu.Unlock()
+		if s.cfg.Quota != nil {
+			s.cfg.Quota.Release(spec.Tenant)
+		}
 		return ErrSaturated
 	}
 }
@@ -332,6 +364,11 @@ func (s *Supervisor) worker() {
 			s.stats.Panics++
 		}
 		s.mu.Unlock()
+		if s.cfg.Quota != nil {
+			// Every spec on the channel holds a quota acquisition (Submit
+			// released the shed ones before they got here).
+			s.cfg.Quota.Release(spec.Tenant)
+		}
 	}
 }
 

@@ -100,3 +100,60 @@ kill "$OCLMON_PID"
 wait "$OCLMON_PID" || true
 grep -q '"complete": true' "$SPILL/run1/manifest.json"  # recovery committed
 go run ./cmd/obscheck -spill-dir "$SPILL/run1" -timeline "$TMP/t-recovered.json"
+
+# Fleet smoke: a two-worker fleet, one long run, SIGKILL the owning worker
+# through the chaos endpoint. The survivor must steal the spill lease and
+# replay-recover the run to completion, and the timeline the fleet serves
+# afterwards must byte-match a replay of the stitched spill.
+FSPILL="$TMP/fleet-spill"
+"$TMP/oclmon" -addr localhost:0 -runs 0 -workers 2 \
+  -spill-dir "$FSPILL" -seg-lines 256 2> "$TMP/fleet.log" &
+FLEET_PID=$!
+FADDR=""
+for _ in $(seq 1 100); do
+    FADDR="$(grep 'fleet front end listening' "$TMP/fleet.log" | grep -o 'http://[0-9.:]*' || true)"
+    [ -n "$FADDR" ] && break
+    sleep 0.1
+done
+[ -n "$FADDR" ] || { cat "$TMP/fleet.log"; exit 1; }
+curl -fsS "$FADDR/readyz" | grep -q 'ready: 2/2'
+curl -fsS -X POST "$FADDR/runs?n=60000" > "$TMP/admit.json"
+RUN_ID="$(sed -n 's/.*"id":"\([^"]*\)".*/\1/p' "$TMP/admit.json")"
+RUN_WORKER="$(sed -n 's/.*"worker":"\([^"]*\)".*/\1/p' "$TMP/admit.json")"
+[ -n "$RUN_ID" ] && [ -n "$RUN_WORKER" ]
+for _ in $(seq 1 200); do
+    ls "$FSPILL/$RUN_WORKER/$RUN_ID"/seg-*.ndjson > /dev/null 2>&1 && break
+    sleep 0.1
+done
+ls "$FSPILL/$RUN_WORKER/$RUN_ID"/seg-*.ndjson > /dev/null
+curl -fsS -X POST "$FADDR/fleet/kill?worker=$RUN_WORKER" > /dev/null
+! grep -q '"complete": true' "$FSPILL/$RUN_WORKER/$RUN_ID/manifest.json"  # killed mid-run
+FLEET_DONE=""
+for _ in $(seq 1 600); do
+    if curl -fsS "$FADDR/runs" > "$TMP/fleet-runs.json" 2>/dev/null \
+       && grep -q '"done": *true' "$TMP/fleet-runs.json" \
+       && grep -q '"recovered": *true' "$TMP/fleet-runs.json"; then
+        FLEET_DONE=1
+        break
+    fi
+    sleep 0.2
+done
+[ -n "$FLEET_DONE" ] || { cat "$TMP/fleet.log"; exit 1; }
+grep -q 'adopted' "$TMP/fleet.log"  # the handoff actually ran
+curl -fsS "$FADDR/runs/$RUN_ID/timeline.json" > "$TMP/t-fleet.json"
+curl -fsS "$FADDR/metrics" | grep -q '^oclmon_takeovers_total 1$'
+kill "$FLEET_PID"
+wait "$FLEET_PID" || true
+go run ./cmd/obscheck -spill-dir "$FSPILL/$RUN_WORKER/$RUN_ID" -timeline "$TMP/t-fleet.json"
+
+# Load/chaos harness smoke: a short storm with a mid-storm kill must drive
+# every admitted run to completion, and its report must clear the benchjson
+# fleet gates (admission latency, full completion, bounded recovery).
+go build -o "$TMP/oclstorm" ./cmd/oclstorm
+"$TMP/oclstorm" -oclmon "$TMP/oclmon" -workers 2 -runs 12 -clients 6 -n 2000 \
+  -kill-after 1s -timeout 120s -out "$TMP/storm.json" 2> "$TMP/storm.log" \
+  || { cat "$TMP/storm.log"; exit 1; }
+go run ./cmd/benchjson -fleet "$TMP/storm.json" \
+  -gate 'fleet-runs-completed>=12' \
+  -gate 'fleet-recovery-ms<=60000' \
+  -gate 'fleet-admit-p99-ms<=5000' < /dev/null > /dev/null
