@@ -269,6 +269,7 @@ func BenchmarkSimThroughput(b *testing.B) {
 		if _, err := experiments.RunSimBench(n, disableFF); err != nil {
 			b.Fatal(err) // warm the design memo outside the timed region
 		}
+		b.ReportAllocs()
 		b.ResetTimer()
 		var cycles int64
 		for i := 0; i < b.N; i++ {
@@ -309,12 +310,17 @@ func BenchmarkSimThroughput(b *testing.B) {
 	// SimulateObserved runs the same workload with the observability recorder
 	// attached (timeline + metrics every 1024 cycles). The gap between its
 	// simcycles/s and Simulate's is the recorder overhead; benchjson derives
-	// it as observe-overhead-pct. Fast-forward stays enabled — the recorder
-	// is event-driven, not a cycle hook.
+	// it as observe-overhead-pct, gated at <= 10%. Allocation stats are always
+	// reported: benchjson derives obs-B-per-simcycle (recording cost in bytes
+	// per simulated cycle, net of the plain run) and the extra allocs/op from
+	// them. Fast-forward stays enabled — the recorder is event-driven, not a
+	// cycle hook — and each run releases its record storage back to the pools,
+	// so the numbers price the steady-state leave-it-on loop.
 	b.Run("SimulateObserved", func(b *testing.B) {
 		if _, err := experiments.RunSimBenchObserved(n, 1024); err != nil {
 			b.Fatal(err)
 		}
+		b.ReportAllocs()
 		b.ResetTimer()
 		var cycles int64
 		for i := 0; i < b.N; i++ {

@@ -196,9 +196,11 @@ func main() {
 	// The headline derived metrics: simulate-phase throughput with the
 	// fast-forward path over the forced slow path, and the observability
 	// recorder's throughput cost relative to the unobserved fast path.
-	fast := mean(d.Benchmarks["BenchmarkSimThroughput/Simulate"], "simcycles/s")
+	plainRuns := d.Benchmarks["BenchmarkSimThroughput/Simulate"]
+	obsRuns := d.Benchmarks["BenchmarkSimThroughput/SimulateObserved"]
+	fast := mean(plainRuns, "simcycles/s")
 	slow := mean(d.Benchmarks["BenchmarkSimThroughput/SimulateSlowPath"], "simcycles/s")
-	obsd := mean(d.Benchmarks["BenchmarkSimThroughput/SimulateObserved"], "simcycles/s")
+	obsd := mean(obsRuns, "simcycles/s")
 	supd := mean(d.Benchmarks["BenchmarkSimThroughput/SimulateSupervised"], "simcycles/s")
 	if fast > 0 && (slow > 0 || obsd > 0 || supd > 0) {
 		d.Derived = map[string]float64{}
@@ -212,6 +214,20 @@ func main() {
 			// The supervision layer's throughput cost: sliced RunFor with
 			// budget/watchdog accounting vs one uninterrupted Run.
 			d.Derived["supervise-overhead-pct"] = (1 - supd/fast) * 100
+		}
+		// Recording cost in memory terms, net of the plain run: bytes
+		// allocated per simulated cycle and extra allocations per run. The
+		// simulated-cycle count per op is recovered from the observed runs'
+		// throughput times wall time.
+		if obsd > 0 {
+			if cycPerOp := obsd * mean(obsRuns, "ns/op") / 1e9; cycPerOp > 0 {
+				if obsB, plainB := mean(obsRuns, "B/op"), mean(plainRuns, "B/op"); obsB > 0 && plainB > 0 {
+					d.Derived["obs-B-per-simcycle"] = (obsB - plainB) / cycPerOp
+				}
+			}
+			if obsA, plainA := mean(obsRuns, "allocs/op"), mean(plainRuns, "allocs/op"); obsA > 0 && plainA > 0 {
+				d.Derived["observe-extra-allocs-per-op"] = obsA - plainA
+			}
 		}
 	}
 

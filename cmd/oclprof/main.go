@@ -225,7 +225,9 @@ func finishRun(m *sim.Machine, units ...*sim.Unit) {
 	}
 	var attr *analyze.Attribution
 	if analyzeOn() {
-		attr = analyze.Attribute(m.Timeline())
+		// The flat read path: attribute straight off the recorder's
+		// fixed-width records instead of materializing the Event timeline.
+		attr = analyze.AttributeRecorder(m.Observer())
 		if *flagAttr != "" {
 			writeJSONFile(*flagAttr, func(w io.Writer) error { return analyze.WriteJSON(w, attr) })
 			fmt.Fprintf(out, "attribution: %s (%d rows, critical path %d cycles)\n",

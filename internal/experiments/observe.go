@@ -54,6 +54,16 @@ func DisableObserveForTest() []*sim.Machine {
 	return ms
 }
 
+// obsHookArmed reports whether the injection hook is active. Paths that would
+// release a recorder's storage after reading it (the benchmark harness) must
+// not do so while the hook is armed: the equivalence suite reads collected
+// machines' timelines after the fact.
+func obsHookArmed() bool {
+	obsHook.mu.Lock()
+	defer obsHook.mu.Unlock()
+	return obsHook.cfg != nil
+}
+
 // newSim is the experiments' machine constructor (see the hook note above).
 func newSim(d *hls.Design, o sim.Options) *sim.Machine {
 	obsHook.mu.Lock()

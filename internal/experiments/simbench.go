@@ -128,7 +128,17 @@ func runSimBench(n int, disableFF bool, observe *obs.Config) (*SimBenchResult, e
 	if err := m.Run(); err != nil {
 		return nil, err
 	}
-	return finishSimBench(m, dst, n)
+	res, err := finishSimBench(m, dst, n)
+	if err == nil && observe != nil && !obsHookArmed() {
+		// Steady-state observed mode: counts are harvested, nothing else will
+		// read this run's record, so hand its flat storage back to the pools
+		// for the next run — the benchmark prices recording plus recycling,
+		// exactly the leave-it-on loop a long-lived monitor runs. Skipped when
+		// the test hook is armed because the equivalence suite inspects the
+		// collected machines afterwards.
+		m.ReleaseObserver()
+	}
+	return res, err
 }
 
 // benchSupervisor is the long-lived supervisor behind RunSimBenchSupervised,
@@ -233,8 +243,13 @@ func finishSimBench(m *sim.Machine, dst *mem.Buffer, n int) (*SimBenchResult, er
 	ff := m.FastForwardStats()
 	res := &SimBenchResult{N: n, Cycles: m.Cycle(), FFJumps: ff.Jumps, FFSkipped: ff.Skipped}
 	if m.Observed() {
-		res.ObsEvents = len(m.Timeline().Events)
-		res.ObsSamples = len(m.Samples())
+		// The flat read path: event/sample counts come straight off the
+		// recorder, so finishing an observed run does not materialize the
+		// full Event timeline (that conversion happens only when a consumer
+		// actually asks for Timeline()).
+		rec := m.Observer()
+		res.ObsEvents = rec.EventCount()
+		res.ObsSamples = rec.SampleCount()
 	}
 	return res, nil
 }

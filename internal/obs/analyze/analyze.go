@@ -112,8 +112,6 @@ func stallLink(e obs.Event) (ChainLink, bool) {
 // Attribute analyzes a finalized timeline: per-(unit, op, resource) stall
 // aggregation plus per-unit and end-to-end critical chains.
 func Attribute(t *obs.Timeline) *Attribution {
-	a := &Attribution{Design: t.Design, EndCycle: t.EndCycle}
-	rows := map[[3]string]*Row{}
 	var links []ChainLink
 	runCycles := map[string]int64{}
 	for _, e := range t.Events {
@@ -121,11 +119,70 @@ func Attribute(t *obs.Timeline) *Attribution {
 			runCycles[strings.TrimPrefix(e.Track, "unit:")] += e.End - e.Start + 1
 			continue
 		}
-		l, ok := stallLink(e)
-		if !ok {
-			continue
+		if l, ok := stallLink(e); ok {
+			links = append(links, l)
 		}
-		links = append(links, l)
+	}
+	return attribute(t.Design, t.EndCycle, links, runCycles)
+}
+
+// AttributeRecorder analyzes a finalized recorder straight off its flat
+// records — the zero-materialization read path. Event kinds are matched by
+// interned ID instead of string, the chan-stall unit comes directly from the
+// TmplUnit detail argument (falling back to parsing the rendered "unit="
+// detail for replayed records that interned it as a literal), and no Event
+// values are built. The result is identical to Attribute(r.Timeline()).
+func AttributeRecorder(r *obs.Recorder) *Attribution {
+	kRun := r.Intern(obs.KindUnitRun)
+	kChan := r.Intern(obs.KindChanStall)
+	kFetch := r.Intern(obs.KindLineFetch)
+	var links []ChainLink
+	runCycles := map[string]int64{}
+	// Ops like "line-fetch:<kind>" are concatenations per record; memoize by
+	// name ID so each distinct op string is built once.
+	fetchOps := map[obs.ID]string{}
+	r.VisitFlat(func(f obs.FlatRecord) {
+		switch f.Kind {
+		case kRun:
+			runCycles[strings.TrimPrefix(r.Str(f.Track), "unit:")] += f.End - f.Start + 1
+		case kChan:
+			l := ChainLink{
+				Op:       r.Str(f.Name),
+				Resource: strings.TrimPrefix(r.Str(f.Track), "chan:"),
+				Start:    f.Start, End: f.End,
+			}
+			if f.Tmpl == obs.TmplUnit {
+				l.Unit = r.Str(obs.ID(f.Arg))
+			} else if u, ok := strings.CutPrefix(r.DetailOf(f), "unit="); ok {
+				l.Unit = u
+			}
+			links = append(links, l)
+		case kFetch:
+			rest := strings.TrimPrefix(r.Str(f.Track), "lsu:")
+			unit, site, ok := strings.Cut(rest, "/")
+			if !ok {
+				site = rest
+				unit = ""
+			}
+			op := fetchOps[f.Name]
+			if op == "" {
+				op = "line-fetch:" + r.Str(f.Name)
+				fetchOps[f.Name] = op
+			}
+			links = append(links, ChainLink{
+				Unit: unit, Op: op, Resource: site, Start: f.Start, End: f.End,
+			})
+		}
+	})
+	return attribute(r.Design(), r.EndCycle(), links, runCycles)
+}
+
+// attribute is the shared aggregation backend: rows, per-unit chains, and the
+// end-to-end critical path from an extracted link set.
+func attribute(design string, endCycle int64, links []ChainLink, runCycles map[string]int64) *Attribution {
+	a := &Attribution{Design: design, EndCycle: endCycle}
+	rows := map[[3]string]*Row{}
+	for _, l := range links {
 		key := [3]string{l.Unit, l.Op, l.Resource}
 		r := rows[key]
 		if r == nil {

@@ -69,6 +69,72 @@ func TestAttribute(t *testing.T) {
 	}
 }
 
+// TestAttributeRecorderMatchesTimeline pins the flat read path: attributing
+// straight off a recorder's fixed-width records must serialize identically to
+// attributing the materialized timeline — both for hot-path records carrying
+// the TmplUnit detail by ID and for replayed records whose detail was
+// interned as a literal "unit=..." string.
+func TestAttributeRecorderMatchesTimeline(t *testing.T) {
+	build := func(viaReplay bool) *obs.Recorder {
+		r := obs.NewRecorder("design-x", obs.Config{})
+		if viaReplay {
+			// The NDJSON-replay shape: string events through Add, details
+			// pre-rendered.
+			for _, e := range testTimeline().Events {
+				r.Add(e)
+			}
+		} else {
+			// The simulator's hot-path shape: interned IDs, lazy details.
+			kRun, kStall, kFetch := r.Intern(obs.KindUnitRun), r.Intern(obs.KindChanStall), r.Intern(obs.KindLineFetch)
+			pipe := r.Intern("chan:pipe")
+			read, write := r.Intern("read-stall"), r.Intern("write-stall")
+			prod, cons := r.Intern("producer"), r.Intern("consumer")
+			r.InstantID(r.Intern(obs.KindLaunch), r.Intern("unit:consumer"), r.Intern("launch"), 0, obs.NoDetail)
+			r.SpanID(kRun, r.Intern("unit:producer"), r.Intern("run"), 1, 400)
+			r.SpanID(kRun, r.Intern("unit:consumer"), r.Intern("run"), 1, 900)
+			r.SpanDetailID(kStall, pipe, read, 10, 59, obs.UnitDetail(cons))
+			r.SpanDetailID(kStall, pipe, read, 100, 149, obs.UnitDetail(cons))
+			r.SpanDetailID(kStall, pipe, write, 30, 49, obs.UnitDetail(prod))
+			r.SpanID(kFetch, r.Intern("lsu:consumer/tbl#1"), r.Intern("burst"), 200, 299)
+			r.SpanID(kFetch, r.Intern("lsu:consumer/tbl#1"), r.Intern("burst"), 250, 269)
+		}
+		r.FFJump(950, 999) // jumps must not contribute to attribution
+		if err := r.Finalize(1000); err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	for _, viaReplay := range []bool{false, true} {
+		r := build(viaReplay)
+		var flat, mat bytes.Buffer
+		if err := WriteJSON(&flat, AttributeRecorder(r)); err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteJSON(&mat, Attribute(r.Timeline())); err != nil {
+			t.Fatal(err)
+		}
+		if flat.String() != mat.String() {
+			t.Fatalf("viaReplay=%v: flat and materialized attributions diverge:\n%s\nvs\n%s",
+				viaReplay, flat.String(), mat.String())
+		}
+		if err := AttributeRecorder(r).Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// And the flat path over the hot-path recorder must equal the reference
+	// fixture analysis exactly.
+	var a, b bytes.Buffer
+	if err := WriteJSON(&a, AttributeRecorder(build(false))); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteJSON(&b, Attribute(testTimeline())); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("flat attribution diverges from fixture:\n%s\nvs\n%s", a.String(), b.String())
+	}
+}
+
 func TestAttributeEmpty(t *testing.T) {
 	a := Attribute(&obs.Timeline{Design: "d", EndCycle: 5})
 	if err := a.Validate(); err != nil {

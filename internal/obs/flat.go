@@ -1,0 +1,353 @@
+package obs
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strconv"
+	"sync"
+)
+
+// The recorder's hot-path storage: one recorded event is a fixed-width
+// six-word record appended to a per-track segmented flat buffer. Nothing on
+// the append path allocates (beyond amortized segment growth), carries a
+// pointer, or materializes a string — the Event struct, its track/name
+// strings, and its detail text exist only at Timeline()/sink-flush time.
+//
+// Three mechanisms make that possible:
+//
+//   - string interning: every track/name/kind/detail string is an index (ID)
+//     into a per-recorder table, so the simulator's small, highly repetitive
+//     vocabulary ("chan:pipe", "unit:k", "read-stall") is stored once and
+//     every event references it by number;
+//
+//   - lazy details: an event annotation is a template tag plus one packed
+//     argument ("unit=" + interned name, "value=" + integer, or an interned
+//     literal), rendered to its string form — through a per-(template, arg)
+//     cache — only when an Event is actually built;
+//
+//   - sharded append with deterministic merge: records land in per-track
+//     shards, each a chain of fixed-size segments (no doubling copies, no
+//     pointers for the GC to scan), stamped with a global sequence number.
+//     Merging by sequence at sample/finalize/fast-forward-jump points
+//     reproduces exactly the order a single append log would have held, so
+//     the encoding is invisible: timelines, NDJSON spills, and Perfetto
+//     output are byte-identical to the pre-flat recorder's.
+
+// ID is an index into a Recorder's intern table. The zero ID is the empty
+// string, so ID fields in sim-side caches can treat 0 as "not yet interned".
+type ID uint32
+
+// internTable is an append-only string pool: each distinct string gets one
+// dense index, and index 0 is always the empty string.
+type internTable struct {
+	ids  map[string]ID
+	strs []string
+}
+
+func newInternTable() internTable {
+	return internTable{ids: map[string]ID{"": 0}, strs: []string{""}}
+}
+
+func (t *internTable) intern(s string) ID {
+	if id, ok := t.ids[s]; ok {
+		return id
+	}
+	id := ID(len(t.strs))
+	t.strs = append(t.strs, s)
+	t.ids[s] = id
+	return id
+}
+
+func (t *internTable) str(id ID) string { return t.strs[id] }
+
+// DetailTmpl selects how a record's packed detail argument renders to the
+// Event.Detail string.
+type DetailTmpl uint8
+
+const (
+	// TmplNone renders the empty detail.
+	TmplNone DetailTmpl = iota
+	// TmplLit renders the interned string Arg indexes, verbatim.
+	TmplLit
+	// TmplUnit renders "unit=" + the interned string Arg indexes — the
+	// chan-stall attribution detail, kept as an ID so the analyze package
+	// can read the unit without string parsing.
+	TmplUnit
+	// TmplValue renders "value=" + the signed integer in Arg.
+	TmplValue
+
+	tmplMax
+)
+
+// Detail is a lazily rendered event annotation: a template plus one packed
+// argument, formatted only when an Event is materialized.
+type Detail struct {
+	tmpl DetailTmpl
+	arg  uint64
+}
+
+// NoDetail is the empty annotation.
+var NoDetail = Detail{}
+
+// LitDetail annotates with a previously interned literal string.
+func LitDetail(id ID) Detail { return Detail{tmpl: TmplLit, arg: uint64(id)} }
+
+// UnitDetail annotates with "unit=" + the interned unit name.
+func UnitDetail(unit ID) Detail { return Detail{tmpl: TmplUnit, arg: uint64(unit)} }
+
+// ValueDetail annotates with "value=" + v.
+func ValueDetail(v int64) Detail { return Detail{tmpl: TmplValue, arg: uint64(v)} }
+
+// Record flags.
+const (
+	// FlagInstant marks a zero-extent event (Event.Instant).
+	FlagInstant uint8 = 1 << iota
+	// FlagFFJump routes the record to the Timeline.FFJumps track: jumps
+	// describe how the run was simulated, not what the simulated hardware
+	// did, but they still occupy one slot of the global append order so the
+	// streamed form interleaves them exactly where they happened.
+	FlagFFJump
+)
+
+const flagMask = FlagInstant | FlagFFJump
+
+// Flat record layout: recWords little-endian 64-bit words.
+//
+//	w0  sequence number (global append order)
+//	w1  kind ID (low 32) | detail template (bits 32..39) | flags (bits 40..47)
+//	w2  track ID (low 32) | name ID (high 32)
+//	w3  start cycle
+//	w4  end cycle
+//	w5  detail argument
+const recWords = 6
+
+// segRecs is the per-segment record capacity. Power of two so the record
+// index decomposes into (segment, offset) with shifts; 256 records × 48 bytes
+// keeps a segment at 12 KiB — large enough to amortize allocation, small
+// enough that an idle track wastes little.
+const (
+	segRecs  = 256
+	segShift = 8
+	segMask  = segRecs - 1
+)
+
+// shard is one track's record storage: a chain of fixed-size segments. Within
+// a shard, records are naturally ordered by sequence number. sunk marks the
+// prefix already streamed to the sink.
+type shard struct {
+	track ID
+	n     int
+	sunk  int
+	segs  [][]uint64
+}
+
+// segPool recycles record segments across recorders (see Recorder.Release):
+// the steady-state "leave observability on" mode reuses the same fixed-size
+// buffers run after run — the software analogue of the paper's ibuffer, a
+// ring sized once and rewritten in place — so a run's recording allocates
+// nothing once the pool is warm. Every record word is written on append, so
+// a recycled segment needs no clearing.
+var segPool = sync.Pool{New: func() any { return make([]uint64, segRecs*recWords) }}
+
+// slot returns the next record's backing words, extending the chain as
+// needed.
+func (s *shard) slot() []uint64 {
+	seg := s.n >> segShift
+	if seg == len(s.segs) {
+		s.segs = append(s.segs, segPool.Get().([]uint64))
+	}
+	off := (s.n & segMask) * recWords
+	s.n++
+	return s.segs[seg][off : off+recWords : off+recWords]
+}
+
+// at returns record i's backing words.
+func (s *shard) at(i int) []uint64 {
+	off := (i & segMask) * recWords
+	return s.segs[i>>segShift][off : off+recWords : off+recWords]
+}
+
+// searchSeq returns the index of the first record with sequence number >= seq
+// (s.n if none). Per-shard seqs are strictly ascending, so this is a binary
+// search.
+func (s *shard) searchSeq(seq uint64) int {
+	lo, hi := 0, s.n
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s.at(mid)[0] < seq {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// FlatRecord is the decoded-but-uninterned view of one flat record: IDs
+// instead of strings, the detail still packed. Strings resolve through the
+// owning Recorder's Str.
+type FlatRecord struct {
+	Seq               uint64
+	Kind, Track, Name ID
+	Start, End        int64
+	Flags             uint8
+	Tmpl              DetailTmpl
+	Arg               uint64
+}
+
+// IsInstant reports whether the record is a zero-extent instant.
+func (f FlatRecord) IsInstant() bool { return f.Flags&FlagInstant != 0 }
+
+// IsFFJump reports whether the record is a fast-forward jump.
+func (f FlatRecord) IsFFJump() bool { return f.Flags&FlagFFJump != 0 }
+
+func unpackRecord(w []uint64) FlatRecord {
+	return FlatRecord{
+		Seq:   w[0],
+		Kind:  ID(w[1] & 0xffffffff),
+		Tmpl:  DetailTmpl(w[1] >> 32 & 0xff),
+		Flags: uint8(w[1] >> 40 & 0xff),
+		Track: ID(w[2] & 0xffffffff),
+		Name:  ID(w[2] >> 32),
+		Start: int64(w[3]),
+		End:   int64(w[4]),
+		Arg:   w[5],
+	}
+}
+
+func packRecord(w []uint64, f FlatRecord) {
+	w[0] = f.Seq
+	w[1] = uint64(f.Kind) | uint64(f.Tmpl)<<32 | uint64(f.Flags)<<40
+	w[2] = uint64(f.Track) | uint64(f.Name)<<32
+	w[3] = uint64(f.Start)
+	w[4] = uint64(f.End)
+	w[5] = f.Arg
+}
+
+// flatRef locates one record for the merge scratch buffer.
+type flatRef struct {
+	shard, idx int32
+}
+
+// FlatLog is a standalone snapshot of a recorder's flat state: the intern
+// table and the merged (sequence-ordered) record stream. It is the unit the
+// binary flat codec round-trips, and what the codec fuzz target exercises.
+type FlatLog struct {
+	Strings []string
+	Records []FlatRecord
+}
+
+const flatMagic = "OBSFLAT1"
+
+// maxFlatStrings/maxFlatRecords bound DecodeFlat's up-front allocations; the
+// per-item length checks against the remaining input are the real guard, these
+// just keep a tiny malicious header from requesting gigabytes.
+const (
+	maxFlatStrings = 1 << 24
+	maxFlatRecords = 1 << 26
+)
+
+// AppendFlat serializes the log to buf: magic, string table (index 0's empty
+// string implicit), then the fixed-width records. The encoding is canonical —
+// DecodeFlat∘AppendFlat is the identity, which the codec fuzz target checks.
+func (l *FlatLog) AppendFlat(buf []byte) []byte {
+	buf = append(buf, flatMagic...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(l.Strings)))
+	for _, s := range l.Strings[1:] {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s)))
+		buf = append(buf, s...)
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(l.Records)))
+	var w [recWords]uint64
+	for _, f := range l.Records {
+		packRecord(w[:], f)
+		for _, x := range w {
+			buf = binary.LittleEndian.AppendUint64(buf, x)
+		}
+	}
+	return buf
+}
+
+// DecodeFlat parses a stream written by AppendFlat, validating every index:
+// kind/track/name/literal-detail IDs must land inside the decoded string
+// table, templates and flags must be known, and no trailing bytes may follow.
+// Malformed input yields an error, never a panic.
+func DecodeFlat(data []byte) (*FlatLog, error) {
+	if len(data) < len(flatMagic) || string(data[:len(flatMagic)]) != flatMagic {
+		return nil, fmt.Errorf("obs: flat: bad magic")
+	}
+	data = data[len(flatMagic):]
+	u32 := func() (uint32, error) {
+		if len(data) < 4 {
+			return 0, fmt.Errorf("obs: flat: truncated")
+		}
+		v := binary.LittleEndian.Uint32(data)
+		data = data[4:]
+		return v, nil
+	}
+	nStr, err := u32()
+	if err != nil {
+		return nil, err
+	}
+	if nStr == 0 || nStr > maxFlatStrings {
+		return nil, fmt.Errorf("obs: flat: string count %d out of range", nStr)
+	}
+	l := &FlatLog{Strings: make([]string, 1, nStr)}
+	for i := uint32(1); i < nStr; i++ {
+		n, err := u32()
+		if err != nil {
+			return nil, err
+		}
+		if uint64(n) > uint64(len(data)) {
+			return nil, fmt.Errorf("obs: flat: string %d length %d past end", i, n)
+		}
+		l.Strings = append(l.Strings, string(data[:n]))
+		data = data[n:]
+	}
+	nRec, err := u32()
+	if err != nil {
+		return nil, err
+	}
+	if nRec > maxFlatRecords || uint64(nRec)*recWords*8 != uint64(len(data)) {
+		return nil, fmt.Errorf("obs: flat: record count %d does not match %d remaining bytes", nRec, len(data))
+	}
+	l.Records = make([]FlatRecord, 0, nRec)
+	var w [recWords]uint64
+	for i := uint32(0); i < nRec; i++ {
+		for j := range w {
+			w[j] = binary.LittleEndian.Uint64(data)
+			data = data[8:]
+		}
+		f := unpackRecord(w[:])
+		switch {
+		case w[1]>>48 != 0:
+			// Bits 48-63 of the kind/tmpl/flags word are reserved slack that
+			// unpackRecord ignores; rejecting nonzero keeps the encoding
+			// canonical (decode then re-encode is the byte identity).
+			return nil, fmt.Errorf("obs: flat: record %d: reserved bits set", i)
+		case uint32(f.Kind) >= nStr || uint32(f.Track) >= nStr || uint32(f.Name) >= nStr:
+			return nil, fmt.Errorf("obs: flat: record %d: string ID out of range", i)
+		case f.Tmpl >= tmplMax:
+			return nil, fmt.Errorf("obs: flat: record %d: unknown detail template %d", i, f.Tmpl)
+		case f.Flags&^flagMask != 0:
+			return nil, fmt.Errorf("obs: flat: record %d: unknown flags %#x", i, f.Flags)
+		case (f.Tmpl == TmplLit || f.Tmpl == TmplUnit) && f.Arg >= uint64(nStr):
+			return nil, fmt.Errorf("obs: flat: record %d: detail string ID out of range", i)
+		}
+		l.Records = append(l.Records, f)
+	}
+	return l, nil
+}
+
+// Detail renders the record's annotation against the log's string table.
+func (l *FlatLog) Detail(f FlatRecord) string {
+	switch f.Tmpl {
+	case TmplLit:
+		return l.Strings[f.Arg]
+	case TmplUnit:
+		return "unit=" + l.Strings[f.Arg]
+	case TmplValue:
+		return "value=" + strconv.FormatInt(int64(f.Arg), 10)
+	}
+	return ""
+}

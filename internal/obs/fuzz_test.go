@@ -5,6 +5,48 @@ import (
 	"testing"
 )
 
+// FuzzFlatCodec throws arbitrary byte streams at the flat binary codec.
+// DecodeFlat must classify every input — a log or an error, never a panic —
+// and the encoding is canonical: when an input decodes, re-encoding the log
+// must reproduce the input byte for byte, string table and all (the
+// intern-table round-trip), and the re-decode must accept it again.
+func FuzzFlatCodec(f *testing.F) {
+	live := NewRecorder("fuzz", Config{})
+	k := live.Intern(KindChanStall)
+	tr := live.Intern("chan:pipe")
+	n := live.Intern("read-stall")
+	live.SpanDetailID(k, tr, n, 5, 40, UnitDetail(live.Intern("consumer")))
+	live.InstantID(live.Intern(KindLaunch), live.Intern("unit:consumer"), n, 0, NoDetail)
+	live.SpanDetailID(k, tr, n, 50, 60, ValueDetail(-3))
+	live.Add(Event{Kind: KindBlame, Track: "sim:deadlock", Name: "blame",
+		Start: 70, End: 70, Instant: true, Detail: "verdict: starved"})
+	live.FFJump(41, 49)
+	f.Add(live.FlatLog().AppendFlat(nil))
+	f.Add((&FlatLog{Strings: []string{""}}).AppendFlat(nil))
+	f.Add([]byte("OBSFLAT1"))
+	f.Add([]byte("OBSFLAT2 wrong magic"))
+	f.Add([]byte(""))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		l, err := DecodeFlat(data)
+		if err != nil {
+			return // rejection is fine; crashing is not
+		}
+		out := l.AppendFlat(nil)
+		if !bytes.Equal(out, data) {
+			t.Fatalf("accepted input is not canonical:\n in  %x\n out %x", data, out)
+		}
+		l2, err := DecodeFlat(out)
+		if err != nil {
+			t.Fatalf("re-decode of canonical bytes failed: %v", err)
+		}
+		// Details must render without panicking for every accepted record.
+		for _, rec := range l2.Records {
+			_ = l2.Detail(rec)
+		}
+	})
+}
+
 // FuzzReplayNDJSON throws arbitrary byte streams at the spill reader. Replay
 // must classify every input — a rebuilt record or an error, never a panic —
 // and a successful replay must be deterministic: replaying the same bytes

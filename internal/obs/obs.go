@@ -14,9 +14,17 @@
 // timeline is byte-identical with skipping on or off. Fast-forward jumps
 // themselves are the one exception (they exist only when skipping is on) and
 // are kept on a separate Timeline.FFJumps track for exactly that reason.
+//
+// Internally the recorder stores flat fixed-width records over an interned
+// string table (see flat.go) and materializes Event values only at
+// Timeline()/sink-flush time; the paper's "cheap enough to leave on" claim
+// (§4: 1.1–1.3% for timestamp instrumentation) holds only if recording does
+// not allocate per event, and the flat form is what delivers that.
 package obs
 
 import (
+	"strconv"
+
 	"oclfpga/internal/channel"
 	"oclfpga/internal/mem"
 )
@@ -119,10 +127,13 @@ type Config struct {
 	SampleEvery int64
 	// Sink, when non-nil, receives every finished event (including
 	// fast-forward jumps, distinguishable by Kind) and every sample as the
-	// recorder appends them, and Finalize when the record closes. Compose
-	// several destinations with NewFanout; the recorder itself stays the
-	// buffering head of the pipeline, so Timeline/Series keep working
-	// regardless of what streams downstream.
+	// recorder appends them, and Finalize when the record closes. Delivery
+	// is per-append — each record is materialized and handed downstream the
+	// moment it lands — so the durable prefix a crashed spill leaves behind
+	// is exactly the appended prefix, which segment-resume verification
+	// depends on. Compose several destinations with NewFanout; the recorder
+	// itself stays the buffering head of the pipeline, so Timeline/Series
+	// keep working regardless of what streams downstream.
 	Sink Sink
 }
 
@@ -130,55 +141,168 @@ type Config struct {
 // buffering sink. It is not safe for concurrent use; the simulator owns it
 // and appends from its single-threaded tick loop. A downstream Sink (if
 // configured) sees events and samples in exactly append order.
+//
+// The hot path is allocation-free: Intern track/name strings once, then
+// record through SpanID/InstantID/SpanDetailID — each call packs one
+// fixed-width record into the track's segment chain. The string-typed
+// Span/Instant/Add methods remain for rare paths (fault edges, deadlock
+// blame, NDJSON replay) and intern on every call.
 type Recorder struct {
-	design    string
-	cfg       Config
-	events    []Event
-	ffJumps   []Event
-	windows   []window // open fault windows, insertion-ordered
-	samples   []Sample
-	lastSamp  int64
-	endCycle  int64
-	dropped   int64
-	finalized bool
+	design string
+	cfg    Config
+
+	tab    internTable
+	shards []*shard
+	// trackShard maps a track ID to its shard index (-1 until first use),
+	// grown in step with the intern table so lookup is an array index.
+	trackShard []int32
+	// seq is the next global sequence number; records across all shards
+	// carry dense seqs, so append order is recoverable exactly.
+	seq     uint64
+	nEvents int // records without FlagFFJump
+	nJumps  int // records with FlagFFJump
+
+	// Streaming state: everything with seq < flushedSeq has been delivered
+	// to the sink; each shard's sunk cursor marks its delivered prefix.
+	flushedSeq uint64
+	scratch    []flatRef
+	// detailCache memoizes rendered detail strings so flushing N stall
+	// spans of the same unit concatenates "unit=" once, not N times.
+	detailCache map[Detail]string
+
+	// Canonical fast-forward jump identity, interned once.
+	ffKind, ffTrack, ffName ID
+
+	windows []window // open fault windows, insertion-ordered
+
+	// Samples live flat too (see sampleflat.go): a pointer-free word stream
+	// plus a count, materialized to []Sample only on demand.
+	sampStream wordStream
+	nSamples   int
+	lastSamp   int64
+	endCycle   int64
+	dropped    int64
+	finalized  bool
+	released   bool
+
+	// Timeline/series materialization caches, valid once finalized.
+	tlEvents  []Event
+	tlJumps   []Event
+	tlBuilt   bool
+	sampCache []Sample
+	sampBuilt bool
 }
 
-// window is an open span waiting for its close edge.
+// window is an open span waiting for its close edge, held in flat form.
 type window struct {
-	key    string
-	ev     Event
-	closed bool
+	key               string
+	kind, track, name ID
+	start             int64
+	detail            Detail
+	closed            bool
 }
 
 // NewRecorder creates a recorder for a run of the named design.
 func NewRecorder(design string, cfg Config) *Recorder {
-	return &Recorder{design: design, cfg: cfg, lastSamp: -1}
+	r := &Recorder{design: design, cfg: cfg, tab: newInternTable(), lastSamp: -1}
+	r.trackShard = append(r.trackShard, -1) // the empty string's track
+	r.ffKind = r.Intern(KindFFJump)
+	r.ffTrack = r.Intern("sim:fast-forward")
+	r.ffName = r.Intern("jump")
+	return r
 }
 
 // SampleEvery returns the configured sampling period.
 func (r *Recorder) SampleEvery() int64 { return r.cfg.SampleEvery }
 
-// append lands a finished event on the main track and streams it downstream.
-func (r *Recorder) append(e Event) {
-	r.events = append(r.events, e)
+// Intern returns the recorder-local ID for s, assigning one on first use.
+// Hot-path callers intern their vocabulary once and record by ID.
+func (r *Recorder) Intern(s string) ID {
+	id := r.tab.intern(s)
+	for int(id) >= len(r.trackShard) {
+		r.trackShard = append(r.trackShard, -1)
+	}
+	return id
+}
+
+// Str resolves an interned ID back to its string.
+func (r *Recorder) Str(id ID) string { return r.tab.str(id) }
+
+// Design returns the design name the recorder was created for.
+func (r *Recorder) Design() string { return r.design }
+
+// EndCycle returns the cycle the record was finalized at (0 before Finalize).
+func (r *Recorder) EndCycle() int64 { return r.endCycle }
+
+// shardFor returns the track's shard, creating it on first append.
+func (r *Recorder) shardFor(track ID) *shard {
+	si := r.trackShard[track]
+	if si < 0 {
+		si = int32(len(r.shards))
+		r.shards = append(r.shards, &shard{track: track})
+		r.trackShard[track] = si
+	}
+	return r.shards[si]
+}
+
+// appendFlat is the one append path: finalized is checked before anything is
+// built (a post-Finalize arrival costs one counter increment, nothing else),
+// then a fixed-width record lands in the track's shard.
+func (r *Recorder) appendFlat(kind, track, name ID, start, end int64, flags uint8, d Detail) {
+	if r.finalized {
+		r.dropped++
+		return
+	}
+	w := r.shardFor(track).slot()
+	w[0] = r.seq
+	w[1] = uint64(kind) | uint64(d.tmpl)<<32 | uint64(flags)<<40
+	w[2] = uint64(track) | uint64(name)<<32
+	w[3] = uint64(start)
+	w[4] = uint64(end)
+	w[5] = d.arg
+	r.seq++
+	if flags&FlagFFJump != 0 {
+		r.nJumps++
+	} else {
+		r.nEvents++
+	}
 	if r.cfg.Sink != nil {
-		r.cfg.Sink.Event(e)
+		r.flush()
 	}
 }
 
-// drop refuses a post-Finalize arrival, counting it so the corruption the
-// silent path used to allow is visible in Timeline.DroppedEvents (and, via
-// oclmon, in /metrics).
-func (r *Recorder) drop() { r.dropped++ }
+// SpanID appends a completed span by interned IDs — the zero-allocation form
+// of Span.
+func (r *Recorder) SpanID(kind, track, name ID, start, end int64) {
+	r.appendFlat(kind, track, name, start, end, 0, NoDetail)
+}
+
+// SpanDetailID appends a completed span with a lazy detail annotation.
+func (r *Recorder) SpanDetailID(kind, track, name ID, start, end int64, d Detail) {
+	r.appendFlat(kind, track, name, start, end, 0, d)
+}
+
+// InstantID appends an instant event by interned IDs.
+func (r *Recorder) InstantID(kind, track, name ID, at int64, d Detail) {
+	r.appendFlat(kind, track, name, at, at, FlagInstant, d)
+}
 
 // Add appends a fully formed event. Events added after Finalize are dropped
 // and counted: the timeline is a closed record of the run.
 func (r *Recorder) Add(e Event) {
 	if r.finalized {
-		r.drop()
+		r.dropped++
 		return
 	}
-	r.append(e)
+	var flags uint8
+	if e.Instant {
+		flags = FlagInstant
+	}
+	d := NoDetail
+	if e.Detail != "" {
+		d = LitDetail(r.Intern(e.Detail))
+	}
+	r.appendFlat(r.Intern(e.Kind), r.Intern(e.Track), r.Intern(e.Name), e.Start, e.End, flags, d)
 }
 
 // Event implements Sink: fast-forward jumps route to their dedicated track,
@@ -201,37 +325,48 @@ func (r *Recorder) DroppedEvents() int64 { return r.dropped }
 
 // Span appends a completed span event.
 func (r *Recorder) Span(kind, track, name string, start, end int64) {
-	r.Add(Event{Kind: kind, Track: track, Name: name, Start: start, End: end})
+	if r.finalized {
+		r.dropped++
+		return
+	}
+	r.appendFlat(r.Intern(kind), r.Intern(track), r.Intern(name), start, end, 0, NoDetail)
 }
 
 // Instant appends an instant event (detail may be empty).
 func (r *Recorder) Instant(kind, track, name string, at int64, detail string) {
-	r.Add(Event{Kind: kind, Track: track, Name: name, Start: at, End: at, Instant: true, Detail: detail})
+	if r.finalized {
+		r.dropped++
+		return
+	}
+	d := NoDetail
+	if detail != "" {
+		d = LitDetail(r.Intern(detail))
+	}
+	r.appendFlat(r.Intern(kind), r.Intern(track), r.Intern(name), at, at, FlagInstant, d)
 }
 
 // FFJump records one fast-forward jump over the inclusive skipped window
 // [from, to]. Jumps live on their own timeline track (see Timeline.FFJumps)
 // but stream downstream interleaved with ordinary events, tagged by Kind.
 func (r *Recorder) FFJump(from, to int64) {
-	if r.finalized {
-		r.drop()
-		return
-	}
-	e := Event{Kind: KindFFJump, Track: "sim:fast-forward", Name: "jump", Start: from, End: to}
-	r.ffJumps = append(r.ffJumps, e)
-	if r.cfg.Sink != nil {
-		r.cfg.Sink.Event(e)
-	}
+	r.appendFlat(r.ffKind, r.ffTrack, r.ffName, from, to, FlagFFJump, NoDetail)
 }
 
 // OpenWindow starts a span whose end is not yet known (a fault switching on).
 // The End field of e is ignored until CloseWindow or Finalize supplies it.
 func (r *Recorder) OpenWindow(key string, e Event) {
 	if r.finalized {
-		r.drop()
+		r.dropped++
 		return
 	}
-	r.windows = append(r.windows, window{key: key, ev: e})
+	d := NoDetail
+	if e.Detail != "" {
+		d = LitDetail(r.Intern(e.Detail))
+	}
+	r.windows = append(r.windows, window{
+		key: key, kind: r.Intern(e.Kind), track: r.Intern(e.Track),
+		name: r.Intern(e.Name), start: e.Start, detail: d,
+	})
 }
 
 // CloseWindow completes the most recent open window with the given key; the
@@ -239,7 +374,7 @@ func (r *Recorder) OpenWindow(key string, e Event) {
 // reflects when facts became known.
 func (r *Recorder) CloseWindow(key string, end int64) {
 	if r.finalized {
-		r.drop()
+		r.dropped++
 		return
 	}
 	for i := len(r.windows) - 1; i >= 0; i-- {
@@ -248,23 +383,26 @@ func (r *Recorder) CloseWindow(key string, end int64) {
 			continue
 		}
 		w.closed = true
-		w.ev.End = end
-		r.append(w.ev)
+		r.appendFlat(w.kind, w.track, w.name, w.start, end, 0, w.detail)
 		return
 	}
 }
 
-// AddSample appends a metrics sample.
+// AddSample appends a metrics sample, interning its strings and packing its
+// counters into the flat sample stream. Hot-path callers with pre-interned
+// vocabulary should build through BeginSample instead.
 func (r *Recorder) AddSample(s Sample) {
-	if r.finalized {
-		r.drop()
-		return
+	sw := r.BeginSample(s.Cycle)
+	for _, c := range s.Channels {
+		sw.Channel(r.Intern(c.Name), c.Len, c.Stats)
 	}
-	r.samples = append(r.samples, s)
-	r.lastSamp = s.Cycle
-	if r.cfg.Sink != nil {
-		r.cfg.Sink.Sample(s)
+	for _, l := range s.LSUs {
+		sw.LSU(r.Intern(l.Unit), r.Intern(l.Array), r.Intern(l.Kind), l.IsStore, l.LSUStats)
 	}
+	for _, lo := range s.Locals {
+		sw.Local(r.Intern(lo.Name), lo.Reads, lo.Writes)
+	}
+	sw.Commit()
 }
 
 // LastSampleCycle returns the cycle of the most recent sample (-1 if none).
@@ -272,9 +410,10 @@ func (r *Recorder) LastSampleCycle() int64 { return r.lastSamp }
 
 // Finalize closes the record at endCycle: any still-open windows become spans
 // ending at endCycle (in the order they were opened), and a configured
-// downstream sink is finalized in turn (its error — e.g. an NDJSON writer's
-// flush failure — is the return value). Further Add/AddSample calls are
-// dropped and counted; Finalize itself is idempotent.
+// downstream sink receives the remaining events and is finalized in turn (its
+// error — e.g. an NDJSON writer's flush failure — is the return value).
+// Further Add/AddSample calls are dropped and counted; Finalize itself is
+// idempotent.
 func (r *Recorder) Finalize(endCycle int64) error {
 	if r.finalized {
 		return nil
@@ -285,12 +424,12 @@ func (r *Recorder) Finalize(endCycle int64) error {
 			continue
 		}
 		w.closed = true
-		w.ev.End = endCycle
-		r.append(w.ev)
+		r.appendFlat(w.kind, w.track, w.name, w.start, endCycle, 0, w.detail)
 	}
 	r.endCycle = endCycle
 	r.finalized = true
 	if r.cfg.Sink != nil {
+		r.flush()
 		return r.cfg.Sink.Finalize(endCycle)
 	}
 	return nil
@@ -299,17 +438,222 @@ func (r *Recorder) Finalize(endCycle int64) error {
 // Finalized reports whether the record has been closed.
 func (r *Recorder) Finalized() bool { return r.finalized }
 
-// Timeline snapshots the recorded events. Call after Finalize; the returned
-// struct shares the recorder's backing slices and must not be mutated except
-// to detach FFJumps.
-func (r *Recorder) Timeline() *Timeline {
-	return &Timeline{
-		Design: r.design, EndCycle: r.endCycle, DroppedEvents: r.dropped,
-		Events: r.events, FFJumps: r.ffJumps,
+// Release returns the recorder's flat storage — record segments and sample
+// chunks — to package-level pools so the next recorder reuses them instead of
+// allocating: the software analogue of the paper's ibuffer, a trace ring
+// sized once and rewritten in place run after run. Callers that keep a
+// recorder per run (benchmark loops, long-lived monitors) release each run's
+// storage once they are done reading it, collapsing steady-state allocation
+// to near zero.
+//
+// Release is only valid on a finalized recorder (it panics otherwise) and is
+// idempotent. Timeline and Series snapshots materialized before Release stay
+// valid — they are value copies — but paths that would lazily re-read the
+// flat storage (a first Timeline/Series call, VisitFlat, FlatLog) panic after
+// Release, because the words now belong to someone else.
+func (r *Recorder) Release() {
+	if r.released {
+		return
+	}
+	if !r.finalized {
+		panic("obs: Release before Finalize")
+	}
+	r.released = true
+	for _, sh := range r.shards {
+		for _, seg := range sh.segs {
+			segPool.Put(seg)
+		}
+		sh.segs = nil
+	}
+	r.shards = nil
+	for _, c := range r.sampStream.chunks {
+		if cap(c) == sampChunkWords {
+			sampChunkPool.Put(c[:0])
+		}
+	}
+	r.sampStream = wordStream{}
+	r.scratch = nil
+}
+
+// Released reports whether the recorder's storage has been released.
+func (r *Recorder) Released() bool { return r.released }
+
+// fillScratch bucket-fills refs to every record with lo <= seq < hi into the
+// scratch buffer, positioned by sequence. Seqs are dense, so this is the
+// k-way merge without comparisons: one pass over each shard's tail, one
+// ordered walk of the result. advance moves the per-shard sunk cursors —
+// flushing consumes the tail, Timeline materialization must not.
+func (r *Recorder) fillScratch(lo, hi uint64, advance bool) []flatRef {
+	n := int(hi - lo)
+	if cap(r.scratch) < n {
+		r.scratch = make([]flatRef, n)
+	}
+	scratch := r.scratch[:n]
+	for si, sh := range r.shards {
+		start := 0
+		if advance {
+			start = sh.sunk
+			sh.sunk = sh.n
+		} else {
+			// Find the first record with seq >= lo: per-shard seqs are
+			// ascending, so binary-search the boundary.
+			start = sh.searchSeq(lo)
+		}
+		for i := start; i < sh.n; i++ {
+			w := sh.at(i)
+			if w[0] >= lo && w[0] < hi {
+				scratch[w[0]-lo] = flatRef{shard: int32(si), idx: int32(i)}
+			}
+		}
+	}
+	return scratch
+}
+
+// renderDetail resolves a packed detail to its string form through the
+// memoization cache.
+func (r *Recorder) renderDetail(d Detail) string {
+	if d.tmpl == TmplNone {
+		return ""
+	}
+	if d.tmpl == TmplLit {
+		return r.tab.str(ID(d.arg))
+	}
+	if s, ok := r.detailCache[d]; ok {
+		return s
+	}
+	var s string
+	switch d.tmpl {
+	case TmplUnit:
+		s = "unit=" + r.tab.str(ID(d.arg))
+	case TmplValue:
+		s = "value=" + strconv.FormatInt(int64(d.arg), 10)
+	}
+	if r.detailCache == nil {
+		r.detailCache = map[Detail]string{}
+	}
+	r.detailCache[d] = s
+	return s
+}
+
+// materialize builds the Event value for one flat record.
+func (r *Recorder) materialize(f FlatRecord) Event {
+	return Event{
+		Kind: r.tab.str(f.Kind), Track: r.tab.str(f.Track), Name: r.tab.str(f.Name),
+		Start: f.Start, End: f.End, Instant: f.IsInstant(),
+		Detail: r.renderDetail(Detail{tmpl: f.Tmpl, arg: f.Arg}),
 	}
 }
 
-// Series snapshots the recorded metrics samples.
+// flush streams every pending record to the sink in sequence (= append)
+// order.
+func (r *Recorder) flush() {
+	if r.seq == r.flushedSeq {
+		return
+	}
+	for _, ref := range r.fillScratch(r.flushedSeq, r.seq, true) {
+		r.cfg.Sink.Event(r.materialize(unpackRecord(r.shards[ref.shard].at(int(ref.idx)))))
+	}
+	r.flushedSeq = r.seq
+}
+
+// buildTimeline materializes the merged record stream into the Events and
+// FFJumps slices, allocated at exact capacity and left nil when empty (the
+// Timeline JSON codec distinguishes null from []).
+func (r *Recorder) buildTimeline() (events, jumps []Event) {
+	if r.nEvents > 0 {
+		events = make([]Event, 0, r.nEvents)
+	}
+	if r.nJumps > 0 {
+		jumps = make([]Event, 0, r.nJumps)
+	}
+	for _, ref := range r.fillScratch(0, r.seq, false) {
+		f := unpackRecord(r.shards[ref.shard].at(int(ref.idx)))
+		if f.IsFFJump() {
+			jumps = append(jumps, r.materialize(f))
+		} else {
+			events = append(events, r.materialize(f))
+		}
+	}
+	return events, jumps
+}
+
+// Timeline snapshots the recorded events. Call after Finalize; the returned
+// struct is fresh on every call but shares the materialized backing slices,
+// which must not be mutated except to detach FFJumps.
+func (r *Recorder) Timeline() *Timeline {
+	events, jumps := r.tlEvents, r.tlJumps
+	if !r.tlBuilt {
+		if r.released {
+			panic("obs: Timeline on released recorder")
+		}
+		events, jumps = r.buildTimeline()
+		if r.finalized {
+			r.tlEvents, r.tlJumps, r.tlBuilt = events, jumps, true
+		}
+	}
+	return &Timeline{
+		Design: r.design, EndCycle: r.endCycle, DroppedEvents: r.dropped,
+		Events: events, FFJumps: jumps,
+	}
+}
+
+// EventCount returns the number of recorded main-track events (fast-forward
+// jumps excluded) without materializing them.
+func (r *Recorder) EventCount() int { return r.nEvents }
+
+// FFJumpCount returns the number of recorded fast-forward jumps.
+func (r *Recorder) FFJumpCount() int { return r.nJumps }
+
+// SampleCount returns the number of recorded metrics samples without
+// materializing them.
+func (r *Recorder) SampleCount() int { return r.nSamples }
+
+// VisitFlat walks every record (fast-forward jumps included) in append order
+// without materializing Event values — the analyze package's read path.
+func (r *Recorder) VisitFlat(fn func(FlatRecord)) {
+	if r.released {
+		panic("obs: VisitFlat on released recorder")
+	}
+	for _, ref := range r.fillScratch(0, r.seq, false) {
+		fn(unpackRecord(r.shards[ref.shard].at(int(ref.idx))))
+	}
+}
+
+// DetailOf renders a flat record's detail annotation.
+func (r *Recorder) DetailOf(f FlatRecord) string {
+	return r.renderDetail(Detail{tmpl: f.Tmpl, arg: f.Arg})
+}
+
+// FlatLog snapshots the recorder's flat state — the intern table plus the
+// merged record stream — as a standalone, codec-round-trippable value.
+func (r *Recorder) FlatLog() *FlatLog {
+	l := &FlatLog{
+		Strings: append([]string(nil), r.tab.strs...),
+		Records: make([]FlatRecord, 0, r.nEvents+r.nJumps),
+	}
+	r.VisitFlat(func(f FlatRecord) { l.Records = append(l.Records, f) })
+	return l
+}
+
+// Series snapshots the recorded metrics samples, materializing them from the
+// flat sample stream (cached once the recorder is finalized).
 func (r *Recorder) Series() *Series {
-	return &Series{Design: r.design, SampleEvery: r.cfg.SampleEvery, Samples: r.samples}
+	return &Series{Design: r.design, SampleEvery: r.cfg.SampleEvery, Samples: r.sampleSlice()}
+}
+
+func (r *Recorder) sampleSlice() []Sample {
+	if r.sampBuilt {
+		return r.sampCache
+	}
+	if r.released {
+		panic("obs: Series on released recorder")
+	}
+	var out []Sample
+	if r.nSamples > 0 {
+		out = decodeSamples(r, sampCursor{ws: &r.sampStream}, make([]Sample, 0, r.nSamples))
+	}
+	if r.finalized {
+		r.sampCache, r.sampBuilt = out, true
+	}
+	return out
 }

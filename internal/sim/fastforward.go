@@ -83,23 +83,35 @@ func (m *Machine) fastForward(start, budget int64) {
 	if budget >= 0 && to > start+budget {
 		to = start + budget
 	}
-	if m.obs != nil && m.obs.sampleEvery > 0 {
-		// metrics sample cycles are deadlines too: never jump onto or past
-		// the next one, so the tick that takes the sample executes for real
-		// and the sample matches the per-cycle path byte for byte
-		if next := (m.cycle/m.obs.sampleEvery + 1) * m.obs.sampleEvery; to >= next {
-			to = next - 1
-		}
-	}
 	if to <= m.cycle {
 		return
 	}
-	m.batchAdvance(m.cycle, to)
+	from := m.cycle
+	if m.obs != nil && m.obs.sampleEvery > 0 {
+		// Metrics samples due inside the window are taken mid-jump: the batch
+		// advance splits at each grid cycle, and — because batchAdvance
+		// charges exactly the counter effects per-cycle stepping would have,
+		// and nothing else changes while the machine is quiescent — the
+		// snapshot at each split point is byte-identical to the one a real
+		// tick stopping there would record. The jump itself is not capped, so
+		// sampling leaves the jump count and the cycles executed for real
+		// exactly as they are without sampling.
+		every := m.obs.sampleEvery
+		for s := (from/every + 1) * every; s <= to; s += every {
+			m.batchAdvance(m.cycle, s)
+			m.cycle = s
+			m.obsTakeSample()
+		}
+		m.obs.nextSampleAt = (to/every + 1) * every
+	}
+	if to > m.cycle {
+		m.batchAdvance(m.cycle, to)
+	}
 	if m.obs != nil {
-		m.obs.rec.FFJump(m.cycle+1, to)
+		m.obs.rec.FFJump(from+1, to)
 	}
 	m.ffJumps++
-	m.ffSkipped += to - m.cycle
+	m.ffSkipped += to - from
 	m.cycle = to
 }
 

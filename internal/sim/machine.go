@@ -355,6 +355,15 @@ type Unit struct {
 	// single-task / autorun progress
 	topDone bool
 
+	// obsTrack/obsName cache the unit's interned observability IDs
+	// ("unit:<name>" / "<name>"), filled lazily by obsUnitIDs so stall and
+	// sample hooks never rebuild the name string (UnitName allocates for
+	// replicated kernels).
+	obsTrack, obsName obs.ID
+	// obsSites is the per-access-site sample vocabulary (array/kind IDs),
+	// filled lazily by obsSiteIDs.
+	obsSites []obsSiteID
+
 	// intrinsicState is indexed by XOp.StateIdx (dense, assigned during
 	// lowering) — the hot path avoids a per-op map lookup.
 	intrinsicState []any

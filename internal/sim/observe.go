@@ -14,6 +14,14 @@ import (
 // event-driven rather than cycle-driven, so — unlike the VCD recorder's
 // cycle hook — enabling it does not force the per-cycle slow path.
 //
+// The hooks record through the recorder's interned-ID API: the event
+// vocabulary (kinds, channel tracks, stall direction names, per-unit tracks)
+// is interned once — at init, at launch, or lazily on a unit's first event —
+// and each recorded event is one fixed-width append with no string
+// concatenation or per-event allocation (see obs/flat.go). Sample snapshots
+// pack their counters into the recorder's flat sample stream the same way
+// (see obs/sampleflat.go).
+//
 // Fast-forward exactness contract: events are only emitted at cycles the
 // machine executes for real in both modes (launches, fault boundaries, unit
 // finishes, deadline and sample cycles), and the one piece of open state —
@@ -27,6 +35,10 @@ import (
 type obsState struct {
 	rec         *obs.Recorder
 	sampleEvery int64
+	// nextSampleAt is the next sampling-grid cycle, kept in step by
+	// obsEndTick and fastForward so the per-tick grid check is one equality
+	// instead of a modulo.
+	nextSampleAt int64
 	// stalls tracks one open blocked-interval per channel endpoint,
 	// indexed [chID][dir] with dir 0 = read, 1 = write.
 	stalls [][2]stallSpan
@@ -37,59 +49,107 @@ type obsState struct {
 	// sinkErr is the downstream sink's Finalize error, surfaced through
 	// Machine.ObserveErr.
 	sinkErr error
+
+	// Interned event vocabulary, resolved once at init so the hot path
+	// records by ID.
+	kLaunch, kUnitRun, kChanStall, kLineFetch obs.ID
+	nLaunch, nRun                             obs.ID
+	dirNames                                  [2]obs.ID // read-stall, write-stall
+	chanTracks                                []obs.ID  // "chan:<name>" by channel ID
+	chanNames                                 []obs.ID  // raw channel name by channel ID
+}
+
+// obsSiteID is a memory access site's sample vocabulary, interned once per
+// unit (see obsSiteIDs) so the sampling walk records by ID.
+type obsSiteID struct {
+	arr, kind obs.ID
+	isStore   bool
 }
 
 // stallSpan is one in-progress consecutive blockage of a channel endpoint.
-// unit names the compute unit whose refused attempt opened the span — the
-// attribution key the analyze package groups by. Opening happens only on
-// real ticks (the batch path merely extends), so the opener is identical
-// with fast-forward on or off.
+// unit is the interned name of the compute unit whose refused attempt opened
+// the span — the attribution key the analyze package groups by. Opening
+// happens only on real ticks (the batch path merely extends), so the opener
+// is identical with fast-forward on or off.
 type stallSpan struct {
 	since, last int64
-	unit        string
+	unit        obs.ID
 	open        bool
 }
 
-var dirName = [2]string{"read-stall", "write-stall"}
-
-// initObserve attaches a recorder; called from New before faults install so
-// launch-skew instants land on the timeline.
+// initObserve attaches a recorder; called from New after channels exist (so
+// their tracks intern eagerly) and before faults install (so launch-skew
+// instants land on the timeline).
 func (m *Machine) initObserve(cfg *obs.Config) {
-	m.obs = &obsState{
-		rec:         obs.NewRecorder(m.d.Program.Name, *cfg),
+	rec := obs.NewRecorder(m.d.Program.Name, *cfg)
+	o := &obsState{
+		rec:         rec,
 		sampleEvery: cfg.SampleEvery,
 		stalls:      make([][2]stallSpan, len(m.chans)),
+		kLaunch:     rec.Intern(obs.KindLaunch),
+		kUnitRun:    rec.Intern(obs.KindUnitRun),
+		kChanStall:  rec.Intern(obs.KindChanStall),
+		kLineFetch:  rec.Intern(obs.KindLineFetch),
+		nLaunch:     rec.Intern("launch"),
+		nRun:        rec.Intern("run"),
+		dirNames:    [2]obs.ID{rec.Intern("read-stall"), rec.Intern("write-stall")},
+		chanTracks:  make([]obs.ID, len(m.chans)),
+		chanNames:   make([]obs.ID, len(m.chans)),
 	}
+	for i := range m.chans {
+		o.chanTracks[i] = rec.Intern("chan:" + m.d.Program.Chans[i].Name)
+		o.chanNames[i] = rec.Intern(m.d.Program.Chans[i].Name)
+	}
+	o.nextSampleAt = -1 // never matches a real cycle
+	if cfg.SampleEvery > 0 {
+		o.nextSampleAt = cfg.SampleEvery
+	}
+	m.obs = o
 }
 
 // Observed reports whether the machine records an observability timeline.
 func (m *Machine) Observed() bool { return m.obs != nil }
 
-func unitTrack(u *Unit) string { return "unit:" + u.xk.UnitName() }
+// obsUnitIDs returns the unit's interned track and name IDs, interning on
+// first use (autorun units never pass through obsLaunch, so laziness covers
+// both populations). A unit name is never empty, so ID zero means "unset".
+func (m *Machine) obsUnitIDs(u *Unit) (track, name obs.ID) {
+	if u.obsTrack == 0 {
+		n := u.xk.UnitName()
+		u.obsName = m.obs.rec.Intern(n)
+		u.obsTrack = m.obs.rec.Intern("unit:" + n)
+	}
+	return u.obsTrack, u.obsName
+}
 
 // obsLaunch records a launch instant and binds line-fetch observers to the
 // launch's freshly created LSUs.
 func (m *Machine) obsLaunch(u *Unit) {
 	o := m.obs
 	o.launched = append(o.launched, u)
-	o.rec.Instant(obs.KindLaunch, unitTrack(u), "launch", m.cycle, "")
+	track, _ := m.obsUnitIDs(u)
+	o.rec.InstantID(o.kLaunch, track, o.nLaunch, m.cycle, obs.NoDetail)
 	for i, lsu := range u.lsus {
 		if lsu == nil {
 			continue
 		}
 		site := u.xk.LSUs[i]
-		track := fmt.Sprintf("lsu:%s/%s#%d", u.xk.UnitName(), site.Arr.Name, i)
-		name := site.Kind.String()
+		// Interned once per launch; repeat launches of the same kernel
+		// resolve to the same IDs.
+		ltrack := o.rec.Intern(fmt.Sprintf("lsu:%s/%s#%d", u.xk.UnitName(), site.Arr.Name, i))
+		lname := o.rec.Intern(site.Kind.String())
+		kind := o.kLineFetch
 		rec := o.rec
 		lsu.OnLineFetch = func(now, ready int64) {
-			rec.Span(obs.KindLineFetch, track, name, now, ready)
+			rec.SpanID(kind, ltrack, lname, now, ready)
 		}
 	}
 }
 
 // obsUnitFinished closes the unit's run span.
 func (m *Machine) obsUnitFinished(u *Unit) {
-	m.obs.rec.Span(obs.KindUnitRun, unitTrack(u), "run", u.startedAt, u.finishedAt)
+	track, _ := m.obsUnitIDs(u)
+	m.obs.rec.SpanID(m.obs.kUnitRun, track, m.obs.nRun, u.startedAt, u.finishedAt)
 }
 
 // obsChanBlocked notes a refused blocking channel op at cycle now. Adjacent
@@ -109,7 +169,8 @@ func (m *Machine) obsChanBlocked(u *Unit, chID, dir int, now int64) {
 		}
 		m.obsFlushStall(chID, dir)
 	}
-	*s = stallSpan{since: now, last: now, unit: u.xk.UnitName(), open: true}
+	_, name := m.obsUnitIDs(u)
+	*s = stallSpan{since: now, last: now, unit: name, open: true}
 }
 
 // obsExtendStall batch-extends the open stall span across a skipped window
@@ -120,7 +181,8 @@ func (m *Machine) obsChanBlocked(u *Unit, chID, dir int, now int64) {
 func (m *Machine) obsExtendStall(u *Unit, chID, dir int, from, to int64) {
 	s := &m.obs.stalls[chID][dir]
 	if !s.open {
-		*s = stallSpan{since: from, unit: u.xk.UnitName(), open: true}
+		_, name := m.obsUnitIDs(u)
+		*s = stallSpan{since: from, unit: name, open: true}
 	}
 	if to > s.last {
 		s.last = to
@@ -128,55 +190,74 @@ func (m *Machine) obsExtendStall(u *Unit, chID, dir int, from, to int64) {
 }
 
 // obsFlushStall emits the endpoint's open span, if any, as a timeline event.
-// The opening unit travels in Detail — the stall's attribution to a compute
-// unit, which the analyze package turns into per-(unit, op, channel) rows.
+// The opening unit travels in the detail annotation ("unit=<name>", packed as
+// an interned ID) — the stall's attribution to a compute unit, which the
+// analyze package turns into per-(unit, op, channel) rows.
 func (m *Machine) obsFlushStall(chID, dir int) {
 	s := &m.obs.stalls[chID][dir]
 	if !s.open {
 		return
 	}
-	m.obs.rec.Add(obs.Event{
-		Kind: obs.KindChanStall, Track: "chan:" + m.d.Program.Chans[chID].Name,
-		Name: dirName[dir], Start: s.since, End: s.last, Detail: "unit=" + s.unit,
-	})
+	m.obs.rec.SpanDetailID(m.obs.kChanStall, m.obs.chanTracks[chID], m.obs.dirNames[dir],
+		s.since, s.last, obs.UnitDetail(s.unit))
 	s.open = false
 }
 
 // obsEndTick runs at the end of every real tick: it takes a metrics sample
-// when the cycle lands on the sampling grid. Sample cycles are fast-forward
-// deadlines (see fastForward), so this sees identical state in both modes.
+// when the cycle lands on the sampling grid. Grid cycles inside a skipped
+// window are sampled mid-jump by fastForward, which splits its batch advance
+// at each one, so both paths see identical state.
 func (m *Machine) obsEndTick() {
 	o := m.obs
-	if o.sampleEvery > 0 && m.cycle%o.sampleEvery == 0 {
-		o.rec.AddSample(m.obsSample())
+	if m.cycle == o.nextSampleAt {
+		m.obsTakeSample()
+		o.nextSampleAt += o.sampleEvery
 	}
 }
 
-// obsSample snapshots the accumulated counters: channels with any activity or
-// occupancy, access sites with any traffic, and local memories (where the
-// ibuffer trace storage lives) with any traffic.
-func (m *Machine) obsSample() obs.Sample {
-	s := obs.Sample{Cycle: m.cycle}
+// obsSiteIDs returns the unit's per-site sample vocabulary, interning it on
+// first use.
+func (m *Machine) obsSiteIDs(u *Unit) []obsSiteID {
+	if u.obsSites == nil {
+		u.obsSites = make([]obsSiteID, len(u.xk.LSUs))
+		for i, site := range u.xk.LSUs {
+			u.obsSites[i] = obsSiteID{
+				arr:     m.obs.rec.Intern(site.Arr.Name),
+				kind:    m.obs.rec.Intern(site.Kind.String()),
+				isStore: site.IsStore,
+			}
+		}
+	}
+	return u.obsSites
+}
+
+// obsTakeSample snapshots the accumulated counters straight into the
+// recorder's flat sample stream: channels with any activity or occupancy,
+// access sites with any traffic, and local memories (where the ibuffer trace
+// storage lives) with any traffic. Nothing here materializes a string or an
+// entry struct — every identifier is a pre-interned ID.
+func (m *Machine) obsTakeSample() {
+	o := m.obs
+	sw := o.rec.BeginSample(m.cycle)
 	for i, ch := range m.chans {
 		st := ch.Stats()
 		if st == (channel.Stats{}) && ch.Len() == 0 {
 			continue
 		}
-		s.Channels = append(s.Channels, obs.ChannelSample{
-			Name: m.d.Program.Chans[i].Name, Len: ch.Len(), Stats: st,
-		})
+		sw.Channel(o.chanNames[i], ch.Len(), st)
 	}
 	for _, u := range m.units {
-		m.obsSampleUnit(&s, u)
+		m.obsSampleUnit(sw, u)
 	}
-	for _, u := range m.obs.launched {
-		m.obsSampleUnit(&s, u)
+	for _, u := range o.launched {
+		m.obsSampleUnit(sw, u)
 	}
-	return s
+	sw.Commit()
 }
 
-func (m *Machine) obsSampleUnit(s *obs.Sample, u *Unit) {
-	for i, site := range u.xk.LSUs {
+func (m *Machine) obsSampleUnit(sw obs.SampleWriter, u *Unit) {
+	o := m.obs
+	for i := range u.xk.LSUs {
 		lsu := u.lsus[i]
 		if lsu == nil {
 			continue
@@ -185,22 +266,22 @@ func (m *Machine) obsSampleUnit(s *obs.Sample, u *Unit) {
 		if st == (mem.LSUStats{}) {
 			continue
 		}
-		s.LSUs = append(s.LSUs, obs.LSUSample{
-			Unit: u.xk.UnitName(), Array: site.Arr.Name,
-			Kind: site.Kind.String(), IsStore: site.IsStore, LSUStats: st,
-		})
+		_, name := m.obsUnitIDs(u)
+		site := m.obsSiteIDs(u)[i]
+		sw.LSU(name, site.arr, site.kind, site.isStore, st)
 	}
 	for _, lm := range u.locals {
 		if lm.Reads == 0 && lm.Writes == 0 {
 			continue
 		}
-		s.Locals = append(s.Locals, obs.LocalSample{Name: lm.Name, Reads: lm.Reads, Writes: lm.Writes})
+		sw.Local(o.rec.Intern(lm.Name), lm.Reads, lm.Writes)
 	}
 }
 
 // obsFaultEdge records an injected fault switching on or off. Fault
 // boundaries are never jumped across (nextBoundary), so edges land at their
-// exact cycles in both fast-forward modes.
+// exact cycles in both fast-forward modes. This is a rare path (a handful of
+// edges per run), so it stays on the string-typed window API.
 func (m *Machine) obsFaultEdge(idx int, re *resolvedEvent, now int64) {
 	key := fmt.Sprintf("fault#%d", idx)
 	ev := re.ev
@@ -235,16 +316,18 @@ func (m *Machine) obsFinalize() {
 	}
 	for _, u := range m.units {
 		if u.started {
-			o.rec.Span(obs.KindUnitRun, unitTrack(u), "run", u.startedAt, m.cycle)
+			track, _ := m.obsUnitIDs(u)
+			o.rec.SpanID(o.kUnitRun, track, o.nRun, u.startedAt, m.cycle)
 		}
 	}
 	for _, u := range o.launched {
 		if u.started && u.finishedAt == 0 {
-			o.rec.Span(obs.KindUnitRun, unitTrack(u), "run", u.startedAt, m.cycle)
+			track, _ := m.obsUnitIDs(u)
+			o.rec.SpanID(o.kUnitRun, track, o.nRun, u.startedAt, m.cycle)
 		}
 	}
 	if o.sampleEvery > 0 && o.rec.LastSampleCycle() != m.cycle {
-		o.rec.AddSample(m.obsSample())
+		m.obsTakeSample()
 	}
 	o.sinkErr = o.rec.Finalize(m.cycle)
 }
@@ -258,6 +341,18 @@ func (m *Machine) ObserveErr() error {
 		return nil
 	}
 	return m.obs.sinkErr
+}
+
+// Observer finalizes the record and returns the underlying recorder, or nil
+// when the machine was created without Options.Observe. This is the flat read
+// path: consumers like the stall-attribution analysis walk the recorder's
+// fixed-width records directly instead of materializing a Timeline first.
+func (m *Machine) Observer() *obs.Recorder {
+	if m.obs == nil {
+		return nil
+	}
+	m.obsFinalize()
+	return m.obs.rec
 }
 
 // Timeline finalizes and returns the run's event timeline, or nil when the
@@ -289,4 +384,16 @@ func (m *Machine) Series() *obs.Series {
 	}
 	m.obsFinalize()
 	return m.obs.rec.Series()
+}
+
+// ReleaseObserver finalizes the record and returns the recorder's flat
+// storage to the package pools for reuse by later runs (see
+// obs.Recorder.Release). Call once all reads of this run's record are done;
+// a no-op when the machine was created without Options.Observe.
+func (m *Machine) ReleaseObserver() {
+	if m.obs == nil {
+		return
+	}
+	m.obsFinalize()
+	m.obs.rec.Release()
 }

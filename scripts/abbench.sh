@@ -1,0 +1,60 @@
+#!/bin/sh
+# abbench.sh — quick A/B recorder-overhead comparison: a baseline git ref
+# (default HEAD) against the working tree. Both sides run the plain and
+# observed throughput benchmarks briefly, benchjson derives each side's
+# observe-overhead-pct, and the script prints the delta. Exits non-zero when
+# the working tree's overhead regresses by more than ABBENCH_TOL percentage
+# points (default 5 — generous because short runs are noisy; the hard
+# <=10% bound is enforced separately by scripts/verify.sh).
+#
+#   ./scripts/abbench.sh              # HEAD vs working tree
+#   ./scripts/abbench.sh origin/main  # explicit baseline ref
+set -eu
+
+cd "$(dirname "$0")/.."
+
+REF="${1:-HEAD}"
+BENCHTIME="${ABBENCH_BENCHTIME:-20x}"
+COUNT="${ABBENCH_COUNT:-3}"
+TOL="${ABBENCH_TOL:-5}"
+
+TMP="$(mktemp -d)"
+cleanup() {
+    git worktree remove --force "$TMP/base" 2>/dev/null || true
+    rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+git worktree add --quiet --detach "$TMP/base" "$REF"
+
+bench() (
+    cd "$1"
+    go test -run '^$' -bench 'SimThroughput/(Simulate$|SimulateObserved$)' \
+        -benchmem -benchtime "$BENCHTIME" -count "$COUNT" .
+)
+
+overhead() {
+    sed -n 's/.*"observe-overhead-pct": \([-0-9.eE+]*\).*/\1/p' "$1"
+}
+
+bench "$TMP/base" | go run ./cmd/benchjson > "$TMP/base.json"
+bench . | go run ./cmd/benchjson > "$TMP/tree.json"
+
+BASE="$(overhead "$TMP/base.json")"
+TREE="$(overhead "$TMP/tree.json")"
+
+if [ -z "$TREE" ]; then
+    echo "abbench: working tree produced no observe-overhead-pct" >&2
+    exit 1
+fi
+if [ -z "$BASE" ]; then
+    echo "abbench: baseline $REF has no observed benchmark; tree overhead ${TREE}% (no delta)"
+    exit 0
+fi
+
+awk -v base="$BASE" -v tree="$TREE" -v tol="$TOL" -v ref="$REF" 'BEGIN {
+    delta = tree - base
+    printf "abbench: observe-overhead-pct %s=%.2f tree=%.2f delta=%+.2f (tolerance +%s)\n",
+        ref, base, tree, delta, tol
+    exit (delta > tol) ? 1 : 0
+}'

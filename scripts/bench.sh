@@ -6,14 +6,14 @@
 # plus the derived fast-forward speedup, observability-recorder overhead,
 # and supervision overhead, stamped with the host fingerprint). Pass the
 # output filename as $1 to
-# target a specific trajectory point; default BENCH_5.json. The newest
+# target a specific trajectory point; default BENCH_7.json. The newest
 # earlier BENCH_*.json is fingerprint-checked as the baseline, so numbers
 # recorded on a different host warn instead of silently joining a trajectory.
 set -eu
 
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_5.json}"
+OUT="${1:-BENCH_7.json}"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 

@@ -10,12 +10,21 @@ go vet ./...
 go build ./...
 go test -race ./...
 
-# Fuzz smoke: a few seconds each on the parser fuzz targets (spec parser and
-# NDJSON replay). Any crasher fails the gate; the seed corpora alone already
-# ran under `go test` above.
+# Fuzz smoke: a few seconds each on the parser fuzz targets (spec parser,
+# NDJSON replay, and the flat binary codec). Any crasher fails the gate; the
+# seed corpora alone already ran under `go test` above.
 go test ./internal/fault -run '^$' -fuzz 'FuzzParseSpec$' -fuzztime 5s
 go test ./internal/fault -run '^$' -fuzz 'FuzzParseSpecs$' -fuzztime 5s
 go test ./internal/obs -run '^$' -fuzz 'FuzzReplayNDJSON$' -fuzztime 5s
+go test ./internal/obs -run '^$' -fuzz 'FuzzFlatCodec$' -fuzztime 5s
+
+# Recorder-overhead gate: a short run of the plain and observed throughput
+# benchmarks must keep the recorder's cost within 10% of the unobserved fast
+# path — the flat zero-allocation hot path is what this buys, and a regression
+# that re-introduces per-event allocation fails here.
+go test -run '^$' -bench 'SimThroughput/(Simulate$|SimulateObserved$)' \
+  -benchmem -benchtime 40x -count 3 . \
+  | go run ./cmd/benchjson -gate 'observe-overhead-pct<=10' > /dev/null
 
 # Observability artifacts: a real workload's timeline, metrics series, stall
 # attribution, pprof profile, and NDJSON spill must all validate, round-trip
