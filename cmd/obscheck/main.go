@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 
 	"oclfpga/internal/obs"
 	"oclfpga/internal/obs/analyze"
@@ -27,14 +28,15 @@ var (
 	flagPprof    = flag.String("pprof", "", "pprof stall profile (oclprof -pprof) to validate")
 	flagSpill    = flag.String("spill", "", "NDJSON spill stream (oclprof -spill) to replay and validate")
 	flagSpillDir = flag.String("spill-dir", "", "segmented spill directory (oclprof -spill-dir / oclmon) to stitch, replay, and validate")
+	flagIndex    = flag.String("index", "", "build or repair the per-segment index sidecars (.idx.json + .flat) for this spill directory")
 	flagQuiet    = flag.Bool("q", false, "suppress the per-file summary lines")
 )
 
 func main() {
 	flag.Parse()
 	if *flagTimeline == "" && *flagMetrics == "" && *flagReport == "" &&
-		*flagAttr == "" && *flagPprof == "" && *flagSpill == "" && *flagSpillDir == "" {
-		fmt.Fprintln(os.Stderr, "obscheck: nothing to check (pass -timeline, -metrics, -report, -attr, -pprof, -spill, and/or -spill-dir)")
+		*flagAttr == "" && *flagPprof == "" && *flagSpill == "" && *flagSpillDir == "" && *flagIndex == "" {
+		fmt.Fprintln(os.Stderr, "obscheck: nothing to check (pass -timeline, -metrics, -report, -attr, -pprof, -spill, -spill-dir, and/or -index)")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -65,6 +67,46 @@ func main() {
 			fmt.Printf("%s: ok (%s)\n", *flagSpillDir, summary)
 		}
 	}
+	if *flagIndex != "" {
+		n, err := obs.EnsureIndex(*flagIndex)
+		if err != nil {
+			log.Fatalf("%s: index: %v", *flagIndex, err)
+		}
+		if !*flagQuiet {
+			fmt.Printf("%s: index ok (%d sidecars rebuilt)\n", *flagIndex, n)
+		}
+	}
+}
+
+// segmentStats prints one line per manifest segment — payload lines,
+// event/sample split, cycle range, seal state — plus any unsealed .part
+// files recovery would ignore. Stats come from the sidecar index when valid,
+// otherwise from an in-memory rebuild (nothing is written).
+func segmentStats(dir string, man *obs.Manifest) {
+	for _, seg := range man.Segments {
+		idx, err := obs.LoadSegIndex(dir, seg)
+		if err != nil {
+			if idx, _, err = obs.BuildSegArtifacts(dir, seg); err != nil {
+				fmt.Printf("  %s: %d lines, %d bytes, sealed (stats unavailable: %v)\n",
+					seg.File, seg.Lines, seg.Bytes, err)
+				continue
+			}
+		}
+		cycles := "no events"
+		if idx.FirstCycle >= 0 {
+			cycles = fmt.Sprintf("cycles [%d,%d]", idx.FirstCycle, idx.LastCycle)
+		}
+		fmt.Printf("  %s: %d lines (%d events, %d samples), %d bytes, %s, sealed\n",
+			seg.File, seg.Lines, idx.Events, idx.Samples, seg.Bytes, cycles)
+	}
+	parts, _ := filepath.Glob(filepath.Join(dir, "seg-*.ndjson.part"))
+	for _, p := range parts {
+		st, err := os.Stat(p)
+		if err != nil {
+			continue
+		}
+		fmt.Printf("  %s: %d bytes, unsealed (.part — ignored by recovery)\n", filepath.Base(p), st.Size())
+	}
 }
 
 // checkSpillDir loads a segmented spill, requires the manifest to mark a
@@ -77,6 +119,10 @@ func checkSpillDir(dir string) (string, error) {
 	slog, err := obs.LoadSegments(dir)
 	if err != nil {
 		return "", err
+	}
+	if !*flagQuiet {
+		// per-segment stats first: they are what a crashed spill leaves to read
+		segmentStats(dir, &slog.Manifest)
 	}
 	if !slog.Manifest.Complete {
 		return "", fmt.Errorf("manifest does not mark a complete record (run crashed before finalize?)")

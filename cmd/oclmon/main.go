@@ -28,6 +28,12 @@
 //	GET  /runs/{id}/attr.json      stall attribution & critical path (live)
 //	GET  /runs/{id}/events         Server-Sent Events tail of the event stream;
 //	                               resumes with Last-Event-ID (or ?after=N)
+//	GET  /runs/{id}/query?q=       indexed event query over the run's spill
+//	                               (track=/name=/kind=/cycles=[a,b] grammar)
+//	GET  /runs/{id}/at-cycle?n=    machine state at cycle N by deterministic
+//	                               re-execution, rewound from the nearest
+//	                               hash-verified spill checkpoint when one
+//	                               exists (409 on divergence)
 //
 // With -workers N the process instead runs as a fleet front end: it spawns N
 // crash-isolated worker processes (this same binary in worker mode), places
@@ -84,6 +90,7 @@ var (
 	flagSpillDir = flag.String("spill-dir", "", "root directory for crash-safe segmented spill (enables replay recovery)")
 	flagSegLines = flag.Int("seg-lines", 4096, "spill segment rotation threshold (payload lines)")
 	flagSegBytes = flag.Int64("seg-bytes", 1<<20, "spill segment rotation threshold (payload bytes)")
+	flagCkpt     = flag.Int64("checkpoint-every", 0, "record a rewind checkpoint every N cycles in the spill (0 disables; speeds up /runs/{id}/at-cycle)")
 
 	flagWorkers    = flag.Int("workers", 0, "fleet mode: spawn N crash-isolated worker processes behind this front end")
 	flagWorkerName = flag.String("worker-name", "", "fleet worker identity (set by the front end; implies lease-guarded spill)")
@@ -184,6 +191,7 @@ func main() {
 		spillDir:    *flagSpillDir,
 		segLines:    *flagSegLines,
 		segBytes:    *flagSegBytes,
+		ckptEvery:   *flagCkpt,
 		workerName:  *flagWorkerName,
 		leaseTTL:    *flagLeaseTTL,
 		quota:       quota,
@@ -248,6 +256,7 @@ func frontendMain() {
 				"-breaker-cooldown", flagCool.String(),
 				"-seg-lines", strconv.Itoa(*flagSegLines),
 				"-seg-bytes", strconv.FormatInt(*flagSegBytes, 10),
+				"-checkpoint-every", strconv.FormatInt(*flagCkpt, 10),
 				"-lease-ttl", flagLeaseTTL.String(),
 			}
 			if *flagNoFF {

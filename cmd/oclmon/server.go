@@ -21,6 +21,7 @@ import (
 	"oclfpga/internal/mem"
 	"oclfpga/internal/obs"
 	"oclfpga/internal/obs/analyze"
+	"oclfpga/internal/obs/query"
 	"oclfpga/internal/sim"
 	"oclfpga/internal/supervise"
 )
@@ -33,6 +34,7 @@ type serverConfig struct {
 	spillDir    string // root directory for durable spill ("" disables)
 	segLines    int    // spill segment rotation (payload lines)
 	segBytes    int64  // spill segment rotation (payload bytes)
+	ckptEvery   int64  // checkpoint interval in cycles (0 disables; enables fast at-cycle rewind)
 
 	// workerName is this process's fleet identity ("" = single-process
 	// mode). When set, run ids are prefixed "<name>-", the spill dir is
@@ -62,6 +64,7 @@ type run struct {
 	sink      *liveSink
 	spill     string // this run's spill directory ("" when not spilling)
 	recovered bool   // rebuilt or resumed from a spill at startup
+	items     int    // workload size n — the at-cycle rewind's rebuild parameter
 
 	mu      sync.Mutex
 	state   supervise.State
@@ -226,14 +229,11 @@ func (s *server) buildStart(r *run, n int, resume *obs.SegmentLog, seg **obs.Seg
 		}
 	}
 	return func() (*sim.Machine, error) {
-		d, err := hls.Compile(buildWorkload(n), device.StratixV(), hls.Options{})
-		if err != nil {
-			return nil, err
-		}
 		var sink obs.Sink = r.sink
 		if r.spill != "" {
 			ss := *seg // fresh runs: created eagerly at admission
 			if ss == nil {
+				var err error
 				ss, err = obs.NewResumeSink(obs.SegmentConfig{
 					Dir: r.spill, Design: "oclmon", SampleEvery: s.cfg.sampleEvery,
 					MaxLines: s.cfg.segLines, MaxBytes: s.cfg.segBytes,
@@ -245,41 +245,63 @@ func (s *server) buildStart(r *run, n int, resume *obs.SegmentLog, seg **obs.Seg
 			}
 			sink = obs.NewFanout(r.sink, ss)
 		}
-		m := sim.New(d, sim.Options{
-			// The supervisor's cycle budget is the operative ceiling here;
-			// leaving the sim's own 20M-cycle default in place would fail
-			// long runs with max-cycles before the budget ever applies.
-			MaxCycles:          math.MaxInt64 / 2,
-			DisableFastForward: s.cfg.noFF,
-			MemConfig:          mem.Config{RowHitLat: 60, RowMissLat: 200},
-			Observe:            &obs.Config{SampleEvery: s.cfg.sampleEvery, Sink: sink},
-		})
-		src, err := m.NewBuffer("src", kir.I32, n)
+		m, err := s.buildMachine(n, sink)
 		if err != nil {
-			return nil, err
-		}
-		tbl, err := m.NewBuffer("tbl", kir.I32, 1<<14)
-		if err != nil {
-			return nil, err
-		}
-		if _, err := m.NewBuffer("dst", kir.I32, n); err != nil {
-			return nil, err
-		}
-		for i := range src.Data {
-			src.Data[i] = int64(i + 1)
-		}
-		for i := range tbl.Data {
-			tbl.Data[i] = int64(i % 97)
-		}
-		if _, err := m.Launch("producer", sim.Args{"src": src}); err != nil {
-			return nil, err
-		}
-		if _, err := m.Launch("consumer", sim.Args{"tbl": tbl, "dst": m.Buffer("dst")}); err != nil {
 			return nil, err
 		}
 		r.setState(supervise.StateRunning)
 		return m, nil
 	}
+}
+
+// buildMachine compiles the standard oclmon workload and stages its buffers
+// and launches — the deterministic machine rebuilt identically by the
+// supervisor's Start closure, crash recovery, and the at-cycle rewind
+// endpoint. sink may be nil: observability is then left off entirely, which
+// does not change the machine's state evolution (the recorder is strictly
+// read-only), only whether it is recorded.
+func (s *server) buildMachine(n int, sink obs.Sink) (*sim.Machine, error) {
+	d, err := hls.Compile(buildWorkload(n), device.StratixV(), hls.Options{})
+	if err != nil {
+		return nil, err
+	}
+	var ocfg *obs.Config
+	if sink != nil {
+		ocfg = &obs.Config{SampleEvery: s.cfg.sampleEvery, CheckpointEvery: s.cfg.ckptEvery, Sink: sink}
+	}
+	m := sim.New(d, sim.Options{
+		// The supervisor's cycle budget is the operative ceiling here;
+		// leaving the sim's own 20M-cycle default in place would fail
+		// long runs with max-cycles before the budget ever applies.
+		MaxCycles:          math.MaxInt64 / 2,
+		DisableFastForward: s.cfg.noFF,
+		MemConfig:          mem.Config{RowHitLat: 60, RowMissLat: 200},
+		Observe:            ocfg,
+	})
+	src, err := m.NewBuffer("src", kir.I32, n)
+	if err != nil {
+		return nil, err
+	}
+	tbl, err := m.NewBuffer("tbl", kir.I32, 1<<14)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := m.NewBuffer("dst", kir.I32, n); err != nil {
+		return nil, err
+	}
+	for i := range src.Data {
+		src.Data[i] = int64(i + 1)
+	}
+	for i := range tbl.Data {
+		tbl.Data[i] = int64(i % 97)
+	}
+	if _, err := m.Launch("producer", sim.Args{"src": src}); err != nil {
+		return nil, err
+	}
+	if _, err := m.Launch("consumer", sim.Args{"tbl": tbl, "dst": m.Buffer("dst")}); err != nil {
+		return nil, err
+	}
+	return m, nil
 }
 
 // submit admits one run through the supervisor. resume carries the durable
@@ -296,7 +318,7 @@ func (s *server) submit(id, tenant string, n int, lim supervise.Limits, resume *
 		tenant = "default"
 	}
 	r := &run{
-		id: id, workload: "oclmon", tenant: tenant, recovered: resume != nil,
+		id: id, workload: "oclmon", tenant: tenant, recovered: resume != nil, items: n,
 		sink:  newLiveSink("oclmon", s.cfg.sampleEvery),
 		state: supervise.StateQueued,
 	}
@@ -393,6 +415,9 @@ func (s *server) recoverDir(root string) ([]string, error) {
 				id: id, workload: slog.Manifest.Meta["workload"], spill: dir, recovered: true,
 				sink:  newLiveSink(slog.Manifest.Design, slog.Manifest.SampleEvery),
 				state: supervise.StateCompleted,
+			}
+			if v, err := strconv.Atoi(slog.Manifest.Meta["n"]); err == nil && v > 0 {
+				r.items = v // at-cycle rewind needs the workload size to rebuild
 			}
 			if err := slog.Feed(r.sink); err != nil {
 				log.Printf("oclmon: spill %s: %v", dir, err)
@@ -545,7 +570,97 @@ func (s *server) handler() http.Handler {
 		}
 	}))
 	mux.HandleFunc("GET /runs/{id}/events", s.withRun(serveEvents))
+	mux.HandleFunc("GET /runs/{id}/query", s.withRun(s.handleQuery))
+	mux.HandleFunc("GET /runs/{id}/at-cycle", s.withRun(s.handleAtCycle))
 	return mux
+}
+
+// handleQuery answers GET /runs/{id}/query?q=<query> from the run's spill
+// directory via the segment index (DESIGN.md §14) — only segments whose
+// sidecar index might hold matches are read, so a narrow query over a long
+// run touches a few files, not the whole spill. Requires the run to be
+// spilling; the live in-memory timeline is served by timeline.json instead.
+func (s *server) handleQuery(w http.ResponseWriter, req *http.Request, r *run) {
+	if r.spill == "" {
+		http.Error(w, "run has no spill directory", http.StatusNotFound)
+		return
+	}
+	q, err := query.ParseQuery(req.URL.Query().Get("q"))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	res, err := query.Run(r.spill, q)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(res); err != nil {
+		log.Printf("query %s: %v", r.id, err)
+	}
+}
+
+// handleAtCycle answers GET /runs/{id}/at-cycle?n=N with the machine state at
+// cycle N, obtained by deterministic re-execution of the run's workload. When
+// the spill holds checkpoints, re-execution starts from the nearest one at or
+// before N (hash-verified against the live run's recorded state — a mismatch
+// is a 409, the re-execution diverged and the dump would be a lie); otherwise
+// it replays from cycle 0. The hosted run itself is never touched.
+func (s *server) handleAtCycle(w http.ResponseWriter, req *http.Request, r *run) {
+	if s.cfg.startHook != nil {
+		http.Error(w, "at-cycle unavailable: runs are hook-injected", http.StatusNotImplemented)
+		return
+	}
+	target, err := strconv.ParseInt(req.URL.Query().Get("n"), 10, 64)
+	if err != nil || target < 0 {
+		http.Error(w, "bad n", http.StatusBadRequest)
+		return
+	}
+	if r.items <= 0 {
+		http.Error(w, "workload size unknown for this run", http.StatusNotFound)
+		return
+	}
+	m, err := s.buildMachine(r.items, nil)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	if r.spill != "" {
+		cks, err := query.Checkpoints(r.spill)
+		if err == nil {
+			var want *obs.Checkpoint
+			for i := range cks {
+				if cks[i].Cycle <= target && (want == nil || cks[i].Cycle > want.Cycle) {
+					want = &cks[i]
+				}
+			}
+			if want != nil && want.Cycle > 0 {
+				if err := m.RunTo(want.Cycle); err != nil {
+					http.Error(w, err.Error(), http.StatusInternalServerError)
+					return
+				}
+				if m.DesignHash() != want.DesignHash || m.StateHash() != want.StateHash {
+					http.Error(w, fmt.Sprintf(
+						"divergent re-execution at checkpoint cycle %d (recorded state %016x, rebuilt %016x)",
+						want.Cycle, want.StateHash, m.StateHash()), http.StatusConflict)
+					return
+				}
+			}
+		}
+	}
+	if err := m.RunTo(target); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(m.StateDump()); err != nil {
+		log.Printf("at-cycle %s: %v", r.id, err)
+	}
 }
 
 // handleSubmit is the admission path: POST /runs?n=..&cycles=..&wall=..

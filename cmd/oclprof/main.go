@@ -24,6 +24,7 @@ import (
 	"oclfpga/internal/kir"
 	"oclfpga/internal/obs"
 	"oclfpga/internal/obs/analyze"
+	"oclfpga/internal/obs/query"
 	"oclfpga/internal/sim"
 	"oclfpga/internal/trace"
 	"oclfpga/internal/workload"
@@ -56,14 +57,27 @@ var (
 	flagSpillDir = flag.String("spill-dir", "", "stream observability records into crash-safe rotated NDJSON segments under this directory")
 	flagSegLines = flag.Int("seg-lines", 4096, "segment rotation threshold in payload lines (with -spill-dir)")
 	flagSegBytes = flag.Int64("seg-bytes", 1<<20, "segment rotation threshold in payload bytes (with -spill-dir)")
+	flagAtCycle  = flag.Int64("at-cycle", -1, "re-execute to this cycle and dump the machine state as JSON (with -spill-dir: rewind from the nearest recorded checkpoint, hash-verified)")
+	flagBreak    = flag.String("break", "", "halt re-execution on breakpoint/watchpoint specs: cycle=N | chan:NAME.stall>K | chan:NAME.len>K | unit:NAME.state=S (comma-separated)")
+	flagQueryStr = flag.String("query", "", "answer an event query from -spill-dir via the segment index: 'track=T name=N kind=K cycles=[a,b]'")
+	flagCkptEvry = flag.Int64("checkpoint-every", 0, "emit rewind checkpoints every N cycles into the observability stream (0 = off); with -at-cycle and no -spill-dir, rewind two-phase via this grid")
 )
 
 // out carries the human-readable narration. With -json it is rerouted to
 // stderr so stdout stays a single valid JSON document.
 var out io.Writer = os.Stdout
 
+// debugOn reports whether a time-travel debugging mode (-at-cycle / -break)
+// intercepts the run.
+func debugOn() bool { return *flagAtCycle >= 0 || *flagBreak != "" }
+
 // observeOn reports whether the observability layer should be attached.
+// Debug re-execution runs unobserved: an existing -spill-dir is only read
+// (for its checkpoints), never resumed or overwritten.
 func observeOn() bool {
+	if debugOn() {
+		return false
+	}
 	return *flagTimeline != "" || *flagMetrics != "" || *flagAttr != "" ||
 		*flagFolded != "" || *flagPprof != "" || *flagSpill != "" || *flagSpillDir != ""
 }
@@ -97,7 +111,7 @@ func simOpts(design string) sim.Options {
 		opts.Fault = plan
 	}
 	if observeOn() {
-		opts.Observe = &obs.Config{SampleEvery: *flagEvery}
+		opts.Observe = &obs.Config{SampleEvery: *flagEvery, CheckpointEvery: *flagCkptEvry}
 		var sinks []obs.Sink
 		if *flagSpill != "" {
 			f, err := os.Create(*flagSpill)
@@ -152,6 +166,104 @@ func checkRun(err error) {
 		os.Exit(1)
 	}
 	log.Fatal(err)
+}
+
+// debugRun intercepts the workload's run when a time-travel mode is active,
+// reporting whether it handled the run (the workload's normal epilogue is
+// skipped). Launches have been made; the machine sits at cycle 0.
+func debugRun(m *sim.Machine) bool {
+	switch {
+	case *flagAtCycle >= 0:
+		runAtCycle(m)
+		return true
+	case *flagBreak != "":
+		runBreak(m)
+		return true
+	}
+	return false
+}
+
+// runAtCycle re-executes to the target cycle and dumps the machine state as
+// the run's single stdout document. With -spill-dir, the rewind starts by
+// fast-forwarding to the nearest recorded checkpoint at or before the target
+// and verifying its design and state hashes — a mismatch means the
+// re-execution is not the spilled run (different arguments, fault plan, or
+// code) and is fatal. With only -checkpoint-every K, the run is split at the
+// same grid cycle unverified. Either way the dump is byte-identical to a
+// plain cycle-0 re-execution's.
+func runAtCycle(m *sim.Machine) {
+	target := *flagAtCycle
+	var start int64
+	var want *obs.Checkpoint
+	if *flagSpillDir != "" {
+		cks, err := query.Checkpoints(*flagSpillDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i := range cks {
+			if cks[i].Cycle <= target && (want == nil || cks[i].Cycle > want.Cycle) {
+				want = &cks[i]
+			}
+		}
+		if want != nil {
+			start = want.Cycle
+		}
+	} else if *flagCkptEvry > 0 {
+		start = target / *flagCkptEvry * *flagCkptEvry
+	}
+	if start > 0 {
+		checkRun(m.RunTo(start))
+		if want != nil {
+			if got := m.DesignHash(); got != want.DesignHash {
+				log.Fatalf("divergent re-execution: design hash %016x, checkpoint recorded %016x (different design?)",
+					got, want.DesignHash)
+			}
+			if got := m.StateHash(); got != want.StateHash {
+				log.Fatalf("divergent re-execution: state hash %016x at cycle %d, checkpoint recorded %016x (different arguments or fault plan?)",
+					got, start, want.StateHash)
+			}
+			fmt.Fprintf(os.Stderr, "rewind: checkpoint at cycle %d verified; fast-forwarding %d cycles to target\n",
+				start, target-start)
+		} else {
+			fmt.Fprintf(os.Stderr, "rewind: two-phase via checkpoint grid cycle %d (no spill; unverified)\n", start)
+		}
+	}
+	checkRun(m.RunTo(target))
+	buf, err := json.MarshalIndent(m.StateDump(), "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	os.Stdout.Write(append(buf, '\n'))
+}
+
+// breakReport is -break's stdout document: the specs, the first hit (null
+// when the run completed without one), and the machine state at the halt.
+type breakReport struct {
+	Workload string            `json:"workload"`
+	Specs    []string          `json:"specs"`
+	Hit      *sim.BreakHit     `json:"hit"`
+	State    *sim.MachineState `json:"state"`
+}
+
+// runBreak re-executes under the -break specs and reports the first hit with
+// the machine state frozen at the halt cycle.
+func runBreak(m *sim.Machine) {
+	hit, err := m.RunBreaks(breakSpecs)
+	checkRun(err)
+	r := breakReport{Workload: *flagWorkload, Specs: make([]string, len(breakSpecs)), Hit: hit, State: m.StateDump()}
+	for i, b := range breakSpecs {
+		r.Specs[i] = b.String()
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r); err != nil {
+		log.Fatal(err)
+	}
+	if hit != nil {
+		fmt.Fprintf(os.Stderr, "break: %s hit at cycle %d\n", hit.Spec, hit.Cycle)
+	} else {
+		fmt.Fprintf(os.Stderr, "break: run completed at cycle %d without a hit\n", m.Cycle())
+	}
 }
 
 // runReport is the machine-readable summary -json prints on stdout.
@@ -308,9 +420,102 @@ func pickDevice() *device.Device {
 	return nil
 }
 
+// usageExit rejects a mutually-exclusive flag combination: message, usage,
+// exit code 2 (the flag-misuse convention).
+func usageExit(msg string) {
+	fmt.Fprintln(os.Stderr, "oclprof: "+msg)
+	flag.Usage()
+	os.Exit(2)
+}
+
+// breakSpecs is the -break list, parsed before any compilation so a typo
+// fails fast.
+var breakSpecs []query.Break
+
+// validateModes enforces the time-travel modes' exclusivity rules. -at-cycle,
+// -break, and -query each own the run (and stdout), so they exclude each
+// other and every trace-producing flag; -at-cycle keeps -spill-dir as its
+// read-only checkpoint source, -query requires it.
+func validateModes() {
+	modes := 0
+	for _, on := range []bool{*flagAtCycle >= 0, *flagBreak != "", *flagQueryStr != ""} {
+		if on {
+			modes++
+		}
+	}
+	if modes > 1 {
+		usageExit("-at-cycle, -break, and -query are mutually exclusive")
+	}
+	if modes == 0 {
+		return
+	}
+	outputs := []struct {
+		set  bool
+		name string
+	}{
+		{*flagTimeline != "", "-timeline"},
+		{*flagMetrics != "", "-metrics"},
+		{*flagAttr != "", "-attr"},
+		{*flagFolded != "", "-folded"},
+		{*flagPprof != "", "-pprof"},
+		{*flagSpill != "", "-spill"},
+		{*flagVCD != "", "-vcd"},
+		{*flagJSON, "-json"},
+	}
+	mode := "-at-cycle"
+	if *flagBreak != "" {
+		mode = "-break"
+	} else if *flagQueryStr != "" {
+		mode = "-query"
+	}
+	for _, o := range outputs {
+		if o.set {
+			usageExit(mode + " cannot be combined with " + o.name)
+		}
+	}
+	if *flagBreak != "" && *flagSpillDir != "" {
+		usageExit("-break cannot be combined with -spill-dir (breakpointed re-execution is unobserved)")
+	}
+	if *flagQueryStr != "" && *flagSpillDir == "" {
+		usageExit("-query requires -spill-dir (the indexed spill to query)")
+	}
+	if *flagBreak != "" {
+		var err error
+		if breakSpecs, err = query.ParseBreaks(*flagBreak); err != nil {
+			usageExit(err.Error())
+		}
+	}
+}
+
+// runQuery answers -query straight from the spill directory — no device, no
+// compilation, no re-execution: the segment index does the work.
+func runQuery() {
+	q, err := query.ParseQuery(*flagQueryStr)
+	if err != nil {
+		usageExit(err.Error())
+	}
+	res, err := query.Run(*flagSpillDir, q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(res); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "query: %d events, read %d of %d segments\n",
+		len(res.Events), res.SegmentsRead, res.SegmentsTotal)
+}
+
 func main() {
 	flag.Parse()
-	if *flagJSON {
+	validateModes()
+	if *flagQueryStr != "" {
+		runQuery()
+		return
+	}
+	if *flagJSON || debugOn() {
+		// keep stdout a single machine-readable document; narration to stderr
 		out = os.Stderr
 	}
 	dev := pickDevice()
@@ -396,6 +601,9 @@ func runMatVec(dev *device.Device, opts hls.Options) {
 	if err != nil {
 		log.Fatal(err)
 	}
+	if debugRun(m) {
+		return
+	}
 	checkRun(m.Run())
 	fmt.Fprintf(out, "%s finished in %d cycles (%.2f us at Fmax)\n",
 		mv.KernelName, u.FinishedAt(), float64(u.FinishedAt())/d.Area.FmaxMHz)
@@ -473,6 +681,9 @@ func runMatMul(dev *device.Device, opts hls.Options) {
 	if err != nil {
 		log.Fatal(err)
 	}
+	if debugRun(m) {
+		return
+	}
 	checkRun(m.Run())
 	fmt.Fprintf(out, "matmul %dx%d finished in %d cycles\n", n, n, u.FinishedAt())
 	if *flagProfile {
@@ -534,6 +745,9 @@ func runChase(dev *device.Device, opts hls.Options) {
 	if err != nil {
 		log.Fatal(err)
 	}
+	if debugRun(m) {
+		return
+	}
 	checkRun(m.Run())
 	fmt.Fprintf(out, "chase finished in %d cycles; final value %d\n", u.FinishedAt(), res.Data[0])
 	if *flagProfile {
@@ -560,6 +774,9 @@ func runVecAdd(dev *device.Device, opts hls.Options) {
 	u, err := m.LaunchND(name, n, sim.Args{"x": x, "y": y, "z": z})
 	if err != nil {
 		log.Fatal(err)
+	}
+	if debugRun(m) {
+		return
 	}
 	checkRun(m.Run())
 	fmt.Fprintf(out, "vecadd over %d work-items in %d cycles; z[10]=%d\n", n, u.FinishedAt(), z.Data[10])
@@ -599,6 +816,9 @@ func runFIR(dev *device.Device, opts hls.Options) {
 	u, err := m.Launch(f.KernelName, sim.Args{"x": bx, "coeff": bc, "y": by})
 	if err != nil {
 		log.Fatal(err)
+	}
+	if debugRun(m) {
+		return
 	}
 	checkRun(m.Run())
 	fmt.Fprintf(out, "fir over %d samples in %d cycles; y[8]=%d\n", 512, u.FinishedAt(), by.Data[8])
@@ -671,6 +891,9 @@ func runChanStall(dev *device.Device, opts hls.Options) {
 	cu, err := m.Launch("consumer", sim.Args{"dst": bd})
 	if err != nil {
 		log.Fatal(err)
+	}
+	if debugRun(m) {
+		return
 	}
 	checkRun(m.Run())
 	fmt.Fprintf(out, "producer finished at cycle %d, consumer at cycle %d; dst[%d]=%d\n",

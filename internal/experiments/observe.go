@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"encoding/json"
 	"sync"
 
 	"oclfpga/internal/hls"
@@ -54,6 +55,97 @@ func DisableObserveForTest() []*sim.Machine {
 	return ms
 }
 
+// The rewind test hook rides the same newSim seam: armed alongside the
+// observe hook, it injects a checkpoint interval into every machine's Observe
+// config and, per machine in creation order, a capture plan — cycles at which
+// the machine pauses exactly and its state hash plus full serialized dump are
+// collected. The checkpoint/rewind determinism suite uses it to prove that
+// re-executions stopping at a checkpoint cycle, or not, with fast-forward on
+// or off, all reconstruct byte-identical machine state.
+
+// RewindCapture is one collected state capture.
+type RewindCapture struct {
+	Machine int   // newSim creation index within the armed window
+	Cycle   int64 // the capture cycle (machine paused exactly here)
+	Hash    uint64
+	Dump    []byte // json.Marshal of Machine.StateDump()
+}
+
+var rewindHook struct {
+	mu        sync.Mutex
+	armed     bool
+	ckptEvery int64
+	plans     [][]int64
+	next      int
+	caps      []RewindCapture
+	err       error
+}
+
+// EnableRewindForTest arms the rewind hook: subsequent newSim machines record
+// a checkpoint every ckptEvery cycles (0 leaves their Observe config alone),
+// and machine i pauses at each cycle in plans[i] (missing or empty plans
+// capture nothing) to collect a RewindCapture.
+func EnableRewindForTest(ckptEvery int64, plans [][]int64) {
+	rewindHook.mu.Lock()
+	defer rewindHook.mu.Unlock()
+	rewindHook.armed = true
+	rewindHook.ckptEvery = ckptEvery
+	rewindHook.plans = plans
+	rewindHook.next = 0
+	rewindHook.caps = nil
+	rewindHook.err = nil
+}
+
+// DisableRewindForTest disarms the hook and returns every capture collected
+// while it was armed, in firing order.
+func DisableRewindForTest() ([]RewindCapture, error) {
+	rewindHook.mu.Lock()
+	defer rewindHook.mu.Unlock()
+	caps, err := rewindHook.caps, rewindHook.err
+	rewindHook.armed = false
+	rewindHook.ckptEvery = 0
+	rewindHook.plans = nil
+	rewindHook.next = 0
+	rewindHook.caps = nil
+	rewindHook.err = nil
+	return caps, err
+}
+
+// applyRewindHook mutates o for the machine about to be created (caller holds
+// no locks; this takes the hook's).
+func applyRewindHook(o *sim.Options) {
+	rewindHook.mu.Lock()
+	defer rewindHook.mu.Unlock()
+	if !rewindHook.armed {
+		return
+	}
+	if rewindHook.ckptEvery > 0 {
+		var cfg obs.Config
+		if o.Observe != nil {
+			cfg = *o.Observe
+		}
+		cfg.CheckpointEvery = rewindHook.ckptEvery
+		o.Observe = &cfg
+	}
+	idx := rewindHook.next
+	rewindHook.next++
+	if idx >= len(rewindHook.plans) || len(rewindHook.plans[idx]) == 0 {
+		return
+	}
+	o.CaptureAt = append([]int64(nil), rewindHook.plans[idx]...)
+	o.OnCapture = func(m *sim.Machine, cycle int64) {
+		dump, err := json.Marshal(m.StateDump())
+		rewindHook.mu.Lock()
+		defer rewindHook.mu.Unlock()
+		if err != nil && rewindHook.err == nil {
+			rewindHook.err = err
+		}
+		rewindHook.caps = append(rewindHook.caps, RewindCapture{
+			Machine: idx, Cycle: cycle, Hash: m.StateHash(), Dump: dump,
+		})
+	}
+}
+
 // obsHookArmed reports whether the injection hook is active. Paths that would
 // release a recorder's storage after reading it (the benchmark harness) must
 // not do so while the hook is armed: the equivalence suite reads collected
@@ -85,6 +177,7 @@ func newSim(d *hls.Design, o sim.Options) *sim.Machine {
 		}
 		o.Observe = &cfg
 	}
+	applyRewindHook(&o) // rewindHook.mu nests inside obsHook.mu, never the reverse
 	m := sim.New(d, o)
 	if obsHook.cfg != nil {
 		obsHook.machines = append(obsHook.machines, m)

@@ -117,6 +117,42 @@ func RunSimBenchObserved(n int, sampleEvery int64) (*SimBenchResult, error) {
 	return runSimBench(n, false, &obs.Config{SampleEvery: sampleEvery})
 }
 
+// RunSimBenchCheckpointed is the checkpoint-overhead benchmark's treatment
+// arm: the observed workload with a rewind checkpoint (state hash + FF stats)
+// recorded every ckptEvery cycles. Compared against RunSimBenchObserved to
+// price the checkpoint grid — the extra fast-forward splits plus the hash.
+func RunSimBenchCheckpointed(n int, sampleEvery, ckptEvery int64) (*SimBenchResult, error) {
+	return runSimBench(n, false, &obs.Config{SampleEvery: sampleEvery, CheckpointEvery: ckptEvery})
+}
+
+// SpillSimBench runs the benchmark workload with a checkpointed, segmented
+// spill under dir and finalizes it — the fixture builder for the indexed
+// query engine's benchmarks and for CLI round-trip tests.
+func SpillSimBench(n int, dir string, sampleEvery, ckptEvery int64, segLines int) (*SimBenchResult, error) {
+	if n == 0 {
+		n = 2048
+	}
+	seg, err := obs.NewSegmentSink(obs.SegmentConfig{
+		Dir: dir, Design: "simbench", SampleEvery: sampleEvery, MaxLines: segLines,
+	})
+	if err != nil {
+		return nil, err
+	}
+	m, dst, err := setupSimBench(n, false, &obs.Config{
+		SampleEvery: sampleEvery, CheckpointEvery: ckptEvery, Sink: seg,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := m.Run(); err != nil {
+		return nil, err
+	}
+	if err := seg.Finalize(m.Cycle()); err != nil {
+		return nil, err
+	}
+	return finishSimBench(m, dst, n)
+}
+
 func runSimBench(n int, disableFF bool, observe *obs.Config) (*SimBenchResult, error) {
 	if n == 0 {
 		n = 2048

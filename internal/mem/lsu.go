@@ -87,6 +87,21 @@ func (l *LSU) Buffer() *Buffer { return l.buf }
 // Stats returns a copy of the per-site statistics.
 func (l *LSU) Stats() LSUStats { return l.stats }
 
+// PendingStores reports how many posted stores are still in flight at cycle
+// `now` (completion strictly after now). Retired entries linger in the queue
+// until the next Store call drains them, so the raw queue length would
+// over-count; this filters them out, which also makes the result independent
+// of when the queue was last compacted — a state-dump requirement.
+func (l *LSU) PendingStores(now int64) int {
+	n := 0
+	for _, d := range l.storeDone {
+		if d > now {
+			n++
+		}
+	}
+	return n
+}
+
 // Load reads element idx at cycle `now`. It returns the loaded value and the
 // cycle at which the pipeline may consume it. Out-of-range indexes return 0
 // with a fast response — mirroring how a synthesized design reads garbage

@@ -1,0 +1,379 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Per-segment index sidecars (DESIGN.md §14). Each sealed NDJSON segment
+// gains two derived artifacts next to it:
+//
+//	seg-000001.ndjson           the durable truth (listed in the manifest)
+//	seg-000001.idx.json         sidecar index: cycle range, event-kind
+//	                            counts, track/name vocabulary sets
+//	seg-000001.flat             the segment's events in the OBSFLAT1 binary
+//	                            codec (per-segment string table; samples and
+//	                            the fin line excluded)
+//
+// The sidecars are caches, never sources of truth: they are not listed in
+// the manifest (LoadSegments ignores unlisted files by design), they are
+// validated against the manifest entry's file/lines/bytes before use, and
+// anything missing or stale is rebuilt from the NDJSON segment — at seal
+// time by the sink, on demand by `obscheck -index` or the query engine.
+// Seal-time and rebuilt artifacts are byte-identical: both walk the same
+// events in append order through the same builder, so intern order, record
+// order, and JSON rendering agree.
+//
+// The index is what lets a query answer by reading only matching segments:
+// a segment is skipped outright when the queried kind has a zero count, the
+// track/name is absent from the vocabulary sets, or the cycle range is
+// disjoint — no replay, no JSON parse of skipped segments.
+
+// SegIndex is one segment's sidecar index.
+type SegIndex struct {
+	Version int    `json:"obsSegIndex"`
+	File    string `json:"file"`
+	// Lines/Bytes mirror the manifest entry; a mismatch means the sidecar
+	// is stale and must be rebuilt.
+	Lines int   `json:"lines"`
+	Bytes int64 `json:"bytes"`
+	// Events/Samples split the payload lines by type.
+	Events  int `json:"events"`
+	Samples int `json:"samples"`
+	// FirstCycle/LastCycle span the segment's events (min Start, max End);
+	// both -1 when the segment holds no events.
+	FirstCycle int64 `json:"firstCycle"`
+	LastCycle  int64 `json:"lastCycle"`
+	// Kinds counts events per kind; Tracks/Names are the sorted vocabulary
+	// sets (the bitmap role: membership pruning, exact and order-stable).
+	Kinds  map[string]int `json:"kinds,omitempty"`
+	Tracks []string       `json:"tracks,omitempty"`
+	Names  []string       `json:"names,omitempty"`
+}
+
+const segIndexVersion = 1
+
+func indexName(segFile string) string {
+	return strings.TrimSuffix(segFile, ".ndjson") + ".idx.json"
+}
+
+// FlatSegmentName returns the binary OBSFLAT1 artifact name for a segment
+// file name.
+func FlatSegmentName(segFile string) string {
+	return strings.TrimSuffix(segFile, ".ndjson") + ".flat"
+}
+
+// segIndexBuilder accumulates one segment's index and flat encoding as
+// events/samples are appended — shared by the seal-time path (SegmentSink)
+// and the rebuild path (BuildSegArtifacts), which is what makes the two
+// byte-identical.
+type segIndexBuilder struct {
+	tab        internTable
+	records    []FlatRecord
+	kinds      map[string]int
+	tracks     map[string]bool
+	names      map[string]bool
+	samples    int
+	firstCycle int64
+	lastCycle  int64
+}
+
+func newSegIndexBuilder() *segIndexBuilder {
+	return &segIndexBuilder{
+		tab:        newInternTable(),
+		kinds:      map[string]int{},
+		tracks:     map[string]bool{},
+		names:      map[string]bool{},
+		firstCycle: -1,
+		lastCycle:  -1,
+	}
+}
+
+func (b *segIndexBuilder) addEvent(e *Event) {
+	rec := FlatRecord{
+		Seq:   uint64(len(b.records)),
+		Kind:  b.tab.intern(e.Kind),
+		Track: b.tab.intern(e.Track),
+		Name:  b.tab.intern(e.Name),
+		Start: e.Start,
+		End:   e.End,
+	}
+	if e.Instant {
+		rec.Flags |= FlagInstant
+	}
+	if e.Kind == KindFFJump {
+		rec.Flags |= FlagFFJump
+	}
+	if e.Detail != "" {
+		rec.Tmpl = TmplLit
+		rec.Arg = uint64(b.tab.intern(e.Detail))
+	}
+	b.records = append(b.records, rec)
+	b.kinds[e.Kind]++
+	b.tracks[e.Track] = true
+	b.names[e.Name] = true
+	if b.firstCycle < 0 || e.Start < b.firstCycle {
+		b.firstCycle = e.Start
+	}
+	if e.End > b.lastCycle {
+		b.lastCycle = e.End
+	}
+}
+
+func (b *segIndexBuilder) addSample() { b.samples++ }
+
+// finish closes the builder into the sidecar index and flat log for the
+// sealed segment described by (file, lines, bytes).
+func (b *segIndexBuilder) finish(file string, lines int, bytes int64) (SegIndex, *FlatLog) {
+	idx := SegIndex{
+		Version:    segIndexVersion,
+		File:       file,
+		Lines:      lines,
+		Bytes:      bytes,
+		Events:     len(b.records),
+		Samples:    b.samples,
+		FirstCycle: b.firstCycle,
+		LastCycle:  b.lastCycle,
+	}
+	if len(b.kinds) > 0 {
+		idx.Kinds = b.kinds
+		idx.Tracks = setToSorted(b.tracks)
+		idx.Names = setToSorted(b.names)
+	}
+	return idx, &FlatLog{Strings: b.tab.strs, Records: b.records}
+}
+
+func setToSorted(set map[string]bool) []string {
+	out := make([]string, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// writeSegArtifacts commits both sidecars with temp-file + rename, matching
+// the segment commit discipline so a crash never leaves a torn sidecar.
+func writeSegArtifacts(dir string, idx SegIndex, flat *FlatLog) error {
+	buf, err := json.MarshalIndent(&idx, "", "  ")
+	if err != nil {
+		return fmt.Errorf("obs: segindex: %w", err)
+	}
+	buf = append(buf, '\n')
+	if err := atomicWrite(filepath.Join(dir, indexName(idx.File)), buf); err != nil {
+		return err
+	}
+	return atomicWrite(filepath.Join(dir, FlatSegmentName(idx.File)), flat.AppendFlat(nil))
+}
+
+func atomicWrite(path string, data []byte) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o666); err != nil {
+		return fmt.Errorf("obs: segindex: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("obs: segindex: %w", err)
+	}
+	return nil
+}
+
+// LoadManifest reads just a spill directory's manifest — the entry point for
+// index-driven readers that must not pay LoadSegments' full line scan.
+func LoadManifest(dir string) (*Manifest, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		return nil, err
+	}
+	var man Manifest
+	if err := json.Unmarshal(raw, &man); err != nil {
+		return nil, fmt.Errorf("obs: segment: manifest: %w", err)
+	}
+	if man.Version != 1 {
+		return nil, fmt.Errorf("obs: segment: unsupported manifest version %d", man.Version)
+	}
+	return &man, nil
+}
+
+// LoadSegIndex reads and validates one segment's sidecar index. A missing,
+// unreadable, or stale sidecar (file/lines/bytes disagreeing with the
+// manifest entry) is an error; callers rebuild via BuildSegArtifacts.
+func LoadSegIndex(dir string, seg SegmentInfo) (*SegIndex, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, indexName(seg.File)))
+	if err != nil {
+		return nil, err
+	}
+	var idx SegIndex
+	if err := json.Unmarshal(raw, &idx); err != nil {
+		return nil, fmt.Errorf("obs: segindex: %s: %w", seg.File, err)
+	}
+	if idx.Version != segIndexVersion {
+		return nil, fmt.Errorf("obs: segindex: %s: unsupported version %d", seg.File, idx.Version)
+	}
+	if idx.File != seg.File || idx.Lines != seg.Lines || idx.Bytes != seg.Bytes {
+		return nil, fmt.Errorf("obs: segindex: %s: stale sidecar (segment resealed?)", seg.File)
+	}
+	return &idx, nil
+}
+
+// LoadSegFlat reads one segment's binary OBSFLAT1 artifact, validating the
+// decode and the expected event count (from the sidecar index) so a stale
+// artifact can never silently satisfy a query.
+func LoadSegFlat(dir string, seg SegmentInfo, wantEvents int) (*FlatLog, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, FlatSegmentName(seg.File)))
+	if err != nil {
+		return nil, err
+	}
+	fl, err := DecodeFlat(raw)
+	if err != nil {
+		return nil, fmt.Errorf("obs: segflat: %s: %w", seg.File, err)
+	}
+	if len(fl.Records) != wantEvents {
+		return nil, fmt.Errorf("obs: segflat: %s: %d records, index says %d events (stale artifact)",
+			seg.File, len(fl.Records), wantEvents)
+	}
+	return fl, nil
+}
+
+// FlatEvents materializes a flat log's records back into events, in record
+// order — byte-identical (as JSON) to the events the NDJSON segment parses
+// to, which the query engine's flat/NDJSON equivalence rests on.
+func (l *FlatLog) FlatEvents() []Event {
+	out := make([]Event, len(l.Records))
+	for i, f := range l.Records {
+		out[i] = Event{
+			Kind:    l.Strings[f.Kind],
+			Track:   l.Strings[f.Track],
+			Name:    l.Strings[f.Name],
+			Start:   f.Start,
+			End:     f.End,
+			Instant: f.IsInstant(),
+			Detail:  l.Detail(f),
+		}
+	}
+	return out
+}
+
+// ReadSegmentEvents parses one sealed NDJSON segment into its events (sample
+// count returned alongside), validating header and line structure the same
+// way LoadSegments does.
+func ReadSegmentEvents(dir string, seg SegmentInfo) ([]Event, int, error) {
+	f, err := os.Open(filepath.Join(dir, seg.File))
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	if !sc.Scan() {
+		return nil, 0, fmt.Errorf("obs: segment: %s: empty (missing header)", seg.File)
+	}
+	var hdr ndjsonHeader
+	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil {
+		return nil, 0, fmt.Errorf("obs: segment: %s: header: %w", seg.File, err)
+	}
+	if hdr.Version != 1 {
+		return nil, 0, fmt.Errorf("obs: segment: %s: unsupported header version %d", seg.File, hdr.Version)
+	}
+	var events []Event
+	samples, lines := 0, 0
+	for sc.Scan() {
+		var ln ndjsonLine
+		if err := json.Unmarshal(sc.Bytes(), &ln); err != nil {
+			return nil, 0, fmt.Errorf("obs: segment: %s: line %d: %w", seg.File, lines+2, err)
+		}
+		switch {
+		case ln.E != nil:
+			events = append(events, *ln.E)
+			lines++
+		case ln.S != nil:
+			samples++
+			lines++
+		case ln.Fin != nil:
+			// terminal line of the last segment; not a payload line
+		default:
+			return nil, 0, fmt.Errorf("obs: segment: %s: line %d: no payload", seg.File, lines+2)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, 0, fmt.Errorf("obs: segment: %s: %w", seg.File, err)
+	}
+	if lines != seg.Lines {
+		return nil, 0, fmt.Errorf("obs: segment: %s: %d payload lines, manifest says %d (sealed segment corrupt)",
+			seg.File, lines, seg.Lines)
+	}
+	return events, samples, nil
+}
+
+// BuildSegArtifacts rebuilds one segment's index and flat artifacts from its
+// NDJSON truth (without writing them; see EnsureSegIndex / EnsureIndex).
+func BuildSegArtifacts(dir string, seg SegmentInfo) (*SegIndex, *FlatLog, error) {
+	events, samples, err := ReadSegmentEvents(dir, seg)
+	if err != nil {
+		return nil, nil, err
+	}
+	b := newSegIndexBuilder()
+	for i := range events {
+		b.addEvent(&events[i])
+	}
+	b.samples = samples
+	idx, flat := b.finish(seg.File, seg.Lines, seg.Bytes)
+	return &idx, flat, nil
+}
+
+// EnsureSegIndex returns a valid sidecar index for the segment, rebuilding
+// from NDJSON when missing or stale. Rebuilt artifacts are written back
+// best-effort: a read-only spill directory still queries fine, it just
+// rebuilds again next time.
+func EnsureSegIndex(dir string, seg SegmentInfo) (idx *SegIndex, rebuilt bool, err error) {
+	if idx, err = LoadSegIndex(dir, seg); err == nil {
+		return idx, false, nil
+	}
+	idx, flat, err := BuildSegArtifacts(dir, seg)
+	if err != nil {
+		return nil, false, err
+	}
+	_ = writeSegArtifacts(dir, *idx, flat) // cache write; failure is not fatal
+	return idx, true, nil
+}
+
+// EnsureIndex builds or repairs the sidecar index artifacts for every sealed
+// segment in the spill directory, returning how many were (re)built. Unlike
+// EnsureSegIndex it is strict: this is `obscheck -index`'s path, where a
+// failed sidecar write must surface.
+func EnsureIndex(dir string) (rebuilt int, err error) {
+	man, err := LoadManifest(dir)
+	if err != nil {
+		return 0, err
+	}
+	for _, seg := range man.Segments {
+		if _, err := LoadSegIndex(dir, seg); err == nil {
+			if _, err := LoadSegFlat(dir, seg, mustEventCount(dir, seg)); err == nil {
+				continue
+			}
+		}
+		idx, flat, err := BuildSegArtifacts(dir, seg)
+		if err != nil {
+			return rebuilt, err
+		}
+		if err := writeSegArtifacts(dir, *idx, flat); err != nil {
+			return rebuilt, err
+		}
+		rebuilt++
+	}
+	return rebuilt, nil
+}
+
+// mustEventCount returns the sidecar's event count for flat validation (the
+// sidecar was just validated; a racing rewrite degrades to a rebuild).
+func mustEventCount(dir string, seg SegmentInfo) int {
+	idx, err := LoadSegIndex(dir, seg)
+	if err != nil {
+		return -1 // forces the flat check to fail -> rebuild
+	}
+	return idx.Events
+}

@@ -125,6 +125,11 @@ type Config struct {
 	// are fast-forward deadline cycles: the simulator never jumps across
 	// one, so each sample sees exactly the state the per-cycle path would.
 	SampleEvery int64
+	// CheckpointEvery emits a rewind checkpoint (KindCheckpoint instant on
+	// CheckpointTrack, see checkpoint.go) every N cycles; 0 disables
+	// checkpoints. Like sample cycles, checkpoint cycles are fast-forward
+	// deadline cycles, so the recorded state hash is the per-cycle path's.
+	CheckpointEvery int64
 	// Sink, when non-nil, receives every finished event (including
 	// fast-forward jumps, distinguishable by Kind) and every sample as the
 	// recorder appends them, and Finalize when the record closes. Delivery

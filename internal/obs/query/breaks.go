@@ -1,0 +1,176 @@
+package query
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Breakpoint/watchpoint specs (DESIGN.md §14). The syntax follows the fault
+// plan spec idiom (internal/fault.ParseSpec): small, line-oriented, and
+// round-trippable — Break.String() renders exactly the accepted syntax, so a
+// hit report is itself a valid spec. Comma-separated in a list:
+//
+//	cycle=N                    halt when re-execution reaches cycle N
+//	chan:NAME.stall>K          any unit blocked on channel NAME for > K cycles
+//	chan:NAME.read-stall>K     same, reads only
+//	chan:NAME.write-stall>K    same, writes only
+//	chan:NAME.len>K            channel occupancy exceeds K
+//	unit:NAME.state=S          unit NAME enters state S (pending|running|blocked|done)
+//
+// Channel and unit names may contain dots; the attribute is split at the
+// LAST '.'.
+
+// BreakKind discriminates the spec forms.
+type BreakKind int
+
+const (
+	// BreakCycle halts at an exact cycle.
+	BreakCycle BreakKind = iota
+	// BreakChanStall halts when a unit has been blocked on the channel
+	// longer than N cycles (Dir narrows to "read"/"write").
+	BreakChanStall
+	// BreakChanLen halts when the channel's occupancy exceeds N.
+	BreakChanLen
+	// BreakUnitState halts when the unit enters State.
+	BreakUnitState
+)
+
+// UnitStates are the states unit:NAME.state=S accepts — the same
+// classification MachineState reports.
+var UnitStates = []string{"pending", "running", "blocked", "done"}
+
+// Break is one parsed breakpoint/watchpoint spec.
+type Break struct {
+	Kind BreakKind
+	// Target is the channel or unit name (empty for cycle breaks).
+	Target string
+	// Dir narrows a chan stall break to "read" or "write" ("" = either).
+	Dir string
+	// N is the cycle (BreakCycle) or threshold (stall/len breaks).
+	N int64
+	// State is the awaited unit state (BreakUnitState).
+	State string
+}
+
+// ParseBreak parses a single spec.
+func ParseBreak(s string) (Break, error) {
+	var b Break
+	spec := strings.TrimSpace(s)
+	switch {
+	case strings.HasPrefix(spec, "chan:"):
+		rest := strings.TrimPrefix(spec, "chan:")
+		i := strings.LastIndexByte(rest, '.')
+		if i < 0 {
+			return b, fmt.Errorf("break %q: want chan:NAME.ATTR", spec)
+		}
+		b.Target = rest[:i]
+		if b.Target == "" {
+			return b, fmt.Errorf("break %q: empty channel name", spec)
+		}
+		attr, val, ok := strings.Cut(rest[i+1:], ">")
+		if !ok {
+			return b, fmt.Errorf("break %q: want %s>K", spec, rest[i+1:])
+		}
+		switch attr {
+		case "stall":
+			b.Kind = BreakChanStall
+		case "read-stall":
+			b.Kind, b.Dir = BreakChanStall, "read"
+		case "write-stall":
+			b.Kind, b.Dir = BreakChanStall, "write"
+		case "len":
+			b.Kind = BreakChanLen
+		default:
+			return b, fmt.Errorf("break %q: unknown channel attribute %q (want stall, read-stall, write-stall, or len)", spec, attr)
+		}
+		n, err := strconv.ParseInt(val, 10, 64)
+		if err != nil {
+			return b, fmt.Errorf("break %q: bad threshold: %v", spec, err)
+		}
+		if n < 0 {
+			return b, fmt.Errorf("break %q: negative threshold", spec)
+		}
+		b.N = n
+	case strings.HasPrefix(spec, "unit:"):
+		rest := strings.TrimPrefix(spec, "unit:")
+		i := strings.LastIndexByte(rest, '.')
+		if i < 0 {
+			return b, fmt.Errorf("break %q: want unit:NAME.state=S", spec)
+		}
+		b.Target = rest[:i]
+		if b.Target == "" {
+			return b, fmt.Errorf("break %q: empty unit name", spec)
+		}
+		key, val, ok := strings.Cut(rest[i+1:], "=")
+		if !ok || key != "state" {
+			return b, fmt.Errorf("break %q: want unit:NAME.state=S", spec)
+		}
+		if !validUnitState(val) {
+			return b, fmt.Errorf("break %q: unknown state %q (want %s)", spec, val, strings.Join(UnitStates, ", "))
+		}
+		b.Kind, b.State = BreakUnitState, val
+	default:
+		key, val, ok := strings.Cut(spec, "=")
+		if !ok || key != "cycle" {
+			return b, fmt.Errorf("break %q: want cycle=N, chan:NAME.ATTR, or unit:NAME.state=S", spec)
+		}
+		n, err := strconv.ParseInt(val, 10, 64)
+		if err != nil {
+			return b, fmt.Errorf("break %q: bad cycle: %v", spec, err)
+		}
+		if n < 0 {
+			return b, fmt.Errorf("break %q: negative cycle", spec)
+		}
+		b.Kind, b.N = BreakCycle, n
+	}
+	return b, nil
+}
+
+func validUnitState(s string) bool {
+	for _, u := range UnitStates {
+		if s == u {
+			return true
+		}
+	}
+	return false
+}
+
+// ParseBreaks parses a comma-separated list of specs; at least one required.
+func ParseBreaks(s string) ([]Break, error) {
+	var out []Break
+	for _, part := range strings.Split(s, ",") {
+		if strings.TrimSpace(part) == "" {
+			return nil, fmt.Errorf("break: empty spec in %q", s)
+		}
+		b, err := ParseBreak(part)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, b)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("break: empty spec list")
+	}
+	return out, nil
+}
+
+// String renders the spec back in the accepted syntax —
+// ParseBreak(b.String()) reproduces b (the fuzz invariant).
+func (b Break) String() string {
+	switch b.Kind {
+	case BreakCycle:
+		return fmt.Sprintf("cycle=%d", b.N)
+	case BreakChanStall:
+		attr := "stall"
+		if b.Dir != "" {
+			attr = b.Dir + "-stall"
+		}
+		return fmt.Sprintf("chan:%s.%s>%d", b.Target, attr, b.N)
+	case BreakChanLen:
+		return fmt.Sprintf("chan:%s.len>%d", b.Target, b.N)
+	case BreakUnitState:
+		return fmt.Sprintf("unit:%s.state=%s", b.Target, b.State)
+	}
+	return fmt.Sprintf("break(kind=%d)", b.Kind)
+}

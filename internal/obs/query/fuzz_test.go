@@ -1,0 +1,100 @@
+package query
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// The parser invariant mirrors internal/fault's: whatever parses must render
+// back (String) to a spec that re-parses to the identical value — specs are
+// their own canonical form, so a reported hit or echoed query is always a
+// valid input again.
+
+func FuzzParseBreaks(f *testing.F) {
+	for _, seed := range []string{
+		"cycle=100",
+		"chan:pipe.stall>50",
+		"chan:pipe.read-stall>0",
+		"chan:k1.out.write-stall>12",
+		"chan:pipe.len>3",
+		"unit:producer.state=blocked",
+		"unit:k0.cu1.state=done",
+		"cycle=0,chan:pipe.stall>10,unit:consumer.state=running",
+		" cycle=7 , unit:u.state=pending",
+		// malformed: must error, not panic
+		"",
+		",",
+		"cycle=",
+		"cycle=-1",
+		"cycle=x",
+		"chan:.stall>1",
+		"chan:pipe.stall>",
+		"chan:pipe.flow>1",
+		"chan:pipe",
+		"unit:u.state=sleeping",
+		"unit:u.mode=x",
+		"breakpoint",
+		"chan:pipe.stall>9999999999999999999999",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		bs, err := ParseBreaks(s)
+		if err != nil {
+			return
+		}
+		if len(bs) == 0 {
+			t.Fatalf("ParseBreaks(%q) = empty list without error", s)
+		}
+		parts := make([]string, len(bs))
+		for i, b := range bs {
+			parts[i] = b.String()
+		}
+		rendered := strings.Join(parts, ",")
+		again, err := ParseBreaks(rendered)
+		if err != nil {
+			t.Fatalf("ParseBreaks(%q): round trip %q failed: %v", s, rendered, err)
+		}
+		if !reflect.DeepEqual(bs, again) {
+			t.Fatalf("ParseBreaks(%q) = %+v, round trip %q = %+v", s, bs, rendered, again)
+		}
+	})
+}
+
+func FuzzParseQuery(f *testing.F) {
+	for _, seed := range []string{
+		"kind=chan-stall",
+		"track=sim:checkpoint name=ckpt",
+		"cycles=[0,100]",
+		"track=chan:pipe kind=chan-stall cycles=[512,4096]",
+		"name=u0 cycles=[7,7]",
+		// malformed: must error, not panic
+		"",
+		"   ",
+		"kind=",
+		"kind=a kind=b",
+		"cycles=[5,1]",
+		"cycles=[-1,5]",
+		"cycles=[a,b]",
+		"cycles=0,100",
+		"when=now",
+		"track",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		q, err := ParseQuery(s)
+		if err != nil {
+			return
+		}
+		rendered := q.String()
+		again, err := ParseQuery(rendered)
+		if err != nil {
+			t.Fatalf("ParseQuery(%q): round trip %q failed: %v", s, rendered, err)
+		}
+		if q != again {
+			t.Fatalf("ParseQuery(%q) = %+v, round trip %q = %+v", s, q, rendered, again)
+		}
+	})
+}

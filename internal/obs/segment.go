@@ -99,6 +99,13 @@ type SegmentSink struct {
 	last    int64
 	pending *SegmentInfo // closed .part awaiting rename + manifest commit
 
+	// art accumulates the open segment's sidecar index + flat encoding
+	// (index.go); pendingArt is the staged pair sealed alongside pending.
+	// Sidecars are caches — their writes are best-effort and happen only
+	// after the segment itself is durably renamed.
+	art        *segIndexBuilder
+	pendingArt *stagedArtifacts
+
 	werr      error // sticky stream/data error: not retryable
 	cerr      error // commit error: retryable
 	finalized bool
@@ -171,6 +178,7 @@ func (s *SegmentSink) open() error {
 	}
 	s.f, s.bw = f, bufio.NewWriter(f)
 	s.lines, s.bytes, s.last = 0, 0, 0
+	s.art = newSegIndexBuilder()
 	hdr, err := json.Marshal(ndjsonHeader{Version: 1, Design: s.cfg.Design, SampleEvery: s.cfg.SampleEvery})
 	if err != nil {
 		return err
@@ -198,6 +206,11 @@ func (s *SegmentSink) seal() error {
 		}
 		s.f, s.bw = nil, nil
 		s.pending = info
+		if s.art != nil {
+			idx, flat := s.art.finish(info.File, info.Lines, info.Bytes)
+			s.pendingArt = &stagedArtifacts{idx: idx, flat: flat}
+			s.art = nil
+		}
 	}
 	if s.pending != nil {
 		p := filepath.Join(s.cfg.Dir, s.pending.File)
@@ -206,39 +219,72 @@ func (s *SegmentSink) seal() error {
 		}
 		s.man.Segments = append(s.man.Segments, *s.pending)
 		s.pending = nil
+		if s.pendingArt != nil {
+			// Cache write: a failure degrades to an on-demand rebuild later.
+			_ = writeSegArtifacts(s.cfg.Dir, s.pendingArt.idx, s.pendingArt.flat)
+			s.pendingArt = nil
+		}
 	}
 	return s.writeManifest()
 }
 
-// write lands one marshalled line: verified against the durable prefix while
-// it lasts, appended to the open segment afterwards.
-func (s *SegmentSink) write(line []byte, cycle int64) {
+type stagedArtifacts struct {
+	idx  SegIndex
+	flat *FlatLog
+}
+
+// append lands one marshalled line and reports whether it was appended to
+// the open segment — false while verifying the durable prefix (a resumed
+// run's replayed lines must not re-feed the index builder) or after a sticky
+// error. Rotation is the caller's business (maybeRotate), so the builder can
+// observe the line before its segment seals.
+func (s *SegmentSink) append(line []byte, cycle int64) bool {
 	if s.werr != nil {
-		return
+		return false
 	}
 	if s.vpos < len(s.verify) {
 		if string(line) != string(s.verify[s.vpos]) {
 			s.werr = fmt.Errorf("replay diverged from durable prefix at line %d: re-executed run produced %q, spill holds %q",
 				s.vpos, line, s.verify[s.vpos])
-			return
+			return false
 		}
 		s.vpos++
-		return
+		return false
 	}
 	if s.f == nil {
 		if err := s.open(); err != nil {
 			s.werr = err
-			return
+			return false
 		}
 	}
 	if _, err := s.bw.Write(append(line, '\n')); err != nil {
 		s.werr = err
-		return
+		return false
 	}
 	s.lines++
 	s.bytes += int64(len(line)) + 1
 	if cycle > s.last {
 		s.last = cycle
+	}
+	return true
+}
+
+func (s *SegmentSink) appendLine(v any, cycle int64) bool {
+	if s.werr != nil {
+		return false
+	}
+	buf, err := json.Marshal(v)
+	if err != nil {
+		s.werr = err
+		return false
+	}
+	return s.append(buf, cycle)
+}
+
+// maybeRotate seals the open segment once a size threshold trips.
+func (s *SegmentSink) maybeRotate() {
+	if s.werr != nil || s.f == nil {
+		return
 	}
 	if s.lines >= s.cfg.MaxLines || s.bytes >= s.cfg.MaxBytes {
 		if err := s.seal(); err != nil {
@@ -247,23 +293,21 @@ func (s *SegmentSink) write(line []byte, cycle int64) {
 	}
 }
 
-func (s *SegmentSink) writeLine(v any, cycle int64) {
-	if s.werr != nil {
-		return
+// Event implements Sink.
+func (s *SegmentSink) Event(e Event) {
+	if s.appendLine(ndjsonLine{E: &e}, e.End) {
+		s.art.addEvent(&e)
 	}
-	buf, err := json.Marshal(v)
-	if err != nil {
-		s.werr = err
-		return
-	}
-	s.write(buf, cycle)
+	s.maybeRotate()
 }
 
-// Event implements Sink.
-func (s *SegmentSink) Event(e Event) { s.writeLine(ndjsonLine{E: &e}, e.End) }
-
 // Sample implements Sink.
-func (s *SegmentSink) Sample(sm Sample) { s.writeLine(ndjsonLine{S: &sm}, sm.Cycle) }
+func (s *SegmentSink) Sample(sm Sample) {
+	if s.appendLine(ndjsonLine{S: &sm}, sm.Cycle) {
+		s.art.addSample()
+	}
+	s.maybeRotate()
+}
 
 // Finalize writes the terminal fin line into the last segment, seals it, and
 // marks the manifest complete. Stream errors are returned as-is; commit

@@ -1,0 +1,168 @@
+package sim
+
+import (
+	"fmt"
+
+	"oclfpga/internal/obs/query"
+)
+
+// Breakpointed re-execution (DESIGN.md §14). RunBreaks advances the machine
+// cycle by cycle — no fast-forward, so watch conditions are evaluated at
+// every cycle — until a breakpoint/watchpoint spec (obs/query's ParseBreaks
+// grammar) fires, the launched work completes, or a simulation error
+// surfaces. Determinism makes the halt exact and repeatable: the same
+// design, arguments, and fault plan hit the same spec at the same cycle
+// every run.
+
+// BreakHit reports the first spec that fired.
+type BreakHit struct {
+	// Spec is the firing spec in canonical syntax (Break.String()).
+	Spec  string `json:"spec"`
+	Cycle int64  `json:"cycle"`
+	Unit  string `json:"unit,omitempty"`
+	Chan  string `json:"chan,omitempty"`
+	Dir   string `json:"dir,omitempty"`
+	// Value is the observed quantity: the stall length for stall breaks, the
+	// occupancy for len breaks, the cycle for cycle and unit-state breaks.
+	Value int64 `json:"value"`
+}
+
+// compiledBreak is a spec with its target resolved to runtime handles.
+type compiledBreak struct {
+	b    query.Break
+	chID int // program channel id for chan breaks
+}
+
+// RunBreaks runs the launched work under the given breakpoint specs and
+// returns the first hit (nil when the run completes without one). Unknown
+// channel or unit targets are an error up front, before any cycle advances.
+// Specs are checked in order each cycle; within a spec, units in creation
+// order — the first hit is deterministic. When every launch completes with
+// only cycle=N breaks still ahead, the autorun fabric is stepped on until
+// the last such N so late cycle breaks still fire.
+func (m *Machine) RunBreaks(breaks []query.Break) (*BreakHit, error) {
+	if m.err != nil {
+		return nil, m.err
+	}
+	if len(breaks) == 0 {
+		return nil, fmt.Errorf("sim: RunBreaks: no specs")
+	}
+	compiled := make([]compiledBreak, len(breaks))
+	for i, b := range breaks {
+		cb := compiledBreak{b: b, chID: -1}
+		switch b.Kind {
+		case query.BreakChanStall, query.BreakChanLen:
+			c := m.d.Program.ChanByName(b.Target)
+			if c == nil {
+				return nil, fmt.Errorf("sim: break %q: unknown channel %q", b, b.Target)
+			}
+			cb.chID = c.ID
+		case query.BreakUnitState:
+			if m.unitByName(b.Target) == nil {
+				return nil, fmt.Errorf("sim: break %q: unknown unit %q", b, b.Target)
+			}
+		}
+		compiled[i] = cb
+	}
+	lastCycleBreak := int64(-1)
+	for _, b := range breaks {
+		if b.Kind == query.BreakCycle && b.N > lastCycleBreak {
+			lastCycleBreak = b.N
+		}
+	}
+	for len(m.active) > 0 || m.cycle < lastCycleBreak {
+		m.tick()
+		if m.err != nil {
+			return nil, m.err
+		}
+		if hit := m.checkBreaks(compiled); hit != nil {
+			return hit, nil
+		}
+		if len(m.active) > 0 && m.cycle-m.lastProgress > m.opts.StallLimit {
+			return nil, &DeadlockError{Report: m.DeadlockReport(ReasonStallLimit)}
+		}
+		if m.cycle > m.opts.MaxCycles {
+			return nil, &DeadlockError{Report: m.DeadlockReport(ReasonMaxCycles)}
+		}
+	}
+	return nil, nil
+}
+
+func (m *Machine) unitByName(name string) *Unit {
+	for _, u := range m.units {
+		if u.xk.UnitName() == name {
+			return u
+		}
+	}
+	for _, u := range m.launched {
+		if u.xk.UnitName() == name {
+			return u
+		}
+	}
+	return nil
+}
+
+func (m *Machine) checkBreaks(compiled []compiledBreak) *BreakHit {
+	for i := range compiled {
+		cb := &compiled[i]
+		switch cb.b.Kind {
+		case query.BreakCycle:
+			if m.cycle == cb.b.N {
+				return &BreakHit{Spec: cb.b.String(), Cycle: m.cycle, Value: m.cycle}
+			}
+		case query.BreakChanLen:
+			if n := m.chans[cb.chID].Len(); int64(n) > cb.b.N {
+				return &BreakHit{
+					Spec: cb.b.String(), Cycle: m.cycle,
+					Chan: cb.b.Target, Value: int64(n),
+				}
+			}
+		case query.BreakChanStall:
+			if hit := m.checkChanStall(cb); hit != nil {
+				return hit
+			}
+		case query.BreakUnitState:
+			u := m.unitByName(cb.b.Target)
+			if m.unitStateName(u) == cb.b.State {
+				return &BreakHit{
+					Spec: cb.b.String(), Cycle: m.cycle,
+					Unit: cb.b.Target, Value: m.cycle,
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// checkChanStall fires when any unit has been blocked on the watched channel
+// (in the watched direction) for more than N consecutive cycles, evaluated
+// against blockages current this very cycle.
+func (m *Machine) checkChanStall(cb *compiledBreak) *BreakHit {
+	check := func(u *Unit) *BreakHit {
+		b := &u.block
+		if b.op == nil || b.chID != cb.chID || b.last != m.cycle {
+			return nil
+		}
+		if cb.b.Dir != "" && b.dir != cb.b.Dir {
+			return nil
+		}
+		if waited := m.cycle - b.since; waited > cb.b.N {
+			return &BreakHit{
+				Spec: cb.b.String(), Cycle: m.cycle,
+				Unit: u.xk.UnitName(), Chan: cb.b.Target, Dir: b.dir, Value: waited,
+			}
+		}
+		return nil
+	}
+	for _, u := range m.units {
+		if hit := check(u); hit != nil {
+			return hit
+		}
+	}
+	for _, u := range m.launched {
+		if hit := check(u); hit != nil {
+			return hit
+		}
+	}
+	return nil
+}

@@ -83,26 +83,57 @@ func (m *Machine) fastForward(start, budget int64) {
 	if budget >= 0 && to > start+budget {
 		to = start + budget
 	}
+	if m.capIdx < len(m.captures) && to >= m.captures[m.capIdx] {
+		// capture cycles are deadlines too: the jump lands exactly on the
+		// next one and run()/Step() fires the callback there
+		to = m.captures[m.capIdx]
+	}
 	if to <= m.cycle {
 		return
 	}
 	from := m.cycle
-	if m.obs != nil && m.obs.sampleEvery > 0 {
-		// Metrics samples due inside the window are taken mid-jump: the batch
-		// advance splits at each grid cycle, and — because batchAdvance
-		// charges exactly the counter effects per-cycle stepping would have,
-		// and nothing else changes while the machine is quiescent — the
-		// snapshot at each split point is byte-identical to the one a real
-		// tick stopping there would record. The jump itself is not capped, so
-		// sampling leaves the jump count and the cycles executed for real
-		// exactly as they are without sampling.
-		every := m.obs.sampleEvery
-		for s := (from/every + 1) * every; s <= to; s += every {
-			m.batchAdvance(m.cycle, s)
-			m.cycle = s
-			m.obsTakeSample()
+	if m.obs != nil && (m.obs.sampleEvery > 0 || m.obs.ckptEvery > 0) {
+		// Metrics samples and rewind checkpoints due inside the window are
+		// taken mid-jump: the batch advance splits at each grid cycle, and —
+		// because batchAdvance charges exactly the counter effects per-cycle
+		// stepping would have, and nothing else changes while the machine is
+		// quiescent — the snapshot at each split point is byte-identical to
+		// the one a real tick stopping there would record. The two grids are
+		// merged by walking to the nearest upcoming cycle of either; a cycle
+		// on both fires sample first, then checkpoint, matching obsEndTick.
+		// The jump itself is not capped, so sampling leaves the jump count
+		// and the cycles executed for real exactly as they are without it.
+		o := m.obs
+		for {
+			next := to + 1
+			if o.sampleEvery > 0 {
+				if s := (m.cycle/o.sampleEvery + 1) * o.sampleEvery; s < next {
+					next = s
+				}
+			}
+			if o.ckptEvery > 0 {
+				if c := (m.cycle/o.ckptEvery + 1) * o.ckptEvery; c < next {
+					next = c
+				}
+			}
+			if next > to {
+				break
+			}
+			m.batchAdvance(m.cycle, next)
+			m.cycle = next
+			if o.sampleEvery > 0 && next%o.sampleEvery == 0 {
+				m.obsTakeSample()
+			}
+			if o.ckptEvery > 0 && next%o.ckptEvery == 0 {
+				m.obsCheckpoint()
+			}
 		}
-		m.obs.nextSampleAt = (to/every + 1) * every
+		if o.sampleEvery > 0 {
+			o.nextSampleAt = (to/o.sampleEvery + 1) * o.sampleEvery
+		}
+		if o.ckptEvery > 0 {
+			o.nextCkptAt = (to/o.ckptEvery + 1) * o.ckptEvery
+		}
 	}
 	if to > m.cycle {
 		m.batchAdvance(m.cycle, to)

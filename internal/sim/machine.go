@@ -6,6 +6,7 @@ package sim
 
 import (
 	"fmt"
+	"sort"
 
 	"oclfpga/internal/channel"
 	"oclfpga/internal/fault"
@@ -45,6 +46,17 @@ type Options struct {
 	// byte-identical with skipping on or off. Nil disables observability;
 	// the hot path then pays a single nil check.
 	Observe *obs.Config
+	// CaptureAt lists cycles at which OnCapture fires with the machine
+	// paused exactly there (DESIGN.md §14). Capture cycles are fast-forward
+	// deadlines — a jump never crosses one — so the callback sees precisely
+	// the state the per-cycle path would. The callback must only read
+	// (StateDump, StateHash, statistics); mutating the machine would fork
+	// the deterministic re-execution captures exist to verify. Cycles at or
+	// before the machine's current cycle are dropped.
+	CaptureAt []int64
+	// OnCapture receives each CaptureAt cycle as the machine reaches it
+	// during Run/RunFor/Step. Ignored when CaptureAt is empty.
+	OnCapture func(m *Machine, cycle int64)
 }
 
 func (o *Options) fill() {
@@ -68,6 +80,11 @@ type Machine struct {
 	bufs   map[string]*mem.Buffer
 	units  []*Unit // autorun units, persistent
 	active []*Unit // launched units still running
+	// launched keeps every launch in launch order, finished or not — the
+	// state-dump walk needs units m.active has already dropped. (obsState
+	// keeps its own copy because observability can outlive this machine's
+	// run; this one exists even with observability off.)
+	launched []*Unit
 
 	cycle        int64
 	lastProgress int64
@@ -84,6 +101,13 @@ type Machine struct {
 	ffSkipped int64
 
 	faults *faultRuntime
+
+	// captures is Options.CaptureAt sorted, deduplicated, and filtered to
+	// the future; capIdx points at the next pending capture cycle.
+	captures []int64
+	capIdx   int
+	// dHash memoizes DesignHash (0 = not yet computed).
+	dHash uint64
 
 	// obs is the observability recorder state (nil when Options.Observe is
 	// unset — every hook site checks this once).
@@ -120,6 +144,17 @@ func New(d *hls.Design, opts Options) *Machine {
 		if err := m.installFaults(opts.Fault); err != nil && m.err == nil {
 			m.err = err
 		}
+	}
+	if len(opts.CaptureAt) > 0 && opts.OnCapture != nil {
+		m.captures = append(m.captures, opts.CaptureAt...)
+		sort.Slice(m.captures, func(i, j int) bool { return m.captures[i] < m.captures[j] })
+		kept := m.captures[:0]
+		for _, c := range m.captures {
+			if c > m.cycle && (len(kept) == 0 || kept[len(kept)-1] != c) {
+				kept = append(kept, c)
+			}
+		}
+		m.captures = kept
 	}
 	return m
 }
@@ -235,6 +270,7 @@ func (m *Machine) launch(kernel string, args Args, globalSize int64) (*Unit, err
 		}
 	}
 	m.active = append(m.active, u)
+	m.launched = append(m.launched, u)
 	if m.obs != nil {
 		m.obsLaunch(u)
 	}
@@ -246,6 +282,23 @@ func (m *Machine) launch(kernel string, args Args, globalSize int64) (*Unit, err
 func (m *Machine) Step(n int64) {
 	for i := int64(0); i < n; i++ {
 		m.tick()
+		if m.capIdx < len(m.captures) && m.cycle >= m.captures[m.capIdx] {
+			m.fireCaptures()
+		}
+	}
+}
+
+// fireCaptures delivers every capture whose cycle the machine has reached.
+// Cycles the clock skipped past without landing on (possible only via Step
+// callers jumping the grid — Run's fast-forward caps jumps at the next
+// capture cycle) are dropped rather than delivered late with wrong state.
+func (m *Machine) fireCaptures() {
+	for m.capIdx < len(m.captures) && m.captures[m.capIdx] <= m.cycle {
+		c := m.captures[m.capIdx]
+		m.capIdx++
+		if c == m.cycle {
+			m.opts.OnCapture(m, c)
+		}
 	}
 }
 
@@ -271,6 +324,9 @@ func (m *Machine) run(budget int64) error {
 			return &DeadlockError{Report: m.DeadlockReport(ReasonBudget)}
 		}
 		m.tick()
+		if m.capIdx < len(m.captures) && m.cycle >= m.captures[m.capIdx] {
+			m.fireCaptures()
+		}
 		if m.err != nil {
 			return m.err
 		}
@@ -282,6 +338,9 @@ func (m *Machine) run(budget int64) error {
 		}
 		if !m.workDone && m.fastForwardOK() {
 			m.fastForward(start, budget)
+			if m.capIdx < len(m.captures) && m.cycle >= m.captures[m.capIdx] {
+				m.fireCaptures()
+			}
 		}
 	}
 	return nil

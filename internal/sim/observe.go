@@ -39,6 +39,12 @@ type obsState struct {
 	// obsEndTick and fastForward so the per-tick grid check is one equality
 	// instead of a modulo.
 	nextSampleAt int64
+	// ckptEvery/nextCkptAt mirror the sampling grid for rewind checkpoints
+	// (DESIGN.md §14): obsEndTick emits on the slow path, fastForward splits
+	// its jumps at grid cycles so mid-window checkpoints capture exactly the
+	// per-cycle state.
+	ckptEvery  int64
+	nextCkptAt int64
 	// stalls tracks one open blocked-interval per channel endpoint,
 	// indexed [chID][dir] with dir 0 = read, 1 = write.
 	stalls [][2]stallSpan
@@ -54,6 +60,10 @@ type obsState struct {
 	// records by ID.
 	kLaunch, kUnitRun, kChanStall, kLineFetch obs.ID
 	nLaunch, nRun                             obs.ID
+	// Checkpoint vocabulary, interned lazily on the first emission so a
+	// machine without checkpoints leaves the recorder's string table — and
+	// therefore its flat snapshot — untouched.
+	kCkpt, ckptTrack, ckptName obs.ID
 	dirNames                                  [2]obs.ID // read-stall, write-stall
 	chanTracks                                []obs.ID  // "chan:<name>" by channel ID
 	chanNames                                 []obs.ID  // raw channel name by channel ID
@@ -103,6 +113,11 @@ func (m *Machine) initObserve(cfg *obs.Config) {
 	o.nextSampleAt = -1 // never matches a real cycle
 	if cfg.SampleEvery > 0 {
 		o.nextSampleAt = cfg.SampleEvery
+	}
+	o.nextCkptAt = -1
+	if cfg.CheckpointEvery > 0 {
+		o.ckptEvery = cfg.CheckpointEvery
+		o.nextCkptAt = cfg.CheckpointEvery
 	}
 	m.obs = o
 }
@@ -212,6 +227,10 @@ func (m *Machine) obsEndTick() {
 	if m.cycle == o.nextSampleAt {
 		m.obsTakeSample()
 		o.nextSampleAt += o.sampleEvery
+	}
+	if m.cycle == o.nextCkptAt {
+		m.obsCheckpoint()
+		o.nextCkptAt += o.ckptEvery
 	}
 }
 

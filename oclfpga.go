@@ -46,6 +46,7 @@ import (
 	"oclfpga/internal/monitor"
 	"oclfpga/internal/obs"
 	"oclfpga/internal/obs/analyze"
+	"oclfpga/internal/obs/query"
 	"oclfpga/internal/primitives"
 	"oclfpga/internal/sim"
 	"oclfpga/internal/supervise"
@@ -233,6 +234,56 @@ func NewResumeSink(cfg SegmentConfig, log *SegmentLog) (*SegmentSink, error) {
 
 // LoadSegments loads a spill directory's durable record (complete or not).
 func LoadSegments(dir string) (*SegmentLog, error) { return obs.LoadSegments(dir) }
+
+// Time-travel debugging (DESIGN.md §14): periodic hash-carrying checkpoints
+// in the spill stream, exact state reconstruction at any cycle by
+// deterministic re-execution (rewound from the nearest checkpoint),
+// breakpointed re-execution, and an indexed query engine that answers event
+// queries from a spill directory by reading only the segments whose sidecar
+// index might hold matches.
+type (
+	// Checkpoint is one rewind anchor recorded in the spill stream when
+	// ObserveConfig.CheckpointEvery is set: cycle, design hash, fault seed,
+	// and the machine state hash re-execution must reproduce.
+	Checkpoint = obs.Checkpoint
+	// MachineState is the full architectural state dump at one cycle
+	// (Machine.StateDump) — units, channels, LSUs, faults, and the state hash.
+	MachineState = sim.MachineState
+	// Breakpoint is one parsed breakpoint/watchpoint spec ("cycle=N",
+	// "chan:NAME.stall>K", "unit:NAME.state=S", ...).
+	Breakpoint = query.Break
+	// BreakpointHit reports the first spec that fired during RunBreaks.
+	BreakpointHit = sim.BreakHit
+	// EventQuery is one parsed spill query ("track=... kind=... cycles=[a,b]").
+	EventQuery = query.Query
+	// EventQueryResult is a query's answer: the matching events plus how many
+	// segments the index allowed the engine to skip.
+	EventQueryResult = query.Result
+	// SegmentIndex is one segment's sidecar index (.idx.json), built at seal
+	// time and rebuilt on demand — a cache, never the source of truth.
+	SegmentIndex = obs.SegIndex
+)
+
+// ParseBreakpoints parses a comma-separated breakpoint/watchpoint spec list;
+// run them with Machine.RunBreaks.
+func ParseBreakpoints(s string) ([]Breakpoint, error) { return query.ParseBreaks(s) }
+
+// ParseEventQuery parses a whitespace-separated query spec.
+func ParseEventQuery(s string) (EventQuery, error) { return query.ParseQuery(s) }
+
+// RunEventQuery answers a query from a spill directory via the per-segment
+// index: segments whose index proves they hold no matches are never opened.
+// Missing or stale sidecars are rebuilt in memory on the fly.
+func RunEventQuery(dir string, q EventQuery) (*EventQueryResult, error) { return query.Run(dir, q) }
+
+// SpillCheckpoints extracts every checkpoint recorded in a spill directory,
+// in cycle order — the rewind anchors for at-cycle state reconstruction.
+func SpillCheckpoints(dir string) ([]Checkpoint, error) { return query.Checkpoints(dir) }
+
+// EnsureSpillIndex builds or repairs every segment's sidecar index
+// (.idx.json + .flat) under a spill directory, returning how many were
+// rebuilt. Seal-time sidecars and rebuilt ones are byte-identical.
+func EnsureSpillIndex(dir string) (int, error) { return obs.EnsureIndex(dir) }
 
 // Supervision (DESIGN.md §11): bounded-slot admission, per-run cycle budgets
 // and wall-clock watchdogs, panic isolation with DeadlockReport-style

@@ -4,16 +4,16 @@
 # Runs every benchmark three times with allocation stats and converts the
 # output into BENCH_<n>.json (ns/op, simcycles/s, B/op, every custom metric,
 # plus the derived fast-forward speedup, observability-recorder overhead,
-# and supervision overhead, stamped with the host fingerprint). Pass the
-# output filename as $1 to
-# target a specific trajectory point; default BENCH_7.json. The newest
+# supervision overhead, checkpoint-grid overhead, and indexed-query speedup,
+# stamped with the host fingerprint). Pass the output filename as $1 to
+# target a specific trajectory point; default BENCH_8.json. The newest
 # earlier BENCH_*.json is fingerprint-checked as the baseline, so numbers
 # recorded on a different host warn instead of silently joining a trajectory.
 set -eu
 
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_7.json}"
+OUT="${1:-BENCH_8.json}"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 

@@ -17,14 +17,21 @@ go test ./internal/fault -run '^$' -fuzz 'FuzzParseSpec$' -fuzztime 5s
 go test ./internal/fault -run '^$' -fuzz 'FuzzParseSpecs$' -fuzztime 5s
 go test ./internal/obs -run '^$' -fuzz 'FuzzReplayNDJSON$' -fuzztime 5s
 go test ./internal/obs -run '^$' -fuzz 'FuzzFlatCodec$' -fuzztime 5s
+go test ./internal/obs/query -run '^$' -fuzz 'FuzzParseBreaks$' -fuzztime 5s
+go test ./internal/obs/query -run '^$' -fuzz 'FuzzParseQuery$' -fuzztime 5s
 
-# Recorder-overhead gate: a short run of the plain and observed throughput
-# benchmarks must keep the recorder's cost within 10% of the unobserved fast
-# path — the flat zero-allocation hot path is what this buys, and a regression
-# that re-introduces per-event allocation fails here.
-go test -run '^$' -bench 'SimThroughput/(Simulate$|SimulateObserved$)' \
+# Recorder-overhead gates: a short run of the throughput benchmarks must keep
+# the recorder's cost within 10% of the unobserved fast path (the flat
+# zero-allocation hot path is what this buys) and the rewind checkpoint grid
+# within 2% of the plain observed run. The indexed query engine must answer a
+# narrow query at least 10x faster than a full scan of the same spill.
+go test -run '^$' \
+  -bench 'SimThroughput/(Simulate$|SimulateObserved$|SimulateCheckpointed$)|QuerySpill' \
   -benchmem -benchtime 40x -count 3 . \
-  | go run ./cmd/benchjson -gate 'observe-overhead-pct<=10' > /dev/null
+  | go run ./cmd/benchjson \
+      -gate 'observe-overhead-pct<=10' \
+      -gate 'checkpoint-overhead-pct<=2' \
+      -gate 'query-speedup-x>=10' > /dev/null
 
 # Observability artifacts: a real workload's timeline, metrics series, stall
 # attribution, pprof profile, and NDJSON spill must all validate, round-trip
@@ -43,6 +50,45 @@ go run ./cmd/obscheck -timeline "$TMP/t.json" -metrics "$TMP/m.json" \
   -attr "$TMP/attr.json" -pprof "$TMP/attr.pb.gz" -spill "$TMP/spill.ndjson" \
   -spill-dir "$TMP/segs"
 go run ./cmd/benchjson < /dev/null > /dev/null  # benchjson stays runnable
+
+# Time-travel smoke (DESIGN.md §14): a checkpointed spill, then (1) the
+# at-cycle state dump must be byte-identical whether re-execution rewinds
+# from a spill checkpoint, rides the -checkpoint-every grid, or replays from
+# cycle 0; (2) a breakpointed re-execution must halt on the stalled consumer;
+# (3) an indexed query must answer byte-identically before and after the
+# sidecar indexes are deleted and rebuilt; (4) mutually-exclusive debug modes
+# must exit 2 (a built binary, because `go run` collapses exit codes).
+go build -o "$TMP/oclprof" ./cmd/oclprof
+"$TMP/oclprof" -workload chanstall -log=false \
+  -spill-dir "$TMP/tt-segs" -seg-lines 64 -checkpoint-every 512
+"$TMP/oclprof" -workload chanstall -log=false \
+  -at-cycle 1500 -spill-dir "$TMP/tt-segs" > "$TMP/at-rewind.json" 2> /dev/null
+"$TMP/oclprof" -workload chanstall -log=false \
+  -at-cycle 1500 -checkpoint-every 512 > "$TMP/at-grid.json" 2> /dev/null
+"$TMP/oclprof" -workload chanstall -log=false \
+  -at-cycle 1500 > "$TMP/at-direct.json" 2> /dev/null
+cmp "$TMP/at-rewind.json" "$TMP/at-direct.json"
+cmp "$TMP/at-grid.json" "$TMP/at-direct.json"
+"$TMP/oclprof" -workload chanstall -log=false \
+  -break 'chan:pipe.stall>50' > "$TMP/break.json" 2> /dev/null
+grep -q '"unit": "consumer"' "$TMP/break.json"
+"$TMP/oclprof" -query 'kind=chan-stall cycles=[5000,6000]' \
+  -spill-dir "$TMP/tt-segs" > "$TMP/q-sealed.json" 2> /dev/null
+go run ./cmd/obscheck -spill-dir "$TMP/tt-segs" | grep -q 'sealed'
+rm "$TMP/tt-segs"/*.idx.json "$TMP/tt-segs"/*.flat
+go run ./cmd/obscheck -index "$TMP/tt-segs" | grep -q 'index ok'
+"$TMP/oclprof" -query 'kind=chan-stall cycles=[5000,6000]' \
+  -spill-dir "$TMP/tt-segs" > "$TMP/q-rebuilt.json" 2> /dev/null
+cmp "$TMP/q-sealed.json" "$TMP/q-rebuilt.json"
+RC=0
+"$TMP/oclprof" -at-cycle 10 -break 'cycle=5' -workload chanstall -log=false > /dev/null 2>&1 || RC=$?
+[ "$RC" -eq 2 ]
+RC=0
+"$TMP/oclprof" -at-cycle 10 -timeline /dev/null -workload chanstall -log=false > /dev/null 2>&1 || RC=$?
+[ "$RC" -eq 2 ]
+RC=0
+"$TMP/oclprof" -query 'kind=exec' -workload chanstall -log=false > /dev/null 2>&1 || RC=$?
+[ "$RC" -eq 2 ]
 
 # oclmon smoke test: serve one small run on an ephemeral port, scrape
 # /metrics, assert a known gauge, and shut the server down cleanly.
