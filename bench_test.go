@@ -7,6 +7,7 @@
 package oclfpga_test
 
 import (
+	"bytes"
 	"fmt"
 	"path/filepath"
 	"sort"
@@ -18,6 +19,9 @@ import (
 	"oclfpga/internal/device"
 	"oclfpga/internal/experiments"
 	"oclfpga/internal/kir"
+	"oclfpga/internal/obs"
+	"oclfpga/internal/obs/analyze"
+	"oclfpga/internal/obs/diff"
 	"oclfpga/internal/obs/query"
 )
 
@@ -454,6 +458,68 @@ func BenchmarkQuerySpill(b *testing.B) {
 			if _, err := query.ScanAll(dir, q); err != nil {
 				b.Fatal(err)
 			}
+		}
+	})
+}
+
+// BenchmarkDiffSpill prices the differential profiler's indexed spill walk
+// (DESIGN.md §15) against the naive route: two same-seed checkpointed spills
+// of the stall-heavy workload, diffed either by accumulating each spill's
+// flat segments through the sidecar indexes or by fully replaying both spills
+// into timelines and attributing those. Both routes must produce the same
+// report before either is timed. benchjson derives FullReplay/Indexed ns/op
+// as diff-spill-speedup-x, gated at >= 5.
+func BenchmarkDiffSpill(b *testing.B) {
+	dirA := filepath.Join(b.TempDir(), "a")
+	dirB := filepath.Join(b.TempDir(), "b")
+	if _, err := experiments.SpillSimBench(4096, dirA, 1024, 4096, 256); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := experiments.SpillSimBench(4096, dirB, 1024, 4096, 256); err != nil {
+		b.Fatal(err)
+	}
+	th := diff.DefaultThresholds()
+	fullReplay := func() *diff.Report {
+		attr := func(dir string) *analyze.Attribution {
+			slog, err := obs.LoadSegments(dir)
+			if err != nil {
+				b.Fatal(err)
+			}
+			tl, _, err := slog.Replay()
+			if err != nil {
+				b.Fatal(err)
+			}
+			return analyze.Attribute(tl)
+		}
+		return diff.Compare(attr(dirA), attr(dirB), nil, nil, th)
+	}
+	// Answers must agree before either path is worth timing.
+	r, sa, sb, err := diff.CompareSpills(dirA, dirB, th)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var got, want bytes.Buffer
+	if err := diff.WriteReport(&got, r); err != nil {
+		b.Fatal(err)
+	}
+	if err := diff.WriteReport(&want, fullReplay()); err != nil {
+		b.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		b.Fatal("indexed spill diff differs from full replay")
+	}
+	b.Logf("diff read %d of %d / %d of %d segments via index; verdict %s",
+		sa.SegmentsRead, sa.SegmentsTotal, sb.SegmentsRead, sb.SegmentsTotal, r.Verdict)
+	b.Run("Indexed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, _, err := diff.CompareSpills(dirA, dirB, th); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("FullReplay", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			fullReplay()
 		}
 	})
 }

@@ -10,11 +10,13 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"sort"
 	"strconv"
 	"strings"
+	"text/tabwriter"
 )
 
 type run map[string]float64
@@ -81,6 +83,8 @@ func checkBaseline(path string, cur *fingerprint) {
 
 var flagBaseline = flag.String("baseline", "", "earlier benchjson document to fingerprint-check against (warn on host mismatch)")
 
+var flagDiff = flag.Bool("diff", false, "compare two benchjson documents (OLD.json NEW.json as arguments) and print a metric delta table instead of reading stdin")
+
 var flagFleet = flag.String("fleet", "", "oclstorm report whose benchmarks and derived metrics merge into the output")
 
 // gate is one "-gate name<=value" (or name>=value) assertion against the
@@ -137,9 +141,108 @@ func mergeFleet(d *doc, path string) error {
 	return nil
 }
 
+// readDoc loads one benchjson document from disk.
+func readDoc(path string) (*doc, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var d doc
+	if err := json.Unmarshal(raw, &d); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return &d, nil
+}
+
+// diffDocs is the -diff mode: a human-readable delta table between two
+// benchjson documents — every benchmark's mean ns/op and every derived metric
+// appearing in either, with the percent change. A host-fingerprint mismatch
+// is warned inline at the top: the deltas still print, they just should not
+// be read as a regression signal across different machines or toolchains.
+func diffDocs(w io.Writer, oldPath, newPath string) error {
+	od, err := readDoc(oldPath)
+	if err != nil {
+		return err
+	}
+	nd, err := readDoc(newPath)
+	if err != nil {
+		return err
+	}
+	switch {
+	case od.Host == nil || nd.Host == nil:
+		fmt.Fprintln(w, "! host fingerprint missing from one side; deltas may compare different machines")
+	case *od.Host != *nd.Host:
+		fmt.Fprintf(w, "! host mismatch: old %s/GOMAXPROCS %d/%q vs new %s/GOMAXPROCS %d/%q — deltas unreliable\n",
+			od.Host.GoVersion, od.Host.GOMAXPROCS, od.Host.CPUModel,
+			nd.Host.GoVersion, nd.Host.GOMAXPROCS, nd.Host.CPUModel)
+	}
+
+	cell := func(v float64, ok bool) string {
+		if !ok {
+			return "-"
+		}
+		return strconv.FormatFloat(v, 'g', 6, 64)
+	}
+	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
+	fmt.Fprintf(tw, "metric\told\tnew\tchange\n")
+	row := func(name string, ov float64, ook bool, nv float64, nok bool) {
+		change := "-"
+		if ook && nok && ov != 0 {
+			change = fmt.Sprintf("%+.1f%%", (nv-ov)/ov*100)
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\n", name, cell(ov, ook), cell(nv, nok), change)
+	}
+	names := map[string]bool{}
+	for n := range od.Benchmarks {
+		names[n] = true
+	}
+	for n := range nd.Benchmarks {
+		names[n] = true
+	}
+	var sorted []string
+	for n := range names {
+		sorted = append(sorted, n)
+	}
+	sort.Strings(sorted)
+	for _, n := range sorted {
+		ov := mean(od.Benchmarks[n], "ns/op")
+		nv := mean(nd.Benchmarks[n], "ns/op")
+		row(n+" ns/op", ov, ov > 0, nv, nv > 0)
+	}
+	names = map[string]bool{}
+	for n := range od.Derived {
+		names[n] = true
+	}
+	for n := range nd.Derived {
+		names[n] = true
+	}
+	sorted = sorted[:0]
+	for n := range names {
+		sorted = append(sorted, n)
+	}
+	sort.Strings(sorted)
+	for _, n := range sorted {
+		ov, ook := od.Derived[n]
+		nv, nok := nd.Derived[n]
+		row("derived:"+n, ov, ook, nv, nok)
+	}
+	return tw.Flush()
+}
+
 func main() {
 	flag.Var(&flagGates, "gate", "derived-metric bound to enforce, e.g. 'fleet-recovery-ms<=15000' (repeatable; exit 1 on violation or missing metric)")
 	flag.Parse()
+	if *flagDiff {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -diff takes exactly two arguments: OLD.json NEW.json")
+			os.Exit(2)
+		}
+		if err := diffDocs(os.Stdout, flag.Arg(0), flag.Arg(1)); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	d := doc{Benchmarks: map[string][]run{}, Host: hostFingerprint()}
 	if *flagBaseline != "" {
 		checkBaseline(*flagBaseline, d.Host)
@@ -259,6 +362,11 @@ func main() {
 	if idx, scan := mean(d.Benchmarks["BenchmarkQuerySpill/Indexed"], "ns/op"),
 		mean(d.Benchmarks["BenchmarkQuerySpill/FullScan"], "ns/op"); idx > 0 && scan > 0 {
 		derive("query-speedup-x", scan/idx)
+	}
+	// The indexed cross-run spill diff against fully replaying both spills.
+	if idx, full := mean(d.Benchmarks["BenchmarkDiffSpill/Indexed"], "ns/op"),
+		mean(d.Benchmarks["BenchmarkDiffSpill/FullReplay"], "ns/op"); idx > 0 && full > 0 {
+		derive("diff-spill-speedup-x", full/idx)
 	}
 
 	if *flagFleet != "" {

@@ -18,6 +18,7 @@ import (
 
 	"oclfpga/internal/obs"
 	"oclfpga/internal/obs/analyze"
+	"oclfpga/internal/obs/diff"
 )
 
 var (
@@ -26,6 +27,7 @@ var (
 	flagReport   = flag.String("report", "", "oclprof -json run report to validate (must be one JSON document)")
 	flagAttr     = flag.String("attr", "", "stall-attribution file (oclprof -attr) to validate")
 	flagPprof    = flag.String("pprof", "", "pprof stall profile (oclprof -pprof) to validate")
+	flagDiff     = flag.String("diff", "", "diff report (oclprof -diff) to validate")
 	flagSpill    = flag.String("spill", "", "NDJSON spill stream (oclprof -spill) to replay and validate")
 	flagSpillDir = flag.String("spill-dir", "", "segmented spill directory (oclprof -spill-dir / oclmon) to stitch, replay, and validate")
 	flagIndex    = flag.String("index", "", "build or repair the per-segment index sidecars (.idx.json + .flat) for this spill directory")
@@ -35,8 +37,9 @@ var (
 func main() {
 	flag.Parse()
 	if *flagTimeline == "" && *flagMetrics == "" && *flagReport == "" &&
-		*flagAttr == "" && *flagPprof == "" && *flagSpill == "" && *flagSpillDir == "" && *flagIndex == "" {
-		fmt.Fprintln(os.Stderr, "obscheck: nothing to check (pass -timeline, -metrics, -report, -attr, -pprof, -spill, -spill-dir, and/or -index)")
+		*flagAttr == "" && *flagPprof == "" && *flagDiff == "" &&
+		*flagSpill == "" && *flagSpillDir == "" && *flagIndex == "" {
+		fmt.Fprintln(os.Stderr, "obscheck: nothing to check (pass -timeline, -metrics, -report, -attr, -pprof, -diff, -spill, -spill-dir, and/or -index)")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -54,6 +57,9 @@ func main() {
 	}
 	if *flagPprof != "" {
 		checkFile(*flagPprof, checkPprof)
+	}
+	if *flagDiff != "" {
+		checkFile(*flagDiff, checkDiff)
 	}
 	if *flagSpill != "" {
 		checkFile(*flagSpill, checkSpill)
@@ -220,6 +226,25 @@ func checkAttr(raw []byte) (string, error) {
 	}
 	return fmt.Sprintf("%d rows, %d stall cycles, critical path %d cycles",
 		len(a.Rows), a.TotalStallCycles, a.CriticalCycles), nil
+}
+
+func checkDiff(raw []byte) (string, error) {
+	r, err := diff.ReadReport(bytes.NewReader(raw))
+	if err != nil {
+		return "", err
+	}
+	if err := r.Validate(); err != nil {
+		return "", err
+	}
+	var re bytes.Buffer
+	if err := diff.WriteReport(&re, r); err != nil {
+		return "", err
+	}
+	if !bytes.Equal(raw, re.Bytes()) {
+		return "", fmt.Errorf("re-encoded diff report differs from input (%d vs %d bytes)", len(re.Bytes()), len(raw))
+	}
+	return fmt.Sprintf("%d rows, total stall delta %+d, verdict %s",
+		len(r.Rows), r.TotalDelta, r.Verdict), nil
 }
 
 func checkPprof(raw []byte) (string, error) {

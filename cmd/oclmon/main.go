@@ -27,7 +27,16 @@
 //	                               a consistent snapshot while still running
 //	GET  /runs/{id}/attr.json      stall attribution & critical path (live)
 //	GET  /runs/{id}/events         Server-Sent Events tail of the event stream;
-//	                               resumes with Last-Event-ID (or ?after=N)
+//	                               resumes with Last-Event-ID (or ?after=N);
+//	                               idle streams carry `: keepalive` comments
+//	GET  /runs/{a}/diff/{b}        differential report of run b against
+//	                               baseline run a: stall deltas, verdicts,
+//	                               critical-path shift (?rel=&abs= thresholds)
+//	POST /baselines/{workload}     ?run=ID pins a completed run as the
+//	                               workload's baseline; other completed runs
+//	                               then carry a verdict in /runs and an
+//	                               oclmon_run_regressed gauge in /metrics
+//	GET  /baselines                pinned baselines (workload -> run id)
 //	GET  /runs/{id}/query?q=       indexed event query over the run's spill
 //	                               (track=/name=/kind=/cycles=[a,b] grammar)
 //	GET  /runs/{id}/at-cycle?n=    machine state at cycle N by deterministic

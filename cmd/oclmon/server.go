@@ -21,6 +21,7 @@ import (
 	"oclfpga/internal/mem"
 	"oclfpga/internal/obs"
 	"oclfpga/internal/obs/analyze"
+	"oclfpga/internal/obs/diff"
 	"oclfpga/internal/obs/query"
 	"oclfpga/internal/sim"
 	"oclfpga/internal/supervise"
@@ -49,6 +50,12 @@ type serverConfig struct {
 	// into the supervisor; the server only reads it for /metrics.
 	quota *fleet.WeightedQuota
 
+	// sseKeepalive is the idle interval after which an SSE tail emits a
+	// `: keepalive` comment frame so proxies and clients do not time out a
+	// quiet stream (a fast-forwarded run can go seconds without an event).
+	// Tests inject a short interval; zero means the 15s default.
+	sseKeepalive time.Duration
+
 	// startHook, when set, replaces the workload builder — tests use it to
 	// inject blocking or failing runs without compiling designs.
 	startHook func(n int) func() (*sim.Machine, error)
@@ -69,6 +76,13 @@ type run struct {
 	mu      sync.Mutex
 	state   supervise.State
 	outcome *supervise.Outcome
+
+	// Cached baseline verdict: computing a diff walks both runs' full event
+	// streams, so the result is memoized per baseline run id — /runs and
+	// /metrics scrape it freely, and re-pinning the baseline invalidates it.
+	diffMu      sync.Mutex
+	diffBase    string
+	diffVerdict diff.Verdict
 }
 
 func (r *run) setState(st supervise.State) {
@@ -117,6 +131,12 @@ type server struct {
 	byID   map[string]*run
 	nextID int
 
+	// baselines maps workload -> the pinned baseline run id. Runs of a
+	// workload with a pinned baseline carry a diff verdict in /runs and an
+	// oclmon_run_regressed gauge in /metrics once both runs complete.
+	baseMu    sync.Mutex
+	baselines map[string]string
+
 	// leases are the spill-dir ownership claims this process holds (its own
 	// dir plus adopted ones), renewed by a single heartbeat goroutine. Losing
 	// one is fatal by design: another worker owns the bytes now.
@@ -146,7 +166,14 @@ func newServer(cfg serverConfig, sup *supervise.Supervisor) *server {
 		}
 		cfg.retrySeed++
 	}
-	return &server{cfg: cfg, sup: sup, byID: map[string]*run{}, heartbeatDone: make(chan struct{})}
+	if cfg.sseKeepalive <= 0 {
+		cfg.sseKeepalive = 15 * time.Second
+	}
+	return &server{
+		cfg: cfg, sup: sup, byID: map[string]*run{},
+		baselines:     map[string]string{},
+		heartbeatDone: make(chan struct{}),
+	}
 }
 
 // retryAfter returns the next jittered Retry-After value (whole seconds,
@@ -569,10 +596,135 @@ func (s *server) handler() http.Handler {
 			log.Printf("attr %s: %v", r.id, err)
 		}
 	}))
-	mux.HandleFunc("GET /runs/{id}/events", s.withRun(serveEvents))
+	mux.HandleFunc("GET /runs/{id}/events", s.withRun(s.serveEvents))
 	mux.HandleFunc("GET /runs/{id}/query", s.withRun(s.handleQuery))
 	mux.HandleFunc("GET /runs/{id}/at-cycle", s.withRun(s.handleAtCycle))
+	mux.HandleFunc("GET /runs/{id}/diff/{other}", s.withRun(s.handleDiff))
+	mux.HandleFunc("GET /baselines", s.handleBaselines)
+	mux.HandleFunc("POST /baselines/{workload}", s.handleBaselinePin)
 	return mux
+}
+
+// handleDiff answers GET /runs/{a}/diff/{b} with the differential report of
+// run b against baseline run a (DESIGN.md §15): per-(unit, op, resource)
+// stall deltas with verdicts, the critical-path shift, and — both sinks being
+// sampled on the same process — the metrics-series deltas. Live runs are
+// allowed; the comparison then reflects each run's telemetry high-water mark.
+// ?rel= and ?abs= override the default verdict thresholds.
+func (s *server) handleDiff(w http.ResponseWriter, req *http.Request, a *run) {
+	other := req.PathValue("other")
+	b := s.get(other)
+	if b == nil {
+		http.Error(w, "unknown run "+other, http.StatusNotFound)
+		return
+	}
+	th := diff.DefaultThresholds()
+	if v := req.URL.Query().Get("rel"); v != "" {
+		p, err := strconv.ParseFloat(v, 64)
+		if err != nil || p < 0 {
+			http.Error(w, "bad rel", http.StatusBadRequest)
+			return
+		}
+		th.RelPct = p
+	}
+	if v := req.URL.Query().Get("abs"); v != "" {
+		p, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || p < 0 {
+			http.Error(w, "bad abs", http.StatusBadRequest)
+			return
+		}
+		th.AbsCycles = p
+	}
+	rep := diff.Compare(
+		analyze.Attribute(a.sink.snapshot()), analyze.Attribute(b.sink.snapshot()),
+		a.sink.series(), b.sink.series(), th)
+	w.Header().Set("Content-Type", "application/json")
+	if err := diff.WriteReport(w, rep); err != nil {
+		log.Printf("diff %s/%s: %v", a.id, b.id, err)
+	}
+}
+
+// baseline returns the pinned baseline run id for a workload ("" when none).
+func (s *server) baseline(workload string) string {
+	s.baseMu.Lock()
+	defer s.baseMu.Unlock()
+	return s.baselines[workload]
+}
+
+// runVerdict is the run's cached diff verdict against its workload's pinned
+// baseline. Empty when no baseline is pinned, the run is the baseline itself,
+// or either side has not completed — a mid-flight comparison would flap.
+func (s *server) runVerdict(r *run) diff.Verdict {
+	baseID := s.baseline(r.workload)
+	if baseID == "" || baseID == r.id {
+		return ""
+	}
+	base := s.get(baseID)
+	if base == nil {
+		return ""
+	}
+	if st, _ := r.status(); st != supervise.StateCompleted {
+		return ""
+	}
+	if st, _ := base.status(); st != supervise.StateCompleted {
+		return ""
+	}
+	r.diffMu.Lock()
+	defer r.diffMu.Unlock()
+	if r.diffBase != baseID {
+		rep := diff.Compare(
+			analyze.Attribute(base.sink.snapshot()), analyze.Attribute(r.sink.snapshot()),
+			base.sink.series(), r.sink.series(), diff.DefaultThresholds())
+		r.diffBase, r.diffVerdict = baseID, rep.Verdict
+	}
+	return r.diffVerdict
+}
+
+// handleBaselinePin pins a completed run as its workload's comparison
+// baseline: POST /baselines/{workload}?run=ID. Subsequent scrapes of /runs
+// and /metrics report every other completed run of that workload as
+// improved/regressed/neutral against it.
+func (s *server) handleBaselinePin(w http.ResponseWriter, req *http.Request) {
+	workload := req.PathValue("workload")
+	id := req.URL.Query().Get("run")
+	if id == "" {
+		http.Error(w, "missing run parameter", http.StatusBadRequest)
+		return
+	}
+	r := s.get(id)
+	if r == nil {
+		http.Error(w, "unknown run "+id, http.StatusNotFound)
+		return
+	}
+	if r.workload != workload {
+		http.Error(w, fmt.Sprintf("run %s belongs to workload %q, not %q", id, r.workload, workload), http.StatusBadRequest)
+		return
+	}
+	if st, _ := r.status(); st != supervise.StateCompleted {
+		http.Error(w, fmt.Sprintf("run %s is %s; only completed runs can be pinned", id, st), http.StatusConflict)
+		return
+	}
+	s.baseMu.Lock()
+	s.baselines[workload] = id
+	s.baseMu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, "{\"workload\":%q,\"run\":%q}\n", workload, id)
+}
+
+// handleBaselines lists the pinned baselines as a workload -> run id map.
+func (s *server) handleBaselines(w http.ResponseWriter, req *http.Request) {
+	s.baseMu.Lock()
+	out := make(map[string]string, len(s.baselines))
+	for k, v := range s.baselines {
+		out[k] = v
+	}
+	s.baseMu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		log.Printf("baselines: %v", err)
+	}
 }
 
 // handleQuery answers GET /runs/{id}/query?q=<query> from the run's spill
@@ -740,6 +892,7 @@ func (s *server) writeIndex(w http.ResponseWriter) {
 		Recovered bool   `json:"recovered,omitempty"`
 		Cycle     int64  `json:"cycle"`
 		Events    int    `json:"events"`
+		Verdict   string `json:"verdict,omitempty"`
 		Error     string `json:"error,omitempty"`
 	}
 	out := []entry{}
@@ -750,6 +903,7 @@ func (s *server) writeIndex(w http.ResponseWriter) {
 			ID: r.id, Workload: r.workload, Tenant: r.tenant, State: string(state), Recovered: r.recovered,
 			Done:  state == supervise.StateCompleted || state == supervise.StateFailed || state == supervise.StateQuarantined,
 			Cycle: st.cycle, Events: st.events,
+			Verdict: string(s.runVerdict(r)),
 		}
 		if outcome != nil && outcome.Err != nil {
 			e.Error = outcome.Err.Error()
@@ -808,6 +962,12 @@ func (s *server) writeMetrics(w http.ResponseWriter) {
 		state, _ := r.status()
 		done := state == supervise.StateCompleted || state == supervise.StateFailed || state == supervise.StateQuarantined
 		p("oclmon_run_done{run=%q} %d\n", r.id, b2i(done))
+	}
+	p("# HELP oclmon_run_regressed Whether the run regressed against its workload's pinned baseline (1 regressed, 0 improved/neutral; absent without a verdict).\n# TYPE oclmon_run_regressed gauge\n")
+	for _, r := range runs {
+		if v := s.runVerdict(r); v != "" {
+			p("oclmon_run_regressed{run=%q} %d\n", r.id, b2i(v == diff.Regressed))
+		}
 	}
 	p("# HELP oclmon_cycles Last simulated cycle observed for the run.\n# TYPE oclmon_cycles gauge\n")
 	for _, r := range runs {
@@ -880,8 +1040,11 @@ func b2i(b bool) int {
 // timeline closes. Sequence numbers survive failover because the surviving
 // worker's replay reproduces the identical stream. Slow subscribers shed
 // live frames (counted in oclmon_sse_dropped_total) instead of backing up
-// the sink; the resulting id gap tells the client what to re-fetch.
-func serveEvents(w http.ResponseWriter, req *http.Request, r *run) {
+// the sink; the resulting id gap tells the client what to re-fetch. An idle
+// live stream emits a `: keepalive` comment frame every cfg.sseKeepalive so
+// intermediaries do not reap the connection while a fast-forwarded run is
+// between events.
+func (s *server) serveEvents(w http.ResponseWriter, req *http.Request, r *run) {
 	fl, ok := w.(http.Flusher)
 	if !ok {
 		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
@@ -915,11 +1078,26 @@ func serveEvents(w http.ResponseWriter, req *http.Request, r *run) {
 		}
 		fl.Flush()
 	}
-	for msg := range ch {
-		if _, err := w.Write(msg); err != nil {
-			return
+	ka := time.NewTicker(s.cfg.sseKeepalive)
+	defer ka.Stop()
+live:
+	for {
+		select {
+		case msg, ok := <-ch:
+			if !ok {
+				break live
+			}
+			if _, err := w.Write(msg); err != nil {
+				return
+			}
+			fl.Flush()
+			ka.Reset(s.cfg.sseKeepalive)
+		case <-ka.C:
+			if _, err := w.Write([]byte(": keepalive\n\n")); err != nil {
+				return
+			}
+			fl.Flush()
 		}
-		fl.Flush()
 	}
 	fmt.Fprintf(w, "event: finalize\ndata: {\"endCycle\":%d}\n\n", r.sink.stats().cycle)
 	fl.Flush()

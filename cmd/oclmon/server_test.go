@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"errors"
@@ -17,6 +18,7 @@ import (
 	"oclfpga/internal/kir"
 	"oclfpga/internal/mem"
 	"oclfpga/internal/obs"
+	"oclfpga/internal/obs/diff"
 	"oclfpga/internal/sim"
 	"oclfpga/internal/supervise"
 )
@@ -423,6 +425,173 @@ func TestSubmitValidation(t *testing.T) {
 		resp.Body.Close()
 		if resp.StatusCode != http.StatusBadRequest {
 			t.Fatalf("POST /runs?%s = %d, want 400", q, resp.StatusCode)
+		}
+	}
+}
+
+// TestDiffAndBaselineEndpoints drives two identical runs to completion and
+// exercises the differential surface: /runs/{a}/diff/{b} must serve a valid,
+// all-neutral report for deterministic twins, pinning a baseline must light
+// up the verdict field in /runs and the oclmon_run_regressed gauge, and the
+// error paths must answer with the right statuses.
+func TestDiffAndBaselineEndpoints(t *testing.T) {
+	sup := supervise.New(supervise.Config{Slots: 2})
+	defer sup.Close()
+	srv := newServer(serverConfig{n: 256, sampleEvery: 1000}, sup)
+	for i := 0; i < 2; i++ {
+		if _, err := srv.submit("", "", 256, supervise.Limits{}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitState(t, srv, "run1", supervise.StateCompleted)
+	waitState(t, srv, "run2", supervise.StateCompleted)
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	body := scrape(t, ts.URL+"/runs/run1/diff/run2")
+	rep, err := diff.ReadReport(strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("diff response: %v\n%s", err, body)
+	}
+	if err := rep.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Verdict != diff.Neutral {
+		t.Fatalf("identical runs diffed %q, want neutral:\n%s", rep.Verdict, body)
+	}
+	if len(rep.Series) == 0 {
+		t.Fatal("diff of sampled runs has no series section")
+	}
+
+	// Error paths: unknown runs 404, bad thresholds 400.
+	for url, want := range map[string]int{
+		"/runs/run1/diff/nope":        http.StatusNotFound,
+		"/runs/nope/diff/run2":        http.StatusNotFound,
+		"/runs/run1/diff/run2?rel=x":  http.StatusBadRequest,
+		"/runs/run1/diff/run2?abs=-1": http.StatusBadRequest,
+	} {
+		resp, err := http.Get(ts.URL + url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != want {
+			t.Fatalf("GET %s = %d, want %d", url, resp.StatusCode, want)
+		}
+	}
+
+	// No baseline pinned: no verdicts anywhere.
+	if strings.Contains(scrape(t, ts.URL+"/runs"), "verdict") {
+		t.Fatal("verdict reported before a baseline was pinned")
+	}
+
+	// Pinning validates its input.
+	for url, want := range map[string]int{
+		"/baselines/oclmon":          http.StatusBadRequest, // missing run
+		"/baselines/oclmon?run=nope": http.StatusNotFound,
+		"/baselines/other?run=run1":  http.StatusBadRequest, // workload mismatch
+	} {
+		resp, err := http.Post(ts.URL+url, "", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != want {
+			t.Fatalf("POST %s = %d, want %d", url, resp.StatusCode, want)
+		}
+	}
+	resp, err := http.Post(ts.URL+"/baselines/oclmon?run=run1", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pin baseline = %d, want 200", resp.StatusCode)
+	}
+	var pins map[string]string
+	if err := json.Unmarshal([]byte(scrape(t, ts.URL+"/baselines")), &pins); err != nil {
+		t.Fatal(err)
+	}
+	if pins["oclmon"] != "run1" {
+		t.Fatalf("baselines = %v", pins)
+	}
+
+	// run2 now carries a verdict against run1; run1 (the baseline) does not.
+	var index []struct {
+		ID      string `json:"id"`
+		Verdict string `json:"verdict"`
+	}
+	if err := json.Unmarshal([]byte(scrape(t, ts.URL+"/runs")), &index); err != nil {
+		t.Fatal(err)
+	}
+	verdicts := map[string]string{}
+	for _, e := range index {
+		verdicts[e.ID] = e.Verdict
+	}
+	if verdicts["run2"] != string(diff.Neutral) {
+		t.Fatalf("run2 verdict %q, want neutral (index %v)", verdicts["run2"], verdicts)
+	}
+	if verdicts["run1"] != "" {
+		t.Fatalf("baseline run1 carries verdict %q", verdicts["run1"])
+	}
+	metrics := scrape(t, ts.URL+"/metrics")
+	if !strings.Contains(metrics, "oclmon_run_regressed{run=\"run2\"} 0") {
+		t.Fatalf("regressed gauge missing:\n%s", grepMetrics(metrics, "regressed"))
+	}
+	if strings.Contains(metrics, "oclmon_run_regressed{run=\"run1\"}") {
+		t.Fatal("baseline run exposes a regressed gauge against itself")
+	}
+}
+
+// TestSSEKeepaliveFrames pins the idle-stream contract: a live tail with no
+// traffic receives `: keepalive` comment frames at the injected interval, and
+// still terminates with the finalize frame when the run's timeline closes.
+func TestSSEKeepaliveFrames(t *testing.T) {
+	srv := newServer(serverConfig{n: 64, sampleEvery: 1000, sseKeepalive: 20 * time.Millisecond},
+		supervise.New(supervise.Config{Slots: 1}))
+	sink := newLiveSink("d", 0)
+	srv.addRun(&run{id: "idle", workload: "oclmon", sink: sink, state: supervise.StateRunning})
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/runs/idle/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	br := bufio.NewReader(resp.Body)
+	readLine := func() string {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			t.Fatalf("stream ended early: %v", err)
+		}
+		return strings.TrimRight(line, "\n")
+	}
+	// Two keepalives prove the ticker recurs, not a one-shot.
+	keepalives := 0
+	for keepalives < 2 {
+		if readLine() == ": keepalive" {
+			keepalives++
+		}
+	}
+
+	// An event resets the idle clock and arrives as a normal frame...
+	sink.Event(obs.Event{Kind: obs.KindLaunch, Track: "unit:k", Name: "go", Start: 1, End: 1})
+	var sawEvent bool
+	for !sawEvent {
+		if l := readLine(); strings.HasPrefix(l, "id: ") {
+			sawEvent = true
+		}
+	}
+	// ...and finalize still closes the stream through the keepalive loop.
+	sink.Finalize(7)
+	var sawFinalize bool
+	for !sawFinalize {
+		if l := readLine(); l == "event: finalize" {
+			sawFinalize = true
 		}
 	}
 }

@@ -178,6 +178,19 @@ func (s *liveSink) subscribe(after int64) (backlog [][]byte, ch <-chan []byte, c
 	}
 }
 
+// series builds the metrics series recorded so far — the diff endpoint's
+// evidence section. Samples are copied under the lock so the caller's view
+// stays consistent while the run keeps sampling.
+func (s *liveSink) series() *obs.Series {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return &obs.Series{
+		Design:      s.design,
+		SampleEvery: s.sampleEvery,
+		Samples:     append([]obs.Sample(nil), s.samples...),
+	}
+}
+
 // liveStats is one consistent reading of the sink's aggregates.
 type liveStats struct {
 	cycle      int64

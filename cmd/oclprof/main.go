@@ -24,6 +24,7 @@ import (
 	"oclfpga/internal/kir"
 	"oclfpga/internal/obs"
 	"oclfpga/internal/obs/analyze"
+	"oclfpga/internal/obs/diff"
 	"oclfpga/internal/obs/query"
 	"oclfpga/internal/sim"
 	"oclfpga/internal/trace"
@@ -61,6 +62,10 @@ var (
 	flagBreak    = flag.String("break", "", "halt re-execution on breakpoint/watchpoint specs: cycle=N | chan:NAME.stall>K | chan:NAME.len>K | unit:NAME.state=S (comma-separated)")
 	flagQueryStr = flag.String("query", "", "answer an event query from -spill-dir via the segment index: 'track=T name=N kind=K cycles=[a,b]'")
 	flagCkptEvry = flag.Int64("checkpoint-every", 0, "emit rewind checkpoints every N cycles into the observability stream (0 = off); with -at-cycle and no -spill-dir, rewind two-phase via this grid")
+	flagDiff     = flag.Bool("diff", false, "compare two stall-attribution JSON files (baseline first): oclprof -diff A.json B.json; exit 3 on a regression")
+	flagDiffSpl  = flag.Bool("diff-spill", false, "compare two completed spill directories (baseline first) via the segment indexes: oclprof -diff-spill dirA dirB; exit 3 on a regression")
+	flagDiffRel  = flag.Float64("diff-rel", 1, "diff verdict relative threshold in percent (with -diff/-diff-spill)")
+	flagDiffAbs  = flag.Int64("diff-abs", 16, "diff verdict absolute threshold in cycles (with -diff/-diff-spill)")
 )
 
 // out carries the human-readable narration. With -json it is rerouted to
@@ -432,19 +437,21 @@ func usageExit(msg string) {
 // fails fast.
 var breakSpecs []query.Break
 
-// validateModes enforces the time-travel modes' exclusivity rules. -at-cycle,
-// -break, and -query each own the run (and stdout), so they exclude each
-// other and every trace-producing flag; -at-cycle keeps -spill-dir as its
-// read-only checkpoint source, -query requires it.
+// validateModes enforces the debug/compare modes' exclusivity rules.
+// -at-cycle, -break, -query, -diff, and -diff-spill each own the run (and
+// stdout), so they exclude each other and every trace-producing flag;
+// -at-cycle keeps -spill-dir as its read-only checkpoint source, -query
+// requires it, and the diff modes take their two inputs as positional
+// arguments instead.
 func validateModes() {
 	modes := 0
-	for _, on := range []bool{*flagAtCycle >= 0, *flagBreak != "", *flagQueryStr != ""} {
+	for _, on := range []bool{*flagAtCycle >= 0, *flagBreak != "", *flagQueryStr != "", *flagDiff, *flagDiffSpl} {
 		if on {
 			modes++
 		}
 	}
 	if modes > 1 {
-		usageExit("-at-cycle, -break, and -query are mutually exclusive")
+		usageExit("-at-cycle, -break, -query, -diff, and -diff-spill are mutually exclusive")
 	}
 	if modes == 0 {
 		return
@@ -463,10 +470,15 @@ func validateModes() {
 		{*flagJSON, "-json"},
 	}
 	mode := "-at-cycle"
-	if *flagBreak != "" {
+	switch {
+	case *flagBreak != "":
 		mode = "-break"
-	} else if *flagQueryStr != "" {
+	case *flagQueryStr != "":
 		mode = "-query"
+	case *flagDiff:
+		mode = "-diff"
+	case *flagDiffSpl:
+		mode = "-diff-spill"
 	}
 	for _, o := range outputs {
 		if o.set {
@@ -475,6 +487,12 @@ func validateModes() {
 	}
 	if *flagBreak != "" && *flagSpillDir != "" {
 		usageExit("-break cannot be combined with -spill-dir (breakpointed re-execution is unobserved)")
+	}
+	if (*flagDiff || *flagDiffSpl) && *flagSpillDir != "" {
+		usageExit(mode + " cannot be combined with -spill-dir (pass the two inputs as arguments, baseline first)")
+	}
+	if (*flagDiff || *flagDiffSpl) && flag.NArg() != 2 {
+		usageExit(mode + " takes exactly two arguments, baseline first")
 	}
 	if *flagQueryStr != "" && *flagSpillDir == "" {
 		usageExit("-query requires -spill-dir (the indexed spill to query)")
@@ -507,11 +525,62 @@ func runQuery() {
 		len(res.Events), res.SegmentsRead, res.SegmentsTotal)
 }
 
+// runDiff answers -diff/-diff-spill without a device or compilation: the
+// report is computed from the two artifacts (attribution files or spill
+// directories, baseline first), written to stdout as the single JSON
+// document, and the process exits with the verdict's code (0 neutral or
+// improved, 3 regressed).
+func runDiff() {
+	th := diff.Thresholds{RelPct: *flagDiffRel, AbsCycles: *flagDiffAbs}
+	if th.RelPct < 0 || th.AbsCycles < 0 {
+		usageExit("-diff-rel and -diff-abs must be non-negative")
+	}
+	argA, argB := flag.Arg(0), flag.Arg(1)
+	var r *diff.Report
+	if *flagDiffSpl {
+		var sa, sb *diff.SpillSide
+		var err error
+		r, sa, sb, err = diff.CompareSpills(argA, argB, th)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "diff: read %d of %d / %d of %d segments via index\n",
+			sa.SegmentsRead, sa.SegmentsTotal, sb.SegmentsRead, sb.SegmentsTotal)
+	} else {
+		readAttr := func(path string) *analyze.Attribution {
+			f, err := os.Open(path)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			a, err := analyze.ReadJSON(f)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := a.Validate(); err != nil {
+				log.Fatalf("%s: %v", path, err)
+			}
+			return a
+		}
+		r = diff.Compare(readAttr(argA), readAttr(argB), nil, nil, th)
+	}
+	if err := diff.WriteReport(os.Stdout, r); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "diff: %s (total stall %d -> %d, critical path %d -> %d)\n",
+		r.Verdict, r.TotalStallA, r.TotalStallB, r.Critical.CyclesA, r.Critical.CyclesB)
+	os.Exit(r.Verdict.ExitCode())
+}
+
 func main() {
 	flag.Parse()
 	validateModes()
 	if *flagQueryStr != "" {
 		runQuery()
+		return
+	}
+	if *flagDiff || *flagDiffSpl {
+		runDiff()
 		return
 	}
 	if *flagJSON || debugOn() {

@@ -124,3 +124,60 @@ func TestUnknownWorkloadExitCode(t *testing.T) {
 		t.Fatalf("exit %d, want 2\nstderr: %s", code, stderr)
 	}
 }
+
+// TestDiffFlagHygiene pins the -diff/-diff-spill flag contract: the diff
+// modes are mutually exclusive with every other mode and with run outputs,
+// take exactly two positional arguments, and reject negative thresholds —
+// all flag misuse, all exit 2.
+func TestDiffFlagHygiene(t *testing.T) {
+	for name, args := range map[string][]string{
+		"diff+at-cycle":   {"-diff", "-at-cycle", "5", "a.json", "b.json"},
+		"diff+break":      {"-diff", "-break", "chan:pipe", "a.json", "b.json"},
+		"diff+query":      {"-diff", "-query", "kind=chan-stall", "a.json", "b.json"},
+		"diff+diff-spill": {"-diff", "-diff-spill", "a", "b"},
+		"spill+at-cycle":  {"-diff-spill", "-at-cycle", "5", "a", "b"},
+		"diff+spill-dir":  {"-diff", "-spill-dir", "d", "a.json", "b.json"},
+		"diff+timeline":   {"-diff", "-timeline", "t.json", "a.json", "b.json"},
+		"diff+attr":       {"-diff", "-attr", "x.json", "a.json", "b.json"},
+		"one-arg":         {"-diff", "a.json"},
+		"three-args":      {"-diff", "a.json", "b.json", "c.json"},
+		"no-args":         {"-diff-spill"},
+		"negative-rel":    {"-diff", "-diff-rel", "-1", "a.json", "b.json"},
+		"negative-abs":    {"-diff", "-diff-abs", "-5", "a.json", "b.json"},
+	} {
+		t.Run(name, func(t *testing.T) {
+			stdout, stderr, code := runBin(t, args...)
+			if code != 2 {
+				t.Fatalf("exit %d, want 2\nstdout: %s\nstderr: %s", code, stdout, stderr)
+			}
+		})
+	}
+}
+
+// TestDiffSelfRoundTrip is the end-to-end CLI path: two attributions of the
+// same deterministic workload, diffed by the binary, must come out neutral
+// with exit 0 and a single canonical JSON report on stdout.
+func TestDiffSelfRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.json")
+	b := filepath.Join(dir, "b.json")
+	for _, path := range []string{a, b} {
+		if _, stderr, code := runBin(t, "-workload", "chanstall", "-log=false", "-attr", path); code != 0 {
+			t.Fatalf("attr run exit %d\nstderr: %s", code, stderr)
+		}
+	}
+	stdout, stderr, code := runBin(t, "-diff", a, b)
+	if code != 0 {
+		t.Fatalf("self-diff exit %d, want 0\nstderr: %s", code, stderr)
+	}
+	v := oneJSONDocument(t, stdout)
+	if v["verdict"] != "neutral" {
+		t.Fatalf("self-diff verdict = %v\n%s", v["verdict"], stdout)
+	}
+	if _, ok := v["rows"].([]any); !ok {
+		t.Fatalf("rows missing: %s", stdout)
+	}
+	if !bytes.Contains([]byte(stderr), []byte("diff: neutral")) {
+		t.Fatalf("narration missing from stderr:\n%s", stderr)
+	}
+}

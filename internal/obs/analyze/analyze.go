@@ -181,6 +181,22 @@ func AttributeRecorder(r *obs.Recorder) *Attribution {
 // end-to-end critical path from an extracted link set.
 func attribute(design string, endCycle int64, links []ChainLink, runCycles map[string]int64) *Attribution {
 	a := &Attribution{Design: design, EndCycle: endCycle}
+	// A modeled latency window can outlive the run: a line fetch still in
+	// flight at the final cycle records its scheduled completion, which lands
+	// past EndCycle. Attribution counts in-run stall cycles only, so spans
+	// are clamped to the run and anything wholly past it is dropped
+	// (Validate holds every chain link to [0, EndCycle]).
+	kept := make([]ChainLink, 0, len(links))
+	for _, l := range links {
+		if l.Start > endCycle {
+			continue
+		}
+		if l.End > endCycle {
+			l.End = endCycle
+		}
+		kept = append(kept, l)
+	}
+	links = kept
 	rows := map[[3]string]*Row{}
 	for _, l := range links {
 		key := [3]string{l.Unit, l.Op, l.Resource}

@@ -1,0 +1,507 @@
+// Package diff is the cross-run comparison engine (DESIGN.md §15): it aligns
+// two recorded runs' stall attributions and metrics series, computes
+// per-(unit, op, resource) deltas, critical-path shift, and grid-aware series
+// divergence, and classifies every delta as improved, regressed, or neutral
+// under configurable relative+absolute thresholds. The paper's profiling
+// framework exists to answer "did my design change help?" — a Report is that
+// answer as a canonical, byte-stable artifact: identical inputs always
+// serialize to identical bytes, and WriteReport/ReadReport round-trip
+// losslessly (the obscheck -diff gate).
+package diff
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"oclfpga/internal/obs"
+	"oclfpga/internal/obs/analyze"
+)
+
+// Verdict classifies one delta (or a whole report).
+type Verdict string
+
+const (
+	// Improved means run B spends provably fewer stall cycles than run A on
+	// this bucket, beyond both thresholds.
+	Improved Verdict = "improved"
+	// Regressed means run B stalls more than run A beyond both thresholds.
+	Regressed Verdict = "regressed"
+	// Neutral means the delta clears neither threshold (including exact
+	// equality — a run diffed against itself is all-neutral).
+	Neutral Verdict = "neutral"
+)
+
+// ExitCode maps a report verdict to the oclprof -diff process exit code:
+// 0 for neutral or improved, 3 for regressed (2 stays reserved for flag
+// misuse, 1 for operational errors).
+func (v Verdict) ExitCode() int {
+	if v == Regressed {
+		return 3
+	}
+	return 0
+}
+
+// Thresholds gate verdicts: a delta is non-neutral only when its magnitude
+// strictly exceeds BOTH the absolute cycle floor and RelPct percent of the
+// baseline (run A) value. A bucket absent from the baseline has no relative
+// scale, so it is judged on the absolute floor alone.
+type Thresholds struct {
+	RelPct    float64 `json:"relPct"`
+	AbsCycles int64   `json:"absCycles"`
+}
+
+// DefaultThresholds is the CLI/server default: 1% relative and 16 cycles
+// absolute — tight enough to flag real shifts, loose enough that scheduling
+// jitter between otherwise-equivalent variants stays neutral.
+func DefaultThresholds() Thresholds { return Thresholds{RelPct: 1, AbsCycles: 16} }
+
+// exceeded reports whether delta (B-A) against baseline base clears both
+// thresholds.
+func (t Thresholds) exceeded(base, delta int64) bool {
+	mag := delta
+	if mag < 0 {
+		mag = -mag
+	}
+	if mag == 0 || mag <= t.AbsCycles {
+		return false
+	}
+	return float64(mag)*100 > t.RelPct*float64(base)
+}
+
+// verdict classifies a stall-cycle delta: more stalls is a regression.
+func (t Thresholds) verdict(base, delta int64) Verdict {
+	if !t.exceeded(base, delta) {
+		return Neutral
+	}
+	if delta > 0 {
+		return Regressed
+	}
+	return Improved
+}
+
+// RowDelta is one aligned attribution bucket: the A and B sides (zero-valued
+// when the bucket exists in only one run) and the classified stall-cycle
+// delta.
+type RowDelta struct {
+	Unit     string  `json:"unit"`
+	Op       string  `json:"op"`
+	Resource string  `json:"resource"`
+	CyclesA  int64   `json:"cyclesA"`
+	CyclesB  int64   `json:"cyclesB"`
+	SpansA   int64   `json:"spansA"`
+	SpansB   int64   `json:"spansB"`
+	MaxSpanA int64   `json:"maxSpanA"`
+	MaxSpanB int64   `json:"maxSpanB"`
+	Delta    int64   `json:"delta"`
+	Pct      float64 `json:"pct"`
+	Verdict  Verdict `json:"verdict"`
+}
+
+// PathShift summarizes how the end-to-end critical stall path moved: the
+// weight on each side, and which (unit, op, resource) occupancies entered or
+// left the path (multiset difference, in path order).
+type PathShift struct {
+	CyclesA int64               `json:"cyclesA"`
+	CyclesB int64               `json:"cyclesB"`
+	Delta   int64               `json:"delta"`
+	Entered []analyze.ChainLink `json:"entered,omitempty"`
+	Left    []analyze.ChainLink `json:"left,omitempty"`
+}
+
+// SeriesDelta is one flattened metric's divergence across the common
+// resampled grid: the final totals, their delta, and the largest pointwise
+// divergence with the first grid cycle it occurs at.
+type SeriesDelta struct {
+	Metric        string  `json:"metric"`
+	FinalA        int64   `json:"finalA"`
+	FinalB        int64   `json:"finalB"`
+	Delta         int64   `json:"delta"`
+	Pct           float64 `json:"pct"`
+	MaxDivergence int64   `json:"maxDivergence"`
+	AtCycle       int64   `json:"atCycle,omitempty"`
+}
+
+// reportVersion is the Report codec version (the Version field's required
+// value).
+const reportVersion = 1
+
+// Report is the full comparison of two runs. Identical inputs produce
+// identical Reports, and WriteReport serializes a Report to canonical bytes —
+// the byte-stability contract the self-diff test and obscheck -diff gate.
+type Report struct {
+	Version    int        `json:"diffVersion"`
+	DesignA    string     `json:"designA"`
+	DesignB    string     `json:"designB"`
+	EndCycleA  int64      `json:"endCycleA"`
+	EndCycleB  int64      `json:"endCycleB"`
+	Thresholds Thresholds `json:"thresholds"`
+	// TotalStall* sum every attributed span per side; TotalDelta is B-A.
+	TotalStallA int64 `json:"totalStallA"`
+	TotalStallB int64 `json:"totalStallB"`
+	TotalDelta  int64 `json:"totalDelta"`
+	// Rows is the aligned per-(unit, op, resource) union, largest delta
+	// magnitude first.
+	Rows     []RowDelta `json:"rows"`
+	Critical PathShift  `json:"critical"`
+	// Series is present only when both runs carried a sampled metrics
+	// series; GridEvery is the common (coarser) resampling period.
+	SampleEveryA int64         `json:"sampleEveryA,omitempty"`
+	SampleEveryB int64         `json:"sampleEveryB,omitempty"`
+	GridEvery    int64         `json:"gridEvery,omitempty"`
+	Series       []SeriesDelta `json:"series,omitempty"`
+	// Verdict is the overall call: regressed if any row regressed,
+	// else improved if any row improved, else neutral. The series section is
+	// evidence, not verdict input — counter shifts without a stall-cycle
+	// consequence stay neutral.
+	Verdict Verdict `json:"verdict"`
+}
+
+// pct is the rounded percent change of delta against base (0 when the
+// baseline is empty — the absolute columns carry the signal there).
+func pct(base, delta int64) float64 {
+	if base == 0 {
+		return 0
+	}
+	p := math.Round(float64(delta)/float64(base)*10000) / 100
+	if p == 0 {
+		p = 0 // normalize -0 so the encoding stays canonical
+	}
+	return p
+}
+
+// Compare diffs run B against baseline run A. The series arguments are
+// optional (nil or unsampled series skip the section); attributions are
+// required. The result is deterministic: the same inputs always produce the
+// same Report, byte for byte once serialized.
+func Compare(a, b *analyze.Attribution, sa, sb *obs.Series, th Thresholds) *Report {
+	r := &Report{
+		Version: reportVersion,
+		DesignA: a.Design, DesignB: b.Design,
+		EndCycleA: a.EndCycle, EndCycleB: b.EndCycle,
+		Thresholds:  th,
+		TotalStallA: a.TotalStallCycles,
+		TotalStallB: b.TotalStallCycles,
+		TotalDelta:  b.TotalStallCycles - a.TotalStallCycles,
+		Rows:        []RowDelta{},
+	}
+
+	type key struct{ unit, op, resource string }
+	rows := map[key]*RowDelta{}
+	bucket := func(k key) *RowDelta {
+		rd := rows[k]
+		if rd == nil {
+			rd = &RowDelta{Unit: k.unit, Op: k.op, Resource: k.resource}
+			rows[k] = rd
+		}
+		return rd
+	}
+	for _, row := range a.Rows {
+		rd := bucket(key{row.Unit, row.Op, row.Resource})
+		rd.CyclesA, rd.SpansA, rd.MaxSpanA = row.Cycles, row.Spans, row.MaxSpan
+	}
+	for _, row := range b.Rows {
+		rd := bucket(key{row.Unit, row.Op, row.Resource})
+		rd.CyclesB, rd.SpansB, rd.MaxSpanB = row.Cycles, row.Spans, row.MaxSpan
+	}
+	for _, rd := range rows {
+		rd.Delta = rd.CyclesB - rd.CyclesA
+		rd.Pct = pct(rd.CyclesA, rd.Delta)
+		rd.Verdict = th.verdict(rd.CyclesA, rd.Delta)
+		r.Rows = append(r.Rows, *rd)
+	}
+	sortRowDeltas(r.Rows)
+
+	r.Critical = PathShift{
+		CyclesA: a.CriticalCycles,
+		CyclesB: b.CriticalCycles,
+		Delta:   b.CriticalCycles - a.CriticalCycles,
+		Entered: pathOnly(b.CriticalPath, a.CriticalPath),
+		Left:    pathOnly(a.CriticalPath, b.CriticalPath),
+	}
+
+	if sa != nil && sb != nil && len(sa.Samples) > 0 && len(sb.Samples) > 0 {
+		r.SampleEveryA, r.SampleEveryB = sa.SampleEvery, sb.SampleEvery
+		r.GridEvery, r.Series = seriesDeltas(sa, sb)
+	}
+
+	r.Verdict = overall(r.Rows)
+	return r
+}
+
+// overall folds row verdicts conservatively: any regression regresses the
+// report, improvements only count when nothing regressed.
+func overall(rows []RowDelta) Verdict {
+	v := Neutral
+	for _, rd := range rows {
+		switch rd.Verdict {
+		case Regressed:
+			return Regressed
+		case Improved:
+			v = Improved
+		}
+	}
+	return v
+}
+
+// sortRowDeltas orders aligned rows by delta magnitude (largest first) with a
+// full lexicographic tiebreak, so identical comparisons always serialize
+// identically.
+func sortRowDeltas(rows []RowDelta) {
+	sort.Slice(rows, func(i, j int) bool { return rowDeltaLess(rows[i], rows[j]) })
+}
+
+func rowDeltaLess(a, b RowDelta) bool {
+	am, bm := a.Delta, b.Delta
+	if am < 0 {
+		am = -am
+	}
+	if bm < 0 {
+		bm = -bm
+	}
+	if am != bm {
+		return am > bm
+	}
+	if a.Unit != b.Unit {
+		return a.Unit < b.Unit
+	}
+	if a.Op != b.Op {
+		return a.Op < b.Op
+	}
+	return a.Resource < b.Resource
+}
+
+// pathOnly returns the links of path whose (unit, op, resource) occupancy is
+// not covered by other — a multiset difference, preserving path order.
+func pathOnly(path, other []analyze.ChainLink) []analyze.ChainLink {
+	type key struct{ unit, op, resource string }
+	avail := map[key]int{}
+	for _, l := range other {
+		avail[key{l.Unit, l.Op, l.Resource}]++
+	}
+	var only []analyze.ChainLink
+	for _, l := range path {
+		k := key{l.Unit, l.Op, l.Resource}
+		if avail[k] > 0 {
+			avail[k]--
+			continue
+		}
+		only = append(only, l)
+	}
+	return only
+}
+
+// point is one (cycle, value) observation of a flattened metric.
+type point struct {
+	cycle int64
+	val   int64
+}
+
+// flattenSeries explodes a series into per-metric observation lists, keyed by
+// a stable flattened name ("chan:<name>:reads", "lsu:<unit>/<array>:<kind>/
+// <load|store>:loads", "local:<name>:writes", ...). Sample cycles are
+// strictly increasing (Series.Validate), so each list is ordered.
+func flattenSeries(s *obs.Series) map[string][]point {
+	out := map[string][]point{}
+	add := func(name string, cycle, v int64) {
+		out[name] = append(out[name], point{cycle, v})
+	}
+	for _, smp := range s.Samples {
+		for _, c := range smp.Channels {
+			p := "chan:" + c.Name + ":"
+			add(p+"len", smp.Cycle, int64(c.Len))
+			add(p+"writes", smp.Cycle, c.Writes)
+			add(p+"reads", smp.Cycle, c.Reads)
+			add(p+"writeStalls", smp.Cycle, c.WriteStalls)
+			add(p+"readStalls", smp.Cycle, c.ReadStalls)
+			add(p+"dropped", smp.Cycle, c.Dropped)
+			add(p+"maxOccupancy", smp.Cycle, int64(c.MaxOccupancy))
+		}
+		for _, l := range smp.LSUs {
+			cls := "load"
+			if l.IsStore {
+				cls = "store"
+			}
+			p := "lsu:" + l.Unit + "/" + l.Array + ":" + l.Kind + "/" + cls + ":"
+			add(p+"loads", smp.Cycle, l.Loads)
+			add(p+"stores", smp.Cycle, l.Stores)
+			add(p+"lineFetches", smp.Cycle, l.LineFetches)
+			add(p+"coalesceHits", smp.Cycle, l.CoalesceHits)
+			add(p+"totalLoadLat", smp.Cycle, l.TotalLoadLat)
+			add(p+"maxLoadLat", smp.Cycle, l.MaxLoadLat)
+			add(p+"storeStalls", smp.Cycle, l.StoreStalls)
+		}
+		for _, l := range smp.Locals {
+			p := "local:" + l.Name + ":"
+			add(p+"reads", smp.Cycle, l.Reads)
+			add(p+"writes", smp.Cycle, l.Writes)
+		}
+	}
+	return out
+}
+
+// valueAt returns the metric's value at cycle c by last-value carry-forward:
+// samples are cumulative counter snapshots, so the value at any cycle between
+// samples is exactly the last sample's value (the counter cannot have moved
+// without a sample seeing it on its own grid). Before the first observation
+// the counter is 0. This is what makes cross-grid resampling exact for
+// counters; gauges (len) get the stair-step approximation.
+func valueAt(pts []point, c int64) int64 {
+	i := sort.Search(len(pts), func(i int) bool { return pts[i].cycle > c })
+	if i == 0 {
+		return 0
+	}
+	return pts[i-1].val
+}
+
+// seriesDeltas aligns two sampled series onto a common grid — the coarser of
+// the two sampling periods, up to the shorter run's final sample — and
+// reports, per metric in the union, the final totals and the largest
+// pointwise divergence.
+func seriesDeltas(sa, sb *obs.Series) (grid int64, deltas []SeriesDelta) {
+	grid = sa.SampleEvery
+	if sb.SampleEvery > grid {
+		grid = sb.SampleEvery
+	}
+	fa, fb := flattenSeries(sa), flattenSeries(sb)
+	lastA := sa.Samples[len(sa.Samples)-1].Cycle
+	lastB := sb.Samples[len(sb.Samples)-1].Cycle
+	horizon := lastA
+	if lastB < horizon {
+		horizon = lastB
+	}
+	var cycles []int64
+	if grid > 0 {
+		for c := grid; c < horizon; c += grid {
+			cycles = append(cycles, c)
+		}
+	}
+	if horizon > 0 {
+		cycles = append(cycles, horizon)
+	}
+
+	names := map[string]bool{}
+	for n := range fa {
+		names[n] = true
+	}
+	for n := range fb {
+		names[n] = true
+	}
+	var order []string
+	for n := range names {
+		order = append(order, n)
+	}
+	sort.Strings(order)
+
+	for _, n := range order {
+		pa, pb := fa[n], fb[n]
+		d := SeriesDelta{Metric: n, FinalA: valueAt(pa, lastA), FinalB: valueAt(pb, lastB)}
+		d.Delta = d.FinalB - d.FinalA
+		d.Pct = pct(d.FinalA, d.Delta)
+		for _, c := range cycles {
+			div := valueAt(pb, c) - valueAt(pa, c)
+			if div < 0 {
+				div = -div
+			}
+			if div > d.MaxDivergence {
+				d.MaxDivergence, d.AtCycle = div, c
+			}
+		}
+		deltas = append(deltas, d)
+	}
+	return grid, deltas
+}
+
+// WriteReport serializes the report as canonical indented JSON: identical
+// reports always produce identical bytes, and ReadReport∘WriteReport is the
+// identity.
+func WriteReport(w io.Writer, r *Report) error {
+	buf, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	_, err = w.Write(buf)
+	return err
+}
+
+// ReadReport parses a report written by WriteReport.
+func ReadReport(rd io.Reader) (*Report, error) {
+	var r Report
+	dec := json.NewDecoder(rd)
+	if err := dec.Decode(&r); err != nil {
+		return nil, fmt.Errorf("diff: report: %w", err)
+	}
+	return &r, nil
+}
+
+// Validate checks a report's internal consistency: version, ordered rows,
+// per-row arithmetic and verdicts consistent with the embedded thresholds,
+// totals, critical-path arithmetic, ordered series, and the overall verdict.
+func (r *Report) Validate() error {
+	if r.Version != reportVersion {
+		return fmt.Errorf("diff: version %d, want %d", r.Version, reportVersion)
+	}
+	if r.Thresholds.RelPct < 0 || r.Thresholds.AbsCycles < 0 {
+		return fmt.Errorf("diff: negative thresholds %+v", r.Thresholds)
+	}
+	var sumA, sumB int64
+	for i, rd := range r.Rows {
+		if rd.CyclesA < 0 || rd.CyclesB < 0 {
+			return fmt.Errorf("diff: row[%d] %s/%s/%s: negative cycles", i, rd.Unit, rd.Op, rd.Resource)
+		}
+		if rd.CyclesA == 0 && rd.CyclesB == 0 {
+			return fmt.Errorf("diff: row[%d] %s/%s/%s: empty on both sides", i, rd.Unit, rd.Op, rd.Resource)
+		}
+		if rd.Delta != rd.CyclesB-rd.CyclesA {
+			return fmt.Errorf("diff: row[%d]: delta %d != %d - %d", i, rd.Delta, rd.CyclesB, rd.CyclesA)
+		}
+		if rd.Pct != pct(rd.CyclesA, rd.Delta) {
+			return fmt.Errorf("diff: row[%d]: pct %v inconsistent", i, rd.Pct)
+		}
+		if rd.Verdict != r.Thresholds.verdict(rd.CyclesA, rd.Delta) {
+			return fmt.Errorf("diff: row[%d]: verdict %q inconsistent with thresholds", i, rd.Verdict)
+		}
+		if i > 0 && rowDeltaLess(rd, r.Rows[i-1]) {
+			return fmt.Errorf("diff: row[%d] out of order", i)
+		}
+		sumA += rd.CyclesA
+		sumB += rd.CyclesB
+	}
+	if sumA != r.TotalStallA || sumB != r.TotalStallB {
+		return fmt.Errorf("diff: totals %d/%d != row sums %d/%d", r.TotalStallA, r.TotalStallB, sumA, sumB)
+	}
+	if r.TotalDelta != r.TotalStallB-r.TotalStallA {
+		return fmt.Errorf("diff: totalDelta %d != %d - %d", r.TotalDelta, r.TotalStallB, r.TotalStallA)
+	}
+	if r.Critical.Delta != r.Critical.CyclesB-r.Critical.CyclesA {
+		return fmt.Errorf("diff: critical delta %d != %d - %d", r.Critical.Delta, r.Critical.CyclesB, r.Critical.CyclesA)
+	}
+	for i, d := range r.Series {
+		if d.Delta != d.FinalB-d.FinalA {
+			return fmt.Errorf("diff: series[%d] %s: delta %d != %d - %d", i, d.Metric, d.Delta, d.FinalB, d.FinalA)
+		}
+		if d.Pct != pct(d.FinalA, d.Delta) {
+			return fmt.Errorf("diff: series[%d] %s: pct %v inconsistent", i, d.Metric, d.Pct)
+		}
+		if i > 0 && d.Metric <= r.Series[i-1].Metric {
+			return fmt.Errorf("diff: series[%d] %s out of order", i, d.Metric)
+		}
+	}
+	if len(r.Series) > 0 && r.GridEvery != max64(r.SampleEveryA, r.SampleEveryB) {
+		return fmt.Errorf("diff: gridEvery %d != coarser sampling period", r.GridEvery)
+	}
+	if got := overall(r.Rows); r.Verdict != got {
+		return fmt.Errorf("diff: verdict %q != row fold %q", r.Verdict, got)
+	}
+	return nil
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

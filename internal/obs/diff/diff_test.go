@@ -1,0 +1,298 @@
+package diff
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"oclfpga/internal/channel"
+	"oclfpga/internal/obs"
+	"oclfpga/internal/obs/analyze"
+)
+
+// testTimeline builds a small two-unit timeline whose stall weights are easy
+// to perturb: the consumer read-stalls on "pipe", the producer write-stalls on
+// it, and one LSU line fetch rides along. extraStall lengthens the consumer's
+// dominant read-stall span.
+func testTimeline(extraStall int64) *obs.Timeline {
+	return &obs.Timeline{
+		Design:   "toy",
+		EndCycle: 4000 + extraStall,
+		Events: []obs.Event{
+			{Kind: obs.KindUnitRun, Track: "unit:producer", Name: "producer", Start: 0, End: 3000},
+			{Kind: obs.KindUnitRun, Track: "unit:consumer", Name: "consumer", Start: 0, End: 4000 + extraStall},
+			{Kind: obs.KindChanStall, Track: "chan:pipe", Name: "write-stall", Detail: "unit=producer", Start: 100, End: 600},
+			{Kind: obs.KindChanStall, Track: "chan:pipe", Name: "read-stall", Detail: "unit=consumer", Start: 700, End: 1700 + extraStall},
+			{Kind: obs.KindChanStall, Track: "chan:pipe", Name: "read-stall", Detail: "unit=consumer", Start: 2000 + extraStall, End: 2200 + extraStall},
+			{Kind: obs.KindLineFetch, Track: "lsu:consumer/tbl#0", Name: "burst", Start: 2300 + extraStall, End: 2500 + extraStall},
+		},
+	}
+}
+
+func testSeries(sampleEvery int64, stallScale int64) *obs.Series {
+	s := &obs.Series{Design: "toy", SampleEvery: sampleEvery}
+	for c := sampleEvery; c <= 4000; c += sampleEvery {
+		s.Samples = append(s.Samples, obs.Sample{
+			Cycle: c,
+			Channels: []obs.ChannelSample{{
+				Name: "pipe", Len: 2,
+				Stats: channel.Stats{Writes: c / 10, Reads: c / 10, ReadStalls: c * stallScale / 10},
+			}},
+		})
+	}
+	return s
+}
+
+func TestSelfDiffNeutralAndByteStable(t *testing.T) {
+	a := analyze.Attribute(testTimeline(0))
+	b := analyze.Attribute(testTimeline(0))
+	r := Compare(a, b, testSeries(100, 1), testSeries(100, 1), DefaultThresholds())
+	if r.Verdict != Neutral {
+		t.Fatalf("self-diff verdict %q, want neutral", r.Verdict)
+	}
+	for i, rd := range r.Rows {
+		if rd.Verdict != Neutral || rd.Delta != 0 {
+			t.Errorf("row[%d] %s/%s/%s: verdict %q delta %d", i, rd.Unit, rd.Op, rd.Resource, rd.Verdict, rd.Delta)
+		}
+	}
+	if len(r.Critical.Entered) != 0 || len(r.Critical.Left) != 0 || r.Critical.Delta != 0 {
+		t.Errorf("self-diff critical path shifted: %+v", r.Critical)
+	}
+	for _, d := range r.Series {
+		if d.Delta != 0 || d.MaxDivergence != 0 {
+			t.Errorf("series %s: delta %d maxDivergence %d", d.Metric, d.Delta, d.MaxDivergence)
+		}
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var w1, w2 bytes.Buffer
+	if err := WriteReport(&w1, r); err != nil {
+		t.Fatal(err)
+	}
+	r2 := Compare(analyze.Attribute(testTimeline(0)), analyze.Attribute(testTimeline(0)),
+		testSeries(100, 1), testSeries(100, 1), DefaultThresholds())
+	if err := WriteReport(&w2, r2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(w1.Bytes(), w2.Bytes()) {
+		t.Fatal("identical comparisons serialized differently")
+	}
+}
+
+func TestRegressionFlagged(t *testing.T) {
+	a := analyze.Attribute(testTimeline(0))
+	b := analyze.Attribute(testTimeline(500))
+	r := Compare(a, b, nil, nil, DefaultThresholds())
+	if r.Verdict != Regressed {
+		t.Fatalf("verdict %q, want regressed", r.Verdict)
+	}
+	var hit bool
+	for _, rd := range r.Rows {
+		if rd.Unit == "consumer" && rd.Op == "read-stall" && rd.Resource == "pipe" {
+			hit = true
+			if rd.Verdict != Regressed || rd.Delta != 500 {
+				t.Fatalf("affected row: verdict %q delta %d", rd.Verdict, rd.Delta)
+			}
+		} else if rd.Verdict != Neutral {
+			t.Errorf("unaffected row %s/%s/%s: verdict %q", rd.Unit, rd.Op, rd.Resource, rd.Verdict)
+		}
+	}
+	if !hit {
+		t.Fatal("affected row missing from report")
+	}
+	if got := r.Verdict.ExitCode(); got != 3 {
+		t.Fatalf("regressed exit code %d, want 3", got)
+	}
+	// The mirror diff is an improvement, which maps to success.
+	r = Compare(b, a, nil, nil, DefaultThresholds())
+	if r.Verdict != Improved || r.Verdict.ExitCode() != 0 {
+		t.Fatalf("mirror diff: verdict %q exit %d", r.Verdict, r.Verdict.ExitCode())
+	}
+}
+
+func TestThresholdsGateVerdicts(t *testing.T) {
+	// 500 extra cycles on a 1201-cycle baseline row is ~41.6%.
+	a := analyze.Attribute(testTimeline(0))
+	b := analyze.Attribute(testTimeline(500))
+	if r := Compare(a, b, nil, nil, Thresholds{RelPct: 50, AbsCycles: 0}); r.Verdict != Neutral {
+		t.Fatalf("below relative threshold: verdict %q", r.Verdict)
+	}
+	if r := Compare(a, b, nil, nil, Thresholds{RelPct: 0, AbsCycles: 500}); r.Verdict != Neutral {
+		t.Fatalf("at absolute threshold (not strictly above): verdict %q", r.Verdict)
+	}
+	if r := Compare(a, b, nil, nil, Thresholds{RelPct: 40, AbsCycles: 499}); r.Verdict != Regressed {
+		t.Fatalf("above both thresholds: verdict %q", r.Verdict)
+	}
+}
+
+func TestRowsCoverUnionOfBuckets(t *testing.T) {
+	a := analyze.Attribute(testTimeline(0))
+	b := analyze.Attribute(&obs.Timeline{
+		Design:   "toy",
+		EndCycle: 4000,
+		Events: []obs.Event{
+			{Kind: obs.KindUnitRun, Track: "unit:consumer", Name: "consumer", Start: 0, End: 4000},
+			{Kind: obs.KindChanStall, Track: "chan:other", Name: "read-stall", Detail: "unit=consumer", Start: 10, End: 3000},
+		},
+	})
+	r := Compare(a, b, nil, nil, DefaultThresholds())
+	var onlyA, onlyB int
+	for _, rd := range r.Rows {
+		switch {
+		case rd.CyclesB == 0:
+			onlyA++
+			if rd.Verdict != Improved {
+				t.Errorf("vanished row %s/%s/%s: verdict %q", rd.Unit, rd.Op, rd.Resource, rd.Verdict)
+			}
+		case rd.CyclesA == 0:
+			onlyB++
+			if rd.Verdict != Regressed {
+				t.Errorf("new row %s/%s/%s: verdict %q", rd.Unit, rd.Op, rd.Resource, rd.Verdict)
+			}
+			if rd.Pct != 0 {
+				t.Errorf("new row pct %v, want 0 (no baseline scale)", rd.Pct)
+			}
+		}
+	}
+	if onlyA != 3 || onlyB != 1 {
+		t.Fatalf("one-sided rows: %d A-only, %d B-only, want 3 and 1", onlyA, onlyB)
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGridAwareResampling(t *testing.T) {
+	// Same underlying counters sampled on a fine and a coarse grid: counters
+	// are cumulative, so last-value carry-forward onto the coarser grid must
+	// agree exactly wherever both runs have settled values.
+	a := testSeries(100, 1)
+	b := testSeries(400, 1)
+	r := Compare(analyze.Attribute(testTimeline(0)), analyze.Attribute(testTimeline(0)), a, b, DefaultThresholds())
+	if r.GridEvery != 400 {
+		t.Fatalf("gridEvery %d, want the coarser period 400", r.GridEvery)
+	}
+	if r.SampleEveryA != 100 || r.SampleEveryB != 400 {
+		t.Fatalf("sample periods %d/%d recorded wrong", r.SampleEveryA, r.SampleEveryB)
+	}
+	for _, d := range r.Series {
+		if d.Delta != 0 {
+			t.Errorf("series %s: final delta %d across grids", d.Metric, d.Delta)
+		}
+		// On the coarse grid every shared point carries identical values; the
+		// fine-grid extras are never compared (grid-aware alignment).
+		if d.MaxDivergence != 0 {
+			t.Errorf("series %s: divergence %d at %d on the common grid", d.Metric, d.MaxDivergence, d.AtCycle)
+		}
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A real counter shift is visible through the resampling.
+	r = Compare(analyze.Attribute(testTimeline(0)), analyze.Attribute(testTimeline(0)),
+		testSeries(100, 1), testSeries(400, 3), DefaultThresholds())
+	var saw bool
+	for _, d := range r.Series {
+		if d.Metric == "chan:pipe:readStalls" {
+			saw = true
+			if d.Delta <= 0 || d.MaxDivergence <= 0 {
+				t.Fatalf("shifted counter not detected: %+v", d)
+			}
+		}
+	}
+	if !saw {
+		t.Fatal("chan:pipe:readStalls missing from series section")
+	}
+}
+
+func TestReportRoundTripIdentity(t *testing.T) {
+	r := Compare(analyze.Attribute(testTimeline(0)), analyze.Attribute(testTimeline(500)),
+		testSeries(100, 1), testSeries(400, 2), DefaultThresholds())
+	var w1 bytes.Buffer
+	if err := WriteReport(&w1, r); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadReport(bytes.NewReader(w1.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var w2 bytes.Buffer
+	if err := WriteReport(&w2, back); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(w1.Bytes(), w2.Bytes()) {
+		t.Fatal("read→write round trip is not the byte identity")
+	}
+}
+
+func TestValidateRejectsCorruption(t *testing.T) {
+	fresh := func() *Report {
+		return Compare(analyze.Attribute(testTimeline(0)), analyze.Attribute(testTimeline(500)),
+			testSeries(100, 1), testSeries(100, 1), DefaultThresholds())
+	}
+	cases := []struct {
+		name    string
+		corrupt func(*Report)
+		want    string
+	}{
+		{"version", func(r *Report) { r.Version = 2 }, "version"},
+		{"rowDelta", func(r *Report) { r.Rows[0].Delta++ }, "delta"},
+		{"rowVerdict", func(r *Report) { r.Rows[0].Verdict = Neutral }, "verdict"},
+		{"rowOrder", func(r *Report) { r.Rows[0], r.Rows[len(r.Rows)-1] = r.Rows[len(r.Rows)-1], r.Rows[0] }, "order"},
+		{"total", func(r *Report) { r.TotalStallB++ }, "total"},
+		{"critical", func(r *Report) { r.Critical.Delta++ }, "critical"},
+		{"overall", func(r *Report) { r.Verdict = Neutral }, "verdict"},
+		{"series", func(r *Report) { r.Series[0].Delta++ }, "series"},
+		{"grid", func(r *Report) { r.GridEvery++ }, "grid"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := fresh()
+			if err := r.Validate(); err != nil {
+				t.Fatalf("fresh report invalid: %v", err)
+			}
+			tc.corrupt(r)
+			err := r.Validate()
+			if err == nil {
+				t.Fatal("corruption not detected")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestCriticalPathShift(t *testing.T) {
+	a := analyze.Attribute(testTimeline(0))
+	b := analyze.Attribute(&obs.Timeline{
+		Design:   "toy",
+		EndCycle: 4000,
+		Events: []obs.Event{
+			{Kind: obs.KindUnitRun, Track: "unit:consumer", Name: "consumer", Start: 0, End: 4000},
+			// The write-stall vanishes; a new DRAM fetch dominates instead.
+			{Kind: obs.KindChanStall, Track: "chan:pipe", Name: "read-stall", Detail: "unit=consumer", Start: 700, End: 1700},
+			{Kind: obs.KindLineFetch, Track: "lsu:consumer/tbl#1", Name: "burst", Start: 1800, End: 3900},
+		},
+	})
+	r := Compare(a, b, nil, nil, DefaultThresholds())
+	var entered, left bool
+	for _, l := range r.Critical.Entered {
+		if l.Resource == "tbl#1" {
+			entered = true
+		}
+	}
+	for _, l := range r.Critical.Left {
+		if l.Op == "write-stall" {
+			left = true
+		}
+	}
+	if !entered || !left {
+		t.Fatalf("critical shift missed entries: %+v", r.Critical)
+	}
+}

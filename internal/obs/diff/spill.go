@@ -1,0 +1,72 @@
+package diff
+
+import (
+	"fmt"
+
+	"oclfpga/internal/obs"
+	"oclfpga/internal/obs/analyze"
+)
+
+// SpillSide is one spill directory's half of a comparison: its attribution
+// plus the pruning evidence (how many sealed segments existed and how many
+// actually had to be opened).
+type SpillSide struct {
+	Dir           string
+	Attr          *analyze.Attribution
+	SegmentsTotal int
+	SegmentsRead  int
+}
+
+// AttributeSpill attributes a completed segmented spill by walking its flat
+// records segment by segment — no Event materialization, no whole-run replay.
+// Segments whose sidecar index (built on demand when missing or stale) proves
+// they hold no unit-run, chan-stall, or line-fetch records are never opened;
+// the rest decode from their binary OBSFLAT1 sidecar, falling back to the
+// NDJSON truth. The result is identical to replaying the spill and running
+// analyze.Attribute on the reconstructed timeline.
+func AttributeSpill(dir string) (*SpillSide, error) {
+	man, err := obs.LoadManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	if !man.Complete {
+		return nil, fmt.Errorf("diff: spill %s is incomplete (crashed run?); recover it before diffing", dir)
+	}
+	ac := analyze.NewAccumulator(man.Design, man.EndCycle)
+	side := &SpillSide{Dir: dir, SegmentsTotal: len(man.Segments)}
+	for _, seg := range man.Segments {
+		idx, _, err := obs.EnsureSegIndex(dir, seg)
+		if err != nil {
+			return nil, err
+		}
+		if idx.Kinds[obs.KindUnitRun]+idx.Kinds[obs.KindChanStall]+idx.Kinds[obs.KindLineFetch] == 0 {
+			continue
+		}
+		side.SegmentsRead++
+		if fl, err := obs.LoadSegFlat(dir, seg, idx.Events); err == nil {
+			ac.AddFlatLog(fl)
+		} else if events, _, err := obs.ReadSegmentEvents(dir, seg); err == nil {
+			ac.AddEvents(events)
+		} else {
+			return nil, err
+		}
+	}
+	side.Attr = ac.Attribution()
+	return side, nil
+}
+
+// CompareSpills diffs spill directory B against baseline spill directory A
+// through the indexed walk. Spills carry no replayed metrics series, so the
+// report has no series section — the attribution deltas, critical-path shift,
+// and verdicts are exactly Compare's over the two walked attributions.
+func CompareSpills(dirA, dirB string, th Thresholds) (*Report, *SpillSide, *SpillSide, error) {
+	a, err := AttributeSpill(dirA)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	b, err := AttributeSpill(dirB)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return Compare(a.Attr, b.Attr, nil, nil, th), a, b, nil
+}

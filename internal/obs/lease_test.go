@@ -138,6 +138,144 @@ func TestLeaseReacquireSameHolder(t *testing.T) {
 	}
 }
 
+// TestLeaseStealRacesLiveHolder pins the dangerous half of force-steal: the
+// supervisor's proof of death was wrong and the "corpse" is still renewing.
+// The steal wins anyway (atomic rename, last writer owns), the live holder's
+// very next Renew returns ErrLeaseLost without clobbering the thief's record,
+// and the thief keeps renewing undisturbed.
+func TestLeaseStealRacesLiveHolder(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "w1")
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	opts := LeaseOptions{TTL: time.Hour, Now: clk.now}
+
+	l1, err := AcquireLease(dir, "w1", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// w1 is healthy and mid-heartbeat — nothing expired yet.
+	clk.advance(time.Second)
+	if err := l1.Renew(); err != nil {
+		t.Fatal(err)
+	}
+	steal := opts
+	steal.Steal = true
+	l2, err := AcquireLease(dir, "w2", steal)
+	if err != nil {
+		t.Fatalf("steal of a live lease: %v", err)
+	}
+	// The not-actually-dead holder discovers the loss at its next heartbeat
+	// and must stand down; its failed Renew must not have touched the file.
+	if err := l1.Renew(); !errors.Is(err, ErrLeaseLost) {
+		t.Fatalf("live holder after steal: Renew = %v, want ErrLeaseLost", err)
+	}
+	info, err := ReadLease(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Holder != "w2" || info.Epoch != l2.Epoch() {
+		t.Fatalf("loser's renew disturbed the stolen lease: %+v", info)
+	}
+	if err := l2.Renew(); err != nil {
+		t.Fatalf("thief's renew: %v", err)
+	}
+}
+
+// TestLeaseRenewRacesTakeoverAtExactTTL pins the boundary instant: Live uses
+// a strict comparison, so at exactly the expiry nanosecond the lease is
+// already stale and a survivor takes it over without Steal. Whoever writes
+// first at that instant wins — the loser finds out at its next Renew.
+func TestLeaseRenewRacesTakeoverAtExactTTL(t *testing.T) {
+	const ttl = 10 * time.Second
+
+	// Interleaving 1: the takeover lands first. The old holder's renew, a
+	// moment later, must lose rather than resurrect the old epoch.
+	dir := filepath.Join(t.TempDir(), "a")
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	opts := LeaseOptions{TTL: ttl, Now: clk.now}
+	l1, err := AcquireLease(dir, "w1", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk.advance(ttl) // exactly the expiry instant: Expires > now is false
+	if info, _ := ReadLease(dir); info.Live(clk.t) {
+		t.Fatalf("lease still live at exactly TTL: %+v", info)
+	}
+	l2, err := AcquireLease(dir, "w2", opts)
+	if err != nil {
+		t.Fatalf("takeover at exactly TTL without Steal: %v", err)
+	}
+	if err := l1.Renew(); !errors.Is(err, ErrLeaseLost) {
+		t.Fatalf("old holder Renew after boundary takeover = %v, want ErrLeaseLost", err)
+	}
+	if err := l2.Renew(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Interleaving 2: the renew lands first. Renew checks holder+epoch, not
+	// liveness, so the heartbeat revives the stale-but-unclaimed lease and
+	// the would-be successor is back to ErrLeaseHeld.
+	dir = filepath.Join(t.TempDir(), "b")
+	clk = &fakeClock{t: time.Unix(1000, 0)}
+	opts = LeaseOptions{TTL: ttl, Now: clk.now}
+	l1, err = AcquireLease(dir, "w1", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk.advance(ttl)
+	if err := l1.Renew(); err != nil {
+		t.Fatalf("renew of own stale lease: %v", err)
+	}
+	if _, err := AcquireLease(dir, "w2", opts); !errors.Is(err, ErrLeaseHeld) {
+		t.Fatalf("acquire after boundary renew = %v, want ErrLeaseHeld", err)
+	}
+}
+
+// TestLeaseEpochMonotonicAcrossDoubleHandoff pins the total order the epoch
+// promises: two successive forced handoffs (w1 -> w2 -> w3) bump the epoch by
+// one each time, every superseded incarnation's Renew fails, and the on-disk
+// record always shows the newest (holder, epoch) pair.
+func TestLeaseEpochMonotonicAcrossDoubleHandoff(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "w")
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	steal := LeaseOptions{TTL: time.Hour, Now: clk.now, Steal: true}
+
+	l1, err := AcquireLease(dir, "w1", LeaseOptions{TTL: time.Hour, Now: clk.now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk.advance(time.Second)
+	l2, err := AcquireLease(dir, "w2", steal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk.advance(time.Second)
+	l3, err := AcquireLease(dir, "w3", steal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l1.Epoch() != 1 || l2.Epoch() != 2 || l3.Epoch() != 3 {
+		t.Fatalf("epochs = %d, %d, %d; want 1, 2, 3", l1.Epoch(), l2.Epoch(), l3.Epoch())
+	}
+	// Both superseded incarnations are fenced, including w2, whose lease was
+	// itself stolen goods.
+	if err := l1.Renew(); !errors.Is(err, ErrLeaseLost) {
+		t.Fatalf("w1 Renew = %v, want ErrLeaseLost", err)
+	}
+	if err := l2.Renew(); !errors.Is(err, ErrLeaseLost) {
+		t.Fatalf("w2 Renew = %v, want ErrLeaseLost", err)
+	}
+	info, err := ReadLease(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Holder != "w3" || info.Epoch != 3 {
+		t.Fatalf("final record = %+v, want w3 at epoch 3", info)
+	}
+	if err := l3.Renew(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestLeaseIgnoredBySegmentRecovery(t *testing.T) {
 	// owner.json lives inside a worker's spill dir next to the per-run
 	// subdirectories; LoadSegments on a run dir and directory scans over the

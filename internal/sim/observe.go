@@ -64,9 +64,9 @@ type obsState struct {
 	// machine without checkpoints leaves the recorder's string table — and
 	// therefore its flat snapshot — untouched.
 	kCkpt, ckptTrack, ckptName obs.ID
-	dirNames                                  [2]obs.ID // read-stall, write-stall
-	chanTracks                                []obs.ID  // "chan:<name>" by channel ID
-	chanNames                                 []obs.ID  // raw channel name by channel ID
+	dirNames                   [2]obs.ID // read-stall, write-stall
+	chanTracks                 []obs.ID  // "chan:<name>" by channel ID
+	chanNames                  []obs.ID  // raw channel name by channel ID
 }
 
 // obsSiteID is a memory access site's sample vocabulary, interned once per

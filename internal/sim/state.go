@@ -49,9 +49,9 @@ type UnitState struct {
 	DoneWI     int64  `json:"doneWI,omitempty"`
 	// Blocked reports the op the unit is currently waiting on (nil when the
 	// unit progressed within the last cycle — the DeadlockReport convention).
-	Blocked *BlockedState  `json:"blocked,omitempty"`
-	LSUs    []LSUState     `json:"lsus,omitempty"`
-	Locals  []LocalState   `json:"locals,omitempty"`
+	Blocked *BlockedState `json:"blocked,omitempty"`
+	LSUs    []LSUState    `json:"lsus,omitempty"`
+	Locals  []LocalState  `json:"locals,omitempty"`
 }
 
 // BlockedState describes a unit's current blocked operation.

@@ -1,0 +1,97 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"text/tabwriter"
+
+	"oclfpga/internal/obs"
+	"oclfpga/internal/obs/analyze"
+	"oclfpga/internal/obs/diff"
+)
+
+// Campaign ranking: a design-space sweep (ROADMAP item 2) measures one
+// observability record per variant — pipe depths, replication factors,
+// instrumentation choices — and wants "which change helped" as one table, not
+// N separate attribution dumps. RankByDiff turns the per-variant records into
+// diff-vs-baseline reports (DESIGN.md §15) and orders them best first;
+// CampaignTable renders the ranking with each variant's verdict and the row
+// its biggest shift lands on.
+
+// CampaignVariant is one design variant's measured observability record.
+// Series is optional; when both the baseline and the variant carry one, the
+// diff gains the metrics-series evidence section.
+type CampaignVariant struct {
+	Name   string
+	Attr   *analyze.Attribution
+	Series *obs.Series
+}
+
+// RankedVariant pairs a variant with its diff report against the baseline.
+type RankedVariant struct {
+	CampaignVariant
+	Report *diff.Report
+}
+
+// verdictRank orders verdicts best first.
+func verdictRank(v diff.Verdict) int {
+	switch v {
+	case diff.Improved:
+		return 0
+	case diff.Neutral:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// RankByDiff diffs every variant against the baseline under th and ranks the
+// results best first: improved before neutral before regressed, ties broken
+// by total stall delta ascending (most cycles saved first), then by name so
+// the ranking is deterministic.
+func RankByDiff(baseline CampaignVariant, variants []CampaignVariant, th diff.Thresholds) []RankedVariant {
+	out := make([]RankedVariant, 0, len(variants))
+	for _, v := range variants {
+		out = append(out, RankedVariant{
+			CampaignVariant: v,
+			Report:          diff.Compare(baseline.Attr, v.Attr, baseline.Series, v.Series, th),
+		})
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		ri, rj := out[i].Report, out[j].Report
+		if a, b := verdictRank(ri.Verdict), verdictRank(rj.Verdict); a != b {
+			return a < b
+		}
+		if ri.TotalDelta != rj.TotalDelta {
+			return ri.TotalDelta < rj.TotalDelta
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// CampaignTable renders a ranked sweep as the campaign report: one line per
+// variant with its verdict, total stall and end-cycle deltas against the
+// baseline, and the biggest non-neutral attribution row — which topology
+// stalls, and what the attribution pins it on.
+func CampaignTable(baselineName string, ranked []RankedVariant) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "campaign vs baseline %s:\n", baselineName)
+	tw := tabwriter.NewWriter(&sb, 2, 0, 2, ' ', 0)
+	fmt.Fprintf(tw, "variant\tverdict\tstall-delta\tend-cycle-delta\tbiggest shift\n")
+	for _, rv := range ranked {
+		shift := "-"
+		for _, rd := range rv.Report.Rows { // rows are ordered |delta| desc
+			if rd.Verdict != diff.Neutral {
+				shift = fmt.Sprintf("%s/%s/%s %+d", rd.Unit, rd.Op, rd.Resource, rd.Delta)
+				break
+			}
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%+d\t%+d\t%s\n",
+			rv.Name, rv.Report.Verdict, rv.Report.TotalDelta,
+			rv.Report.EndCycleB-rv.Report.EndCycleA, shift)
+	}
+	tw.Flush()
+	return sb.String()
+}

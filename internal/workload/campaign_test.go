@@ -1,0 +1,64 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"oclfpga/internal/obs/analyze"
+	"oclfpga/internal/obs/diff"
+)
+
+// attrWith builds a minimal attribution with one stall row.
+func attrWith(cycles, endCycle int64) *analyze.Attribution {
+	return &analyze.Attribution{
+		Design:           "sweep",
+		EndCycle:         endCycle,
+		TotalStallCycles: cycles,
+		Rows: []analyze.Row{
+			{Unit: "consumer", Op: "read-stall", Resource: "pipe", Cycles: cycles, Spans: 3, MaxSpan: cycles / 2},
+		},
+	}
+}
+
+// TestRankByDiffOrdersVariants pins the campaign ranking: improved variants
+// lead, neutral follow, regressed trail, and within a verdict the biggest
+// stall saving wins.
+func TestRankByDiffOrdersVariants(t *testing.T) {
+	base := CampaignVariant{Name: "depth4", Attr: attrWith(600, 1000)}
+	ranked := RankByDiff(base, []CampaignVariant{
+		{Name: "depth2", Attr: attrWith(1100, 1500)}, // regressed
+		{Name: "depth8", Attr: attrWith(300, 800)},   // improved
+		{Name: "depth4-again", Attr: attrWith(600, 1000)},
+		{Name: "depth16", Attr: attrWith(100, 600)}, // improved, bigger saving
+	}, diff.DefaultThresholds())
+
+	var names []string
+	for _, rv := range ranked {
+		names = append(names, rv.Name)
+		if err := rv.Report.Validate(); err != nil {
+			t.Errorf("%s: %v", rv.Name, err)
+		}
+	}
+	want := []string{"depth16", "depth8", "depth4-again", "depth2"}
+	if strings.Join(names, ",") != strings.Join(want, ",") {
+		t.Fatalf("ranking = %v, want %v", names, want)
+	}
+	if ranked[0].Report.Verdict != diff.Improved || ranked[3].Report.Verdict != diff.Regressed {
+		t.Fatalf("verdicts = %s ... %s", ranked[0].Report.Verdict, ranked[3].Report.Verdict)
+	}
+
+	table := CampaignTable("depth4", ranked)
+	if !strings.Contains(table, "campaign vs baseline depth4") {
+		t.Fatalf("table header missing:\n%s", table)
+	}
+	// The regressed variant's biggest shift is pinned to the stalling row.
+	if !strings.Contains(table, "consumer/read-stall/pipe +500") {
+		t.Fatalf("regressed shift missing from table:\n%s", table)
+	}
+	// A neutral variant reports no shift.
+	for _, line := range strings.Split(table, "\n") {
+		if strings.Contains(line, "depth4-again") && !strings.Contains(line, "-") {
+			t.Fatalf("neutral variant line should carry '-': %q", line)
+		}
+	}
+}

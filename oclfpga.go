@@ -46,6 +46,7 @@ import (
 	"oclfpga/internal/monitor"
 	"oclfpga/internal/obs"
 	"oclfpga/internal/obs/analyze"
+	"oclfpga/internal/obs/diff"
 	"oclfpga/internal/obs/query"
 	"oclfpga/internal/primitives"
 	"oclfpga/internal/sim"
@@ -345,6 +346,58 @@ func WriteFoldedStacks(w io.Writer, a *StallAttribution) error { return analyze.
 // WriteStallPprof writes the attribution as a gzipped pprof profile that
 // `go tool pprof -http` renders as a flamegraph.
 func WriteStallPprof(w io.Writer, a *StallAttribution) error { return analyze.WritePprof(w, a) }
+
+// Differential profiling (DESIGN.md §15): deterministic cross-run comparison
+// of two observability records — per-(unit, op, resource) stall deltas with
+// improved/regressed/neutral verdicts under configurable thresholds,
+// critical-path shift, and grid-aware metrics-series deltas — emitted as a
+// canonical byte-stable JSON report.
+type (
+	// DiffReport is the full comparison of run B against baseline run A.
+	DiffReport = diff.Report
+	// DiffRowDelta is one (unit, op, resource) bucket's delta and verdict.
+	DiffRowDelta = diff.RowDelta
+	// DiffThresholds gates verdicts: a delta must exceed both the relative
+	// and the absolute bound to leave neutral.
+	DiffThresholds = diff.Thresholds
+	// DiffVerdict is improved, regressed, or neutral; ExitCode maps it to
+	// the oclprof -diff process exit status (3 on regressed).
+	DiffVerdict = diff.Verdict
+	// SpillDiffSide is one spill directory's half of a CompareSpillDiff:
+	// its attribution plus the index-pruning evidence.
+	SpillDiffSide = diff.SpillSide
+)
+
+// Diff verdicts.
+const (
+	DiffImproved  = diff.Improved
+	DiffRegressed = diff.Regressed
+	DiffNeutral   = diff.Neutral
+)
+
+// DefaultDiffThresholds is the standard verdict gate (1% relative and 16
+// cycles absolute, both strictly exceeded).
+func DefaultDiffThresholds() DiffThresholds { return diff.DefaultThresholds() }
+
+// CompareRuns diffs run B against baseline run A. Either series may be nil;
+// the series section appears only when both are present.
+func CompareRuns(a, b *StallAttribution, sa, sb *MetricsSeries, th DiffThresholds) *DiffReport {
+	return diff.Compare(a, b, sa, sb, th)
+}
+
+// CompareSpillDiff diffs two completed segmented spill directories through
+// their sidecar indexes: segments provably free of attribution-relevant
+// records are never opened, so large spills diff far faster than a full
+// double replay while producing the identical report.
+func CompareSpillDiff(dirA, dirB string, th DiffThresholds) (*DiffReport, *SpillDiffSide, *SpillDiffSide, error) {
+	return diff.CompareSpills(dirA, dirB, th)
+}
+
+// WriteDiffReport serializes a diff report as deterministic JSON.
+func WriteDiffReport(w io.Writer, r *DiffReport) error { return diff.WriteReport(w, r) }
+
+// ReadDiffReport parses a diff report written by WriteDiffReport.
+func ReadDiffReport(r io.Reader) (*DiffReport, error) { return diff.ReadReport(r) }
 
 // NewMachine loads a design and starts its autorun kernels.
 func NewMachine(d *Design, opts SimOptions) *Machine { return sim.New(d, opts) }

@@ -9,6 +9,9 @@
 #
 #   ./scripts/abbench.sh              # HEAD vs working tree
 #   ./scripts/abbench.sh origin/main  # explicit baseline ref
+#
+# Set ABBENCH_OUT to a directory to keep both sides' benchjson documents and
+# the benchjson -diff delta table (CI uploads these as artifacts).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -39,6 +42,14 @@ overhead() {
 
 bench "$TMP/base" | go run ./cmd/benchjson > "$TMP/base.json"
 bench . | go run ./cmd/benchjson > "$TMP/tree.json"
+
+if [ -n "${ABBENCH_OUT:-}" ]; then
+    mkdir -p "$ABBENCH_OUT"
+    cp "$TMP/base.json" "$ABBENCH_OUT/bench-base.json"
+    cp "$TMP/tree.json" "$ABBENCH_OUT/bench-tree.json"
+    go run ./cmd/benchjson -diff "$TMP/base.json" "$TMP/tree.json" \
+        > "$ABBENCH_OUT/bench-diff.txt"
+fi
 
 BASE="$(overhead "$TMP/base.json")"
 TREE="$(overhead "$TMP/tree.json")"

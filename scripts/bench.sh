@@ -6,14 +6,15 @@
 # plus the derived fast-forward speedup, observability-recorder overhead,
 # supervision overhead, checkpoint-grid overhead, and indexed-query speedup,
 # stamped with the host fingerprint). Pass the output filename as $1 to
-# target a specific trajectory point; default BENCH_8.json. The newest
+# target a specific trajectory point; default BENCH_9.json. The newest
 # earlier BENCH_*.json is fingerprint-checked as the baseline, so numbers
-# recorded on a different host warn instead of silently joining a trajectory.
+# recorded on a different host warn instead of silently joining a trajectory,
+# and the run ends with the benchjson -diff delta table against it.
 set -eu
 
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_8.json}"
+OUT="${1:-BENCH_9.json}"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
@@ -32,3 +33,7 @@ else
     go run ./cmd/benchjson < "$RAW" > "$OUT"
 fi
 echo "wrote $OUT"
+if [ -n "$BASELINE" ]; then
+    echo "delta vs $BASELINE:"
+    go run ./cmd/benchjson -diff "$BASELINE" "$OUT"
+fi

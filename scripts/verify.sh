@@ -90,6 +90,29 @@ RC=0
 "$TMP/oclprof" -query 'kind=exec' -workload chanstall -log=false > /dev/null 2>&1 || RC=$?
 [ "$RC" -eq 2 ]
 
+# Differential profiling smoke (DESIGN.md §15): a self-diff of two runs of the
+# same deterministic workload must be neutral (exit 0), byte-stable across
+# invocations, and round-trip through obscheck -diff; the indexed spill diff
+# of the two spill directories above must agree. Diff misuse exits 2.
+go run ./cmd/oclprof -workload chanstall -log=false -attr "$TMP/attr2.json" > /dev/null
+"$TMP/oclprof" -diff "$TMP/attr.json" "$TMP/attr2.json" > "$TMP/diff.json" 2> /dev/null
+"$TMP/oclprof" -diff "$TMP/attr.json" "$TMP/attr2.json" > "$TMP/diff-again.json" 2> /dev/null
+cmp "$TMP/diff.json" "$TMP/diff-again.json"
+go run ./cmd/obscheck -diff "$TMP/diff.json" | grep -q 'verdict neutral'
+"$TMP/oclprof" -diff-spill "$TMP/segs" "$TMP/tt-segs" > "$TMP/diff-spill.json" 2> /dev/null
+go run ./cmd/obscheck -diff "$TMP/diff-spill.json" | grep -q 'verdict neutral'
+RC=0
+"$TMP/oclprof" -diff "$TMP/attr.json" > /dev/null 2>&1 || RC=$?
+[ "$RC" -eq 2 ]
+RC=0
+"$TMP/oclprof" -diff -spill-dir "$TMP/segs" "$TMP/attr.json" "$TMP/attr2.json" > /dev/null 2>&1 || RC=$?
+[ "$RC" -eq 2 ]
+
+# The indexed spill diff must beat a full replay of both spills by at least
+# 5x (the segment indexes prune attribution-free segments on both sides).
+go test -run '^$' -bench 'DiffSpill' -benchtime 5x -count 1 . \
+  | go run ./cmd/benchjson -gate 'diff-spill-speedup-x>=5' > /dev/null
+
 # oclmon smoke test: serve one small run on an ephemeral port, scrape
 # /metrics, assert a known gauge, and shut the server down cleanly.
 go build -o "$TMP/oclmon" ./cmd/oclmon
