@@ -416,6 +416,50 @@ func BenchmarkSimThroughput(b *testing.B) {
 	})
 }
 
+// BenchmarkSpillLoad prices the read path's end-to-end integrity checking
+// (DESIGN.md §16): loading a sealed segmented spill with every segment's
+// CRC32C verified against the manifest, versus the same load with checksums
+// skipped. Both arms run back to back within each op in alternating order so
+// host drift cancels, and the per-op ratio's median is reported as
+// verify-overhead-pct; benchjson surfaces the median over counts as
+// scrub-verify-overhead-pct, gated at <= 2%.
+func BenchmarkSpillLoad(b *testing.B) {
+	dir := filepath.Join(b.TempDir(), "spill")
+	if _, err := experiments.SpillSimBench(4096, dir, 1024, 4096, 256); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := obs.LoadSegments(dir); err != nil {
+		b.Fatal(err) // warm the page cache outside the timed region
+	}
+	b.ResetTimer()
+	ratios := make([]float64, 0, b.N)
+	for i := 0; i < b.N; i++ {
+		var tV, tS time.Duration
+		arms := [2]func(){
+			func() {
+				t0 := time.Now()
+				if _, err := obs.LoadSegments(dir); err != nil {
+					b.Fatal(err)
+				}
+				tV = time.Since(t0)
+			},
+			func() {
+				t0 := time.Now()
+				if _, err := obs.LoadSegmentsWith(dir, obs.LoadOptions{SkipChecksums: true}); err != nil {
+					b.Fatal(err)
+				}
+				tS = time.Since(t0)
+			},
+		}
+		for k := 0; k < 2; k++ {
+			arms[(i+k)%2]()
+		}
+		ratios = append(ratios, tV.Seconds()/tS.Seconds())
+	}
+	sort.Float64s(ratios)
+	b.ReportMetric((ratios[len(ratios)/2]-1)*100, "verify-overhead-pct")
+}
+
 // BenchmarkQuerySpill prices the indexed query engine (DESIGN.md §14) against
 // a full scan of the same spill: one checkpointed, segmented spill of the
 // stall-heavy workload, then a narrow query (one kind, the last tenth of the

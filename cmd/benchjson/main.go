@@ -358,6 +358,15 @@ func main() {
 			derive("observe-overhead-pct", v)
 		}
 	}
+	// The spill read path's checksum verification cost: loading a sealed
+	// segmented spill with CRC32C verification against the manifest vs the
+	// same load with checksums skipped, measured paired like the checkpoint
+	// overhead above (both arms interleaved per op, median of medians).
+	if sl := d.Benchmarks["BenchmarkSpillLoad"]; len(sl) > 0 {
+		if v, ok := median(sl, "verify-overhead-pct"); ok {
+			derive("scrub-verify-overhead-pct", v)
+		}
+	}
 	// The indexed query engine against a full scan of the same spill.
 	if idx, scan := mean(d.Benchmarks["BenchmarkQuerySpill/Indexed"], "ns/op"),
 		mean(d.Benchmarks["BenchmarkQuerySpill/FullScan"], "ns/op"); idx > 0 && scan > 0 {

@@ -4,7 +4,14 @@
 // round trip is byte-identical — the codec contract scripts/verify.sh gates
 // on. Exit status 0 means every given file is valid and stable.
 //
+// -fsck runs the durability scrubber over a segmented spill directory:
+// every sealed segment's fingerprint is verified, commit debris and sidecar
+// staleness are classified, and with -repair the recoverable damage is fixed
+// in place — byte-identically, via deterministic re-execution when the
+// manifest records a known workload. Exit status 1 means damage remains.
+//
 //	go run ./cmd/obscheck -timeline t.json -metrics m.json
+//	go run ./cmd/obscheck -fsck spill/ -repair -fsck-report fsck.json
 package main
 
 import (
@@ -15,10 +22,13 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"time"
 
+	"oclfpga/internal/experiments"
 	"oclfpga/internal/obs"
 	"oclfpga/internal/obs/analyze"
 	"oclfpga/internal/obs/diff"
+	"oclfpga/internal/obs/scrub"
 )
 
 var (
@@ -31,6 +41,9 @@ var (
 	flagSpill    = flag.String("spill", "", "NDJSON spill stream (oclprof -spill) to replay and validate")
 	flagSpillDir = flag.String("spill-dir", "", "segmented spill directory (oclprof -spill-dir / oclmon) to stitch, replay, and validate")
 	flagIndex    = flag.String("index", "", "build or repair the per-segment index sidecars (.idx.json + .flat) for this spill directory")
+	flagFsck     = flag.String("fsck", "", "scrub this spill directory: verify every fingerprint, classify damage, exit 1 if any")
+	flagRepair   = flag.Bool("repair", false, "with -fsck: repair what the scrubber can (orphans, sidecars, re-executable segments)")
+	flagFsckOut  = flag.String("fsck-report", "", "with -fsck: write the machine-readable scrub report (JSON) to this file")
 	flagQuiet    = flag.Bool("q", false, "suppress the per-file summary lines")
 )
 
@@ -38,8 +51,8 @@ func main() {
 	flag.Parse()
 	if *flagTimeline == "" && *flagMetrics == "" && *flagReport == "" &&
 		*flagAttr == "" && *flagPprof == "" && *flagDiff == "" &&
-		*flagSpill == "" && *flagSpillDir == "" && *flagIndex == "" {
-		fmt.Fprintln(os.Stderr, "obscheck: nothing to check (pass -timeline, -metrics, -report, -attr, -pprof, -diff, -spill, -spill-dir, and/or -index)")
+		*flagSpill == "" && *flagSpillDir == "" && *flagIndex == "" && *flagFsck == "" {
+		fmt.Fprintln(os.Stderr, "obscheck: nothing to check (pass -timeline, -metrics, -report, -attr, -pprof, -diff, -spill, -spill-dir, -index, and/or -fsck)")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -82,28 +95,116 @@ func main() {
 			fmt.Printf("%s: index ok (%d sidecars rebuilt)\n", *flagIndex, n)
 		}
 	}
+	if *flagFsck != "" {
+		if !fsck(*flagFsck, *flagRepair, *flagFsckOut) {
+			os.Exit(1)
+		}
+	}
 }
 
-// segmentStats prints one line per manifest segment — payload lines,
-// event/sample split, cycle range, seal state — plus any unsealed .part
-// files recovery would ignore. Stats come from the sidecar index when valid,
-// otherwise from an in-memory rebuild (nothing is written).
-func segmentStats(dir string, man *obs.Manifest) {
-	for _, seg := range man.Segments {
-		idx, err := obs.LoadSegIndex(dir, seg)
+// rebuildFor resolves the deterministic re-execution hook for a spill from
+// the workload its manifest recorded. Unknown workloads get no hook: fsck
+// still performs every derived repair, and segment-body damage is reported
+// as needing re-execution by a caller that owns the workload.
+func rebuildFor(man *obs.Manifest) scrub.Rebuild {
+	if man != nil && man.Meta["workload"] == "simbench" {
+		return experiments.SimBenchRebuild
+	}
+	return nil
+}
+
+// fsckReport is the machine-readable scrub verdict -fsck-report emits — the
+// artifact CI uploads from the disk-chaos smoke.
+type fsckReport struct {
+	Dir     string        `json:"dir"`
+	Scan    *scrub.Report `json:"scan"`
+	Repair  *scrub.Result `json:"repair,omitempty"`
+	Healthy bool          `json:"healthy"`
+	Time    string        `json:"time"`
+}
+
+// fsck scans (and with repair=true, heals) one spill directory, printing a
+// classified verdict per finding. Returns true when the directory ends
+// healthy.
+func fsck(dir string, repair bool, reportOut string) bool {
+	rep, err := scrub.Scan(dir)
+	if err != nil {
+		log.Fatalf("%s: fsck: %v", dir, err)
+	}
+	out := fsckReport{Dir: dir, Scan: rep, Time: time.Now().UTC().Format(time.RFC3339)}
+	if !*flagQuiet {
+		for _, c := range rep.Segments {
+			state := "sealed"
+			if c.Err != nil {
+				state = "DAMAGED"
+			}
+			fmt.Printf("  %s: checksum %s, sidecar %s, %d lines (%d events, %d samples), %s\n",
+				c.File, c.ChecksumState, c.SidecarState, c.Lines, c.Events, c.Samples, state)
+		}
+		for _, d := range rep.Damage {
+			fmt.Printf("  !! %s: %s (%s) — repair: %s\n", d.File, d.Kind, d.Detail, d.Repair)
+		}
+		for _, w := range rep.Warnings {
+			fmt.Printf("  -- %s: %s (%s) — handled by recovery\n", w.File, w.Kind, w.Detail)
+		}
+		if rep.Quarantined != nil {
+			fmt.Printf("  !! quarantined: %s\n", rep.Quarantined.Reason)
+		}
+	}
+	healthy, remaining := rep.Healthy, rep.Damage
+	if repair && !healthy {
+		res, err := scrub.Repair(dir, rebuildFor(rep.Manifest))
+		if res != nil {
+			out.Repair = res
+			remaining = res.Remaining
+		}
 		if err != nil {
-			if idx, _, err = obs.BuildSegArtifacts(dir, seg); err != nil {
-				fmt.Printf("  %s: %d lines, %d bytes, sealed (stats unavailable: %v)\n",
-					seg.File, seg.Lines, seg.Bytes, err)
-				continue
+			fmt.Printf("%s: fsck: repair: %v\n", dir, err)
+		} else {
+			healthy = res.Healthy
+			if !*flagQuiet {
+				fmt.Printf("  repaired: %d orphans removed, %d sidecars rebuilt, %d segments re-executed\n",
+					len(res.RemovedOrphans), res.RebuiltSidecars, len(res.Repaired))
 			}
 		}
-		cycles := "no events"
-		if idx.FirstCycle >= 0 {
-			cycles = fmt.Sprintf("cycles [%d,%d]", idx.FirstCycle, idx.LastCycle)
+	}
+	out.Healthy = healthy
+	if reportOut != "" {
+		buf, err := json.MarshalIndent(&out, "", "  ")
+		if err != nil {
+			log.Fatalf("%s: fsck: report: %v", dir, err)
 		}
-		fmt.Printf("  %s: %d lines (%d events, %d samples), %d bytes, %s, sealed\n",
-			seg.File, seg.Lines, idx.Events, idx.Samples, seg.Bytes, cycles)
+		if err := os.WriteFile(reportOut, append(buf, '\n'), 0o666); err != nil {
+			log.Fatalf("%s: fsck: report: %v", dir, err)
+		}
+	}
+	if !*flagQuiet {
+		verdict := "healthy"
+		if !healthy {
+			verdict = fmt.Sprintf("UNHEALTHY (%d findings)", len(remaining))
+		}
+		fmt.Printf("%s: fsck %s (%d segments, %d warnings)\n", dir, verdict, len(rep.Segments), len(rep.Warnings))
+	}
+	return healthy
+}
+
+// segmentStats prints one integrity row per manifest segment — fingerprint
+// verdict (ok / bad / unverified for pre-checksum manifests), sidecar
+// freshness, record counts, cycle range — plus any unsealed .part files
+// recovery would ignore. Verification reads the segment end to end; nothing
+// is written.
+func segmentStats(dir string, man *obs.Manifest) {
+	for i, seg := range man.Segments {
+		c := obs.CheckSegment(dir, man, i)
+		cycles := ""
+		if idx, err := obs.LoadSegIndex(dir, seg); err == nil && idx.FirstCycle >= 0 {
+			cycles = fmt.Sprintf(", cycles [%d,%d]", idx.FirstCycle, idx.LastCycle)
+		}
+		fmt.Printf("  %s: checksum %s, sidecar %s, %d lines (%d events, %d samples), %d bytes%s, sealed\n",
+			c.File, c.ChecksumState, c.SidecarState, c.Lines, c.Events, c.Samples, seg.Bytes, cycles)
+		if c.Err != nil {
+			fmt.Printf("    !! %v\n", c.Err)
+		}
 	}
 	parts, _ := filepath.Glob(filepath.Join(dir, "seg-*.ndjson.part"))
 	for _, p := range parts {
@@ -111,7 +212,7 @@ func segmentStats(dir string, man *obs.Manifest) {
 		if err != nil {
 			continue
 		}
-		fmt.Printf("  %s: %d bytes, unsealed (.part — ignored by recovery)\n", filepath.Base(p), st.Size())
+		fmt.Printf("  %s: %d bytes, unsealed (.part — salvaged by recovery, never trusted)\n", filepath.Base(p), st.Size())
 	}
 }
 
@@ -122,13 +223,17 @@ func segmentStats(dir string, man *obs.Manifest) {
 // equivalence contract as -spill, across segment boundaries and the
 // crash-recovery path that wrote them.
 func checkSpillDir(dir string) (string, error) {
-	slog, err := obs.LoadSegments(dir)
+	man, err := obs.LoadManifest(dir)
 	if err != nil {
 		return "", err
 	}
 	if !*flagQuiet {
-		// per-segment stats first: they are what a crashed spill leaves to read
-		segmentStats(dir, &slog.Manifest)
+		// per-segment integrity first: it is what a damaged spill leaves to read
+		segmentStats(dir, man)
+	}
+	slog, err := obs.LoadSegments(dir)
+	if err != nil {
+		return "", err
 	}
 	if !slog.Manifest.Complete {
 		return "", fmt.Errorf("manifest does not mark a complete record (run crashed before finalize?)")

@@ -2,11 +2,15 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"testing"
+
+	"oclfpga/internal/experiments"
+	"oclfpga/internal/obs"
 )
 
 // TestMain builds obscheck plus the oclprof that produces its inputs; the
@@ -140,5 +144,107 @@ func TestRejectsTruncatedSpill(t *testing.T) {
 func TestNothingToCheckExitsTwo(t *testing.T) {
 	if _, _, code := runCmd(t, obscheckBin); code != 2 {
 		t.Fatalf("exit %d, want 2", code)
+	}
+}
+
+// spillDir builds a small segmented simbench spill in-process — the manifest
+// carries the workload Meta that lets -fsck -repair re-execute it.
+func spillDir(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	if _, err := experiments.SpillSimBench(64, dir, 256, 4096, 32); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestSpillDirPrintsIntegrity(t *testing.T) {
+	dir := spillDir(t)
+	stdout, stderr, code := runCmd(t, obscheckBin, "-spill-dir", dir)
+	if code != 0 {
+		t.Fatalf("exit %d\nstdout: %s\nstderr: %s", code, stdout, stderr)
+	}
+	if !bytes.Contains([]byte(stdout), []byte("checksum ok")) ||
+		!bytes.Contains([]byte(stdout), []byte("sidecar ok")) {
+		t.Fatalf("no per-segment integrity rows:\n%s", stdout)
+	}
+}
+
+func TestFsckHealthySpill(t *testing.T) {
+	dir := spillDir(t)
+	stdout, stderr, code := runCmd(t, obscheckBin, "-fsck", dir)
+	if code != 0 {
+		t.Fatalf("exit %d\nstdout: %s\nstderr: %s", code, stdout, stderr)
+	}
+	if !bytes.Contains([]byte(stdout), []byte("fsck healthy")) {
+		t.Fatalf("no healthy verdict:\n%s", stdout)
+	}
+}
+
+func TestFsckDetectsDamageAndRepairs(t *testing.T) {
+	dir := spillDir(t)
+	man, err := obs.LoadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := filepath.Join(dir, man.Segments[0].File)
+	clean, err := os.ReadFile(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.FlipByte(first, 30); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir, "seg-000001.idx.json")); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "manifest.json.tmp"), []byte("{torn"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	// Scan-only: damage classified, exit 1, nothing modified.
+	stdout, _, code := runCmd(t, obscheckBin, "-fsck", dir)
+	if code != 1 {
+		t.Fatalf("fsck of damaged dir exited %d\n%s", code, stdout)
+	}
+	if !bytes.Contains([]byte(stdout), []byte("bit-rot")) ||
+		!bytes.Contains([]byte(stdout), []byte("torn-rename")) {
+		t.Fatalf("damage not classified:\n%s", stdout)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "manifest.json.tmp")); err != nil {
+		t.Fatal("scan-only fsck modified the directory")
+	}
+
+	// Repair: re-executes the workload from manifest Meta, byte-identical.
+	report := filepath.Join(t.TempDir(), "fsck.json")
+	stdout, stderr, code := runCmd(t, obscheckBin, "-fsck", dir, "-repair", "-fsck-report", report)
+	if code != 0 {
+		t.Fatalf("repair exited %d\nstdout: %s\nstderr: %s", code, stdout, stderr)
+	}
+	got, err := os.ReadFile(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(clean, got) {
+		t.Fatal("repaired segment is not byte-identical to the clean one")
+	}
+	raw, err := os.ReadFile(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Healthy bool `json:"healthy"`
+		Repair  *struct {
+			RemovedOrphans []string `json:"removedOrphans"`
+		} `json:"repair"`
+	}
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("fsck report is not JSON: %v\n%s", err, raw)
+	}
+	if !rep.Healthy || rep.Repair == nil || len(rep.Repair.RemovedOrphans) == 0 {
+		t.Fatalf("fsck report does not record the repair: %s", raw)
+	}
+	if _, _, code := runCmd(t, obscheckBin, "-q", "-fsck", dir); code != 0 {
+		t.Fatal("rescan after repair not clean")
 	}
 }

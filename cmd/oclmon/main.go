@@ -96,10 +96,11 @@ var (
 	flagBreaker = flag.Int("breaker-threshold", 3, "consecutive failures before a workload is quarantined (0 disables)")
 	flagCool    = flag.Duration("breaker-cooldown", 30*time.Second, "how long a quarantined workload stays open")
 
-	flagSpillDir = flag.String("spill-dir", "", "root directory for crash-safe segmented spill (enables replay recovery)")
-	flagSegLines = flag.Int("seg-lines", 4096, "spill segment rotation threshold (payload lines)")
-	flagSegBytes = flag.Int64("seg-bytes", 1<<20, "spill segment rotation threshold (payload bytes)")
-	flagCkpt     = flag.Int64("checkpoint-every", 0, "record a rewind checkpoint every N cycles in the spill (0 disables; speeds up /runs/{id}/at-cycle)")
+	flagSpillDir    = flag.String("spill-dir", "", "root directory for crash-safe segmented spill (enables replay recovery)")
+	flagSegLines    = flag.Int("seg-lines", 4096, "spill segment rotation threshold (payload lines)")
+	flagSegBytes    = flag.Int64("seg-bytes", 1<<20, "spill segment rotation threshold (payload bytes)")
+	flagCkpt        = flag.Int64("checkpoint-every", 0, "record a rewind checkpoint every N cycles in the spill (0 disables; speeds up /runs/{id}/at-cycle)")
+	flagSpillBudget = flag.Int64("spill-budget", 0, "disk budget in bytes for the spill root (0 = unlimited; quarantined then oldest completed runs are evicted to fit)")
 
 	flagWorkers    = flag.Int("workers", 0, "fleet mode: spawn N crash-isolated worker processes behind this front end")
 	flagWorkerName = flag.String("worker-name", "", "fleet worker identity (set by the front end; implies lease-guarded spill)")
@@ -201,6 +202,7 @@ func main() {
 		segLines:    *flagSegLines,
 		segBytes:    *flagSegBytes,
 		ckptEvery:   *flagCkpt,
+		spillBudget: *flagSpillBudget,
 		workerName:  *flagWorkerName,
 		leaseTTL:    *flagLeaseTTL,
 		quota:       quota,
@@ -266,6 +268,7 @@ func frontendMain() {
 				"-seg-lines", strconv.Itoa(*flagSegLines),
 				"-seg-bytes", strconv.FormatInt(*flagSegBytes, 10),
 				"-checkpoint-every", strconv.FormatInt(*flagCkpt, 10),
+				"-spill-budget", strconv.FormatInt(*flagSpillBudget, 10),
 				"-lease-ttl", flagLeaseTTL.String(),
 			}
 			if *flagNoFF {

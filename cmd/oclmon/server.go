@@ -23,6 +23,7 @@ import (
 	"oclfpga/internal/obs/analyze"
 	"oclfpga/internal/obs/diff"
 	"oclfpga/internal/obs/query"
+	"oclfpga/internal/obs/scrub"
 	"oclfpga/internal/sim"
 	"oclfpga/internal/supervise"
 )
@@ -36,6 +37,10 @@ type serverConfig struct {
 	segLines    int    // spill segment rotation (payload lines)
 	segBytes    int64  // spill segment rotation (payload bytes)
 	ckptEvery   int64  // checkpoint interval in cycles (0 disables; enables fast at-cycle rewind)
+	// spillBudget caps the spill root's total bytes (0 = unlimited). At boot
+	// and at every admission, quarantined runs and then the oldest completed
+	// ones are evicted until the root fits; live runs are never evicted.
+	spillBudget int64
 
 	// workerName is this process's fleet identity ("" = single-process
 	// mode). When set, run ids are prefixed "<name>-", the spill dir is
@@ -49,6 +54,10 @@ type serverConfig struct {
 	// quota, when set, is the per-tenant weighted admission quota also wired
 	// into the supervisor; the server only reads it for /metrics.
 	quota *fleet.WeightedQuota
+
+	// fs, when set, is the filesystem spill sinks write through — tests inject
+	// an obs.FaultFS to drive the admission path into ENOSPC/EIO.
+	fs obs.VFS
 
 	// sseKeepalive is the idle interval after which an SSE tail emits a
 	// `: keepalive` comment frame so proxies and clients do not time out a
@@ -72,6 +81,10 @@ type run struct {
 	spill     string // this run's spill directory ("" when not spilling)
 	recovered bool   // rebuilt or resumed from a spill at startup
 	items     int    // workload size n — the at-cycle rewind's rebuild parameter
+	// quarantinedSpill marks a run whose spill the boot scrubber could not
+	// repair: the directory carries a quarantine marker and the run is hosted
+	// only as a degraded verdict (no telemetry, no query surface).
+	quarantinedSpill bool
 
 	mu      sync.Mutex
 	state   supervise.State
@@ -263,7 +276,7 @@ func (s *server) buildStart(r *run, n int, resume *obs.SegmentLog, seg **obs.Seg
 				var err error
 				ss, err = obs.NewResumeSink(obs.SegmentConfig{
 					Dir: r.spill, Design: "oclmon", SampleEvery: s.cfg.sampleEvery,
-					MaxLines: s.cfg.segLines, MaxBytes: s.cfg.segBytes,
+					MaxLines: s.cfg.segLines, MaxBytes: s.cfg.segBytes, FS: s.cfg.fs,
 				}, resume)
 				if err != nil {
 					return nil, err
@@ -356,17 +369,34 @@ func (s *server) submit(id, tenant string, n int, lim supervise.Limits, resume *
 	}
 	var seg *obs.SegmentSink
 	if r.spill != "" && resume == nil && s.cfg.startHook == nil {
+		// Admission is where the disk budget is enforced: reclaim evictable
+		// spill before committing new bytes, and refuse the run (typed, so the
+		// HTTP layer answers 503 backpressure) if the disk still cannot take
+		// the manifest — never admit onto a disk that cannot record the run.
+		s.gcSpill()
 		// The spill manifest is written before the 202, making the on-disk
 		// directory the durable admission record: a worker killed while this
 		// run is still queued leaves a recoverable (empty-prefix) log, so a
 		// takeover re-executes it instead of silently dropping acknowledged
 		// work.
+		// The Meta records everything a byte-identical re-execution needs:
+		// the workload recipe (workload, n) and the resolved drive limits —
+		// RunFor slice boundaries cut fast-forward jumps, so the recorded
+		// stream depends on slice and cycle budget (supervise.Replay).
+		eff := s.sup.EffectiveLimits(lim)
 		ss, err := obs.NewSegmentSink(obs.SegmentConfig{
 			Dir: r.spill, Design: "oclmon", SampleEvery: s.cfg.sampleEvery,
-			Meta:     map[string]string{"workload": r.workload, "n": strconv.Itoa(n), "tenant": tenant},
-			MaxLines: s.cfg.segLines, MaxBytes: s.cfg.segBytes,
+			Meta: map[string]string{
+				"workload": r.workload, "n": strconv.Itoa(n), "tenant": tenant,
+				"slice":        strconv.FormatInt(eff.Slice, 10),
+				"cycle-budget": strconv.FormatInt(eff.CycleBudget, 10),
+			},
+			MaxLines: s.cfg.segLines, MaxBytes: s.cfg.segBytes, FS: s.cfg.fs,
 		})
 		if err != nil {
+			// A half-born spill stub must not survive to be "recovered" as a
+			// crashed run on the next boot.
+			os.RemoveAll(r.spill)
 			return nil, err
 		}
 		seg = ss
@@ -408,7 +438,109 @@ func (s *server) recoverSpills() error {
 		return err
 	}
 	_, err := s.recoverDir(s.cfg.spillDir)
+	if err == nil {
+		s.gcSpill()
+	}
 	return err
+}
+
+// rebuildSpill is the scrub.Rebuild hook for this server's own workload: a
+// spill whose manifest says it recorded the standard oclmon workload is
+// regenerated by deterministic re-execution through the repair sink, which
+// accepts the stream only if every segment comes back byte-identical to its
+// manifest checksum. The server must be running the same flags the spill was
+// recorded under — the same contract crash recovery already relies on.
+func (s *server) rebuildSpill(man *obs.Manifest, sink obs.Sink) error {
+	if man.Meta["workload"] != "oclmon" {
+		return fmt.Errorf("no rebuild recipe for workload %q", man.Meta["workload"])
+	}
+	if s.cfg.startHook != nil {
+		return errors.New("runs are hook-injected; no deterministic rebuild")
+	}
+	n := s.cfg.n
+	if v, err := strconv.Atoi(man.Meta["n"]); err == nil && v > 0 {
+		n = v
+	}
+	m, err := s.buildMachine(n, sink)
+	if err != nil {
+		return err
+	}
+	// Re-execute under the drive limits the original run resolved to (recorded
+	// in the Meta; a pre-limits spill falls back to the defaults every boot run
+	// uses): the supervised original's RunFor boundaries cut fast-forward
+	// jumps, so only the same slice schedule regenerates the same bytes.
+	if err := supervise.Replay(limitsFromMeta(man.Meta), m); err != nil {
+		return err
+	}
+	m.Timeline() // forces the recorder's Finalize through to the sink
+	return nil
+}
+
+// limitsFromMeta restores the stream-shaping drive limits a spill was
+// recorded under. Zero values (absent keys — spills from before the limits
+// were persisted) resolve to the supervisor defaults downstream.
+func limitsFromMeta(meta map[string]string) supervise.Limits {
+	var lim supervise.Limits
+	if v, err := strconv.ParseInt(meta["slice"], 10, 64); err == nil && v > 0 {
+		lim.Slice = v
+	}
+	if v, err := strconv.ParseInt(meta["cycle-budget"], 10, 64); err == nil && v > 0 {
+		lim.CycleBudget = v
+	}
+	return lim
+}
+
+// addQuarantined hosts an unrepairable spill as a degraded terminal run: the
+// verdict is visible in /runs and /metrics (oclmon_runs_quarantined), but no
+// telemetry is loaded — bytes that failed their checksums are never served.
+func (s *server) addQuarantined(id, dir, reason string) {
+	r := &run{
+		id: id, workload: "oclmon", spill: dir, recovered: true, quarantinedSpill: true,
+		sink:  newLiveSink("oclmon", s.cfg.sampleEvery),
+		state: supervise.StateQuarantined,
+	}
+	r.outcome = &supervise.Outcome{State: supervise.StateQuarantined, Err: fmt.Errorf("spill quarantined: %s", reason)}
+	r.sink.retire(0, nil)
+	r.sink.Finalize(0)
+	s.addRun(r)
+	log.Printf("oclmon: spill %s quarantined: %s", dir, reason)
+}
+
+// gcSpill enforces the spill root's disk budget: quarantined directories are
+// reclaimed first (their bytes are already untrustworthy), then the oldest
+// completed runs; incomplete spills and runs still in flight are never
+// evicted. An evicted run leaves the registry too — its durable record is
+// gone, so continuing to serve it would outlive the evidence.
+func (s *server) gcSpill() {
+	if s.cfg.spillDir == "" || s.cfg.spillBudget <= 0 {
+		return
+	}
+	rep, err := scrub.GC(s.cfg.spillDir, s.cfg.spillBudget, func(dir string) bool {
+		r := s.get(filepath.Base(dir))
+		if r == nil {
+			return false
+		}
+		st, _ := r.status()
+		done := st == supervise.StateCompleted || st == supervise.StateFailed || st == supervise.StateQuarantined
+		return !done
+	})
+	if err != nil {
+		log.Printf("oclmon: spill gc: %v", err)
+		return
+	}
+	for _, e := range rep.Entries {
+		if !e.Evicted {
+			continue
+		}
+		if r := s.get(filepath.Base(e.Dir)); r != nil {
+			s.dropRun(r)
+		}
+		log.Printf("oclmon: spill gc: evicted %s (%d bytes)", e.Dir, e.Bytes)
+	}
+	if rep.OverBudget {
+		log.Printf("oclmon: spill gc: still over budget after eviction (%d of %d bytes) — live runs are never evicted",
+			rep.BytesAfter, rep.Budget)
+	}
 }
 
 // recoverDir replays the durable record of every run found under dir:
@@ -432,6 +564,34 @@ func (s *server) recoverDir(root string) ([]string, error) {
 			continue // already hosted (idempotent takeover retry)
 		}
 		dir := filepath.Join(root, id)
+		if q, ok := scrub.Quarantined(dir); ok {
+			// A prior boot already judged this spill unrepairable; the verdict
+			// stands until an operator repairs and unquarantines the directory
+			// (obscheck -fsck -repair removes the marker on success).
+			s.addQuarantined(id, dir, q.Reason)
+			ids = append(ids, id)
+			continue
+		}
+		if rep, serr := scrub.Scan(dir); serr == nil && !rep.Healthy {
+			// Boot scrub: repair what we can (derived artifacts plus corrupt
+			// segments via deterministic re-execution), quarantine what we
+			// cannot — a damaged spill must never be served as a wrong answer.
+			res, rerr := scrub.Repair(dir, s.rebuildSpill)
+			if rerr != nil || !res.Healthy {
+				reason := fmt.Sprintf("%d findings unrepaired", len(rep.Damage))
+				if rerr != nil {
+					reason = rerr.Error()
+				}
+				if qerr := scrub.Quarantine(dir, reason, rep.Damage, time.Now().UTC().Format(time.RFC3339)); qerr != nil {
+					log.Printf("oclmon: spill %s: quarantine marker: %v", dir, qerr)
+				}
+				s.addQuarantined(id, dir, reason)
+				ids = append(ids, id)
+				continue
+			}
+			log.Printf("oclmon: spill %s: boot scrub repaired %d findings (%d orphans removed, %d sidecars rebuilt, %d segments re-executed)",
+				dir, len(rep.Damage), len(res.RemovedOrphans), res.RebuiltSidecars, len(res.Repaired))
+		}
 		slog, err := obs.LoadSegments(dir)
 		if err != nil {
 			log.Printf("oclmon: spill %s: unrecoverable: %v", dir, err)
@@ -464,7 +624,11 @@ func (s *server) recoverDir(root string) ([]string, error) {
 		}
 		log.Printf("oclmon: re-executing crashed run %s: verifying %d durable lines to cycle %d, then resuming",
 			id, len(slog.Lines), slog.LastCycle())
-		if _, err := s.submit(id, slog.Manifest.Meta["tenant"], n, supervise.Limits{}, slog); err != nil {
+		// Resume under the drive limits the original run recorded: the resume
+		// sink byte-verifies the durable prefix against the re-executed
+		// stream, and the stream's fast-forward jump cuts follow the slice
+		// schedule those limits produce.
+		if _, err := s.submit(id, slog.Manifest.Meta["tenant"], n, limitsFromMeta(slog.Manifest.Meta), slog); err != nil {
 			log.Printf("oclmon: recover %s: %v", id, err)
 			continue
 		}
@@ -861,6 +1025,13 @@ func (s *server) handleSubmit(w http.ResponseWriter, req *http.Request) {
 	case errors.Is(err, supervise.ErrQuarantined):
 		http.Error(w, err.Error(), http.StatusServiceUnavailable)
 		return
+	case obs.IsDiskFull(err):
+		// ENOSPC is backpressure, not a crash: the run was refused before any
+		// state changed, so the client retries once the GC (or an operator)
+		// frees space.
+		w.Header().Set("Retry-After", s.retryAfter())
+		http.Error(w, "spill disk full: "+err.Error(), http.StatusServiceUnavailable)
+		return
 	case err != nil:
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
@@ -890,10 +1061,13 @@ func (s *server) writeIndex(w http.ResponseWriter) {
 		State     string `json:"state"`
 		Done      bool   `json:"done"`
 		Recovered bool   `json:"recovered,omitempty"`
-		Cycle     int64  `json:"cycle"`
-		Events    int    `json:"events"`
-		Verdict   string `json:"verdict,omitempty"`
-		Error     string `json:"error,omitempty"`
+		// Quarantined marks a spill the boot scrubber could not repair; the
+		// run is served as this degraded verdict only, never as telemetry.
+		Quarantined bool   `json:"quarantined,omitempty"`
+		Cycle       int64  `json:"cycle"`
+		Events      int    `json:"events"`
+		Verdict     string `json:"verdict,omitempty"`
+		Error       string `json:"error,omitempty"`
 	}
 	out := []entry{}
 	for _, r := range s.allRuns() {
@@ -901,8 +1075,9 @@ func (s *server) writeIndex(w http.ResponseWriter) {
 		state, outcome := r.status()
 		e := entry{
 			ID: r.id, Workload: r.workload, Tenant: r.tenant, State: string(state), Recovered: r.recovered,
-			Done:  state == supervise.StateCompleted || state == supervise.StateFailed || state == supervise.StateQuarantined,
-			Cycle: st.cycle, Events: st.events,
+			Done:        state == supervise.StateCompleted || state == supervise.StateFailed || state == supervise.StateQuarantined,
+			Quarantined: r.quarantinedSpill,
+			Cycle:       st.cycle, Events: st.events,
 			Verdict: string(s.runVerdict(r)),
 		}
 		if outcome != nil && outcome.Err != nil {
@@ -945,6 +1120,31 @@ func (s *server) writeMetrics(w http.ResponseWriter) {
 	p("oclmon_run_panics_total %d\n", st.Panics)
 	p("# HELP oclmon_submissions_tenant_shed_total Submissions refused by the per-tenant quota (429).\n# TYPE oclmon_submissions_tenant_shed_total counter\n")
 	p("oclmon_submissions_tenant_shed_total %d\n", st.TenantShed)
+
+	nq := 0
+	for _, r := range runs {
+		if r.quarantinedSpill {
+			nq++
+		}
+	}
+	p("# HELP oclmon_runs_quarantined Hosted runs whose spill failed the boot scrub and is quarantined on disk.\n# TYPE oclmon_runs_quarantined gauge\n")
+	p("oclmon_runs_quarantined %d\n", nq)
+	if s.cfg.spillDir != "" {
+		var total int64
+		if ents, err := os.ReadDir(s.cfg.spillDir); err == nil {
+			for _, ent := range ents {
+				if ent.IsDir() {
+					total += scrub.DirBytes(filepath.Join(s.cfg.spillDir, ent.Name()))
+				}
+			}
+		}
+		p("# HELP oclmon_spill_bytes Bytes of durable spill under the spill root.\n# TYPE oclmon_spill_bytes gauge\n")
+		p("oclmon_spill_bytes %d\n", total)
+		if s.cfg.spillBudget > 0 {
+			p("# HELP oclmon_spill_budget_bytes Configured disk budget for the spill root.\n# TYPE oclmon_spill_budget_bytes gauge\n")
+			p("oclmon_spill_budget_bytes %d\n", s.cfg.spillBudget)
+		}
+	}
 
 	if s.cfg.quota != nil {
 		p("# HELP oclmon_tenant_held Admissions currently held per tenant.\n# TYPE oclmon_tenant_held gauge\n")

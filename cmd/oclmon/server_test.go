@@ -9,6 +9,8 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -19,6 +21,7 @@ import (
 	"oclfpga/internal/mem"
 	"oclfpga/internal/obs"
 	"oclfpga/internal/obs/diff"
+	"oclfpga/internal/obs/scrub"
 	"oclfpga/internal/sim"
 	"oclfpga/internal/supervise"
 )
@@ -618,4 +621,273 @@ func grepMetrics(body, substr string) string {
 		}
 	}
 	return strings.Join(out, "\n")
+}
+
+// completeSpilledRun hosts one run to completion on a throwaway server so the
+// durability tests get a real, complete spill directory to damage.
+func completeSpilledRun(t *testing.T, root string, n int) string {
+	t.Helper()
+	sup := supervise.New(supervise.Config{Slots: 1})
+	defer sup.Close()
+	srv := newServer(serverConfig{n: n, sampleEvery: 1000, spillDir: root, segLines: 64}, sup)
+	// A small slice forces RunFor boundaries to cut fast-forward jumps, so
+	// these fixtures only repair byte-identically if the scrubber restores
+	// the drive limits from the spill Meta (limitsFromMeta + supervise.Replay).
+	r, err := srv.submit("", "", n, supervise.Limits{Slice: 500}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, srv, r.id, supervise.StateCompleted)
+	return filepath.Join(root, r.id)
+}
+
+// TestBootScrubRepairsDamagedSpill rots a completed spill on disk (bit flip
+// in a sealed segment, deleted sidecar, torn-rename debris) and reboots: the
+// boot scrubber must repair the segment by deterministic re-execution,
+// byte-identically, and then serve the run as if nothing happened.
+func TestBootScrubRepairsDamagedSpill(t *testing.T) {
+	root := t.TempDir()
+	dir := completeSpilledRun(t, root, 256)
+	man, err := obs.LoadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := filepath.Join(dir, man.Segments[0].File)
+	clean, err := os.ReadFile(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.FlipByte(first, 30); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir, man.Segments[1].File[:len(man.Segments[1].File)-len(".ndjson")]+".idx.json")); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "manifest.json.tmp"), []byte("{torn"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	sup := supervise.New(supervise.Config{Slots: 1})
+	defer sup.Close()
+	srv := newServer(serverConfig{n: 256, sampleEvery: 1000, spillDir: root, segLines: 64}, sup)
+	if err := srv.recoverSpills(); err != nil {
+		t.Fatal(err)
+	}
+	r := srv.get("run1")
+	if r == nil {
+		t.Fatal("repaired run not hosted")
+	}
+	if r.quarantinedSpill {
+		t.Fatal("repairable spill was quarantined")
+	}
+	if st, _ := r.status(); st != supervise.StateCompleted {
+		t.Fatalf("repaired run state = %s", st)
+	}
+	got, err := os.ReadFile(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(clean, got) {
+		t.Fatal("re-executed segment is not byte-identical to the original")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "manifest.json.tmp")); !os.IsNotExist(err) {
+		t.Fatal("torn-rename debris survived the boot scrub")
+	}
+	rep, err := scrub.Scan(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Healthy {
+		t.Fatalf("spill still unhealthy after boot scrub: %+v", rep.Damage)
+	}
+	if r.sink.stats().cycle != man.EndCycle {
+		t.Fatalf("served run at cycle %d, want %d", r.sink.stats().cycle, man.EndCycle)
+	}
+}
+
+// TestBootScrubQuarantinesUnrepairableSpill poisons the rebuild recipe and
+// rots a segment: with no way to regenerate trustworthy bytes, the boot scrub
+// must quarantine the spill — degraded verdict in /runs, a gauge in /metrics,
+// a durable marker on disk that later boots honor without re-scrubbing — and
+// never serve the corrupt telemetry.
+func TestBootScrubQuarantinesUnrepairableSpill(t *testing.T) {
+	root := t.TempDir()
+	dir := completeSpilledRun(t, root, 256)
+	manPath := filepath.Join(dir, "manifest.json")
+	raw, err := os.ReadFile(manPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatal(err)
+	}
+	m["meta"].(map[string]any)["workload"] = "mystery"
+	poisoned, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(manPath, poisoned, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	man, err := obs.LoadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.FlipByte(filepath.Join(dir, man.Segments[0].File), 40); err != nil {
+		t.Fatal(err)
+	}
+
+	sup := supervise.New(supervise.Config{Slots: 1})
+	defer sup.Close()
+	srv := newServer(serverConfig{n: 256, sampleEvery: 1000, spillDir: root, segLines: 64}, sup)
+	if err := srv.recoverSpills(); err != nil {
+		t.Fatal(err)
+	}
+	r := srv.get("run1")
+	if r == nil || !r.quarantinedSpill {
+		t.Fatalf("unrepairable spill not quarantined: %+v", r)
+	}
+	if st, _ := r.status(); st != supervise.StateQuarantined {
+		t.Fatalf("quarantined run state = %s", st)
+	}
+	if _, ok := scrub.Quarantined(dir); !ok {
+		t.Fatal("no quarantine marker on disk")
+	}
+
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+	var idx []struct {
+		ID          string `json:"id"`
+		Quarantined bool   `json:"quarantined"`
+		Done        bool   `json:"done"`
+		Error       string `json:"error"`
+	}
+	body := scrape(t, ts.URL+"/runs")
+	if err := json.Unmarshal([]byte(body), &idx); err != nil {
+		t.Fatalf("index: %v\n%s", err, body)
+	}
+	if len(idx) != 1 || !idx[0].Quarantined || !idx[0].Done || !strings.Contains(idx[0].Error, "quarantined") {
+		t.Fatalf("index entry = %+v", idx)
+	}
+	metrics := scrape(t, ts.URL+"/metrics")
+	if !strings.Contains(metrics, "oclmon_runs_quarantined 1") {
+		t.Fatalf("quarantine gauge missing:\n%s", grepMetrics(metrics, "quarantine"))
+	}
+	if grepMetrics(metrics, "oclmon_spill_bytes ") == "" {
+		t.Fatalf("spill bytes gauge missing:\n%s", grepMetrics(metrics, "spill"))
+	}
+
+	// A later boot must honor the standing marker, not re-judge the bytes.
+	sup2 := supervise.New(supervise.Config{Slots: 1})
+	defer sup2.Close()
+	srv2 := newServer(serverConfig{n: 256, sampleEvery: 1000, spillDir: root, segLines: 64}, sup2)
+	if err := srv2.recoverSpills(); err != nil {
+		t.Fatal(err)
+	}
+	if r2 := srv2.get("run1"); r2 == nil || !r2.quarantinedSpill {
+		t.Fatalf("quarantine marker not honored on reboot: %+v", r2)
+	}
+}
+
+// TestSpillGCEnforcesBudget completes two spilled runs, ages one, and reboots
+// under a disk budget that only fits one: the oldest completed run must be
+// evicted from disk and registry; the newer one survives intact.
+func TestSpillGCEnforcesBudget(t *testing.T) {
+	root := t.TempDir()
+	sup := supervise.New(supervise.Config{Slots: 1})
+	defer sup.Close()
+	srv := newServer(serverConfig{n: 256, sampleEvery: 1000, spillDir: root, segLines: 64}, sup)
+	for _, id := range []string{"run1", "run2"} {
+		if _, err := srv.submit("", "", 256, supervise.Limits{}, nil); err != nil {
+			t.Fatal(err)
+		}
+		waitState(t, srv, id, supervise.StateCompleted)
+	}
+	d1, d2 := filepath.Join(root, "run1"), filepath.Join(root, "run2")
+	old := time.Now().Add(-time.Hour)
+	if err := os.Chtimes(filepath.Join(d1, "manifest.json"), old, old); err != nil {
+		t.Fatal(err)
+	}
+	budget := scrub.DirBytes(d1) + scrub.DirBytes(d2) - 1
+
+	sup2 := supervise.New(supervise.Config{Slots: 1})
+	defer sup2.Close()
+	srv2 := newServer(serverConfig{n: 256, sampleEvery: 1000, spillDir: root, segLines: 64, spillBudget: budget}, sup2)
+	if err := srv2.recoverSpills(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(d1); !os.IsNotExist(err) {
+		t.Fatal("oldest completed spill not evicted")
+	}
+	if srv2.get("run1") != nil {
+		t.Fatal("evicted run still in the registry")
+	}
+	r2 := srv2.get("run2")
+	if r2 == nil {
+		t.Fatal("surviving run lost")
+	}
+	if st, _ := r2.status(); st != supervise.StateCompleted {
+		t.Fatalf("surviving run state = %s", st)
+	}
+	ts := httptest.NewServer(srv2.handler())
+	defer ts.Close()
+	metrics := scrape(t, ts.URL+"/metrics")
+	if grepMetrics(metrics, "oclmon_spill_budget_bytes ") == "" {
+		t.Fatalf("budget gauge missing:\n%s", grepMetrics(metrics, "spill"))
+	}
+}
+
+// TestSubmitDiskFullAnswers503 arms an injected filesystem fault so the
+// admission-time spill creation hits ENOSPC: the submission must be refused
+// with 503 + Retry-After (backpressure, not a crash), leave no registry entry
+// and no half-born spill directory, and succeed once space is back.
+func TestSubmitDiskFullAnswers503(t *testing.T) {
+	root := t.TempDir()
+	ffs := obs.NewFaultFS(obs.OSFS())
+	sup := supervise.New(supervise.Config{Slots: 1})
+	defer sup.Close()
+	srv := newServer(serverConfig{n: 64, sampleEvery: 1000, spillDir: root, segLines: 64, fs: ffs}, sup)
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	ffs.Arm(1, obs.FaultAny, obs.FaultENOSPC)
+	resp, err := http.Post(ts.URL+"/runs", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("disk-full submit = %d, want 503\n%s", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("no Retry-After on disk-full 503")
+	}
+	if !strings.Contains(string(body), "disk full") {
+		t.Fatalf("untyped refusal: %s", body)
+	}
+	if n := len(srv.allRuns()); n != 0 {
+		t.Fatalf("refused submission left %d registry entries", n)
+	}
+	if _, err := os.Stat(filepath.Join(root, "run1")); !os.IsNotExist(err) {
+		t.Fatal("half-born spill directory survived the refusal")
+	}
+
+	ffs.Disarm()
+	resp, err = http.Post(ts.URL+"/runs", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var acc struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&acc); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("post-recovery submit = %d, want 202", resp.StatusCode)
+	}
+	waitState(t, srv, acc.ID, supervise.StateCompleted)
 }

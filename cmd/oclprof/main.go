@@ -16,6 +16,7 @@ import (
 	"io"
 	"log"
 	"os"
+	"strconv"
 
 	"oclfpga/internal/device"
 	"oclfpga/internal/fault"
@@ -26,6 +27,7 @@ import (
 	"oclfpga/internal/obs/analyze"
 	"oclfpga/internal/obs/diff"
 	"oclfpga/internal/obs/query"
+	"oclfpga/internal/obs/scrub"
 	"oclfpga/internal/sim"
 	"oclfpga/internal/trace"
 	"oclfpga/internal/workload"
@@ -62,6 +64,7 @@ var (
 	flagBreak    = flag.String("break", "", "halt re-execution on breakpoint/watchpoint specs: cycle=N | chan:NAME.stall>K | chan:NAME.len>K | unit:NAME.state=S (comma-separated)")
 	flagQueryStr = flag.String("query", "", "answer an event query from -spill-dir via the segment index: 'track=T name=N kind=K cycles=[a,b]'")
 	flagCkptEvry = flag.Int64("checkpoint-every", 0, "emit rewind checkpoints every N cycles into the observability stream (0 = off); with -at-cycle and no -spill-dir, rewind two-phase via this grid")
+	flagScrub    = flag.Bool("scrub", false, "scrub -spill-dir: verify every segment fingerprint and self-heal damage, re-executing the recorded run (manifest Meta) for byte-identical segment repair; exit 1 if damage remains")
 	flagDiff     = flag.Bool("diff", false, "compare two stall-attribution JSON files (baseline first): oclprof -diff A.json B.json; exit 3 on a regression")
 	flagDiffSpl  = flag.Bool("diff-spill", false, "compare two completed spill directories (baseline first) via the segment indexes: oclprof -diff-spill dirA dirB; exit 3 on a regression")
 	flagDiffRel  = flag.Float64("diff-rel", 1, "diff verdict relative threshold in percent (with -diff/-diff-spill)")
@@ -103,6 +106,44 @@ func must[T any](v T, err error) T {
 	return v
 }
 
+// rebuildSink, when set, reroutes the next run's observability stream into
+// it instead of the flag-configured sinks — the re-execution path -scrub's
+// byte-identical segment repair drives.
+var rebuildSink obs.Sink
+
+// spillMeta captures every flag the recorded event stream depends on, so a
+// scrubber holding nothing but the spill can re-execute the identical run.
+// SampleEvery lives in the manifest proper; everything else rides in Meta.
+func spillMeta() map[string]string {
+	meta := map[string]string{
+		"workload":  *flagWorkload,
+		"device":    *flagDevice,
+		"ckptEvery": fmt.Sprint(*flagCkptEvry),
+	}
+	set := func(key, val string) {
+		if val != "" {
+			meta[key] = val
+		}
+	}
+	setBool := func(key string, on bool) {
+		if on {
+			meta[key] = "1"
+		}
+	}
+	set("inject", *flagInject)
+	setBool("chandepthopt", *flagDepthOpt)
+	setBool("stallmon", *flagStallMon)
+	setBool("watch", *flagWatch)
+	setBool("order", *flagInstr)
+	if *flagTS != "none" {
+		meta["timestamps"] = *flagTS
+	}
+	if *flagStall != 0 {
+		meta["stalllimit"] = fmt.Sprint(*flagStall)
+	}
+	return meta
+}
+
 // simOpts builds the simulator options shared by every workload, parsing the
 // -inject fault plan if given. design names the NDJSON spill stream so a
 // replayed timeline matches the in-memory one byte for byte.
@@ -114,6 +155,10 @@ func simOpts(design string) sim.Options {
 			log.Fatal(err)
 		}
 		opts.Fault = plan
+	}
+	if rebuildSink != nil {
+		opts.Observe = &obs.Config{SampleEvery: *flagEvery, CheckpointEvery: *flagCkptEvry, Sink: rebuildSink}
+		return opts
 	}
 	if observeOn() {
 		opts.Observe = &obs.Config{SampleEvery: *flagEvery, CheckpointEvery: *flagCkptEvry}
@@ -129,7 +174,7 @@ func simOpts(design string) sim.Options {
 		if *flagSpillDir != "" {
 			seg, err := obs.NewSegmentSink(obs.SegmentConfig{
 				Dir: *flagSpillDir, Design: design, SampleEvery: *flagEvery,
-				Meta:     map[string]string{"workload": *flagWorkload},
+				Meta:     spillMeta(),
 				MaxLines: *flagSegLines, MaxBytes: *flagSegBytes,
 			})
 			if err != nil {
@@ -335,6 +380,11 @@ func finishRun(m *sim.Machine, units ...*sim.Unit) {
 		// Same finalize path: Timeline() committed the segments through the
 		// sink; a failed commit (full disk, blocked rename) surfaces here.
 		m.Timeline()
+		if rebuildSink != nil {
+			// Repair re-execution: the scrubber's sink holds any stream error
+			// and its Commit reports it typed; nothing else to emit.
+			return
+		}
 		if err := m.ObserveErr(); err != nil {
 			log.Fatal(err)
 		}
@@ -438,20 +488,20 @@ func usageExit(msg string) {
 var breakSpecs []query.Break
 
 // validateModes enforces the debug/compare modes' exclusivity rules.
-// -at-cycle, -break, -query, -diff, and -diff-spill each own the run (and
-// stdout), so they exclude each other and every trace-producing flag;
-// -at-cycle keeps -spill-dir as its read-only checkpoint source, -query
-// requires it, and the diff modes take their two inputs as positional
+// -at-cycle, -break, -query, -scrub, -diff, and -diff-spill each own the run
+// (and stdout), so they exclude each other and every trace-producing flag;
+// -at-cycle keeps -spill-dir as its read-only checkpoint source, -query and
+// -scrub require it, and the diff modes take their two inputs as positional
 // arguments instead.
 func validateModes() {
 	modes := 0
-	for _, on := range []bool{*flagAtCycle >= 0, *flagBreak != "", *flagQueryStr != "", *flagDiff, *flagDiffSpl} {
+	for _, on := range []bool{*flagAtCycle >= 0, *flagBreak != "", *flagQueryStr != "", *flagScrub, *flagDiff, *flagDiffSpl} {
 		if on {
 			modes++
 		}
 	}
 	if modes > 1 {
-		usageExit("-at-cycle, -break, -query, -diff, and -diff-spill are mutually exclusive")
+		usageExit("-at-cycle, -break, -query, -scrub, -diff, and -diff-spill are mutually exclusive")
 	}
 	if modes == 0 {
 		return
@@ -475,6 +525,8 @@ func validateModes() {
 		mode = "-break"
 	case *flagQueryStr != "":
 		mode = "-query"
+	case *flagScrub:
+		mode = "-scrub"
 	case *flagDiff:
 		mode = "-diff"
 	case *flagDiffSpl:
@@ -496,6 +548,9 @@ func validateModes() {
 	}
 	if *flagQueryStr != "" && *flagSpillDir == "" {
 		usageExit("-query requires -spill-dir (the indexed spill to query)")
+	}
+	if *flagScrub && *flagSpillDir == "" {
+		usageExit("-scrub requires -spill-dir (the spill to verify and heal)")
 	}
 	if *flagBreak != "" {
 		var err error
@@ -579,6 +634,10 @@ func main() {
 		runQuery()
 		return
 	}
+	if *flagScrub {
+		runScrub()
+		return
+	}
 	if *flagDiff || *flagDiffSpl {
 		runDiff()
 		return
@@ -587,9 +646,10 @@ func main() {
 		// keep stdout a single machine-readable document; narration to stderr
 		out = os.Stderr
 	}
-	dev := pickDevice()
-	opts := hls.Options{OptimizeChannelDepths: *flagDepthOpt}
+	runWorkload(pickDevice(), hls.Options{OptimizeChannelDepths: *flagDepthOpt})
+}
 
+func runWorkload(dev *device.Device, opts hls.Options) {
 	switch *flagWorkload {
 	case "matvec-st", "matvec-nd":
 		runMatVec(dev, opts)
@@ -607,6 +667,116 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *flagWorkload)
 		flag.Usage()
 		os.Exit(2)
+	}
+}
+
+func knownWorkload(w string) bool {
+	switch w {
+	case "matvec-st", "matvec-nd", "matmul", "chase", "vecadd", "fir", "chanstall":
+		return true
+	}
+	return false
+}
+
+// rebuildFromMeta is the scrub re-execution hook: it restores the recorded
+// run's parameters from the spill manifest (spillMeta wrote them) and replays
+// the workload into sink — the RepairSink whose fingerprint verification
+// makes the resulting segment swap byte-identical-or-nothing.
+func rebuildFromMeta(man *obs.Manifest, sink obs.Sink) error {
+	w := man.Meta["workload"]
+	if !knownWorkload(w) {
+		return fmt.Errorf("manifest records workload %q, which oclprof cannot re-execute", w)
+	}
+	metaInt := func(key string, dst *int64) error {
+		v, ok := man.Meta[key]
+		if !ok {
+			*dst = 0
+			return nil
+		}
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return fmt.Errorf("manifest %s %q: %w", key, v, err)
+		}
+		*dst = n
+		return nil
+	}
+	*flagWorkload = w
+	if d := man.Meta["device"]; d != "" {
+		*flagDevice = d
+	}
+	*flagEvery = man.SampleEvery
+	if err := metaInt("ckptEvery", flagCkptEvry); err != nil {
+		return err
+	}
+	if err := metaInt("stalllimit", flagStall); err != nil {
+		return err
+	}
+	*flagInject = man.Meta["inject"]
+	*flagDepthOpt = man.Meta["chandepthopt"] == "1"
+	*flagStallMon = man.Meta["stallmon"] == "1"
+	*flagWatch = man.Meta["watch"] == "1"
+	*flagInstr = man.Meta["order"] == "1"
+	*flagTS = "none"
+	if v := man.Meta["timestamps"]; v != "" {
+		*flagTS = v
+	}
+	// Silence the run and drop every output flag: the re-execution exists
+	// only to feed the repair sink, and the scrubber owns the report.
+	*flagLog, *flagSched, *flagProfile, *flagTrace, *flagJSON = false, false, false, false, false
+	*flagVCD, *flagTimeline, *flagMetrics, *flagSpill = "", "", "", ""
+	*flagAttr, *flagFolded, *flagPprof = "", "", ""
+	out = io.Discard
+	rebuildSink = sink
+	defer func() { rebuildSink = nil }()
+	runWorkload(pickDevice(), hls.Options{OptimizeChannelDepths: *flagDepthOpt})
+	return nil
+}
+
+// scrubVerdict is -scrub's stdout document.
+type scrubVerdict struct {
+	Dir     string        `json:"dir"`
+	Scan    *scrub.Report `json:"scan"`
+	Repair  *scrub.Result `json:"repair,omitempty"`
+	Healthy bool          `json:"healthy"`
+}
+
+// runScrub verifies and self-heals -spill-dir: derived damage (commit
+// debris, stale sidecars) is repaired in place, and damaged segment bodies
+// are regenerated byte-identically by re-executing the recorded run. Exit 0
+// means the directory ends healthy.
+func runScrub() {
+	dir := *flagSpillDir
+	rep, err := scrub.Scan(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, d := range rep.Damage {
+		fmt.Fprintf(os.Stderr, "scrub: %s: %s (%s) — repair: %s\n", d.File, d.Kind, d.Detail, d.Repair)
+	}
+	v := scrubVerdict{Dir: dir, Scan: rep, Healthy: rep.Healthy}
+	if !rep.Healthy {
+		res, rerr := scrub.Repair(dir, rebuildFromMeta)
+		v.Repair = res
+		if rerr != nil {
+			fmt.Fprintf(os.Stderr, "scrub: repair: %v\n", rerr)
+		} else {
+			v.Healthy = res.Healthy
+			fmt.Fprintf(os.Stderr, "scrub: %d orphans removed, %d sidecars rebuilt, %d segments re-executed\n",
+				len(res.RemovedOrphans), res.RebuiltSidecars, len(res.Repaired))
+		}
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&v); err != nil {
+		log.Fatal(err)
+	}
+	verdict := "healthy"
+	if !v.Healthy {
+		verdict = "UNHEALTHY"
+	}
+	fmt.Fprintf(os.Stderr, "scrub: %s %s (%d segments)\n", dir, verdict, len(rep.Segments))
+	if !v.Healthy {
+		os.Exit(1)
 	}
 }
 

@@ -8,6 +8,8 @@ import (
 	"os/exec"
 	"path/filepath"
 	"testing"
+
+	"oclfpga/internal/obs"
 )
 
 // The CLI contract tests run the real binary: TestMain builds it once into a
@@ -179,5 +181,74 @@ func TestDiffSelfRoundTrip(t *testing.T) {
 	}
 	if !bytes.Contains([]byte(stderr), []byte("diff: neutral")) {
 		t.Fatalf("narration missing from stderr:\n%s", stderr)
+	}
+}
+
+// TestScrubRepairsSpillDir: the self-healing loop end to end through the CLI.
+// A run spills crash-safe segments with the run parameters in the manifest
+// Meta; the test corrupts one segment and plants commit debris; -scrub must
+// re-execute the recorded run, restore the segment byte-identically, and
+// leave a healthy directory.
+func TestScrubRepairsSpillDir(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "spill")
+	_, stderr, code := runBin(t,
+		"-workload", "chanstall", "-log=false", "-sample-every", "200",
+		"-checkpoint-every", "1000", "-seg-lines", "64", "-spill-dir", dir)
+	if code != 0 {
+		t.Fatalf("spill run exited %d\n%s", code, stderr)
+	}
+	man, err := obs.LoadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.Meta["workload"] != "chanstall" || man.Meta["device"] != "s5" {
+		t.Fatalf("manifest Meta does not capture the run parameters: %v", man.Meta)
+	}
+	first := filepath.Join(dir, man.Segments[0].File)
+	clean, err := os.ReadFile(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.FlipByte(first, 25); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "manifest.json.tmp"), []byte("{torn"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	stdout, stderr, code := runBin(t, "-scrub", "-spill-dir", dir)
+	if code != 0 {
+		t.Fatalf("-scrub exited %d\nstdout: %s\nstderr: %s", code, stdout, stderr)
+	}
+	v := oneJSONDocument(t, stdout)
+	if v["healthy"] != true {
+		t.Fatalf("scrub verdict not healthy:\n%s", stdout)
+	}
+	got, err := os.ReadFile(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(clean, got) {
+		t.Fatal("repaired segment is not byte-identical to the original")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "manifest.json.tmp")); !os.IsNotExist(err) {
+		t.Fatal("commit debris survived the scrub")
+	}
+	// A healthy directory scrubs clean without re-execution.
+	stdout, _, code = runBin(t, "-scrub", "-spill-dir", dir)
+	if code != 0 || oneJSONDocument(t, stdout)["repair"] != nil {
+		t.Fatalf("rescan of healed dir: exit %d\n%s", code, stdout)
+	}
+}
+
+func TestScrubFlagHygiene(t *testing.T) {
+	if _, _, code := runBin(t, "-scrub"); code != 2 {
+		t.Fatalf("-scrub without -spill-dir exited %d, want 2", code)
+	}
+	if _, _, code := runBin(t, "-scrub", "-spill-dir", "x", "-query", "track=t"); code != 2 {
+		t.Fatalf("-scrub with -query exited %d, want 2", code)
+	}
+	if _, _, code := runBin(t, "-scrub", "-spill-dir", "x", "-timeline", "t.json"); code != 2 {
+		t.Fatalf("-scrub with -timeline exited %d, want 2", code)
 	}
 }

@@ -1,0 +1,519 @@
+package obs
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// copyDir clones a flat spill directory (the fixtures here have no subdirs).
+func copyDir(t *testing.T, src string) string {
+	t.Helper()
+	dst := t.TempDir()
+	ents, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		data, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), data, 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dst
+}
+
+// assertSameLines byte-compares the durable payload lines of two loaded logs.
+func assertSameLines(t *testing.T, want, got *SegmentLog) {
+	t.Helper()
+	if len(want.Lines) != len(got.Lines) {
+		t.Fatalf("line counts differ: want %d, got %d", len(want.Lines), len(got.Lines))
+	}
+	for i := range want.Lines {
+		if !bytes.Equal(want.Lines[i], got.Lines[i]) {
+			t.Fatalf("line %d differs:\n%s\nvs\n%s", i, want.Lines[i], got.Lines[i])
+		}
+	}
+}
+
+// TestSegmentSinkFaultMatrix drives the sink through every state transition
+// under injected disk faults: for each mutating-operation kind and each fault
+// mode, it arms the fault at every operation index the clean run performs and
+// asserts the invariant DESIGN.md §16 promises — a disk fault may fail the
+// run, but it must never corrupt the durable record: the directory always
+// loads, and a resumed re-execution always completes it byte-identically.
+func TestSegmentSinkFaultMatrix(t *testing.T) {
+	clean := t.TempDir()
+	spillSegments(t, clean)
+	cleanLog, err := LoadSegments(clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ops := []FaultOp{FaultCreate, FaultWrite, FaultSync, FaultRename, FaultWriteFile}
+	modes := []struct {
+		name string
+		mode FaultMode
+	}{
+		{"enospc", FaultENOSPC},
+		{"eio", FaultEIO},
+		{"shortwrite", FaultShortWrite},
+		{"crash", FaultCrash},
+	}
+	for _, op := range ops {
+		for _, m := range modes {
+			t.Run(string(op)+"/"+m.name, func(t *testing.T) {
+				// Count the clean run's ops of this kind, then sweep each index.
+				probe := NewFaultFS(nil)
+				probe.Arm(0, op, m.mode) // disarmed, but counts matching ops
+				dir := t.TempDir()
+				cfg := segCfg(dir)
+				cfg.FS = probe
+				sink, err := NewSegmentSink(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rec := NewRecorder("d", Config{SampleEvery: 50, Sink: sink})
+				feedRecorder(rec)
+				if err := sink.err(); err != nil {
+					t.Fatal(err)
+				}
+				total := probe.Ops()
+				if total == 0 {
+					t.Fatalf("clean run performed no %q ops; matrix has a hole", op)
+				}
+
+				for at := 1; at <= total; at++ {
+					ffs := NewFaultFS(nil)
+					ffs.Arm(at, op, m.mode)
+					dir := t.TempDir()
+					cfg := segCfg(dir)
+					cfg.FS = ffs
+					var finErr error
+					sink, err := NewSegmentSink(cfg)
+					if err != nil {
+						finErr = err
+					} else {
+						rec := NewRecorder("d", Config{SampleEvery: 50, Sink: sink})
+						feedRecorder(rec)
+						finErr = sink.err()
+					}
+					if ffs.Injected() == 0 {
+						t.Fatalf("at=%d: fault never fired (%d ops)", at, ffs.Ops())
+					}
+					if finErr != nil && (m.mode == FaultENOSPC || m.mode == FaultShortWrite) && !IsDiskFull(finErr) {
+						t.Fatalf("at=%d: ENOSPC-family fault surfaced without the ENOSPC signal: %v", at, finErr)
+					}
+
+					// Recovery happens in a fresh process: plain filesystem.
+					log, err := LoadSegmentsWith(dir, LoadOptions{})
+					if err != nil {
+						if os.IsNotExist(err) {
+							// The fault killed the run before the manifest ever
+							// landed: nothing was promised, nothing to recover.
+							continue
+						}
+						t.Fatalf("at=%d: durable record does not load after fault: %v", at, err)
+					}
+					if log.Manifest.Complete {
+						if finErr != nil {
+							t.Fatalf("at=%d: run failed (%v) yet manifest claims complete", at, finErr)
+						}
+						assertSameLines(t, cleanLog, log)
+						continue
+					}
+					if finErr == nil {
+						t.Fatalf("at=%d: run claims success but manifest is incomplete", at)
+					}
+					rsink, err := NewResumeSink(segCfg(dir), log)
+					if err != nil {
+						t.Fatalf("at=%d: resume refused: %v", at, err)
+					}
+					rrec := NewRecorder("d", Config{SampleEvery: 50, Sink: rsink})
+					feedRecorder(rrec)
+					if err := rsink.err(); err != nil {
+						t.Fatalf("at=%d: resumed run failed: %v", at, err)
+					}
+					stitched, err := LoadSegments(dir)
+					if err != nil {
+						t.Fatalf("at=%d: stitched record does not load: %v", at, err)
+					}
+					if !stitched.Manifest.Complete {
+						t.Fatalf("at=%d: stitched manifest incomplete", at)
+					}
+					assertSameLines(t, cleanLog, stitched)
+				}
+			})
+		}
+	}
+}
+
+// TestSegmentSalvageAtEveryByteOffset is the satellite crash sweep: a crashed
+// run's unsealed .part is truncated at every possible byte offset, and every
+// single truncation must (a) load without error — the torn tail is tolerated
+// and truncated at the last complete record, with the drop counted — and
+// (b) resume to a record byte-identical to the uninterrupted run's.
+func TestSegmentSalvageAtEveryByteOffset(t *testing.T) {
+	clean := t.TempDir()
+	spillSegments(t, clean)
+	cleanLog, err := LoadSegments(clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tpl := t.TempDir()
+	crashSpill(t, tpl)
+	parts, err := filepath.Glob(filepath.Join(tpl, "*.part"))
+	if err != nil || len(parts) != 1 {
+		t.Fatalf("parts = %v, err = %v", parts, err)
+	}
+	st, err := os.Stat(parts[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	size := st.Size()
+	partName := filepath.Base(parts[0])
+
+	sawTruncated := false
+	for off := int64(0); off <= size; off++ {
+		dir := copyDir(t, tpl)
+		if err := os.Truncate(filepath.Join(dir, partName), off); err != nil {
+			t.Fatal(err)
+		}
+		log, err := LoadSegments(dir)
+		if err != nil {
+			t.Fatalf("off=%d: load failed: %v", off, err)
+		}
+		if log.Salvaged != nil && log.Salvaged.Truncated {
+			sawTruncated = true
+			if log.Salvaged.DroppedBytes <= 0 {
+				t.Fatalf("off=%d: truncated salvage with no counted drop", off)
+			}
+		}
+		sink, err := NewResumeSink(segCfg(dir), log)
+		if err != nil {
+			t.Fatalf("off=%d: resume refused: %v", off, err)
+		}
+		rec := NewRecorder("d", Config{SampleEvery: 50, Sink: sink})
+		feedRecorder(rec)
+		if err := sink.err(); err != nil {
+			t.Fatalf("off=%d: resumed run failed: %v", off, err)
+		}
+		stitched, err := LoadSegments(dir)
+		if err != nil {
+			t.Fatalf("off=%d: stitched record does not load: %v", off, err)
+		}
+		assertSameLines(t, cleanLog, stitched)
+	}
+	if !sawTruncated {
+		t.Fatal("no truncation offset produced a torn tail; sweep proves nothing")
+	}
+}
+
+// TestSegmentSalvageLiesAreDropped plants a fabricated (well-formed but wrong)
+// line in the .part tail: the resume sink must not trust it — the salvage is
+// discarded from the first contradiction and the regenerated truth lands.
+func TestSegmentSalvageLiesAreDropped(t *testing.T) {
+	clean := t.TempDir()
+	spillSegments(t, clean)
+	cleanLog, err := LoadSegments(clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	crashSpill(t, dir)
+	parts, _ := filepath.Glob(filepath.Join(dir, "*.part"))
+	data, err := os.ReadFile(parts[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drop the torn tail, then append a parseable lie.
+	data = data[:bytes.LastIndexByte(data, '\n')+1]
+	data = append(data, []byte(`{"e":{"kind":"launch","track":"unit:ghost","name":"never-happened","start":9,"end":9,"instant":true}}`+"\n")...)
+	if err := os.WriteFile(parts[0], data, 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	log, err := LoadSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if log.Salvaged == nil || log.Salvaged.Lines == 0 {
+		t.Fatalf("salvage missing: %+v", log.Salvaged)
+	}
+	sink, err := NewResumeSink(segCfg(dir), log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := NewRecorder("d", Config{SampleEvery: 50, Sink: sink})
+	feedRecorder(rec)
+	if err := sink.err(); err != nil {
+		t.Fatalf("resume failed over a lying salvage tail: %v", err)
+	}
+	if sink.SalvageDropped() == 0 {
+		t.Fatal("the fabricated line was not counted as dropped")
+	}
+	stitched, err := LoadSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameLines(t, cleanLog, stitched)
+}
+
+// TestSegmentBitFlipCaughtByChecksum flips a byte that keeps the segment
+// perfectly parseable — same length, valid JSON, right line count — so only
+// the CRC can tell. It must: as a typed verdict naming file and reason.
+func TestSegmentBitFlipCaughtByChecksum(t *testing.T) {
+	dir := t.TempDir()
+	spillSegments(t, dir)
+	log, err := LoadSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg := log.Manifest.Segments[0]
+	p := filepath.Join(dir, seg.File)
+	data, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a letter inside a payload string: "launch" -> "la5nch" stays JSON.
+	i := bytes.Index(data, []byte("launch"))
+	if i < 0 {
+		t.Fatalf("fixture drifted: no 'launch' in %s", seg.File)
+	}
+	if err := FlipByte(p, int64(i+2)); err != nil {
+		t.Fatal(err)
+	}
+
+	_, err = LoadSegments(dir)
+	ce, ok := AsCorrupt(err)
+	if !ok {
+		t.Fatalf("bit flip not surfaced as CorruptSegmentError: %v", err)
+	}
+	if ce.File != seg.File || ce.Reason != "checksum" {
+		t.Fatalf("verdict = %+v", ce)
+	}
+	// The escape hatch still reads the damaged-but-parseable bytes.
+	if _, err := LoadSegmentsWith(dir, LoadOptions{SkipChecksums: true}); err != nil {
+		t.Fatalf("SkipChecksums load failed: %v", err)
+	}
+	// And the whole-file readers agree with the loader.
+	c := CheckSegment(dir, &log.Manifest, 0)
+	if c.ChecksumState != "bad" || c.Err == nil {
+		t.Fatalf("CheckSegment = %+v", c)
+	}
+	if _, _, err := ReadSegmentEvents(dir, seg); err == nil {
+		t.Fatal("ReadSegmentEvents accepted flipped segment")
+	}
+}
+
+// TestLegacyManifestLoadsUnverified drops the fingerprints from a manifest
+// (the pre-checksum format) and expects the spill to still load and check as
+// "unverified", not fail.
+func TestLegacyManifestLoadsUnverified(t *testing.T) {
+	dir := t.TempDir()
+	spillSegments(t, dir)
+	man, err := LoadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range man.Segments {
+		man.Segments[i].FileBytes = 0
+		man.Segments[i].CRC32C = 0
+	}
+	buf, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf = bytes.ReplaceAll(buf, []byte(`"fileBytes"`), []byte(`"xFileBytes"`))
+	buf = bytes.ReplaceAll(buf, []byte(`"crc32c"`), []byte(`"xCrc32c"`))
+	if err := os.WriteFile(filepath.Join(dir, manifestName), buf, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	// Sidecars now look stale (their SegCRC32C pins the old fingerprint).
+	if _, err := LoadSegments(dir); err != nil {
+		t.Fatalf("legacy manifest rejected: %v", err)
+	}
+	log, _ := LoadSegments(dir)
+	c := CheckSegment(dir, &log.Manifest, 0)
+	if c.ChecksumState != "unverified" {
+		t.Fatalf("ChecksumState = %q, want unverified", c.ChecksumState)
+	}
+}
+
+// TestRepairSinkByteIdentical damages two segments of a sealed spill, repairs
+// them by re-executing the workload through a RepairSink, and requires every
+// repaired file to come back byte-for-byte identical to the clean original —
+// sidecars included.
+func TestRepairSinkByteIdentical(t *testing.T) {
+	clean := t.TempDir()
+	spillSegments(t, clean)
+	man, err := LoadManifest(clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(man.Segments) < 3 {
+		t.Fatalf("need >=3 segments, got %d", len(man.Segments))
+	}
+
+	dir := copyDir(t, clean)
+	first := man.Segments[0].File
+	last := man.Segments[len(man.Segments)-1].File
+	if err := FlipByte(filepath.Join(dir, first), 20); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := os.Stat(filepath.Join(dir, last))
+	if err := os.Truncate(filepath.Join(dir, last), st.Size()-9); err != nil {
+		t.Fatal(err)
+	}
+
+	rs, err := NewRepairSink(dir, man, []string{first, last}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := NewRecorder("d", Config{SampleEvery: 50, Sink: rs})
+	feedRecorder(rec)
+	done, err := rs.Commit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(done) != len(man.Segments) {
+		t.Fatalf("repaired %d of %d segments", len(done), len(man.Segments))
+	}
+	for _, rep := range done {
+		if !rep.Verified {
+			t.Fatalf("segment %s not verified: %+v", rep.File, rep)
+		}
+		if rep.Damaged != (rep.File == first || rep.File == last) {
+			t.Fatalf("damage flag wrong: %+v", rep)
+		}
+		if rep.Damaged && !rep.Written {
+			t.Fatalf("damaged segment %s not written", rep.File)
+		}
+	}
+
+	ents, err := os.ReadDir(clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		want, err := os.ReadFile(filepath.Join(clean, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatalf("%s missing after repair: %v", e.Name(), err)
+		}
+		if !bytes.Equal(want, got) {
+			t.Fatalf("%s differs from clean original after repair", e.Name())
+		}
+	}
+	if _, err := LoadSegments(dir); err != nil {
+		t.Fatalf("repaired spill does not load: %v", err)
+	}
+}
+
+// TestRepairSinkDivergenceAborts re-executes a *different* workload into the
+// repair sink: the fingerprint verification must refuse the whole repair and
+// leave the damaged bytes untouched on disk.
+func TestRepairSinkDivergenceAborts(t *testing.T) {
+	dir := t.TempDir()
+	spillSegments(t, dir)
+	man, err := LoadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := man.Segments[0].File
+	if err := FlipByte(filepath.Join(dir, victim), 20); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.ReadFile(filepath.Join(dir, victim))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rs, err := NewRepairSink(dir, man, []string{victim}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := NewRecorder("d", Config{SampleEvery: 50, Sink: rs})
+	rec.Instant(KindLaunch, "unit:imposter", "launch", 0, "")
+	rec.Span(KindUnitRun, "unit:imposter", "run", 1, 120)
+	rec.Finalize(125)
+	_, err = rs.Commit()
+	if err == nil || !strings.Contains(err.Error(), "repair-divergence") {
+		t.Fatalf("divergent repair not refused: %v", err)
+	}
+	after, err := os.ReadFile(filepath.Join(dir, victim))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Fatal("refused repair still modified the damaged segment")
+	}
+	if _, err := os.Stat(filepath.Join(dir, victim+".repair")); err == nil {
+		t.Fatal("refused repair left staging debris")
+	}
+}
+
+// TestRepairSinkShortRunAborts ends the re-execution early: Commit must
+// refuse — a partial regeneration proves nothing.
+func TestRepairSinkShortRunAborts(t *testing.T) {
+	dir := t.TempDir()
+	spillSegments(t, dir)
+	man, err := LoadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := NewRepairSink(dir, man, []string{man.Segments[0].File}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rs.Commit(); err == nil {
+		t.Fatal("Commit before Finalize accepted")
+	}
+	if err := rs.Finalize(man.EndCycle); err == nil {
+		t.Fatal("empty regeneration finalized cleanly")
+	}
+	if _, err := rs.Commit(); err == nil {
+		t.Fatal("empty regeneration committed")
+	}
+}
+
+// TestRepairSinkRejectsUnknownSegment guards the damage list against names
+// the manifest never attested.
+func TestRepairSinkRejectsUnknownSegment(t *testing.T) {
+	dir := t.TempDir()
+	spillSegments(t, dir)
+	man, err := LoadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewRepairSink(dir, man, []string{"seg-000099.ndjson"}, nil); err == nil {
+		t.Fatal("accepted a damage list outside the manifest")
+	}
+}
+
+// TestFlatCodecChecksumDetectsFlip flips one byte of a record's packed data
+// in the binary artifact — structurally intact, wrong contents — and expects
+// the per-record CRC to refuse it.
+func TestFlatCodecChecksumDetectsFlip(t *testing.T) {
+	rec := NewRecorder("d", Config{})
+	rec.Span(KindChanStall, "chan:pipe", "read-stall", 5, 40)
+	rec.Instant(KindLaunch, "unit:k", "go", 0, "")
+	data := rec.FlatLog().AppendFlat(nil)
+
+	// Flip a byte in the last record's cycle field (well inside the packed
+	// words, far from the magic and string table).
+	data[len(data)-10] ^= 0x01
+	if _, err := DecodeFlat(data); err == nil || !strings.Contains(err.Error(), "checksum") {
+		t.Fatalf("flipped record accepted: %v", err)
+	}
+}

@@ -1,0 +1,247 @@
+package obs
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"syscall"
+)
+
+// FaultFS is a fault-injecting VFS for the disk-fault chaos suite: it counts
+// every mutating filesystem operation flowing to the inner filesystem and
+// injects one configured failure — ENOSPC, EIO, a short write, or a
+// simulated crash (this and every later operation fails) — at an armed
+// operation index. Arming by index is what lets the state-transition matrix
+// walk the sink's entire commit protocol: run once cleanly to count the ops,
+// then re-run once per index with the fault armed there.
+type FaultFS struct {
+	inner VFS
+
+	mu       sync.Mutex
+	ops      int
+	armAt    int // 1-based op index to fail; 0 = disarmed
+	armOp    FaultOp
+	mode     FaultMode
+	injected int
+	crashed  bool
+}
+
+// FaultOp selects which operation kind an armed fault matches.
+type FaultOp string
+
+const (
+	// FaultAny matches every mutating operation.
+	FaultAny FaultOp = ""
+	// FaultCreate matches Create.
+	FaultCreate FaultOp = "create"
+	// FaultWrite matches File.Write.
+	FaultWrite FaultOp = "write"
+	// FaultSync matches File.Sync.
+	FaultSync FaultOp = "sync"
+	// FaultRename matches Rename.
+	FaultRename FaultOp = "rename"
+	// FaultWriteFile matches WriteFile.
+	FaultWriteFile FaultOp = "writefile"
+	// FaultRemove matches Remove.
+	FaultRemove FaultOp = "remove"
+)
+
+// FaultMode selects what the armed fault does.
+type FaultMode int
+
+const (
+	// FaultENOSPC fails the operation with ENOSPC (disk full).
+	FaultENOSPC FaultMode = iota
+	// FaultEIO fails the operation with EIO.
+	FaultEIO
+	// FaultShortWrite writes half the buffer, then fails with ENOSPC — the
+	// torn-write shape a real disk-full produces.
+	FaultShortWrite
+	// FaultCrash fails the operation with EIO and every operation after it
+	// too: the filesystem view a process that died at that instant leaves
+	// behind.
+	FaultCrash
+)
+
+// NewFaultFS wraps inner (nil for the real filesystem) with fault injection.
+func NewFaultFS(inner VFS) *FaultFS {
+	if inner == nil {
+		inner = OSFS()
+	}
+	return &FaultFS{inner: inner}
+}
+
+// Arm schedules one fault: the at'th mutating operation (1-based, counted
+// from now) matching op fails with the given mode. Re-arming resets the
+// counter.
+func (f *FaultFS) Arm(at int, op FaultOp, mode FaultMode) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.ops, f.armAt, f.armOp, f.mode, f.crashed = 0, at, op, mode, false
+}
+
+// Disarm cancels any pending fault (a simulated crash stays in effect).
+func (f *FaultFS) Disarm() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.armAt = 0
+}
+
+// Ops returns how many matching mutating operations have been counted since
+// the last Arm.
+func (f *FaultFS) Ops() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ops
+}
+
+// Injected returns how many faults fired.
+func (f *FaultFS) Injected() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.injected
+}
+
+// check counts one operation and decides whether it must fail.
+func (f *FaultFS) check(op FaultOp, path string) (FaultMode, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return FaultCrash, &os.PathError{Op: string(op), Path: path, Err: syscall.EIO}
+	}
+	if f.armOp != FaultAny && f.armOp != op {
+		return 0, nil
+	}
+	f.ops++
+	if f.armAt == 0 || f.ops != f.armAt {
+		return 0, nil
+	}
+	f.injected++
+	switch f.mode {
+	case FaultCrash:
+		f.crashed = true
+		return FaultCrash, &os.PathError{Op: string(op), Path: path, Err: syscall.EIO}
+	case FaultEIO:
+		return FaultEIO, &os.PathError{Op: string(op), Path: path, Err: syscall.EIO}
+	case FaultShortWrite:
+		return FaultShortWrite, &os.PathError{Op: string(op), Path: path, Err: syscall.ENOSPC}
+	default:
+		return FaultENOSPC, &os.PathError{Op: string(op), Path: path, Err: syscall.ENOSPC}
+	}
+}
+
+func (f *FaultFS) Create(name string) (File, error) {
+	if _, err := f.check(FaultCreate, name); err != nil {
+		return nil, err
+	}
+	file, err := f.inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, name: name, inner: file}, nil
+}
+
+func (f *FaultFS) WriteFile(name string, data []byte, perm os.FileMode) error {
+	mode, err := f.check(FaultWriteFile, name)
+	if err != nil {
+		if mode == FaultShortWrite {
+			// Land the torn half so the directory really holds a partial file.
+			_ = f.inner.WriteFile(name, data[:len(data)/2], perm)
+		}
+		return err
+	}
+	return f.inner.WriteFile(name, data, perm)
+}
+
+func (f *FaultFS) Rename(oldname, newname string) error {
+	if _, err := f.check(FaultRename, oldname); err != nil {
+		return err
+	}
+	return f.inner.Rename(oldname, newname)
+}
+
+func (f *FaultFS) Remove(name string) error {
+	if _, err := f.check(FaultRemove, name); err != nil {
+		return err
+	}
+	return f.inner.Remove(name)
+}
+
+func (f *FaultFS) MkdirAll(path string, perm os.FileMode) error {
+	// Directory creation happens once, before any data is at risk; count it
+	// as a generic mutating op only under FaultAny arming.
+	if f.armOpIs(FaultAny) {
+		if _, err := f.check(FaultAny, path); err != nil {
+			return err
+		}
+	}
+	return f.inner.MkdirAll(path, perm)
+}
+
+func (f *FaultFS) ReadFile(name string) ([]byte, error) { return f.inner.ReadFile(name) }
+
+func (f *FaultFS) armOpIs(op FaultOp) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.armOp == op
+}
+
+// faultFile applies write/sync faults to one open file.
+type faultFile struct {
+	fs    *FaultFS
+	name  string
+	inner File
+}
+
+func (f *faultFile) Write(p []byte) (int, error) {
+	mode, err := f.fs.check(FaultWrite, f.name)
+	if err != nil {
+		if mode == FaultShortWrite && len(p) > 0 {
+			n, werr := f.inner.Write(p[:len(p)/2])
+			if werr != nil {
+				return n, werr
+			}
+			return n, err
+		}
+		return 0, err
+	}
+	return f.inner.Write(p)
+}
+
+func (f *faultFile) Sync() error {
+	if _, err := f.fs.check(FaultSync, f.name); err != nil {
+		return err
+	}
+	return f.inner.Sync()
+}
+
+func (f *faultFile) Close() error {
+	// Close is not a faultable op: the interesting failures are the writes
+	// and syncs before it, and real close errors surface those anyway.
+	return f.inner.Close()
+}
+
+// IsDiskFull reports whether err is (or wraps) ENOSPC — the signal the
+// admission layer turns into backpressure instead of a corrupt tail.
+func IsDiskFull(err error) bool { return errors.Is(err, syscall.ENOSPC) }
+
+var _ VFS = (*FaultFS)(nil)
+
+// FlipByte XORs one byte of the file at path (offset from the start;
+// negative counts from the end) — the at-rest bit-rot injector the chaos
+// matrix and the verify.sh disk-chaos smoke use.
+func FlipByte(path string, off int64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if off < 0 {
+		off += int64(len(data))
+	}
+	if off < 0 || off >= int64(len(data)) {
+		return fmt.Errorf("obs: flipbyte: offset %d outside %s (%d bytes)", off, path, len(data))
+	}
+	data[off] ^= 0x40
+	return os.WriteFile(path, data, 0o666)
+}

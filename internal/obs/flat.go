@@ -247,35 +247,49 @@ const (
 	maxFlatRecords = 1 << 26
 )
 
+// recBytes is one encoded record: the six packed words plus its CRC32C.
+const recBytes = recWords*8 + 4
+
 // AppendFlat serializes the log to buf: magic, string table (index 0's empty
-// string implicit), then the fixed-width records. The encoding is canonical —
-// DecodeFlat∘AppendFlat is the identity, which the codec fuzz target checks.
+// string implicit) closed by its CRC32C, then the fixed-width records, each
+// carrying a CRC32C of its packed words — a flipped bit anywhere in the
+// artifact is a decode error with a byte offset, never a wrong event. The
+// encoding is canonical — DecodeFlat∘AppendFlat is the identity, which the
+// codec fuzz target checks (checksums are functions of the data, so the
+// identity survives them).
 func (l *FlatLog) AppendFlat(buf []byte) []byte {
 	buf = append(buf, flatMagic...)
+	strStart := len(buf)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(l.Strings)))
 	for _, s := range l.Strings[1:] {
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s)))
 		buf = append(buf, s...)
 	}
+	buf = binary.LittleEndian.AppendUint32(buf, Checksum(buf[strStart:]))
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(l.Records)))
 	var w [recWords]uint64
+	var rec [recWords * 8]byte
 	for _, f := range l.Records {
 		packRecord(w[:], f)
-		for _, x := range w {
-			buf = binary.LittleEndian.AppendUint64(buf, x)
+		for j, x := range w {
+			binary.LittleEndian.PutUint64(rec[j*8:], x)
 		}
+		buf = append(buf, rec[:]...)
+		buf = binary.LittleEndian.AppendUint32(buf, Checksum(rec[:]))
 	}
 	return buf
 }
 
-// DecodeFlat parses a stream written by AppendFlat, validating every index:
-// kind/track/name/literal-detail IDs must land inside the decoded string
-// table, templates and flags must be known, and no trailing bytes may follow.
-// Malformed input yields an error, never a panic.
+// DecodeFlat parses a stream written by AppendFlat, validating every index and
+// checksum: kind/track/name/literal-detail IDs must land inside the decoded
+// string table, templates and flags must be known, the string-table and
+// per-record CRCs must match, and no trailing bytes may follow. Malformed
+// input yields an error, never a panic.
 func DecodeFlat(data []byte) (*FlatLog, error) {
 	if len(data) < len(flatMagic) || string(data[:len(flatMagic)]) != flatMagic {
 		return nil, fmt.Errorf("obs: flat: bad magic")
 	}
+	orig := data
 	data = data[len(flatMagic):]
 	u32 := func() (uint32, error) {
 		if len(data) < 4 {
@@ -285,6 +299,8 @@ func DecodeFlat(data []byte) (*FlatLog, error) {
 		data = data[4:]
 		return v, nil
 	}
+	off := func() int64 { return int64(len(orig) - len(data)) }
+	strStart := off()
 	nStr, err := u32()
 	if err != nil {
 		return nil, err
@@ -304,19 +320,35 @@ func DecodeFlat(data []byte) (*FlatLog, error) {
 		l.Strings = append(l.Strings, string(data[:n]))
 		data = data[n:]
 	}
+	strSection := orig[strStart:off()]
+	strCRC, err := u32()
+	if err != nil {
+		return nil, err
+	}
+	if got := Checksum(strSection); got != strCRC {
+		return nil, fmt.Errorf("obs: flat: string table checksum mismatch at byte %d (expected %08x, got %08x)",
+			strStart, strCRC, got)
+	}
 	nRec, err := u32()
 	if err != nil {
 		return nil, err
 	}
-	if nRec > maxFlatRecords || uint64(nRec)*recWords*8 != uint64(len(data)) {
+	if nRec > maxFlatRecords || uint64(nRec)*recBytes != uint64(len(data)) {
 		return nil, fmt.Errorf("obs: flat: record count %d does not match %d remaining bytes", nRec, len(data))
 	}
 	l.Records = make([]FlatRecord, 0, nRec)
 	var w [recWords]uint64
 	for i := uint32(0); i < nRec; i++ {
+		recOff := off()
+		recRaw := data[:recWords*8]
 		for j := range w {
 			w[j] = binary.LittleEndian.Uint64(data)
 			data = data[8:]
+		}
+		crc, _ := u32()
+		if got := Checksum(recRaw); got != crc {
+			return nil, fmt.Errorf("obs: flat: record %d checksum mismatch at byte %d (expected %08x, got %08x)",
+				i, recOff, crc, got)
 		}
 		f := unpackRecord(w[:])
 		switch {

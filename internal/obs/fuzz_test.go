@@ -2,6 +2,9 @@ package obs
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"testing"
 )
 
@@ -95,6 +98,96 @@ func FuzzReplayNDJSON(f *testing.F) {
 		}
 		if !bytes.Equal(a.Bytes(), b.Bytes()) {
 			t.Fatal("replay is not deterministic")
+		}
+	})
+}
+
+// FuzzManifest throws arbitrary bytes at the spill manifest parser. Malformed
+// input must be an error, never a panic, and accepted manifests must be
+// stable: re-marshalling and re-parsing an accepted manifest succeeds and
+// preserves the segment list (the durable-truth fields).
+func FuzzManifest(f *testing.F) {
+	dir := f.TempDir()
+	sink, err := NewSegmentSink(SegmentConfig{Dir: dir, Design: "d", SampleEvery: 50, MaxLines: 2})
+	if err != nil {
+		f.Fatal(err)
+	}
+	sink.Event(Event{Kind: KindLaunch, Track: "unit:k", Name: "launch", Start: 0, End: 0, Instant: true})
+	sink.Event(Event{Kind: KindChanStall, Track: "chan:pipe", Name: "write", Start: 3, End: 9})
+	sink.Sample(Sample{Cycle: 50})
+	if err := sink.Finalize(100); err != nil {
+		f.Fatal(err)
+	}
+	real, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(real)
+	f.Add([]byte(`{"obsSegments":1,"design":"d","segments":[]}`))
+	f.Add([]byte(`{"obsSegments":1,"design":"d","segments":[{"file":"../etc/passwd","lines":1}]}`))
+	f.Add([]byte(`{"obsSegments":1,"segments":[{"file":"seg-000001.ndjson","lines":-4}]}`))
+	f.Add([]byte(`{"obsSegments":9}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(""))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		man, err := ParseManifest(data)
+		if err != nil {
+			return // rejection is fine; crashing is not
+		}
+		for i, seg := range man.Segments {
+			if seg.File != segmentName(i+1) {
+				t.Fatalf("accepted out-of-sequence segment name %q at %d", seg.File, i)
+			}
+		}
+		out, err := json.Marshal(man)
+		if err != nil {
+			t.Fatalf("accepted manifest does not marshal: %v", err)
+		}
+		man2, err := ParseManifest(out)
+		if err != nil {
+			t.Fatalf("re-parse of accepted manifest failed: %v", err)
+		}
+		if len(man2.Segments) != len(man.Segments) || man2.Complete != man.Complete || man2.EndCycle != man.EndCycle {
+			t.Fatal("manifest round-trip lost durable-truth fields")
+		}
+	})
+}
+
+// FuzzSegIndex throws arbitrary bytes at the sidecar index parser: error or
+// accept, never panic, and accepted indexes round-trip through JSON.
+func FuzzSegIndex(f *testing.F) {
+	b := newSegIndexBuilder()
+	b.addEvent(&Event{Kind: KindChanStall, Track: "chan:pipe", Name: "read-stall", Start: 5, End: 40})
+	b.addEvent(&Event{Kind: KindLaunch, Track: "unit:k", Name: "go", Start: 0, End: 0, Instant: true, Detail: "x"})
+	b.addSample()
+	idx, _ := b.finish(SegmentInfo{File: "seg-000001.ndjson", Lines: 3, Bytes: 222, CRC32C: 0xdeadbeef})
+	seed, err := json.Marshal(&idx)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add([]byte(`{"obsSegIndex":1,"file":"seg-000001.ndjson","lines":0,"events":0,"samples":0,"firstCycle":-1,"lastCycle":-1}`))
+	f.Add([]byte(`{"obsSegIndex":1,"lines":2,"events":1,"samples":0}`))
+	f.Add([]byte(`{"obsSegIndex":1,"firstCycle":-7}`))
+	f.Add([]byte(`{"obsSegIndex":2}`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(""))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		idx, err := ParseSegIndex(data)
+		if err != nil {
+			return // rejection is fine; crashing is not
+		}
+		if idx.Events+idx.Samples != idx.Lines {
+			t.Fatalf("accepted inconsistent counts: %+v", idx)
+		}
+		out, err := json.Marshal(idx)
+		if err != nil {
+			t.Fatalf("accepted index does not marshal: %v", err)
+		}
+		if _, err := ParseSegIndex(out); err != nil {
+			t.Fatalf("re-parse of accepted index failed: %v", err)
 		}
 	})
 }

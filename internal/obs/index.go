@@ -1,7 +1,6 @@
 package obs
 
 import (
-	"bufio"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -38,10 +37,13 @@ import (
 type SegIndex struct {
 	Version int    `json:"obsSegIndex"`
 	File    string `json:"file"`
-	// Lines/Bytes mirror the manifest entry; a mismatch means the sidecar
-	// is stale and must be rebuilt.
-	Lines int   `json:"lines"`
-	Bytes int64 `json:"bytes"`
+	// Lines/Bytes/SegCRC32C mirror the manifest entry; a mismatch means the
+	// sidecar is stale and must be rebuilt. SegCRC32C is the sealed segment
+	// file's checksum (zero when the manifest predates checksumming), which
+	// pins the sidecar to the exact segment bytes it was derived from.
+	Lines     int    `json:"lines"`
+	Bytes     int64  `json:"bytes"`
+	SegCRC32C uint32 `json:"segCrc32c,omitempty"`
 	// Events/Samples split the payload lines by type.
 	Events  int `json:"events"`
 	Samples int `json:"samples"`
@@ -128,13 +130,14 @@ func (b *segIndexBuilder) addEvent(e *Event) {
 func (b *segIndexBuilder) addSample() { b.samples++ }
 
 // finish closes the builder into the sidecar index and flat log for the
-// sealed segment described by (file, lines, bytes).
-func (b *segIndexBuilder) finish(file string, lines int, bytes int64) (SegIndex, *FlatLog) {
+// sealed segment described by the manifest entry.
+func (b *segIndexBuilder) finish(seg SegmentInfo) (SegIndex, *FlatLog) {
 	idx := SegIndex{
 		Version:    segIndexVersion,
-		File:       file,
-		Lines:      lines,
-		Bytes:      bytes,
+		File:       seg.File,
+		Lines:      seg.Lines,
+		Bytes:      seg.Bytes,
+		SegCRC32C:  seg.CRC32C,
 		Events:     len(b.records),
 		Samples:    b.samples,
 		FirstCycle: b.firstCycle,
@@ -160,23 +163,35 @@ func setToSorted(set map[string]bool) []string {
 // writeSegArtifacts commits both sidecars with temp-file + rename, matching
 // the segment commit discipline so a crash never leaves a torn sidecar.
 func writeSegArtifacts(dir string, idx SegIndex, flat *FlatLog) error {
+	return writeSegArtifactsFS(OSFS(), dir, idx, flat)
+}
+
+// WriteSegArtifacts is the exported sidecar commit — the scrubber's
+// rebuild-sidecar repair pairs it with BuildSegArtifacts.
+func WriteSegArtifacts(dir string, idx SegIndex, flat *FlatLog) error {
+	return writeSegArtifacts(dir, idx, flat)
+}
+
+// writeSegArtifactsFS is writeSegArtifacts through an explicit VFS — the
+// seal-time path, so sidecar writes are visible to the fault injector too.
+func writeSegArtifactsFS(fs VFS, dir string, idx SegIndex, flat *FlatLog) error {
 	buf, err := json.MarshalIndent(&idx, "", "  ")
 	if err != nil {
 		return fmt.Errorf("obs: segindex: %w", err)
 	}
 	buf = append(buf, '\n')
-	if err := atomicWrite(filepath.Join(dir, indexName(idx.File)), buf); err != nil {
+	if err := atomicWrite(fs, filepath.Join(dir, indexName(idx.File)), buf); err != nil {
 		return err
 	}
-	return atomicWrite(filepath.Join(dir, FlatSegmentName(idx.File)), flat.AppendFlat(nil))
+	return atomicWrite(fs, filepath.Join(dir, FlatSegmentName(idx.File)), flat.AppendFlat(nil))
 }
 
-func atomicWrite(path string, data []byte) error {
+func atomicWrite(fs VFS, path string, data []byte) error {
 	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o666); err != nil {
+	if err := fs.WriteFile(tmp, data, 0o666); err != nil {
 		return fmt.Errorf("obs: segindex: %w", err)
 	}
-	if err := os.Rename(tmp, path); err != nil {
+	if err := fs.Rename(tmp, path); err != nil {
 		return fmt.Errorf("obs: segindex: %w", err)
 	}
 	return nil
@@ -189,35 +204,48 @@ func LoadManifest(dir string) (*Manifest, error) {
 	if err != nil {
 		return nil, err
 	}
-	var man Manifest
-	if err := json.Unmarshal(raw, &man); err != nil {
-		return nil, fmt.Errorf("obs: segment: manifest: %w", err)
+	return ParseManifest(raw)
+}
+
+// ParseSegIndex parses and validates sidecar index bytes. Like ParseManifest
+// it must error (never panic) on arbitrary input — the sidecar fuzz target's
+// contract.
+func ParseSegIndex(raw []byte) (*SegIndex, error) {
+	var idx SegIndex
+	if err := json.Unmarshal(raw, &idx); err != nil {
+		return nil, fmt.Errorf("obs: segindex: %w", err)
 	}
-	if man.Version != 1 {
-		return nil, fmt.Errorf("obs: segment: unsupported manifest version %d", man.Version)
+	if idx.Version != segIndexVersion {
+		return nil, fmt.Errorf("obs: segindex: unsupported version %d", idx.Version)
 	}
-	return &man, nil
+	if idx.Lines < 0 || idx.Bytes < 0 || idx.Events < 0 || idx.Samples < 0 {
+		return nil, fmt.Errorf("obs: segindex: negative size field")
+	}
+	if idx.Events+idx.Samples != idx.Lines {
+		return nil, fmt.Errorf("obs: segindex: %d events + %d samples != %d lines", idx.Events, idx.Samples, idx.Lines)
+	}
+	if idx.FirstCycle < -1 || idx.LastCycle < -1 {
+		return nil, fmt.Errorf("obs: segindex: cycle range below -1")
+	}
+	return &idx, nil
 }
 
 // LoadSegIndex reads and validates one segment's sidecar index. A missing,
-// unreadable, or stale sidecar (file/lines/bytes disagreeing with the
-// manifest entry) is an error; callers rebuild via BuildSegArtifacts.
+// unreadable, or stale sidecar (file/lines/bytes/checksum disagreeing with
+// the manifest entry) is an error; callers rebuild via BuildSegArtifacts.
 func LoadSegIndex(dir string, seg SegmentInfo) (*SegIndex, error) {
 	raw, err := os.ReadFile(filepath.Join(dir, indexName(seg.File)))
 	if err != nil {
 		return nil, err
 	}
-	var idx SegIndex
-	if err := json.Unmarshal(raw, &idx); err != nil {
+	idx, err := ParseSegIndex(raw)
+	if err != nil {
 		return nil, fmt.Errorf("obs: segindex: %s: %w", seg.File, err)
 	}
-	if idx.Version != segIndexVersion {
-		return nil, fmt.Errorf("obs: segindex: %s: unsupported version %d", seg.File, idx.Version)
-	}
-	if idx.File != seg.File || idx.Lines != seg.Lines || idx.Bytes != seg.Bytes {
+	if idx.File != seg.File || idx.Lines != seg.Lines || idx.Bytes != seg.Bytes || idx.SegCRC32C != seg.CRC32C {
 		return nil, fmt.Errorf("obs: segindex: %s: stale sidecar (segment resealed?)", seg.File)
 	}
-	return &idx, nil
+	return idx, nil
 }
 
 // LoadSegFlat reads one segment's binary OBSFLAT1 artifact, validating the
@@ -259,52 +287,43 @@ func (l *FlatLog) FlatEvents() []Event {
 }
 
 // ReadSegmentEvents parses one sealed NDJSON segment into its events (sample
-// count returned alongside), validating header and line structure the same
-// way LoadSegments does.
+// count returned alongside), enforcing the manifest entry's checksum and
+// validating header and line structure the same way LoadSegments does —
+// damage surfaces as a typed *CorruptSegmentError.
 func ReadSegmentEvents(dir string, seg SegmentInfo) ([]Event, int, error) {
-	f, err := os.Open(filepath.Join(dir, seg.File))
+	data, err := os.ReadFile(filepath.Join(dir, seg.File))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, 0, corrupt(dir, seg.File, -1, "missing", "sealed segment file", "no file")
+		}
+		return nil, 0, err
+	}
+	if seg.FileBytes != 0 || seg.CRC32C != 0 {
+		if int64(len(data)) != seg.FileBytes {
+			return nil, 0, corrupt(dir, seg.File, min64(len(data), seg.FileBytes), "truncated",
+				fmt.Sprintf("%d bytes", seg.FileBytes), fmt.Sprintf("%d bytes", len(data)))
+		}
+		if got := Checksum(data); got != seg.CRC32C {
+			return nil, 0, corrupt(dir, seg.File, 0, "checksum",
+				fmt.Sprintf("crc32c %08x", seg.CRC32C), fmt.Sprintf("%08x", got))
+		}
+	}
+	lines, samples, _, err := parseSegment(dir, seg.File, data, segmentParse{
+		anyHeader: true, // the manifest's design is not in scope here
+		wantLines: seg.Lines, allowFin: true, needFin: false, endCycle: -1,
+	})
 	if err != nil {
 		return nil, 0, err
 	}
-	defer f.Close()
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	if !sc.Scan() {
-		return nil, 0, fmt.Errorf("obs: segment: %s: empty (missing header)", seg.File)
-	}
-	var hdr ndjsonHeader
-	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil {
-		return nil, 0, fmt.Errorf("obs: segment: %s: header: %w", seg.File, err)
-	}
-	if hdr.Version != 1 {
-		return nil, 0, fmt.Errorf("obs: segment: %s: unsupported header version %d", seg.File, hdr.Version)
-	}
 	var events []Event
-	samples, lines := 0, 0
-	for sc.Scan() {
+	for _, raw := range lines {
 		var ln ndjsonLine
-		if err := json.Unmarshal(sc.Bytes(), &ln); err != nil {
-			return nil, 0, fmt.Errorf("obs: segment: %s: line %d: %w", seg.File, lines+2, err)
+		if err := json.Unmarshal(raw, &ln); err != nil {
+			return nil, 0, fmt.Errorf("obs: segment: %s: %w", seg.File, err)
 		}
-		switch {
-		case ln.E != nil:
+		if ln.E != nil {
 			events = append(events, *ln.E)
-			lines++
-		case ln.S != nil:
-			samples++
-			lines++
-		case ln.Fin != nil:
-			// terminal line of the last segment; not a payload line
-		default:
-			return nil, 0, fmt.Errorf("obs: segment: %s: line %d: no payload", seg.File, lines+2)
 		}
-	}
-	if err := sc.Err(); err != nil {
-		return nil, 0, fmt.Errorf("obs: segment: %s: %w", seg.File, err)
-	}
-	if lines != seg.Lines {
-		return nil, 0, fmt.Errorf("obs: segment: %s: %d payload lines, manifest says %d (sealed segment corrupt)",
-			seg.File, lines, seg.Lines)
 	}
 	return events, samples, nil
 }
@@ -321,7 +340,7 @@ func BuildSegArtifacts(dir string, seg SegmentInfo) (*SegIndex, *FlatLog, error)
 		b.addEvent(&events[i])
 	}
 	b.samples = samples
-	idx, flat := b.finish(seg.File, seg.Lines, seg.Bytes)
+	idx, flat := b.finish(seg)
 	return &idx, flat, nil
 }
 

@@ -1,0 +1,62 @@
+package scrub
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+)
+
+// quarantineName marks a spill directory whose damage the scrubber could not
+// repair. The marker is data, not a lock: readers that find it should serve
+// the run as degraded (or refuse), and the next successful Repair clears it.
+const quarantineName = "quarantine.json"
+
+// QuarantineRecord is the persisted verdict explaining why a spill directory
+// was quarantined.
+type QuarantineRecord struct {
+	// Reason is a one-line human verdict ("2 segments unrepairable: ...").
+	Reason string `json:"reason"`
+	// Damage lists the findings that survived repair.
+	Damage []Damage `json:"damage,omitempty"`
+	// Time is an RFC3339 stamp of when the marker was written.
+	Time string `json:"time,omitempty"`
+}
+
+// Quarantine writes (or replaces) the marker atomically.
+func Quarantine(dir, reason string, damage []Damage, when string) error {
+	buf, err := json.MarshalIndent(&QuarantineRecord{Reason: reason, Damage: damage, Time: when}, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	p := filepath.Join(dir, quarantineName)
+	tmp := p + ".tmp"
+	if err := os.WriteFile(tmp, buf, 0o666); err != nil {
+		return err
+	}
+	return os.Rename(tmp, p)
+}
+
+// Quarantined reports whether dir carries a quarantine marker. A marker that
+// exists but fails to parse still counts — the directory was condemned, even
+// if the verdict text rotted too.
+func Quarantined(dir string) (*QuarantineRecord, bool) {
+	raw, err := os.ReadFile(filepath.Join(dir, quarantineName))
+	if err != nil {
+		return nil, false
+	}
+	rec := &QuarantineRecord{}
+	if json.Unmarshal(raw, rec) != nil {
+		rec = &QuarantineRecord{Reason: "quarantine marker unreadable"}
+	}
+	return rec, true
+}
+
+// Unquarantine removes the marker; missing is fine.
+func Unquarantine(dir string) error {
+	err := os.Remove(filepath.Join(dir, quarantineName))
+	if err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	return nil
+}

@@ -2,8 +2,10 @@ package obs
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 )
@@ -19,13 +21,20 @@ import (
 //	seg-000001.ndjson      sealed segment: header line + payload lines
 //	seg-000002.ndjson.part segment being written (ignored by recovery)
 //
-// A process crash loses at most the .part segment. Because the simulator is
-// deterministic, recovery is replay-based rather than journal-based: restart
-// the workload from cycle 0 with a resume sink (NewResumeSink) that verifies
-// the regenerated stream byte-for-byte against the durable prefix and starts
-// appending new segments where the prefix ends. The stitched record is then
-// byte-identical to an uninterrupted run's — the recovery invariant the
-// chaos suite asserts with fast-forward on and off.
+// A process crash loses at most the torn tail of the .part segment: recovery
+// salvages its complete-line prefix (verified against the re-executed stream
+// before anything trusts it) and truncates the rest with a counted warning.
+// Because the simulator is deterministic, recovery is replay-based rather
+// than journal-based: restart the workload from cycle 0 with a resume sink
+// (NewResumeSink) that verifies the regenerated stream byte-for-byte against
+// the durable prefix and starts appending new segments where the prefix ends.
+// The stitched record is then byte-identical to an uninterrupted run's — the
+// recovery invariant the chaos suite asserts with fast-forward on and off.
+//
+// Every sealed segment's manifest entry records the file's full length and
+// CRC32C, so bit rot, truncation, and torn writes surface as a typed
+// CorruptSegmentError on load — and so the scrubber can prove a regenerated
+// replacement byte-identical before swapping it in (DESIGN.md §16).
 
 // SegmentInfo is one sealed segment's manifest entry.
 type SegmentInfo struct {
@@ -35,6 +44,12 @@ type SegmentInfo struct {
 	Lines     int   `json:"lines"`
 	Bytes     int64 `json:"bytes"`
 	LastCycle int64 `json:"lastCycle"`
+	// FileBytes/CRC32C fingerprint the sealed file in full (header and fin
+	// included): the integrity check LoadSegments enforces and the repair
+	// engine verifies regenerated segments against. Both zero in manifests
+	// written before checksumming existed — those segments load unverified.
+	FileBytes int64  `json:"fileBytes,omitempty"`
+	CRC32C    uint32 `json:"crc32c,omitempty"`
 }
 
 // Manifest indexes a segmented spill directory.
@@ -54,6 +69,32 @@ const manifestName = "manifest.json"
 
 func segmentName(seq int) string { return fmt.Sprintf("seg-%06d.ndjson", seq) }
 
+// ParseManifest parses and validates manifest bytes: version, segment naming
+// (sequential seg-NNNNNN.ndjson — which also forecloses path traversal from
+// an attacker-controlled spill dir), and field sanity. Malformed input is an
+// error, never a panic; the manifest fuzz target holds it to that.
+func ParseManifest(raw []byte) (*Manifest, error) {
+	var man Manifest
+	if err := json.Unmarshal(raw, &man); err != nil {
+		return nil, fmt.Errorf("obs: segment: manifest: %w", err)
+	}
+	if man.Version != 1 {
+		return nil, fmt.Errorf("obs: segment: unsupported manifest version %d", man.Version)
+	}
+	if man.SampleEvery < 0 || man.EndCycle < 0 {
+		return nil, fmt.Errorf("obs: segment: manifest: negative sampleEvery/endCycle")
+	}
+	for i, seg := range man.Segments {
+		if seg.File != segmentName(i+1) {
+			return nil, fmt.Errorf("obs: segment: manifest: segment %d named %q, want %q", i+1, seg.File, segmentName(i+1))
+		}
+		if seg.Lines < 0 || seg.Bytes < 0 || seg.FileBytes < 0 || seg.LastCycle < 0 {
+			return nil, fmt.Errorf("obs: segment: manifest: segment %s: negative size field", seg.File)
+		}
+	}
+	return &man, nil
+}
+
 // SegmentConfig configures a segmented spill.
 type SegmentConfig struct {
 	// Dir is the spill directory (created if absent). One run per directory.
@@ -67,6 +108,9 @@ type SegmentConfig struct {
 	// Whichever trips first seals the segment.
 	MaxLines int
 	MaxBytes int64
+	// FS is the filesystem the sink writes through (nil for the real one) —
+	// the injection seam the disk-fault chaos suite arms.
+	FS VFS
 }
 
 func (c *SegmentConfig) fill() {
@@ -76,6 +120,26 @@ func (c *SegmentConfig) fill() {
 	if c.MaxBytes == 0 {
 		c.MaxBytes = 1 << 20
 	}
+	if c.FS == nil {
+		c.FS = OSFS()
+	}
+}
+
+// crcWriter tees bytes that actually reached the file into a running CRC32C
+// and length — the seal-time fingerprint recorded in the manifest. Only the
+// successfully written prefix is hashed, so a short write leaves the CRC
+// describing what is really on disk.
+type crcWriter struct {
+	f   File
+	crc uint32
+	n   int64
+}
+
+func (c *crcWriter) Write(p []byte) (int, error) {
+	n, err := c.f.Write(p)
+	c.crc = crc32.Update(c.crc, castagnoli, p[:n])
+	c.n += int64(n)
+	return n, err
 }
 
 // SegmentSink spills the event/sample stream into rotated, atomically
@@ -88,11 +152,17 @@ type SegmentSink struct {
 	man Manifest
 
 	// verify is the durable prefix a resume sink checks instead of rewriting;
-	// vpos is the next line to verify.
-	verify [][]byte
-	vpos   int
+	// vpos is the next line to verify. The tail of verify from salvageStart on
+	// was salvaged from an unsealed .part segment: those lines are untrusted
+	// hints — they are re-appended durably after verification, and a
+	// divergence there discards the rest of the salvage instead of failing.
+	verify       [][]byte
+	vpos         int
+	salvageStart int
+	salvageDrop  int
 
-	f       *os.File
+	f       File
+	cw      *crcWriter
 	bw      *bufio.Writer
 	lines   int
 	bytes   int64
@@ -117,7 +187,7 @@ type SegmentSink struct {
 // leaves a recoverable (empty-prefix) log behind.
 func NewSegmentSink(cfg SegmentConfig) (*SegmentSink, error) {
 	cfg.fill()
-	if err := os.MkdirAll(cfg.Dir, 0o777); err != nil {
+	if err := cfg.FS.MkdirAll(cfg.Dir, 0o777); err != nil {
 		return nil, fmt.Errorf("obs: segment: %w", err)
 	}
 	s := &SegmentSink{cfg: cfg, man: Manifest{
@@ -131,9 +201,11 @@ func NewSegmentSink(cfg SegmentConfig) (*SegmentSink, error) {
 
 // NewResumeSink continues an interrupted segmented spill: the first
 // len(log.Lines) records the run regenerates are byte-compared against the
-// durable prefix (a mismatch is a replay-divergence error — the workload was
-// not rebuilt identically), and every record after the prefix is appended as
-// new segments continuing the manifest. Durable segments are never rewritten.
+// durable prefix (a mismatch in the sealed prefix is a replay-divergence
+// error — the workload was not rebuilt identically), and every record after
+// the prefix is appended as new segments continuing the manifest. Durable
+// segments are never rewritten; lines salvaged from the torn .part tail are
+// verified and re-landed in the new open segment.
 func NewResumeSink(cfg SegmentConfig, log *SegmentLog) (*SegmentSink, error) {
 	if log.Manifest.Complete {
 		return nil, fmt.Errorf("obs: segment: log in %s is complete; nothing to resume", cfg.Dir)
@@ -142,13 +214,20 @@ func NewResumeSink(cfg SegmentConfig, log *SegmentLog) (*SegmentSink, error) {
 	cfg.Design = log.Manifest.Design
 	cfg.SampleEvery = log.Manifest.SampleEvery
 	cfg.Meta = log.Manifest.Meta
-	s := &SegmentSink{cfg: cfg, man: log.Manifest, verify: log.Lines}
+	s := &SegmentSink{cfg: cfg, man: log.Manifest, verify: log.Lines, salvageStart: len(log.Lines)}
+	if log.Salvaged != nil {
+		s.salvageStart = len(log.Lines) - log.Salvaged.Lines
+	}
 	return s, nil
 }
 
 // Verified reports how many durable-prefix lines the resumed run has
 // reproduced byte-identically so far.
 func (s *SegmentSink) Verified() int { return s.vpos }
+
+// SalvageDropped reports how many lines salvaged from the torn .part tail
+// the re-executed stream contradicted and recovery therefore discarded.
+func (s *SegmentSink) SalvageDropped() int { return s.salvageDrop }
 
 // Dir returns the spill directory.
 func (s *SegmentSink) Dir() string { return s.cfg.Dir }
@@ -160,10 +239,10 @@ func (s *SegmentSink) writeManifest() error {
 	}
 	buf = append(buf, '\n')
 	tmp := filepath.Join(s.cfg.Dir, manifestName+".tmp")
-	if err := os.WriteFile(tmp, buf, 0o666); err != nil {
+	if err := s.cfg.FS.WriteFile(tmp, buf, 0o666); err != nil {
 		return fmt.Errorf("obs: segment: manifest: %w", err)
 	}
-	if err := os.Rename(tmp, filepath.Join(s.cfg.Dir, manifestName)); err != nil {
+	if err := s.cfg.FS.Rename(tmp, filepath.Join(s.cfg.Dir, manifestName)); err != nil {
 		return fmt.Errorf("obs: segment: manifest: %w", err)
 	}
 	return nil
@@ -172,11 +251,13 @@ func (s *SegmentSink) writeManifest() error {
 // open starts the next segment's .part file with its header line.
 func (s *SegmentSink) open() error {
 	name := segmentName(len(s.man.Segments) + 1)
-	f, err := os.Create(filepath.Join(s.cfg.Dir, name+".part"))
+	f, err := s.cfg.FS.Create(filepath.Join(s.cfg.Dir, name+".part"))
 	if err != nil {
 		return err
 	}
-	s.f, s.bw = f, bufio.NewWriter(f)
+	s.f = f
+	s.cw = &crcWriter{f: f}
+	s.bw = bufio.NewWriter(s.cw)
 	s.lines, s.bytes, s.last = 0, 0, 0
 	s.art = newSegIndexBuilder()
 	hdr, err := json.Marshal(ndjsonHeader{Version: 1, Design: s.cfg.Design, SampleEvery: s.cfg.SampleEvery})
@@ -199,29 +280,32 @@ func (s *SegmentSink) seal() error {
 			return err
 		}
 		name := segmentName(len(s.man.Segments) + 1)
-		info := &SegmentInfo{File: name, Lines: s.lines, Bytes: s.bytes, LastCycle: s.last}
+		info := &SegmentInfo{
+			File: name, Lines: s.lines, Bytes: s.bytes, LastCycle: s.last,
+			FileBytes: s.cw.n, CRC32C: s.cw.crc,
+		}
 		if err := s.f.Close(); err != nil {
-			s.f, s.bw = nil, nil
+			s.f, s.cw, s.bw = nil, nil, nil
 			return err
 		}
-		s.f, s.bw = nil, nil
+		s.f, s.cw, s.bw = nil, nil, nil
 		s.pending = info
 		if s.art != nil {
-			idx, flat := s.art.finish(info.File, info.Lines, info.Bytes)
+			idx, flat := s.art.finish(*info)
 			s.pendingArt = &stagedArtifacts{idx: idx, flat: flat}
 			s.art = nil
 		}
 	}
 	if s.pending != nil {
 		p := filepath.Join(s.cfg.Dir, s.pending.File)
-		if err := os.Rename(p+".part", p); err != nil {
+		if err := s.cfg.FS.Rename(p+".part", p); err != nil {
 			return err
 		}
 		s.man.Segments = append(s.man.Segments, *s.pending)
 		s.pending = nil
 		if s.pendingArt != nil {
 			// Cache write: a failure degrades to an on-demand rebuild later.
-			_ = writeSegArtifacts(s.cfg.Dir, s.pendingArt.idx, s.pendingArt.flat)
+			_ = writeSegArtifactsFS(s.cfg.FS, s.cfg.Dir, s.pendingArt.idx, s.pendingArt.flat)
 			s.pendingArt = nil
 		}
 	}
@@ -234,22 +318,38 @@ type stagedArtifacts struct {
 }
 
 // append lands one marshalled line and reports whether it was appended to
-// the open segment — false while verifying the durable prefix (a resumed
-// run's replayed lines must not re-feed the index builder) or after a sticky
-// error. Rotation is the caller's business (maybeRotate), so the builder can
-// observe the line before its segment seals.
+// the open segment — false while verifying the sealed durable prefix (a
+// resumed run's replayed lines must not re-feed the index builder) or after
+// a sticky error; true for salvaged-tail lines, which are re-landed durably.
+// Rotation is the caller's business (maybeRotate), so the builder can
+// observe the line before its segment seals. Lines arriving after Finalize
+// are dropped: the manifest is already published complete, and lazily
+// opening a fresh segment for them would leave a stray never-sealed .part.
 func (s *SegmentSink) append(line []byte, cycle int64) bool {
-	if s.werr != nil {
+	if s.werr != nil || s.finalized {
 		return false
 	}
 	if s.vpos < len(s.verify) {
-		if string(line) != string(s.verify[s.vpos]) {
+		match := string(line) == string(s.verify[s.vpos])
+		switch {
+		case match && s.vpos < s.salvageStart:
+			// Sealed-prefix line: verified, already durable.
+			s.vpos++
+			return false
+		case match:
+			// Salvaged .part line: verified; fall through and re-land it.
+			s.vpos++
+		case s.vpos < s.salvageStart:
 			s.werr = fmt.Errorf("replay diverged from durable prefix at line %d: re-executed run produced %q, spill holds %q",
 				s.vpos, line, s.verify[s.vpos])
 			return false
+		default:
+			// Divergence inside the salvaged (unsealed, unchecksummed) tail:
+			// the torn .part lied — discard the rest of the salvage and land
+			// the regenerated truth instead.
+			s.salvageDrop += len(s.verify) - s.vpos
+			s.verify = s.verify[:s.vpos]
 		}
-		s.vpos++
-		return false
 	}
 	if s.f == nil {
 		if err := s.open(); err != nil {
@@ -319,8 +419,15 @@ func (s *SegmentSink) Finalize(endCycle int64) error {
 	s.finalized = true
 	s.endCycle = endCycle
 	if s.werr == nil && s.vpos < len(s.verify) {
-		s.werr = fmt.Errorf("replay ended after %d of %d durable lines; re-executed run is shorter than the spill",
-			s.vpos, len(s.verify))
+		if s.vpos >= s.salvageStart {
+			// Only salvaged-tail lines remain unverified: the torn .part held
+			// more than the run regenerates — distrust and drop them.
+			s.salvageDrop += len(s.verify) - s.vpos
+			s.verify = s.verify[:s.vpos]
+		} else {
+			s.werr = fmt.Errorf("replay ended after %d of %d durable lines; re-executed run is shorter than the spill",
+				s.vpos, len(s.verify))
+		}
 	}
 	if s.werr == nil {
 		if s.f == nil {
@@ -341,23 +448,20 @@ func (s *SegmentSink) Finalize(endCycle int64) error {
 }
 
 // commit seals the final segment and publishes the completed manifest.
+// Completeness is set *before* the seal so its manifest write is the single
+// atomic publish: there is no window where the durable manifest lists a
+// fin-bearing segment without being marked complete (a crash there would
+// otherwise leave a spill that loads as corrupt instead of resumable).
 func (s *SegmentSink) commit() error {
 	if s.werr != nil {
 		return fmt.Errorf("obs: segment: %w", s.werr)
 	}
 	s.cerr = nil
+	s.man.Complete = true
+	s.man.EndCycle = s.endCycle
 	if err := s.seal(); err != nil {
 		s.cerr = err
 		return fmt.Errorf("obs: segment: commit: %w", err)
-	}
-	if !s.man.Complete {
-		s.man.Complete = true
-		s.man.EndCycle = s.endCycle
-		if err := s.writeManifest(); err != nil {
-			s.man.Complete = false
-			s.cerr = err
-			return fmt.Errorf("obs: segment: commit: %w", err)
-		}
 	}
 	return nil
 }
@@ -382,13 +486,33 @@ func (s *SegmentSink) err() error {
 	return nil
 }
 
+// TailSalvage describes what recovery pulled out of the crashed run's
+// unsealed .part segment: how many complete payload lines were salvaged and
+// how many trailing bytes were truncated as torn. It is the counted warning
+// the satellite of DESIGN.md §16 specifies — salvage is reported, never
+// silent.
+type TailSalvage struct {
+	// File is the .part file the tail came from.
+	File string `json:"file"`
+	// Lines is how many complete payload lines were salvaged.
+	Lines int `json:"lines"`
+	// DroppedBytes counts trailing bytes truncated at the last complete
+	// record (a torn line, or bytes after an unexpected line).
+	DroppedBytes int `json:"droppedBytes"`
+	// Truncated reports whether anything was dropped.
+	Truncated bool `json:"truncated"`
+}
+
 // SegmentLog is a loaded segmented spill: the manifest plus every durable
 // payload line in stream order (raw bytes — the currency of the resume
-// sink's byte-prefix verification).
+// sink's byte-prefix verification). For an incomplete (crashed) spill, the
+// complete-line prefix of the unsealed .part segment is salvaged onto the
+// end of Lines and described by Salvaged.
 type SegmentLog struct {
 	Dir      string
 	Manifest Manifest
 	Lines    [][]byte
+	Salvaged *TailSalvage
 }
 
 // LastCycle returns the highest cycle any durable record reached.
@@ -405,89 +529,248 @@ func (l *SegmentLog) LastCycle() int64 {
 	return last
 }
 
+// LoadOptions tunes LoadSegmentsWith.
+type LoadOptions struct {
+	// SkipChecksums disables per-segment CRC verification (structural
+	// validation still runs). An escape hatch for salvaging what parses from
+	// a spill already known to be damaged — and the control arm of the
+	// verification-overhead benchmark. Everything that answers questions
+	// from a spill verifies.
+	SkipChecksums bool
+}
+
 // LoadSegments reads a segmented spill directory back: the manifest, then
-// every sealed segment it lists, validating headers and per-segment line
-// counts. Unlisted files (a crashed run's .part segment, an orphaned sealed
-// segment from a crash between rename and manifest rewrite) are ignored —
-// the manifest is the sole source of durable truth.
+// every sealed segment it lists, validating headers, per-segment line
+// counts, and — for manifests that record them — file lengths and CRC32C
+// checksums, so damage surfaces as a typed *CorruptSegmentError instead of a
+// wrong answer. Unlisted files (an orphaned sealed segment from a crash
+// between rename and manifest rewrite) are ignored — the manifest is the
+// sole source of durable truth — except the incomplete spill's own .part
+// tail, whose complete-line prefix is salvaged (see TailSalvage).
 func LoadSegments(dir string) (*SegmentLog, error) {
+	return LoadSegmentsWith(dir, LoadOptions{})
+}
+
+// LoadSegmentsWith is LoadSegments with explicit options.
+func LoadSegmentsWith(dir string, opt LoadOptions) (*SegmentLog, error) {
 	raw, err := os.ReadFile(filepath.Join(dir, manifestName))
 	if err != nil {
 		return nil, err
 	}
-	l := &SegmentLog{Dir: dir}
-	if err := json.Unmarshal(raw, &l.Manifest); err != nil {
-		return nil, fmt.Errorf("obs: segment: manifest: %w", err)
+	man, err := ParseManifest(raw)
+	if err != nil {
+		return nil, err
 	}
-	if l.Manifest.Version != 1 {
-		return nil, fmt.Errorf("obs: segment: unsupported manifest version %d", l.Manifest.Version)
-	}
+	l := &SegmentLog{Dir: dir, Manifest: *man}
 	for i, seg := range l.Manifest.Segments {
-		if err := l.loadSegment(i, seg); err != nil {
+		if err := l.loadSegment(i, seg, opt); err != nil {
+			return nil, err
+		}
+	}
+	if !l.Manifest.Complete {
+		if err := l.salvagePart(); err != nil {
 			return nil, err
 		}
 	}
 	return l, nil
 }
 
-func (l *SegmentLog) loadSegment(idx int, seg SegmentInfo) error {
-	f, err := os.Open(filepath.Join(l.Dir, seg.File))
+func (l *SegmentLog) loadSegment(idx int, seg SegmentInfo, opt LoadOptions) error {
+	data, err := os.ReadFile(filepath.Join(l.Dir, seg.File))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return corrupt(l.Dir, seg.File, -1, "missing", "sealed segment file", "no file")
+		}
+		return err
+	}
+	fingerprinted := seg.FileBytes != 0 || seg.CRC32C != 0
+	if fingerprinted {
+		if int64(len(data)) != seg.FileBytes {
+			reason := "truncated"
+			if int64(len(data)) > seg.FileBytes {
+				reason = "structure"
+			}
+			return corrupt(l.Dir, seg.File, int64(min64(len(data), seg.FileBytes)), reason,
+				fmt.Sprintf("%d bytes", seg.FileBytes), fmt.Sprintf("%d bytes", len(data)))
+		}
+		if !opt.SkipChecksums {
+			if got := Checksum(data); got != seg.CRC32C {
+				return corrupt(l.Dir, seg.File, 0, "checksum",
+					fmt.Sprintf("crc32c %08x", seg.CRC32C), fmt.Sprintf("%08x", got))
+			}
+		}
+	}
+	lines, _, _, err := parseSegment(l.Dir, seg.File, data, segmentParse{
+		design: l.Manifest.Design, sampleEvery: l.Manifest.SampleEvery,
+		wantLines: seg.Lines,
+		allowFin:  idx == len(l.Manifest.Segments)-1 && l.Manifest.Complete,
+		needFin:   idx == len(l.Manifest.Segments)-1 && l.Manifest.Complete,
+		endCycle:  l.Manifest.EndCycle,
+	})
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	if !sc.Scan() {
-		return fmt.Errorf("obs: segment: %s: empty (missing header)", seg.File)
+	l.Lines = append(l.Lines, lines...)
+	return nil
+}
+
+// segmentParse configures parseSegment's structural validation.
+type segmentParse struct {
+	// anyHeader accepts any version-1 header; otherwise design/sampleEvery
+	// must agree with the manifest.
+	anyHeader   bool
+	design      string
+	sampleEvery int64
+	// wantLines is the expected payload line count (-1 to skip the check).
+	wantLines int
+	allowFin  bool
+	needFin   bool
+	// endCycle is the fin line's required cycle (-1 to skip the check).
+	endCycle int64
+}
+
+// parseSegment validates one sealed segment's bytes — header agreement, one
+// JSON payload object per line, fin placement — returning the payload lines.
+// Every failure is a *CorruptSegmentError carrying the byte offset.
+func parseSegment(dir, file string, data []byte, p segmentParse) (lines [][]byte, samples int, events int, err error) {
+	off := int64(0)
+	next := func() ([]byte, int64, bool) {
+		if len(data) == 0 {
+			return nil, off, false
+		}
+		i := bytes.IndexByte(data, '\n')
+		if i < 0 {
+			return nil, off, false // torn final line: handled by caller state
+		}
+		line, start := data[:i], off
+		data = data[i+1:]
+		off += int64(i) + 1
+		return line, start, true
+	}
+	hdrLine, hdrOff, ok := next()
+	if !ok {
+		return nil, 0, 0, corrupt(dir, file, hdrOff, "truncated", "header line", "end of file")
 	}
 	var hdr ndjsonHeader
-	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil {
-		return fmt.Errorf("obs: segment: %s: header: %w", seg.File, err)
+	if err := json.Unmarshal(hdrLine, &hdr); err != nil {
+		return nil, 0, 0, corrupt(dir, file, hdrOff, "garbage", "header line", err.Error())
 	}
-	if hdr.Version != 1 || hdr.Design != l.Manifest.Design || hdr.SampleEvery != l.Manifest.SampleEvery {
-		return fmt.Errorf("obs: segment: %s: header %+v disagrees with manifest (design %q, sampleEvery %d)",
-			seg.File, hdr, l.Manifest.Design, l.Manifest.SampleEvery)
+	if hdr.Version != 1 || (!p.anyHeader && (hdr.Design != p.design || hdr.SampleEvery != p.sampleEvery)) {
+		return nil, 0, 0, corrupt(dir, file, hdrOff, "structure",
+			fmt.Sprintf("header design %q sampleEvery %d", p.design, p.sampleEvery),
+			fmt.Sprintf("%+v", hdr))
 	}
-	lines, sawFin := 0, false
-	for sc.Scan() {
+	sawFin := false
+	for {
+		line, start, ok := next()
+		if !ok {
+			if len(data) > 0 {
+				return nil, 0, 0, corrupt(dir, file, start, "truncated", "newline-terminated line",
+					fmt.Sprintf("%d trailing bytes", len(data)))
+			}
+			break
+		}
 		if sawFin {
-			return fmt.Errorf("obs: segment: %s: line after terminal fin line", seg.File)
+			return nil, 0, 0, corrupt(dir, file, start, "structure", "end of file after fin line", "more lines")
 		}
 		var ln ndjsonLine
-		if err := json.Unmarshal(sc.Bytes(), &ln); err != nil {
-			return fmt.Errorf("obs: segment: %s: line %d: %w", seg.File, lines+2, err)
+		if err := json.Unmarshal(line, &ln); err != nil {
+			return nil, 0, 0, corrupt(dir, file, start, "garbage", "payload line", err.Error())
 		}
 		switch {
 		case ln.Fin != nil:
-			last := idx == len(l.Manifest.Segments)-1
-			if !last || !l.Manifest.Complete {
-				return fmt.Errorf("obs: segment: %s: unexpected fin line (segment %d of %d, complete=%v)",
-					seg.File, idx+1, len(l.Manifest.Segments), l.Manifest.Complete)
+			if !p.allowFin {
+				return nil, 0, 0, corrupt(dir, file, start, "structure", "no fin line here", "fin line")
 			}
-			if ln.Fin.EndCycle != l.Manifest.EndCycle {
-				return fmt.Errorf("obs: segment: %s: fin cycle %d disagrees with manifest end cycle %d",
-					seg.File, ln.Fin.EndCycle, l.Manifest.EndCycle)
+			if p.endCycle >= 0 && ln.Fin.EndCycle != p.endCycle {
+				return nil, 0, 0, corrupt(dir, file, start, "structure",
+					fmt.Sprintf("fin cycle %d", p.endCycle), fmt.Sprintf("fin cycle %d", ln.Fin.EndCycle))
 			}
 			sawFin = true
-		case ln.E != nil || ln.S != nil:
-			l.Lines = append(l.Lines, append([]byte(nil), sc.Bytes()...))
-			lines++
+		case ln.E != nil:
+			lines = append(lines, append([]byte(nil), line...))
+			events++
+		case ln.S != nil:
+			lines = append(lines, append([]byte(nil), line...))
+			samples++
 		default:
-			return fmt.Errorf("obs: segment: %s: line %d: no payload", seg.File, lines+2)
+			return nil, 0, 0, corrupt(dir, file, start, "garbage", "event/sample/fin payload", "no payload")
 		}
 	}
-	if err := sc.Err(); err != nil {
-		return fmt.Errorf("obs: segment: %s: %w", seg.File, err)
+	if p.wantLines >= 0 && len(lines) != p.wantLines {
+		return nil, 0, 0, corrupt(dir, file, off, "structure",
+			fmt.Sprintf("%d payload lines (manifest)", p.wantLines), fmt.Sprintf("%d payload lines (sealed segment corrupt)", len(lines)))
 	}
-	if lines != seg.Lines {
-		return fmt.Errorf("obs: segment: %s: %d payload lines, manifest says %d (sealed segment corrupt)",
-			seg.File, lines, seg.Lines)
+	if p.needFin && !sawFin {
+		return nil, 0, 0, corrupt(dir, file, off, "structure", "fin line (manifest complete)", "no fin line")
 	}
-	if idx == len(l.Manifest.Segments)-1 && l.Manifest.Complete && !sawFin {
-		return fmt.Errorf("obs: segment: %s: manifest complete but fin line missing", seg.File)
+	return lines, samples, events, nil
+}
+
+// salvagePart recovers the complete-line prefix of the crashed run's open
+// .part segment: a valid header plus every complete, parseable payload line
+// before the torn tail. The salvage is untrusted (no checksum seals it) — a
+// resume sink byte-verifies each salvaged line against the re-executed
+// stream before re-landing it durably, and discards the salvage from the
+// first contradiction. A .part that does not even start with the right
+// header is ignored wholesale (it predates the manifest, or is garbage).
+func (l *SegmentLog) salvagePart() error {
+	name := segmentName(len(l.Manifest.Segments)+1) + ".part"
+	data, err := os.ReadFile(filepath.Join(l.Dir, name))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
 	}
+	sal := &TailSalvage{File: name}
+	i := bytes.IndexByte(data, '\n')
+	if i < 0 {
+		return nil // not even a complete header line: nothing salvageable
+	}
+	var hdr ndjsonHeader
+	if err := json.Unmarshal(data[:i], &hdr); err != nil ||
+		hdr.Version != 1 || hdr.Design != l.Manifest.Design || hdr.SampleEvery != l.Manifest.SampleEvery {
+		return nil // foreign or garbage .part: ignore, recovery regenerates it
+	}
+	data = data[i+1:]
+	var lines [][]byte
+	for len(data) > 0 {
+		j := bytes.IndexByte(data, '\n')
+		if j < 0 {
+			sal.DroppedBytes += len(data)
+			sal.Truncated = true
+			break
+		}
+		line := data[:j]
+		var ln ndjsonLine
+		if err := json.Unmarshal(line, &ln); err != nil || (ln.E == nil && ln.S == nil && ln.Fin == nil) {
+			sal.DroppedBytes += len(data)
+			sal.Truncated = true
+			break
+		}
+		if ln.Fin != nil {
+			// The run finished but its commit never landed: the fin line is
+			// regenerated at Finalize, not salvaged.
+			break
+		}
+		lines = append(lines, append([]byte(nil), line...))
+		data = data[j+1:]
+	}
+	if len(lines) == 0 && !sal.Truncated {
+		return nil
+	}
+	sal.Lines = len(lines)
+	l.Lines = append(l.Lines, lines...)
+	l.Salvaged = sal
 	return nil
+}
+
+func min64(a int, b int64) int64 {
+	if int64(a) < b {
+		return int64(a)
+	}
+	return b
 }
 
 // Feed streams the durable lines into sink in order, without finalizing —

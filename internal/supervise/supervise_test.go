@@ -11,6 +11,7 @@ import (
 	"oclfpga/internal/device"
 	"oclfpga/internal/hls"
 	"oclfpga/internal/kir"
+	"oclfpga/internal/mem"
 	"oclfpga/internal/obs"
 	"oclfpga/internal/sim"
 )
@@ -514,5 +515,63 @@ func TestBackoffSchedule(t *testing.T) {
 	}
 	if same {
 		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+// TestReplayMatchesSupervisedStream pins Replay's slice schedule to drive's:
+// the recorder cuts fast-forward jump events at RunFor boundaries, so a
+// repair re-execution reproduces the supervised original byte-for-byte only
+// if both walk the same schedule. A third arm — one unsliced Run — must
+// differ, proving the schedule is load-bearing and the pin actually bites.
+func TestReplayMatchesSupervisedStream(t *testing.T) {
+	d := quickDesign(t, 256)
+	lim := Limits{Slice: 64, CycleBudget: 1 << 20}
+	opts := func(buf *strings.Builder) sim.Options {
+		return sim.Options{
+			MemConfig: mem.Config{RowHitLat: 60, RowMissLat: 200},
+			Observe:   &obs.Config{SampleEvery: 100, Sink: obs.NewNDJSONSink(buf, "quick", 100)},
+		}
+	}
+
+	var supervised strings.Builder
+	s := New(Config{Slots: 1})
+	defer s.Close()
+	c := newCollect(1)
+	if err := s.Submit(Spec{ID: "r", Workload: "quick", Limits: lim,
+		Start: startQuick(t, d, opts(&supervised)), Done: c.cb}); err != nil {
+		t.Fatal(err)
+	}
+	if outs := c.wait(t); outs[0].State != StateCompleted {
+		t.Fatalf("supervised run: %+v", outs[0])
+	}
+
+	var replayed strings.Builder
+	m, err := startQuick(t, d, opts(&replayed))()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Replay(lim, m); err != nil {
+		t.Fatal(err)
+	}
+	m.Timeline() // finalize the recorder through the sink
+
+	var plain strings.Builder
+	m2, err := startQuick(t, d, opts(&plain))()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.Run(); err != nil {
+		t.Fatal(err)
+	}
+	m2.Timeline()
+
+	if !strings.Contains(supervised.String(), `"ff-jump"`) {
+		t.Fatal("stream recorded no fast-forward jumps; the pin is vacuous")
+	}
+	if replayed.String() != supervised.String() {
+		t.Errorf("Replay stream diverges from the supervised stream")
+	}
+	if plain.String() == supervised.String() {
+		t.Errorf("unsliced Run matched the supervised stream; slice boundaries no longer cut jumps and Replay may be unnecessary")
 	}
 }

@@ -48,6 +48,7 @@ import (
 	"oclfpga/internal/obs/analyze"
 	"oclfpga/internal/obs/diff"
 	"oclfpga/internal/obs/query"
+	"oclfpga/internal/obs/scrub"
 	"oclfpga/internal/primitives"
 	"oclfpga/internal/sim"
 	"oclfpga/internal/supervise"
@@ -233,8 +234,42 @@ func NewResumeSink(cfg SegmentConfig, log *SegmentLog) (*SegmentSink, error) {
 	return obs.NewResumeSink(cfg, log)
 }
 
-// LoadSegments loads a spill directory's durable record (complete or not).
+// LoadSegments loads a spill directory's durable record (complete or not),
+// verifying every sealed segment's length and CRC32C against the manifest; a
+// mismatch is a typed *CorruptSegmentError, never a wrong answer.
 func LoadSegments(dir string) (*SegmentLog, error) { return obs.LoadSegments(dir) }
+
+// Durable spill storage (DESIGN.md §16): end-to-end checksums on the read
+// path, a scrubber that classifies disk damage and repairs it — derived
+// artifacts rebuilt from segment truth, segment payloads regenerated by
+// deterministic re-execution byte-identically or not at all — and a
+// quarantine verdict for what cannot be healed.
+type (
+	// CorruptSegmentError is the typed read-path failure for a segment whose
+	// bytes disagree with the manifest's recorded length or CRC32C.
+	CorruptSegmentError = obs.CorruptSegmentError
+	// ScrubReport is one spill directory's scan verdict: per-segment status,
+	// classified damage, warnings, and whether re-execution is needed.
+	ScrubReport = scrub.Report
+	// ScrubResult is a repair's outcome: what was removed, rebuilt, and
+	// regenerated, and what damage remains.
+	ScrubResult = scrub.Result
+	// ScrubRebuild regenerates a spill's record stream by deterministic
+	// re-execution; the manifest's Meta carries the workload recipe.
+	ScrubRebuild = scrub.Rebuild
+)
+
+// ScrubScan classifies every artifact in a spill directory without modifying
+// anything; obscheck -fsck is its CLI face.
+func ScrubScan(dir string) (*ScrubReport, error) { return scrub.Scan(dir) }
+
+// ScrubRepair heals a spill directory: commit debris removed, sidecars
+// rebuilt from segment truth, and — when rebuild is non-nil — corrupt
+// segments regenerated by re-execution, accepted only byte-identical to the
+// manifest's checksums.
+func ScrubRepair(dir string, rebuild ScrubRebuild) (*ScrubResult, error) {
+	return scrub.Repair(dir, rebuild)
+}
 
 // Time-travel debugging (DESIGN.md §14): periodic hash-carrying checkpoints
 // in the spill stream, exact state reconstruction at any cycle by

@@ -17,6 +17,8 @@ go test ./internal/fault -run '^$' -fuzz 'FuzzParseSpec$' -fuzztime 5s
 go test ./internal/fault -run '^$' -fuzz 'FuzzParseSpecs$' -fuzztime 5s
 go test ./internal/obs -run '^$' -fuzz 'FuzzReplayNDJSON$' -fuzztime 5s
 go test ./internal/obs -run '^$' -fuzz 'FuzzFlatCodec$' -fuzztime 5s
+go test ./internal/obs -run '^$' -fuzz 'FuzzManifest$' -fuzztime 5s
+go test ./internal/obs -run '^$' -fuzz 'FuzzSegIndex$' -fuzztime 5s
 go test ./internal/obs/query -run '^$' -fuzz 'FuzzParseBreaks$' -fuzztime 5s
 go test ./internal/obs/query -run '^$' -fuzz 'FuzzParseQuery$' -fuzztime 5s
 
@@ -24,14 +26,17 @@ go test ./internal/obs/query -run '^$' -fuzz 'FuzzParseQuery$' -fuzztime 5s
 # the recorder's cost within 10% of the unobserved fast path (the flat
 # zero-allocation hot path is what this buys) and the rewind checkpoint grid
 # within 2% of the plain observed run. The indexed query engine must answer a
-# narrow query at least 10x faster than a full scan of the same spill.
+# narrow query at least 10x faster than a full scan of the same spill, and
+# verifying every segment checksum on the spill read path must cost no more
+# than 2% over a checksum-skipping load.
 go test -run '^$' \
-  -bench 'SimThroughput/(Simulate$|SimulateObserved$|SimulateCheckpointed$)|QuerySpill' \
+  -bench 'SimThroughput/(Simulate$|SimulateObserved$|SimulateCheckpointed$)|QuerySpill|SpillLoad$' \
   -benchmem -benchtime 40x -count 3 . \
   | go run ./cmd/benchjson \
       -gate 'observe-overhead-pct<=10' \
       -gate 'checkpoint-overhead-pct<=2' \
-      -gate 'query-speedup-x>=10' > /dev/null
+      -gate 'query-speedup-x>=10' \
+      -gate 'scrub-verify-overhead-pct<=2' > /dev/null
 
 # Observability artifacts: a real workload's timeline, metrics series, stall
 # attribution, pprof profile, and NDJSON spill must all validate, round-trip
@@ -108,6 +113,23 @@ RC=0
 "$TMP/oclprof" -diff -spill-dir "$TMP/segs" "$TMP/attr.json" "$TMP/attr2.json" > /dev/null 2>&1 || RC=$?
 [ "$RC" -eq 2 ]
 
+# Self-healing smoke (DESIGN.md §16): rot the chanstall spill from the
+# artifact run — one flipped byte in a sealed segment — and let oclprof -scrub
+# heal it by re-executing the workload from the manifest's Meta recipe. The
+# verdict must be healthy, the segment byte-identical to before the damage,
+# and a scan-only fsck must agree.
+PSEG="$(ls "$TMP/segs"/seg-*.ndjson | sort | head -1)"
+cp "$PSEG" "$TMP/pseg-clean.ndjson"
+dd if=/dev/zero of="$PSEG" bs=1 seek=33 count=1 conv=notrunc 2> /dev/null
+go build -o "$TMP/obscheck" ./cmd/obscheck
+RC=0
+"$TMP/obscheck" -q -fsck "$TMP/segs" || RC=$?  # scan-only: damage classified
+[ "$RC" -eq 1 ]
+"$TMP/oclprof" -scrub -spill-dir "$TMP/segs" > "$TMP/scrub.json"
+grep -q '"healthy": true' "$TMP/scrub.json"
+cmp "$PSEG" "$TMP/pseg-clean.ndjson"
+"$TMP/obscheck" -q -fsck "$TMP/segs"
+
 # The indexed spill diff must beat a full replay of both spills by at least
 # 5x (the segment indexes prune attribution-free segments on both sides).
 go test -run '^$' -bench 'DiffSpill' -benchtime 5x -count 1 . \
@@ -178,6 +200,44 @@ kill "$OCLMON_PID"
 wait "$OCLMON_PID" || true
 grep -q '"complete": true' "$SPILL/run1/manifest.json"  # recovery committed
 go run ./cmd/obscheck -spill-dir "$SPILL/run1" -timeline "$TMP/t-recovered.json"
+
+# Disk-fault chaos smoke (DESIGN.md §16): rot the recovered run's spill at
+# rest — a flipped byte in a sealed segment, a deleted sidecar, torn commit
+# debris — and reboot the server on the directory. The boot scrub must repair
+# the segment by deterministic re-execution, byte-identically, and report no
+# quarantine; obscheck -fsck then certifies the healed directory, and its
+# report is the CI artifact (FSCK_OUT, default $TMP).
+FSCK_OUT="${FSCK_OUT:-$TMP}"
+mkdir -p "$FSCK_OUT"
+MSEG="$(ls "$SPILL"/run1/seg-*.ndjson | sort | head -1)"
+cp "$MSEG" "$TMP/mseg-clean.ndjson"
+dd if=/dev/zero of="$MSEG" bs=1 seek=42 count=1 conv=notrunc 2> /dev/null
+rm "${MSEG%.ndjson}.idx.json" "${MSEG%.ndjson}.flat"
+printf '{torn' > "$SPILL/run1/manifest.json.tmp"
+RC=0
+"$TMP/obscheck" -q -fsck "$SPILL/run1" || RC=$?  # scan-only: damage classified
+[ "$RC" -eq 1 ]
+"$TMP/oclmon" -addr localhost:0 -runs 0 \
+  -spill-dir "$SPILL" -seg-lines 1024 2> "$TMP/oclmon-scrub.log" &
+OCLMON_PID=$!
+ADDR=""
+for _ in $(seq 1 300); do
+    ADDR="$(grep -o 'http://[0-9.:]*' "$TMP/oclmon-scrub.log" || true)"
+    [ -n "$ADDR" ] && break
+    sleep 0.2
+done
+[ -n "$ADDR" ] || { cat "$TMP/oclmon-scrub.log"; exit 1; }
+grep -q 'boot scrub repaired' "$TMP/oclmon-scrub.log"
+curl -fsS "$ADDR/metrics" > "$TMP/metrics-scrub.txt"
+grep -q '^oclmon_runs_quarantined 0$' "$TMP/metrics-scrub.txt"
+grep -q '^oclmon_spill_bytes ' "$TMP/metrics-scrub.txt"
+curl -fsS "$ADDR/runs" | grep -q '"done": *true'
+kill "$OCLMON_PID"
+wait "$OCLMON_PID" || true
+cmp "$MSEG" "$TMP/mseg-clean.ndjson"  # re-executed segment byte-identical
+"$TMP/obscheck" -fsck "$SPILL/run1" -fsck-report "$FSCK_OUT/fsck-report.json" \
+  | grep -q 'fsck healthy'
+grep -q '"healthy": true' "$FSCK_OUT/fsck-report.json"
 
 # Fleet smoke: a two-worker fleet, one long run, SIGKILL the owning worker
 # through the chaos endpoint. The survivor must steal the spill lease and
